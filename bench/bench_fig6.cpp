@@ -1,0 +1,57 @@
+// Figure 6: speedup of the GPTPU GEMM implementations (FullyConnected- and
+// conv2D-based) over the OpenBLAS CPU baseline at 1K/2K/4K, plus §7.1.3's
+// conv2D-over-FullyConnected factor.
+#include "apps/gemm_app.hpp"
+#include "bench_util.hpp"
+#include "ops/tpu_gemm.hpp"
+#include "perfmodel/cost_model.hpp"
+
+namespace {
+
+gptpu::Seconds gemm_tpu_time(gptpu::usize n, gptpu::ops::GemmAlgo algo) {
+  using namespace gptpu;
+  runtime::RuntimeConfig cfg;
+  cfg.functional = false;
+  runtime::Runtime rt{cfg};
+  ops::tpu_gemm_timed(rt, rt.begin_task(), {n, n}, {n, n}, {0, 8}, {0, 8},
+                      ops::GemmOptions{.algo = algo});
+  return rt.makespan();
+}
+
+gptpu::Seconds gemm_cpu_time(gptpu::usize n) {
+  using namespace gptpu;
+  perfmodel::Work w;
+  w.flops = 2.0 * static_cast<double>(n) * n * n;
+  w.bytes = 3.0 * static_cast<double>(n) * n * 4.0;
+  return perfmodel::cpu_time(perfmodel::CpuKernelClass::kBlas, w);
+}
+
+}  // namespace
+
+int main() {
+  using namespace gptpu;
+  bench::header("Figure 6: GEMM speedup over OpenBLAS CPU",
+                "Paper: conv2D 1.48x/1.90x/2.06x at 1K/2K/4K; "
+                "FullyConnected below 1x; conv2D ~4.3x over FullyConnected");
+
+  const double paper_conv[] = {1.48, 1.90, 2.06};
+  std::printf("  %-8s %12s %16s %16s %14s\n", "size", "CPU (s)",
+              "FC speedup", "conv2D speedup", "paper conv2D");
+  usize idx = 0;
+  Seconds fc4k = 0;
+  Seconds conv4k = 0;
+  for (const usize n : {1024u, 2048u, 4096u}) {
+    const Seconds cpu = gemm_cpu_time(n);
+    const Seconds fc = gemm_tpu_time(n, ops::GemmAlgo::kFullyConnected);
+    const Seconds conv = gemm_tpu_time(n, ops::GemmAlgo::kConv2D);
+    std::printf("  %zux%zu %10.3f %16.2f %16.2f %14.2f\n", n, n, cpu,
+                cpu / fc, cpu / conv, paper_conv[idx++]);
+    if (n == 4096) {
+      fc4k = fc;
+      conv4k = conv;
+    }
+  }
+  bench::section("conv2D vs FullyConnected (§7.1.3)");
+  bench::compare_row("conv2D advantage at 4K (x)", 4.3, fc4k / conv4k);
+  return 0;
+}

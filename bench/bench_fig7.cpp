@@ -1,0 +1,75 @@
+// Figure 7: per-application speedup (a), energy and energy-delay (b) for a
+// single Edge TPU vs a single CPU core, plus the accuracy columns the
+// section quotes.
+//
+// Paper headlines: 2.46x average speedup (4.08x Backprop, 1.14x HotSpot3D
+// as the low end), 45% energy savings, 67% energy-delay reduction.
+#include <vector>
+
+#include "apps/app_common.hpp"
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "runtime/energy.hpp"
+
+int main() {
+  using namespace gptpu;
+  using namespace gptpu::apps;
+  bench::header("Figure 7: GPTPU (1 Edge TPU) vs one CPU core",
+                "Paper: avg speedup 2.46x; energy -45% active; EDP -67%; "
+                "workload shapes per Table 3 (scaled per DESIGN.md §6)");
+
+  std::printf("  %-14s %10s %10s %9s %12s %12s %9s\n", "app", "CPU (s)",
+              "GPTPU (s)", "speedup", "energy rel", "EDP rel", "paper x");
+  const double paper_speedup[] = {4.08, 2.4, 2.2, 2.3, 1.14, 2.4, 2.3};
+
+  std::vector<double> speedups;
+  std::vector<double> energies;
+  std::vector<double> edps;
+  usize idx = 0;
+  for (const AppInfo& app : all_apps()) {
+    const Seconds cpu = app.cpu_time(1);
+    const TimedResult tpu = app.gptpu_timed(1);
+
+    const Joules cpu_energy = runtime::cpu_total_energy(cpu, 1);
+    const Joules tpu_energy = tpu.energy.total_energy();
+    const double energy_rel = tpu_energy / cpu_energy;
+    const double edp_rel =
+        tpu.energy.energy_delay() / (cpu_energy * cpu);
+
+    std::printf("  %-14s %10.2f %10.2f %9.2f %12.2f %12.2f %9.2f\n",
+                std::string(app.name).c_str(), cpu, tpu.seconds,
+                cpu / tpu.seconds, energy_rel, edp_rel, paper_speedup[idx++]);
+    speedups.push_back(cpu / tpu.seconds);
+    energies.push_back(energy_rel);
+    edps.push_back(edp_rel);
+  }
+
+  bench::section("summary");
+  bench::compare_row("average speedup (x)", 2.46,
+                     [&] {
+                       double s = 0;
+                       for (double v : speedups) s += v;
+                       return s / static_cast<double>(speedups.size());
+                     }());
+  bench::compare_row("geomean speedup (x)", 2.19, geomean(speedups));
+  bench::compare_row("mean energy rel (1-x = savings)", 1.0 - 0.45,
+                     [&] {
+                       double s = 0;
+                       for (double v : energies) s += v;
+                       return s / static_cast<double>(energies.size());
+                     }());
+  bench::compare_row("mean EDP rel", 1.0 - 0.67, [&] {
+    double s = 0;
+    for (double v : edps) s += v;
+    return s / static_cast<double>(edps.size());
+  }());
+
+  bench::section("accuracy at the scaled functional sizes (default data)");
+  std::printf("  %-14s %10s %10s\n", "app", "MAPE(%)", "RMSE(%)");
+  for (const AppInfo& app : all_apps()) {
+    const Accuracy acc = app.accuracy(42, 0);
+    std::printf("  %-14s %10.3f %10.3f\n", std::string(app.name).c_str(),
+                acc.mape * 100, acc.rmse * 100);
+  }
+  return 0;
+}

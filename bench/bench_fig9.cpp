@@ -1,0 +1,87 @@
+// Figure 9: GPTPU (1x and 8x Edge TPUs) vs an RTX 2080 and a Jetson Nano.
+//  (a) speedup over one CPU core (paper: RTX 2080 364x average, Jetson
+//      Nano ~15% faster than a CPU core / 2.30x faster than one Edge TPU;
+//      8x Edge TPUs beat the CPU core by 3.65x and the Nano by 2.48x);
+//  (b) relative energy (paper: the 8x Edge TPU system saves ~40% vs the
+//      CPU baseline while the RTX 2080 consumes ~9% more).
+//
+// GPU times come from the roofline models of perfmodel (DESIGN.md's
+// documented substitution for the missing hardware); GPTPU and CPU times
+// from the same models as Figures 7/8.
+#include <vector>
+
+#include "apps/app_common.hpp"
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "runtime/energy.hpp"
+
+int main() {
+  using namespace gptpu;
+  using namespace gptpu::apps;
+  using perfmodel::gpu_time;
+  bench::header("Figure 9: GPTPU vs RTX 2080 and Jetson Nano",
+                "Paper: RTX 2080 ~364x vs CPU core; Nano ~1.15x; 8x Edge "
+                "TPU 3.65x; energy: 8x TPU best (-40%), RTX 2080 +9%");
+
+  std::printf("(a) speedup over one CPU core\n");
+  std::printf("  %-14s %10s %10s %10s %10s\n", "app", "1x TPU", "RTX 2080",
+              "Jetson", "8x TPU");
+  std::vector<double> rtx_speedups, nano_speedups, tpu8_speedups, tpu1_speedups;
+  std::vector<double> rel_energy[4];
+  for (const AppInfo& app : all_apps()) {
+    const Seconds cpu = app.cpu_time(1);
+    const TimedResult tpu1 = app.gptpu_timed(1);
+    const TimedResult tpu8 = app.gptpu_timed(8);
+    const GpuWork g = app.gpu_work();
+    const Seconds rtx = gpu_time(perfmodel::kRtx2080, g.work, g.pcie_bytes,
+                                 g.kernel_launches, g.reduced_precision);
+    const Seconds nano =
+        gpu_time(perfmodel::kJetsonNano, g.work, g.pcie_bytes,
+                 g.kernel_launches, g.reduced_precision);
+    std::printf("  %-14s %10.2f %10.1f %10.2f %10.2f\n",
+                std::string(app.name).c_str(), cpu / tpu1.seconds, cpu / rtx,
+                cpu / nano, cpu / tpu8.seconds);
+    tpu1_speedups.push_back(cpu / tpu1.seconds);
+    rtx_speedups.push_back(cpu / rtx);
+    nano_speedups.push_back(cpu / nano);
+    tpu8_speedups.push_back(cpu / tpu8.seconds);
+
+    // (b) total-system energy relative to the CPU baseline. GPU platforms
+    // idle at the same 40 W floor plus their own idle draw.
+    const Joules cpu_e = runtime::cpu_total_energy(cpu, 1);
+    rel_energy[0].push_back(tpu1.energy.total_energy() / cpu_e);
+    rel_energy[1].push_back(
+        ((perfmodel::kSystemIdleWatts + perfmodel::kRtx2080.idle_watts) * rtx +
+         perfmodel::kRtx2080.active_watts * rtx) /
+        cpu_e);
+    rel_energy[2].push_back(
+        ((perfmodel::kSystemIdleWatts + perfmodel::kJetsonNano.idle_watts) *
+             nano +
+         perfmodel::kJetsonNano.active_watts * nano) /
+        cpu_e);
+    rel_energy[3].push_back(tpu8.energy.total_energy() / cpu_e);
+  }
+  auto mean = [](const std::vector<double>& v) {
+    double s = 0;
+    for (double x : v) s += x;
+    return s / static_cast<double>(v.size());
+  };
+  bench::section("averages vs paper");
+  bench::compare_row("RTX 2080 speedup (x)", 364.05, mean(rtx_speedups));
+  bench::compare_row("Jetson Nano speedup (x)", 1.15, mean(nano_speedups));
+  bench::compare_row("8x Edge TPU speedup (x)", 3.65, mean(tpu8_speedups));
+  bench::compare_row("8x TPU over Nano (x)", 2.48,
+                     mean(tpu8_speedups) / mean(nano_speedups));
+  bench::compare_row("Nano over 1x TPU (x)", 2.30,
+                     mean(nano_speedups) / mean(tpu1_speedups));
+
+  std::printf("\n(b) total-system energy relative to the CPU baseline\n");
+  std::printf("  %-14s paper\n", "platform");
+  const char* names[] = {"1x Edge TPU", "RTX 2080", "Jetson Nano",
+                         "8x Edge TPUs"};
+  const double paper_rel[] = {0.60, 1.09, 1.4, 0.60};
+  for (usize i = 0; i < 4; ++i) {
+    bench::compare_row(names[i], paper_rel[i], mean(rel_energy[i]));
+  }
+  return 0;
+}

@@ -1,0 +1,123 @@
+// google-benchmark microbenchmarks of the simulator's functional kernels
+// and the Tensorizer paths -- the wall-clock cost of this reproduction's
+// own hot loops (not modelled time).
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "isa/model_format.hpp"
+#include "quant/quantize.hpp"
+#include "runtime/runtime.hpp"
+#include "sim/kernels.hpp"
+
+namespace gptpu {
+namespace {
+
+Matrix<i8> random_i8(Shape2D shape, u64 seed) {
+  Matrix<i8> m(shape);
+  Rng rng(seed);
+  for (auto& v : m.span()) {
+    v = static_cast<i8>(rng.uniform_int(-127, 127));
+  }
+  return m;
+}
+
+void BM_QuantizeTile(benchmark::State& state) {
+  const usize n = static_cast<usize>(state.range(0));
+  Matrix<float> data(n, n);
+  Rng rng(1);
+  fill_uniform(data, rng, -100, 100);
+  std::vector<i8> out(n * n);
+  for (auto _ : state) {
+    quant::quantize(data.span(), 1.27f, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<i64>(n * n));
+}
+BENCHMARK(BM_QuantizeTile)->Arg(128)->Arg(1024);
+
+void BM_BuildModel(benchmark::State& state) {
+  const usize n = static_cast<usize>(state.range(0));
+  Matrix<float> data(n, n);
+  Rng rng(2);
+  fill_uniform(data, rng, -100, 100);
+  for (auto _ : state) {
+    auto blob = isa::build_model(data.view(), 1.27f, {1, 1});
+    benchmark::DoNotOptimize(blob.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<i64>(n * n));
+}
+BENCHMARK(BM_BuildModel)->Arg(512)->Arg(2048);
+
+void BM_Conv2D3x3(benchmark::State& state) {
+  const usize n = static_cast<usize>(state.range(0));
+  const Matrix<i8> in = random_i8({n + 2, n + 2}, 3);
+  const Matrix<i8> kernel = random_i8({3, 3}, 4);
+  Matrix<i8> out(n, n);
+  for (auto _ : state) {
+    sim::kernels::conv2d(in.view(), 1.0f, kernel.view(), 1.0f, {1, 1}, 1,
+                         1.0f, out.view());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<i64>(n * n * 9));
+}
+BENCHMARK(BM_Conv2D3x3)->Arg(256)->Arg(1024);
+
+void BM_Conv2DGemmStride(benchmark::State& state) {
+  // The §7.1.2 configuration: stride == kernel size, full-length dots.
+  const usize rows = 64;  // C tile rows
+  const usize s = 32;     // kernel side (N = 1024)
+  const usize bank = 64;  // C tile columns
+  const Matrix<i8> in = random_i8({rows * s, s}, 5);
+  const Matrix<i8> kernels = random_i8({bank * s, s}, 6);
+  Matrix<i32> out(rows, bank);
+  for (auto _ : state) {
+    sim::kernels::conv2d_wide(in.view(), kernels.view(),
+                              {static_cast<u16>(s), static_cast<u16>(s)},
+                              bank, out.view());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<i64>(rows * bank * s * s));
+}
+BENCHMARK(BM_Conv2DGemmStride);
+
+void BM_FullyConnectedWide(benchmark::State& state) {
+  const usize n = static_cast<usize>(state.range(0));
+  const Matrix<i8> in = random_i8({16, n}, 7);
+  const Matrix<i8> w = random_i8({n, n}, 8);
+  Matrix<i32> out(16, n);
+  for (auto _ : state) {
+    sim::kernels::fully_connected_wide(in.view(), w.view(), out.view());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<i64>(16 * n * n));
+}
+BENCHMARK(BM_FullyConnectedWide)->Arg(512)->Arg(1024);
+
+void BM_RuntimePairwiseAdd(benchmark::State& state) {
+  const usize n = static_cast<usize>(state.range(0));
+  runtime::Runtime rt{runtime::RuntimeConfig{}};
+  Matrix<float> a(n, n);
+  Matrix<float> b(n, n);
+  Matrix<float> c(n, n);
+  Rng rng(9);
+  fill_uniform(a, rng, -10, 10);
+  fill_uniform(b, rng, -10, 10);
+  runtime::OperationRequest req;
+  req.task_id = rt.begin_task();
+  req.op = isa::Opcode::kAdd;
+  req.in0 = rt.create_buffer(a.shape(), a.data());
+  req.in1 = rt.create_buffer(b.shape(), b.data());
+  req.out = rt.create_buffer(c.shape(), c.data());
+  for (auto _ : state) {
+    rt.invoke(req);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<i64>(n * n));
+}
+BENCHMARK(BM_RuntimePairwiseAdd)->Arg(512);
+
+}  // namespace
+}  // namespace gptpu
+
+BENCHMARK_MAIN();

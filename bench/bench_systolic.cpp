@@ -1,0 +1,65 @@
+// First-principles systolic-array timing vs the Table-1-calibrated model.
+//
+// The weight-stationary cycle model (sim/systolic.hpp) gives the matrix
+// unit's raw capability; Table 1's measured end-to-end instruction rates
+// sit far below it because every CISC instruction crosses the system
+// interconnect (no on-chip instruction cache, §2.1/§3.2). The gap this
+// bench prints is the overhead the paper's characterization exists to
+// quantify -- and the reason GPTPU's Tensorizer batches work into few,
+// large instructions.
+#include "bench_util.hpp"
+#include "sim/systolic.hpp"
+#include "sim/timing_model.hpp"
+
+int main() {
+  using namespace gptpu;
+  bench::header("Systolic-array capability vs measured instruction rates",
+                "Array model: 64x64 weight-stationary grid @ 480 MHz "
+                "(the §2.2 4-TOPS figure); measured: Table 1 calibration");
+
+  const sim::SystolicArray array;
+  const sim::TimingModel tm;
+
+  bench::compare_row("peak TOPS (2 ops/MAC)", 4.0,
+                     array.peak_macs_per_second() * 2 / 1e12);
+
+  std::printf("\n  FullyConnected, M x 1024 x 1024:\n");
+  std::printf("  %8s %16s %16s %10s\n", "M", "array (ms)", "measured (ms)",
+              "overhead");
+  for (const usize m : {1u, 16u, 128u, 1024u}) {
+    const Seconds ideal = array.matmul_seconds(m, 1024, 1024);
+    isa::Instruction fc;
+    fc.op = isa::Opcode::kFullyConnected;
+    const Seconds measured =
+        tm.instruction_latency(fc, {m, 1024}, {1024, 1024}, {m, 1024});
+    std::printf("  %8zu %16.4f %16.4f %9.1fx\n", m, ideal * 1e3,
+                measured * 1e3, measured / ideal);
+  }
+
+  std::printf(
+      "\n  conv2D (3x3 over 1024^2, as one instruction):\n");
+  {
+    // A naive im2col mapping (1022^2 outputs x 9-long reductions) leaves
+    // the weight-stationary array almost entirely idle (one active
+    // column).
+    const Seconds im2col = array.matmul_seconds(1022 * 1022, 9, 1);
+    isa::Instruction conv;
+    conv.op = isa::Opcode::kConv2D;
+    const Seconds measured =
+        tm.instruction_latency(conv, {1024, 1024}, {3, 3}, {1022, 1022});
+    std::printf("  naive im2col on the array %.3f ms   measured native "
+                "conv2D %.3f ms (%.1fx better)\n",
+                im2col * 1e3, measured * 1e3, im2col / measured);
+    std::printf("  -> the measured instruction beats the naive mapping: the"
+                "\n     §3.2 observation that the microarchitecture has"
+                "\n     dedicated convolution support (conv2D's 25x RPS).\n");
+  }
+
+  std::printf(
+      "\n  (Interpretation: the array itself could sustain its near-peak\n"
+      "   rate, but instruction issue over PCIe, model staging and result\n"
+      "   read-back dominate -- hence Table 1's rates and the paper's\n"
+      "   design pressure toward large CISC instructions and resident\n"
+      "   data, which GPTPU's Tensorizer and affinity scheduling supply.)\n");
+  return 0;
+}

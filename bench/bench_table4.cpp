@@ -1,0 +1,60 @@
+// Table 4: MAPE (a) and RMSE (b) of every GPTPU application against its
+// CPU implementation, on the default dataset and on synthetic datasets
+// with widening value ranges (the paper uses -2^7<x<2^7, -2^15<x<2^15,
+// -2^31<x<2^31).
+//
+// Paper headline: MAPE always below 1% (average 0.33-0.35%), worst RMSE
+// 0.98%. Functional runs at the scaled sizes of DESIGN.md §6.
+#include <array>
+
+#include "apps/app_common.hpp"
+#include "bench_util.hpp"
+
+int main() {
+  using namespace gptpu;
+  using namespace gptpu::apps;
+  bench::header("Table 4: MAPE and RMSE per application and input range",
+                "Paper: MAPE < 1% everywhere (avg 0.33%), RMSE <= 0.98%");
+
+  const std::array<double, 4> ranges = {0.0, 127.0, 32767.0, 2147483647.0};
+  const std::array<const char*, 4> labels = {"default", "2^7", "2^15", "2^31"};
+
+  std::printf("(a) MAPE %%\n  %-14s", "app");
+  for (const char* l : labels) std::printf(" %10s", l);
+  std::printf("\n");
+
+  std::array<std::array<Accuracy, 4>, 7> results{};
+  usize ai = 0;
+  for (const AppInfo& app : all_apps()) {
+    std::printf("  %-14s", std::string(app.name).c_str());
+    for (usize r = 0; r < ranges.size(); ++r) {
+      results[ai][r] = app.accuracy(42 + r, ranges[r]);
+      std::printf(" %10.3f", results[ai][r].mape * 100);
+    }
+    std::printf("\n");
+    ++ai;
+  }
+  double avg_mape = 0;
+  for (const auto& row : results) {
+    for (const auto& a : row) avg_mape += a.mape;
+  }
+  avg_mape /= 28.0;
+  bench::compare_row("average MAPE (%)", 0.34, avg_mape * 100);
+
+  std::printf("\n(b) RMSE %%\n  %-14s", "app");
+  for (const char* l : labels) std::printf(" %10s", l);
+  std::printf("\n");
+  ai = 0;
+  double avg_rmse = 0;
+  for (const AppInfo& app : all_apps()) {
+    std::printf("  %-14s", std::string(app.name).c_str());
+    for (usize r = 0; r < ranges.size(); ++r) {
+      std::printf(" %10.3f", results[ai][r].rmse * 100);
+      avg_rmse += results[ai][r].rmse;
+    }
+    std::printf("\n");
+    ++ai;
+  }
+  bench::compare_row("average RMSE (%)", 0.41, avg_rmse / 28.0 * 100);
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Table 6: cost and power consumption of the compared accelerators, plus
+// the derived cost-efficiency view the paper's comparison implies.
+#include "apps/app_common.hpp"
+#include "bench_util.hpp"
+#include "perfmodel/machine_constants.hpp"
+
+int main() {
+  using namespace gptpu;
+  bench::header("Table 6: accelerator cost and power",
+                "Paper: static specification table (verbatim)");
+
+  std::printf("  %-18s %12s %12s   %s\n", "accelerator", "cost (USD)",
+              "power (W)", "comment");
+  for (const auto& row : perfmodel::kTable6) {
+    std::printf("  %-18s %12.2f %12.1f   %s\n", row.name, row.cost_usd,
+                row.power_watts, row.comment);
+  }
+
+  bench::section("derived: average speedup per dollar and per watt");
+  using namespace gptpu::apps;
+  double tpu1 = 0, tpu8 = 0, rtx = 0, nano = 0;
+  for (const AppInfo& app : all_apps()) {
+    const Seconds cpu = app.cpu_time(1);
+    tpu1 += cpu / app.gptpu_timed(1).seconds;
+    tpu8 += cpu / app.gptpu_timed(8).seconds;
+    const GpuWork g = app.gpu_work();
+    rtx += cpu / perfmodel::gpu_time(perfmodel::kRtx2080, g.work,
+                                     g.pcie_bytes, g.kernel_launches,
+                                     g.reduced_precision);
+    nano += cpu / perfmodel::gpu_time(perfmodel::kJetsonNano, g.work,
+                                      g.pcie_bytes, g.kernel_launches,
+                                      g.reduced_precision);
+  }
+  const double n = static_cast<double>(all_apps().size());
+  tpu1 /= n; tpu8 /= n; rtx /= n; nano /= n;
+  const double speeds[] = {tpu1, rtx, nano, tpu8};
+  std::printf("  %-18s %14s %16s %16s\n", "accelerator", "avg speedup",
+              "speedup / 100$", "speedup / W");
+  for (usize i = 0; i < 4; ++i) {
+    const auto& row = perfmodel::kTable6[i];
+    std::printf("  %-18s %14.2f %16.2f %16.3f\n", row.name, speeds[i],
+                speeds[i] / row.cost_usd * 100.0,
+                speeds[i] / row.power_watts);
+  }
+  return 0;
+}

@@ -1,0 +1,64 @@
+// §3.3 / §6.2.3: the Tensorizer's fast model-creation path vs the original
+// Python/TFLite compiler path.
+//
+// The paper measured 2.7 s to turn a 2Kx2K matrix into an Edge TPU model
+// with the stock toolchain and 1.8 ms with their C-based Tensorizer
+// (~1500x). Both paths here are REAL wall-clock measurements of real code:
+// isa::build_model (single-pass) vs isa::reference_compile_model (the
+// boxed, multi-pass pipeline; see reference_compiler.hpp). Also verifies
+// byte-identical output and prints the modelled 1.8 ms figure the runtime
+// charges.
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "common/stopwatch.hpp"
+#include "isa/reference_compiler.hpp"
+#include "sim/timing_model.hpp"
+
+int main() {
+  using namespace gptpu;
+  bench::header("Tensorizer model creation (§6.2.3)",
+                "Paper: TFLite compiler 2.7 s vs Tensorizer 1.8 ms per "
+                "2Kx2K matrix (~1500x); here: real wall time of both paths");
+
+  const Shape2D shape{2048, 2048};
+  Matrix<float> data(shape);
+  Rng rng(11);
+  fill_uniform(data, rng, -100, 100);
+  const float scale = 1.27f;
+  const Shape2D tile{1, 1};
+
+  // Warm-up + correctness: both paths must serialize identical blobs.
+  const auto fast_blob = isa::build_model(data.view(), scale, tile);
+  const auto slow_blob = isa::reference_compile_model(data.view(), scale, tile);
+  if (fast_blob != slow_blob) {
+    std::printf("ERROR: compiler paths disagree\n");
+    return 1;
+  }
+
+  Stopwatch sw;
+  constexpr int kFastReps = 20;
+  for (int i = 0; i < kFastReps; ++i) {
+    const auto blob = isa::build_model(data.view(), scale, tile);
+    if (blob.size() != fast_blob.size()) return 1;
+  }
+  const double fast_s = sw.elapsed() / kFastReps;
+
+  sw.restart();
+  const auto blob = isa::reference_compile_model(data.view(), scale, tile);
+  const double slow_s = sw.elapsed();
+  if (blob.size() != fast_blob.size()) return 1;
+
+  bench::compare_row("Tensorizer path (ms)", 1.8, fast_s * 1e3);
+  bench::compare_row("reference compiler (s)", 2.7, slow_s);
+  bench::compare_row("speedup (x)", 1500.0, slow_s / fast_s);
+
+  const sim::TimingModel tm;
+  bench::compare_row("modelled charge (ms)", 1.8,
+                     tm.model_creation_latency(shape.elems()) * 1e3);
+  std::printf(
+      "\n  (The reference path reproduces the toolchain's cost structure,"
+      "\n   not its Python interpreter, so the measured gap is smaller than"
+      "\n   1500x but in the same direction and order; the runtime charges"
+      "\n   the paper's measured 1.8 ms rate.)\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Shared helpers for the per-table / per-figure benchmark binaries.
+//
+// Every bench prints the paper's reported value next to this
+// reproduction's measurement; EXPERIMENTS.md collects the comparison.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+#include "common/types.hpp"
+
+namespace gptpu::bench {
+
+inline void header(std::string_view title, std::string_view provenance) {
+  std::printf("\n=== %.*s ===\n", static_cast<int>(title.size()),
+              title.data());
+  std::printf("%.*s\n\n", static_cast<int>(provenance.size()),
+              provenance.data());
+}
+
+inline void section(std::string_view name) {
+  std::printf("\n--- %.*s ---\n", static_cast<int>(name.size()), name.data());
+}
+
+/// "paper X / measured Y" row for a scalar comparison.
+inline void compare_row(std::string_view label, double paper, double measured,
+                        std::string_view unit = "") {
+  std::printf("  %-28.*s paper %10.3f   measured %10.3f %.*s\n",
+              static_cast<int>(label.size()), label.data(), paper, measured,
+              static_cast<int>(unit.size()), unit.data());
+}
+
+/// Simple --scale / --devices flag parsing shared by the benches.
+struct BenchArgs {
+  double scale = 1.0;
+  usize devices = 1;
+
+  static BenchArgs parse(int argc, char** argv) {
+    BenchArgs args;
+    for (int i = 1; i < argc; ++i) {
+      const std::string a = argv[i];
+      auto value = [&](const char* prefix) -> const char* {
+        const usize n = std::string(prefix).size();
+        return a.rfind(prefix, 0) == 0 ? a.c_str() + n : nullptr;
+      };
+      if (const char* v = value("--scale=")) args.scale = std::atof(v);
+      if (const char* v = value("--devices=")) {
+        args.devices = static_cast<usize>(std::atoi(v));
+      }
+    }
+    return args;
+  }
+};
+
+}  // namespace gptpu::bench

@@ -1,0 +1,46 @@
+// Physics simulation on an NN accelerator (§7.2.2): HotSpot3D-style
+// thermal simulation of a 3D-stacked chip, one conv2D per layer per step.
+//
+//   ./build/examples/heat_sim [grid] [layers] [steps]
+#include <cstdio>
+#include <cstdlib>
+
+#include "apps/hotspot_app.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gptpu;
+  apps::hotspot::Params params = apps::hotspot::Params::accuracy();
+  if (argc > 1) params.grid = static_cast<usize>(std::atoi(argv[1]));
+  if (argc > 2) params.layers = static_cast<usize>(std::atoi(argv[2]));
+  if (argc > 3) params.iterations = static_cast<usize>(std::atoi(argv[3]));
+
+  std::printf("HotSpot3D: %zu layers of %zux%zu, %zu steps\n", params.layers,
+              params.grid, params.grid, params.iterations);
+
+  const apps::hotspot::Workload w =
+      apps::hotspot::make_workload(params, 7, /*range_max=*/0);
+
+  runtime::Runtime rt{runtime::RuntimeConfig{}};
+  const auto final_temp = apps::hotspot::run_gptpu(rt, params, &w);
+  const auto reference = apps::hotspot::cpu_reference(params, w);
+
+  std::printf("\n  layer   peak T (GPTPU)   peak T (exact)   mean T (GPTPU)\n");
+  for (usize z = 0; z < params.layers; ++z) {
+    float peak = 0;
+    float peak_ref = 0;
+    double mean = 0;
+    for (usize i = 0; i < final_temp[z].elems(); ++i) {
+      peak = std::max(peak, final_temp[z].span()[i]);
+      peak_ref = std::max(peak_ref, reference[z].span()[i]);
+      mean += final_temp[z].span()[i];
+    }
+    mean /= static_cast<double>(final_temp[z].elems());
+    std::printf("  %5zu %16.2f %16.2f %16.2f\n", z, peak, peak_ref, mean);
+  }
+
+  std::printf("\n  modelled latency: %.3f ms (%zu conv2D instructions)\n",
+              rt.makespan() * 1e3, rt.opq_log().size());
+  std::printf("  modelled energy : %.3f J total\n",
+              rt.energy().total_energy());
+  return 0;
+}

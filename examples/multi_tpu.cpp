@@ -1,0 +1,65 @@
+// Parallel task execution across a pool of Edge TPUs (§6.1, Figure 8):
+// independent GEMM tasks enqueued through OpenCtpu run out of order across
+// all devices, the way the paper's 8-TPU prototype executes concurrent
+// GPTPU tasks.
+//
+//   ./build/examples/multi_tpu [devices] [tasks]
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "openctpu/gptpu.hpp"
+#include "ops/tpu_gemm.hpp"
+#include "runtime/runtime.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gptpu;
+  const usize devices = argc > 1 ? static_cast<usize>(std::atoi(argv[1])) : 4;
+  const usize tasks = argc > 2 ? static_cast<usize>(std::atoi(argv[2])) : 8;
+  const usize n = 192;
+
+  openctpu_init({.num_devices = devices});
+  std::printf("%zu independent %zux%zu GEMM tasks on %zu Edge TPUs\n", tasks,
+              n, n, devices);
+
+  // Each task owns its matrices; tasks execute out of order in parallel
+  // (§5), so the only synchronization point is openctpu_sync().
+  struct TaskData {
+    Matrix<float> a{n, n}, b{n, n}, c{n, n};
+  };
+  std::vector<TaskData> data(tasks);
+  Rng rng(5);
+  for (auto& t : data) {
+    fill_uniform(t.a, rng, 0, 4);
+    fill_uniform(t.b, rng, 0, 4);
+  }
+
+  auto& rt = openctpu_runtime();
+  for (usize i = 0; i < tasks; ++i) {
+    TaskData* t = &data[i];
+    openctpu_enqueue(std::function<void()>([&rt, t] {
+      // tpuGemm is the library function GPTPU applications call the way
+      // CUDA code calls cublasGemm (§7.1.3).
+      ops::tpu_gemm(rt, rt.begin_task(), t->a.view(), t->b.view(),
+                    t->c.view());
+    }));
+  }
+  openctpu_sync();
+
+  // Verify one element per task against the exact product.
+  for (usize i = 0; i < tasks; ++i) {
+    double ref = 0;
+    for (usize k = 0; k < n; ++k) ref += data[i].a(0, k) * data[i].b(k, 0);
+    std::printf("  task %zu: C[0,0] = %9.2f (exact %9.2f)\n", i,
+                data[i].c(0, 0), ref);
+  }
+
+  std::printf("\n  modelled makespan on %zu device(s): %.3f ms\n", devices,
+              rt.makespan() * 1e3);
+  std::printf("  total device-busy time: %.3f ms (parallel efficiency "
+              "visible as busy/makespan/devices)\n",
+              rt.energy().tpu_active * 1e3);
+  openctpu_shutdown();
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Financial computing on an NN accelerator (§7.2.6): Black-Scholes call
+// pricing with the cumulative normal distribution evaluated as a
+// ninth-degree polynomial through the FullyConnected instruction.
+//
+//   ./build/examples/option_pricing [num_options]
+#include <cstdio>
+#include <cstdlib>
+
+#include "apps/blackscholes_app.hpp"
+#include "common/stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gptpu;
+  apps::blackscholes::Params params = apps::blackscholes::Params::accuracy();
+  if (argc > 1) params.options = static_cast<usize>(std::atoi(argv[1]));
+
+  std::printf("Black-Scholes: pricing %zu call options on the Edge TPU\n",
+              params.options);
+
+  const auto workload =
+      apps::blackscholes::make_workload(params, 99, /*range_max=*/0);
+
+  runtime::Runtime rt{runtime::RuntimeConfig{}};
+  const Matrix<float> prices =
+      apps::blackscholes::run_gptpu(rt, params, &workload);
+  const Matrix<float> exact =
+      apps::blackscholes::cpu_reference(params, workload);
+
+  std::printf("\n  spot     strike   expiry   GPTPU price   exact price\n");
+  for (usize i = 0; i < 8 && i < params.options; ++i) {
+    std::printf("  %6.2f  %7.2f  %5.2fy  %12.4f  %12.4f\n",
+                workload.spot(0, i), workload.strike(0, i),
+                workload.time(0, i), prices(0, i), exact(0, i));
+  }
+
+  std::printf("\n  price MAPE vs closed form: %.3f%%\n",
+              mape(exact.span(), prices.span()) * 100);
+  std::printf("  (CNDF = degree-9 polynomial via FullyConnected with three"
+              "\n   precision passes, §10(3); fit error ~0.2%% dominates)\n");
+  std::printf("  modelled latency: %.3f ms\n", rt.makespan() * 1e3);
+  return 0;
+}

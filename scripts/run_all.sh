@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Builds everything, runs the full test suite and every paper-table/figure
+# benchmark, and leaves the outputs next to the repo root (the artifact
+# files EXPERIMENTS.md refers to).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+{
+  for b in build/bench/*; do
+    "$b"
+  done
+} 2>&1 | tee bench_output.txt
+
+echo
+echo "Examples:"
+for e in quickstart pagerank heat_sim option_pricing multi_tpu; do
+  echo "--- $e ---"
+  "./build/examples/$e"
+done

@@ -1,0 +1,87 @@
+// Shared scaffolding for the seven GPTPU applications (§7.2, Table 3).
+//
+// Every app provides four faces, consumed by the benchmark harnesses:
+//  * an accuracy run -- both the CPU float baseline and the GPTPU version
+//    executed functionally at a scaled-down size, compared with MAPE/RMSE
+//    (Table 4, Figure 7's error columns);
+//  * a timed GPTPU run at paper scale (Table 3 shapes) on a timing-only
+//    runtime with 1..8 devices (Figures 7, 8, 9);
+//  * a modelled CPU baseline time at paper scale (cost_model.hpp), with
+//    the kernel class documented per app;
+//  * GPU roofline work counts (Figure 9).
+#pragma once
+
+#include <span>
+#include <string_view>
+
+#include "common/stats.hpp"
+#include "perfmodel/cost_model.hpp"
+#include "runtime/energy.hpp"
+#include "runtime/runtime.hpp"
+
+namespace gptpu::apps {
+
+struct Accuracy {
+  double mape = 0;
+  double rmse = 0;
+};
+
+[[nodiscard]] inline Accuracy compare(std::span<const float> reference,
+                                      std::span<const float> actual) {
+  return {mape(reference, actual), rmse(reference, actual)};
+}
+
+struct TimedResult {
+  Seconds seconds = 0;
+  runtime::EnergyReport energy;
+};
+
+/// Work counts for the Figure 9 GPU comparison.
+struct GpuWork {
+  perfmodel::Work work;
+  double pcie_bytes = 0;
+  usize kernel_launches = 1;
+  /// True when the paper enabled reduced precision for this app (16-bit
+  /// ALUs for Gaussian/HotSpot3D/Backprop, 8-bit Tensor Cores for GEMM).
+  bool reduced_precision = false;
+};
+
+/// One registered application.
+struct AppInfo {
+  std::string_view name;
+  /// Functional accuracy at the app's scaled size. `range_max` <= 0 uses
+  /// the app's default dataset; otherwise inputs are random in
+  /// [-range_max, range_max] (Table 4's synthetic ranges).
+  Accuracy (*accuracy)(u64 seed, double range_max);
+  /// Modelled GPTPU run at paper scale (timing-only) on `num_devices`.
+  TimedResult (*gptpu_timed)(usize num_devices);
+  /// Runs the same paper-scale flow on a caller-provided timing-only
+  /// runtime (profile comparisons, trace export).
+  void (*run_paper_scale)(runtime::Runtime& rt);
+  /// Modelled CPU baseline at paper scale on `threads` cores.
+  Seconds (*cpu_time)(usize threads);
+  GpuWork (*gpu_work)();
+};
+
+/// All seven applications, in the paper's order: Backprop, BlackScholes,
+/// Gaussian, GEMM, HotSpot3D, LUD, PageRank.
+[[nodiscard]] std::span<const AppInfo> all_apps();
+[[nodiscard]] const AppInfo& app_by_name(std::string_view name);
+
+/// Runs `fn` when the runtime is functional and always charges `seconds`
+/// of host work to the task's virtual timeline. Used for the host-side
+/// steps of GPTPU apps (padding, damping, panel factorization) so the
+/// timing-only paper-scale runs follow the identical control flow.
+template <typename F>
+void host_step(runtime::Runtime& rt, u64 task, Seconds seconds,
+               const char* label, F&& fn) {
+  if (rt.config().functional) fn();
+  rt.charge_host(task, seconds, label);
+}
+
+/// Convenience: a timing-only runtime result snapshot.
+[[nodiscard]] inline TimedResult snapshot(runtime::Runtime& rt) {
+  return {rt.makespan(), rt.energy()};
+}
+
+}  // namespace gptpu::apps

@@ -1,0 +1,67 @@
+#include "apps/app_common.hpp"
+#include "apps/backprop_app.hpp"
+#include "apps/blackscholes_app.hpp"
+#include "apps/gaussian_app.hpp"
+#include "apps/gemm_app.hpp"
+#include "apps/hotspot_app.hpp"
+#include "apps/lud_app.hpp"
+#include "apps/pagerank_app.hpp"
+#include "ops/tpu_gemm.hpp"
+
+namespace gptpu::apps {
+
+namespace {
+
+void backprop_paper(runtime::Runtime& rt) {
+  backprop::run_gptpu(rt, backprop::Params::paper(), nullptr);
+}
+void blackscholes_paper(runtime::Runtime& rt) {
+  blackscholes::run_gptpu(rt, blackscholes::Params::paper(), nullptr);
+}
+void gaussian_paper(runtime::Runtime& rt) {
+  gaussian::run_gptpu(rt, gaussian::Params::paper(), nullptr);
+}
+void gemm_paper(runtime::Runtime& rt) {
+  const gemm::Params p = gemm::Params::paper();
+  ops::tpu_gemm_timed(rt, rt.begin_task(), {p.m, p.n}, {p.n, p.k}, {0, 8},
+                      {0, 8});
+}
+void hotspot_paper(runtime::Runtime& rt) {
+  hotspot::run_gptpu(rt, hotspot::Params::paper(), nullptr);
+}
+void lud_paper(runtime::Runtime& rt) {
+  lud::run_gptpu(rt, lud::Params::paper(), nullptr);
+}
+void pagerank_paper(runtime::Runtime& rt) {
+  pagerank::run_gptpu(rt, pagerank::Params::paper(), nullptr);
+}
+
+constexpr AppInfo kApps[] = {
+    {"Backprop", backprop::run_accuracy, backprop::run_gptpu_timed,
+     backprop_paper, backprop::cpu_time, backprop::gpu_work},
+    {"BlackScholes", blackscholes::run_accuracy,
+     blackscholes::run_gptpu_timed, blackscholes_paper, blackscholes::cpu_time,
+     blackscholes::gpu_work},
+    {"Gaussian", gaussian::run_accuracy, gaussian::run_gptpu_timed,
+     gaussian_paper, gaussian::cpu_time, gaussian::gpu_work},
+    {"GEMM", gemm::run_accuracy, gemm::run_gptpu_timed, gemm_paper,
+     gemm::cpu_time, gemm::gpu_work},
+    {"HotSpot3D", hotspot::run_accuracy, hotspot::run_gptpu_timed,
+     hotspot_paper, hotspot::cpu_time, hotspot::gpu_work},
+    {"LUD", lud::run_accuracy, lud::run_gptpu_timed, lud_paper,
+     lud::cpu_time, lud::gpu_work},
+    {"PageRank", pagerank::run_accuracy, pagerank::run_gptpu_timed,
+     pagerank_paper, pagerank::cpu_time, pagerank::gpu_work},
+};
+}  // namespace
+
+std::span<const AppInfo> all_apps() { return kApps; }
+
+const AppInfo& app_by_name(std::string_view name) {
+  for (const AppInfo& app : kApps) {
+    if (app.name == name) return app;
+  }
+  throw InvalidArgument("unknown application: " + std::string(name));
+}
+
+}  // namespace gptpu::apps

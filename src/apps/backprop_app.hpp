@@ -1,0 +1,53 @@
+// Backpropagation (§7.2.5): a plain-vanilla feedforward network trained by
+// gradient descent, demonstrating the ML/AI-generalizable nature of GPTPU.
+//
+// Per the paper, the GPTPU version uses (1) FullyConnected layers with
+// activation on the TPU (ReLu; the forward pass), (2) add/sub for the
+// actual backpropagation weight updates, and (3) tpuGemm to derive the
+// weight gradients from the delta matrices.
+//
+// Baseline provenance: Rodinia backprop, scalar 2-D array loops ->
+// CpuKernelClass::kScalar.
+#pragma once
+
+#include "apps/app_common.hpp"
+
+namespace gptpu::apps::backprop {
+
+struct Params {
+  usize input = 0;    // input features
+  usize hidden = 0;   // hidden units (Table 3: an 8K x 8K weight matrix)
+  usize output = 16;  // output units
+  usize batch = 24;
+  usize iterations = 2;
+  float learning_rate = 1e-4f;
+  static Params paper() { return {8192, 8192, 16, 24, 2, 1e-4f}; }
+  static Params accuracy() { return {192, 192, 8, 8, 2, 1e-3f}; }
+};
+
+struct Workload {
+  Matrix<float> x;        // batch x input
+  Matrix<float> target;   // batch x output
+  Matrix<float> w1;       // input x hidden
+  Matrix<float> w2;       // hidden x output
+};
+[[nodiscard]] Workload make_workload(const Params& p, u64 seed,
+                                     double range_max);
+
+struct TrainedNet {
+  Matrix<float> w1;
+  Matrix<float> w2;
+};
+
+[[nodiscard]] TrainedNet cpu_reference(const Params& p, const Workload& w);
+
+/// GPTPU training loop; null workload = timing-only control flow.
+TrainedNet run_gptpu(runtime::Runtime& rt, const Params& p,
+                     const Workload* w);
+
+Accuracy run_accuracy(u64 seed, double range_max);
+TimedResult run_gptpu_timed(usize num_devices);
+Seconds cpu_time(usize threads);
+GpuWork gpu_work();
+
+}  // namespace gptpu::apps::backprop

@@ -1,0 +1,300 @@
+#include "apps/blackscholes_app.hpp"
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "ops/elementwise.hpp"
+#include "ops/tpu_gemm.hpp"
+
+namespace gptpu::apps::blackscholes {
+
+using runtime::Runtime;
+
+namespace {
+
+/// Degree-9 least-squares fit of the standard normal CDF over x in
+/// [-3.5, 3.5], parameterized on t = x / 3.5 so every polynomial input
+/// column shares the [-1, 1] range (the int8 grid is used evenly). Even
+/// coefficients vanish (the CDF minus 1/2 is odd), so only six columns
+/// [1, t, t^3, t^5, t^7, t^9] are evaluated. Max fit error ~2e-3.
+constexpr float kXLimit = 3.5f;
+constexpr usize kPolyColumns = 6;
+constexpr std::array<float, kPolyColumns> kCoefScaled = {
+    5.00000000e-01f,
+    3.96470016e-01f * 3.5f,                                  // t
+    -6.16336432e-02f * 3.5f * 3.5f * 3.5f,                   // t^3
+    7.17790742e-03f * 42.87890625f * 3.5f * 3.5f,            // t^5 (3.5^5)
+    -4.61386626e-04f * 525.21871f * 3.5f * 3.5f,             // t^7 (3.5^7)
+    1.21197236e-05f * 6433.92969f * 3.5f * 3.5f,             // t^9 (3.5^9)
+};
+
+/// Flop-equivalents a scalar AxBench-style baseline spends per option:
+/// four libm transcendentals (log, sqrt x2, exp) at ~100 cycles each plus
+/// the rational CNDF evaluation; drives the CPU cost model.
+constexpr double kCpuFlopsPerOption = 500.0;
+
+float cndf_exact(float x) {
+  return 0.5f * (1.0f + std::erf(x / std::numbers::sqrt2_v<float>));
+}
+
+/// Option vectors are carried as rows x 1024 matrices (zero-padded tail)
+/// so pair-wise operators tile them naturally.
+constexpr usize kLaneWidth = 1024;
+
+Shape2D lane_shape(usize n) {
+  return {(n + kLaneWidth - 1) / kLaneWidth, kLaneWidth};
+}
+
+}  // namespace
+
+std::span<const float> cndf_coefficients() { return kCoefScaled; }
+
+float cndf_poly(float x) {
+  const float t = std::clamp(x, -kXLimit, kXLimit) / kXLimit;
+  const float t2 = t * t;
+  float acc = 0;
+  float tk = t;  // t^1, then t^3, t^5, ...
+  acc += kCoefScaled[0];
+  for (usize i = 1; i < kPolyColumns; ++i) {
+    acc += kCoefScaled[i] * tk;
+    tk *= t2;
+  }
+  return acc;
+}
+
+Workload make_workload(const Params& p, u64 seed, double range_max) {
+  // The range knob widens the moneyness spread; it is capped so strikes
+  // stay in a regime where option prices are non-degenerate (deep
+  // out-of-the-money prices under float round to zero and relative error
+  // metrics lose meaning).
+  const double spread = range_max > 0 ? std::min(range_max, 3.0) : 1.0;
+  Workload w{Matrix<float>(1, p.options), Matrix<float>(1, p.options),
+             Matrix<float>(1, p.options)};
+  Rng rng(seed);
+  for (usize i = 0; i < p.options; ++i) {
+    w.spot(0, i) = static_cast<float>(rng.uniform(50, 150));
+    // Strikes biased in the money (the AxBench distribution prices mostly
+    // non-vanishing options; deep out-of-the-money prices near zero would
+    // make relative error metrics degenerate).
+    w.strike(0, i) = static_cast<float>(
+        w.spot(0, i) * rng.uniform(0.55, 0.95 + 0.1 * spread));
+    w.time(0, i) = static_cast<float>(rng.uniform(0.1, 2.0));
+  }
+  return w;
+}
+
+Matrix<float> cpu_reference(const Params& p, const Workload& w) {
+  Matrix<float> price(1, p.options);
+  for (usize i = 0; i < p.options; ++i) {
+    const float s = w.spot(0, i);
+    const float k = w.strike(0, i);
+    const float t = w.time(0, i);
+    const float sig = w.volatility;
+    const float d1 = (std::log(s / k) + (w.rate + 0.5f * sig * sig) * t) /
+                     (sig * std::sqrt(t));
+    const float d2 = d1 - sig * std::sqrt(t);
+    price(0, i) = s * cndf_exact(d1) -
+                  k * std::exp(-w.rate * t) * cndf_exact(d2);
+  }
+  return price;
+}
+
+namespace {
+
+/// TPU polynomial CNDF over a lane matrix of clamped, normalized inputs t.
+/// Returns the (functional) CNDF lane matrix.
+Matrix<float> tpu_cndf(Runtime& rt, u64 task, usize n, bool tpu_power_chain,
+                       const Matrix<float>* t_lanes) {
+  const bool functional = rt.config().functional;
+  const Shape2D lanes = lane_shape(n);
+  const auto& tm = rt.pool().timing();
+
+  // Odd powers: either chained pair-wise TPU muls (t^2 once, then
+  // t^(2k+1) = t^(2k-1) * t^2, each power in [-1, 1] in its own buffer) or
+  // a vectorized host loop.
+  std::vector<Matrix<float>> powers;  // t, t^3, t^5, t^7, t^9
+  if (tpu_power_chain) {
+    if (functional) {
+      powers.push_back(*t_lanes);
+      Matrix<float> t2(lanes);
+      ops::tpu_pairwise(rt, task, isa::Opcode::kMul, t_lanes->view(),
+                        t_lanes->view(), t2.view(),
+                        isa::QuantMethod::kMinMax);
+      for (usize k = 1; k < kPolyColumns - 1; ++k) {
+        Matrix<float> next(lanes);
+        ops::tpu_pairwise(rt, task, isa::Opcode::kMul, powers.back().view(),
+                          t2.view(), next.view(), isa::QuantMethod::kMinMax);
+        powers.push_back(std::move(next));
+      }
+    } else {
+      auto virt = [&] {
+        runtime::OperationRequest req;
+        req.task_id = task;
+        req.op = isa::Opcode::kMul;
+        req.quant = isa::QuantMethod::kMinMax;
+        req.in0 = rt.create_virtual_buffer(lanes, {-1, 1});
+        req.in1 = rt.create_virtual_buffer(lanes, {-1, 1});
+        req.out = rt.create_virtual_buffer(lanes, {-1, 1});
+        rt.invoke(req);
+      };
+      for (usize k = 0; k < kPolyColumns - 1; ++k) virt();
+    }
+  } else if (functional) {
+    powers.push_back(*t_lanes);
+    host_step(rt, task,
+              2.0 * (kPolyColumns - 2) * static_cast<double>(n) /
+                  perfmodel::kCpuVectorFlopsPerSec,
+              "bs-powers", [&] {
+                for (usize k = 1; k < kPolyColumns - 1; ++k) {
+                  Matrix<float> next(lanes);
+                  for (usize i = 0; i < lanes.elems(); ++i) {
+                    const float t = t_lanes->span()[i];
+                    next.span()[i] = powers.back().span()[i] * t * t;
+                  }
+                  powers.push_back(std::move(next));
+                }
+              });
+  } else {
+    rt.charge_host(task,
+                   2.0 * (kPolyColumns - 2) * static_cast<double>(n) /
+                       perfmodel::kCpuVectorFlopsPerSec,
+                   "bs-powers");
+  }
+
+  // Host: assemble the n x 6 power matrix [1, t, t^3, ...].
+  Matrix<float> pm;
+  const Seconds assemble =
+      tm.host_reshape_latency(static_cast<usize>(n) * kPolyColumns * 4);
+  if (functional) {
+    pm = Matrix<float>(n, kPolyColumns);
+    host_step(rt, task, assemble, "bs-assemble", [&] {
+      for (usize i = 0; i < n; ++i) {
+        pm(i, 0) = 1.0f;
+        for (usize c = 1; c < kPolyColumns; ++c) {
+          pm(i, c) = powers[c - 1].span()[i];
+        }
+      }
+    });
+  } else {
+    rt.charge_host(task, assemble, "bs-assemble");
+  }
+
+  // TPU: the ninth-degree polynomial as one FullyConnected against the
+  // coefficient vector (§7.2.6). Three precision passes (§10(3)): the O(1)
+  // coefficients and the unit-range power columns both carry int8
+  // quantization residuals that a single pass would forward into the CNDF
+  // at the ~1% level; the residual passes push that below the polynomial's
+  // own fit error.
+  ops::GemmOptions fc_opts;
+  fc_opts.algo = ops::GemmAlgo::kFullyConnected;
+  fc_opts.quant = isa::QuantMethod::kMinMax;
+  fc_opts.precision_passes = 3;
+  Matrix<float> cndf_col;
+  if (functional) {
+    Matrix<float> coef(kPolyColumns, 1);
+    for (usize i = 0; i < kPolyColumns; ++i) coef(i, 0) = kCoefScaled[i];
+    cndf_col = Matrix<float>(n, 1);
+    ops::tpu_gemm(rt, task, pm.view(), coef.view(), cndf_col.view(),
+                  fc_opts);
+  } else {
+    ops::tpu_gemm_timed(rt, task, {n, kPolyColumns}, {kPolyColumns, 1},
+                        {-4, 4}, {-4, 4}, fc_opts);
+  }
+
+  // Back to lane layout.
+  Matrix<float> out(lanes);
+  if (functional) {
+    for (usize i = 0; i < n; ++i) out.span()[i] = cndf_col(i, 0);
+  }
+  return out;
+}
+
+}  // namespace
+
+Matrix<float> run_gptpu(Runtime& rt, const Params& p, const Workload* w) {
+  const bool functional = rt.config().functional;
+  GPTPU_CHECK(functional == (w != nullptr),
+              "workload must be supplied exactly in functional mode");
+  const u64 task = rt.begin_task();
+  const usize n = p.options;
+  const Shape2D lanes = lane_shape(n);
+
+  // Host: d1/d2 (logs, roots -- vectorized host preparation).
+  Matrix<float> t1(lanes);
+  Matrix<float> t2m(lanes);
+  const double prep_flops = 30.0 * static_cast<double>(n);
+  Matrix<float> price(1, n);
+  host_step(rt, task, prep_flops / perfmodel::kCpuVectorFlopsPerSec,
+            "bs-d1d2", [&] {
+              for (usize i = 0; i < n; ++i) {
+                const float s = w->spot(0, i);
+                const float k = w->strike(0, i);
+                const float t = w->time(0, i);
+                const float sig = w->volatility;
+                const float sq = sig * std::sqrt(t);
+                const float d1 =
+                    (std::log(s / k) + (w->rate + 0.5f * sig * sig) * t) / sq;
+                const float d2 = d1 - sq;
+                t1.span()[i] = std::clamp(d1, -kXLimit, kXLimit) / kXLimit;
+                t2m.span()[i] = std::clamp(d2, -kXLimit, kXLimit) / kXLimit;
+              }
+            });
+
+  const Matrix<float> phi1 =
+      tpu_cndf(rt, task, n, p.tpu_power_chain, functional ? &t1 : nullptr);
+  const Matrix<float> phi2 =
+      tpu_cndf(rt, task, n, p.tpu_power_chain, functional ? &t2m : nullptr);
+
+  // Host: final pricing combine.
+  host_step(rt, task, 5.0 * static_cast<double>(n) /
+                          perfmodel::kCpuVectorFlopsPerSec,
+            "bs-price", [&] {
+              for (usize i = 0; i < n; ++i) {
+                const float s = w->spot(0, i);
+                const float k = w->strike(0, i);
+                const float t = w->time(0, i);
+                price(0, i) = s * phi1.span()[i] -
+                              k * std::exp(-w->rate * t) * phi2.span()[i];
+              }
+            });
+  return price;
+}
+
+Accuracy run_accuracy(u64 seed, double range_max) {
+  const Params p = Params::accuracy();
+  const Workload w = make_workload(p, seed, range_max);
+  runtime::Runtime rt{runtime::RuntimeConfig{}};
+  const Matrix<float> got = run_gptpu(rt, p, &w);
+  const Matrix<float> ref = cpu_reference(p, w);
+  return compare(ref.span(), got.span());
+}
+
+TimedResult run_gptpu_timed(usize num_devices) {
+  runtime::RuntimeConfig cfg;
+  cfg.functional = false;
+  cfg.num_devices = num_devices;
+  runtime::Runtime rt{cfg};
+  run_gptpu(rt, Params::paper(), nullptr);
+  return snapshot(rt);
+}
+
+Seconds cpu_time(usize threads) {
+  const Params p = Params::paper();
+  perfmodel::Work w;
+  w.flops = kCpuFlopsPerOption * static_cast<double>(p.options);
+  w.bytes = static_cast<double>(p.options) * 4.0 * 4.0;
+  return perfmodel::cpu_time_parallel(perfmodel::CpuKernelClass::kScalar, w,
+                                      threads);
+}
+
+GpuWork gpu_work() {
+  const Params p = Params::paper();
+  GpuWork g;
+  g.work.flops = kCpuFlopsPerOption * static_cast<double>(p.options);
+  g.work.bytes = static_cast<double>(p.options) * 4.0 * 4.0;
+  g.pcie_bytes = static_cast<double>(p.options) * 4.0 * 4.0;
+  g.kernel_launches = 1;
+  return g;
+}
+
+}  // namespace gptpu::apps::blackscholes

@@ -1,0 +1,65 @@
+// Black-Scholes option pricing (§7.2.6).
+//
+// GPTPU computes the cumulative normal distribution function (CNDF) with a
+// ninth-degree polynomial [75] evaluated through one FullyConnected
+// instruction: the host builds the power matrix [1, x, x^2, ..., x^9] (the
+// powers themselves come from chained TPU mul operations) and multiplies
+// it against the coefficient vector. d1/d2 (logs and square roots) are
+// host-side preparation, vectorized as any production port would compile
+// them.
+//
+// Baseline provenance: AxBench BlackScholes, a scalar option loop ->
+// CpuKernelClass::kScalar.
+#pragma once
+
+#include "apps/app_common.hpp"
+
+namespace gptpu::apps::blackscholes {
+
+struct Params {
+  usize options = 0;
+  /// Compute the odd power columns with chained TPU mul instructions
+  /// instead of on the host. Each chained int8 requantization adds ~0.5%
+  /// error to the CNDF; the default evaluates powers host-side so the
+  /// polynomial input is quantized exactly once (the ablation benchmark
+  /// measures the difference).
+  bool tpu_power_chain = false;
+  /// Table 3 lists 256M options (9 GB); the default paper-scale run models
+  /// 64M so the int8 transfer volume stays within a CI-friendly budget
+  /// while remaining interconnect-bound exactly like the full size.
+  static Params paper() { return {64u << 20}; }
+  static Params accuracy() { return {1u << 14}; }
+};
+
+struct Workload {
+  Matrix<float> spot;      // 1 x n
+  Matrix<float> strike;    // 1 x n
+  Matrix<float> time;      // 1 x n, years
+  float rate = 0.05f;      // risk-free rate
+  float volatility = 0.2f;
+};
+[[nodiscard]] Workload make_workload(const Params& p, u64 seed,
+                                     double range_max);
+
+/// Exact reference (erf-based CNDF); returns call prices (1 x n).
+[[nodiscard]] Matrix<float> cpu_reference(const Params& p, const Workload& w);
+
+/// GPTPU version; null workload = timing-only control flow.
+Matrix<float> run_gptpu(runtime::Runtime& rt, const Params& p,
+                        const Workload* w);
+
+Accuracy run_accuracy(u64 seed, double range_max);
+TimedResult run_gptpu_timed(usize num_devices);
+Seconds cpu_time(usize threads);
+GpuWork gpu_work();
+
+/// The degree-9 polynomial coefficients approximating the standard normal
+/// CDF on [-3, 3] (odd polynomial around 0.5; least-squares fit).
+[[nodiscard]] std::span<const float> cndf_coefficients();
+
+/// Polynomial CNDF in plain float (the approximation itself, without
+/// quantization) -- lets tests separate approximation error from
+/// quantization error.
+[[nodiscard]] float cndf_poly(float x);
+
+}  // namespace gptpu::apps::blackscholes

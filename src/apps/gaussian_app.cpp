@@ -1,0 +1,235 @@
+#include "apps/gaussian_app.hpp"
+
+#include "common/rng.hpp"
+#include "ops/elementwise.hpp"
+#include "ops/tpu_gemm.hpp"
+
+namespace gptpu::apps::gaussian {
+
+using runtime::Runtime;
+
+System make_system(usize n, u64 seed, double range_max) {
+  const double hi = range_max > 0 ? range_max : 4.0;
+  System s{Matrix<float>(n, n), Matrix<float>(1, n)};
+  Rng rng(seed);
+  fill_uniform(s.a, rng, -hi, hi);
+  fill_uniform(s.b, rng, -hi, hi);
+  for (usize i = 0; i < n; ++i) {
+    s.a(i, i) = static_cast<float>(hi * static_cast<double>(n) * 0.51);
+  }
+  return s;
+}
+
+namespace {
+
+/// Host back-substitution on the augmented upper-triangular system.
+Matrix<float> back_substitute(const Matrix<float>& aug) {
+  const usize n = aug.rows();
+  Matrix<float> x(1, n);
+  for (usize ii = n; ii-- > 0;) {
+    float acc = aug(ii, n);
+    for (usize j = ii + 1; j < n; ++j) acc -= aug(ii, j) * x(0, j);
+    x(0, ii) = acc / aug(ii, ii);
+  }
+  return x;
+}
+
+/// Forward-eliminates the augmented matrix exactly (float).
+void eliminate_reference(Matrix<float>& aug) {
+  const usize n = aug.rows();
+  for (usize k = 0; k < n; ++k) {
+    const float pivot = aug(k, k);
+    for (usize i = k + 1; i < n; ++i) {
+      const float f = aug(i, k) / pivot;
+      aug(i, k) = 0.0f;
+      for (usize j = k + 1; j <= n; ++j) aug(i, j) -= f * aug(k, j);
+    }
+  }
+}
+
+Matrix<float> augment(const System& s) {
+  const usize n = s.a.rows();
+  Matrix<float> aug(n, n + 1);
+  for (usize r = 0; r < n; ++r) {
+    for (usize c = 0; c < n; ++c) aug(r, c) = s.a(r, c);
+    aug(r, n) = s.b(0, r);
+  }
+  return aug;
+}
+
+/// Panel elimination on the host: multipliers stored below the diagonal of
+/// the panel columns, panel rows updated across the full augmented width.
+void eliminate_panel(MatrixView<float> aug, usize k0, usize b) {
+  const usize n_aug = aug.cols();
+  for (usize k = k0; k < k0 + b; ++k) {
+    const float pivot = aug(k, k);
+    for (usize i = k + 1; i < k0 + b; ++i) {
+      const float f = aug(i, k) / pivot;
+      aug(i, k) = f;
+      for (usize j = k + 1; j < n_aug; ++j) aug(i, j) -= f * aug(k, j);
+    }
+  }
+}
+
+}  // namespace
+
+Matrix<float> cpu_reference(const Params& p, System s) {
+  (void)p;
+  Matrix<float> aug = augment(s);
+  eliminate_reference(aug);
+  return back_substitute(aug);
+}
+
+Matrix<float> run_gptpu(Runtime& rt, const Params& p, const System* s) {
+  const bool functional = rt.config().functional;
+  GPTPU_CHECK(functional == (s != nullptr),
+              "system must be supplied exactly in functional mode");
+  const usize n = p.n;
+  const u64 task = rt.begin_task();
+  const double scalar = perfmodel::kCpuScalarFlopsPerSec;
+  const double vector = perfmodel::kCpuVectorFlopsPerSec;
+
+  Matrix<float> aug;
+  if (functional) aug = augment(*s);
+
+  if (p.mode == Mode::kRowMul) {
+    GPTPU_CHECK(functional, "kRowMul mode is functional-only");
+    // The literal §7.2.4 lowering: one mul + one sub over the trailing
+    // rows per pivot, operands broadcast on the host.
+    for (usize k = 0; k < n - 1; ++k) {
+      const usize trail_rows = n - k - 1;
+      const usize width = n - k;  // columns k+1..n (incl. rhs)
+      Matrix<float> factors(trail_rows, width);
+      Matrix<float> pivot_row(trail_rows, width);
+      const float pivot = aug(k, k);
+      for (usize r = 0; r < trail_rows; ++r) {
+        const float f = aug(k + 1 + r, k) / pivot;
+        for (usize c = 0; c < width; ++c) {
+          factors(r, c) = f;
+          pivot_row(r, c) = aug(k, k + 1 + c);
+        }
+      }
+      rt.charge_host(task, 2.0 * trail_rows * width / vector,
+                     "gaussian-broadcast");
+      Matrix<float> prod(trail_rows, width);
+      ops::tpu_pairwise(rt, task, isa::Opcode::kMul, factors.view(),
+                        pivot_row.view(), prod.view());
+      // sub against the trailing block, written back in place.
+      Matrix<float> trail(trail_rows, width);
+      copy<float, float>(
+          MatrixView<const float>(aug.sub(k + 1, k + 1, {trail_rows, width})),
+          trail.view());
+      Matrix<float> updated(trail_rows, width);
+      ops::tpu_pairwise(rt, task, isa::Opcode::kSub, trail.view(),
+                        prod.view(), updated.view());
+      copy<float, float>(updated.view(),
+                         aug.sub(k + 1, k + 1, {trail_rows, width}));
+      for (usize r = k + 1; r < n; ++r) aug(r, k) = 0.0f;
+    }
+    return back_substitute(aug);
+  }
+
+  // Blocked mode: host panels, TPU trailing GEMM per panel.
+  const usize bs = p.block;
+  for (usize k0 = 0; k0 < n; k0 += bs) {
+    const usize b = std::min(bs, n - k0);
+    const usize trail = n - k0 - b;
+    // In-block elimination is scalar work; the wide row updates of the
+    // panel rows stream and vectorize.
+    host_step(rt, task,
+              2.0 / 3.0 * b * b * b / scalar +
+                  static_cast<double>(b) * b * (trail + 1) / vector,
+              "gaussian-panel", [&] {
+                eliminate_panel(aug.view(), k0, b);
+              });
+    if (trail == 0) break;
+
+    // Multipliers L21 = A21 * U11^-1 on the host (the narrow panel), then
+    // trailing update A22 -= L21 x U12 on the TPU.
+    const usize width = trail + 1;  // trailing columns plus the rhs
+    if (functional) {
+      Matrix<float> l21(trail, b);
+      {
+        auto a21 = aug.sub(k0 + b, k0, {trail, b});
+        for (usize i = 0; i < trail; ++i) {
+          for (usize j = 0; j < b; ++j) {
+            float acc = a21(i, j);
+            for (usize k = 0; k < j; ++k) {
+              acc -= l21(i, k) * aug(k0 + k, k0 + j);
+            }
+            l21(i, j) = acc / aug(k0 + j, k0 + j);
+            a21(i, j) = 0.0f;
+          }
+        }
+      }
+      rt.charge_host(task, static_cast<double>(trail) * b * b / vector,
+                     "gaussian-multipliers");
+      Matrix<float> u12(b, width);
+      copy<float, float>(
+          MatrixView<const float>(aug.sub(k0, k0 + b, {b, width})),
+          u12.view());
+      Matrix<float> prod(trail, width);
+      ops::tpu_gemm(rt, task, l21.view(), u12.view(), prod.view());
+      host_step(rt, task, static_cast<double>(trail) * width / vector,
+                "gaussian-subtract", [&] {
+                  auto a22 = aug.sub(k0 + b, k0 + b, {trail, width});
+                  for (usize r = 0; r < trail; ++r) {
+                    for (usize c = 0; c < width; ++c) {
+                      a22(r, c) -= prod(r, c);
+                    }
+                  }
+                });
+    } else {
+      rt.charge_host(task, static_cast<double>(trail) * b * b / vector,
+                     "gaussian-multipliers");
+      ops::tpu_gemm_timed(rt, task, {trail, b}, {b, width}, {-10, 10},
+                          {-10, 10});
+      rt.charge_host(task, static_cast<double>(trail) * width / vector,
+                     "gaussian-subtract");
+    }
+  }
+  if (!functional) return {};
+  return back_substitute(aug);
+}
+
+Accuracy run_accuracy(u64 seed, double range_max) {
+  const Params p = Params::accuracy();
+  const System s = make_system(p.n, seed, range_max);
+  runtime::Runtime rt{runtime::RuntimeConfig{}};
+  const Matrix<float> got = run_gptpu(rt, p, &s);
+  const Matrix<float> ref = cpu_reference(p, s);
+  return compare(ref.span(), got.span());
+}
+
+TimedResult run_gptpu_timed(usize num_devices) {
+  runtime::RuntimeConfig cfg;
+  cfg.functional = false;
+  cfg.num_devices = num_devices;
+  runtime::Runtime rt{cfg};
+  run_gptpu(rt, Params::paper(), nullptr);
+  return snapshot(rt);
+}
+
+Seconds cpu_time(usize threads) {
+  const Params p = Params::paper();
+  const double n = static_cast<double>(p.n);
+  perfmodel::Work w;
+  w.flops = 2.0 / 3.0 * n * n * n;
+  w.bytes = n * n * 4.0 * n / 64.0;
+  return perfmodel::cpu_time_parallel(perfmodel::CpuKernelClass::kVector, w,
+                                      threads);
+}
+
+GpuWork gpu_work() {
+  const Params p = Params::paper();
+  const double n = static_cast<double>(p.n);
+  GpuWork g;
+  g.work.flops = 2.0 / 3.0 * n * n * n;
+  g.work.bytes = n * n * 4.0 * 8.0;
+  g.pcie_bytes = n * n * 4.0 * 2.0;
+  g.kernel_launches = 2 * p.n;  // Rodinia launches two kernels per pivot
+  g.reduced_precision = true;   // 16-bit ALUs enabled (§9.4)
+  return g;
+}
+
+}  // namespace gptpu::apps::gaussian

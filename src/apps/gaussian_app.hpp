@@ -1,0 +1,51 @@
+// Gaussian elimination (§7.2.4): reduces A (and right-hand side b) to an
+// upper-triangular system.
+//
+// Two GPTPU modes:
+//  * kRowMul -- the paper's literal description ("GPTPU uses mul to
+//    perform each row reduction"): per pivot, the trailing rows are
+//    updated with a pair-wise mul of broadcast matrices followed by a sub.
+//    Faithful but interconnect-bound at scale; kept for small runs and the
+//    ablation benchmark.
+//  * kBlocked (default) -- panels of `block` pivots are eliminated on the
+//    host and the trailing update runs as one TPU GEMM per panel, the
+//    batched equivalent a production port uses.
+//
+// Baseline provenance: Rodinia gaussian; its regular row loops
+// auto-vectorize -> CpuKernelClass::kVector.
+#pragma once
+
+#include "apps/app_common.hpp"
+
+namespace gptpu::apps::gaussian {
+
+enum class Mode : u8 { kBlocked, kRowMul };
+
+struct Params {
+  usize n = 0;
+  usize block = 128;
+  Mode mode = Mode::kBlocked;
+  static Params paper() { return {4096, 128, Mode::kBlocked}; }
+  static Params accuracy() { return {160, 40, Mode::kBlocked}; }
+};
+
+/// Diagonally-dominant system A x = b.
+struct System {
+  Matrix<float> a;
+  Matrix<float> b;  // 1 x n
+};
+[[nodiscard]] System make_system(usize n, u64 seed, double range_max);
+
+/// Float reference: returns the solution vector x (back-substituted).
+[[nodiscard]] Matrix<float> cpu_reference(const Params& p, System s);
+
+/// GPTPU elimination + host back-substitution; null system = timing-only.
+Matrix<float> run_gptpu(runtime::Runtime& rt, const Params& p,
+                        const System* s);
+
+Accuracy run_accuracy(u64 seed, double range_max);
+TimedResult run_gptpu_timed(usize num_devices);
+Seconds cpu_time(usize threads);
+GpuWork gpu_work();
+
+}  // namespace gptpu::apps::gaussian

@@ -1,0 +1,109 @@
+#include "apps/gemm_app.hpp"
+
+#include "common/rng.hpp"
+#include "ops/tpu_gemm.hpp"
+
+namespace gptpu::apps::gemm {
+
+Matrix<float> cpu_reference(const Matrix<float>& a, const Matrix<float>& b) {
+  GPTPU_CHECK(a.cols() == b.rows(), "gemm: inner mismatch");
+  Matrix<float> c(a.rows(), b.cols());
+  // Straightforward ikj loop: exact in float, fast enough at accuracy
+  // sizes. (Wall-clock of baselines is modelled, not measured.)
+  for (usize i = 0; i < a.rows(); ++i) {
+    for (usize k = 0; k < a.cols(); ++k) {
+      const float aik = a(i, k);
+      for (usize j = 0; j < b.cols(); ++j) c(i, j) += aik * b(k, j);
+    }
+  }
+  return c;
+}
+
+Accuracy run_accuracy(u64 seed, double range_max) {
+  const Params p = Params::accuracy();
+  const double hi = range_max > 0 ? range_max : 8.0;
+  const double lo = range_max > 0 ? -range_max : 0.0;
+  Rng rng(seed);
+  Matrix<float> a(p.m, p.n);
+  Matrix<float> b(p.n, p.k);
+  fill_uniform(a, rng, lo, hi);
+  fill_uniform(b, rng, lo, hi);
+
+  runtime::Runtime rt{runtime::RuntimeConfig{}};
+  Matrix<float> c(p.m, p.k);
+  ops::tpu_gemm(rt, rt.begin_task(), a.view(), b.view(), c.view());
+
+  const Matrix<float> ref = cpu_reference(a, b);
+  return compare(ref.span(), c.span());
+}
+
+TimedResult run_gptpu_timed(usize num_devices) {
+  const Params p = Params::paper();
+  runtime::RuntimeConfig cfg;
+  cfg.functional = false;
+  cfg.num_devices = num_devices;
+  runtime::Runtime rt{cfg};
+  ops::tpu_gemm_timed(rt, rt.begin_task(), {p.m, p.n}, {p.n, p.k}, {0, 8},
+                      {0, 8});
+  return snapshot(rt);
+}
+
+Seconds cpu_time(usize threads) {
+  const Params p = Params::paper();
+  perfmodel::Work w;
+  w.flops = 2.0 * static_cast<double>(p.m) * p.n * p.k;
+  // Blocked BLAS touches each operand roughly once per cache-resident tile.
+  w.bytes = 4.0 * (static_cast<double>(p.m) * p.n +
+                   static_cast<double>(p.n) * p.k +
+                   static_cast<double>(p.m) * p.k);
+  return perfmodel::cpu_time_parallel(perfmodel::CpuKernelClass::kBlas, w,
+                                      threads);
+}
+
+void fbgemm_like_gemm(const Matrix<float>& a, const Matrix<float>& b,
+                      Matrix<float>& c) {
+  GPTPU_CHECK(a.cols() == b.rows() && c.rows() == a.rows() &&
+                  c.cols() == b.cols(),
+              "fbgemm: shape mismatch");
+  auto quantize_int8 = [](float v) {
+    return static_cast<i32>(
+        std::clamp(std::round(v), -128.0f, 127.0f));
+  };
+  Matrix<i32> qa(a.shape());
+  Matrix<i32> qb(b.shape());
+  for (usize i = 0; i < a.elems(); ++i) qa.span()[i] = quantize_int8(a.span()[i]);
+  for (usize i = 0; i < b.elems(); ++i) qb.span()[i] = quantize_int8(b.span()[i]);
+  for (usize i = 0; i < a.rows(); ++i) {
+    for (usize j = 0; j < b.cols(); ++j) {
+      i64 acc = 0;
+      for (usize k = 0; k < a.cols(); ++k) acc += qa(i, k) * qb(k, j);
+      // The fixed requantization stage: saturate to the ceiling.
+      const double clipped =
+          std::clamp(static_cast<double>(acc), -kFbgemmOutputCeiling,
+                     kFbgemmOutputCeiling);
+      c(i, j) = static_cast<float>(clipped);
+    }
+  }
+}
+
+Seconds fbgemm_cpu_time(usize m, usize n, usize k) {
+  perfmodel::Work w;
+  w.flops = 2.0 * static_cast<double>(m) * n * k;
+  w.bytes = (static_cast<double>(m) * n + static_cast<double>(n) * k +
+             static_cast<double>(m) * k) *
+            1.0;  // int8 operands
+  return perfmodel::cpu_time(perfmodel::CpuKernelClass::kInt8Gemm, w);
+}
+
+GpuWork gpu_work() {
+  const Params p = Params::paper();
+  GpuWork g;
+  g.work.flops = 2.0 * static_cast<double>(p.m) * p.n * p.k;
+  g.work.bytes = 4.0 * 3.0 * static_cast<double>(p.m) * p.n;
+  g.pcie_bytes = 4.0 * 3.0 * static_cast<double>(p.m) * p.n;
+  g.kernel_launches = 1;
+  g.reduced_precision = true;  // Tensor Cores in 8-bit mode (§9.4)
+  return g;
+}
+
+}  // namespace gptpu::apps::gemm

@@ -1,0 +1,50 @@
+// GEMM as an application (§7.1, Table 3: 2 x 16K x 16K inputs).
+//
+// Baseline provenance: OpenBLAS sgemm (tuned BLAS) -> CpuKernelClass::kBlas.
+#pragma once
+
+#include "apps/app_common.hpp"
+
+namespace gptpu::apps::gemm {
+
+struct Params {
+  usize m = 0, n = 0, k = 0;
+  /// Table 3's paper-scale input: two 16K x 16K matrices.
+  static Params paper() { return {16384, 16384, 16384}; }
+  /// Size for functional accuracy runs.
+  static Params accuracy() { return {192, 192, 192}; }
+};
+
+/// Exact float reference (the CPU baseline's numerics).
+[[nodiscard]] Matrix<float> cpu_reference(const Matrix<float>& a,
+                                          const Matrix<float>& b);
+
+Accuracy run_accuracy(u64 seed, double range_max);
+TimedResult run_gptpu_timed(usize num_devices);
+Seconds cpu_time(usize threads);
+GpuWork gpu_work();
+
+// --- FBGEMM-class 8-bit CPU baseline (Table 5) -------------------------------
+//
+// Emulates a server-side int8 GEMM tuned for error-tolerant ML inference:
+// inputs quantize to int8 (saturating), products accumulate in int32, and
+// the accumulators funnel through the library's fixed post-GEMM
+// requantization stage. That stage assumes NN-scale activations: it
+// downshifts by a fixed amount and stores through a saturating narrow
+// conversion, giving an effective output ceiling of +/-2^18. "FB's GEMM
+// targets error-tolerant ML applications but does not handle overflow
+// cases" (§9.2) -- outputs beyond the ceiling clip, which is why Table 5's
+// FBGEMM RMSE collapses once matrix entries exceed 16 (1024-length dot
+// products then exceed 2^18) while GPTPU's stays below 1%.
+
+/// Output ceiling of the emulated requantization stage.
+inline constexpr double kFbgemmOutputCeiling = 1 << 18;
+
+/// C = A x B through the int8 pipeline described above.
+void fbgemm_like_gemm(const Matrix<float>& a, const Matrix<float>& b,
+                      Matrix<float>& c);
+
+/// Modelled single-core time of the FBGEMM baseline (AVX2 int8 GEMM).
+[[nodiscard]] Seconds fbgemm_cpu_time(usize m, usize n, usize k);
+
+}  // namespace gptpu::apps::gemm

@@ -1,0 +1,246 @@
+#include "apps/hotspot_app.hpp"
+
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "ops/elementwise.hpp"
+
+namespace gptpu::apps::hotspot {
+
+using runtime::Runtime;
+
+namespace {
+// Discretization constants (relative-to-ambient temperatures, zero outside
+// the die). The 3x3 kernel sums with the vertical coupling to < 1, so the
+// iteration is stable.
+constexpr float kCc = 0.40f;    // center
+constexpr float kCn = 0.11f;    // N/S/E/W
+constexpr float kCd = 0.0275f;  // diagonals
+constexpr float kCz = 0.02f;    // vertical neighbours
+constexpr float kKp = 0.10f;    // power coupling
+
+float at(const Matrix<float>& m, i64 r, i64 c) {
+  if (r < 0 || c < 0 || r >= static_cast<i64>(m.rows()) ||
+      c >= static_cast<i64>(m.cols())) {
+    return 0.0f;
+  }
+  return m(static_cast<usize>(r), static_cast<usize>(c));
+}
+}  // namespace
+
+Workload make_workload(const Params& p, u64 seed, double range_max) {
+  const double hi = range_max > 0 ? range_max : 60.0;  // K above ambient
+  Workload w;
+  Rng rng(seed);
+  for (usize z = 0; z < p.layers; ++z) {
+    Matrix<float> t(p.grid, p.grid);
+    Matrix<float> pw(p.grid, p.grid);
+    fill_uniform(t, rng, 0, hi);
+    fill_uniform(pw, rng, 0, hi * 0.2);
+    w.temperature.push_back(std::move(t));
+    w.power.push_back(std::move(pw));
+  }
+  return w;
+}
+
+std::vector<Matrix<float>> cpu_reference(const Params& p, const Workload& w) {
+  std::vector<Matrix<float>> cur = w.temperature;
+  std::vector<Matrix<float>> next(p.layers, Matrix<float>(p.grid, p.grid));
+  for (usize it = 0; it < p.iterations; ++it) {
+    for (usize z = 0; z < p.layers; ++z) {
+      const Matrix<float>& up = cur[z == 0 ? 0 : z - 1];
+      const Matrix<float>& dn = cur[z + 1 == p.layers ? z : z + 1];
+      const Matrix<float>& t = cur[z];
+      Matrix<float>& o = next[z];
+      for (usize r = 0; r < p.grid; ++r) {
+        for (usize c = 0; c < p.grid; ++c) {
+          const i64 ri = static_cast<i64>(r);
+          const i64 ci = static_cast<i64>(c);
+          // The operator-split form: the 3x3 stencil applies to
+          // X = T + (cz/cc) * (up + dn - 2 T), matching run_gptpu.
+          auto x = [&](i64 rr, i64 cc2) {
+            const float tv = at(t, rr, cc2);
+            return tv + (kCz / kCc) *
+                            (at(up, rr, cc2) + at(dn, rr, cc2) - 2.0f * tv);
+          };
+          float acc = kCc * x(ri, ci);
+          acc += kCn * (x(ri - 1, ci) + x(ri + 1, ci) + x(ri, ci - 1) +
+                        x(ri, ci + 1));
+          acc += kCd * (x(ri - 1, ci - 1) + x(ri - 1, ci + 1) +
+                        x(ri + 1, ci - 1) + x(ri + 1, ci + 1));
+          o(r, c) = acc + kKp * w.power[z](r, c);
+        }
+      }
+    }
+    std::swap(cur, next);
+  }
+  return cur;
+}
+
+std::vector<Matrix<float>> cpu_reference_parallel(const Params& p,
+                                                  const Workload& w,
+                                                  usize threads) {
+  ThreadPool pool(threads);
+  std::vector<Matrix<float>> cur = w.temperature;
+  std::vector<Matrix<float>> next(p.layers, Matrix<float>(p.grid, p.grid));
+  for (usize it = 0; it < p.iterations; ++it) {
+    for (usize z = 0; z < p.layers; ++z) {
+      const Matrix<float>& up = cur[z == 0 ? 0 : z - 1];
+      const Matrix<float>& dn = cur[z + 1 == p.layers ? z : z + 1];
+      const Matrix<float>& t = cur[z];
+      Matrix<float>& o = next[z];
+      ThreadPool::parallel_for(pool, p.grid, [&](usize r) {
+        for (usize c = 0; c < p.grid; ++c) {
+          const i64 ri = static_cast<i64>(r);
+          const i64 ci = static_cast<i64>(c);
+          auto x = [&](i64 rr, i64 cc2) {
+            const float tv = at(t, rr, cc2);
+            return tv + (kCz / kCc) *
+                            (at(up, rr, cc2) + at(dn, rr, cc2) - 2.0f * tv);
+          };
+          float acc = kCc * x(ri, ci);
+          acc += kCn * (x(ri - 1, ci) + x(ri + 1, ci) + x(ri, ci - 1) +
+                        x(ri, ci + 1));
+          acc += kCd * (x(ri - 1, ci - 1) + x(ri - 1, ci + 1) +
+                        x(ri + 1, ci - 1) + x(ri + 1, ci + 1));
+          o(r, c) = acc + kKp * w.power[z](r, c);
+        }
+      });
+    }
+    std::swap(cur, next);
+  }
+  return cur;
+}
+
+std::vector<Matrix<float>> run_gptpu(Runtime& rt, const Params& p,
+                                     const Workload* w) {
+  const bool functional = rt.config().functional;
+  GPTPU_CHECK(functional == (w != nullptr),
+              "workload must be supplied exactly in functional mode");
+  const u64 task = rt.begin_task();
+  const usize g = p.grid;
+  const auto& tm = rt.pool().timing();
+
+  // The fixed 3x3 kernel.
+  Matrix<float> kernel(3, 3);
+  kernel(0, 0) = kernel(0, 2) = kernel(2, 0) = kernel(2, 2) = kCd;
+  kernel(0, 1) = kernel(1, 0) = kernel(1, 2) = kernel(2, 1) = kCn;
+  kernel(1, 1) = kCc;
+
+  std::vector<Matrix<float>> cur;
+  std::vector<Matrix<float>> next;
+  Matrix<float> padded(g + 2, g + 2);
+  Matrix<float> conv_out(g, g);
+  if (functional) {
+    cur = w->temperature;
+    next.assign(p.layers, Matrix<float>(g, g));
+  }
+
+  const double pad_cost =
+      tm.host_reshape_latency((g + 2) * (g + 2) * sizeof(float));
+  const double combine_cost =
+      static_cast<double>(g) * g * 8.0 / perfmodel::kCpuVectorFlopsPerSec;
+
+  for (usize it = 0; it < p.iterations; ++it) {
+    for (usize z = 0; z < p.layers; ++z) {
+      // Host: build the operator-split, zero-padded conv input X.
+      host_step(rt, task, pad_cost, "hotspot-pad", [&] {
+        const Matrix<float>& up = cur[z == 0 ? 0 : z - 1];
+        const Matrix<float>& dn = cur[z + 1 == p.layers ? z : z + 1];
+        const Matrix<float>& t = cur[z];
+        for (auto& v : padded.span()) v = 0.0f;
+        for (usize r = 0; r < g; ++r) {
+          for (usize c = 0; c < g; ++c) {
+            const float tv = t(r, c);
+            padded(r + 1, c + 1) =
+                tv + (kCz / kCc) * (up(r, c) + dn(r, c) - 2.0f * tv);
+          }
+        }
+      });
+
+      // TPU: the in-plane stencil, one conv2D per layer (§7.2.2). The
+      // output grid is requantized int8 (reading 32-bit accumulators back
+      // would quadruple HotSpot3D's already dominant transfer volume);
+      // sampled output scaling keeps the quantization step ~1% of the
+      // temperature range.
+      if (functional) {
+        ops::tpu_conv2d(rt, task, padded.view(), kernel.view(),
+                        conv_out.view(), {1, 1}, isa::QuantMethod::kMinMax,
+                        /*exact=*/false);
+      } else {
+        auto* bin = rt.create_virtual_buffer({g + 2, g + 2}, {0, 100});
+        auto* bk = rt.create_virtual_buffer({3, 3}, {0, 1});
+        auto* bout = rt.create_virtual_buffer({g, g}, {0, 100});
+        runtime::OperationRequest req;
+        req.task_id = task;
+        req.op = isa::Opcode::kConv2D;
+        req.quant = isa::QuantMethod::kMinMax;
+        req.exact_arithmetic = false;
+        req.in0 = bin;
+        req.in1 = bk;
+        req.out = bout;
+        rt.invoke(req);
+      }
+
+      // Host: add the power term.
+      host_step(rt, task, combine_cost, "hotspot-power", [&] {
+        for (usize r = 0; r < g; ++r) {
+          for (usize c = 0; c < g; ++c) {
+            next[z](r, c) = conv_out(r, c) + kKp * w->power[z](r, c);
+          }
+        }
+      });
+    }
+    if (functional) std::swap(cur, next);
+  }
+  return cur;
+}
+
+Accuracy run_accuracy(u64 seed, double range_max) {
+  const Params p = Params::accuracy();
+  const Workload w = make_workload(p, seed, range_max);
+  runtime::Runtime rt{runtime::RuntimeConfig{}};
+  const auto got = run_gptpu(rt, p, &w);
+  const auto ref = cpu_reference(p, w);
+  Accuracy total{};
+  for (usize z = 0; z < p.layers; ++z) {
+    const Accuracy a = compare(ref[z].span(), got[z].span());
+    total.mape += a.mape / static_cast<double>(p.layers);
+    total.rmse += a.rmse / static_cast<double>(p.layers);
+  }
+  return total;
+}
+
+TimedResult run_gptpu_timed(usize num_devices) {
+  runtime::RuntimeConfig cfg;
+  cfg.functional = false;
+  cfg.num_devices = num_devices;
+  runtime::Runtime rt{cfg};
+  run_gptpu(rt, Params::paper(), nullptr);
+  return snapshot(rt);
+}
+
+Seconds cpu_time(usize threads) {
+  const Params p = Params::paper();
+  const double points = static_cast<double>(p.grid) * p.grid * p.layers *
+                        p.iterations;
+  perfmodel::Work w;
+  w.flops = points * kCpuFlopsPerPoint;
+  w.bytes = points * 4.0 * 4.0;  // read 3 layers (cached) + write
+  return perfmodel::cpu_time_parallel(perfmodel::CpuKernelClass::kScalar, w,
+                                      threads);
+}
+
+GpuWork gpu_work() {
+  const Params p = Params::paper();
+  const double points =
+      static_cast<double>(p.grid) * p.grid * p.layers * p.iterations;
+  GpuWork g;
+  g.work.flops = points * kCpuFlopsPerPoint;
+  g.work.bytes = points * 4.0 * 2.0;
+  g.pcie_bytes = static_cast<double>(p.grid) * p.grid * p.layers * 4.0 * 2.0;
+  g.kernel_launches = p.layers * p.iterations;
+  g.reduced_precision = true;  // 16-bit ALUs enabled (§9.4)
+  return g;
+}
+
+}  // namespace gptpu::apps::hotspot

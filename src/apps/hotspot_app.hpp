@@ -1,0 +1,65 @@
+// HotSpot3D (§7.2.2): thermal simulation of a 3D-stacked chip. Each layer
+// is a 2-D grid updated by a weighted average of its 8 in-plane neighbours
+// (one conv2D with a 3x3 kernel, no striding) plus vertical coupling and
+// the layer's power dissipation.
+//
+// Model note: the in-plane stencil runs on the TPU as the paper describes;
+// the vertical coupling term is folded into the conv input on the host
+// (X[z] = T[z] + (cz/cc) * (T[z-1] + T[z+1] - 2 T[z])), an operator
+// splitting that keeps one conv2D per layer per step -- without it every
+// step would add three transfer-bound pairwise operations per layer and
+// the data movement (which the paper already names as HotSpot3D's
+// bottleneck) would triple. CPU baseline and GPTPU version compute the
+// same discretization.
+//
+// Baseline provenance: Rodinia hotspot3D, plain scalar C loops ->
+// CpuKernelClass::kScalar.
+#pragma once
+
+#include "apps/app_common.hpp"
+
+namespace gptpu::apps::hotspot {
+
+struct Params {
+  usize grid = 0;    // grid edge per layer
+  usize layers = 8;  // Table 3: 8 x 8K x 8K
+  usize iterations = 4;
+  static Params paper() { return {8192, 8, 4}; }
+  static Params accuracy() { return {96, 4, 4}; }
+};
+
+struct Workload {
+  std::vector<Matrix<float>> temperature;  // one grid per layer
+  std::vector<Matrix<float>> power;
+};
+
+[[nodiscard]] Workload make_workload(const Params& p, u64 seed,
+                                     double range_max);
+
+/// CPU reference: full pass over the discretization, scalar loops.
+[[nodiscard]] std::vector<Matrix<float>> cpu_reference(const Params& p,
+                                                       const Workload& w);
+
+/// The OpenMP-style multicore baseline (§9.3): the same discretization
+/// with rows statically partitioned across `threads` workers. Must equal
+/// cpu_reference bit-for-bit (each point's update reads only the previous
+/// iteration's state).
+[[nodiscard]] std::vector<Matrix<float>> cpu_reference_parallel(
+    const Params& p, const Workload& w, usize threads);
+
+/// GPTPU version; null workload = timing-only control flow.
+std::vector<Matrix<float>> run_gptpu(runtime::Runtime& rt, const Params& p,
+                                     const Workload* w);
+
+Accuracy run_accuracy(u64 seed, double range_max);
+TimedResult run_gptpu_timed(usize num_devices);
+Seconds cpu_time(usize threads);
+GpuWork gpu_work();
+
+/// Flops per grid point of the direct 3-D stencil a Rodinia-style scalar
+/// baseline performs (11 products + 10 adds); drives the CPU cost model.
+/// (cpu_reference evaluates the equivalent operator-split form so its
+/// numerics match run_gptpu exactly.)
+inline constexpr double kCpuFlopsPerPoint = 21.0;
+
+}  // namespace gptpu::apps::hotspot

@@ -1,0 +1,174 @@
+#include "apps/lud_app.hpp"
+
+#include "common/rng.hpp"
+#include "ops/tpu_gemm.hpp"
+
+namespace gptpu::apps::lud {
+
+using runtime::Runtime;
+
+Matrix<float> make_input(usize n, u64 seed, double range_max) {
+  const double hi = range_max > 0 ? range_max : 4.0;
+  Matrix<float> a(n, n);
+  Rng rng(seed);
+  fill_uniform(a, rng, -hi, hi);
+  // Diagonal dominance keeps the factorization stable without pivoting.
+  for (usize i = 0; i < n; ++i) {
+    a(i, i) = static_cast<float>(hi * static_cast<double>(n) * 0.51);
+  }
+  return a;
+}
+
+namespace {
+
+/// Factors the diagonal block in place (unit-lower / upper, no pivoting).
+void factor_block(MatrixView<float> d) {
+  const usize b = d.rows();
+  for (usize k = 0; k < b; ++k) {
+    const float pivot = d(k, k);
+    GPTPU_CHECK(pivot != 0.0f, "lud: zero pivot");
+    for (usize i = k + 1; i < b; ++i) {
+      const float f = d(i, k) / pivot;
+      d(i, k) = f;
+      for (usize j = k + 1; j < b; ++j) d(i, j) -= f * d(k, j);
+    }
+  }
+}
+
+/// L21 <- A21 * U11^-1 (right triangular solve against the upper factor).
+void solve_right(MatrixView<const float> u11, MatrixView<float> a21) {
+  const usize b = u11.rows();
+  for (usize i = 0; i < a21.rows(); ++i) {
+    for (usize j = 0; j < b; ++j) {
+      float acc = a21(i, j);
+      for (usize k = 0; k < j; ++k) acc -= a21(i, k) * u11(k, j);
+      a21(i, j) = acc / u11(j, j);
+    }
+  }
+}
+
+/// U12 <- L11^-1 * A12 (left solve against the unit-lower factor).
+void solve_left(MatrixView<const float> l11, MatrixView<float> a12) {
+  const usize b = l11.rows();
+  for (usize j = 0; j < a12.cols(); ++j) {
+    for (usize i = 0; i < b; ++i) {
+      float acc = a12(i, j);
+      for (usize k = 0; k < i; ++k) acc -= l11(i, k) * a12(k, j);
+      a12(i, j) = acc;  // unit diagonal
+    }
+  }
+}
+
+}  // namespace
+
+Matrix<float> cpu_reference(const Params& p, Matrix<float> a) {
+  // Unblocked reference (identical mathematics, exact float).
+  factor_block(a.view());
+  (void)p;
+  return a;
+}
+
+Matrix<float> run_gptpu(Runtime& rt, const Params& p,
+                        const Matrix<float>* input) {
+  const bool functional = rt.config().functional;
+  GPTPU_CHECK(functional == (input != nullptr),
+              "input must be supplied exactly in functional mode");
+  const usize n = p.n;
+  const usize bs = p.block;
+  const u64 task = rt.begin_task();
+
+  Matrix<float> a;
+  if (functional) a = *input;
+
+  const double scalar = perfmodel::kCpuScalarFlopsPerSec;
+  // The triangular solves stream along the trailing dimension and
+  // auto-vectorize; the small diagonal factor does not.
+  const double vector = perfmodel::kCpuVectorFlopsPerSec;
+
+  for (usize k0 = 0; k0 < n; k0 += bs) {
+    const usize b = std::min(bs, n - k0);
+    const usize trail = n - k0 - b;
+
+    host_step(rt, task, 2.0 / 3.0 * b * b * b / scalar, "lud-diag", [&] {
+      factor_block(a.sub(k0, k0, {b, b}));
+    });
+    if (trail == 0) break;
+
+    host_step(rt, task, static_cast<double>(b) * b * trail / vector,
+              "lud-l21", [&] {
+                solve_right(a.sub(k0, k0, {b, b}),
+                            a.sub(k0 + b, k0, {trail, b}));
+              });
+    host_step(rt, task, static_cast<double>(b) * b * trail / vector,
+              "lud-u12", [&] {
+                solve_left(a.sub(k0, k0, {b, b}),
+                           a.sub(k0, k0 + b, {b, trail}));
+              });
+
+    // Trailing update A22 -= L21 x U12 on the TPU (the O(N^3) bulk).
+    if (functional) {
+      Matrix<float> l21(trail, b);
+      Matrix<float> u12(b, trail);
+      copy<float, float>(a.sub(k0 + b, k0, {trail, b}), l21.view());
+      copy<float, float>(a.sub(k0, k0 + b, {b, trail}), u12.view());
+      Matrix<float> prod(trail, trail);
+      ops::tpu_gemm(rt, task, l21.view(), u12.view(), prod.view());
+      host_step(rt, task, static_cast<double>(trail) * trail / vector,
+                "lud-subtract", [&] {
+                  auto a22 = a.sub(k0 + b, k0 + b, {trail, trail});
+                  for (usize r = 0; r < trail; ++r) {
+                    for (usize c = 0; c < trail; ++c) {
+                      a22(r, c) -= prod(r, c);
+                    }
+                  }
+                });
+    } else {
+      ops::tpu_gemm_timed(rt, task, {trail, b}, {b, trail}, {-10, 10},
+                          {-10, 10});
+      rt.charge_host(task, static_cast<double>(trail) * trail / vector,
+                     "lud-subtract");
+    }
+  }
+  return a;
+}
+
+Accuracy run_accuracy(u64 seed, double range_max) {
+  const Params p = Params::accuracy();
+  const Matrix<float> input = make_input(p.n, seed, range_max);
+  runtime::Runtime rt{runtime::RuntimeConfig{}};
+  const Matrix<float> got = run_gptpu(rt, p, &input);
+  const Matrix<float> ref = cpu_reference(p, input);
+  return compare(ref.span(), got.span());
+}
+
+TimedResult run_gptpu_timed(usize num_devices) {
+  runtime::RuntimeConfig cfg;
+  cfg.functional = false;
+  cfg.num_devices = num_devices;
+  runtime::Runtime rt{cfg};
+  run_gptpu(rt, Params::paper(), nullptr);
+  return snapshot(rt);
+}
+
+Seconds cpu_time(usize threads) {
+  const Params p = Params::paper();
+  const double n = static_cast<double>(p.n);
+  perfmodel::Work w;
+  w.flops = 2.0 / 3.0 * n * n * n;
+  w.bytes = n * n * 4.0 * n / 64.0;  // blocked reuse: ~N/64 passes
+  return perfmodel::cpu_time_parallel(perfmodel::CpuKernelClass::kVector, w,
+                                      threads);
+}
+
+GpuWork gpu_work() {
+  const Params p = Params::paper();
+  const double n = static_cast<double>(p.n);
+  GpuWork g;
+  g.work.flops = 2.0 / 3.0 * n * n * n;
+  g.work.bytes = n * n * 4.0 * 8.0;
+  g.pcie_bytes = n * n * 4.0 * 2.0;
+  g.kernel_launches = 3 * (p.n / p.block);
+  return g;
+}
+
+}  // namespace gptpu::apps::lud

@@ -1,0 +1,40 @@
+// LU decomposition (§7.2.3): factors A into unit-lower L and upper U.
+//
+// The GPTPU version is the blocked algorithm: small diagonal factors and
+// triangular solves stay on the host (they are latency-bound and tiny),
+// while every trailing-submatrix update A22 -= L21 x U12 -- the O(N^3)
+// bulk -- runs on the TPU through tpuGemm's conv2D algorithm. The host
+// triangular solves serialize the panels, which is exactly why LUD is the
+// one application whose multi-TPU scaling flattens in Figure 8(b).
+//
+// Baseline provenance: Rodinia lud_cpu; its dense inner loops
+// auto-vectorize under -O3 -> CpuKernelClass::kVector.
+#pragma once
+
+#include "apps/app_common.hpp"
+
+namespace gptpu::apps::lud {
+
+struct Params {
+  usize n = 0;
+  usize block = 128;
+  static Params paper() { return {4096, 128}; }
+  static Params accuracy() { return {192, 48}; }
+};
+
+/// Random diagonally-dominant matrix (factorization without pivoting).
+[[nodiscard]] Matrix<float> make_input(usize n, u64 seed, double range_max);
+
+/// In-place float reference: returns A overwritten with L\U.
+[[nodiscard]] Matrix<float> cpu_reference(const Params& p, Matrix<float> a);
+
+/// GPTPU blocked factorization; null input = timing-only control flow.
+Matrix<float> run_gptpu(runtime::Runtime& rt, const Params& p,
+                        const Matrix<float>* input);
+
+Accuracy run_accuracy(u64 seed, double range_max);
+TimedResult run_gptpu_timed(usize num_devices);
+Seconds cpu_time(usize threads);
+GpuWork gpu_work();
+
+}  // namespace gptpu::apps::lud

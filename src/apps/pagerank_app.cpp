@@ -1,0 +1,174 @@
+#include "apps/pagerank_app.hpp"
+
+#include "common/csr.hpp"
+#include "common/rng.hpp"
+
+namespace gptpu::apps::pagerank {
+
+using runtime::OperationRequest;
+using runtime::Runtime;
+using runtime::TensorBuffer;
+
+Matrix<float> make_graph(usize n, u64 seed) {
+  // A dense-ish random graph (each node links to ~n/2 targets), columns
+  // normalized to sum 1 (column-stochastic; dangling nodes get a uniform
+  // column). Density matters: Table 3 lists the adjacency at its dense
+  // 4 GB size, and the GPTPU-vs-CPU comparison is between a dense TPU
+  // product and a sparse CPU traversal of the same matrix.
+  Matrix<float> a(n, n);
+  Rng rng(seed);
+  const usize out_degree = std::max<usize>(1, n / 2);
+  for (usize src = 0; src < n; ++src) {
+    for (usize e = 0; e < out_degree; ++e) {
+      const auto dst = static_cast<usize>(rng.uniform_int(0, static_cast<i64>(n) - 1));
+      a(dst, src) = 1.0f;
+    }
+  }
+  for (usize c = 0; c < n; ++c) {
+    float sum = 0;
+    for (usize r = 0; r < n; ++r) sum += a(r, c);
+    if (sum == 0) {
+      for (usize r = 0; r < n; ++r) a(r, c) = 1.0f / static_cast<float>(n);
+    } else {
+      for (usize r = 0; r < n; ++r) a(r, c) /= sum;
+    }
+  }
+  return a;
+}
+
+Matrix<float> cpu_reference(const Params& p, const Matrix<float>& adjacency) {
+  // The GraphBLAST-class baseline: sparse traversal (CSR SpMV) of the same
+  // matrix -- numerically identical to the dense product.
+  const usize n = p.n;
+  const CsrMatrix csr = CsrMatrix::from_dense(adjacency.view());
+  Matrix<float> rank(Shape2D{1, n}, 1.0f / static_cast<float>(n));
+  Matrix<float> next(1, n);
+  for (usize it = 0; it < p.iterations; ++it) {
+    csr.spmv(rank.span(), next.span());
+    for (usize r = 0; r < n; ++r) {
+      next(0, r) = p.damping * next(0, r) +
+                   (1.0f - p.damping) / static_cast<float>(n);
+    }
+    std::swap(rank, next);
+  }
+  return rank;
+}
+
+Matrix<float> run_gptpu(Runtime& rt, const Params& p,
+                        const Matrix<float>* adjacency) {
+  const usize n = p.n;
+  const bool functional = rt.config().functional;
+  GPTPU_CHECK(functional == (adjacency != nullptr),
+              "adjacency must be supplied exactly in functional mode");
+  const u64 task = rt.begin_task();
+
+  // rank as a 1 x n vector; the adjacency transposed so FullyConnected's
+  // vector x matrix orientation computes A . r (we store A^T).
+  Matrix<float> at(n, n);
+  Matrix<float> rank(Shape2D{1, n}, 1.0f / static_cast<float>(n));
+  Matrix<float> product(1, n);
+  TensorBuffer *brank, *bat, *bprod;
+  if (functional) {
+    for (usize r = 0; r < n; ++r) {
+      for (usize c = 0; c < n; ++c) at(r, c) = (*adjacency)(c, r);
+    }
+    rt.charge_host(task,
+                   rt.pool().timing().host_reshape_latency(at.bytes()),
+                   "pagerank-transpose");
+    brank = rt.create_buffer(rank.shape(), rank.data());
+    bat = rt.create_buffer(at.shape(), at.data());
+    bprod = rt.create_buffer(product.shape(), product.data());
+  } else {
+    rt.charge_host(task,
+                   rt.pool().timing().host_reshape_latency(
+                       static_cast<usize>(n) * n * sizeof(float)),
+                   "pagerank-transpose");
+    brank = rt.create_virtual_buffer({1, n}, {0.0f, 1.0f});
+    bat = rt.create_virtual_buffer({n, n}, {0.0f, 1.0f});
+    bprod = rt.create_virtual_buffer({1, n}, {0.0f, 1.0f});
+  }
+
+  for (usize it = 0; it < p.iterations; ++it) {
+    OperationRequest req;
+    req.task_id = task;
+    req.op = isa::Opcode::kFullyConnected;
+    req.in0 = brank;
+    req.in1 = bat;
+    req.out = bprod;
+    rt.invoke(req);
+
+    // Damping and teleport term: a trivial AXPY the GPTPU runtime keeps on
+    // the host (§6.2.1: short CPU aggregation beats another round trip).
+    host_step(rt, task,
+              static_cast<double>(n) / perfmodel::kCpuVectorFlopsPerSec,
+              "pagerank-damping", [&] {
+                for (usize c = 0; c < n; ++c) {
+                  rank(0, c) = p.damping * product(0, c) +
+                               (1.0f - p.damping) / static_cast<float>(n);
+                }
+                brank->bump_version();
+                brank->recalibrate();
+              });
+    if (!functional) brank->bump_version();
+  }
+  return rank;
+}
+
+Accuracy run_accuracy(u64 seed, double range_max) {
+  Params p = Params::accuracy();
+  // PageRank's input is a stochastic matrix; synthetic Table 4 ranges do
+  // not apply to the graph itself, so larger ranges perturb edge weights
+  // before normalization (heavier-tailed weight distribution).
+  Matrix<float> graph = make_graph(p.n, seed);
+  if (range_max > 0) {
+    Rng rng(seed ^ 0xabcdef);
+    for (auto& v : graph.span()) {
+      if (v > 0) v *= static_cast<float>(rng.uniform(1.0, range_max));
+    }
+    for (usize c = 0; c < p.n; ++c) {
+      float sum = 0;
+      for (usize r = 0; r < p.n; ++r) sum += graph(r, c);
+      for (usize r = 0; r < p.n; ++r) graph(r, c) /= sum;
+    }
+  }
+  runtime::Runtime rt{runtime::RuntimeConfig{}};
+  const Matrix<float> ranks = run_gptpu(rt, p, &graph);
+  const Matrix<float> ref = cpu_reference(p, graph);
+  return compare(ref.span(), ranks.span());
+}
+
+TimedResult run_gptpu_timed(usize num_devices) {
+  runtime::RuntimeConfig cfg;
+  cfg.functional = false;
+  cfg.num_devices = num_devices;
+  runtime::Runtime rt{cfg};
+  run_gptpu(rt, Params::paper(), nullptr);
+  return snapshot(rt);
+}
+
+Seconds cpu_time(usize threads) {
+  const Params p = Params::paper();
+  perfmodel::Work w;
+  const double n = static_cast<double>(p.n);
+  // Sparse traversal of the ~n/2-dense graph: 2 flops per edge plus the
+  // CSR index/value/gather traffic (4 B index + 4 B value + 4 B gathered
+  // rank per edge), at the scalar (irregular-access) rate.
+  const double nnz = n * n / 2.0;
+  w.flops = p.iterations * (2.0 * nnz + 3.0 * n);
+  w.bytes = p.iterations * nnz * 12.0;
+  return perfmodel::cpu_time_parallel(perfmodel::CpuKernelClass::kScalar, w,
+                                      threads);
+}
+
+GpuWork gpu_work() {
+  const Params p = Params::paper();
+  const double n = static_cast<double>(p.n);
+  GpuWork g;
+  g.work.flops = p.iterations * n * n;  // 2 flops x n^2/2 edges
+  g.work.bytes = p.iterations * n * n * 6.0;
+  g.pcie_bytes = n * n * 4.0;
+  g.kernel_launches = 2 * p.iterations;
+  return g;
+}
+
+}  // namespace gptpu::apps::pagerank

@@ -1,0 +1,47 @@
+// PageRank (§7.2.1): the classic power method; GPTPU uses one
+// FullyConnected instruction per adjacency-matrix x rank-vector product,
+// with the column-stochastic adjacency matrix resident on-chip across
+// iterations (the §6.1 affinity rule keeps it cached).
+//
+// Scale note: Table 3 lists a 32K x 32K dense adjacency (4 GB float).
+// A matrix that size cannot be resident in 8 MB of on-chip memory, so at
+// paper scale every iteration would re-stream the model and the platform
+// would be interconnect-bound; the paper's speedup is only reachable with
+// a resident model. We therefore size the graph so the int8 model fits
+// on-chip (N = 2048, 4 MB), and record the substitution in DESIGN.md.
+//
+// Baseline provenance: GraphBLAST-class CPU code, a plain scalar
+// row-traversal matvec -> CpuKernelClass::kScalar.
+#pragma once
+
+#include "apps/app_common.hpp"
+
+namespace gptpu::apps::pagerank {
+
+struct Params {
+  usize n = 0;
+  usize iterations = 20;
+  float damping = 0.85f;
+  static Params paper() { return {2048, 20, 0.85f}; }
+  static Params accuracy() { return {512, 20, 0.85f}; }
+};
+
+/// Random column-stochastic adjacency matrix (every column sums to 1).
+[[nodiscard]] Matrix<float> make_graph(usize n, u64 seed);
+
+/// CPU power method; returns the rank vector (1 x n).
+[[nodiscard]] Matrix<float> cpu_reference(const Params& p,
+                                          const Matrix<float>& adjacency);
+
+/// GPTPU power method over `rt`; with a null adjacency (timing-only
+/// runtime) models the same control flow. Returns the rank vector in
+/// functional mode.
+Matrix<float> run_gptpu(runtime::Runtime& rt, const Params& p,
+                        const Matrix<float>* adjacency);
+
+Accuracy run_accuracy(u64 seed, double range_max);
+TimedResult run_gptpu_timed(usize num_devices);
+Seconds cpu_time(usize threads);
+GpuWork gpu_work();
+
+}  // namespace gptpu::apps::pagerank

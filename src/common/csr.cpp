@@ -1,0 +1,45 @@
+#include "common/csr.hpp"
+
+namespace gptpu {
+
+CsrMatrix CsrMatrix::from_dense(MatrixView<const float> dense) {
+  CsrMatrix m;
+  m.rows_ = dense.rows();
+  m.cols_ = dense.cols();
+  m.row_ptr_.reserve(m.rows_ + 1);
+  m.row_ptr_.push_back(0);
+  for (usize r = 0; r < m.rows_; ++r) {
+    const auto row = dense.row(r);
+    for (usize c = 0; c < row.size(); ++c) {
+      if (row[c] != 0.0f) {
+        m.col_idx_.push_back(static_cast<u32>(c));
+        m.values_.push_back(row[c]);
+      }
+    }
+    m.row_ptr_.push_back(m.values_.size());
+  }
+  return m;
+}
+
+void CsrMatrix::spmv(std::span<const float> x, std::span<float> y) const {
+  GPTPU_CHECK(x.size() == cols_ && y.size() == rows_, "spmv: size mismatch");
+  for (usize r = 0; r < rows_; ++r) {
+    double acc = 0;
+    for (usize i = row_ptr_[r]; i < row_ptr_[r + 1]; ++i) {
+      acc += static_cast<double>(values_[i]) * x[col_idx_[i]];
+    }
+    y[r] = static_cast<float>(acc);
+  }
+}
+
+Matrix<float> CsrMatrix::to_dense() const {
+  Matrix<float> dense(rows_, cols_);
+  for (usize r = 0; r < rows_; ++r) {
+    for (usize i = row_ptr_[r]; i < row_ptr_[r + 1]; ++i) {
+      dense(r, col_idx_[i]) = values_[i];
+    }
+  }
+  return dense;
+}
+
+}  // namespace gptpu

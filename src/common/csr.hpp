@@ -1,0 +1,46 @@
+// Compressed-sparse-row matrices.
+//
+// The paper's PageRank baseline is GraphBLAST-class CPU code, which
+// traverses the graph in sparse form; the Edge TPU side consumes the same
+// matrix densely (Table 3 lists the adjacency at its dense 4 GB size).
+// This substrate lets the CPU reference run the honest sparse algorithm
+// while remaining numerically identical to the dense product.
+#pragma once
+
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "common/types.hpp"
+
+namespace gptpu {
+
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+
+  /// Builds CSR from a dense row-major matrix, dropping exact zeros.
+  static CsrMatrix from_dense(MatrixView<const float> dense);
+
+  [[nodiscard]] usize rows() const { return rows_; }
+  [[nodiscard]] usize cols() const { return cols_; }
+  [[nodiscard]] usize nnz() const { return values_.size(); }
+
+  /// y = A * x. Sizes must match; y is overwritten.
+  void spmv(std::span<const float> x, std::span<float> y) const;
+
+  /// Reconstructs the dense form (tests).
+  [[nodiscard]] Matrix<float> to_dense() const;
+
+  [[nodiscard]] std::span<const usize> row_ptr() const { return row_ptr_; }
+  [[nodiscard]] std::span<const u32> col_idx() const { return col_idx_; }
+  [[nodiscard]] std::span<const float> values() const { return values_; }
+
+ private:
+  usize rows_ = 0;
+  usize cols_ = 0;
+  std::vector<usize> row_ptr_;  // rows_ + 1 entries
+  std::vector<u32> col_idx_;
+  std::vector<float> values_;
+};
+
+}  // namespace gptpu

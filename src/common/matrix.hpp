@@ -1,0 +1,128 @@
+// Row-major dense matrix container and non-owning views.
+//
+// GPTPU moves data between three domains: host float matrices, quantized
+// int8 device tensors, and int32 accumulator tiles. One templated container
+// covers all three; views keep substrate interfaces span-based per the C++
+// Core Guidelines.
+#pragma once
+
+#include <algorithm>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace gptpu {
+
+/// Shape of a 2-D tensor. GPTPU (like the Edge TPU itself) treats every
+/// tensor as a 2-D matrix; higher-rank data is flattened by the caller.
+struct Shape2D {
+  usize rows = 0;
+  usize cols = 0;
+
+  [[nodiscard]] constexpr usize elems() const { return rows * cols; }
+  bool operator==(const Shape2D&) const = default;
+};
+
+/// Non-owning mutable view over row-major storage with an explicit leading
+/// dimension (stride), so tiles of a larger matrix can be addressed without
+/// copying.
+template <typename T>
+class MatrixView {
+ public:
+  MatrixView() = default;
+  MatrixView(T* data, Shape2D shape, usize stride)
+      : data_(data), shape_(shape), stride_(stride) {
+    GPTPU_CHECK(stride >= shape.cols, "stride must cover a full row");
+  }
+  MatrixView(T* data, Shape2D shape) : MatrixView(data, shape, shape.cols) {}
+
+  /// MatrixView<float> converts to MatrixView<const float>.
+  template <typename U>
+    requires(!std::is_same_v<U, T> && std::is_convertible_v<U (*)[], T (*)[]>)
+  MatrixView(const MatrixView<U>& other)  // NOLINT(google-explicit-constructor)
+      : data_(other.data()), shape_(other.shape()), stride_(other.stride()) {}
+
+  [[nodiscard]] Shape2D shape() const { return shape_; }
+  [[nodiscard]] usize rows() const { return shape_.rows; }
+  [[nodiscard]] usize cols() const { return shape_.cols; }
+  [[nodiscard]] usize stride() const { return stride_; }
+  [[nodiscard]] bool contiguous() const { return stride_ == shape_.cols; }
+
+  T& operator()(usize r, usize c) const { return data_[r * stride_ + c]; }
+  [[nodiscard]] std::span<T> row(usize r) const {
+    return {data_ + r * stride_, shape_.cols};
+  }
+  [[nodiscard]] T* data() const { return data_; }
+
+  /// Sub-view of `shape` starting at (r0, c0). The sub-view shares storage.
+  [[nodiscard]] MatrixView sub(usize r0, usize c0, Shape2D shape) const {
+    GPTPU_CHECK(r0 + shape.rows <= shape_.rows &&
+                    c0 + shape.cols <= shape_.cols,
+                "sub-view out of range");
+    return {data_ + r0 * stride_ + c0, shape, stride_};
+  }
+
+ private:
+  T* data_ = nullptr;
+  Shape2D shape_{};
+  usize stride_ = 0;
+};
+
+/// Owning row-major matrix. Contiguous; convertible to MatrixView.
+template <typename T>
+class Matrix {
+ public:
+  Matrix() = default;
+  explicit Matrix(Shape2D shape) : shape_(shape), data_(shape.elems()) {}
+  Matrix(Shape2D shape, T fill) : shape_(shape), data_(shape.elems(), fill) {}
+  Matrix(usize rows, usize cols) : Matrix(Shape2D{rows, cols}) {}
+
+  [[nodiscard]] Shape2D shape() const { return shape_; }
+  [[nodiscard]] usize rows() const { return shape_.rows; }
+  [[nodiscard]] usize cols() const { return shape_.cols; }
+  [[nodiscard]] usize elems() const { return shape_.elems(); }
+  [[nodiscard]] usize bytes() const { return elems() * sizeof(T); }
+
+  T& operator()(usize r, usize c) { return data_[r * shape_.cols + c]; }
+  const T& operator()(usize r, usize c) const {
+    return data_[r * shape_.cols + c];
+  }
+
+  [[nodiscard]] std::span<T> span() { return data_; }
+  [[nodiscard]] std::span<const T> span() const { return data_; }
+  [[nodiscard]] T* data() { return data_.data(); }
+  [[nodiscard]] const T* data() const { return data_.data(); }
+
+  [[nodiscard]] MatrixView<T> view() { return {data_.data(), shape_}; }
+  [[nodiscard]] MatrixView<const T> view() const {
+    return {data_.data(), shape_};
+  }
+  [[nodiscard]] MatrixView<T> sub(usize r0, usize c0, Shape2D s) {
+    return view().sub(r0, c0, s);
+  }
+  [[nodiscard]] MatrixView<const T> sub(usize r0, usize c0, Shape2D s) const {
+    return view().sub(r0, c0, s);
+  }
+
+  bool operator==(const Matrix&) const = default;
+
+ private:
+  Shape2D shape_{};
+  std::vector<T> data_;
+};
+
+/// Copies `src` into `dst`; shapes must match. Views may alias different
+/// strides (tile scatter/gather).
+template <typename T, typename U>
+void copy(MatrixView<const T> src, MatrixView<U> dst) {
+  GPTPU_CHECK(src.shape() == dst.shape(), "copy: shape mismatch");
+  for (usize r = 0; r < src.rows(); ++r) {
+    auto s = src.row(r);
+    auto d = dst.row(r);
+    std::copy(s.begin(), s.end(), d.begin());
+  }
+}
+
+}  // namespace gptpu

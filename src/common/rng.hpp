@@ -1,0 +1,92 @@
+// Deterministic random number generation for workloads and tests.
+//
+// Benchmarks must produce identical datasets across runs and machines, so
+// we pin a concrete generator (xoshiro256**) instead of std::mt19937's
+// distribution functions, whose outputs vary across standard libraries.
+#pragma once
+
+#include <cmath>
+#include <numbers>
+
+#include "common/matrix.hpp"
+#include "common/types.hpp"
+
+namespace gptpu {
+
+/// xoshiro256** by Blackman & Vigna (public domain algorithm).
+class Rng {
+ public:
+  explicit Rng(u64 seed = 0x9e3779b97f4a7c15ULL) {
+    // SplitMix64 seeding, as recommended by the xoshiro authors.
+    u64 z = seed;
+    for (auto& s : state_) {
+      z += 0x9e3779b97f4a7c15ULL;
+      u64 x = z;
+      x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+      s = x ^ (x >> 31);
+    }
+  }
+
+  u64 next_u64() {
+    const u64 result = rotl(state_[1] * 5, 7) * 9;
+    const u64 t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    return lo + (hi - lo) * next_double();
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  i64 uniform_int(i64 lo, i64 hi) {
+    GPTPU_CHECK(lo <= hi, "uniform_int: empty range");
+    const u64 span = static_cast<u64>(hi - lo) + 1;
+    return lo + static_cast<i64>(next_u64() % span);
+  }
+
+  /// Standard normal via Box-Muller (deterministic, no cached spare).
+  double normal(double mean = 0.0, double stddev = 1.0) {
+    double u1 = next_double();
+    while (u1 == 0.0) u1 = next_double();
+    const double u2 = next_double();
+    const double z =
+        std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * std::numbers::pi * u2);
+    return mean + stddev * z;
+  }
+
+ private:
+  static u64 rotl(u64 x, int k) { return (x << k) | (x >> (64 - k)); }
+  u64 state_[4]{};
+};
+
+/// Fills a float matrix with uniform values in [lo, hi).
+inline void fill_uniform(Matrix<float>& m, Rng& rng, double lo, double hi) {
+  for (auto& v : m.span()) v = static_cast<float>(rng.uniform(lo, hi));
+}
+
+/// Fills a float matrix with N(mean, stddev) values.
+inline void fill_normal(Matrix<float>& m, Rng& rng, double mean,
+                        double stddev) {
+  for (auto& v : m.span()) v = static_cast<float>(rng.normal(mean, stddev));
+}
+
+/// Fills a float matrix with uniform integers in [lo, hi] stored as floats
+/// (Table 5 uses positive-integer matrices).
+inline void fill_uniform_int(Matrix<float>& m, Rng& rng, i64 lo, i64 hi) {
+  for (auto& v : m.span()) v = static_cast<float>(rng.uniform_int(lo, hi));
+}
+
+}  // namespace gptpu

@@ -1,0 +1,77 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gptpu {
+
+namespace {
+double mean_abs(std::span<const float> v) {
+  double s = 0;
+  for (float x : v) s += std::abs(static_cast<double>(x));
+  return v.empty() ? 0.0 : s / static_cast<double>(v.size());
+}
+}  // namespace
+
+double mape(std::span<const float> reference, std::span<const float> actual) {
+  GPTPU_CHECK(reference.size() == actual.size(), "mape: size mismatch");
+  if (reference.empty()) return 0.0;
+  const double scale = mean_abs(reference);
+  if (scale == 0.0) return mean_abs(actual) == 0.0 ? 0.0 : 1.0;
+  // References smaller than this fraction of the mean magnitude use the
+  // mean magnitude as the denominator.
+  const double floor = 1e-6 * scale;
+  double total = 0;
+  for (usize i = 0; i < reference.size(); ++i) {
+    const double ref = reference[i];
+    const double err = std::abs(static_cast<double>(actual[i]) - ref);
+    const double denom = std::max(std::abs(ref), floor) < scale * 1e-3
+                             ? scale
+                             : std::abs(ref);
+    total += err / denom;
+  }
+  return total / static_cast<double>(reference.size());
+}
+
+double rmse(std::span<const float> reference, std::span<const float> actual) {
+  GPTPU_CHECK(reference.size() == actual.size(), "rmse: size mismatch");
+  if (reference.empty()) return 0.0;
+  double err2 = 0;
+  double ref2 = 0;
+  for (usize i = 0; i < reference.size(); ++i) {
+    const double d = static_cast<double>(actual[i]) - reference[i];
+    err2 += d * d;
+    ref2 += static_cast<double>(reference[i]) * reference[i];
+  }
+  if (ref2 == 0.0) return err2 == 0.0 ? 0.0 : 1.0;
+  return std::sqrt(err2 / ref2);
+}
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  sum_ += x;
+  ++n_;
+}
+
+double RunningStats::mean() const {
+  return n_ == 0 ? 0.0 : sum_ / static_cast<double>(n_);
+}
+double RunningStats::min() const { return min_; }
+double RunningStats::max() const { return max_; }
+
+double geomean(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  double log_sum = 0;
+  for (double v : values) {
+    GPTPU_CHECK(v > 0.0, "geomean requires positive values");
+    log_sum += std::log(v);
+  }
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+}  // namespace gptpu

@@ -1,0 +1,43 @@
+// Error metrics used by the paper's evaluation (Table 4, Table 5).
+#pragma once
+
+#include <span>
+
+#include "common/types.hpp"
+
+namespace gptpu {
+
+/// Mean absolute percentage error between a reference and a measurement,
+/// expressed as a fraction (0.01 == 1 %). Elements whose reference value is
+/// (near) zero are compared against the mean absolute reference magnitude
+/// instead, matching how the paper avoids division blow-ups on sparse
+/// outputs.
+double mape(std::span<const float> reference, std::span<const float> actual);
+
+/// Root mean square error normalized by the reference RMS magnitude,
+/// expressed as a fraction (the paper reports "RMSE" percentages relative
+/// to output magnitude — raw RMSE of e.g. PageRank, whose outputs are
+/// ~1e-5, could not otherwise be "0.41%").
+double rmse(std::span<const float> reference, std::span<const float> actual);
+
+/// Simple running mean/min/max accumulator.
+class RunningStats {
+ public:
+  void add(double x);
+  [[nodiscard]] usize count() const { return n_; }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+
+ private:
+  usize n_ = 0;
+  double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+/// Geometric mean over a set of strictly positive values (used for speedup
+/// summaries, as in the paper's "Geomean" bars).
+double geomean(std::span<const double> values);
+
+}  // namespace gptpu

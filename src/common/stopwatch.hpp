@@ -1,0 +1,28 @@
+// Wall-clock stopwatch, used only where real host time matters (e.g. the
+// Tensorizer model-creation micro-benchmark of §6.2.3). Modelled time lives
+// in timeline.hpp.
+#pragma once
+
+#include <chrono>
+
+#include "common/types.hpp"
+
+namespace gptpu {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void restart() { start_ = Clock::now(); }
+
+  /// Elapsed wall-clock seconds since construction or restart().
+  [[nodiscard]] Seconds elapsed() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace gptpu

@@ -1,0 +1,75 @@
+#include "common/thread_pool.hpp"
+
+#include <atomic>
+
+namespace gptpu {
+
+ThreadPool::ThreadPool(usize num_threads) {
+  GPTPU_CHECK(num_threads > 0, "ThreadPool needs at least one thread");
+  workers_.reserve(num_threads);
+  for (usize i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (stopping_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    task();
+    {
+      std::lock_guard lock(mu_);
+      --active_;
+      if (active_ == 0 && queue_.empty()) idle_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(mu_);
+  idle_cv_.wait(lock, [this] { return active_ == 0 && queue_.empty(); });
+}
+
+void ThreadPool::parallel_for(ThreadPool& pool, usize n,
+                              const std::function<void(usize)>& fn) {
+  if (n == 0) return;
+  const usize workers = pool.size();
+  if (n == 1 || workers == 1) {
+    for (usize i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  // Static chunking: each worker takes a contiguous range, mirroring an
+  // OpenMP `schedule(static)` loop, which is what the paper's multicore
+  // baselines use.
+  const usize chunks = std::min(workers, n);
+  std::atomic<usize> failures{0};
+  std::vector<std::future<void>> futs;
+  futs.reserve(chunks);
+  for (usize c = 0; c < chunks; ++c) {
+    const usize begin = n * c / chunks;
+    const usize end = n * (c + 1) / chunks;
+    futs.push_back(pool.submit([&fn, begin, end] {
+      for (usize i = begin; i < end; ++i) fn(i);
+    }));
+  }
+  for (auto& f : futs) f.get();
+  (void)failures;
+}
+
+}  // namespace gptpu

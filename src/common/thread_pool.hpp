@@ -1,0 +1,64 @@
+// Fixed-size worker pool used by the GPTPU runtime executor.
+//
+// One worker per simulated Edge TPU drains the instruction queue; the pool
+// is also reused by OpenMP-style multicore CPU baselines (parallel_for).
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace gptpu {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(usize num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] usize size() const { return workers_.size(); }
+
+  /// Enqueues a task; the returned future resolves when it completes.
+  /// Exceptions thrown by the task propagate through the future.
+  template <typename F>
+  std::future<void> submit(F&& f) {
+    auto task = std::make_shared<std::packaged_task<void()>>(std::forward<F>(f));
+    auto fut = task->get_future();
+    {
+      std::lock_guard lock(mu_);
+      GPTPU_CHECK(!stopping_, "submit() on a stopped ThreadPool");
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  /// Blocks until every task submitted so far has finished.
+  void wait_idle();
+
+  /// Runs fn(i) for i in [0, n) across the pool, blocking until done.
+  /// Degenerates to a serial loop for n small relative to the pool.
+  static void parallel_for(ThreadPool& pool, usize n,
+                           const std::function<void(usize)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  usize active_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace gptpu

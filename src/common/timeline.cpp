@@ -1,0 +1,24 @@
+#include "common/timeline.hpp"
+
+#include <algorithm>
+
+namespace gptpu {
+
+Seconds VirtualResource::acquire(Seconds earliest_start, Seconds duration,
+                                 std::string label) {
+  GPTPU_CHECK(duration >= 0, "negative duration");
+  const Seconds start = std::max(earliest_start, busy_until_);
+  const Seconds end = start + duration;
+  busy_until_ = end;
+  busy_time_ += duration;
+  if (tracing_) trace_.push_back({start, end, std::move(label)});
+  return end;
+}
+
+void VirtualResource::reset() {
+  busy_until_ = 0;
+  busy_time_ = 0;
+  trace_.clear();
+}
+
+}  // namespace gptpu

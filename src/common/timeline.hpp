@@ -1,0 +1,58 @@
+// Virtual-time primitives for the performance simulation.
+//
+// GPTPU-Sim separates *function* (executed for real, producing real
+// numerics) from *time* (modelled). Each modelled resource — an Edge TPU's
+// compute unit, a PCIe link, a host CPU core — is a VirtualResource that
+// serializes the intervals scheduled onto it. End-to-end latency of a run
+// is the maximum completion time across resources.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace gptpu {
+
+/// One occupancy interval on a resource, kept for traces and energy
+/// integration (active energy = sum over busy intervals x active power).
+struct TraceEvent {
+  Seconds start = 0;
+  Seconds end = 0;
+  std::string label;
+};
+
+/// A serially-reusable modelled resource.
+class VirtualResource {
+ public:
+  explicit VirtualResource(std::string name) : name_(std::move(name)) {}
+
+  /// Schedules `duration` seconds of work that may not start before
+  /// `earliest_start`. Returns the completion time. Work on one resource
+  /// never overlaps; it begins at max(earliest_start, busy_until).
+  Seconds acquire(Seconds earliest_start, Seconds duration,
+                  std::string label = {});
+
+  [[nodiscard]] Seconds busy_until() const { return busy_until_; }
+
+  /// Total busy (active) seconds accumulated on this resource.
+  [[nodiscard]] Seconds busy_time() const { return busy_time_; }
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::vector<TraceEvent>& trace() const { return trace_; }
+
+  /// Enables interval recording (off by default: app-scale runs schedule
+  /// millions of instructions).
+  void set_tracing(bool on) { tracing_ = on; }
+
+  void reset();
+
+ private:
+  std::string name_;
+  Seconds busy_until_ = 0;
+  Seconds busy_time_ = 0;
+  bool tracing_ = false;
+  std::vector<TraceEvent> trace_;
+};
+
+}  // namespace gptpu

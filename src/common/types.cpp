@@ -1,0 +1,15 @@
+#include "common/types.hpp"
+
+#include <sstream>
+
+namespace gptpu::detail {
+
+void fail_check(const char* cond, const char* file, int line,
+                const std::string& msg) {
+  std::ostringstream os;
+  os << "GPTPU_CHECK failed: (" << cond << ") at " << file << ":" << line
+     << ": " << msg;
+  throw InvalidArgument(os.str());
+}
+
+}  // namespace gptpu::detail

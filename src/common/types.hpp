@@ -1,0 +1,70 @@
+// Fundamental types and error handling shared across the GPTPU stack.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace gptpu {
+
+using i8 = std::int8_t;
+using u8 = std::uint8_t;
+using i16 = std::int16_t;
+using u16 = std::uint16_t;
+using i32 = std::int32_t;
+using u32 = std::uint32_t;
+using i64 = std::int64_t;
+using u64 = std::uint64_t;
+using usize = std::size_t;
+
+/// Seconds of virtual (modelled) time. All simulator timing is carried in
+/// double-precision seconds; at the magnitudes we model (microseconds to
+/// minutes) the representable resolution is far below one nanosecond.
+using Seconds = double;
+
+/// Joules of modelled energy.
+using Joules = double;
+
+/// Error category for failures inside the GPTPU stack. The public OpenCtpu
+/// API converts these to status codes; internal code throws.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a caller violates an API precondition (bad shape, null
+/// buffer, out-of-range argument).
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when a device-side resource limit is exceeded (e.g. a tensor
+/// larger than the 8 MB on-chip memory reaches the device unpartitioned).
+class ResourceExhausted : public Error {
+ public:
+  explicit ResourceExhausted(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when a serialized model is malformed.
+class FormatError : public Error {
+ public:
+  explicit FormatError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void fail_check(const char* cond, const char* file, int line,
+                             const std::string& msg);
+}  // namespace detail
+
+/// Precondition check used throughout the library. Unlike assert() it is
+/// active in release builds: a violated precondition in a runtime system is
+/// a bug we want reported, not undefined behaviour.
+#define GPTPU_CHECK(cond, msg)                                       \
+  do {                                                               \
+    if (!(cond)) {                                                   \
+      ::gptpu::detail::fail_check(#cond, __FILE__, __LINE__, (msg)); \
+    }                                                                \
+  } while (false)
+
+}  // namespace gptpu

@@ -1,0 +1,89 @@
+#include "isa/instruction.hpp"
+
+#include <sstream>
+
+namespace gptpu::isa {
+
+namespace {
+[[noreturn]] void shape_error(const Instruction& instr, Shape2D a, Shape2D b,
+                              const char* why) {
+  std::ostringstream os;
+  os << name(instr.op) << ": " << why << " (in0=" << a.rows << "x" << a.cols
+     << ", in1=" << b.rows << "x" << b.cols << ")";
+  throw InvalidArgument(os.str());
+}
+}  // namespace
+
+Shape2D infer_output_shape(const Instruction& instr, Shape2D in0,
+                           Shape2D in1) {
+  switch (instr.op) {
+    case Opcode::kConv2D: {
+      if (in1.rows == 0 || in1.cols == 0)
+        shape_error(instr, in0, in1, "empty kernel");
+      if (instr.kernel_bank == 0 || in1.rows % instr.kernel_bank != 0)
+        shape_error(instr, in0, in1, "kernel bank does not divide model rows");
+      const usize krows = in1.rows / instr.kernel_bank;
+      if (krows > in0.rows || in1.cols > in0.cols)
+        shape_error(instr, in0, in1, "kernel larger than input");
+      if (instr.stride.x == 0 || instr.stride.y == 0)
+        shape_error(instr, in0, in1, "zero stride");
+      const usize out_rows = (in0.rows - krows) / instr.stride.y + 1;
+      const usize out_cols = (in0.cols - in1.cols) / instr.stride.x + 1;
+      return {out_rows, out_cols * instr.kernel_bank};
+    }
+    case Opcode::kFullyConnected: {
+      if (in0.cols != in1.rows)
+        shape_error(instr, in0, in1, "inner dimensions differ");
+      return {in0.rows, in1.cols};
+    }
+    case Opcode::kSub:
+    case Opcode::kAdd:
+    case Opcode::kMul: {
+      if (!(in0 == in1)) shape_error(instr, in0, in1, "operand shape mismatch");
+      return in0;
+    }
+    case Opcode::kCrop: {
+      const Window& w = instr.window;
+      if (w.row0 + w.shape.rows > in0.rows || w.col0 + w.shape.cols > in0.cols)
+        shape_error(instr, in0, in1, "crop window out of range");
+      return w.shape;
+    }
+    case Opcode::kExt: {
+      if (instr.pad_target.rows < in0.rows ||
+          instr.pad_target.cols < in0.cols)
+        shape_error(instr, in0, in1, "ext target smaller than input");
+      return instr.pad_target;
+    }
+    case Opcode::kMean:
+    case Opcode::kMax:
+      return {1, 1};
+    case Opcode::kTanh:
+    case Opcode::kReLu:
+      return in0;
+  }
+  throw InvalidArgument("unknown opcode");
+}
+
+u64 mac_count(const Instruction& instr, Shape2D in0, Shape2D in1,
+              Shape2D out) {
+  switch (op_class(instr.op)) {
+    case OpClass::kArithmetic:
+      if (instr.op == Opcode::kConv2D) {
+        // Each output element consumes one kernel's worth of MACs.
+        const u64 kernel_elems = in1.elems() / instr.kernel_bank;
+        return static_cast<u64>(out.elems()) * kernel_elems;
+      }
+      return static_cast<u64>(in0.rows) * in0.cols * in1.cols;
+    case OpClass::kPairwise:
+    case OpClass::kElementwise:
+    case OpClass::kMatrixwise:
+      return in0.elems();
+    case OpClass::kLayout:
+      return 0;
+  }
+  return 0;
+}
+
+u64 result_count(Shape2D out_shape) { return out_shape.elems(); }
+
+}  // namespace gptpu::isa

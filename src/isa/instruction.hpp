@@ -1,0 +1,101 @@
+// Edge TPU instruction descriptors.
+//
+// An Instruction is what the GPTPU runtime's back-end instruction queue
+// (IQ) holds after the Tensorizer lowers a programmer-level operation: one
+// CISC operator applied to tensors already resident in a device's on-chip
+// memory.
+#pragma once
+
+#include <limits>
+
+#include "common/matrix.hpp"
+#include "common/types.hpp"
+#include "isa/opcode.hpp"
+
+namespace gptpu::isa {
+
+/// Handle to a tensor in a device's on-chip memory.
+struct DeviceTensorId {
+  u32 value = kInvalid;
+  static constexpr u32 kInvalid = std::numeric_limits<u32>::max();
+
+  [[nodiscard]] bool valid() const { return value != kInvalid; }
+  bool operator==(const DeviceTensorId&) const = default;
+};
+
+/// Quantization flags carried by OpenCtpu calls (the `SCALE` argument of
+/// openctpu_invoke_operator). They select how the Tensorizer derives
+/// scaling factors.
+enum class QuantMethod : u8 {
+  kScale,     // §6.2.2 operator-dependent scaling formulas (the default)
+  kMinMax,    // plain min/max range of the sampled input
+  kIdentity,  // values are already small integers; scale = 1
+};
+
+/// conv2D stride (§7.1.2). A stride equal to the kernel size makes conv2D
+/// compute disjoint long dot products -- the key to the GPTPU GEMM.
+struct Stride {
+  u16 x = 1;
+  u16 y = 1;
+  bool operator==(const Stride&) const = default;
+};
+
+/// Rectangular window for crop.
+struct Window {
+  usize row0 = 0;
+  usize col0 = 0;
+  Shape2D shape{};
+  bool operator==(const Window&) const = default;
+};
+
+struct Instruction {
+  Opcode op = Opcode::kAdd;
+
+  DeviceTensorId in0;  // primary input tensor
+  DeviceTensorId in1;  // second tensor / compiled model (arithmetic ops)
+  DeviceTensorId out;  // destination tensor
+
+  Stride stride{};       // conv2D only
+  Window window{};       // crop only
+  Shape2D pad_target{};  // ext only
+
+  /// conv2D only: number of kernels stacked vertically in in1 (the model
+  /// holds kernel_bank filters of (in1.rows / kernel_bank) x in1.cols
+  /// each), the way a TFLite convolution carries its output channels. The
+  /// output lays the per-kernel results side by side, so one instruction
+  /// can produce a whole C tile of the conv2D-based GEMM (§7.1.2).
+  u16 kernel_bank = 1;
+
+  /// Requantization scale for the output tensor: q_out = clamp(round(raw *
+  /// out_scale)). Chosen by the Tensorizer per §6.2.2 so outputs cannot
+  /// overflow the 8-bit range. Ignored when wide_output is set.
+  float out_scale = 1.0f;
+
+  /// Arithmetic ops only (conv2D, FullyConnected): emit the raw 32-bit
+  /// accumulators instead of requantized int8 results. This is how GPTPU
+  /// "implements exact tensor/matrix operations" (§10): int8 x int8
+  /// products accumulate exactly in int32 and the CPU aggregates partial
+  /// results in wider-than-8-bit precision (§6.2.1). Costs 4x the output
+  /// footprint and transfer volume.
+  bool wide_output = false;
+
+  /// Originating GPTPU task, used by the scheduler's affinity rule (§6.1).
+  u64 task_id = 0;
+  QuantMethod quant = QuantMethod::kScale;
+};
+
+/// Number of int8 multiply-accumulate operations an instruction performs.
+/// Drives the compute term of the timing model.
+[[nodiscard]] u64 mac_count(const Instruction& instr, Shape2D in0_shape,
+                            Shape2D in1_shape, Shape2D out_shape);
+
+/// Number of result values an instruction generates; the denominator of the
+/// paper's RPS metric.
+[[nodiscard]] u64 result_count(Shape2D out_shape);
+
+/// Output shape implied by the instruction and its input shapes. Throws
+/// InvalidArgument for inconsistent operands.
+[[nodiscard]] Shape2D infer_output_shape(const Instruction& instr,
+                                         Shape2D in0_shape, Shape2D in1_shape);
+
+}  // namespace gptpu::isa

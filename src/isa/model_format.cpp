@@ -1,0 +1,135 @@
+#include "isa/model_format.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+namespace gptpu::isa {
+
+namespace {
+
+void put_u32_le(u8* dst, u32 v) {
+  dst[0] = static_cast<u8>(v);
+  dst[1] = static_cast<u8>(v >> 8);
+  dst[2] = static_cast<u8>(v >> 16);
+  dst[3] = static_cast<u8>(v >> 24);
+}
+
+u32 get_u32_le(const u8* src) {
+  return static_cast<u32>(src[0]) | static_cast<u32>(src[1]) << 8 |
+         static_cast<u32>(src[2]) << 16 | static_cast<u32>(src[3]) << 24;
+}
+
+void put_f32_le(u8* dst, float v) {
+  static_assert(sizeof(float) == 4);
+  u32 bits;
+  std::memcpy(&bits, &v, 4);
+  put_u32_le(dst, bits);
+}
+
+float get_f32_le(const u8* src) {
+  const u32 bits = get_u32_le(src);
+  float v;
+  std::memcpy(&v, &bits, 4);
+  return v;
+}
+
+}  // namespace
+
+std::vector<u8> serialize_model(std::span<const i8> padded_data,
+                                const ModelInfo& info) {
+  GPTPU_CHECK(padded_data.size() == info.padded.elems(),
+              "data section does not match padded dimensions");
+  GPTPU_CHECK(info.raw.rows <= info.padded.rows &&
+                  info.raw.cols <= info.padded.cols,
+              "raw dimensions exceed padded dimensions");
+  std::vector<u8> blob(model_wire_size(info.padded));
+
+  // Header: magic, version, reserved, trailing data-section size.
+  u8* h = blob.data();
+  std::copy(kModelMagic.begin(), kModelMagic.end(), h);
+  put_u32_le(h + 4, kModelVersion);
+  put_u32_le(h + kModelHeaderBytes - 4, static_cast<u32>(padded_data.size()));
+
+  // Data section: row-major int8.
+  std::memcpy(blob.data() + kModelHeaderBytes, padded_data.data(),
+              padded_data.size());
+
+  // Metadata: padded dims, raw dims, scaling factor.
+  u8* m = blob.data() + kModelHeaderBytes + padded_data.size();
+  put_u32_le(m + 0, static_cast<u32>(info.padded.rows));
+  put_u32_le(m + 4, static_cast<u32>(info.padded.cols));
+  put_u32_le(m + 8, static_cast<u32>(info.raw.rows));
+  put_u32_le(m + 12, static_cast<u32>(info.raw.cols));
+  put_f32_le(m + 16, info.scale);
+  return blob;
+}
+
+std::vector<u8> build_model(MatrixView<const float> raw, float scale,
+                            Shape2D tile) {
+  GPTPU_CHECK(scale > 0.0f, "scale must be positive");
+  const ModelInfo info{pad_to_tile(raw.shape(), tile), raw.shape(), scale};
+  std::vector<u8> blob(model_wire_size(info.padded));
+
+  u8* h = blob.data();
+  std::copy(kModelMagic.begin(), kModelMagic.end(), h);
+  put_u32_le(h + 4, kModelVersion);
+  put_u32_le(h + kModelHeaderBytes - 4, static_cast<u32>(info.padded.elems()));
+
+  // Quantize straight into the data section; padding bytes are zero.
+  i8* data = reinterpret_cast<i8*>(blob.data() + kModelHeaderBytes);
+  std::memset(data, 0, info.padded.elems());
+  for (usize r = 0; r < raw.rows(); ++r) {
+    const auto src = raw.row(r);
+    i8* dst = data + r * info.padded.cols;
+    for (usize c = 0; c < src.size(); ++c) {
+      const float q = std::round(src[c] * scale);
+      dst[c] = static_cast<i8>(std::clamp(q, -127.0f, 127.0f));
+    }
+  }
+
+  u8* m = blob.data() + kModelHeaderBytes + info.padded.elems();
+  put_u32_le(m + 0, static_cast<u32>(info.padded.rows));
+  put_u32_le(m + 4, static_cast<u32>(info.padded.cols));
+  put_u32_le(m + 8, static_cast<u32>(info.raw.rows));
+  put_u32_le(m + 12, static_cast<u32>(info.raw.cols));
+  put_f32_le(m + 16, info.scale);
+  return blob;
+}
+
+ParsedModel parse_model(std::span<const u8> blob) {
+  if (blob.size() < kModelHeaderBytes + kModelMetadataBytes) {
+    throw FormatError("model blob shorter than header + metadata");
+  }
+  if (!std::equal(kModelMagic.begin(), kModelMagic.end(), blob.begin())) {
+    throw FormatError("bad model magic");
+  }
+  const u32 version = get_u32_le(blob.data() + 4);
+  if (version != kModelVersion) {
+    throw FormatError("unsupported model version " + std::to_string(version));
+  }
+  const u32 data_size = get_u32_le(blob.data() + kModelHeaderBytes - 4);
+  if (blob.size() != kModelHeaderBytes + data_size + kModelMetadataBytes) {
+    throw FormatError("model blob size inconsistent with header data size");
+  }
+  const u8* m = blob.data() + kModelHeaderBytes + data_size;
+  ParsedModel parsed;
+  parsed.info.padded = {get_u32_le(m + 0), get_u32_le(m + 4)};
+  parsed.info.raw = {get_u32_le(m + 8), get_u32_le(m + 12)};
+  parsed.info.scale = get_f32_le(m + 16);
+  if (parsed.info.padded.elems() != data_size) {
+    throw FormatError("metadata dimensions inconsistent with data size");
+  }
+  if (parsed.info.raw.rows > parsed.info.padded.rows ||
+      parsed.info.raw.cols > parsed.info.padded.cols) {
+    throw FormatError("raw dimensions exceed padded dimensions");
+  }
+  if (!(parsed.info.scale > 0.0f) || !std::isfinite(parsed.info.scale)) {
+    throw FormatError("non-positive or non-finite scaling factor");
+  }
+  parsed.data = {reinterpret_cast<const i8*>(blob.data() + kModelHeaderBytes),
+                 data_size};
+  return parsed;
+}
+
+}  // namespace gptpu::isa

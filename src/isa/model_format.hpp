@@ -1,0 +1,73 @@
+// The reverse-engineered Edge TPU binary model format (§3.3).
+//
+// Key characteristics recovered by the paper and reproduced here:
+//   (1) a 120-byte general header whose last 4 bytes hold an unsigned
+//       integer with the size of the data section;
+//   (2) a data section of binary 8-bit integers in row-major order, zero
+//       padded to the tile granularity the hardware computes on
+//       (128x128 sub-matrices for most arithmetic instructions);
+//   (3) a metadata section with the data-section dimensions (rows,
+//       columns) and the floating-point scaling factor f, where an 8-bit
+//       value equals its raw value multiplied by f;
+//   (4) little-endian encoding throughout.
+//
+// We additionally record the pre-padding (raw) dimensions in the metadata
+// so results can be un-padded without out-of-band state.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "common/types.hpp"
+
+namespace gptpu::isa {
+
+inline constexpr usize kModelHeaderBytes = 120;
+inline constexpr usize kModelMetadataBytes = 20;
+inline constexpr std::array<u8, 4> kModelMagic = {'T', 'P', 'U', 'M'};
+inline constexpr u32 kModelVersion = 1;
+
+/// Decoded model metadata.
+struct ModelInfo {
+  Shape2D padded;  // dimensions of the data section (tile multiples)
+  Shape2D raw;     // pre-padding logical dimensions
+  float scale = 1.0f;
+
+  bool operator==(const ModelInfo&) const = default;
+};
+
+/// A parsed model: metadata plus a non-owning view of the int8 data
+/// section inside the serialized blob.
+struct ParsedModel {
+  ModelInfo info;
+  std::span<const i8> data;  // padded.elems() values, row-major
+};
+
+/// Serializes pre-quantized int8 data (already padded to `padded` and laid
+/// out row-major) into the model wire format.
+[[nodiscard]] std::vector<u8> serialize_model(std::span<const i8> padded_data,
+                                              const ModelInfo& info);
+
+/// Quantizes `raw` with `scale` (q = clamp(round(raw * scale), -127, 127)),
+/// zero-pads to the next multiple of `tile`, and serializes. This is the
+/// fast single-pass path the Tensorizer uses (§6.2.3).
+[[nodiscard]] std::vector<u8> build_model(MatrixView<const float> raw,
+                                          float scale, Shape2D tile);
+
+/// Parses a serialized model. Throws FormatError on malformed input. The
+/// returned view aliases `blob`.
+[[nodiscard]] ParsedModel parse_model(std::span<const u8> blob);
+
+/// Size in bytes of a serialized model holding `padded` data elements.
+[[nodiscard]] constexpr usize model_wire_size(Shape2D padded) {
+  return kModelHeaderBytes + padded.elems() + kModelMetadataBytes;
+}
+
+/// Rounds `shape` up to the next multiple of `tile` in both dimensions.
+[[nodiscard]] constexpr Shape2D pad_to_tile(Shape2D shape, Shape2D tile) {
+  auto round_up = [](usize x, usize t) { return (x + t - 1) / t * t; };
+  return {round_up(shape.rows, tile.rows), round_up(shape.cols, tile.cols)};
+}
+
+}  // namespace gptpu::isa

@@ -1,0 +1,97 @@
+// The Edge TPU CISC operator/instruction set characterized in §3.2, Table 1.
+#pragma once
+
+#include <array>
+#include <string_view>
+
+#include "common/matrix.hpp"
+#include "common/types.hpp"
+
+namespace gptpu::isa {
+
+/// The eleven operators the paper measures (Table 1). The Edge TPU is a
+/// CISC machine: one instruction consumes whole tensors.
+enum class Opcode : u8 {
+  kConv2D,          // 2-D convolution (optionally strided)
+  kFullyConnected,  // input vector x weight matrix
+  kSub,             // pair-wise subtraction
+  kAdd,             // pair-wise addition
+  kMul,             // pair-wise multiplication
+  kCrop,            // extract a sub-matrix
+  kExt,             // zero-pad to a target dimensionality
+  kMean,            // mean of all elements (matrix-wise reduction)
+  kMax,             // max of all elements (matrix-wise reduction)
+  kTanh,            // element-wise tanh
+  kReLu,            // element-wise rectifier
+};
+
+inline constexpr usize kNumOpcodes = 11;
+
+inline constexpr std::array<Opcode, kNumOpcodes> kAllOpcodes = {
+    Opcode::kConv2D, Opcode::kFullyConnected, Opcode::kSub, Opcode::kAdd,
+    Opcode::kMul,    Opcode::kCrop,           Opcode::kExt, Opcode::kMean,
+    Opcode::kMax,    Opcode::kTanh,           Opcode::kReLu,
+};
+
+[[nodiscard]] constexpr std::string_view name(Opcode op) {
+  switch (op) {
+    case Opcode::kConv2D: return "conv2D";
+    case Opcode::kFullyConnected: return "FullyConnected";
+    case Opcode::kSub: return "sub";
+    case Opcode::kAdd: return "add";
+    case Opcode::kMul: return "mul";
+    case Opcode::kCrop: return "crop";
+    case Opcode::kExt: return "ext";
+    case Opcode::kMean: return "mean";
+    case Opcode::kMax: return "max";
+    case Opcode::kTanh: return "tanh";
+    case Opcode::kReLu: return "ReLu";
+  }
+  return "?";
+}
+
+/// Operator classes used by the Tensorizer rewriting rules (§6.2.1) and the
+/// scaling-factor formulas (§6.2.2).
+enum class OpClass : u8 {
+  kArithmetic,   // conv2D, FullyConnected: multiply-accumulate chains
+  kPairwise,     // add, sub, mul: value pairs at corresponding positions
+  kElementwise,  // tanh, ReLu: one value at a time
+  kMatrixwise,   // mean, max: whole-matrix reductions
+  kLayout,       // crop, ext: data movement only
+};
+
+[[nodiscard]] constexpr OpClass op_class(Opcode op) {
+  switch (op) {
+    case Opcode::kConv2D:
+    case Opcode::kFullyConnected: return OpClass::kArithmetic;
+    case Opcode::kSub:
+    case Opcode::kAdd:
+    case Opcode::kMul: return OpClass::kPairwise;
+    case Opcode::kTanh:
+    case Opcode::kReLu: return OpClass::kElementwise;
+    case Opcode::kMean:
+    case Opcode::kMax: return OpClass::kMatrixwise;
+    case Opcode::kCrop:
+    case Opcode::kExt: return OpClass::kLayout;
+  }
+  return OpClass::kLayout;
+}
+
+/// True for opcodes that take a second tensor operand (a "model" in Edge
+/// TPU terms for the arithmetic ops, a plain tensor for the pairwise ops).
+[[nodiscard]] constexpr bool has_second_operand(Opcode op) {
+  switch (op_class(op)) {
+    case OpClass::kArithmetic:
+    case OpClass::kPairwise: return true;
+    default: return false;
+  }
+}
+
+/// The data shape each instruction is optimized for (§3.3 / §6.2.1): the
+/// matrix unit computes on 128x128x8-bit tiles; mean/max favor 64x64.
+[[nodiscard]] constexpr Shape2D optimal_tile(Opcode op) {
+  if (op_class(op) == OpClass::kMatrixwise) return {64, 64};
+  return {128, 128};
+}
+
+}  // namespace gptpu::isa

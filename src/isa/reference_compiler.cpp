@@ -1,0 +1,71 @@
+#include "isa/reference_compiler.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <string>
+
+namespace gptpu::isa {
+
+namespace {
+
+/// Boxes a float through a decimal-text representation, the way values
+/// travel between Python and the TFLite converter. This is the dominant
+/// per-element cost of the interpreted pipeline.
+float text_round_trip(float v) {
+  char buf[48];
+  const auto [end, ec] =
+      std::to_chars(buf, buf + sizeof(buf), static_cast<double>(v),
+                    std::chars_format::general, 17);
+  GPTPU_CHECK(ec == std::errc{}, "to_chars failed");
+  double parsed = 0.0;
+  std::from_chars(buf, end, parsed);
+  return static_cast<float>(parsed);
+}
+
+}  // namespace
+
+std::vector<u8> reference_compile_model(MatrixView<const float> raw,
+                                        float scale, Shape2D tile) {
+  const Shape2D padded = pad_to_tile(raw.shape(), tile);
+
+  // Pass 1: import -- every element boxed through text, appended to a
+  // growing dynamic array (no reserve: the toolchain builds Python lists).
+  std::vector<float> imported;
+  for (usize r = 0; r < raw.rows(); ++r) {
+    for (usize c = 0; c < raw.cols(); ++c) {
+      imported.push_back(text_round_trip(raw(r, c)));
+    }
+  }
+
+  // Pass 2: range analysis -- a full re-scan, as the converter's
+  // calibration step performs separately from quantization.
+  float max_abs = 0.0f;
+  for (float v : imported) max_abs = std::max(max_abs, std::abs(v));
+  (void)max_abs;  // the caller supplies the scale, as GPTPU does
+
+  // Pass 3: quantization into a second dynamic array.
+  std::vector<i8> quantized;
+  for (float v : imported) {
+    const float q = std::round(v * scale);
+    quantized.push_back(static_cast<i8>(std::clamp(q, -127.0f, 127.0f)));
+  }
+
+  // Pass 4: layout -- scatter into the zero-padded tile grid.
+  std::vector<i8> padded_data(padded.elems(), 0);
+  for (usize r = 0; r < raw.rows(); ++r) {
+    for (usize c = 0; c < raw.cols(); ++c) {
+      padded_data[r * padded.cols + c] = quantized[r * raw.cols() + c];
+    }
+  }
+
+  // Pass 5: serialization through the shared wire encoder, byte-appended
+  // the way a generic FlatBuffer writer emits scalars.
+  const std::vector<u8> canonical = serialize_model(
+      padded_data, ModelInfo{padded, raw.shape(), scale});
+  std::vector<u8> blob;
+  for (u8 b : canonical) blob.push_back(b);
+  return blob;
+}
+
+}  // namespace gptpu::isa

@@ -1,0 +1,208 @@
+#include "openctpu/gptpu.hpp"
+
+#include <future>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "runtime/runtime.hpp"
+
+namespace {
+
+using gptpu::Shape2D;
+using gptpu::usize;
+using gptpu::isa::Opcode;
+using gptpu::isa::QuantMethod;
+using gptpu::runtime::OperationRequest;
+using gptpu::runtime::Runtime;
+using gptpu::runtime::RuntimeConfig;
+
+struct Context {
+  std::unique_ptr<Runtime> runtime;
+  std::vector<std::unique_ptr<openctpu_dimension>> dimensions;
+  std::vector<std::unique_ptr<openctpu_buffer>> buffers;
+
+  std::mutex mu;
+  std::unordered_map<int, std::future<void>> tasks;
+  int next_handle = 1;
+};
+
+Context& context() {
+  static Context ctx;
+  return ctx;
+}
+
+Context& initialized_context() {
+  Context& ctx = context();
+  if (!ctx.runtime) openctpu_init({});
+  return ctx;
+}
+
+/// Task identity of the currently running kernel function; 0 when called
+/// from a plain host thread (operators then serialize on a shared default
+/// task, preserving program order).
+thread_local gptpu::u64 tls_task_id = 0;
+
+gptpu::u64 current_task(Runtime& rt) {
+  if (tls_task_id == 0) {
+    static std::once_flag once;
+    static gptpu::u64 default_task = 0;
+    std::call_once(once, [&] { default_task = rt.begin_task(); });
+    return default_task;
+  }
+  return tls_task_id;
+}
+
+Opcode to_opcode(tpu_ops op) {
+  switch (op) {
+    case TPU_OP_CONV2D: return Opcode::kConv2D;
+    case TPU_OP_FULLY_CONNECTED: return Opcode::kFullyConnected;
+    case TPU_OP_SUB: return Opcode::kSub;
+    case TPU_OP_ADD: return Opcode::kAdd;
+    case TPU_OP_MUL: return Opcode::kMul;
+    case TPU_OP_CROP: return Opcode::kCrop;
+    case TPU_OP_EXT: return Opcode::kExt;
+    case TPU_OP_MEAN: return Opcode::kMean;
+    case TPU_OP_MAX: return Opcode::kMax;
+    case TPU_OP_TANH: return Opcode::kTanh;
+    case TPU_OP_RELU: return Opcode::kReLu;
+  }
+  throw gptpu::InvalidArgument("unknown tpu_ops value");
+}
+
+QuantMethod to_quant(unsigned flags) {
+  switch (flags) {
+    case OPENCTPU_SCALE: return QuantMethod::kScale;
+    case OPENCTPU_MINMAX: return QuantMethod::kMinMax;
+    case OPENCTPU_IDENTITY: return QuantMethod::kIdentity;
+    default: throw gptpu::InvalidArgument("unknown quantization flags");
+  }
+}
+
+int invoke(Opcode op, unsigned flags, openctpu_buffer* in0,
+           openctpu_buffer* in1, openctpu_buffer* out,
+           const openctpu_operator_params& params) {
+  GPTPU_CHECK(in0 != nullptr && out != nullptr, "null buffer");
+  Runtime& rt = openctpu_runtime();
+  OperationRequest req;
+  req.task_id = current_task(rt);
+  req.op = op;
+  req.in0 = in0->impl;
+  req.in1 = in1 != nullptr ? in1->impl : nullptr;
+  req.out = out->impl;
+  req.quant = to_quant(flags);
+  req.stride = {params.stride_x, params.stride_y};
+  req.kernel_bank = params.kernel_bank;
+  req.window = params.window;
+  req.pad_target = params.pad_target;
+  rt.invoke(req);
+  return 0;
+}
+
+}  // namespace
+
+Shape2D openctpu_buffer::shape() const {
+  GPTPU_CHECK(impl != nullptr, "uninitialized buffer");
+  return impl->shape();
+}
+
+void openctpu_init(const openctpu_options& options) {
+  Context& ctx = context();
+  GPTPU_CHECK(!ctx.runtime, "openctpu already initialized");
+  RuntimeConfig cfg;
+  cfg.num_devices = options.num_devices;
+  ctx.runtime = std::make_unique<Runtime>(cfg);
+}
+
+void openctpu_shutdown() {
+  Context& ctx = context();
+  openctpu_sync();
+  ctx.buffers.clear();
+  ctx.dimensions.clear();
+  ctx.runtime.reset();
+}
+
+gptpu::runtime::Runtime& openctpu_runtime() {
+  return *initialized_context().runtime;
+}
+
+openctpu_dimension* openctpu_alloc_dimension(int dimensions, usize rows,
+                                             usize cols) {
+  GPTPU_CHECK(dimensions == 1 || dimensions == 2,
+              "only 1-D and 2-D data are supported");
+  Context& ctx = initialized_context();
+  auto dim = std::make_unique<openctpu_dimension>();
+  dim->shape = dimensions == 1 ? Shape2D{1, rows} : Shape2D{rows, cols};
+  std::lock_guard lock(ctx.mu);
+  ctx.dimensions.push_back(std::move(dim));
+  return ctx.dimensions.back().get();
+}
+
+openctpu_buffer* openctpu_create_buffer(openctpu_dimension* dimension,
+                                        float* data, unsigned /*flags*/) {
+  GPTPU_CHECK(dimension != nullptr, "null dimension");
+  GPTPU_CHECK(data != nullptr, "null data");
+  Context& ctx = initialized_context();
+  auto buf = std::make_unique<openctpu_buffer>();
+  buf->impl = ctx.runtime->create_buffer(dimension->shape, data);
+  buf->host = data;
+  std::lock_guard lock(ctx.mu);
+  ctx.buffers.push_back(std::move(buf));
+  return ctx.buffers.back().get();
+}
+
+int openctpu_enqueue(const std::function<void()>& kernel) {
+  Context& ctx = initialized_context();
+  const gptpu::u64 task_id = ctx.runtime->begin_task();
+  int handle;
+  {
+    std::lock_guard lock(ctx.mu);
+    handle = ctx.next_handle++;
+  }
+  auto fut = std::async(std::launch::async, [kernel, task_id] {
+    tls_task_id = task_id;
+    kernel();
+    tls_task_id = 0;
+  });
+  std::lock_guard lock(ctx.mu);
+  ctx.tasks.emplace(handle, std::move(fut));
+  return handle;
+}
+
+int openctpu_invoke_operator(tpu_ops op, unsigned flags, openctpu_buffer* in0,
+                             openctpu_buffer* in1, openctpu_buffer* out,
+                             const openctpu_operator_params& params) {
+  return invoke(to_opcode(op), flags, in0, in1, out, params);
+}
+
+int openctpu_invoke_operator(tpu_ops op, unsigned flags, openctpu_buffer* in,
+                             openctpu_buffer* out,
+                             const openctpu_operator_params& params) {
+  return invoke(to_opcode(op), flags, in, nullptr, out, params);
+}
+
+int openctpu_sync() {
+  Context& ctx = initialized_context();
+  std::unordered_map<int, std::future<void>> pending;
+  {
+    std::lock_guard lock(ctx.mu);
+    pending.swap(ctx.tasks);
+  }
+  for (auto& [handle, fut] : pending) fut.get();
+  return 0;
+}
+
+int openctpu_wait(int task_handle) {
+  Context& ctx = initialized_context();
+  std::future<void> fut;
+  {
+    std::lock_guard lock(ctx.mu);
+    const auto it = ctx.tasks.find(task_handle);
+    if (it == ctx.tasks.end()) return 0;  // already completed
+    fut = std::move(it->second);
+    ctx.tasks.erase(it);
+  }
+  fut.get();
+  return 0;
+}

@@ -1,0 +1,5 @@
+// Source-compatibility alias: the paper's Figure 3 sample includes
+// <gptpu.h>; the implementation lives in gptpu.hpp.
+#pragma once
+
+#include "openctpu/gptpu.hpp"

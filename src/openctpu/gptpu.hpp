@@ -1,0 +1,133 @@
+// OpenCtpu -- the GPTPU programming interface (§5, Table 2).
+//
+// A C/C++ front end in the spirit of CUDA/OpenCL: the host program
+// allocates dimension descriptors and data buffers, enqueues kernel
+// functions as tasks, and invokes TPU operators inside those kernels.
+// Operators within one kernel instance serialize; distinct tasks run in
+// parallel and out of order, so the programmer synchronizes with
+// openctpu_sync() / openctpu_wait().
+//
+// Usage mirrors Figure 3 of the paper:
+//
+//   void kernel(openctpu_buffer* a, openctpu_buffer* b, openctpu_buffer* c) {
+//     openctpu_invoke_operator(TPU_OP_CONV2D, OPENCTPU_SCALE, a, b, c);
+//   }
+//   ...
+//   auto* dim = openctpu_alloc_dimension(2, size, size);
+//   auto* ta = openctpu_create_buffer(dim, a);
+//   ...
+//   openctpu_enqueue(kernel, ta, tb, tc);
+//   openctpu_sync();
+#pragma once
+
+#include <functional>
+
+#include "common/matrix.hpp"
+#include "isa/instruction.hpp"
+
+namespace gptpu::runtime {
+class Runtime;
+class TensorBuffer;
+}  // namespace gptpu::runtime
+
+/// Operators a kernel can invoke (the Edge TPU instruction set, §3.2).
+enum tpu_ops {
+  TPU_OP_CONV2D,
+  TPU_OP_FULLY_CONNECTED,
+  TPU_OP_SUB,
+  TPU_OP_ADD,
+  TPU_OP_MUL,
+  TPU_OP_CROP,
+  TPU_OP_EXT,
+  TPU_OP_MEAN,
+  TPU_OP_MAX,
+  TPU_OP_TANH,
+  TPU_OP_RELU,
+};
+
+/// Quantization-method flags (the `SCALE` argument of Figure 3).
+enum openctpu_quant_flags {
+  OPENCTPU_SCALE = 0,     // §6.2.2 operator-aware scaling (default)
+  OPENCTPU_MINMAX = 1,    // plain min/max range scaling
+  OPENCTPU_IDENTITY = 2,  // data is already small integers; scale = 1
+};
+
+/// Describes the dimensionality of buffer data (Table 2).
+struct openctpu_dimension {
+  gptpu::Shape2D shape;
+};
+
+/// An input/output data buffer for TPU kernels (Table 2). Wraps host
+/// memory owned by the application.
+struct openctpu_buffer {
+  gptpu::runtime::TensorBuffer* impl = nullptr;
+  float* host = nullptr;
+
+  [[nodiscard]] gptpu::Shape2D shape() const;
+};
+
+/// Optional parameters for openctpu_invoke_operator.
+struct openctpu_operator_params {
+  // conv2D
+  gptpu::u16 stride_x = 1;
+  gptpu::u16 stride_y = 1;
+  gptpu::u16 kernel_bank = 1;
+  // crop
+  gptpu::isa::Window window{};
+  // ext
+  gptpu::Shape2D pad_target{};
+};
+
+// --- context management -----------------------------------------------------
+
+struct openctpu_options {
+  gptpu::usize num_devices = 1;
+};
+
+/// Initializes the GPTPU runtime. Called implicitly (1 device) by the
+/// first API call if omitted. Re-initializing with different options
+/// requires openctpu_shutdown() first.
+void openctpu_init(const openctpu_options& options);
+void openctpu_shutdown();
+
+/// The underlying runtime, for examples/benchmarks that report modelled
+/// latency and energy.
+gptpu::runtime::Runtime& openctpu_runtime();
+
+// --- Table 2 API --------------------------------------------------------------
+
+/// Allocates a dimension descriptor. `dimensions` must be 1 or 2 (the Edge
+/// TPU computes on matrices); a 1-D descriptor is a 1 x n row.
+openctpu_dimension* openctpu_alloc_dimension(int dimensions, gptpu::usize rows,
+                                             gptpu::usize cols = 1);
+
+/// Creates a TPU data buffer over caller-owned host data (row-major
+/// float). The data must stay alive while the buffer is used.
+openctpu_buffer* openctpu_create_buffer(openctpu_dimension* dimension,
+                                        float* data, unsigned flags = 0);
+
+/// Enqueues a TPU task. The kernel runs asynchronously; every operator it
+/// invokes serializes within the task. Returns a task handle.
+int openctpu_enqueue(const std::function<void()>& kernel);
+
+template <typename... Args>
+int openctpu_enqueue(void (*kernel)(Args*...), Args*... args) {
+  return openctpu_enqueue(std::function<void()>([=] { kernel(args...); }));
+}
+
+/// Invokes one TPU operator inside a kernel function. Two-operand form
+/// (conv2D, FullyConnected, add, sub, mul).
+int openctpu_invoke_operator(tpu_ops op, unsigned flags, openctpu_buffer* in0,
+                             openctpu_buffer* in1, openctpu_buffer* out,
+                             const openctpu_operator_params& params = {});
+
+/// Single-operand form (crop, ext, mean, max, tanh, ReLu).
+int openctpu_invoke_operator(tpu_ops op, unsigned flags, openctpu_buffer* in,
+                             openctpu_buffer* out,
+                             const openctpu_operator_params& params = {});
+
+/// Blocks until all enqueued TPU tasks complete.
+int openctpu_sync();
+
+/// Blocks until the given task completes.
+int openctpu_wait(int task_handle);

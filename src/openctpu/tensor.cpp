@@ -1,0 +1,32 @@
+#include "openctpu/tensor.hpp"
+
+#include "runtime/runtime.hpp"
+
+namespace gptpu::openctpu {
+
+void Tensor::refresh() {
+  buffer_->impl->bump_version();
+  buffer_->impl->recalibrate();
+}
+
+namespace {
+std::unique_ptr<Tensor> binary(tpu_ops op, Tensor& a, Tensor& b) {
+  GPTPU_CHECK(a.shape() == b.shape(), "operand shape mismatch");
+  auto out = std::make_unique<Tensor>(a.shape());
+  openctpu_invoke_operator(op, OPENCTPU_SCALE, a.buffer(), b.buffer(),
+                           out->buffer());
+  return out;
+}
+}  // namespace
+
+std::unique_ptr<Tensor> operator+(Tensor& a, Tensor& b) {
+  return binary(TPU_OP_ADD, a, b);
+}
+std::unique_ptr<Tensor> operator-(Tensor& a, Tensor& b) {
+  return binary(TPU_OP_SUB, a, b);
+}
+std::unique_ptr<Tensor> operator*(Tensor& a, Tensor& b) {
+  return binary(TPU_OP_MUL, a, b);
+}
+
+}  // namespace gptpu::openctpu

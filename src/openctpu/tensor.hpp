@@ -1,0 +1,61 @@
+// Overloaded tensor operators (§5): OpenCtpu "implemented optimized
+// overloaded operators on tensor data (e.g., matrix-add [+], matrix-sub
+// [-], matrix-multiply [*]) to perform pair-wise matrix addition,
+// subtraction and multiplication".
+//
+// openctpu::Tensor is a value type owning both the host storage and its
+// openctpu_buffer; arithmetic dispatches to the TPU through the runtime.
+#pragma once
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "openctpu/gptpu.hpp"
+
+namespace gptpu::openctpu {
+
+class Tensor {
+ public:
+  explicit Tensor(Shape2D shape) : data_(shape.elems(), 0.0f) {
+    auto* dim = openctpu_alloc_dimension(2, shape.rows, shape.cols);
+    buffer_ = openctpu_create_buffer(dim, data_.data());
+  }
+
+  Tensor(Shape2D shape, std::span<const float> values) : Tensor(shape) {
+    GPTPU_CHECK(values.size() == shape.elems(), "value count mismatch");
+    std::copy(values.begin(), values.end(), data_.begin());
+    refresh();
+  }
+
+  // The buffer points into data_, so Tensors pin their storage.
+  Tensor(const Tensor&) = delete;
+  Tensor& operator=(const Tensor&) = delete;
+  Tensor(Tensor&&) = delete;
+  Tensor& operator=(Tensor&&) = delete;
+
+  [[nodiscard]] Shape2D shape() const { return buffer_->shape(); }
+  [[nodiscard]] openctpu_buffer* buffer() { return buffer_; }
+  [[nodiscard]] MatrixView<float> view() {
+    return {data_.data(), buffer_->shape()};
+  }
+  [[nodiscard]] MatrixView<const float> view() const {
+    return {data_.data(), buffer_->shape()};
+  }
+
+  /// Must be called after mutating the host data directly, so the next
+  /// operator re-calibrates the quantization range.
+  void refresh();
+
+ private:
+  std::vector<float> data_;
+  openctpu_buffer* buffer_ = nullptr;
+};
+
+/// Pair-wise operators; each allocates the result tensor and runs one TPU
+/// operation.
+[[nodiscard]] std::unique_ptr<Tensor> operator+(Tensor& a, Tensor& b);
+[[nodiscard]] std::unique_ptr<Tensor> operator-(Tensor& a, Tensor& b);
+[[nodiscard]] std::unique_ptr<Tensor> operator*(Tensor& a, Tensor& b);
+
+}  // namespace gptpu::openctpu

@@ -1,0 +1,106 @@
+#include "ops/elementwise.hpp"
+
+namespace gptpu::ops {
+
+using runtime::OperationRequest;
+using runtime::Runtime;
+using runtime::TensorBuffer;
+
+namespace {
+
+/// Runs one operation over temporary buffer records wrapping the views.
+void run(Runtime& rt, OperationRequest& req, MatrixView<const float> a,
+         const MatrixView<const float>* b, MatrixView<float> c) {
+  GPTPU_CHECK(rt.config().functional, "ops wrappers need a functional runtime");
+  GPTPU_CHECK(a.contiguous() && c.contiguous() &&
+                  (b == nullptr || b->contiguous()),
+              "ops wrappers need contiguous views");
+  TensorBuffer* ba = rt.create_buffer(a.shape(), const_cast<float*>(a.data()));
+  TensorBuffer* bb =
+      b != nullptr
+          ? rt.create_buffer(b->shape(), const_cast<float*>(b->data()))
+          : nullptr;
+  TensorBuffer* bc = rt.create_buffer(c.shape(), c.data());
+  req.in0 = ba;
+  req.in1 = bb;
+  req.out = bc;
+  rt.invoke(req);
+  rt.destroy_buffer(ba);
+  if (bb != nullptr) rt.destroy_buffer(bb);
+  rt.destroy_buffer(bc);
+}
+
+}  // namespace
+
+void tpu_pairwise(Runtime& rt, u64 task_id, isa::Opcode op,
+                  MatrixView<const float> a, MatrixView<const float> b,
+                  MatrixView<float> c, isa::QuantMethod quant) {
+  GPTPU_CHECK(isa::op_class(op) == isa::OpClass::kPairwise,
+              "tpu_pairwise: not a pairwise opcode");
+  OperationRequest req;
+  req.task_id = task_id;
+  req.op = op;
+  req.quant = quant;
+  run(rt, req, a, &b, c);
+}
+
+void tpu_unary(Runtime& rt, u64 task_id, isa::Opcode op,
+               MatrixView<const float> a, MatrixView<float> c,
+               isa::QuantMethod quant) {
+  GPTPU_CHECK(isa::op_class(op) == isa::OpClass::kElementwise,
+              "tpu_unary: not an elementwise opcode");
+  OperationRequest req;
+  req.task_id = task_id;
+  req.op = op;
+  req.quant = quant;
+  run(rt, req, a, nullptr, c);
+}
+
+float tpu_reduce(Runtime& rt, u64 task_id, isa::Opcode op,
+                 MatrixView<const float> a, isa::QuantMethod quant) {
+  GPTPU_CHECK(isa::op_class(op) == isa::OpClass::kMatrixwise,
+              "tpu_reduce: not a matrix-wise opcode");
+  float result = 0;
+  OperationRequest req;
+  req.task_id = task_id;
+  req.op = op;
+  req.quant = quant;
+  MatrixView<float> c{&result, {1, 1}};
+  run(rt, req, a, nullptr, c);
+  return result;
+}
+
+void tpu_conv2d(Runtime& rt, u64 task_id, MatrixView<const float> a,
+                MatrixView<const float> kernel, MatrixView<float> c,
+                isa::Stride stride, isa::QuantMethod quant, bool exact) {
+  OperationRequest req;
+  req.task_id = task_id;
+  req.op = isa::Opcode::kConv2D;
+  req.quant = quant;
+  req.stride = stride;
+  req.exact_arithmetic = exact;
+  run(rt, req, a, &kernel, c);
+}
+
+void tpu_crop(Runtime& rt, u64 task_id, MatrixView<const float> a,
+              isa::Window window, MatrixView<float> c,
+              isa::QuantMethod quant) {
+  OperationRequest req;
+  req.task_id = task_id;
+  req.op = isa::Opcode::kCrop;
+  req.quant = quant;
+  req.window = window;
+  run(rt, req, a, nullptr, c);
+}
+
+void tpu_ext(Runtime& rt, u64 task_id, MatrixView<const float> a,
+             MatrixView<float> c, isa::QuantMethod quant) {
+  OperationRequest req;
+  req.task_id = task_id;
+  req.op = isa::Opcode::kExt;
+  req.quant = quant;
+  req.pad_target = c.shape();
+  run(rt, req, a, nullptr, c);
+}
+
+}  // namespace gptpu::ops

@@ -1,0 +1,43 @@
+// Thin library wrappers over the primitive TPU operators, for application
+// code that works with host matrices directly (the GPTPU apps of §7.2).
+#pragma once
+
+#include "runtime/runtime.hpp"
+
+namespace gptpu::ops {
+
+/// c = a (op) b for op in {add, sub, mul}.
+void tpu_pairwise(runtime::Runtime& rt, u64 task_id, isa::Opcode op,
+                  MatrixView<const float> a, MatrixView<const float> b,
+                  MatrixView<float> c,
+                  isa::QuantMethod quant = isa::QuantMethod::kScale);
+
+/// c = f(a) for f in {tanh, ReLu}.
+void tpu_unary(runtime::Runtime& rt, u64 task_id, isa::Opcode op,
+               MatrixView<const float> a, MatrixView<float> c,
+               isa::QuantMethod quant = isa::QuantMethod::kScale);
+
+/// Scalar mean/max of a matrix (device tiles + CPU aggregation, §6.2.1).
+[[nodiscard]] float tpu_reduce(runtime::Runtime& rt, u64 task_id,
+                               isa::Opcode op, MatrixView<const float> a,
+                               isa::QuantMethod quant = isa::QuantMethod::kScale);
+
+/// c = conv2D(a, kernel) with the given stride (valid padding). `exact`
+/// selects wide int32 outputs (4x readback volume) over requantized int8.
+void tpu_conv2d(runtime::Runtime& rt, u64 task_id, MatrixView<const float> a,
+                MatrixView<const float> kernel, MatrixView<float> c,
+                isa::Stride stride = {1, 1},
+                isa::QuantMethod quant = isa::QuantMethod::kScale,
+                bool exact = true);
+
+/// c = a[window].
+void tpu_crop(runtime::Runtime& rt, u64 task_id, MatrixView<const float> a,
+              isa::Window window, MatrixView<float> c,
+              isa::QuantMethod quant = isa::QuantMethod::kScale);
+
+/// c = a zero-padded to c's shape.
+void tpu_ext(runtime::Runtime& rt, u64 task_id, MatrixView<const float> a,
+             MatrixView<float> c,
+             isa::QuantMethod quant = isa::QuantMethod::kScale);
+
+}  // namespace gptpu::ops

@@ -1,0 +1,285 @@
+#include "ops/tpu_gemm.hpp"
+
+#include <cmath>
+
+namespace gptpu::ops {
+
+using runtime::OperationRequest;
+using runtime::Runtime;
+using runtime::TensorBuffer;
+
+usize gemm_kernel_side(usize n) {
+  GPTPU_CHECK(n > 0, "gemm: empty inner dimension");
+  usize s = static_cast<usize>(std::ceil(std::sqrt(static_cast<double>(n))));
+  while (s * s < n) ++s;  // guard against floating-point sqrt rounding
+  return s;
+}
+
+namespace {
+
+/// Host layout transform for the conv2D algorithm: row i of `a` (length n)
+/// becomes the s x s block occupying rows [i*s, (i+1)*s) of the result,
+/// filled row-major and zero-padded past n.
+Matrix<float> reshape_rows_to_blocks(MatrixView<const float> a, usize s) {
+  Matrix<float> out(a.rows() * s, s);
+  for (usize i = 0; i < a.rows(); ++i) {
+    const auto row = a.row(i);
+    for (usize k = 0; k < row.size(); ++k) {
+      out(i * s + k / s, k % s) = row[k];
+    }
+  }
+  return out;
+}
+
+/// Columns of `b` become the kernel bank: kernel j occupies rows
+/// [j*s, (j+1)*s), with the same row-major fill so element k of the column
+/// lands where element k of a reshaped row lands.
+Matrix<float> reshape_cols_to_kernels(MatrixView<const float> b, usize s) {
+  Matrix<float> out(b.cols() * s, s);
+  for (usize j = 0; j < b.cols(); ++j) {
+    for (usize k = 0; k < b.rows(); ++k) {
+      out(j * s + k / s, k % s) = b(k, j);
+    }
+  }
+  return out;
+}
+
+void check_gemm_shapes(Shape2D a, Shape2D b, Shape2D c) {
+  GPTPU_CHECK(a.cols == b.rows, "gemm: inner dimensions differ");
+  GPTPU_CHECK(c.rows == a.rows && c.cols == b.cols,
+              "gemm: output shape mismatch");
+}
+
+bool use_wide(const GemmOptions& options, Shape2D c) {
+  if (!options.exact) return false;
+  if (options.quant == isa::QuantMethod::kIdentity) return true;
+  return c.elems() <= kWideOutputElemLimit;
+}
+
+/// Inner-dimension chunks for the P x Q blocking (§6.2.1). One chunk means
+/// full-length dot products (no CPU aggregation of partials).
+usize reduction_chunks(const GemmOptions& options, usize n) {
+  GPTPU_CHECK(options.reduction_chunk > 0, "gemm: zero reduction chunk");
+  return (n + options.reduction_chunk - 1) / options.reduction_chunk;
+}
+
+void invoke_conv_gemm(Runtime& rt, u64 task_id, TensorBuffer* a_prime,
+                      TensorBuffer* b_prime, TensorBuffer* c, usize s,
+                      usize bank, const GemmOptions& options, bool wide) {
+  OperationRequest req;
+  req.task_id = task_id;
+  req.op = isa::Opcode::kConv2D;
+  req.in0 = a_prime;
+  req.in1 = b_prime;
+  req.out = c;
+  req.quant = options.quant;
+  req.exact_arithmetic = wide;
+  req.stride = {static_cast<u16>(s), static_cast<u16>(s)};
+  req.kernel_bank = static_cast<u16>(bank);
+  rt.invoke(req);
+}
+
+}  // namespace
+
+void tpu_gemm(Runtime& rt, u64 task_id, MatrixView<const float> a,
+              MatrixView<const float> b, MatrixView<float> c,
+              const GemmOptions& options) {
+  check_gemm_shapes(a.shape(), b.shape(), c.shape());
+  GPTPU_CHECK(c.contiguous(), "gemm: output view must be contiguous");
+  GPTPU_CHECK(rt.config().functional, "tpu_gemm needs a functional runtime");
+  const bool wide = use_wide(options, c.shape());
+
+  if (options.algo == GemmAlgo::kFullyConnected) {
+    // The intuitive mapping: one FullyConnected operation; the Tensorizer
+    // blocks it into instructions and the CPU aggregates partials.
+    GPTPU_CHECK(a.contiguous() && b.contiguous(),
+                "gemm: operands must be contiguous");
+    GPTPU_CHECK(options.precision_passes >= 1 &&
+                    options.precision_passes <= 3,
+                "gemm: precision_passes must be 1..3");
+
+    // Passes 1 and 2 share the A operand buffer, so its tiles stay
+    // resident on-device (§6.1) and the residual pass only moves the
+    // (tiny) weight residual.
+    TensorBuffer* ba =
+        rt.create_buffer(a.shape(), const_cast<float*>(a.data()));
+    auto run_fc = [&](TensorBuffer* lhs, MatrixView<const float> rhs,
+                      MatrixView<float> dest) {
+      TensorBuffer* bb =
+          rt.create_buffer(rhs.shape(), const_cast<float*>(rhs.data()));
+      TensorBuffer* bc = rt.create_buffer(dest.shape(), dest.data());
+      OperationRequest req;
+      req.task_id = task_id;
+      req.op = isa::Opcode::kFullyConnected;
+      req.in0 = lhs;
+      req.in1 = bb;
+      req.out = bc;
+      req.quant = options.quant;
+      req.exact_arithmetic = wide;
+      rt.invoke(req);
+      rt.destroy_buffer(bb);
+      rt.destroy_buffer(bc);
+    };
+
+    run_fc(ba, b, c);
+    if (options.precision_passes == 1) {
+      rt.destroy_buffer(ba);
+      return;
+    }
+
+    // Residual of an operand against its own int8 image: what the first
+    // pass could not see. The residual's range is ~1/254 of the original,
+    // so its own quantization error is ~127x smaller (§10(3)).
+    auto residual_of = [](MatrixView<const float> m) {
+      Matrix<float> r(m.shape());
+      const std::span<const float> flat{m.data(), m.shape().elems()};
+      const float s = quant::input_scale(quant::calibrate(flat));
+      for (usize i = 0; i < flat.size(); ++i) {
+        r.span()[i] = flat[i] - quant::quantize_value(flat[i], s) / s;
+      }
+      return r;
+    };
+    auto accumulate = [&](const Matrix<float>& part) {
+      for (usize i = 0; i < c.shape().elems(); ++i) {
+        c.data()[i] += part.data()[i];
+      }
+      rt.charge_host(task_id,
+                     static_cast<double>(c.shape().elems()) /
+                         perfmodel::kCpuVectorFlopsPerSec,
+                     "gemm-residual-sum");
+    };
+
+    Matrix<float> part(c.shape());
+    const Matrix<float> b_res = residual_of(b);
+    run_fc(ba, b_res.view(), part.view());
+    accumulate(part);
+    rt.destroy_buffer(ba);
+    if (options.precision_passes == 2) return;
+
+    const Matrix<float> a_res = residual_of(a);
+    TensorBuffer* ba_res =
+        rt.create_buffer(a_res.shape(), const_cast<float*>(a_res.data()));
+    run_fc(ba_res, b, part.view());
+    rt.destroy_buffer(ba_res);
+    accumulate(part);
+    return;
+  }
+
+  // conv2D algorithm with the §6.2.1 blocking: the inner dimension splits
+  // into reduction chunks; each chunk's partial products are complete
+  // conv2D dot products and the CPU aggregates the chunks in float.
+  const usize n = a.cols();
+  const usize chunks = reduction_chunks(options, n);
+  const usize nc = (n + chunks - 1) / chunks;
+  Matrix<float> partial;
+  if (chunks > 1) partial = Matrix<float>(c.shape());
+
+  for (usize chunk = 0; chunk < chunks; ++chunk) {
+    const usize n0 = chunk * nc;
+    const usize len = std::min(nc, n - n0);
+    const usize s = gemm_kernel_side(len);
+
+    // Host layout transforms (real work, modelled cost).
+    Matrix<float> a_prime =
+        reshape_rows_to_blocks(a.sub(0, n0, {a.rows(), len}), s);
+    Matrix<float> b_prime =
+        reshape_cols_to_kernels(b.sub(n0, 0, {len, b.cols()}), s);
+    rt.charge_host(task_id,
+                   rt.pool().timing().host_reshape_latency(
+                       (a_prime.elems() + b_prime.elems()) * sizeof(float)),
+                   "gemm-reshape");
+
+    MatrixView<float> dest = chunks > 1 ? partial.view() : c;
+    TensorBuffer* ba = rt.create_buffer(a_prime.shape(), a_prime.data());
+    TensorBuffer* bb = rt.create_buffer(b_prime.shape(), b_prime.data());
+    TensorBuffer* bc = rt.create_buffer(dest.shape(), dest.data());
+    invoke_conv_gemm(rt, task_id, ba, bb, bc, s, b.cols(), options, wide);
+    rt.destroy_buffer(ba);
+    rt.destroy_buffer(bb);
+    rt.destroy_buffer(bc);
+
+    if (chunks > 1) {
+      // CPU aggregation of the partial products (§6.2.1): "the CPU code
+      // only needs to add received values"; float accumulation keeps
+      // wider-than-8-bit precision.
+      rt.charge_host(task_id,
+                     static_cast<double>(c.shape().elems()) /
+                         perfmodel::kCpuVectorFlopsPerSec,
+                     "gemm-aggregate");
+      for (usize r = 0; r < c.rows(); ++r) {
+        float* dst = c.row(r).data();
+        const float* src = partial.view().row(r).data();
+        for (usize j = 0; j < c.cols(); ++j) {
+          dst[j] = chunk == 0 ? src[j] : dst[j] + src[j];
+        }
+      }
+    }
+  }
+}
+
+void tpu_gemm_timed(Runtime& rt, u64 task_id, Shape2D a_shape, Shape2D b_shape,
+                    quant::Range a_range, quant::Range b_range,
+                    const GemmOptions& options) {
+  check_gemm_shapes(a_shape, b_shape, {a_shape.rows, b_shape.cols});
+  GPTPU_CHECK(!rt.config().functional,
+              "tpu_gemm_timed needs a timing-only runtime");
+  const Shape2D c_shape{a_shape.rows, b_shape.cols};
+  const bool wide = use_wide(options, c_shape);
+  const quant::Range c_range{0, a_range.magnitude() * b_range.magnitude() *
+                                    static_cast<float>(a_shape.cols)};
+
+  if (options.algo == GemmAlgo::kFullyConnected) {
+    // Mirrors the functional path: passes 1-2 share the A buffer (tiles
+    // stay resident); pass 3 ships A's residual.
+    TensorBuffer* ba = rt.create_virtual_buffer(a_shape, a_range);
+    for (usize pass = 0; pass < options.precision_passes; ++pass) {
+      TensorBuffer* lhs =
+          pass == 2 ? rt.create_virtual_buffer(a_shape, a_range) : ba;
+      TensorBuffer* bb = rt.create_virtual_buffer(b_shape, b_range);
+      TensorBuffer* bc = rt.create_virtual_buffer(c_shape, c_range);
+      OperationRequest req;
+      req.task_id = task_id;
+      req.op = isa::Opcode::kFullyConnected;
+      req.in0 = lhs;
+      req.in1 = bb;
+      req.out = bc;
+      req.quant = options.quant;
+      req.exact_arithmetic = wide;
+      rt.invoke(req);
+      if (pass > 0) {
+        rt.charge_host(task_id,
+                       static_cast<double>(c_shape.elems()) /
+                           perfmodel::kCpuVectorFlopsPerSec,
+                       "gemm-residual-sum");
+      }
+    }
+    return;
+  }
+
+  const usize n = a_shape.cols;
+  const usize chunks = reduction_chunks(options, n);
+  const usize nc = (n + chunks - 1) / chunks;
+  for (usize chunk = 0; chunk < chunks; ++chunk) {
+    const usize n0 = chunk * nc;
+    const usize len = std::min(nc, n - n0);
+    const usize s = gemm_kernel_side(len);
+    const Shape2D ap{a_shape.rows * s, s};
+    const Shape2D bp{b_shape.cols * s, s};
+    rt.charge_host(task_id,
+                   rt.pool().timing().host_reshape_latency(
+                       (ap.elems() + bp.elems()) * sizeof(float)),
+                   "gemm-reshape");
+    TensorBuffer* ba = rt.create_virtual_buffer(ap, a_range);
+    TensorBuffer* bb = rt.create_virtual_buffer(bp, b_range);
+    TensorBuffer* bc = rt.create_virtual_buffer(c_shape, c_range);
+    invoke_conv_gemm(rt, task_id, ba, bb, bc, s, b_shape.cols, options, wide);
+    if (chunks > 1) {
+      rt.charge_host(task_id,
+                     static_cast<double>(c_shape.elems()) /
+                         perfmodel::kCpuVectorFlopsPerSec,
+                     "gemm-aggregate");
+    }
+  }
+}
+
+}  // namespace gptpu::ops

@@ -1,0 +1,75 @@
+// tpuGemm -- GPTPU's optimized general matrix multiply (§7.1), the library
+// function GPTPU applications invoke the way CUDA code calls cublasGemm.
+//
+// Two algorithms, matching the paper's study:
+//  * kConv2D (the paper's contribution, §7.1.2): each length-N row of A is
+//    reshaped into an s x s sub-matrix (s = ceil(sqrt(N))) and each column
+//    of B into an s x s kernel; a conv2D whose stride equals the kernel
+//    size then computes complete dot products -- one output element per
+//    (row, column) pair -- exploiting conv2D's 25x RPS advantage. All K
+//    kernels ride in one kernel bank, so the Tensorizer can tile the work
+//    freely.
+//  * kFullyConnected (the intuitive mapping, §7.1.1): A x B through the
+//    FullyConnected operator, blocked by the Tensorizer, partial products
+//    aggregated on the CPU.
+#pragma once
+
+#include "runtime/runtime.hpp"
+
+namespace gptpu::ops {
+
+enum class GemmAlgo : u8 {
+  kConv2D,          // §7.1.2 (default; ~4.3x faster end to end)
+  kFullyConnected,  // §7.1.1
+};
+
+struct GemmOptions {
+  GemmAlgo algo = GemmAlgo::kConv2D;
+  isa::QuantMethod quant = isa::QuantMethod::kScale;
+
+  /// Prefer exact (int32 wide-output) arithmetic. With kIdentity
+  /// quantization (small-integer data) outputs are always wide -- that is
+  /// GPTPU's exact integer mode, the source of Table 5's 0.00-RMSE rows.
+  /// For scaled (float) data the wide read-back is only worth 4x the
+  /// transfer volume on small results; larger outputs downgrade to
+  /// requantized int8, whose <1% error is the regime of Table 4's 0.89%
+  /// GEMM MAPE.
+  bool exact = true;
+
+  /// Reduction (inner-dimension) chunk for the §6.2.1 P x Q blocking.
+  /// Inner dimensions above this split into partial-product operations
+  /// whose results the CPU aggregates in float; at or below it one
+  /// operation computes full-length dot products.
+  usize reduction_chunk = 2048;
+
+  /// §10(3): "GPTPU can achieve the desired level of precision by
+  /// iteratively computing on different portions of raw input numbers."
+  /// FullyConnected only. 1 = single pass. 2 = a second pass multiplies A
+  /// by the quantization *residual* of B (B minus its int8 image), shrinking
+  /// the weight-side error by ~127x. 3 = additionally a pass of A's
+  /// residual against B (the A2xB2 cross term is second-order and
+  /// skipped). Each extra pass costs one more round trip.
+  usize precision_passes = 1;
+};
+
+/// Largest scaled-data output (elements) read back in wide int32 form.
+inline constexpr usize kWideOutputElemLimit = 256u << 10;
+
+/// C = A x B. A is M x N, B is N x K, C is M x K; all host row-major.
+/// Functional runtimes compute real (quantized) values into C; the
+/// modelled cost lands on the runtime's virtual timeline under `task_id`.
+void tpu_gemm(runtime::Runtime& rt, u64 task_id, MatrixView<const float> a,
+              MatrixView<const float> b, MatrixView<float> c,
+              const GemmOptions& options = {});
+
+/// Timing-only variant for paper-scale shapes: models C = A x B where A
+/// and B are described by shape and value range only. Requires a
+/// timing-only runtime.
+void tpu_gemm_timed(runtime::Runtime& rt, u64 task_id, Shape2D a_shape,
+                    Shape2D b_shape, quant::Range a_range,
+                    quant::Range b_range, const GemmOptions& options = {});
+
+/// Side length of the reshaped row sub-matrix for inner dimension n.
+[[nodiscard]] usize gemm_kernel_side(usize n);
+
+}  // namespace gptpu::ops

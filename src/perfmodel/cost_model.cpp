@@ -1,0 +1,59 @@
+#include "perfmodel/cost_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gptpu::perfmodel {
+
+namespace {
+double rate_for(CpuKernelClass cls) {
+  switch (cls) {
+    case CpuKernelClass::kBlas: return kCpuBlasFlopsPerSec;
+    case CpuKernelClass::kScalar: return kCpuScalarFlopsPerSec;
+    case CpuKernelClass::kVector: return kCpuVectorFlopsPerSec;
+    case CpuKernelClass::kInt8Gemm: return kCpuInt8GemmOpsPerSec;
+  }
+  return kCpuScalarFlopsPerSec;
+}
+}  // namespace
+
+Seconds cpu_time(CpuKernelClass cls, const Work& work) {
+  const double compute = work.flops / rate_for(cls);
+  const double memory = work.bytes / kCpuStreamBytesPerSec;
+  // Scalar loops do not saturate memory bandwidth concurrently with
+  // compute; tuned kernels (BLAS, int8 GEMM, vectorized streams) overlap.
+  if (cls == CpuKernelClass::kScalar) return compute + memory * 0.25;
+  return std::max(compute, memory);
+}
+
+Seconds cpu_time_parallel(CpuKernelClass cls, const Work& work,
+                          usize threads) {
+  GPTPU_CHECK(threads >= 1, "need at least one thread");
+  const Seconds single = cpu_time(cls, work);
+  if (threads == 1) return single;
+  // Power-law scaling anchored at Figure 8's measured 2.70x for 8 cores:
+  // speedup(t) = t^alpha with 8^alpha = 2.70. Monotone by construction
+  // (memory-bound workloads keep gaining, just sub-linearly).
+  const double alpha =
+      std::log(8.0 * kCpuParallelEfficiency8) / std::log(8.0);
+  const double speedup = std::pow(static_cast<double>(threads), alpha);
+  return single / speedup;
+}
+
+Seconds gpu_time(const GpuModel& gpu, const Work& work, double pcie_bytes,
+                 usize kernel_launches, bool reduced_precision) {
+  const double rate = reduced_precision ? gpu.flops_reduced : gpu.flops_fp32;
+  const double compute = work.flops / rate;
+  const double memory = work.bytes / gpu.mem_bytes_per_sec;
+  const double pcie = pcie_bytes / gpu.pcie_bytes_per_sec;
+  return static_cast<double>(kernel_launches) * gpu.kernel_launch_seconds +
+         std::max(compute, memory) + pcie;
+}
+
+Joules energy(double active_watts, Seconds active, double idle_watts,
+              Seconds elapsed) {
+  GPTPU_CHECK(active >= 0 && elapsed >= 0, "negative time");
+  return active_watts * active + idle_watts * elapsed;
+}
+
+}  // namespace gptpu::perfmodel

@@ -1,0 +1,55 @@
+// Analytic time and energy models for the platforms the paper compares.
+//
+// A kernel is summarized by its work counts; each platform converts work to
+// time with a roofline (max of compute time and memory time). Accuracy-side
+// results never flow through these models -- they come from functional
+// execution. See DESIGN.md §5.2.
+#pragma once
+
+#include "common/types.hpp"
+#include "perfmodel/machine_constants.hpp"
+
+namespace gptpu::perfmodel {
+
+/// Work performed by one kernel/phase.
+struct Work {
+  double flops = 0;  // arithmetic operations (of the platform's native kind)
+  double bytes = 0;  // bytes moved through memory
+
+  Work& operator+=(const Work& o) {
+    flops += o.flops;
+    bytes += o.bytes;
+    return *this;
+  }
+};
+
+/// CPU kernel classes with distinct sustained rates (machine_constants).
+enum class CpuKernelClass {
+  kBlas,    // OpenBLAS-class tuned GEMM
+  kScalar,  // plain C loops (Rodinia baselines)
+  kVector,  // auto-vectorized streaming loops
+  kInt8Gemm // FBGEMM-class AVX2 int8 GEMM
+};
+
+/// Seconds a single Zen2 core needs for `work` of a given kernel class.
+[[nodiscard]] Seconds cpu_time(CpuKernelClass cls, const Work& work);
+
+/// Seconds for the same work on `threads` cores, applying the measured
+/// multicore efficiency (Figure 8's 2.70x at 8 cores anchors the curve).
+[[nodiscard]] Seconds cpu_time_parallel(CpuKernelClass cls, const Work& work,
+                                        usize threads);
+
+/// Seconds a GPU needs: per-kernel launch overhead + roofline over device
+/// memory, plus PCIe transfer of `pcie_bytes`.
+[[nodiscard]] Seconds gpu_time(const GpuModel& gpu, const Work& work,
+                               double pcie_bytes, usize kernel_launches,
+                               bool reduced_precision = false);
+
+/// Energy in joules: active power integrated over `active` seconds plus
+/// idle system power over the full `elapsed` wall time. Matches the
+/// paper's Watts-Up methodology (§8.1: total system power aggregated over
+/// application execution time).
+[[nodiscard]] Joules energy(double active_watts, Seconds active,
+                            double idle_watts, Seconds elapsed);
+
+}  // namespace gptpu::perfmodel

@@ -1,0 +1,111 @@
+#include "quant/quantize.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gptpu::quant {
+
+float Range::magnitude() const { return std::max(std::abs(min), std::abs(max)); }
+float Range::width() const { return std::abs(max - min); }
+
+Range calibrate(std::span<const float> data, usize sample_stride) {
+  GPTPU_CHECK(sample_stride >= 1, "sample_stride must be >= 1");
+  if (data.empty()) return {};
+  Range r{data[0], data[0]};
+  for (usize i = 0; i < data.size(); i += sample_stride) {
+    r.min = std::min(r.min, data[i]);
+    r.max = std::max(r.max, data[i]);
+  }
+  // Always include the final element so a strided scan cannot miss a
+  // trailing extremum entirely.
+  r.min = std::min(r.min, data.back());
+  r.max = std::max(r.max, data.back());
+  return r;
+}
+
+float input_scale(Range range) {
+  const float mag = range.magnitude();
+  if (mag == 0.0f) return 1.0f;
+  return kQuantLimit / mag;
+}
+
+float output_scale(isa::Opcode op, Range in0, Range in1, usize inner_n) {
+  const Range joint{std::min(in0.min, in1.min), std::max(in0.max, in1.max)};
+  const float width = std::max(joint.width(), joint.magnitude());
+  if (width == 0.0f) return 1.0f;
+  using isa::Opcode;
+  switch (op) {
+    case Opcode::kConv2D:
+    case Opcode::kFullyConnected: {
+      GPTPU_CHECK(inner_n > 0, "arithmetic operator needs inner_n");
+      return kQuantLimit / (width * width * static_cast<float>(inner_n));
+    }
+    case Opcode::kAdd:
+    case Opcode::kSub:
+      return kQuantLimit / (2.0f * width);
+    case Opcode::kMul:
+      return kQuantLimit / (width * width);
+    default:
+      return kQuantLimit / width;
+  }
+}
+
+float output_scale_minmax(isa::Opcode op, Range in0, Range in1,
+                          usize inner_n) {
+  const float m0 = std::max(in0.magnitude(), 1e-30f);
+  const float m1 = std::max(in1.magnitude(), 1e-30f);
+  using isa::Opcode;
+  switch (op) {
+    case Opcode::kConv2D:
+    case Opcode::kFullyConnected:
+      GPTPU_CHECK(inner_n > 0, "arithmetic operator needs inner_n");
+      return kQuantLimit / (m0 * m1 * static_cast<float>(inner_n));
+    case Opcode::kAdd:
+    case Opcode::kSub:
+      return kQuantLimit / (m0 + m1);
+    case Opcode::kMul:
+      return kQuantLimit / (m0 * m1);
+    default:
+      return kQuantLimit / m0;
+  }
+}
+
+float sampled_scale(Range sampled_outputs, float headroom) {
+  GPTPU_CHECK(headroom >= 1.0f, "headroom must be >= 1");
+  const float mag = sampled_outputs.magnitude();
+  if (mag == 0.0f) return 1.0f;
+  return kQuantLimit / (mag * headroom);
+}
+
+i8 quantize_value(float raw, float scale) {
+  const float q = std::round(raw * scale);
+  return static_cast<i8>(std::clamp(q, -kQuantLimit, kQuantLimit));
+}
+
+void quantize(std::span<const float> raw, float scale, std::span<i8> out) {
+  GPTPU_CHECK(raw.size() == out.size(), "quantize: size mismatch");
+  for (usize i = 0; i < raw.size(); ++i) out[i] = quantize_value(raw[i], scale);
+}
+
+std::vector<i8> quantize(std::span<const float> raw, float scale) {
+  std::vector<i8> out(raw.size());
+  quantize(raw, scale, out);
+  return out;
+}
+
+void dequantize(std::span<const i8> q, float scale, std::span<float> out) {
+  GPTPU_CHECK(q.size() == out.size(), "dequantize: size mismatch");
+  GPTPU_CHECK(scale > 0.0f, "dequantize: non-positive scale");
+  const float inv = 1.0f / scale;
+  for (usize i = 0; i < q.size(); ++i) {
+    out[i] = static_cast<float>(q[i]) * inv;
+  }
+}
+
+std::vector<float> dequantize(std::span<const i8> q, float scale) {
+  std::vector<float> out(q.size());
+  dequantize(q, scale, out);
+  return out;
+}
+
+}  // namespace gptpu::quant

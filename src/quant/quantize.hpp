@@ -1,0 +1,89 @@
+// int8 quantization and the §6.2.2 scaling-factor rules.
+//
+// The Edge TPU matrix unit computes on 8-bit integers. GPTPU's Tensorizer
+// rescales raw values into fixed point: q = round(raw * scale), clamped to
+// [-127, 127], and derives *output* scaling factors from the operator
+// sequence and the input value range so that results cannot overflow
+// (Eq. 4-8 of the paper).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "common/types.hpp"
+#include "isa/opcode.hpp"
+
+namespace gptpu::quant {
+
+inline constexpr float kQuantLimit = 127.0f;
+
+/// Observed value range of a dataset.
+struct Range {
+  float min = 0.0f;
+  float max = 0.0f;
+
+  [[nodiscard]] float magnitude() const;  // max(|min|, |max|)
+  [[nodiscard]] float width() const;      // |max - min|
+  bool operator==(const Range&) const = default;
+};
+
+/// Scans a dataset for its range. `sample_stride` > 1 samples every k-th
+/// element: the paper notes a small subset of input data is representative
+/// for large datasets [70]; the stride keeps the (modelled-free) host cost
+/// of calibration low. The scanned extrema are widened by the sampling
+/// uncertainty only in the trivial sense of including element 0 and the
+/// last element.
+[[nodiscard]] Range calibrate(std::span<const float> data,
+                              usize sample_stride = 1);
+
+/// Scale that maps raw values of `range` onto the int8 grid:
+/// 127 / magnitude. A degenerate (all-zero) range yields scale 1.
+[[nodiscard]] float input_scale(Range range);
+
+/// The §6.2.2 output scaling factor for `op`, multiplied by 127 to address
+/// the full int8 output range:
+///   conv2D / FullyConnected (Eq. 5): S = 1 / (width^2 * N)
+///   add / sub (Eq. 6):               S = 1 / (2 * width)
+///   mul (Eq. 7):                     S = 1 / width^2
+///   others (Eq. 8):                  S = 1 / width
+/// `inner_n` is the reduction length N for the arithmetic operators (the
+/// expected maximum output magnitude grows linearly with it) and is
+/// ignored otherwise. The combined range spans both operands.
+[[nodiscard]] float output_scale(isa::Opcode op, Range in0, Range in1,
+                                 usize inner_n);
+
+/// Tighter output scales for the kMinMax quantization method: instead of
+/// Eq. 4-8's worst-case width bounds, use the operands' magnitudes
+/// (pairwise ops) or a caller-sampled output range (arithmetic ops; the
+/// Tensorizer "dynamically evaluates input data" and §6.2.2 cites
+/// sampling [70]). Tight scales spend the 8-bit grid on the values that
+/// actually occur, at the cost of clipping rare outliers.
+[[nodiscard]] float output_scale_minmax(isa::Opcode op, Range in0, Range in1,
+                                        usize inner_n);
+
+/// Scale derived from a sampled output range with `headroom` (>1) slack
+/// against clipping unsampled extremes.
+[[nodiscard]] float sampled_scale(Range sampled_outputs,
+                                  float headroom = 1.25f);
+
+/// q = clamp(round(raw * scale), -127, 127).
+[[nodiscard]] i8 quantize_value(float raw, float scale);
+
+/// Quantizes a whole span.
+void quantize(std::span<const float> raw, float scale, std::span<i8> out);
+[[nodiscard]] std::vector<i8> quantize(std::span<const float> raw,
+                                       float scale);
+
+/// raw = q / scale.
+void dequantize(std::span<const i8> q, float scale, std::span<float> out);
+[[nodiscard]] std::vector<float> dequantize(std::span<const i8> q,
+                                            float scale);
+
+/// Worst-case absolute quantization error for values quantized with
+/// `scale`: half a quantization step. Used by property tests.
+[[nodiscard]] inline float max_quant_error(float scale) {
+  return 0.5f / scale;
+}
+
+}  // namespace gptpu::quant

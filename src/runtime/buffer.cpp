@@ -1,0 +1,37 @@
+#include "runtime/buffer.hpp"
+
+namespace gptpu::runtime {
+
+namespace {
+/// Calibration samples at most ~64K elements (§6.2.2 cites [70]: a small
+/// input subset is representative).
+usize calibration_stride(usize elems) {
+  constexpr usize kTargetSamples = 1 << 16;
+  return elems <= kTargetSamples ? 1 : elems / kTargetSamples;
+}
+}  // namespace
+
+u64 TensorBuffer::next_id() {
+  static std::atomic<u64> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+TensorBuffer::TensorBuffer(Shape2D shape, float* host)
+    : id_(next_id()), shape_(shape), host_(host) {
+  GPTPU_CHECK(host != nullptr, "null host pointer");
+  GPTPU_CHECK(shape.elems() > 0, "empty buffer");
+  recalibrate();
+}
+
+TensorBuffer::TensorBuffer(Shape2D shape, quant::Range range)
+    : id_(next_id()), shape_(shape), range_(range) {
+  GPTPU_CHECK(shape.elems() > 0, "empty buffer");
+}
+
+void TensorBuffer::recalibrate() {
+  if (host_ == nullptr) return;
+  const std::span<const float> data{host_, shape_.elems()};
+  range_ = quant::calibrate(data, calibration_stride(shape_.elems()));
+}
+
+}  // namespace gptpu::runtime

@@ -1,0 +1,62 @@
+// Host-side tensor buffers -- what an openctpu_buffer wraps.
+//
+// A TensorBuffer couples raw host data (float, row-major) with the value
+// range the Tensorizer's calibration derived for it. In timing-only mode
+// (DESIGN.md §6) `data` stays empty and the buffer carries only shape +
+// synthetic range, which is all the timing model needs.
+#pragma once
+
+#include <atomic>
+#include <memory>
+
+#include "common/matrix.hpp"
+#include "quant/quantize.hpp"
+
+namespace gptpu::runtime {
+
+class TensorBuffer {
+ public:
+  /// Functional buffer over caller-owned storage. `host` must stay alive
+  /// for the buffer's lifetime and hold shape.elems() floats. The range is
+  /// calibrated immediately (sampled for large data).
+  TensorBuffer(Shape2D shape, float* host);
+
+  /// Timing-only descriptor: no data, a synthetic range.
+  TensorBuffer(Shape2D shape, quant::Range range);
+
+  [[nodiscard]] u64 id() const { return id_; }
+  [[nodiscard]] Shape2D shape() const { return shape_; }
+  [[nodiscard]] bool functional() const { return host_ != nullptr; }
+  [[nodiscard]] quant::Range range() const { return range_; }
+  void set_range(quant::Range r) { range_ = r; }
+
+  [[nodiscard]] MatrixView<float> view() {
+    GPTPU_CHECK(host_ != nullptr, "view() on a timing-only buffer");
+    return {host_, shape_};
+  }
+  [[nodiscard]] MatrixView<const float> view() const {
+    GPTPU_CHECK(host_ != nullptr, "view() on a timing-only buffer");
+    return {host_, shape_};
+  }
+
+  /// Re-runs range calibration (an output buffer reused as an input must
+  /// refresh its range first; invoke_operator does this automatically).
+  void recalibrate();
+
+  /// Version counter, bumped whenever the buffer is written as an
+  /// operation output; part of the device-cache key so stale tiles are
+  /// never reused (§6.1's affinity rule only applies to identical inputs).
+  [[nodiscard]] u64 version() const { return version_; }
+  void bump_version() { ++version_; }
+
+ private:
+  static u64 next_id();
+
+  u64 id_;
+  Shape2D shape_;
+  float* host_ = nullptr;
+  quant::Range range_{};
+  u64 version_ = 0;
+};
+
+}  // namespace gptpu::runtime

@@ -1,0 +1,47 @@
+// Energy accounting for a GPTPU run (§8.1 methodology: total system power
+// integrated over execution time, with the paper's measured power bands).
+#pragma once
+
+#include "common/types.hpp"
+#include "perfmodel/machine_constants.hpp"
+
+namespace gptpu::runtime {
+
+struct EnergyReport {
+  Seconds makespan = 0;     // modelled end-to-end latency
+  Seconds tpu_active = 0;   // summed busy seconds across Edge TPUs
+  Seconds host_active = 0;  // host runtime/Tensorizer busy seconds
+  /// Active power of one device of the modelled profile.
+  double tpu_watts = perfmodel::kEdgeTpuActiveWatts;
+
+  /// Active (above-idle) energy of the GPTPU platform.
+  [[nodiscard]] Joules active_energy() const {
+    return tpu_watts * tpu_active +
+           perfmodel::kGptpuHostWatts * host_active;
+  }
+  /// Idle-floor energy over the run.
+  [[nodiscard]] Joules idle_energy() const {
+    return perfmodel::kSystemIdleWatts * makespan;
+  }
+  [[nodiscard]] Joules total_energy() const {
+    return active_energy() + idle_energy();
+  }
+  [[nodiscard]] double energy_delay() const {
+    return total_energy() * makespan;
+  }
+};
+
+/// Total energy of a CPU baseline run: `cores` loaded Zen2 cores for
+/// `elapsed` modelled seconds over the same 40 W idle floor.
+[[nodiscard]] inline Joules cpu_total_energy(Seconds elapsed, usize cores) {
+  return (perfmodel::kSystemIdleWatts +
+          perfmodel::kCpuCoreActiveWatts * static_cast<double>(cores)) *
+         elapsed;
+}
+
+/// Active-only energy of a CPU baseline run (excludes the idle floor).
+[[nodiscard]] inline Joules cpu_active_energy(Seconds elapsed, usize cores) {
+  return perfmodel::kCpuCoreActiveWatts * static_cast<double>(cores) * elapsed;
+}
+
+}  // namespace gptpu::runtime

@@ -1,0 +1,100 @@
+// The two queue-entry types of the GPTPU runtime (§6.1, Figure 4):
+//  * OperationRequest -- an entry of the front-end task operation queue
+//    (OPQ): one programmer-requested operator with its buffers and flags;
+//  * InstructionPlan -- an entry of the back-end instruction queue (IQ):
+//    one Edge TPU instruction over staged tiles, produced by the
+//    Tensorizer, plus the host-side routing of its result.
+#pragma once
+
+#include <vector>
+
+#include "isa/instruction.hpp"
+#include "runtime/buffer.hpp"
+
+namespace gptpu::runtime {
+
+/// An OPQ entry: "a task ID, the requested TPU operation, the input and
+/// output locations, and parameters like the quantization method".
+struct OperationRequest {
+  u64 task_id = 0;
+  isa::Opcode op = isa::Opcode::kAdd;
+  TensorBuffer* in0 = nullptr;
+  TensorBuffer* in1 = nullptr;  // null for single-input operators
+  TensorBuffer* out = nullptr;
+  isa::QuantMethod quant = isa::QuantMethod::kScale;
+
+  /// Arithmetic operators emit raw int32 accumulators which the host
+  /// dequantizes and aggregates in float -- GPTPU's exact-operation mode
+  /// (§10, §6.2.1). Disable to force requantized int8 outputs (ablation;
+  /// 4x cheaper to read back, lossy).
+  bool exact_arithmetic = true;
+
+  isa::Stride stride{};       // conv2D
+  u16 kernel_bank = 1;        // conv2D
+  isa::Window window{};       // crop
+  Shape2D pad_target{};       // ext
+};
+
+/// A rectangular tile of a host buffer that must be staged into device
+/// memory, either as a plain quantized tensor or through the model wire
+/// format (the second operand of the arithmetic instructions).
+struct TileRef {
+  const TensorBuffer* buffer = nullptr;
+  usize row0 = 0;
+  usize col0 = 0;
+  Shape2D shape{};
+  float scale = 1.0f;
+  bool as_model = false;
+
+  [[nodiscard]] bool valid() const { return buffer != nullptr; }
+  /// Bytes this tile occupies on-chip (int8) -- also the transfer payload
+  /// for plain tensors; models additionally pay the wire envelope.
+  [[nodiscard]] usize bytes() const { return shape.elems(); }
+};
+
+/// How a plan's device result lands in the host output buffer.
+enum class HostCombine : u8 {
+  kStore,       // overwrite the destination region
+  kAccumulate,  // += (blocked FullyConnected partial products, §6.2.1)
+  kMeanPartial, // weighted contribution to a scalar mean
+  kMaxPartial,  // running max into a scalar
+};
+
+/// An IQ entry.
+struct InstructionPlan {
+  isa::Opcode op = isa::Opcode::kAdd;
+  isa::Stride stride{};
+  isa::Window window{};   // device-side crop window (within the staged tile)
+  Shape2D pad_target{};   // device-side ext target
+  u16 kernel_bank = 1;
+  float out_scale = 1.0f;
+
+  /// Wide (int32-accumulator) output; the host dequantizes each value by
+  /// `wide_dequant` = 1 / (s_in0 * s_in1).
+  bool wide_output = false;
+  double wide_dequant = 1.0;
+
+  TileRef in0;
+  TileRef in1;
+
+  // Host-side result routing.
+  usize out_row0 = 0;
+  usize out_col0 = 0;
+  Shape2D out_shape{};  // region written in the host output buffer
+  HostCombine combine = HostCombine::kStore;
+  double combine_weight = 1.0;  // kMeanPartial: fraction of total elements
+};
+
+/// A lowered OPQ entry: the instruction list plus one-time host costs.
+struct LoweredOperation {
+  std::vector<InstructionPlan> plans;
+  /// Modelled host-side preparation charged once before the first
+  /// instruction (layout transforms); tile quantization / model creation
+  /// is charged per staged tile instead.
+  Seconds host_prep_seconds = 0;
+  /// True when any plan accumulates, so the output region must be zeroed
+  /// before dispatch.
+  bool zero_output_first = false;
+};
+
+}  // namespace gptpu::runtime

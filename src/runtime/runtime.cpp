@@ -1,0 +1,708 @@
+#include "runtime/runtime.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "isa/model_format.hpp"
+
+namespace gptpu::runtime {
+
+using isa::DeviceTensorId;
+using isa::Opcode;
+
+namespace {
+
+u64 mix64(u64 h, u64 v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+/// Cache identity of a staged tile: buffer (and its write version), the
+/// rectangle, quantization scale and staging kind. Two plans whose tiles
+/// agree on all of these can share the resident copy (§6.1).
+u64 tile_key(const TileRef& t) {
+  u64 h = 0x2545f4914f6cdd1dULL;
+  h = mix64(h, t.buffer->id());
+  h = mix64(h, t.buffer->version());
+  h = mix64(h, t.row0);
+  h = mix64(h, t.col0);
+  h = mix64(h, t.shape.rows);
+  h = mix64(h, t.shape.cols);
+  u32 scale_bits;
+  static_assert(sizeof(scale_bits) == sizeof(t.scale));
+  std::memcpy(&scale_bits, &t.scale, sizeof(scale_bits));
+  h = mix64(h, scale_bits);
+  h = mix64(h, t.as_model ? 1 : 0);
+  return h;
+}
+
+/// Quantizes the tile's host rectangle into `out` (row-major, contiguous).
+void quantize_tile(const TileRef& tile, std::vector<i8>& out) {
+  const auto src =
+      tile.buffer->view().sub(tile.row0, tile.col0, tile.shape);
+  out.resize(tile.shape.elems());
+  usize i = 0;
+  for (usize r = 0; r < src.rows(); ++r) {
+    const auto row = src.row(r);
+    quant::quantize(row, tile.scale, std::span<i8>(&out[i], row.size()));
+    i += row.size();
+  }
+}
+
+}  // namespace
+
+// --- internal state types ----------------------------------------------------
+
+struct Runtime::OpContext {
+  const OperationRequest* req = nullptr;
+  Seconds op_ready = 0;
+
+  std::mutex mu;
+  std::condition_variable cv;
+  usize remaining = 0;
+  Seconds virtual_start = std::numeric_limits<Seconds>::max();
+  Seconds virtual_done = 0;
+  std::exception_ptr error;
+
+  // Matrix-wise CPU aggregation (§6.2.1).
+  double mean_acc = 0;
+  double max_acc = -std::numeric_limits<double>::infinity();
+  bool max_seen = false;
+};
+
+struct Runtime::DeviceState {
+  usize index = 0;
+  sim::Device* device = nullptr;
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<WorkItem> queue;
+
+  struct CacheEntry {
+    DeviceTensorId id;
+    usize bytes = 0;
+    std::list<u64>::iterator lru_it;
+  };
+  std::unordered_map<u64, CacheEntry> cache;
+  std::list<u64> lru;  // front = most recently used
+  CacheStats stats;
+
+  /// The host core feeding this device (quantization / model creation /
+  /// result aggregation). The prototype machine pairs an 8-core Ryzen
+  /// with 8 Edge TPUs (§3.1), so each device gets one host lane; only this
+  /// device's worker touches it, keeping virtual times deterministic.
+  VirtualResource host_lane{"host-lane"};
+
+  // Scratch reused across plans to avoid per-plan allocation churn.
+  std::vector<i8> stage_scratch;
+  std::vector<i8> out_scratch;
+  std::vector<i32> wide_scratch;
+};
+
+// --- construction --------------------------------------------------------------
+
+namespace {
+/// The Tensorizer must size its working sets for the actual device
+/// memory; a config that left the default in place inherits the profile's.
+Tensorizer::Config tensorizer_config_for(const RuntimeConfig& config) {
+  Tensorizer::Config tc = config.tensorizer;
+  if (tc.device_memory_bytes == perfmodel::kEdgeTpuMemoryBytes) {
+    tc.device_memory_bytes = config.profile.memory_bytes;
+  }
+  return tc;
+}
+}  // namespace
+
+Runtime::Runtime(const RuntimeConfig& config)
+    : config_(config),
+      pool_(config.num_devices, config.functional, config.profile),
+      tensorizer_(tensorizer_config_for(config)),
+      scheduler_(config.num_devices, config.affinity) {
+  GPTPU_CHECK(tensorizer_.config().device_memory_bytes ==
+                  pool_.device(0).memory_capacity(),
+              "Tensorizer and device memory configuration disagree");
+  device_states_.reserve(config.num_devices);
+  for (usize i = 0; i < config.num_devices; ++i) {
+    auto ds = std::make_unique<DeviceState>();
+    ds->index = i;
+    ds->device = &pool_.device(i);
+    device_states_.push_back(std::move(ds));
+  }
+  workers_.reserve(config.num_devices);
+  for (usize i = 0; i < config.num_devices; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+Runtime::~Runtime() {
+  stopping_.store(true, std::memory_order_seq_cst);
+  for (auto& ds : device_states_) {
+    // Taking each worker's mutex pairs the flag with its wait predicate
+    // (no lost wakeups), then the notify releases it.
+    std::lock_guard lock(ds->mu);
+    ds->cv.notify_all();
+  }
+  for (auto& w : workers_) w.join();
+}
+
+// --- buffers --------------------------------------------------------------------
+
+TensorBuffer* Runtime::create_buffer(Shape2D shape, float* host) {
+  GPTPU_CHECK(config_.functional,
+              "create_buffer with data requires functional mode");
+  auto buf = std::make_unique<TensorBuffer>(shape, host);
+  std::lock_guard lock(buffers_mu_);
+  buffers_.push_back(std::move(buf));
+  return buffers_.back().get();
+}
+
+TensorBuffer* Runtime::create_virtual_buffer(Shape2D shape,
+                                             quant::Range range) {
+  auto buf = std::make_unique<TensorBuffer>(shape, range);
+  std::lock_guard lock(buffers_mu_);
+  buffers_.push_back(std::move(buf));
+  return buffers_.back().get();
+}
+
+void Runtime::destroy_buffer(TensorBuffer* buffer) {
+  if (buffer == nullptr) return;
+  std::lock_guard lock(buffers_mu_);
+  const auto it =
+      std::find_if(buffers_.begin(), buffers_.end(),
+                   [&](const auto& b) { return b.get() == buffer; });
+  GPTPU_CHECK(it != buffers_.end(), "destroy_buffer: unknown buffer");
+  buffers_.erase(it);
+}
+
+// --- tasks ----------------------------------------------------------------------
+
+u64 Runtime::begin_task() {
+  std::lock_guard lock(tasks_mu_);
+  return next_task_++;
+}
+
+Seconds Runtime::task_ready(u64 task_id) const {
+  std::lock_guard lock(tasks_mu_);
+  const auto it = task_ready_.find(task_id);
+  return it == task_ready_.end() ? 0.0 : it->second;
+}
+
+void Runtime::charge_host(u64 task_id, Seconds duration, const char* label) {
+  const Seconds done = acquire_host(task_ready(task_id), duration, label);
+  std::lock_guard lock(tasks_mu_);
+  task_ready_[task_id] = std::max(task_ready_[task_id], done);
+}
+
+Seconds Runtime::acquire_host(Seconds ready, Seconds duration,
+                              const char* label) {
+  std::lock_guard lock(host_mu_);
+  return host_.acquire(ready, duration, label);
+}
+
+// --- the operation pipeline ------------------------------------------------------
+
+void Runtime::invoke(const OperationRequest& request) {
+  LoweredOperation lowered = tensorizer_.lower(request);
+  GPTPU_CHECK(!lowered.plans.empty(), "Tensorizer produced no instructions");
+
+  OpContext ctx;
+  ctx.req = &request;
+  ctx.op_ready = task_ready(request.task_id);
+  ctx.remaining = lowered.plans.size();
+
+  if (lowered.host_prep_seconds > 0) {
+    ctx.op_ready =
+        acquire_host(ctx.op_ready, lowered.host_prep_seconds, "prep");
+  }
+
+  if (lowered.zero_output_first && config_.functional &&
+      request.out->functional()) {
+    auto out = request.out->view();
+    for (usize r = 0; r < out.rows(); ++r) {
+      auto row = out.row(r);
+      std::fill(row.begin(), row.end(), 0.0f);
+    }
+  }
+
+  // Dispatch every IQ entry. Scheduling decisions happen here, in plan
+  // order, so they are deterministic for a given program.
+  for (InstructionPlan& plan : lowered.plans) {
+    std::array<Scheduler::TileNeed, 2> needs{};
+    usize n_needs = 0;
+    needs[n_needs++] = {tile_key(plan.in0), plan.in0.bytes()};
+    if (plan.in1.valid()) {
+      needs[n_needs++] = {tile_key(plan.in1), plan.in1.bytes()};
+    }
+
+    // Instruction-latency estimate; the scheduler adds transfer costs for
+    // tiles not yet resident on each candidate device.
+    isa::Instruction probe;
+    probe.op = plan.op;
+    probe.stride = plan.stride;
+    probe.kernel_bank = plan.kernel_bank;
+    probe.window = plan.window;
+    probe.pad_target = plan.pad_target;
+    const Shape2D in1_shape = plan.in1.valid() ? plan.in1.shape : Shape2D{};
+    const Shape2D out_shape =
+        isa::infer_output_shape(probe, plan.in0.shape, in1_shape);
+    const auto& tm = pool_.timing();
+    const usize out_bytes =
+        out_shape.elems() * (plan.wide_output ? sizeof(i32) : sizeof(i8));
+    const Seconds est =
+        tm.instruction_latency(probe, plan.in0.shape, in1_shape, out_shape) +
+        tm.transfer_latency(out_bytes);
+
+    usize dev;
+    {
+      std::lock_guard lock(sched_mu_);
+      dev = scheduler_.assign({needs.data(), n_needs}, est, ctx.op_ready);
+    }
+
+    DeviceState& ds = *device_states_[dev];
+    {
+      std::lock_guard lock(ds.mu);
+      ds.queue.push_back(WorkItem{plan, &ctx});
+    }
+    ds.cv.notify_one();
+  }
+
+  // Wait for the last IQ entry of this OPQ entry.
+  {
+    std::unique_lock lock(ctx.mu);
+    ctx.cv.wait(lock, [&] { return ctx.remaining == 0; });
+    if (ctx.error) std::rethrow_exception(ctx.error);
+  }
+
+  // Matrix-wise operators: the CPU-aggregated scalar lands here.
+  if (config_.functional && request.out->functional() &&
+      isa::op_class(request.op) == isa::OpClass::kMatrixwise) {
+    request.out->view()(0, 0) =
+        request.op == Opcode::kMean ? static_cast<float>(ctx.mean_acc)
+                                    : static_cast<float>(ctx.max_acc);
+  }
+
+  // The output buffer changed: new version for cache correctness, fresh
+  // range for downstream operations.
+  request.out->bump_version();
+  if (request.out->functional()) {
+    request.out->recalibrate();
+  } else {
+    float min_scale = std::numeric_limits<float>::max();
+    for (const auto& p : lowered.plans) {
+      min_scale = std::min(min_scale, p.out_scale);
+    }
+    const float mag = quant::kQuantLimit / min_scale;
+    request.out->set_range({-mag, mag});
+  }
+
+  {
+    std::lock_guard lock(tasks_mu_);
+    task_ready_[request.task_id] =
+        std::max(task_ready_[request.task_id], ctx.virtual_done);
+  }
+  {
+    std::lock_guard lock(opq_mu_);
+    opq_.push_back(OpRecord{request.task_id, request.op, lowered.plans.size(),
+                            ctx.virtual_start, ctx.virtual_done});
+  }
+}
+
+void Runtime::worker_loop(usize device_index) {
+  DeviceState& ds = *device_states_[device_index];
+  for (;;) {
+    WorkItem item;
+    {
+      std::unique_lock lock(ds.mu);
+      ds.cv.wait(lock, [&] {
+        return stopping_.load(std::memory_order_acquire) || !ds.queue.empty();
+      });
+      if (ds.queue.empty()) {
+        if (stopping_.load(std::memory_order_acquire)) return;
+        continue;
+      }
+      item = std::move(ds.queue.front());
+      ds.queue.pop_front();
+    }
+    OpContext& ctx = *item.ctx;
+    try {
+      execute_plan(ds, item);
+    } catch (...) {
+      std::lock_guard lock(ctx.mu);
+      if (!ctx.error) ctx.error = std::current_exception();
+    }
+    {
+      std::lock_guard lock(ctx.mu);
+      --ctx.remaining;
+      if (ctx.remaining == 0) ctx.cv.notify_all();
+    }
+  }
+}
+
+void Runtime::ensure_device_space(DeviceState& ds, usize bytes,
+                                  std::span<const u64> pinned_keys) {
+  sim::Device& dev = *ds.device;
+  if (bytes > dev.memory_capacity()) {
+    throw ResourceExhausted("tile larger than device memory");
+  }
+  while (dev.memory_available() < bytes) {
+    // Evict from the LRU tail, skipping tiles the current plan needs.
+    auto it = ds.lru.rbegin();
+    while (it != ds.lru.rend() &&
+           std::find(pinned_keys.begin(), pinned_keys.end(), *it) !=
+               pinned_keys.end()) {
+      ++it;
+    }
+    if (it == ds.lru.rend()) {
+      throw ResourceExhausted(
+          "cannot make space on device: working set exceeds memory");
+    }
+    const u64 key = *it;
+    const auto centry = ds.cache.find(key);
+    GPTPU_CHECK(centry != ds.cache.end(), "LRU/cache inconsistency");
+    dev.free_tensor(centry->second.id);
+    ds.lru.erase(std::next(it).base());
+    ds.cache.erase(centry);
+    ++ds.stats.evictions;
+    {
+      std::lock_guard lock(sched_mu_);
+      scheduler_.drop_tile(ds.index, key);
+    }
+  }
+}
+
+isa::DeviceTensorId Runtime::stage_tile(DeviceState& ds, const TileRef& tile,
+                                        Seconds ready, Seconds* available_at) {
+  const u64 key = tile_key(tile);
+  if (!config_.input_cache) {
+    // Stateless mode: evict any previous copy and re-stage below.
+    if (const auto it = ds.cache.find(key); it != ds.cache.end()) {
+      ds.device->free_tensor(it->second.id);
+      ds.lru.erase(it->second.lru_it);
+      ds.cache.erase(it);
+    }
+  }
+  if (const auto it = ds.cache.find(key); it != ds.cache.end()) {
+    ++ds.stats.hits;
+    ds.lru.splice(ds.lru.begin(), ds.lru, it->second.lru_it);
+    *available_at = ds.device->tensor_ready(it->second.id);
+    return it->second.id;
+  }
+  ++ds.stats.misses;
+
+  // Host-side preparation: quantization (plain tensors) or model creation
+  // (§6.2.3). Overlapped mode charges the device's host lane, which runs
+  // in parallel with the device; otherwise the cost serializes on the
+  // link.
+  const Seconds prep =
+      pool_.timing().model_creation_latency(tile.shape.elems());
+  Seconds transfer_ready = ready;
+  Seconds link_setup = 0;
+  if (config_.overlap_model_creation) {
+    transfer_ready = ds.host_lane.acquire(ready, prep, "tensorize");
+  } else {
+    link_setup = prep;
+  }
+
+  const u64 pinned[] = {key};
+  ensure_device_space(ds, tile.shape.elems(), pinned);
+
+  sim::Device::Completion done{};
+  if (config_.functional && tile.buffer->functional()) {
+    if (tile.as_model) {
+      quantize_tile(tile, ds.stage_scratch);
+      const isa::ModelInfo info{tile.shape, tile.shape, tile.scale};
+      const std::vector<u8> blob =
+          isa::serialize_model(ds.stage_scratch, info);
+      done = ds.device->load_model(blob, transfer_ready, link_setup);
+    } else {
+      quantize_tile(tile, ds.stage_scratch);
+      done = ds.device->write_tensor(tile.shape, tile.scale, ds.stage_scratch,
+                                     transfer_ready, link_setup);
+    }
+  } else {
+    if (tile.as_model) {
+      const isa::ModelInfo info{tile.shape, tile.shape, tile.scale};
+      done = ds.device->load_model_meta(info, transfer_ready, link_setup);
+    } else {
+      done = ds.device->write_tensor(tile.shape, tile.scale, {},
+                                     transfer_ready, link_setup);
+    }
+  }
+
+  ds.lru.push_front(key);
+  ds.cache.emplace(key, DeviceState::CacheEntry{done.id, tile.shape.elems(),
+                                                ds.lru.begin()});
+  *available_at = done.done;
+  return done.id;
+}
+
+namespace {
+/// True when every element of the tile's host region is exactly zero.
+bool tile_is_zero(const TileRef& tile) {
+  if (!tile.buffer->functional()) return false;
+  const auto v = tile.buffer->view().sub(tile.row0, tile.col0, tile.shape);
+  for (usize r = 0; r < v.rows(); ++r) {
+    for (const float x : v.row(r)) {
+      if (x != 0.0f) return false;
+    }
+  }
+  return true;
+}
+
+/// Opcodes for which a zero operand forces a zero result.
+bool zero_annihilates(Opcode op) {
+  switch (op) {
+    case Opcode::kMul:
+    case Opcode::kConv2D:
+    case Opcode::kFullyConnected:
+      return true;
+    default:
+      return false;
+  }
+}
+}  // namespace
+
+void Runtime::execute_plan(DeviceState& ds, const WorkItem& item) {
+  const InstructionPlan& plan = item.plan;
+  OpContext& ctx = *item.ctx;
+  const Seconds ready = ctx.op_ready;
+
+  // Zero-tile elision: skip the device round trip entirely when a
+  // multiplicative operand tile is all zeros.
+  if (config_.functional && config_.skip_zero_tiles &&
+      zero_annihilates(plan.op) &&
+      (tile_is_zero(plan.in0) ||
+       (plan.in1.valid() && tile_is_zero(plan.in1)))) {
+    // The host still pays to look at the tile once (a calibration-speed
+    // scan); no transfer, no instruction.
+    const Seconds scanned = ds.host_lane.acquire(
+        ready,
+        pool_.timing().model_creation_latency(plan.in0.shape.elems()) * 0.25,
+        "zero-scan");
+    if (ctx.req->out->functional() &&
+        (plan.combine == HostCombine::kStore ||
+         plan.combine == HostCombine::kAccumulate)) {
+      std::lock_guard lock(ctx.mu);
+      if (plan.combine == HostCombine::kStore) {
+        auto dst = ctx.req->out->view().sub(plan.out_row0, plan.out_col0,
+                                            plan.out_shape);
+        for (usize r = 0; r < dst.rows(); ++r) {
+          auto row = dst.row(r);
+          std::fill(row.begin(), row.end(), 0.0f);
+        }
+      }
+      // kAccumulate: adding zero is a no-op.
+    }
+    ++ds.stats.zero_tiles_skipped;
+    std::lock_guard lock(ctx.mu);
+    ctx.virtual_start = std::min(ctx.virtual_start, ready);
+    ctx.virtual_done = std::max(ctx.virtual_done, scanned);
+    return;
+  }
+
+  Seconds in0_at = 0;
+  Seconds in1_at = 0;
+  const DeviceTensorId in0 = stage_tile(ds, plan.in0, ready, &in0_at);
+  DeviceTensorId in1;
+  std::array<u64, 2> pinned{tile_key(plan.in0), 0};
+  usize n_pinned = 1;
+  if (plan.in1.valid()) {
+    pinned[n_pinned++] = tile_key(plan.in1);
+    in1 = stage_tile(ds, plan.in1, ready, &in1_at);
+  }
+
+  isa::Instruction instr;
+  instr.op = plan.op;
+  instr.in0 = in0;
+  instr.in1 = in1;
+  instr.stride = plan.stride;
+  instr.window = plan.window;
+  instr.pad_target = plan.pad_target;
+  instr.kernel_bank = plan.kernel_bank;
+  instr.out_scale = plan.out_scale;
+  instr.task_id = ctx.req->task_id;
+  instr.quant = ctx.req->quant;
+
+  const Shape2D out_shape = isa::infer_output_shape(
+      instr, ds.device->tensor_shape(in0),
+      plan.in1.valid() ? ds.device->tensor_shape(in1) : Shape2D{});
+  const usize out_bytes =
+      out_shape.elems() * (plan.wide_output ? sizeof(i32) : sizeof(i8));
+  ensure_device_space(ds, out_bytes, {pinned.data(), n_pinned});
+
+  instr.wide_output = plan.wide_output;
+  const auto exec = ds.device->execute(instr, ready);
+
+  Seconds read_done;
+  if (plan.wide_output) {
+    if (config_.functional) ds.wide_scratch.resize(out_shape.elems());
+    read_done = ds.device->read_tensor_wide(
+        exec.id,
+        config_.functional
+            ? std::span<i32>(ds.wide_scratch.data(), out_shape.elems())
+            : std::span<i32>{},
+        exec.done);
+  } else {
+    if (config_.functional) ds.out_scratch.resize(out_shape.elems());
+    read_done = ds.device->read_tensor(
+        exec.id,
+        config_.functional
+            ? std::span<i8>(ds.out_scratch.data(), out_shape.elems())
+            : std::span<i8>{},
+        exec.done);
+  }
+  ds.device->free_tensor(exec.id);
+
+  // CPU-side landing of the result (dequantization + §6.2.1 aggregation)
+  // on this device's host lane.
+  const Seconds combined = ds.host_lane.acquire(
+      read_done, pool_.timing().model_creation_latency(out_shape.elems()),
+      "combine");
+
+  if (config_.functional && ctx.req->out->functional()) {
+    const double inv = plan.wide_output
+                           ? plan.wide_dequant
+                           : 1.0 / static_cast<double>(plan.out_scale);
+    std::lock_guard lock(ctx.mu);
+    switch (plan.combine) {
+      case HostCombine::kStore:
+      case HostCombine::kAccumulate: {
+        GPTPU_CHECK(out_shape == plan.out_shape,
+                    "device output does not match plan routing");
+        auto dst = ctx.req->out->view().sub(plan.out_row0, plan.out_col0,
+                                            plan.out_shape);
+        const bool acc = plan.combine == HostCombine::kAccumulate;
+        for (usize r = 0; r < out_shape.rows; ++r) {
+          float* d = dst.row(r).data();
+          for (usize c = 0; c < out_shape.cols; ++c) {
+            const double raw =
+                plan.wide_output
+                    ? static_cast<double>(
+                          ds.wide_scratch[r * out_shape.cols + c])
+                    : static_cast<double>(
+                          ds.out_scratch[r * out_shape.cols + c]);
+            const float v = static_cast<float>(raw * inv);
+            if (acc) {
+              d[c] += v;
+            } else {
+              d[c] = v;
+            }
+          }
+        }
+        break;
+      }
+      case HostCombine::kMeanPartial:
+        ctx.mean_acc += ds.out_scratch[0] * inv * plan.combine_weight;
+        break;
+      case HostCombine::kMaxPartial: {
+        const double v = ds.out_scratch[0] * inv;
+        ctx.max_acc = ctx.max_seen ? std::max(ctx.max_acc, v) : v;
+        ctx.max_seen = true;
+        break;
+      }
+    }
+  }
+
+  {
+    std::lock_guard lock(ctx.mu);
+    ctx.virtual_start = std::min(ctx.virtual_start, std::min(in0_at, ready));
+    ctx.virtual_done = std::max(ctx.virtual_done, combined);
+  }
+}
+
+// --- results -----------------------------------------------------------------
+
+Seconds Runtime::makespan() const {
+  Seconds m = pool_.makespan();
+  for (const auto& ds : device_states_) {
+    m = std::max(m, ds->host_lane.busy_until());
+  }
+  {
+    std::lock_guard lock(host_mu_);
+    m = std::max(m, host_.busy_until());
+  }
+  return m;
+}
+
+EnergyReport Runtime::energy() const {
+  EnergyReport r;
+  r.makespan = makespan();
+  r.tpu_active = pool_.total_active_time();
+  r.tpu_watts = config_.profile.active_watts;
+  for (const auto& ds : device_states_) {
+    r.host_active += ds->host_lane.busy_time();
+  }
+  {
+    std::lock_guard lock(host_mu_);
+    r.host_active += host_.busy_time();
+  }
+  return r;
+}
+
+Runtime::CacheStats Runtime::cache_stats() const {
+  CacheStats total;
+  for (const auto& ds : device_states_) {
+    total.hits += ds->stats.hits;
+    total.misses += ds->stats.misses;
+    total.evictions += ds->stats.evictions;
+    total.zero_tiles_skipped += ds->stats.zero_tiles_skipped;
+  }
+  return total;
+}
+
+void Runtime::set_tracing(bool on) {
+  for (auto& ds : device_states_) {
+    ds->device->set_tracing(on);
+    ds->host_lane.set_tracing(on);
+  }
+  std::lock_guard lock(host_mu_);
+  host_.set_tracing(on);
+}
+
+void Runtime::visit_resources(
+    const std::function<void(const std::string& track,
+                             const VirtualResource&)>& fn) const {
+  for (const auto& ds : device_states_) {
+    const std::string base = "tpu" + std::to_string(ds->index);
+    fn(base + "/compute", ds->device->compute_unit());
+    fn(base + "/link", ds->device->link());
+    fn(base + "/host-lane", ds->host_lane);
+  }
+  {
+    std::lock_guard lock(host_mu_);
+    fn("host", host_);
+  }
+}
+
+void Runtime::reset() {
+  for (auto& ds : device_states_) {
+    std::lock_guard lock(ds->mu);
+    GPTPU_CHECK(ds->queue.empty(), "reset() while work is pending");
+    ds->cache.clear();
+    ds->lru.clear();
+    ds->stats = {};
+    ds->host_lane.reset();
+  }
+  pool_.reset();
+  {
+    std::lock_guard lock(sched_mu_);
+    scheduler_.reset();
+  }
+  {
+    std::lock_guard lock(host_mu_);
+    host_.reset();
+  }
+  {
+    std::lock_guard lock(tasks_mu_);
+    task_ready_.clear();
+  }
+  {
+    std::lock_guard lock(opq_mu_);
+    opq_.clear();
+  }
+}
+
+}  // namespace gptpu::runtime

@@ -1,0 +1,193 @@
+// The GPTPU runtime system (§4, §6).
+//
+// The Runtime receives operations from the OpenCtpu front end (OPQ
+// entries), lowers them through the Tensorizer into instructions (IQ
+// entries), schedules those onto the simulated Edge TPU pool, and routes
+// results -- including the CPU-side aggregation the §6.2.1 rewriting rules
+// call for -- back into host buffers.
+//
+// Execution model:
+//  * every simulated device is driven by a dedicated worker thread that
+//    owns it exclusively (staging, execution, read-back);
+//  * invoke() blocks until the operation's functional results are in the
+//    host output buffer and its modelled completion time is known, exactly
+//    like openctpu_invoke_operator inside a kernel function (§6.1);
+//  * operations of one task serialize in virtual time; distinct tasks
+//    overlap freely (§5: "tasks can perform out of order in parallel").
+//
+// Wall-clock work is real (quantization, instruction payloads,
+// aggregation); latency and energy are modelled (DESIGN.md §5.2).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "common/timeline.hpp"
+#include "runtime/buffer.hpp"
+#include "runtime/energy.hpp"
+#include "runtime/operation.hpp"
+#include "runtime/scheduler.hpp"
+#include "runtime/tensorizer.hpp"
+#include "sim/device_pool.hpp"
+
+namespace gptpu::runtime {
+
+struct RuntimeConfig {
+  usize num_devices = 1;
+  /// false = timing-only mode: no data is materialized or computed.
+  bool functional = true;
+  /// Which TPU variant the pool models (Edge on PCIe by default; Edge on
+  /// USB and a Cloud-TPU-class device are available for comparison).
+  sim::DeviceProfile profile = sim::kEdgeTpuPcie;
+  Tensorizer::Config tensorizer{};
+  /// §6.1 affinity scheduling; off = pure FCFS (ablation).
+  bool affinity = true;
+  /// Keep staged input tiles resident for reuse (§6.1's data-movement
+  /// saving). Off = stateless streaming: every instruction re-transfers
+  /// its inputs (ablation baseline).
+  bool input_cache = true;
+  /// Charge Tensorizer model creation on the host resource so it overlaps
+  /// device transfers (§6.2.3); off serializes it before each transfer
+  /// (ablation).
+  bool overlap_model_creation = true;
+  /// Tensorizer zero-tile elision: a multiplicative instruction (mul,
+  /// conv2D, FullyConnected) whose input tile is entirely zero produces a
+  /// zero tile, so the runtime skips the transfer and the instruction and
+  /// writes zeros host-side. This is the Tensorizer's dynamic-evaluation
+  /// idea (§6.2) applied to sparsity: block-sparse inputs (graphs, banded
+  /// matrices) shed their empty tiles. Functional mode only -- the check
+  /// needs data.
+  bool skip_zero_tiles = true;
+};
+
+/// One OPQ log entry, kept for introspection, tests and ablations.
+struct OpRecord {
+  u64 task_id = 0;
+  isa::Opcode op{};
+  usize num_instructions = 0;
+  Seconds virtual_start = 0;
+  Seconds virtual_done = 0;
+};
+
+class Runtime {
+ public:
+  explicit Runtime(const RuntimeConfig& config);
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  // --- buffers ------------------------------------------------------------
+
+  /// Wraps caller-owned host data (must outlive the buffer).
+  TensorBuffer* create_buffer(Shape2D shape, float* host);
+  /// Timing-only descriptor buffer with a synthetic value range.
+  TensorBuffer* create_virtual_buffer(Shape2D shape, quant::Range range);
+
+  /// Releases a buffer record (library kernels create temporaries, e.g.
+  /// the reshaped operands of the conv2D GEMM). Device-cache entries keyed
+  /// on the buffer's id/version stay valid but unreachable and age out via
+  /// LRU. The buffer must not be referenced by in-flight operations.
+  void destroy_buffer(TensorBuffer* buffer);
+
+  // --- tasks and operations -------------------------------------------------
+
+  /// Allocates a task ID (openctpu_enqueue). Operations carrying the same
+  /// task ID serialize in virtual time.
+  u64 begin_task();
+
+  /// Executes one operation synchronously (OPQ -> Tensorizer -> IQ ->
+  /// devices -> host aggregation). Throws on invalid requests.
+  void invoke(const OperationRequest& request);
+
+  /// Modelled completion time of the last operation of `task`.
+  [[nodiscard]] Seconds task_ready(u64 task_id) const;
+
+  /// Charges host-side work (e.g. the conv2D-GEMM layout transform) to the
+  /// task's virtual timeline and the host resource.
+  void charge_host(u64 task_id, Seconds duration, const char* label);
+
+  // --- results --------------------------------------------------------------
+
+  /// Modelled end-to-end latency: when every device and the host are idle.
+  [[nodiscard]] Seconds makespan() const;
+  [[nodiscard]] EnergyReport energy() const;
+  [[nodiscard]] const std::vector<OpRecord>& opq_log() const { return opq_; }
+
+  [[nodiscard]] sim::DevicePool& pool() { return pool_; }
+  [[nodiscard]] const RuntimeConfig& config() const { return config_; }
+  [[nodiscard]] const Tensorizer& tensorizer() const { return tensorizer_; }
+
+  /// Cache statistics (affinity effectiveness; used by tests/ablation).
+  struct CacheStats {
+    u64 hits = 0;
+    u64 misses = 0;
+    u64 evictions = 0;
+    u64 zero_tiles_skipped = 0;
+  };
+  [[nodiscard]] CacheStats cache_stats() const;
+
+  /// Enables interval recording on every modelled resource (device
+  /// compute units, links, host lanes, the global host) for trace export.
+  void set_tracing(bool on);
+
+  /// Visits every modelled resource with a stable track name; used by the
+  /// trace exporter. Must only run while no work is in flight.
+  void visit_resources(
+      const std::function<void(const std::string& track,
+                               const VirtualResource&)>& fn) const;
+
+  /// Clears clocks, caches and the OPQ log; buffers survive.
+  void reset();
+
+ private:
+  struct OpContext;
+  struct WorkItem {
+    InstructionPlan plan;
+    OpContext* ctx = nullptr;
+  };
+  struct DeviceState;
+
+  void worker_loop(usize device_index);
+  void execute_plan(DeviceState& ds, const WorkItem& item);
+  isa::DeviceTensorId stage_tile(DeviceState& ds, const TileRef& tile,
+                                 Seconds ready, Seconds* available_at);
+  void ensure_device_space(DeviceState& ds, usize bytes,
+                           std::span<const u64> pinned_keys);
+  Seconds acquire_host(Seconds ready, Seconds duration, const char* label);
+
+  RuntimeConfig config_;
+  sim::DevicePool pool_;
+  Tensorizer tensorizer_;
+
+  mutable std::mutex sched_mu_;
+  Scheduler scheduler_;
+
+  mutable std::mutex host_mu_;
+  VirtualResource host_{"host"};
+
+  mutable std::mutex tasks_mu_;
+  std::unordered_map<u64, Seconds> task_ready_;
+  u64 next_task_ = 1;
+
+  std::vector<std::unique_ptr<TensorBuffer>> buffers_;
+  std::mutex buffers_mu_;
+
+  mutable std::mutex opq_mu_;
+  std::vector<OpRecord> opq_;
+
+  std::vector<std::unique_ptr<DeviceState>> device_states_;
+  std::vector<std::thread> workers_;
+  /// Shutdown flag. Atomic because each worker re-checks it under its own
+  /// device mutex while the destructor sets it once for all of them.
+  std::atomic<bool> stopping_{false};
+};
+
+}  // namespace gptpu::runtime

@@ -1,0 +1,61 @@
+#include "runtime/scheduler.hpp"
+
+#include <algorithm>
+
+namespace gptpu::runtime {
+
+Scheduler::Scheduler(usize num_devices, bool affinity_enabled)
+    : affinity_enabled_(affinity_enabled), load_(num_devices, 0.0) {
+  GPTPU_CHECK(num_devices >= 1, "Scheduler needs at least one device");
+}
+
+usize Scheduler::assign(std::span<const TileNeed> tiles,
+                        Seconds instr_seconds, Seconds ready) {
+  usize total_bytes = 0;
+  for (const auto& [key, bytes] : tiles) {
+    (void)key;
+    total_bytes += bytes;
+  }
+
+  usize chosen = 0;
+  Seconds chosen_finish = 0;
+  for (usize d = 0; d < load_.size(); ++d) {
+    usize missing = total_bytes;
+    if (affinity_enabled_) {
+      for (const auto& [key, bytes] : tiles) {
+        const auto it = residency_.find(key);
+        if (it != residency_.end() && it->second.contains(d)) {
+          missing -= bytes;
+        }
+      }
+    }
+    const Seconds finish =
+        std::max(ready, load_[d]) + instr_seconds +
+        static_cast<double>(missing) * perfmodel::kLinkSecondsPerByte;
+    if (d == 0 || finish < chosen_finish) {
+      chosen = d;
+      chosen_finish = finish;
+    }
+  }
+
+  load_[chosen] = chosen_finish;
+  for (const auto& [key, bytes] : tiles) {
+    (void)bytes;
+    residency_[key].insert(chosen);
+  }
+  return chosen;
+}
+
+void Scheduler::drop_tile(usize device, u64 key) {
+  const auto it = residency_.find(key);
+  if (it == residency_.end()) return;
+  it->second.erase(device);
+  if (it->second.empty()) residency_.erase(it);
+}
+
+void Scheduler::reset() {
+  std::fill(load_.begin(), load_.end(), 0.0);
+  residency_.clear();
+}
+
+}  // namespace gptpu::runtime

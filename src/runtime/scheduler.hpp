@@ -1,0 +1,60 @@
+// Instruction scheduling (§6.1).
+//
+// The runtime schedules an IQ entry to the same Edge TPU when it shares
+// input tiles (and quantization flags and task) with data already resident
+// there -- avoiding re-transfers and re-quantization -- and otherwise
+// assigns first-come-first-serve to the device that will become available
+// earliest (tracked as an estimated-load clock per device, so the decision
+// is deterministic at dispatch time).
+#pragma once
+
+#include <span>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+#include "perfmodel/machine_constants.hpp"
+
+namespace gptpu::runtime {
+
+class Scheduler {
+ public:
+  /// A tile an instruction needs on-device: its cache key and size. The
+  /// size weights the affinity decision -- re-transferring a large model
+  /// costs more than a small vector.
+  using TileNeed = std::pair<u64, usize>;
+
+  Scheduler(usize num_devices, bool affinity_enabled);
+
+  /// Picks the device for a plan that becomes ready at `ready` (virtual
+  /// time), needs `tiles` resident, and runs for about `instr_seconds`
+  /// once they are. Chooses the earliest *estimated finish*: each
+  /// device's estimate charges transfer time only for tiles not already
+  /// resident there, which is exactly the §6.1 affinity rule (resident
+  /// inputs make a device finish sooner) generalized to also balance the
+  /// pool. With affinity disabled, every device is charged the full
+  /// transfer (pure FCFS). Records the tiles as resident on the choice.
+  [[nodiscard]] usize assign(std::span<const TileNeed> tiles,
+                             Seconds instr_seconds, Seconds ready);
+
+  /// Forgets a tile (evicted from a device's memory).
+  void drop_tile(usize device, u64 key);
+
+  [[nodiscard]] usize num_devices() const { return load_.size(); }
+  [[nodiscard]] Seconds estimated_load(usize device) const {
+    return load_.at(device);
+  }
+
+  void reset();
+
+ private:
+  bool affinity_enabled_;
+  /// Estimated virtual instant each device finishes its assigned backlog.
+  std::vector<Seconds> load_;
+  /// tile cache key -> devices believed to hold it.
+  std::unordered_map<u64, std::unordered_set<usize>> residency_;
+};
+
+}  // namespace gptpu::runtime

@@ -1,0 +1,442 @@
+#include "runtime/tensorizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gptpu::runtime {
+
+using isa::Opcode;
+using isa::QuantMethod;
+using quant::Range;
+
+namespace {
+
+float in_scale_for(QuantMethod method, Range range) {
+  if (method == QuantMethod::kIdentity) return 1.0f;
+  return quant::input_scale(range);
+}
+
+float out_scale_for(QuantMethod method, Opcode op, Range r0, Range r1,
+                    usize inner_n) {
+  switch (method) {
+    case QuantMethod::kIdentity: return 1.0f;
+    case QuantMethod::kMinMax:
+      return quant::output_scale_minmax(op, r0, r1, inner_n);
+    case QuantMethod::kScale: break;
+  }
+  return quant::output_scale(op, r0, r1, inner_n);
+}
+
+/// kMinMax arithmetic operators on functional buffers: estimate the output
+/// range by evaluating a handful of real output elements in float (the
+/// Tensorizer "dynamically evaluates input data"; sampling per [70]).
+/// Returns 0 when sampling is not applicable.
+float sampled_arithmetic_scale(const OperationRequest& req) {
+  if (req.quant != QuantMethod::kMinMax) return 0.0f;
+  if (req.in0 == nullptr || req.in1 == nullptr) return 0.0f;
+  if (!req.in0->functional() || !req.in1->functional()) return 0.0f;
+
+  const auto a = req.in0->view();
+  const auto b = req.in1->view();
+  Range sampled{0, 0};
+  constexpr usize kSamples = 48;
+  u64 state = 0x9e3779b97f4a7c15ULL;  // deterministic sample positions
+  auto next = [&state](usize bound) {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return static_cast<usize>(state % bound);
+  };
+  for (usize s = 0; s < kSamples; ++s) {
+    double acc = 0;
+    if (req.op == Opcode::kFullyConnected) {
+      const usize i = next(a.rows());
+      const usize j = next(b.cols());
+      for (usize k = 0; k < a.cols(); ++k) acc += a(i, k) * b(k, j);
+    } else {  // conv2D: one output position of one kernel
+      const usize bank = req.kernel_bank;
+      const usize krows = b.rows() / bank;
+      const usize kcols = b.cols();
+      const usize which = next(bank);
+      const usize r0 = next((a.rows() - krows) / req.stride.y + 1) *
+                       req.stride.y;
+      const usize c0 = next((a.cols() - kcols) / req.stride.x + 1) *
+                       req.stride.x;
+      for (usize kr = 0; kr < krows; ++kr) {
+        for (usize kc = 0; kc < kcols; ++kc) {
+          acc += a(r0 + kr, c0 + kc) * b(which * krows + kr, kc);
+        }
+      }
+    }
+    sampled.min = std::min(sampled.min, static_cast<float>(acc));
+    sampled.max = std::max(sampled.max, static_cast<float>(acc));
+  }
+  return quant::sampled_scale(sampled);
+}
+
+void check_request(const OperationRequest& req) {
+  GPTPU_CHECK(req.in0 != nullptr, "operation needs a primary input");
+  GPTPU_CHECK(req.out != nullptr, "operation needs an output buffer");
+  if (isa::has_second_operand(req.op)) {
+    GPTPU_CHECK(req.in1 != nullptr,
+                std::string(isa::name(req.op)) + " needs a second operand");
+  }
+}
+
+}  // namespace
+
+Tensorizer::Tensorizer(Config config) : config_(config) {
+  GPTPU_CHECK(config_.working_set_fraction > 0 &&
+                  config_.working_set_fraction <= 1.0,
+              "working_set_fraction out of range");
+  GPTPU_CHECK(config_.pairwise_tile > 0 && config_.reduce_tile > 0,
+              "tile sizes must be positive");
+}
+
+usize Tensorizer::budget_bytes() const {
+  return static_cast<usize>(static_cast<double>(config_.device_memory_bytes) *
+                            config_.working_set_fraction);
+}
+
+LoweredOperation Tensorizer::lower(const OperationRequest& req) const {
+  check_request(req);
+  switch (isa::op_class(req.op)) {
+    case isa::OpClass::kPairwise: return lower_pairwise(req);
+    case isa::OpClass::kElementwise: return lower_elementwise(req);
+    case isa::OpClass::kMatrixwise: return lower_matrixwise(req);
+    case isa::OpClass::kArithmetic:
+      return req.op == Opcode::kConv2D ? lower_conv2d(req)
+                                       : lower_fully_connected(req);
+    case isa::OpClass::kLayout:
+      return req.op == Opcode::kCrop ? lower_crop(req) : lower_ext(req);
+  }
+  throw InvalidArgument("unknown op class");
+}
+
+LoweredOperation Tensorizer::lower_pairwise(const OperationRequest& req) const {
+  const Shape2D shape = req.in0->shape();
+  GPTPU_CHECK(req.in1->shape() == shape, "pairwise operand shape mismatch");
+  GPTPU_CHECK(req.out->shape() == shape, "pairwise output shape mismatch");
+
+  // Both operands are quantized on one joint scale so their grids align.
+  const Range joint{std::min(req.in0->range().min, req.in1->range().min),
+                    std::max(req.in0->range().max, req.in1->range().max)};
+  const float s_in = in_scale_for(req.quant, joint);
+  const float s_out =
+      out_scale_for(req.quant, req.op, req.in0->range(), req.in1->range(), 0);
+
+  // Tile edge: the optimal 128x128 shape, or (naive mode) the largest
+  // square band that fits three operands in the working-set budget.
+  usize tile = config_.pairwise_tile;
+  if (!config_.use_optimal_tiling) {
+    const usize per_operand = budget_bytes() / 3;
+    tile = std::max<usize>(
+        1, static_cast<usize>(std::sqrt(static_cast<double>(per_operand))));
+  }
+
+  LoweredOperation lowered;
+  for (usize r = 0; r < shape.rows; r += tile) {
+    const usize rows = std::min(tile, shape.rows - r);
+    for (usize c = 0; c < shape.cols; c += tile) {
+      const usize cols = std::min(tile, shape.cols - c);
+      InstructionPlan plan;
+      plan.op = req.op;
+      plan.out_scale = s_out;
+      plan.in0 = {req.in0, r, c, {rows, cols}, s_in, /*as_model=*/false};
+      plan.in1 = {req.in1, r, c, {rows, cols}, s_in, /*as_model=*/true};
+      plan.out_row0 = r;
+      plan.out_col0 = c;
+      plan.out_shape = {rows, cols};
+      lowered.plans.push_back(plan);
+    }
+  }
+  return lowered;
+}
+
+LoweredOperation Tensorizer::lower_elementwise(
+    const OperationRequest& req) const {
+  const Shape2D shape = req.in0->shape();
+  GPTPU_CHECK(req.out->shape() == shape, "elementwise output shape mismatch");
+  const float s_in = in_scale_for(req.quant, req.in0->range());
+  // tanh outputs live in [-1, 1]; ReLu preserves the input range.
+  const float s_out = req.op == Opcode::kTanh
+                          ? quant::kQuantLimit
+                          : out_scale_for(req.quant, req.op, req.in0->range(),
+                                          req.in0->range(), 0);
+
+  const usize tile = config_.use_optimal_tiling
+                         ? config_.pairwise_tile
+                         : std::max<usize>(1, static_cast<usize>(std::sqrt(
+                               static_cast<double>(budget_bytes() / 2))));
+  LoweredOperation lowered;
+  for (usize r = 0; r < shape.rows; r += tile) {
+    const usize rows = std::min(tile, shape.rows - r);
+    for (usize c = 0; c < shape.cols; c += tile) {
+      const usize cols = std::min(tile, shape.cols - c);
+      InstructionPlan plan;
+      plan.op = req.op;
+      plan.out_scale = s_out;
+      plan.in0 = {req.in0, r, c, {rows, cols}, s_in, false};
+      plan.out_row0 = r;
+      plan.out_col0 = c;
+      plan.out_shape = {rows, cols};
+      lowered.plans.push_back(plan);
+    }
+  }
+  return lowered;
+}
+
+LoweredOperation Tensorizer::lower_matrixwise(
+    const OperationRequest& req) const {
+  const Shape2D shape = req.in0->shape();
+  GPTPU_CHECK(req.out->shape() == (Shape2D{1, 1}),
+              "matrix-wise operators produce a 1x1 output");
+  const float s_in = in_scale_for(req.quant, req.in0->range());
+  // Both mean and max of a dataset stay inside its own range, so the
+  // partial results reuse the input scale (Eq. 8 with the same range).
+  const float s_out =
+      out_scale_for(req.quant, req.op, req.in0->range(), req.in0->range(), 0);
+
+  const usize tile = config_.use_optimal_tiling ? config_.reduce_tile
+                                                : config_.pairwise_tile;
+  const double total = static_cast<double>(shape.elems());
+  LoweredOperation lowered;
+  for (usize r = 0; r < shape.rows; r += tile) {
+    const usize rows = std::min(tile, shape.rows - r);
+    for (usize c = 0; c < shape.cols; c += tile) {
+      const usize cols = std::min(tile, shape.cols - c);
+      InstructionPlan plan;
+      plan.op = req.op;
+      plan.out_scale = s_out;
+      plan.in0 = {req.in0, r, c, {rows, cols}, s_in, false};
+      plan.out_shape = {1, 1};
+      plan.combine = req.op == Opcode::kMean ? HostCombine::kMeanPartial
+                                             : HostCombine::kMaxPartial;
+      plan.combine_weight = static_cast<double>(rows * cols) / total;
+      lowered.plans.push_back(plan);
+    }
+  }
+  lowered.zero_output_first = true;
+  return lowered;
+}
+
+LoweredOperation Tensorizer::lower_fully_connected(
+    const OperationRequest& req) const {
+  const Shape2D a = req.in0->shape();   // M x N
+  const Shape2D w = req.in1->shape();   // N x K
+  GPTPU_CHECK(a.cols == w.rows, "FullyConnected inner dimension mismatch");
+  GPTPU_CHECK(req.out->shape() == (Shape2D{a.rows, w.cols}),
+              "FullyConnected output shape mismatch");
+
+  const float s_a = in_scale_for(req.quant, req.in0->range());
+  const float s_w = in_scale_for(req.quant, req.in1->range());
+  const bool wide = req.exact_arithmetic;
+  const float sampled = wide ? 0.0f : sampled_arithmetic_scale(req);
+  const usize out_elem_bytes = wide ? sizeof(i32) : sizeof(i8);
+
+  // Blocking (§6.2.1): choose (m, n, k) chunk sizes so that the staged
+  // input chunk, the weight-model chunk and the output tile fit the
+  // working-set budget together.
+  const usize budget = budget_bytes();
+  const usize k_chunk = std::min<usize>(w.cols, 2048);
+  usize n_chunk =
+      std::clamp<usize>(budget * 2 / 5 / std::max<usize>(k_chunk, 1), 128,
+                        std::max<usize>(a.cols, 1));
+  n_chunk = std::min(n_chunk, a.cols);
+  usize m_chunk = std::clamp<usize>(
+      std::min(budget * 2 / 5 / n_chunk,
+               budget / 5 / (k_chunk * out_elem_bytes)),
+      1, a.rows);
+
+  GPTPU_CHECK(m_chunk * n_chunk + n_chunk * k_chunk +
+                      m_chunk * k_chunk * out_elem_bytes <=
+                  config_.device_memory_bytes,
+              "FullyConnected blocking exceeded device memory");
+
+  LoweredOperation lowered;
+  lowered.zero_output_first = true;
+  for (usize m0 = 0; m0 < a.rows; m0 += m_chunk) {
+    const usize m = std::min(m_chunk, a.rows - m0);
+    for (usize k0 = 0; k0 < w.cols; k0 += k_chunk) {
+      const usize k = std::min(k_chunk, w.cols - k0);
+      for (usize n0 = 0; n0 < a.cols; n0 += n_chunk) {
+        const usize n = std::min(n_chunk, a.cols - n0);
+        InstructionPlan plan;
+        plan.op = Opcode::kFullyConnected;
+        plan.wide_output = wide;
+        plan.wide_dequant = 1.0 / (static_cast<double>(s_a) * s_w);
+        // Partial products over an n-chunk carry roughly n/N of the full
+        // output magnitude, so the sampled full-output scale is widened by
+        // the chunk ratio.
+        plan.out_scale =
+            wide ? 1.0f
+            : sampled > 0
+                ? sampled * static_cast<float>(a.cols) / static_cast<float>(n)
+                : out_scale_for(req.quant, req.op, req.in0->range(),
+                                req.in1->range(), n);
+        plan.in0 = {req.in0, m0, n0, {m, n}, s_a, false};
+        plan.in1 = {req.in1, n0, k0, {n, k}, s_w, /*as_model=*/true};
+        plan.out_row0 = m0;
+        plan.out_col0 = k0;
+        plan.out_shape = {m, k};
+        plan.combine = HostCombine::kAccumulate;
+        lowered.plans.push_back(plan);
+      }
+    }
+  }
+  return lowered;
+}
+
+LoweredOperation Tensorizer::lower_conv2d(const OperationRequest& req) const {
+  const Shape2D in = req.in0->shape();
+  const Shape2D model = req.in1->shape();
+  const u16 bank = req.kernel_bank;
+  GPTPU_CHECK(bank > 0 && model.rows % bank == 0,
+              "conv2D kernel bank does not divide model rows");
+  const usize krows = model.rows / bank;
+  const usize kcols = model.cols;
+  const isa::Stride stride = req.stride;
+  GPTPU_CHECK(stride.x > 0 && stride.y > 0, "conv2D needs a positive stride");
+  GPTPU_CHECK(krows <= in.rows && kcols <= in.cols,
+              "conv2D kernel larger than input");
+
+  const usize out_rows = (in.rows - krows) / stride.y + 1;
+  const usize out_cols_single = (in.cols - kcols) / stride.x + 1;
+  GPTPU_CHECK(req.out->shape() ==
+                  (Shape2D{out_rows, out_cols_single * bank}),
+              "conv2D output shape mismatch");
+
+  const float s_in = in_scale_for(req.quant, req.in0->range());
+  const float s_k = in_scale_for(req.quant, req.in1->range());
+  const bool wide = req.exact_arithmetic;
+  const float sampled = wide ? 0.0f : sampled_arithmetic_scale(req);
+  const float s_out = wide        ? 1.0f
+                      : sampled > 0 ? sampled
+                                    : out_scale_for(req.quant, Opcode::kConv2D,
+                                                    req.in0->range(),
+                                                    req.in1->range(),
+                                                    krows * kcols);
+  const usize out_elem_bytes = wide ? sizeof(i32) : sizeof(i8);
+
+  // Bank chunking: how many kernels ride in one model.
+  const usize budget = budget_bytes();
+  const usize kernel_bytes = krows * kcols;
+  if (kernel_bytes > budget / 3) {
+    throw ResourceExhausted("one conv2D kernel exceeds the on-chip budget");
+  }
+  const usize bank_chunk =
+      std::clamp<usize>(budget * 3 / 10 / kernel_bytes, 1, bank);
+
+  // Row chunking: q output rows need (q-1)*stride.y + krows input rows.
+  const usize row_budget =
+      budget - bank_chunk * kernel_bytes;  // input chunk + output tile
+  usize q = out_rows;
+  for (;;) {
+    const usize in_rows_needed = (q - 1) * stride.y + krows;
+    const usize in_bytes = in_rows_needed * in.cols;
+    const usize out_bytes = q * out_cols_single * bank_chunk * out_elem_bytes;
+    if (in_bytes + out_bytes <= row_budget || q == 1) break;
+    q = q / 2;
+  }
+  {
+    const usize in_rows_needed = (q - 1) * stride.y + krows;
+    if (in_rows_needed * in.cols +
+            q * out_cols_single * bank_chunk * out_elem_bytes >
+        config_.device_memory_bytes) {
+      throw ResourceExhausted(
+          "conv2D minimal working set exceeds device memory");
+    }
+  }
+
+  LoweredOperation lowered;
+  for (usize or0 = 0; or0 < out_rows; or0 += q) {
+    const usize qq = std::min(q, out_rows - or0);
+    const usize in_r0 = or0 * stride.y;
+    const usize in_rows_needed = (qq - 1) * stride.y + krows;
+    for (usize b0 = 0; b0 < bank; b0 += bank_chunk) {
+      const usize b = std::min(bank_chunk, bank - b0);
+      InstructionPlan plan;
+      plan.op = Opcode::kConv2D;
+      plan.stride = stride;
+      plan.kernel_bank = static_cast<u16>(b);
+      plan.out_scale = s_out;
+      plan.wide_output = wide;
+      plan.wide_dequant = 1.0 / (static_cast<double>(s_in) * s_k);
+      plan.in0 = {req.in0, in_r0, 0, {in_rows_needed, in.cols}, s_in, false};
+      plan.in1 = {req.in1, b0 * krows, 0, {b * krows, kcols}, s_k, true};
+      plan.out_row0 = or0;
+      plan.out_col0 = b0 * out_cols_single;
+      plan.out_shape = {qq, out_cols_single * b};
+      lowered.plans.push_back(plan);
+    }
+  }
+  return lowered;
+}
+
+LoweredOperation Tensorizer::lower_crop(const OperationRequest& req) const {
+  const Shape2D in = req.in0->shape();
+  const isa::Window w = req.window;
+  GPTPU_CHECK(w.row0 + w.shape.rows <= in.rows &&
+                  w.col0 + w.shape.cols <= in.cols,
+              "crop window out of range");
+  GPTPU_CHECK(req.out->shape() == w.shape, "crop output shape mismatch");
+  const float s_in = in_scale_for(req.quant, req.in0->range());
+  const float s_out =
+      out_scale_for(req.quant, req.op, req.in0->range(), req.in0->range(), 0);
+
+  // Stage full-width row bands of the source and crop columns on-device.
+  const usize budget = budget_bytes();
+  const usize band =
+      std::clamp<usize>(budget / 2 / in.cols, 1, w.shape.rows);
+
+  LoweredOperation lowered;
+  for (usize r0 = 0; r0 < w.shape.rows; r0 += band) {
+    const usize rows = std::min(band, w.shape.rows - r0);
+    InstructionPlan plan;
+    plan.op = Opcode::kCrop;
+    plan.out_scale = s_out;
+    plan.in0 = {req.in0, w.row0 + r0, 0, {rows, in.cols}, s_in, false};
+    plan.window = {0, w.col0, {rows, w.shape.cols}};
+    plan.out_row0 = r0;
+    plan.out_col0 = 0;
+    plan.out_shape = {rows, w.shape.cols};
+    lowered.plans.push_back(plan);
+  }
+  return lowered;
+}
+
+LoweredOperation Tensorizer::lower_ext(const OperationRequest& req) const {
+  const Shape2D in = req.in0->shape();
+  const Shape2D target = req.pad_target;
+  GPTPU_CHECK(target.rows >= in.rows && target.cols >= in.cols,
+              "ext target smaller than input");
+  GPTPU_CHECK(req.out->shape() == target, "ext output shape mismatch");
+  const float s_in = in_scale_for(req.quant, req.in0->range());
+  const float s_out =
+      out_scale_for(req.quant, req.op, req.in0->range(), req.in0->range(), 0);
+
+  const usize budget = budget_bytes();
+  const usize band = std::clamp<usize>(
+      budget / (in.cols + target.cols), 1, in.rows);
+
+  LoweredOperation lowered;
+  // Bands covering the input get padded on-device to the target width;
+  // rows entirely below the input are pure zeros, produced host-side when
+  // the output region is cleared.
+  lowered.zero_output_first = target.rows > in.rows;
+  for (usize r0 = 0; r0 < in.rows; r0 += band) {
+    const usize rows = std::min(band, in.rows - r0);
+    InstructionPlan plan;
+    plan.op = Opcode::kExt;
+    plan.out_scale = s_out;
+    plan.in0 = {req.in0, r0, 0, {rows, in.cols}, s_in, false};
+    plan.pad_target = {rows, target.cols};
+    plan.out_row0 = r0;
+    plan.out_col0 = 0;
+    plan.out_shape = {rows, target.cols};
+    lowered.plans.push_back(plan);
+  }
+  return lowered;
+}
+
+}  // namespace gptpu::runtime

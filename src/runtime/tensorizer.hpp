@@ -1,0 +1,66 @@
+// Tensorizer (§6.2): dynamic lowering of programmer-requested operations
+// into Edge TPU instructions on their optimal data shapes, plus
+// quantization planning.
+//
+// Rewriting rules implemented (§6.2.1):
+//  * pair-wise and element-wise operators: split into optimal-shape
+//    (128x128) sub-matrix instructions at corresponding positions;
+//  * matrix-wise operators (mean, max): 64x64 sub-matrix instructions plus
+//    CPU code that aggregates the per-tile partial results;
+//  * arithmetic operators (FullyConnected, conv2D): the blocking algorithm
+//    for matrix multiplication -- P x Q sub-matrix instructions with CPU
+//    aggregation of partial products in wider-than-8-bit precision;
+//  * layout operators (crop, ext): row-banded to fit on-chip memory.
+//
+// Scaling factors follow §6.2.2 (quant::output_scale).
+#pragma once
+
+#include "runtime/operation.hpp"
+#include "sim/timing_model.hpp"
+
+namespace gptpu::runtime {
+
+class Tensorizer {
+ public:
+  struct Config {
+    usize device_memory_bytes = perfmodel::kEdgeTpuMemoryBytes;
+    /// Fraction of device memory one instruction's working set (inputs +
+    /// output) may occupy; the rest is headroom for cached input tiles of
+    /// other instructions (§6.1 affinity).
+    double working_set_fraction = 0.80;
+    /// Optimal tile edge for pair-wise/element-wise instructions. The
+    /// hardware computes on 128x128x8-bit sub-matrices (§3.3).
+    usize pairwise_tile = 128;
+    /// Optimal tile edge for matrix-wise reductions (§6.2.1).
+    usize reduce_tile = 64;
+    /// When false, lowering emits whole-matrix instructions limited only
+    /// by memory (the naive lowering; used by the ablation benchmark).
+    bool use_optimal_tiling = true;
+  };
+
+  Tensorizer() : Tensorizer(Config{}) {}
+  explicit Tensorizer(Config config);
+
+  /// Lowers one OPQ entry into IQ entries. Pure with respect to device
+  /// state; throws InvalidArgument for inconsistent requests and
+  /// ResourceExhausted when a single irreducible operand (e.g. one conv2D
+  /// kernel bank entry) cannot fit on-chip.
+  [[nodiscard]] LoweredOperation lower(const OperationRequest& req) const;
+
+  [[nodiscard]] const Config& config() const { return config_; }
+
+ private:
+  [[nodiscard]] usize budget_bytes() const;
+
+  LoweredOperation lower_pairwise(const OperationRequest& req) const;
+  LoweredOperation lower_elementwise(const OperationRequest& req) const;
+  LoweredOperation lower_matrixwise(const OperationRequest& req) const;
+  LoweredOperation lower_fully_connected(const OperationRequest& req) const;
+  LoweredOperation lower_conv2d(const OperationRequest& req) const;
+  LoweredOperation lower_crop(const OperationRequest& req) const;
+  LoweredOperation lower_ext(const OperationRequest& req) const;
+
+  Config config_;
+};
+
+}  // namespace gptpu::runtime

@@ -1,0 +1,61 @@
+#include "runtime/trace_export.hpp"
+
+#include <fstream>
+
+namespace gptpu::runtime {
+
+namespace {
+
+void json_escape(std::ostream& os, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          os << ' ';
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+void enable_tracing(Runtime& rt) { rt.set_tracing(true); }
+
+void export_chrome_trace(const Runtime& rt, std::ostream& os) {
+  os << "[\n";
+  bool first = true;
+  int tid = 0;
+  rt.visit_resources([&](const std::string& track,
+                         const VirtualResource& res) {
+    ++tid;
+    // Thread-name metadata event names the track.
+    if (!first) os << ",\n";
+    first = false;
+    os << R"({"name":"thread_name","ph":"M","pid":1,"tid":)" << tid
+       << R"(,"args":{"name":")";
+    json_escape(os, track);
+    os << R"("}})";
+    for (const TraceEvent& e : res.trace()) {
+      os << ",\n";
+      os << R"({"name":")";
+      json_escape(os, e.label.empty() ? "busy" : e.label);
+      os << R"(","ph":"X","pid":1,"tid":)" << tid << R"(,"ts":)"
+         << e.start * 1e6 << R"(,"dur":)" << (e.end - e.start) * 1e6 << "}";
+    }
+  });
+  os << "\n]\n";
+}
+
+bool export_chrome_trace_file(const Runtime& rt, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  export_chrome_trace(rt, out);
+  return out.good();
+}
+
+}  // namespace gptpu::runtime

@@ -1,0 +1,32 @@
+// Chrome-tracing export of the modelled timeline.
+//
+// With tracing enabled, every VirtualResource interval (device compute
+// units, PCIe links, host lanes, the global host) becomes a Chrome
+// trace-event; load the JSON in chrome://tracing or Perfetto to see how
+// transfers, instructions and host work overlap -- the visual counterpart
+// of the paper's §6.2.3 overlap claim.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "runtime/runtime.hpp"
+
+namespace gptpu::runtime {
+
+/// Switches interval recording on for every resource of the runtime.
+/// Call before the work of interest; costs memory proportional to the
+/// instruction count.
+void enable_tracing(Runtime& rt);
+
+/// Writes the recorded intervals as a Chrome trace-event JSON array.
+/// Each device contributes two tracks (compute, link) plus its host lane;
+/// the global host resource is one more. Timestamps are in microseconds
+/// of modelled time.
+void export_chrome_trace(const Runtime& rt, std::ostream& os);
+
+/// Convenience: export to a file. Returns false when the file cannot be
+/// opened.
+bool export_chrome_trace_file(const Runtime& rt, const std::string& path);
+
+}  // namespace gptpu::runtime

@@ -1,0 +1,240 @@
+#include "sim/device.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <sstream>
+
+#include "sim/kernels.hpp"
+
+namespace gptpu::sim {
+
+using isa::DeviceTensorId;
+using isa::Instruction;
+using isa::Opcode;
+
+Device::Device(const DeviceConfig& config, const TimingModel* timing)
+    : config_(config),
+      timing_(timing),
+      compute_("tpu" + std::to_string(config.id) + ".compute"),
+      link_("tpu" + std::to_string(config.id) + ".link") {
+  GPTPU_CHECK(timing_ != nullptr, "Device needs a TimingModel");
+}
+
+const Device::TensorRecord& Device::record(DeviceTensorId id) const {
+  const auto it = tensors_.find(id.value);
+  if (it == tensors_.end()) {
+    throw InvalidArgument("unknown device tensor id " +
+                          std::to_string(id.value));
+  }
+  return it->second;
+}
+
+DeviceTensorId Device::alloc(Shape2D shape, float scale, Seconds ready,
+                             bool with_data, bool wide) {
+  const usize bytes = shape.elems() * (wide ? sizeof(i32) : sizeof(i8));
+  if (bytes > memory_available()) {
+    std::ostringstream os;
+    os << "device " << config_.id << ": tensor of " << bytes
+       << " bytes does not fit (used " << memory_used_ << " of "
+       << config_.memory_bytes << ")";
+    throw ResourceExhausted(os.str());
+  }
+  const DeviceTensorId id{next_id_++};
+  TensorRecord rec;
+  rec.shape = shape;
+  rec.scale = scale;
+  rec.ready = ready;
+  rec.wide = wide;
+  if (with_data && config_.functional) rec.data.assign(bytes, 0);
+  memory_used_ += bytes;
+  tensors_.emplace(id.value, std::move(rec));
+  return id;
+}
+
+Device::Completion Device::write_tensor(Shape2D shape, float scale,
+                                        std::span<const i8> data,
+                                        Seconds ready, Seconds link_setup) {
+  if (config_.functional) {
+    GPTPU_CHECK(data.size() == shape.elems(),
+                "write_tensor: data does not match shape");
+  }
+  const Seconds done = link_.acquire(
+      ready, link_setup + timing_->transfer_latency(shape.elems()));
+  const DeviceTensorId id = alloc(shape, scale, done, /*with_data=*/true);
+  if (config_.functional) {
+    auto& rec = tensors_.at(id.value);
+    std::copy(data.begin(), data.end(), rec.data.begin());
+  }
+  return {id, done};
+}
+
+Device::Completion Device::load_model(std::span<const u8> blob,
+                                      Seconds ready, Seconds link_setup) {
+  const isa::ParsedModel parsed = isa::parse_model(blob);
+  const Seconds done = link_.acquire(
+      ready, link_setup + timing_->transfer_latency(blob.size()));
+  const DeviceTensorId id =
+      alloc(parsed.info.padded, parsed.info.scale, done, /*with_data=*/true);
+  if (config_.functional) {
+    auto& rec = tensors_.at(id.value);
+    std::copy(parsed.data.begin(), parsed.data.end(), rec.data.begin());
+  }
+  return {id, done};
+}
+
+Device::Completion Device::load_model_meta(const isa::ModelInfo& info,
+                                           Seconds ready,
+                                           Seconds link_setup) {
+  const Seconds done = link_.acquire(
+      ready,
+      link_setup + timing_->transfer_latency(isa::model_wire_size(info.padded)));
+  const DeviceTensorId id =
+      alloc(info.padded, info.scale, done, /*with_data=*/false);
+  return {id, done};
+}
+
+Device::Completion Device::execute(const Instruction& instr, Seconds ready) {
+  const TensorRecord& in0 = record(instr.in0);
+  const TensorRecord* in1 =
+      isa::has_second_operand(instr.op) || instr.in1.valid()
+          ? &record(instr.in1)
+          : nullptr;
+  const Shape2D in1_shape = in1 ? in1->shape : Shape2D{};
+  const Shape2D out_shape =
+      isa::infer_output_shape(instr, in0.shape, in1_shape);
+
+  Seconds start = std::max(ready, in0.ready);
+  if (in1 != nullptr) start = std::max(start, in1->ready);
+
+  const Seconds done = compute_.acquire(
+      start,
+      timing_->instruction_latency(instr, in0.shape, in1_shape, out_shape),
+      std::string(isa::name(instr.op)));
+
+  const bool wide = instr.wide_output &&
+                    isa::op_class(instr.op) == isa::OpClass::kArithmetic;
+  const DeviceTensorId out_id =
+      alloc(out_shape, instr.out_scale, done, /*with_data=*/true, wide);
+
+  if (config_.functional) {
+    auto& out_rec = tensors_.at(out_id.value);
+    MatrixView<i8> out{out_rec.data.data(), out_shape};
+    MatrixView<i32> wout{reinterpret_cast<i32*>(out_rec.data.data()),
+                         out_shape};
+    const MatrixView<const i8> a{in0.data.data(), in0.shape};
+    switch (instr.op) {
+      case Opcode::kConv2D:
+        if (wide) {
+          kernels::conv2d_wide(a, {in1->data.data(), in1->shape},
+                               instr.stride, instr.kernel_bank, wout);
+        } else {
+          kernels::conv2d(a, in0.scale, {in1->data.data(), in1->shape},
+                          in1->scale, instr.stride, instr.kernel_bank,
+                          instr.out_scale, out);
+        }
+        break;
+      case Opcode::kFullyConnected:
+        if (wide) {
+          kernels::fully_connected_wide(a, {in1->data.data(), in1->shape},
+                                        wout);
+        } else {
+          kernels::fully_connected(a, in0.scale,
+                                   {in1->data.data(), in1->shape},
+                                   in1->scale, instr.out_scale, out);
+        }
+        break;
+      case Opcode::kAdd:
+      case Opcode::kSub:
+      case Opcode::kMul:
+        kernels::pairwise(instr.op, a, in0.scale,
+                          {in1->data.data(), in1->shape}, in1->scale,
+                          instr.out_scale, out);
+        break;
+      case Opcode::kTanh:
+      case Opcode::kReLu:
+        kernels::elementwise(instr.op, a, in0.scale, instr.out_scale, out);
+        break;
+      case Opcode::kMean:
+      case Opcode::kMax:
+        out(0, 0) = kernels::reduce(instr.op, a, in0.scale, instr.out_scale);
+        break;
+      case Opcode::kCrop:
+        kernels::crop(a, in0.scale, instr.window, instr.out_scale, out);
+        break;
+      case Opcode::kExt:
+        kernels::ext(a, in0.scale, instr.out_scale, out);
+        break;
+    }
+  }
+  return {out_id, done};
+}
+
+Seconds Device::read_tensor(DeviceTensorId id, std::span<i8> out,
+                            Seconds ready) {
+  const TensorRecord& rec = record(id);
+  GPTPU_CHECK(!rec.wide, "read_tensor on a wide tensor");
+  if (config_.functional) {
+    GPTPU_CHECK(out.size() == rec.shape.elems(),
+                "read_tensor: bad destination size");
+    std::copy(rec.data.begin(), rec.data.end(), out.begin());
+  }
+  return link_.acquire(std::max(ready, rec.ready),
+                       timing_->transfer_latency(rec.bytes()));
+}
+
+Seconds Device::read_tensor_wide(DeviceTensorId id, std::span<i32> out,
+                                 Seconds ready) {
+  const TensorRecord& rec = record(id);
+  GPTPU_CHECK(rec.wide, "read_tensor_wide on a narrow tensor");
+  if (config_.functional) {
+    GPTPU_CHECK(out.size() == rec.shape.elems(),
+                "read_tensor_wide: bad destination size");
+    std::memcpy(out.data(), rec.data.data(), rec.data.size());
+  }
+  return link_.acquire(std::max(ready, rec.ready),
+                       timing_->transfer_latency(rec.bytes()));
+}
+
+void Device::free_tensor(DeviceTensorId id) {
+  const auto it = tensors_.find(id.value);
+  if (it == tensors_.end()) {
+    throw InvalidArgument("free_tensor: unknown id " +
+                          std::to_string(id.value));
+  }
+  memory_used_ -= it->second.bytes();
+  tensors_.erase(it);
+}
+
+Shape2D Device::tensor_shape(DeviceTensorId id) const {
+  return record(id).shape;
+}
+float Device::tensor_scale(DeviceTensorId id) const {
+  return record(id).scale;
+}
+Seconds Device::tensor_ready(DeviceTensorId id) const {
+  return record(id).ready;
+}
+
+MatrixView<const i8> Device::tensor_data(DeviceTensorId id) const {
+  const TensorRecord& rec = record(id);
+  GPTPU_CHECK(config_.functional, "tensor_data in timing-only mode");
+  return {rec.data.data(), rec.shape};
+}
+
+Seconds Device::idle_at() const {
+  return std::max(compute_.busy_until(), link_.busy_until());
+}
+
+Seconds Device::active_time() const {
+  return compute_.busy_time() + link_.busy_time();
+}
+
+void Device::reset() {
+  compute_.reset();
+  link_.reset();
+  tensors_.clear();
+  memory_used_ = 0;
+  next_id_ = 0;
+}
+
+}  // namespace gptpu::sim

@@ -1,0 +1,149 @@
+// The simulated Edge TPU device.
+//
+// A Device couples three things:
+//  * functional state: int8 tensors resident in the 8 MB on-chip memory and
+//    the bit-accurate execution of instructions over them (kernels.hpp);
+//  * a timing state: two VirtualResources -- the compute unit and the
+//    PCIe link -- whose occupancy yields modelled completion times;
+//  * a memory accountant that enforces the 8 MB capacity, which is what
+//    forces the Tensorizer to tile large operations.
+//
+// A Device is driven by a single runtime worker at a time and is therefore
+// deliberately not thread-safe; the DevicePool hands out exclusive access.
+//
+// In timing-only mode (functional=false) tensors carry no data: the same
+// scheduling, tiling and memory-pressure paths run, but instruction
+// payloads are skipped. This is how paper-scale inputs (up to 9 GB) are
+// modelled without materializing them (DESIGN.md §6).
+#pragma once
+
+#include <optional>
+#include <span>
+#include <unordered_map>
+
+#include "common/matrix.hpp"
+#include "common/timeline.hpp"
+#include "isa/instruction.hpp"
+#include "isa/model_format.hpp"
+#include "sim/timing_model.hpp"
+
+namespace gptpu::sim {
+
+struct DeviceConfig {
+  u32 id = 0;
+  usize memory_bytes = perfmodel::kEdgeTpuMemoryBytes;
+  bool functional = true;
+};
+
+class Device {
+ public:
+  Device(const DeviceConfig& config, const TimingModel* timing);
+
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  /// Result of an operation that produces a tensor: its handle and the
+  /// modelled completion time.
+  struct Completion {
+    isa::DeviceTensorId id;
+    Seconds done = 0;
+  };
+
+  /// Allocates an on-chip tensor and transfers `data` into it over the
+  /// link. `data` must hold shape.elems() values, or be empty in
+  /// timing-only mode. `link_setup` seconds of host-side preparation are
+  /// charged serially on the link before the transfer (used when model
+  /// creation is not overlapped with data movement; see §6.2.3). Throws
+  /// ResourceExhausted when the tensor does not fit.
+  Completion write_tensor(Shape2D shape, float scale,
+                          std::span<const i8> data, Seconds ready,
+                          Seconds link_setup = 0);
+
+  /// Loads a serialized model blob (isa::parse_model) into on-chip memory.
+  /// The transfer is charged for the full wire size of the blob.
+  Completion load_model(std::span<const u8> blob, Seconds ready,
+                        Seconds link_setup = 0);
+
+  /// Timing-only variant: loads a model described by `info` without data.
+  Completion load_model_meta(const isa::ModelInfo& info, Seconds ready,
+                             Seconds link_setup = 0);
+
+  /// Executes one instruction whose operands are resident tensors,
+  /// allocating the output tensor. Functional mode computes real values;
+  /// both modes advance the compute unit's clock.
+  Completion execute(const isa::Instruction& instr, Seconds ready);
+
+  /// Transfers a tensor back to the host. `out` must hold elems() values
+  /// (ignored, may be empty, in timing-only mode). Returns the modelled
+  /// completion time.
+  Seconds read_tensor(isa::DeviceTensorId id, std::span<i8> out,
+                      Seconds ready);
+
+  /// Reads a wide (int32 accumulator) tensor; 4x the transfer volume.
+  Seconds read_tensor_wide(isa::DeviceTensorId id, std::span<i32> out,
+                           Seconds ready);
+
+  void free_tensor(isa::DeviceTensorId id);
+
+  [[nodiscard]] Shape2D tensor_shape(isa::DeviceTensorId id) const;
+  [[nodiscard]] float tensor_scale(isa::DeviceTensorId id) const;
+  [[nodiscard]] MatrixView<const i8> tensor_data(isa::DeviceTensorId id) const;
+  /// Modelled time at which the tensor's producer finishes.
+  [[nodiscard]] Seconds tensor_ready(isa::DeviceTensorId id) const;
+
+  [[nodiscard]] usize memory_used() const { return memory_used_; }
+  [[nodiscard]] usize memory_capacity() const { return config_.memory_bytes; }
+  [[nodiscard]] usize memory_available() const {
+    return config_.memory_bytes - memory_used_;
+  }
+
+  [[nodiscard]] u32 id() const { return config_.id; }
+  [[nodiscard]] bool functional() const { return config_.functional; }
+
+  /// Modelled instant at which all scheduled work on this device is done.
+  [[nodiscard]] Seconds idle_at() const;
+  /// Total busy seconds (compute + link), the basis of active energy.
+  [[nodiscard]] Seconds active_time() const;
+
+  [[nodiscard]] const VirtualResource& compute_unit() const {
+    return compute_;
+  }
+  [[nodiscard]] const VirtualResource& link() const { return link_; }
+
+  /// Enables interval recording on the compute unit and the link (for
+  /// trace export).
+  void set_tracing(bool on) {
+    compute_.set_tracing(on);
+    link_.set_tracing(on);
+  }
+
+  /// Returns the device to a pristine state (memory and clocks).
+  void reset();
+
+ private:
+  struct TensorRecord {
+    Shape2D shape{};
+    float scale = 1.0f;
+    Seconds ready = 0;       // when the producing transfer/instruction ends
+    bool wide = false;       // int32 accumulator tensor (4 bytes/element)
+    std::vector<i8> data;    // raw bytes; empty in timing-only mode
+
+    [[nodiscard]] usize bytes() const {
+      return shape.elems() * (wide ? sizeof(i32) : sizeof(i8));
+    }
+  };
+
+  const TensorRecord& record(isa::DeviceTensorId id) const;
+  isa::DeviceTensorId alloc(Shape2D shape, float scale, Seconds ready,
+                            bool with_data, bool wide = false);
+
+  DeviceConfig config_;
+  const TimingModel* timing_;
+  VirtualResource compute_;
+  VirtualResource link_;
+  std::unordered_map<u32, TensorRecord> tensors_;
+  usize memory_used_ = 0;
+  u32 next_id_ = 0;
+};
+
+}  // namespace gptpu::sim

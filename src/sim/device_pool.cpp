@@ -1,0 +1,49 @@
+#include "sim/device_pool.hpp"
+
+#include <algorithm>
+
+namespace gptpu::sim {
+
+DevicePool::DevicePool(usize count, bool functional, usize memory_bytes) {
+  GPTPU_CHECK(count >= 1, "DevicePool needs at least one device");
+  devices_.reserve(count);
+  for (usize i = 0; i < count; ++i) {
+    DeviceConfig cfg;
+    cfg.id = static_cast<u32>(i);
+    cfg.memory_bytes = memory_bytes;
+    cfg.functional = functional;
+    devices_.push_back(std::make_unique<Device>(cfg, &timing_));
+  }
+}
+
+DevicePool::DevicePool(usize count, bool functional,
+                       const DeviceProfile& profile)
+    : timing_(profile) {
+  GPTPU_CHECK(count >= 1, "DevicePool needs at least one device");
+  devices_.reserve(count);
+  for (usize i = 0; i < count; ++i) {
+    DeviceConfig cfg;
+    cfg.id = static_cast<u32>(i);
+    cfg.memory_bytes = profile.memory_bytes;
+    cfg.functional = functional;
+    devices_.push_back(std::make_unique<Device>(cfg, &timing_));
+  }
+}
+
+Seconds DevicePool::makespan() const {
+  Seconds m = 0;
+  for (const auto& d : devices_) m = std::max(m, d->idle_at());
+  return m;
+}
+
+Seconds DevicePool::total_active_time() const {
+  Seconds t = 0;
+  for (const auto& d : devices_) t += d->active_time();
+  return t;
+}
+
+void DevicePool::reset() {
+  for (auto& d : devices_) d->reset();
+}
+
+}  // namespace gptpu::sim

@@ -1,0 +1,40 @@
+// A pool of simulated Edge TPUs sharing one timing model -- the software
+// equivalent of the paper's quad-EdgeTPU PCIe cards (§3.1). Each device
+// owns an independent link, mirroring the per-M.2-slot PCIe 2.0 lanes
+// behind the switch.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "sim/device.hpp"
+
+namespace gptpu::sim {
+
+class DevicePool {
+ public:
+  explicit DevicePool(usize count, bool functional = true,
+                      usize memory_bytes = perfmodel::kEdgeTpuMemoryBytes);
+
+  /// Pool of devices of a given profile (memory, link, compute scale).
+  DevicePool(usize count, bool functional, const DeviceProfile& profile);
+
+  [[nodiscard]] usize size() const { return devices_.size(); }
+  [[nodiscard]] Device& device(usize i) { return *devices_.at(i); }
+  [[nodiscard]] const Device& device(usize i) const { return *devices_.at(i); }
+  [[nodiscard]] const TimingModel& timing() const { return timing_; }
+
+  /// Modelled instant when every device is idle: the pool's makespan.
+  [[nodiscard]] Seconds makespan() const;
+
+  /// Sum of busy time across all devices (for active-energy integration).
+  [[nodiscard]] Seconds total_active_time() const;
+
+  void reset();
+
+ private:
+  TimingModel timing_;
+  std::vector<std::unique_ptr<Device>> devices_;
+};
+
+}  // namespace gptpu::sim

@@ -1,0 +1,254 @@
+#include "sim/kernels.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gptpu::sim::kernels {
+
+using isa::Opcode;
+
+i8 requantize(double raw, float out_scale) {
+  const double q = std::nearbyint(raw * static_cast<double>(out_scale));
+  return static_cast<i8>(std::clamp(q, -127.0, 127.0));
+}
+
+void conv2d(MatrixView<const i8> in, float s_in, MatrixView<const i8> kernels,
+            float s_k, isa::Stride stride, u16 bank, float out_scale,
+            MatrixView<i8> out) {
+  GPTPU_CHECK(stride.x > 0 && stride.y > 0, "conv2d: zero stride");
+  GPTPU_CHECK(bank > 0 && kernels.rows() % bank == 0,
+              "conv2d: bank does not divide kernel rows");
+  const usize krows = kernels.rows() / bank;
+  const usize kcols = kernels.cols();
+  GPTPU_CHECK(krows <= in.rows() && kcols <= in.cols(),
+              "conv2d: kernel larger than input");
+  const usize out_rows = (in.rows() - krows) / stride.y + 1;
+  const usize out_cols = (in.cols() - kcols) / stride.x + 1;
+  GPTPU_CHECK(out.rows() == out_rows && out.cols() == out_cols * bank,
+              "conv2d: bad output shape");
+  const double dequant =
+      1.0 / (static_cast<double>(s_in) * static_cast<double>(s_k));
+  for (usize k = 0; k < bank; ++k) {
+    const MatrixView<const i8> kernel =
+        kernels.sub(k * krows, 0, {krows, kcols});
+    const usize out_col_base = k * out_cols;
+    for (usize orow = 0; orow < out_rows; ++orow) {
+      const usize r0 = orow * stride.y;
+      for (usize ocol = 0; ocol < out_cols; ++ocol) {
+        const usize c0 = ocol * stride.x;
+        i64 acc = 0;
+        for (usize kr = 0; kr < krows; ++kr) {
+          const i8* irow = in.row(r0 + kr).data() + c0;
+          const i8* krow = kernel.row(kr).data();
+          i64 racc = 0;
+          for (usize kc = 0; kc < kcols; ++kc) {
+            racc += static_cast<i32>(irow[kc]) * static_cast<i32>(krow[kc]);
+          }
+          acc += racc;
+        }
+        out(orow, out_col_base + ocol) =
+            requantize(static_cast<double>(acc) * dequant, out_scale);
+      }
+    }
+  }
+}
+
+void conv2d_wide(MatrixView<const i8> in, MatrixView<const i8> kernels,
+                 isa::Stride stride, u16 bank, MatrixView<i32> out) {
+  GPTPU_CHECK(stride.x > 0 && stride.y > 0, "conv2d: zero stride");
+  GPTPU_CHECK(bank > 0 && kernels.rows() % bank == 0,
+              "conv2d: bank does not divide kernel rows");
+  const usize krows = kernels.rows() / bank;
+  const usize kcols = kernels.cols();
+  GPTPU_CHECK(krows <= in.rows() && kcols <= in.cols(),
+              "conv2d: kernel larger than input");
+  const usize out_rows = (in.rows() - krows) / stride.y + 1;
+  const usize out_cols = (in.cols() - kcols) / stride.x + 1;
+  GPTPU_CHECK(out.rows() == out_rows && out.cols() == out_cols * bank,
+              "conv2d: bad output shape");
+  for (usize k = 0; k < bank; ++k) {
+    const MatrixView<const i8> kernel =
+        kernels.sub(k * krows, 0, {krows, kcols});
+    const usize out_col_base = k * out_cols;
+    for (usize orow = 0; orow < out_rows; ++orow) {
+      const usize r0 = orow * stride.y;
+      for (usize ocol = 0; ocol < out_cols; ++ocol) {
+        const usize c0 = ocol * stride.x;
+        i32 acc = 0;
+        for (usize kr = 0; kr < krows; ++kr) {
+          const i8* irow = in.row(r0 + kr).data() + c0;
+          const i8* krow = kernel.row(kr).data();
+          i32 racc = 0;
+          for (usize kc = 0; kc < kcols; ++kc) {
+            racc += static_cast<i32>(irow[kc]) * static_cast<i32>(krow[kc]);
+          }
+          acc += racc;
+        }
+        out(orow, out_col_base + ocol) = acc;
+      }
+    }
+  }
+}
+
+void fully_connected_wide(MatrixView<const i8> in,
+                          MatrixView<const i8> weights, MatrixView<i32> out) {
+  GPTPU_CHECK(in.cols() == weights.rows(), "fully_connected: inner mismatch");
+  GPTPU_CHECK(out.rows() == in.rows() && out.cols() == weights.cols(),
+              "fully_connected: bad output shape");
+  const usize n = in.cols();
+  const usize k = weights.cols();
+  for (usize r = 0; r < in.rows(); ++r) {
+    i32* orow = out.row(r).data();
+    std::fill_n(orow, k, 0);
+    const i8* irow = in.row(r).data();
+    for (usize j = 0; j < n; ++j) {
+      const i32 a = irow[j];
+      if (a == 0) continue;
+      const i8* wrow = weights.row(j).data();
+      for (usize c = 0; c < k; ++c) {
+        orow[c] += a * static_cast<i32>(wrow[c]);
+      }
+    }
+  }
+}
+
+void fully_connected(MatrixView<const i8> in, float s_in,
+                     MatrixView<const i8> weights, float s_w, float out_scale,
+                     MatrixView<i8> out) {
+  GPTPU_CHECK(in.cols() == weights.rows(), "fully_connected: inner mismatch");
+  GPTPU_CHECK(out.rows() == in.rows() && out.cols() == weights.cols(),
+              "fully_connected: bad output shape");
+  const double dequant =
+      1.0 / (static_cast<double>(s_in) * static_cast<double>(s_w));
+  const usize n = in.cols();
+  const usize k = weights.cols();
+  std::vector<i64> acc(k);
+  for (usize r = 0; r < in.rows(); ++r) {
+    std::fill(acc.begin(), acc.end(), 0);
+    const i8* irow = in.row(r).data();
+    // Loop order (inner over columns of the weight row) keeps both streams
+    // sequential, letting the compiler vectorize the int8 x int8 products.
+    for (usize j = 0; j < n; ++j) {
+      const i32 a = irow[j];
+      if (a == 0) continue;
+      const i8* wrow = weights.row(j).data();
+      for (usize c = 0; c < k; ++c) {
+        acc[c] += a * static_cast<i32>(wrow[c]);
+      }
+    }
+    i8* orow = out.row(r).data();
+    for (usize c = 0; c < k; ++c) {
+      orow[c] = requantize(static_cast<double>(acc[c]) * dequant, out_scale);
+    }
+  }
+}
+
+void pairwise(Opcode op, MatrixView<const i8> a, float s_a,
+              MatrixView<const i8> b, float s_b, float out_scale,
+              MatrixView<i8> out) {
+  GPTPU_CHECK(a.shape() == b.shape() && a.shape() == out.shape(),
+              "pairwise: shape mismatch");
+  const double inv_a = 1.0 / static_cast<double>(s_a);
+  const double inv_b = 1.0 / static_cast<double>(s_b);
+  for (usize r = 0; r < a.rows(); ++r) {
+    const i8* ra = a.row(r).data();
+    const i8* rb = b.row(r).data();
+    i8* ro = out.row(r).data();
+    for (usize c = 0; c < a.cols(); ++c) {
+      const double va = ra[c] * inv_a;
+      const double vb = rb[c] * inv_b;
+      double raw = 0;
+      switch (op) {
+        case Opcode::kAdd: raw = va + vb; break;
+        case Opcode::kSub: raw = va - vb; break;
+        case Opcode::kMul: raw = va * vb; break;
+        default: throw InvalidArgument("pairwise: not a pairwise opcode");
+      }
+      ro[c] = requantize(raw, out_scale);
+    }
+  }
+}
+
+void elementwise(Opcode op, MatrixView<const i8> in, float s_in,
+                 float out_scale, MatrixView<i8> out) {
+  GPTPU_CHECK(in.shape() == out.shape(), "elementwise: shape mismatch");
+  // 256-entry lookup table, exactly how the hardware evaluates activation
+  // functions on quantized values.
+  std::array<i8, 256> lut{};
+  const double inv = 1.0 / static_cast<double>(s_in);
+  for (int q = -128; q <= 127; ++q) {
+    const double x = q * inv;
+    double y = 0;
+    switch (op) {
+      case Opcode::kTanh: y = std::tanh(x); break;
+      case Opcode::kReLu: y = x > 0 ? x : 0; break;
+      default: throw InvalidArgument("elementwise: not an elementwise opcode");
+    }
+    lut[static_cast<usize>(q + 128)] = requantize(y, out_scale);
+  }
+  for (usize r = 0; r < in.rows(); ++r) {
+    const i8* ri = in.row(r).data();
+    i8* ro = out.row(r).data();
+    for (usize c = 0; c < in.cols(); ++c) {
+      ro[c] = lut[static_cast<usize>(static_cast<int>(ri[c]) + 128)];
+    }
+  }
+}
+
+i8 reduce(Opcode op, MatrixView<const i8> in, float s_in, float out_scale) {
+  GPTPU_CHECK(in.rows() > 0 && in.cols() > 0, "reduce: empty input");
+  const double inv = 1.0 / static_cast<double>(s_in);
+  if (op == Opcode::kMax) {
+    i8 best = in(0, 0);
+    for (usize r = 0; r < in.rows(); ++r) {
+      for (i8 v : in.row(r)) best = std::max(best, v);
+    }
+    return requantize(best * inv, out_scale);
+  }
+  if (op == Opcode::kMean) {
+    i64 acc = 0;
+    for (usize r = 0; r < in.rows(); ++r) {
+      for (i8 v : in.row(r)) acc += v;
+    }
+    const double mean =
+        static_cast<double>(acc) / static_cast<double>(in.shape().elems());
+    return requantize(mean * inv, out_scale);
+  }
+  throw InvalidArgument("reduce: not a matrix-wise opcode");
+}
+
+void crop(MatrixView<const i8> in, float s_in, isa::Window window,
+          float out_scale, MatrixView<i8> out) {
+  GPTPU_CHECK(window.row0 + window.shape.rows <= in.rows() &&
+                  window.col0 + window.shape.cols <= in.cols(),
+              "crop: window out of range");
+  GPTPU_CHECK(out.shape() == window.shape, "crop: bad output shape");
+  const double inv = 1.0 / static_cast<double>(s_in);
+  for (usize r = 0; r < window.shape.rows; ++r) {
+    const i8* ri = in.row(window.row0 + r).data() + window.col0;
+    i8* ro = out.row(r).data();
+    for (usize c = 0; c < window.shape.cols; ++c) {
+      ro[c] = requantize(ri[c] * inv, out_scale);
+    }
+  }
+}
+
+void ext(MatrixView<const i8> in, float s_in, float out_scale,
+         MatrixView<i8> out) {
+  GPTPU_CHECK(out.rows() >= in.rows() && out.cols() >= in.cols(),
+              "ext: output smaller than input");
+  const double inv = 1.0 / static_cast<double>(s_in);
+  for (usize r = 0; r < out.rows(); ++r) {
+    i8* ro = out.row(r).data();
+    if (r < in.rows()) {
+      const i8* ri = in.row(r).data();
+      usize c = 0;
+      for (; c < in.cols(); ++c) ro[c] = requantize(ri[c] * inv, out_scale);
+      for (; c < out.cols(); ++c) ro[c] = 0;
+    } else {
+      std::fill_n(ro, out.cols(), static_cast<i8>(0));
+    }
+  }
+}
+
+}  // namespace gptpu::sim::kernels

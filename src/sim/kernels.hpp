@@ -1,0 +1,65 @@
+// Functional (bit-accurate) semantics of the Edge TPU instructions.
+//
+// Arithmetic follows the hardware contract: int8 operands, exact int32
+// accumulation inside one instruction, and requantization of results to
+// int8 with the instruction's output scale. Every accuracy number the
+// benchmarks report flows through these kernels.
+#pragma once
+
+#include "common/matrix.hpp"
+#include "isa/instruction.hpp"
+
+namespace gptpu::sim::kernels {
+
+/// conv2D (valid padding, stride per `stride`): for each output position,
+/// acc = sum over the kernel window of in*k (int32), then
+/// q_out = clamp(round(acc / (s_in * s_k) * out_scale)).
+///
+/// `kernels` holds `bank` filters stacked vertically (bank * kr rows); the
+/// per-filter result planes are laid side by side in `out` (each filter
+/// contributes a contiguous group of output columns).
+void conv2d(MatrixView<const i8> in, float s_in, MatrixView<const i8> kernels,
+            float s_k, isa::Stride stride, u16 bank, float out_scale,
+            MatrixView<i8> out);
+
+/// conv2D emitting the raw int32 accumulators (wide-output mode; the host
+/// dequantizes with 1 / (s_in * s_k)).
+void conv2d_wide(MatrixView<const i8> in, MatrixView<const i8> kernels,
+                 isa::Stride stride, u16 bank, MatrixView<i32> out);
+
+/// FullyConnected: out = in (MxN) x weights (NxK), int32 accumulation.
+void fully_connected(MatrixView<const i8> in, float s_in,
+                     MatrixView<const i8> weights, float s_w, float out_scale,
+                     MatrixView<i8> out);
+
+/// FullyConnected emitting the raw int32 accumulators.
+void fully_connected_wide(MatrixView<const i8> in,
+                          MatrixView<const i8> weights, MatrixView<i32> out);
+
+/// add / sub / mul on corresponding value pairs.
+void pairwise(isa::Opcode op, MatrixView<const i8> a, float s_a,
+              MatrixView<const i8> b, float s_b, float out_scale,
+              MatrixView<i8> out);
+
+/// tanh / ReLu element-wise.
+void elementwise(isa::Opcode op, MatrixView<const i8> in, float s_in,
+                 float out_scale, MatrixView<i8> out);
+
+/// mean / max matrix-wise reduction to a single int8 value.
+[[nodiscard]] i8 reduce(isa::Opcode op, MatrixView<const i8> in, float s_in,
+                        float out_scale);
+
+/// crop: copy the window out of `in` (scales may differ; values are
+/// rescaled raw -> raw).
+void crop(MatrixView<const i8> in, float s_in, isa::Window window,
+          float out_scale, MatrixView<i8> out);
+
+/// ext: zero-pad `in` at the bottom/right up to out's shape.
+void ext(MatrixView<const i8> in, float s_in, float out_scale,
+         MatrixView<i8> out);
+
+/// Requantization helper shared by all kernels:
+/// clamp(round(raw * out_scale)) into int8.
+[[nodiscard]] i8 requantize(double raw, float out_scale);
+
+}  // namespace gptpu::sim::kernels

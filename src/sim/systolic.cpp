@@ -1,0 +1,103 @@
+#include "sim/systolic.hpp"
+
+#include <vector>
+
+namespace gptpu::sim {
+
+SystolicArray::SystolicArray(SystolicConfig config) : config_(config) {
+  GPTPU_CHECK(config_.grid > 0, "empty PE grid");
+  GPTPU_CHECK(config_.clock_hz > 0, "non-positive clock");
+}
+
+u64 SystolicArray::matmul_cycles(usize m, usize n, usize k) const {
+  const usize g = config_.grid;
+  const u64 n_tiles = (n + g - 1) / g;
+  const u64 k_tiles = (k + g - 1) / g;
+  // Per weight-tile pass: pre-load the weights, then stream the M
+  // activation rows through the skewed pipeline (M + 2g - 2 cycles from
+  // first entry to last exit).
+  const u64 pass = config_.fill_cycles_per_tile +
+                   static_cast<u64>(m) + 2 * g - 2;
+  return n_tiles * k_tiles * pass;
+}
+
+Seconds SystolicArray::matmul_seconds(usize m, usize n, usize k) const {
+  return static_cast<double>(matmul_cycles(m, n, k)) / config_.clock_hz;
+}
+
+double SystolicArray::peak_macs_per_second() const {
+  return static_cast<double>(config_.grid) * config_.grid * config_.clock_hz;
+}
+
+void SystolicArray::matmul(MatrixView<const i8> in,
+                           MatrixView<const i8> weights,
+                           MatrixView<i32> out) const {
+  GPTPU_CHECK(in.cols() == weights.rows(), "systolic: inner mismatch");
+  GPTPU_CHECK(out.rows() == in.rows() && out.cols() == weights.cols(),
+              "systolic: bad output shape");
+  const usize g = config_.grid;
+  const usize m = in.rows();
+
+  for (usize r_out = 0; r_out < out.rows(); ++r_out) {
+    auto row = out.row(r_out);
+    std::fill(row.begin(), row.end(), 0);
+  }
+
+  // Double-buffered per-PE registers for one tile pass.
+  std::vector<i8> a_cur(g * g), a_next(g * g);
+  std::vector<i32> p_cur(g * g), p_next(g * g);
+
+  for (usize n0 = 0; n0 < weights.rows(); n0 += g) {
+    const usize nt = std::min(g, weights.rows() - n0);
+    for (usize k0 = 0; k0 < weights.cols(); k0 += g) {
+      const usize kt = std::min(g, weights.cols() - k0);
+
+      // Fill phase: weights become stationary. (The cycle model charges
+      // fill_cycles_per_tile; functionally it is a copy.)
+      auto w_at = [&](usize r, usize c) -> i32 {
+        if (r >= nt || c >= kt) return 0;  // zero padding beyond the edge
+        return weights(n0 + r, k0 + c);
+      };
+
+      std::fill(a_cur.begin(), a_cur.end(), 0);
+      std::fill(p_cur.begin(), p_cur.end(), 0);
+
+      // Stream phase: activation a(mrow, n0+r) enters PE row r from the
+      // left at cycle mrow + r; it marches right one column per cycle.
+      // Partial sums march down one row per cycle; output element
+      // (mrow, k0+c) exits the bottom at cycle mrow + (g-1) + c.
+      const usize last_cycle = m + 2 * g - 2;
+      for (usize t = 0; t < last_cycle; ++t) {
+        for (usize r = 0; r < g; ++r) {
+          for (usize c = 0; c < g; ++c) {
+            i8 a;
+            if (c == 0) {
+              // New activation enters from the left edge.
+              const i64 mrow = static_cast<i64>(t) - static_cast<i64>(r);
+              a = (mrow >= 0 && mrow < static_cast<i64>(m) && r < nt)
+                      ? in(static_cast<usize>(mrow), n0 + r)
+                      : static_cast<i8>(0);
+            } else {
+              a = a_cur[r * g + (c - 1)];
+            }
+            a_next[r * g + c] = a;
+            const i32 above = r == 0 ? 0 : p_cur[(r - 1) * g + c];
+            p_next[r * g + c] = above + w_at(r, c) * static_cast<i32>(a);
+          }
+        }
+        std::swap(a_cur, a_next);
+        std::swap(p_cur, p_next);
+        // Collect outputs leaving the bottom row this cycle.
+        for (usize c = 0; c < kt; ++c) {
+          const i64 mrow = static_cast<i64>(t) - static_cast<i64>(g - 1) -
+                           static_cast<i64>(c);
+          if (mrow >= 0 && mrow < static_cast<i64>(m)) {
+            out(static_cast<usize>(mrow), k0 + c) += p_cur[(g - 1) * g + c];
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace gptpu::sim

@@ -1,0 +1,63 @@
+// First-principles model of the Edge TPU's matrix unit: a weight-
+// stationary systolic array (§2.1: "a systolic array that performs
+// operations on the units of matrices/tensors").
+//
+// Two roles:
+//  * a *structurally different* functional implementation of the MXU's
+//    matrix multiply -- weights pre-loaded into a PE grid, activations
+//    streamed through with skew, partial sums flowing down -- whose
+//    results must be bit-identical to the direct kernels (a strong
+//    cross-check, used by tests);
+//  * a from-physics cycle model (fill + stream + drain per tile pass)
+//    that bench_systolic compares against the Table-1-calibrated timing
+//    model, quantifying how far real end-to-end instruction rates sit
+//    below the array's raw capability -- the gap the paper's §3.2
+//    characterization exists to measure.
+//
+// Array geometry: the Edge TPU's 4 TOPS at ~480 MHz implies a 64x64 MAC
+// grid (64*64*2*480e6 = 3.9 TOPS); the 128x128 *data tiles* of §3.3 are
+// the compiler's packing unit, two array passes wide. Both knobs are
+// parameters.
+#pragma once
+
+#include "common/matrix.hpp"
+#include "common/types.hpp"
+
+namespace gptpu::sim {
+
+struct SystolicConfig {
+  usize grid = 64;           // PE grid edge (grid x grid MACs)
+  double clock_hz = 480e6;   // PE clock
+  usize fill_cycles_per_tile = 64;  // weight pre-load, one column per cycle
+};
+
+class SystolicArray {
+ public:
+  explicit SystolicArray(SystolicConfig config = {});
+
+  /// Cycle count of an M x N x K matrix multiply executed weight-
+  /// stationary: for each (N/grid x K/grid) weight tile, fill the grid,
+  /// stream M activation rows with pipeline skew (M + 2*grid - 2 cycles),
+  /// accumulating partials across N-tiles.
+  [[nodiscard]] u64 matmul_cycles(usize m, usize n, usize k) const;
+
+  /// Seconds at the configured clock.
+  [[nodiscard]] Seconds matmul_seconds(usize m, usize n, usize k) const;
+
+  /// Peak MAC throughput of the array (MACs/second).
+  [[nodiscard]] double peak_macs_per_second() const;
+
+  /// Functional weight-stationary execution: out = in (MxN) x weights
+  /// (NxK) with int32 accumulation, computed by explicitly simulating the
+  /// PE grid cycle by cycle (activations skewed across columns, partial
+  /// sums marching down rows). Must equal kernels::fully_connected_wide.
+  void matmul(MatrixView<const i8> in, MatrixView<const i8> weights,
+              MatrixView<i32> out) const;
+
+  [[nodiscard]] const SystolicConfig& config() const { return config_; }
+
+ private:
+  SystolicConfig config_;
+};
+
+}  // namespace gptpu::sim

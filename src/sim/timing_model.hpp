@@ -1,0 +1,67 @@
+// The Edge TPU timing model, calibrated against the paper's measurements.
+//
+// Instruction latency:
+//   t = t_issue(op) + MACs / mac_rate(op) + out_elems / rate_term(op)
+//
+// * For the arithmetic operators (conv2D, FullyConnected) the MAC term uses
+//   the calibrated effective rates of machine_constants.hpp and t_issue is
+//   back-solved so that the operator's Table 1 reference shape reproduces
+//   Table 1's OPS and RPS exactly.
+// * For every other operator the latency is out_elems / RPS(op) (with a
+//   small floor), which reproduces Table 1 by construction: the paper
+//   measured OPS and RPS at the same reference shape, so
+//   ref_out / RPS == 1 / OPS.
+//
+// Transfers: size-linear at the measured ~6 ms/MB (§3.2) plus a fixed
+// per-transfer setup cost.
+#pragma once
+
+#include "common/types.hpp"
+#include "isa/instruction.hpp"
+#include "perfmodel/machine_constants.hpp"
+#include "sim/device_profile.hpp"
+
+namespace gptpu::sim {
+
+class TimingModel {
+ public:
+  /// Calibrated for the given device profile (default: the paper's M.2
+  /// Edge TPU on PCIe).
+  explicit TimingModel(const DeviceProfile& profile = kEdgeTpuPcie);
+
+  /// Latency of one instruction given its operand/output shapes.
+  [[nodiscard]] Seconds instruction_latency(const isa::Instruction& instr,
+                                            Shape2D in0, Shape2D in1,
+                                            Shape2D out) const;
+
+  /// Latency of moving `bytes` across one host<->device link.
+  [[nodiscard]] Seconds transfer_latency(usize bytes) const;
+
+  /// Latency of the fast (Tensorizer) model-creation path for `elems`
+  /// values (§6.2.3: 1.8 ms per 2Kx2K). Host-side cost.
+  [[nodiscard]] Seconds model_creation_latency(usize elems) const;
+
+  /// Host-side cost of reshaping `bytes` of data (conv2D-GEMM layout
+  /// transform and similar).
+  [[nodiscard]] Seconds host_reshape_latency(usize bytes) const;
+
+  [[nodiscard]] const DeviceProfile& profile() const { return profile_; }
+
+ private:
+  DeviceProfile profile_;
+  // Back-solved issue overheads for the arithmetic operators.
+  Seconds conv2d_issue_ = 0;
+  Seconds fc_issue_ = 0;
+};
+
+/// Reference shapes at which Table 1 measured each operator: 128x128 tiles
+/// for most operators, 64x64 for the matrix-wise reductions (§6.2.1), a
+/// 3x3 kernel for conv2D and a 128-vector x 128x128 model for
+/// FullyConnected. Used by the calibration and by bench_table1.
+struct ReferenceShape {
+  Shape2D in0;
+  Shape2D in1;  // kernel / model / second operand ({0,0} if unused)
+};
+[[nodiscard]] ReferenceShape table1_reference_shape(isa::Opcode op);
+
+}  // namespace gptpu::sim

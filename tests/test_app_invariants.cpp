@@ -1,0 +1,187 @@
+// Application-level invariants, beyond matching the CPU reference: each
+// GPTPU app's output must satisfy the mathematical properties of the
+// problem it solves.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/backprop_app.hpp"
+#include "apps/blackscholes_app.hpp"
+#include "apps/gaussian_app.hpp"
+#include "apps/hotspot_app.hpp"
+#include "apps/lud_app.hpp"
+#include "apps/pagerank_app.hpp"
+
+namespace gptpu::apps {
+namespace {
+
+TEST(PageRankInvariants, GraphIsColumnStochastic) {
+  const auto g = pagerank::make_graph(200, 1);
+  for (usize c = 0; c < 200; ++c) {
+    double sum = 0;
+    for (usize r = 0; r < 200; ++r) {
+      EXPECT_GE(g(r, c), 0.0f);
+      sum += g(r, c);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-4);
+  }
+}
+
+TEST(PageRankInvariants, RanksFormADistribution) {
+  pagerank::Params p;
+  p.n = 200;
+  p.iterations = 15;
+  const auto g = pagerank::make_graph(p.n, 2);
+  runtime::Runtime rt{runtime::RuntimeConfig{}};
+  const auto ranks = pagerank::run_gptpu(rt, p, &g);
+  double sum = 0;
+  for (usize i = 0; i < p.n; ++i) {
+    EXPECT_GT(ranks(0, i), 0.0f);
+    sum += ranks(0, i);
+  }
+  EXPECT_NEAR(sum, 1.0, 0.05);
+}
+
+TEST(GaussianInvariants, SolutionSatisfiesTheSystem) {
+  gaussian::Params p = gaussian::Params::accuracy();
+  const auto s = gaussian::make_system(p.n, 3, 0);
+  runtime::Runtime rt{runtime::RuntimeConfig{}};
+  const auto x = gaussian::run_gptpu(rt, p, &s);
+  // ||A x - b|| relative to ||b|| must be small.
+  double err2 = 0;
+  double b2 = 0;
+  for (usize r = 0; r < p.n; ++r) {
+    double acc = 0;
+    for (usize c = 0; c < p.n; ++c) acc += s.a(r, c) * x(0, c);
+    const double d = acc - s.b(0, r);
+    err2 += d * d;
+    b2 += static_cast<double>(s.b(0, r)) * s.b(0, r);
+  }
+  EXPECT_LT(std::sqrt(err2 / b2), 0.05);
+}
+
+TEST(LudInvariants, FactorsReconstructTheInput) {
+  lud::Params p = lud::Params::accuracy();
+  const auto input = lud::make_input(p.n, 4, 0);
+  runtime::Runtime rt{runtime::RuntimeConfig{}};
+  const auto lu = lud::run_gptpu(rt, p, &input);
+  // (L * U)(i, j) must match A within the quantized-update error budget.
+  double err2 = 0;
+  double a2 = 0;
+  for (usize i = 0; i < p.n; ++i) {
+    for (usize j = 0; j < p.n; ++j) {
+      double acc = 0;
+      const usize kmax = std::min(i, j);
+      for (usize k = 0; k < kmax; ++k) acc += lu(i, k) * lu(k, j);
+      // Unit-lower diagonal: L(i,i) = 1 contributes U(i,j) for i <= j;
+      // for i > j the product ends at U(j,j) via L(i,j)*U(j,j).
+      if (i <= j) {
+        acc += lu(i, j);  // L(i,i)=1 times U(i,j)
+      } else {
+        acc += lu(i, j) * lu(j, j);
+      }
+      const double d = acc - input(i, j);
+      err2 += d * d;
+      a2 += static_cast<double>(input(i, j)) * input(i, j);
+    }
+  }
+  EXPECT_LT(std::sqrt(err2 / a2), 0.02);
+}
+
+TEST(HotSpotInvariants, StableIterationStaysBounded) {
+  hotspot::Params p;
+  p.grid = 48;
+  p.layers = 3;
+  p.iterations = 12;  // longer than the accuracy run
+  const auto w = hotspot::make_workload(p, 5, 0);
+  float in_max = 0;
+  for (const auto& layer : w.temperature) {
+    for (const float v : layer.span()) in_max = std::max(in_max, v);
+  }
+  runtime::Runtime rt{runtime::RuntimeConfig{}};
+  const auto out = hotspot::run_gptpu(rt, p, &w);
+  // The stencil's coefficients sum below 1, so with bounded power input
+  // temperatures cannot blow up.
+  for (const auto& layer : out) {
+    for (const float v : layer.span()) {
+      EXPECT_LT(std::abs(v), in_max * 3);
+    }
+  }
+}
+
+TEST(HotSpotInvariants, ParallelBaselineMatchesSerialBitForBit) {
+  hotspot::Params p;
+  p.grid = 40;
+  p.layers = 3;
+  p.iterations = 3;
+  const auto w = hotspot::make_workload(p, 8, 0);
+  const auto serial = hotspot::cpu_reference(p, w);
+  for (const usize threads : {2u, 5u, 8u}) {
+    const auto parallel = hotspot::cpu_reference_parallel(p, w, threads);
+    for (usize z = 0; z < p.layers; ++z) {
+      EXPECT_EQ(serial[z], parallel[z]) << "threads=" << threads;
+    }
+  }
+}
+
+TEST(BlackScholesInvariants, PricesRespectArbitrageBounds) {
+  blackscholes::Params p;
+  p.options = 2048;
+  const auto w = blackscholes::make_workload(p, 6, 0);
+  runtime::Runtime rt{runtime::RuntimeConfig{}};
+  const auto prices = blackscholes::run_gptpu(rt, p, &w);
+  for (usize i = 0; i < p.options; ++i) {
+    const float s = w.spot(0, i);
+    const float k = w.strike(0, i);
+    const float t = w.time(0, i);
+    const float lower =
+        std::max(0.0f, s - k * std::exp(-w.rate * t));
+    // Quantization allows a small tolerance around the no-arbitrage band.
+    EXPECT_GE(prices(0, i), lower - 0.02f * s) << i;
+    EXPECT_LE(prices(0, i), s * 1.02f) << i;
+  }
+}
+
+TEST(BlackScholesInvariants, PolynomialCndfTracksErf) {
+  for (float x = -3.4f; x <= 3.4f; x += 0.05f) {
+    const float exact = 0.5f * (1.0f + std::erf(x / std::sqrt(2.0f)));
+    EXPECT_NEAR(blackscholes::cndf_poly(x), exact, 0.0025f) << x;
+  }
+  // Monotone on a coarse grid.
+  float prev = blackscholes::cndf_poly(-3.4f);
+  for (float x = -3.0f; x <= 3.4f; x += 0.4f) {
+    const float cur = blackscholes::cndf_poly(x);
+    EXPECT_GT(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(BackpropInvariants, TrainingReducesTheLoss) {
+  backprop::Params p = backprop::Params::accuracy();
+  p.iterations = 3;
+  p.learning_rate = 5e-3f;
+  const auto w = backprop::make_workload(p, 7, 0);
+  runtime::Runtime rt{runtime::RuntimeConfig{}};
+  const auto trained = backprop::run_gptpu(rt, p, &w);
+
+  auto loss_of = [&](const Matrix<float>& w1, const Matrix<float>& w2) {
+    double loss = 0;
+    for (usize i = 0; i < p.batch; ++i) {
+      for (usize o = 0; o < p.output; ++o) {
+        double out = 0;
+        for (usize h = 0; h < p.hidden; ++h) {
+          double pre = 0;
+          for (usize k = 0; k < p.input; ++k) pre += w.x(i, k) * w1(k, h);
+          out += std::max(0.0, pre) * w2(h, o);
+        }
+        const double d = out - w.target(i, o);
+        loss += d * d;
+      }
+    }
+    return loss;
+  };
+  EXPECT_LT(loss_of(trained.w1, trained.w2), loss_of(w.w1, w.w2));
+}
+
+}  // namespace
+}  // namespace gptpu::apps

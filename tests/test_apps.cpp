@@ -1,0 +1,79 @@
+// Integration tests: every application's GPTPU version must track its
+// float CPU reference within small error (Table 4's regime), and its
+// paper-scale timed run must produce a finite, positive modelled latency.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/app_common.hpp"
+#include "apps/gaussian_app.hpp"
+
+namespace gptpu::apps {
+namespace {
+
+struct AccuracyCase {
+  std::string_view app;
+  double max_mape;
+  double max_rmse;
+};
+
+class AppAccuracyTest : public ::testing::TestWithParam<AccuracyCase> {};
+
+TEST_P(AppAccuracyTest, TracksCpuReference) {
+  const auto& p = GetParam();
+  const AppInfo& app = app_by_name(p.app);
+  const Accuracy acc = app.accuracy(/*seed=*/42, /*range_max=*/0);
+  EXPECT_LT(acc.mape, p.max_mape) << p.app;
+  EXPECT_LT(acc.rmse, p.max_rmse) << p.app;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllApps, AppAccuracyTest,
+    ::testing::Values(AccuracyCase{"Backprop", 0.05, 0.05},
+                      AccuracyCase{"BlackScholes", 0.05, 0.05},
+                      AccuracyCase{"Gaussian", 0.05, 0.05},
+                      AccuracyCase{"GEMM", 0.03, 0.03},
+                      AccuracyCase{"HotSpot3D", 0.05, 0.05},
+                      AccuracyCase{"LUD", 0.05, 0.05},
+                      AccuracyCase{"PageRank", 0.05, 0.05}),
+    [](const auto& info) { return std::string(info.param.app); });
+
+TEST(AppTimedRuns, AllAppsProduceFiniteModelledTimes) {
+  for (const AppInfo& app : all_apps()) {
+    const TimedResult r = app.gptpu_timed(1);
+    EXPECT_GT(r.seconds, 0.0) << app.name;
+    EXPECT_TRUE(std::isfinite(r.seconds)) << app.name;
+    const Seconds cpu = app.cpu_time(1);
+    EXPECT_GT(cpu, 0.0) << app.name;
+  }
+}
+
+TEST(GaussianRowMul, LiteralMulLoweringIsLossierThanBlocked) {
+  // The paper-literal per-pivot mul/sub lowering re-quantizes the trailing
+  // matrix once per pivot; with the (much larger) diagonal sharing the
+  // int8 grid, the small row updates are crushed. This test documents why
+  // the blocked lowering is the production mode: both complete, but the
+  // blocked mode (int32-exact trailing GEMMs) is far more accurate.
+  gaussian::Params p = gaussian::Params::accuracy();
+  p.n = 64;
+  const gaussian::System s = gaussian::make_system(p.n, 7, 0);
+
+  p.mode = gaussian::Mode::kRowMul;
+  runtime::Runtime rt1{runtime::RuntimeConfig{}};
+  const Matrix<float> rowmul = gaussian::run_gptpu(rt1, p, &s);
+
+  p.mode = gaussian::Mode::kBlocked;
+  p.block = 16;
+  runtime::Runtime rt2{runtime::RuntimeConfig{}};
+  const Matrix<float> blocked = gaussian::run_gptpu(rt2, p, &s);
+
+  const Matrix<float> ref = gaussian::cpu_reference(p, s);
+  const double rowmul_err = compare(ref.span(), rowmul.span()).mape;
+  const double blocked_err = compare(ref.span(), blocked.span()).mape;
+  EXPECT_TRUE(std::isfinite(rowmul_err));
+  EXPECT_LT(blocked_err, 0.05);
+  EXPECT_LT(blocked_err * 5, rowmul_err);
+}
+
+}  // namespace
+}  // namespace gptpu::apps

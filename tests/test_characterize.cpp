@@ -1,0 +1,25 @@
+// The black-box characterization (tools/characterize) must rediscover the
+// documented wire format -- the §3.3 procedure run against our own
+// compiler as the unknown.
+#include <gtest/gtest.h>
+
+#include "isa/model_format.hpp"
+#include "tools/characterize_lib.hpp"
+
+namespace gptpu::tools {
+namespace {
+
+TEST(Characterize, RecoversTheDocumentedLayout) {
+  const FormatFindings f = characterize_model_format();
+  EXPECT_TRUE(f.consistent());
+  EXPECT_EQ(f.header_bytes, isa::kModelHeaderBytes);
+  EXPECT_EQ(f.size_field_offset, isa::kModelHeaderBytes - 4);
+  EXPECT_TRUE(f.size_field_little_endian);
+  EXPECT_TRUE(f.data_row_major);
+  EXPECT_TRUE(f.data_scaled_int8);
+  EXPECT_EQ(f.metadata_bytes, isa::kModelMetadataBytes);
+  EXPECT_EQ(f.scale_metadata_offset, 16u);  // after 4 x u32 dimensions
+}
+
+}  // namespace
+}  // namespace gptpu::tools

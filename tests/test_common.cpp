@@ -1,0 +1,279 @@
+// Unit tests for the common substrate: matrices/views, RNG determinism,
+// error metrics, the thread pool and the virtual-time resources.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+
+#include "common/csr.hpp"
+#include "common/matrix.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/thread_pool.hpp"
+#include "common/timeline.hpp"
+
+namespace gptpu {
+namespace {
+
+TEST(Shape2D, ElementCountAndEquality) {
+  EXPECT_EQ((Shape2D{3, 4}.elems()), 12u);
+  EXPECT_EQ((Shape2D{0, 4}.elems()), 0u);
+  EXPECT_EQ((Shape2D{3, 4}), (Shape2D{3, 4}));
+  EXPECT_FALSE((Shape2D{3, 4}) == (Shape2D{4, 3}));
+}
+
+TEST(Matrix, RowMajorAddressing) {
+  Matrix<int> m(2, 3);
+  int v = 0;
+  for (usize r = 0; r < 2; ++r) {
+    for (usize c = 0; c < 3; ++c) m(r, c) = v++;
+  }
+  EXPECT_EQ(m.span()[0], 0);
+  EXPECT_EQ(m.span()[3], 3);  // second row starts at index cols
+  EXPECT_EQ(m(1, 2), 5);
+}
+
+TEST(MatrixView, SubViewSharesStorage) {
+  Matrix<int> m(Shape2D{4, 4}, 0);
+  auto sub = m.sub(1, 1, {2, 2});
+  sub(0, 0) = 42;
+  EXPECT_EQ(m(1, 1), 42);
+  EXPECT_EQ(sub.stride(), 4u);
+  EXPECT_FALSE(sub.contiguous());
+}
+
+TEST(MatrixView, SubViewOutOfRangeThrows) {
+  Matrix<int> m(4, 4);
+  EXPECT_THROW((void)m.sub(3, 3, {2, 2}), InvalidArgument);
+}
+
+TEST(MatrixView, ConstConversion) {
+  Matrix<float> m(2, 2);
+  MatrixView<float> mv = m.view();
+  MatrixView<const float> cv = mv;  // implicit
+  EXPECT_EQ(cv.data(), mv.data());
+}
+
+TEST(MatrixCopy, StridedTileRoundTrip) {
+  Matrix<int> src(4, 4);
+  for (usize i = 0; i < 16; ++i) src.span()[i] = static_cast<int>(i);
+  Matrix<int> tile(2, 2);
+  copy<int, int>(src.sub(1, 2, {2, 2}), tile.view());
+  EXPECT_EQ(tile(0, 0), 6);
+  EXPECT_EQ(tile(1, 1), 11);
+  Matrix<int> dst(Shape2D{4, 4}, 0);
+  copy<int, int>(tile.view(), dst.sub(0, 0, {2, 2}));
+  EXPECT_EQ(dst(0, 0), 6);
+  EXPECT_EQ(dst(1, 1), 11);
+  EXPECT_EQ(dst(3, 3), 0);
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, SeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  bool differs = false;
+  for (int i = 0; i < 10 && !differs; ++i) {
+    differs = a.next_u64() != b.next_u64();
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Rng, UniformStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(v, -3.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(8);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const i64 v = rng.uniform_int(0, 7);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 7);
+    saw_lo |= v == 0;
+    saw_hi |= v == 7;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalHasExpectedMoments) {
+  Rng rng(9);
+  double sum = 0;
+  double sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal(2.0, 3.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.1);
+  EXPECT_NEAR(std::sqrt(var), 3.0, 0.1);
+}
+
+TEST(Stats, RmseOfIdenticalDataIsZero) {
+  const std::vector<float> v{1, 2, 3};
+  EXPECT_DOUBLE_EQ(rmse(v, v), 0.0);
+  EXPECT_DOUBLE_EQ(mape(v, v), 0.0);
+}
+
+TEST(Stats, RmseIsRelativeToReferenceMagnitude) {
+  const std::vector<float> ref{100, 100, 100, 100};
+  const std::vector<float> off{101, 99, 101, 99};
+  EXPECT_NEAR(rmse(ref, off), 0.01, 1e-9);
+}
+
+TEST(Stats, MapeGuardsNearZeroReferences) {
+  // One near-zero reference must not dominate.
+  const std::vector<float> ref{1e-9f, 100, 100, 100};
+  const std::vector<float> got{1.0f, 100, 100, 100};
+  EXPECT_LT(mape(ref, got), 0.5);
+}
+
+TEST(Stats, SizeMismatchThrows) {
+  const std::vector<float> a{1, 2};
+  const std::vector<float> b{1};
+  EXPECT_THROW((void)rmse(a, b), InvalidArgument);
+  EXPECT_THROW((void)mape(a, b), InvalidArgument);
+}
+
+TEST(Stats, GeomeanBasics) {
+  const std::vector<double> v{1.0, 4.0};
+  EXPECT_NEAR(geomean(v), 2.0, 1e-12);
+  const std::vector<double> bad{1.0, -1.0};
+  EXPECT_THROW((void)geomean(bad), InvalidArgument);
+}
+
+TEST(RunningStats, TracksMinMeanMax) {
+  RunningStats s;
+  s.add(1);
+  s.add(5);
+  s.add(3);
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_DOUBLE_EQ(s.min(), 1);
+  EXPECT_DOUBLE_EQ(s.max(), 5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3);
+}
+
+TEST(ThreadPool, RunsAllSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  std::vector<std::future<void>> futs;
+  for (int i = 0; i < 64; ++i) {
+    futs.push_back(pool.submit([&] { ++count; }));
+  }
+  for (auto& f : futs) f.get();
+  EXPECT_EQ(count.load(), 64);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(2);
+  auto fut = pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(fut.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  ThreadPool::parallel_for(pool, hits.size(),
+                           [&](usize i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(VirtualResource, SerializesOverlappingWork) {
+  VirtualResource r("r");
+  EXPECT_DOUBLE_EQ(r.acquire(0.0, 1.0), 1.0);
+  // Ready at 0.5 but the resource is busy until 1.0.
+  EXPECT_DOUBLE_EQ(r.acquire(0.5, 1.0), 2.0);
+  // Ready after the busy period: starts at its own ready time.
+  EXPECT_DOUBLE_EQ(r.acquire(5.0, 1.0), 6.0);
+  EXPECT_DOUBLE_EQ(r.busy_time(), 3.0);
+  EXPECT_DOUBLE_EQ(r.busy_until(), 6.0);
+}
+
+TEST(VirtualResource, TracingRecordsIntervals) {
+  VirtualResource r("r");
+  r.set_tracing(true);
+  r.acquire(0.0, 2.0, "a");
+  r.acquire(0.0, 1.0, "b");
+  ASSERT_EQ(r.trace().size(), 2u);
+  EXPECT_DOUBLE_EQ(r.trace()[1].start, 2.0);
+  EXPECT_EQ(r.trace()[1].label, "b");
+}
+
+TEST(VirtualResource, ResetClearsState) {
+  VirtualResource r("r");
+  r.acquire(0.0, 2.0);
+  r.reset();
+  EXPECT_DOUBLE_EQ(r.busy_until(), 0.0);
+  EXPECT_DOUBLE_EQ(r.busy_time(), 0.0);
+}
+
+TEST(Csr, FromDenseRoundTrips) {
+  Matrix<float> dense(Shape2D{4, 5}, 0.0f);
+  dense(0, 1) = 2.0f;
+  dense(2, 0) = -1.5f;
+  dense(2, 4) = 3.0f;
+  dense(3, 3) = 7.0f;
+  const CsrMatrix csr = CsrMatrix::from_dense(dense.view());
+  EXPECT_EQ(csr.nnz(), 4u);
+  EXPECT_EQ(csr.to_dense(), dense);
+}
+
+TEST(Csr, SpmvMatchesDenseProduct) {
+  Rng rng(17);
+  Matrix<float> dense(Shape2D{40, 60}, 0.0f);
+  for (usize i = 0; i < 300; ++i) {
+    dense(static_cast<usize>(rng.uniform_int(0, 39)),
+          static_cast<usize>(rng.uniform_int(0, 59))) =
+        static_cast<float>(rng.uniform(-2, 2));
+  }
+  std::vector<float> x(60);
+  for (auto& v : x) v = static_cast<float>(rng.uniform(-1, 1));
+  std::vector<float> y(40);
+  const CsrMatrix csr = CsrMatrix::from_dense(dense.view());
+  csr.spmv(x, y);
+  for (usize r = 0; r < 40; ++r) {
+    double ref = 0;
+    for (usize c = 0; c < 60; ++c) ref += dense(r, c) * x[c];
+    EXPECT_NEAR(y[r], ref, 1e-4) << r;
+  }
+}
+
+TEST(Csr, EmptyAndAllZeroMatrices) {
+  Matrix<float> zeros(Shape2D{3, 3}, 0.0f);
+  const CsrMatrix csr = CsrMatrix::from_dense(zeros.view());
+  EXPECT_EQ(csr.nnz(), 0u);
+  std::vector<float> x(3, 1.0f);
+  std::vector<float> y(3, 9.0f);
+  csr.spmv(x, y);
+  for (const float v : y) EXPECT_FLOAT_EQ(v, 0.0f);
+  std::vector<float> bad(2);
+  EXPECT_THROW(csr.spmv(bad, y), InvalidArgument);
+}
+
+TEST(CheckMacro, ThrowsWithContext) {
+  try {
+    GPTPU_CHECK(false, "context message");
+    FAIL() << "expected throw";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("context message"),
+              std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace gptpu

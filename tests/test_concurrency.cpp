@@ -1,0 +1,157 @@
+// Concurrency soak tests: many application threads hammering one runtime
+// (the OpenCtpu model: tasks execute out of order in parallel, §5) must
+// produce correct functional results and a consistent virtual timeline.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "runtime/runtime.hpp"
+
+namespace gptpu::runtime {
+namespace {
+
+using isa::Opcode;
+
+TEST(ConcurrencySoak, ParallelTasksComputeCorrectResults) {
+  RuntimeConfig cfg;
+  cfg.num_devices = 4;
+  Runtime rt{cfg};
+
+  constexpr usize kThreads = 8;
+  constexpr usize kOpsPerThread = 12;
+  const Shape2D shape{96, 96};
+
+  struct ThreadData {
+    std::vector<Matrix<float>> a, b, c;
+  };
+  std::vector<ThreadData> data(kThreads);
+  for (usize t = 0; t < kThreads; ++t) {
+    Rng rng(1000 + t);
+    for (usize i = 0; i < kOpsPerThread; ++i) {
+      Matrix<float> a(shape);
+      Matrix<float> b(shape);
+      fill_uniform(a, rng, -8, 8);
+      fill_uniform(b, rng, -8, 8);
+      data[t].a.push_back(std::move(a));
+      data[t].b.push_back(std::move(b));
+      data[t].c.emplace_back(shape);
+    }
+  }
+
+  std::vector<std::thread> threads;
+  std::vector<std::exception_ptr> errors(kThreads);
+  for (usize t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      try {
+        const u64 task = rt.begin_task();
+        for (usize i = 0; i < kOpsPerThread; ++i) {
+          OperationRequest req;
+          req.task_id = task;
+          req.op = i % 3 == 0   ? Opcode::kAdd
+                   : i % 3 == 1 ? Opcode::kSub
+                                : Opcode::kMul;
+          req.in0 = rt.create_buffer(shape, data[t].a[i].data());
+          req.in1 = rt.create_buffer(shape, data[t].b[i].data());
+          req.out = rt.create_buffer(shape, data[t].c[i].data());
+          rt.invoke(req);
+        }
+      } catch (...) {
+        errors[t] = std::current_exception();
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (const auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+
+  // Every thread's every op must be numerically right despite the
+  // interleaving.
+  for (usize t = 0; t < kThreads; ++t) {
+    for (usize i = 0; i < kOpsPerThread; ++i) {
+      const auto& a = data[t].a[i];
+      const auto& b = data[t].b[i];
+      const auto& c = data[t].c[i];
+      for (usize j = 0; j < shape.elems(); ++j) {
+        double expect = 0;
+        // Quantization budgets over +/-8 inputs: add/sub outputs sit on a
+        // ~0.25 grid; mul outputs on a ~2.0 grid plus propagated input
+        // error of ~1.
+        double tol = 0.6;
+        switch (i % 3) {
+          case 0: expect = a.span()[j] + b.span()[j]; break;
+          case 1: expect = a.span()[j] - b.span()[j]; break;
+          default:
+            expect = a.span()[j] * b.span()[j];
+            tol = 2.2;
+            break;
+        }
+        ASSERT_NEAR(c.span()[j], expect, tol)
+            << "thread " << t << " op " << i << " elem " << j;
+      }
+    }
+  }
+
+  // Timeline consistency: per-task virtual times are monotone and the
+  // makespan covers everything.
+  const Seconds makespan = rt.makespan();
+  for (const OpRecord& rec : rt.opq_log()) {
+    EXPECT_LE(rec.virtual_done, makespan + 1e-9);
+  }
+  EXPECT_EQ(rt.opq_log().size(), kThreads * kOpsPerThread);
+}
+
+TEST(ConcurrencySoak, MemoryPressureUnderParallelLoad) {
+  // Larger tiles + few devices: eviction churn while several tasks race.
+  RuntimeConfig cfg;
+  cfg.num_devices = 2;
+  Runtime rt{cfg};
+  const Shape2D shape{1024, 1024};  // 1 MB tiles vs 8 MB devices
+
+  std::vector<std::thread> threads;
+  std::vector<std::exception_ptr> errors(4);
+  for (usize t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      try {
+        Rng rng(7000 + t);
+        const u64 task = rt.begin_task();
+        for (usize i = 0; i < 4; ++i) {
+          Matrix<float> a(shape);
+          Matrix<float> b(shape);
+          Matrix<float> c(shape);
+          fill_uniform(a, rng, 0, 4);
+          fill_uniform(b, rng, 0, 4);
+          OperationRequest req;
+          req.task_id = task;
+          req.op = Opcode::kMul;
+          auto* ba = rt.create_buffer(shape, a.data());
+          auto* bb = rt.create_buffer(shape, b.data());
+          auto* bc = rt.create_buffer(shape, c.data());
+          req.in0 = ba;
+          req.in1 = bb;
+          req.out = bc;
+          rt.invoke(req);
+          ASSERT_NEAR(c(13, 57), a(13, 57) * b(13, 57), 0.3);
+          rt.destroy_buffer(ba);
+          rt.destroy_buffer(bb);
+          rt.destroy_buffer(bc);
+        }
+      } catch (...) {
+        errors[t] = std::current_exception();
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (const auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+  for (usize d = 0; d < 2; ++d) {
+    EXPECT_LE(rt.pool().device(d).memory_used(),
+              rt.pool().device(d).memory_capacity());
+  }
+}
+
+}  // namespace
+}  // namespace gptpu::runtime

@@ -1,0 +1,184 @@
+// Device tests: on-chip memory accounting, transfers over the link model,
+// wide tensors, model loading, timing-only mode and clock behaviour.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "isa/model_format.hpp"
+#include "quant/quantize.hpp"
+#include "sim/device_pool.hpp"
+
+namespace gptpu::sim {
+namespace {
+
+using isa::DeviceTensorId;
+using isa::Instruction;
+using isa::Opcode;
+
+struct Fixture {
+  DevicePool pool;
+  Device& dev;
+  explicit Fixture(bool functional = true, usize mem = 1 << 20)
+      : pool(1, functional, mem), dev(pool.device(0)) {}
+};
+
+std::vector<i8> bytes(usize n, i8 fill = 1) { return std::vector<i8>(n, fill); }
+
+TEST(DeviceMemory, AccountsAllocationsAndFrees) {
+  Fixture f;
+  EXPECT_EQ(f.dev.memory_used(), 0u);
+  const auto a = f.dev.write_tensor({100, 100}, 1.0f, bytes(10000), 0.0);
+  EXPECT_EQ(f.dev.memory_used(), 10000u);
+  const auto b = f.dev.write_tensor({10, 10}, 1.0f, bytes(100), 0.0);
+  EXPECT_EQ(f.dev.memory_used(), 10100u);
+  f.dev.free_tensor(a.id);
+  EXPECT_EQ(f.dev.memory_used(), 100u);
+  f.dev.free_tensor(b.id);
+  EXPECT_EQ(f.dev.memory_used(), 0u);
+}
+
+TEST(DeviceMemory, OverCapacityThrows) {
+  Fixture f(true, 1000);
+  EXPECT_THROW(
+      (void)f.dev.write_tensor({40, 40}, 1.0f, bytes(1600), 0.0),
+      ResourceExhausted);
+  // Failed allocation must not leak accounting.
+  EXPECT_EQ(f.dev.memory_used(), 0u);
+}
+
+TEST(DeviceMemory, WideTensorsCostFourBytesPerElement) {
+  Fixture f;
+  const auto in = f.dev.write_tensor({1, 64}, 1.0f, bytes(64), 0.0);
+  const auto w = f.dev.write_tensor({64, 64}, 1.0f, bytes(64 * 64), 0.0);
+  Instruction fc;
+  fc.op = Opcode::kFullyConnected;
+  fc.in0 = in.id;
+  fc.in1 = w.id;
+  fc.wide_output = true;
+  const usize before = f.dev.memory_used();
+  const auto out = f.dev.execute(fc, 0.0);
+  EXPECT_EQ(f.dev.memory_used() - before, 64u * 4);
+  f.dev.free_tensor(out.id);
+  EXPECT_EQ(f.dev.memory_used(), before);
+}
+
+TEST(DeviceTransfers, LatencyIsSizeLinear) {
+  Fixture f(false, 16 << 20);
+  const auto small = f.dev.write_tensor({1 << 20, 1}, 1.0f, {}, 0.0);
+  const Seconds t1 = small.done;
+  const auto big = f.dev.write_tensor({2 << 20, 1}, 1.0f, {}, small.done);
+  const Seconds t2 = big.done - small.done;
+  // 2 MB costs twice 1 MB up to the fixed setup term.
+  EXPECT_NEAR(t2 / t1, 2.0, 0.05);
+  EXPECT_NEAR(t1, 6e-3, 1e-3);  // §3.2: ~6 ms per MB
+}
+
+TEST(DeviceTransfers, LinkSerializesBackToBack) {
+  Fixture f(false, 16 << 20);
+  const auto a = f.dev.write_tensor({1 << 20, 1}, 1.0f, {}, 0.0);
+  const auto b = f.dev.write_tensor({1 << 20, 1}, 1.0f, {}, 0.0);
+  EXPECT_GE(b.done, 2 * a.done * 0.99);
+}
+
+TEST(DeviceExecute, WaitsForOperandTransfers) {
+  Fixture f;
+  const auto a = f.dev.write_tensor({64, 64}, 1.0f, bytes(4096), 0.0);
+  Instruction relu;
+  relu.op = Opcode::kReLu;
+  relu.in0 = a.id;
+  const auto done = f.dev.execute(relu, 0.0);
+  EXPECT_GT(done.done, a.done);  // cannot start before the data arrives
+}
+
+TEST(DeviceExecute, FunctionalResultsAreReadable) {
+  Fixture f;
+  Matrix<float> raw(4, 4);
+  Rng rng(1);
+  fill_uniform(raw, rng, -5, 5);
+  const float s = quant::input_scale(quant::calibrate(raw.span()));
+  const auto q = quant::quantize(raw.span(), s);
+  const auto t = f.dev.write_tensor({4, 4}, s, q, 0.0);
+
+  Instruction relu;
+  relu.op = Opcode::kReLu;
+  relu.in0 = t.id;
+  relu.out_scale = s;
+  const auto out = f.dev.execute(relu, 0.0);
+  std::vector<i8> result(16);
+  f.dev.read_tensor(out.id, result, out.done);
+  for (usize i = 0; i < 16; ++i) {
+    const float expect = std::max(0.0f, raw.span()[i]);
+    EXPECT_NEAR(result[i] / s, expect, quant::max_quant_error(s) * 2);
+  }
+}
+
+TEST(DeviceModels, LoadModelParsesWireFormat) {
+  Fixture f;
+  Matrix<float> raw(8, 8);
+  Rng rng(2);
+  fill_uniform(raw, rng, -3, 3);
+  const auto blob = isa::build_model(raw.view(), 20.0f, {1, 1});
+  const auto m = f.dev.load_model(blob, 0.0);
+  EXPECT_EQ(f.dev.tensor_shape(m.id), (Shape2D{8, 8}));
+  EXPECT_FLOAT_EQ(f.dev.tensor_scale(m.id), 20.0f);
+  // The transfer was charged for the full wire size, not just the data.
+  EXPECT_GT(m.done, 0.0);
+}
+
+TEST(DeviceModels, MetaLoadMatchesTimingOfRealLoad) {
+  Fixture real(true, 1 << 20);
+  Fixture meta(false, 1 << 20);
+  Matrix<float> raw(32, 32);
+  const auto blob = isa::build_model(raw.view(), 1.0f, {1, 1});
+  const auto a = real.dev.load_model(blob, 0.0);
+  const auto b = meta.dev.load_model_meta(
+      isa::ModelInfo{{32, 32}, {32, 32}, 1.0f}, 0.0);
+  EXPECT_DOUBLE_EQ(a.done, b.done);
+}
+
+TEST(DeviceErrors, UnknownIdsAndWrongModesThrow) {
+  Fixture f;
+  EXPECT_THROW((void)f.dev.tensor_shape(DeviceTensorId{99}), InvalidArgument);
+  EXPECT_THROW(f.dev.free_tensor(DeviceTensorId{99}), InvalidArgument);
+  const auto t = f.dev.write_tensor({2, 2}, 1.0f, bytes(4), 0.0);
+  std::vector<i32> wide(4);
+  EXPECT_THROW((void)f.dev.read_tensor_wide(t.id, wide, 0.0),
+               InvalidArgument);
+}
+
+TEST(DeviceReset, RestoresPristineState) {
+  Fixture f;
+  (void)f.dev.write_tensor({10, 10}, 1.0f, bytes(100), 0.0);
+  EXPECT_GT(f.dev.idle_at(), 0.0);
+  f.dev.reset();
+  EXPECT_EQ(f.dev.memory_used(), 0u);
+  EXPECT_DOUBLE_EQ(f.dev.idle_at(), 0.0);
+  EXPECT_DOUBLE_EQ(f.dev.active_time(), 0.0);
+}
+
+TEST(DevicePool, MakespanIsMaxAcrossDevices) {
+  DevicePool pool(3, false);
+  (void)pool.device(1).write_tensor({1 << 20, 1}, 1.0f, {}, 0.0);
+  EXPECT_DOUBLE_EQ(pool.makespan(), pool.device(1).idle_at());
+  EXPECT_GT(pool.total_active_time(), 0.0);
+  pool.reset();
+  EXPECT_DOUBLE_EQ(pool.makespan(), 0.0);
+}
+
+TEST(DeviceTimingOnly, ExecutesWithoutData) {
+  Fixture f(false);
+  const auto a = f.dev.write_tensor({64, 64}, 1.0f, {}, 0.0);
+  const auto b = f.dev.write_tensor({64, 64}, 1.0f, {}, 0.0);
+  Instruction add;
+  add.op = Opcode::kAdd;
+  add.in0 = a.id;
+  add.in1 = b.id;
+  const auto out = f.dev.execute(add, 0.0);
+  EXPECT_GT(out.done, 0.0);
+  EXPECT_THROW((void)f.dev.tensor_data(out.id), InvalidArgument);
+  // Read-back still advances the clock.
+  const Seconds done = f.dev.read_tensor(out.id, {}, out.done);
+  EXPECT_GT(done, out.done);
+}
+
+}  // namespace
+}  // namespace gptpu::sim

@@ -1,0 +1,220 @@
+// Unit tests for the ISA layer: opcode traits, shape inference, MAC
+// counting and the reverse-engineered model wire format.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "isa/instruction.hpp"
+#include "isa/model_format.hpp"
+#include "isa/reference_compiler.hpp"
+#include "quant/quantize.hpp"
+
+namespace gptpu::isa {
+namespace {
+
+TEST(Opcode, EveryOpcodeHasANameAndClass) {
+  for (const Opcode op : kAllOpcodes) {
+    EXPECT_FALSE(name(op).empty());
+    // op_class is total: this must not throw or fall through.
+    (void)op_class(op);
+  }
+}
+
+TEST(Opcode, SecondOperandMatchesClass) {
+  EXPECT_TRUE(has_second_operand(Opcode::kConv2D));
+  EXPECT_TRUE(has_second_operand(Opcode::kAdd));
+  EXPECT_FALSE(has_second_operand(Opcode::kTanh));
+  EXPECT_FALSE(has_second_operand(Opcode::kMean));
+  EXPECT_FALSE(has_second_operand(Opcode::kCrop));
+}
+
+TEST(Opcode, OptimalTilesFollowSection621) {
+  EXPECT_EQ(optimal_tile(Opcode::kAdd), (Shape2D{128, 128}));
+  EXPECT_EQ(optimal_tile(Opcode::kMean), (Shape2D{64, 64}));
+  EXPECT_EQ(optimal_tile(Opcode::kMax), (Shape2D{64, 64}));
+}
+
+// --- shape inference -----------------------------------------------------------
+
+TEST(ShapeInference, Conv2DValidPadding) {
+  Instruction i;
+  i.op = Opcode::kConv2D;
+  EXPECT_EQ(infer_output_shape(i, {10, 10}, {3, 3}), (Shape2D{8, 8}));
+  i.stride = {2, 2};
+  EXPECT_EQ(infer_output_shape(i, {10, 10}, {3, 3}), (Shape2D{4, 4}));
+}
+
+TEST(ShapeInference, Conv2DStrideEqualsKernelGivesDisjointWindows) {
+  // The §7.1.2 GEMM configuration: M s x s blocks, one output per block.
+  Instruction i;
+  i.op = Opcode::kConv2D;
+  i.stride = {4, 4};
+  EXPECT_EQ(infer_output_shape(i, {64, 4}, {4, 4}), (Shape2D{16, 1}));
+}
+
+TEST(ShapeInference, Conv2DKernelBankLaysResultsSideBySide) {
+  Instruction i;
+  i.op = Opcode::kConv2D;
+  i.stride = {4, 4};
+  i.kernel_bank = 8;
+  EXPECT_EQ(infer_output_shape(i, {64, 4}, {32, 4}), (Shape2D{16, 8}));
+}
+
+TEST(ShapeInference, Conv2DRejectsBadBankAndKernel) {
+  Instruction i;
+  i.op = Opcode::kConv2D;
+  i.kernel_bank = 3;
+  EXPECT_THROW((void)infer_output_shape(i, {10, 10}, {4, 4}),
+               InvalidArgument);  // 3 does not divide 4 rows
+  i.kernel_bank = 1;
+  EXPECT_THROW((void)infer_output_shape(i, {2, 2}, {3, 3}), InvalidArgument);
+  i.stride = {0, 1};
+  EXPECT_THROW((void)infer_output_shape(i, {10, 10}, {3, 3}),
+               InvalidArgument);
+}
+
+TEST(ShapeInference, FullyConnected) {
+  Instruction i;
+  i.op = Opcode::kFullyConnected;
+  EXPECT_EQ(infer_output_shape(i, {4, 16}, {16, 8}), (Shape2D{4, 8}));
+  EXPECT_THROW((void)infer_output_shape(i, {4, 16}, {8, 8}),
+               InvalidArgument);
+}
+
+TEST(ShapeInference, PairwiseRequiresMatchingShapes) {
+  Instruction i;
+  i.op = Opcode::kAdd;
+  EXPECT_EQ(infer_output_shape(i, {5, 7}, {5, 7}), (Shape2D{5, 7}));
+  EXPECT_THROW((void)infer_output_shape(i, {5, 7}, {7, 5}), InvalidArgument);
+}
+
+TEST(ShapeInference, CropAndExt) {
+  Instruction i;
+  i.op = Opcode::kCrop;
+  i.window = {2, 3, {4, 4}};
+  EXPECT_EQ(infer_output_shape(i, {10, 10}, {}), (Shape2D{4, 4}));
+  i.window = {8, 8, {4, 4}};
+  EXPECT_THROW((void)infer_output_shape(i, {10, 10}, {}), InvalidArgument);
+
+  i = {};
+  i.op = Opcode::kExt;
+  i.pad_target = {16, 16};
+  EXPECT_EQ(infer_output_shape(i, {10, 10}, {}), (Shape2D{16, 16}));
+  i.pad_target = {4, 4};
+  EXPECT_THROW((void)infer_output_shape(i, {10, 10}, {}), InvalidArgument);
+}
+
+TEST(ShapeInference, ReductionsAndElementwise) {
+  Instruction i;
+  i.op = Opcode::kMean;
+  EXPECT_EQ(infer_output_shape(i, {64, 64}, {}), (Shape2D{1, 1}));
+  i.op = Opcode::kReLu;
+  EXPECT_EQ(infer_output_shape(i, {5, 9}, {}), (Shape2D{5, 9}));
+}
+
+TEST(MacCount, Conv2DCountsKernelVolumePerOutput) {
+  Instruction i;
+  i.op = Opcode::kConv2D;
+  const Shape2D out = infer_output_shape(i, {10, 10}, {3, 3});
+  EXPECT_EQ(mac_count(i, {10, 10}, {3, 3}, out), 8u * 8 * 9);
+  // With a bank, each output still costs one kernel's worth.
+  i.kernel_bank = 4;
+  i.stride = {3, 3};
+  const Shape2D out_b = infer_output_shape(i, {9, 3}, {12, 3});
+  EXPECT_EQ(mac_count(i, {9, 3}, {12, 3}, out_b), out_b.elems() * 9u);
+}
+
+TEST(MacCount, FullyConnectedIsMNK) {
+  Instruction i;
+  i.op = Opcode::kFullyConnected;
+  EXPECT_EQ(mac_count(i, {4, 16}, {16, 8}, {4, 8}), 4u * 16 * 8);
+}
+
+TEST(MacCount, LayoutOpsAreFree) {
+  Instruction i;
+  i.op = Opcode::kCrop;
+  EXPECT_EQ(mac_count(i, {10, 10}, {}, {4, 4}), 0u);
+}
+
+// --- model wire format -----------------------------------------------------------
+
+TEST(ModelFormat, RoundTripPreservesEverything) {
+  Matrix<float> raw(5, 7);
+  Rng rng(3);
+  fill_uniform(raw, rng, -40, 40);
+  const float scale = 2.5f;
+  const auto blob = build_model(raw.view(), scale, {4, 4});
+  const ParsedModel parsed = parse_model(blob);
+  EXPECT_EQ(parsed.info.raw, (Shape2D{5, 7}));
+  EXPECT_EQ(parsed.info.padded, (Shape2D{8, 8}));
+  EXPECT_FLOAT_EQ(parsed.info.scale, scale);
+  // Data values match direct quantization; padding is zero.
+  for (usize r = 0; r < 5; ++r) {
+    for (usize c = 0; c < 7; ++c) {
+      EXPECT_EQ(parsed.data[r * 8 + c], quant::quantize_value(raw(r, c), scale))
+          << r << "," << c;
+    }
+  }
+  EXPECT_EQ(parsed.data[7], 0);       // column padding
+  EXPECT_EQ(parsed.data[7 * 8], 0);   // row padding
+
+  // The wire layout promises (§3.3): 120-byte header whose last 4 bytes
+  // hold the data-section size, little endian.
+  EXPECT_EQ(blob.size(), kModelHeaderBytes + 64 + kModelMetadataBytes);
+  const u32 size_field = static_cast<u32>(blob[116]) |
+                         static_cast<u32>(blob[117]) << 8 |
+                         static_cast<u32>(blob[118]) << 16 |
+                         static_cast<u32>(blob[119]) << 24;
+  EXPECT_EQ(size_field, 64u);
+}
+
+TEST(ModelFormat, RejectsMalformedBlobs) {
+  Matrix<float> raw(2, 2);
+  auto blob = build_model(raw.view(), 1.0f, {1, 1});
+  {
+    auto bad = blob;
+    bad[0] = 'X';  // magic
+    EXPECT_THROW((void)parse_model(bad), FormatError);
+  }
+  {
+    auto bad = blob;
+    bad.pop_back();  // truncated metadata
+    EXPECT_THROW((void)parse_model(bad), FormatError);
+  }
+  {
+    auto bad = blob;
+    bad[kModelHeaderBytes - 4] = 0xFF;  // inconsistent data size
+    EXPECT_THROW((void)parse_model(bad), FormatError);
+  }
+  {
+    std::vector<u8> tiny(10);
+    EXPECT_THROW((void)parse_model(tiny), FormatError);
+  }
+}
+
+TEST(ModelFormat, SerializeValidatesDimensions) {
+  std::vector<i8> data(6);
+  EXPECT_THROW(
+      (void)serialize_model(data, ModelInfo{{2, 2}, {2, 2}, 1.0f}),
+      InvalidArgument);  // 6 != 4
+  EXPECT_THROW(
+      (void)serialize_model(data, ModelInfo{{2, 3}, {4, 3}, 1.0f}),
+      InvalidArgument);  // raw > padded
+}
+
+TEST(ModelFormat, PadToTileRoundsUp) {
+  EXPECT_EQ(pad_to_tile({5, 7}, {4, 4}), (Shape2D{8, 8}));
+  EXPECT_EQ(pad_to_tile({8, 8}, {4, 4}), (Shape2D{8, 8}));
+  EXPECT_EQ(pad_to_tile({1, 1}, {128, 128}), (Shape2D{128, 128}));
+}
+
+TEST(ReferenceCompiler, ProducesBytesIdenticalToFastPath) {
+  Matrix<float> raw(33, 17);
+  Rng rng(4);
+  fill_uniform(raw, rng, -200, 200);
+  const auto fast = build_model(raw.view(), 0.6f, {8, 8});
+  const auto slow = reference_compile_model(raw.view(), 0.6f, {8, 8});
+  EXPECT_EQ(fast, slow);
+}
+
+}  // namespace
+}  // namespace gptpu::isa

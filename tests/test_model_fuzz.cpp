@@ -1,0 +1,85 @@
+// Robustness fuzzing of the model-format parser: byte-level mutations and
+// random garbage must never crash or read out of bounds -- every outcome
+// is either a successful parse or a FormatError.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "isa/model_format.hpp"
+
+namespace gptpu::isa {
+namespace {
+
+std::vector<u8> valid_blob(u64 seed) {
+  Rng rng(seed);
+  Matrix<float> raw(9 + seed % 7, 5 + seed % 11);
+  fill_uniform(raw, rng, -100, 100);
+  return build_model(raw.view(), 1.3f, {4, 4});
+}
+
+TEST(ModelFuzz, SingleByteMutationsNeverCrash) {
+  Rng rng(1);
+  usize parsed_ok = 0;
+  usize rejected = 0;
+  for (int trial = 0; trial < 2000; ++trial) {
+    auto blob = valid_blob(static_cast<u64>(trial % 5));
+    const usize pos =
+        static_cast<usize>(rng.uniform_int(0, static_cast<i64>(blob.size()) - 1));
+    blob[pos] ^= static_cast<u8>(rng.uniform_int(1, 255));
+    try {
+      const ParsedModel m = parse_model(blob);
+      // A successful parse must stay self-consistent.
+      EXPECT_EQ(m.data.size(), m.info.padded.elems());
+      EXPECT_LE(m.info.raw.rows, m.info.padded.rows);
+      ++parsed_ok;
+    } catch (const FormatError&) {
+      ++rejected;
+    }
+  }
+  // Mutations in the data section parse fine; header/metadata mutations
+  // mostly reject. Both must occur.
+  EXPECT_GT(parsed_ok, 0u);
+  EXPECT_GT(rejected, 0u);
+}
+
+TEST(ModelFuzz, TruncationsAtEveryLengthNeverCrash) {
+  const auto blob = valid_blob(3);
+  for (usize len = 0; len < blob.size(); ++len) {
+    const std::span<const u8> prefix(blob.data(), len);
+    EXPECT_THROW((void)parse_model(prefix), FormatError) << len;
+  }
+  EXPECT_NO_THROW((void)parse_model(blob));
+}
+
+TEST(ModelFuzz, RandomGarbageIsRejected) {
+  Rng rng(4);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::vector<u8> junk(
+        static_cast<usize>(rng.uniform_int(0, 4096)));
+    for (auto& b : junk) b = static_cast<u8>(rng.uniform_int(0, 255));
+    try {
+      const ParsedModel m = parse_model(junk);
+      // Astronomically unlikely, but if magic+sizes align by chance the
+      // result must still be self-consistent.
+      EXPECT_EQ(m.data.size(), m.info.padded.elems());
+    } catch (const FormatError&) {
+      // expected
+    }
+  }
+}
+
+TEST(ModelFuzz, ScaleFieldMutationsAreValidated) {
+  auto blob = valid_blob(5);
+  // Overwrite the scale with zero: the parser must reject it (a zero
+  // scaling factor would make dequantization divide by zero downstream).
+  const usize scale_off = blob.size() - 4;
+  blob[scale_off] = blob[scale_off + 1] = blob[scale_off + 2] =
+      blob[scale_off + 3] = 0;
+  EXPECT_THROW((void)parse_model(blob), FormatError);
+  // NaN scale likewise.
+  blob[scale_off + 3] = 0x7F;
+  blob[scale_off + 2] = 0xC0;
+  EXPECT_THROW((void)parse_model(blob), FormatError);
+}
+
+}  // namespace
+}  // namespace gptpu::isa

@@ -1,0 +1,195 @@
+// OpenCtpu front-end tests (Table 2 API + the overloaded tensor operators).
+//
+// The OpenCtpu context is process-global, so this suite shares one
+// initialized context across tests (initialization is idempotent through
+// initialized_context()).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <vector>
+
+#include "openctpu/gptpu.hpp"
+#include "openctpu/tensor.hpp"
+#include "runtime/runtime.hpp"
+
+namespace {
+
+using gptpu::usize;
+
+TEST(OpenCtpu, DimensionDescriptors) {
+  auto* two_d = openctpu_alloc_dimension(2, 8, 16);
+  EXPECT_EQ(two_d->shape, (gptpu::Shape2D{8, 16}));
+  auto* one_d = openctpu_alloc_dimension(1, 32);
+  EXPECT_EQ(one_d->shape, (gptpu::Shape2D{1, 32}));
+  EXPECT_THROW((void)openctpu_alloc_dimension(3, 2, 2),
+               gptpu::InvalidArgument);
+}
+
+TEST(OpenCtpu, CreateBufferValidatesArguments) {
+  std::vector<float> data(16, 1.0f);
+  auto* dim = openctpu_alloc_dimension(2, 4, 4);
+  auto* buf = openctpu_create_buffer(dim, data.data());
+  EXPECT_EQ(buf->shape(), (gptpu::Shape2D{4, 4}));
+  EXPECT_THROW((void)openctpu_create_buffer(nullptr, data.data()),
+               gptpu::InvalidArgument);
+  EXPECT_THROW((void)openctpu_create_buffer(dim, nullptr),
+               gptpu::InvalidArgument);
+}
+
+TEST(OpenCtpu, InvokeOperatorPairwise) {
+  const usize n = 32;
+  std::vector<float> a(n * n, 3.0f);
+  std::vector<float> b(n * n, 4.0f);
+  std::vector<float> c(n * n);
+  auto* dim = openctpu_alloc_dimension(2, n, n);
+  auto* ta = openctpu_create_buffer(dim, a.data());
+  auto* tb = openctpu_create_buffer(dim, b.data());
+  auto* tc = openctpu_create_buffer(dim, c.data());
+  openctpu_invoke_operator(TPU_OP_MUL, OPENCTPU_SCALE, ta, tb, tc);
+  for (const float v : c) EXPECT_NEAR(v, 12.0f, 0.2f);
+}
+
+TEST(OpenCtpu, SingleOperandOperator) {
+  const usize n = 16;
+  std::vector<float> a(n * n);
+  for (usize i = 0; i < a.size(); ++i) {
+    a[i] = static_cast<float>(i % 200) - 100.0f;
+  }
+  std::vector<float> c(n * n);
+  auto* dim = openctpu_alloc_dimension(2, n, n);
+  auto* ta = openctpu_create_buffer(dim, a.data());
+  auto* tc = openctpu_create_buffer(dim, c.data());
+  openctpu_invoke_operator(TPU_OP_RELU, OPENCTPU_SCALE, ta, tc);
+  for (usize i = 0; i < c.size(); ++i) {
+    // Input spans [-100, 155]: the Eq.8 output grid step is ~2.
+    EXPECT_NEAR(c[i], std::max(0.0f, a[i]), 1.5f);
+  }
+}
+
+TEST(OpenCtpu, EnqueueRunsTasksAsynchronously) {
+  std::atomic<int> ran{0};
+  std::vector<int> handles;
+  for (int i = 0; i < 4; ++i) {
+    handles.push_back(openctpu_enqueue(
+        std::function<void()>([&ran] { ++ran; })));
+  }
+  openctpu_sync();
+  EXPECT_EQ(ran.load(), 4);
+}
+
+TEST(OpenCtpu, WaitBlocksOnASpecificTask) {
+  std::atomic<bool> done{false};
+  const int handle = openctpu_enqueue(std::function<void()>([&done] {
+    done = true;
+  }));
+  openctpu_wait(handle);
+  EXPECT_TRUE(done.load());
+  // Waiting again on a completed handle is a no-op.
+  EXPECT_EQ(openctpu_wait(handle), 0);
+}
+
+TEST(OpenCtpu, TasksSerializeOperatorsWithinAKernel) {
+  // Two operators inside one kernel must execute in order: the second
+  // consumes the first's output.
+  const usize n = 16;
+  std::vector<float> a(n * n, 2.0f);
+  std::vector<float> b(n * n, 3.0f);
+  std::vector<float> tmp(n * n);
+  std::vector<float> out(n * n);
+  auto* dim = openctpu_alloc_dimension(2, n, n);
+  auto* ta = openctpu_create_buffer(dim, a.data());
+  auto* tb = openctpu_create_buffer(dim, b.data());
+  auto* ttmp = openctpu_create_buffer(dim, tmp.data());
+  auto* tout = openctpu_create_buffer(dim, out.data());
+  const int h = openctpu_enqueue(std::function<void()>([=] {
+    openctpu_invoke_operator(TPU_OP_ADD, OPENCTPU_SCALE, ta, tb, ttmp);
+    openctpu_invoke_operator(TPU_OP_MUL, OPENCTPU_SCALE, ttmp, tb, tout);
+  }));
+  openctpu_wait(h);
+  for (const float v : out) EXPECT_NEAR(v, 15.0f, 0.5f);  // (2+3)*3
+}
+
+TEST(OpenCtpu, ConvolutionWithStrideParams) {
+  // The §7.1.2 configuration through the public API: stride == kernel
+  // size computes disjoint 4x4 window sums.
+  const usize n = 16;
+  std::vector<float> a(n * n, 1.0f);
+  std::vector<float> k(16, 1.0f);
+  std::vector<float> c(16);
+  auto* da = openctpu_alloc_dimension(2, n, n);
+  auto* dk = openctpu_alloc_dimension(2, 4, 4);
+  auto* dc = openctpu_alloc_dimension(2, 4, 4);
+  auto* ta = openctpu_create_buffer(da, a.data());
+  auto* tk = openctpu_create_buffer(dk, k.data());
+  auto* tc = openctpu_create_buffer(dc, c.data());
+  openctpu_operator_params params;
+  params.stride_x = 4;
+  params.stride_y = 4;
+  openctpu_invoke_operator(TPU_OP_CONV2D, OPENCTPU_IDENTITY, ta, tk, tc,
+                           params);
+  for (const float v : c) EXPECT_FLOAT_EQ(v, 16.0f);  // exact integer mode
+}
+
+TEST(OpenCtpu, CropAndExtThroughParams) {
+  const usize n = 8;
+  std::vector<float> a(n * n);
+  for (usize i = 0; i < a.size(); ++i) a[i] = static_cast<float>(i % 100);
+  std::vector<float> cropped(4);
+  auto* da = openctpu_alloc_dimension(2, n, n);
+  auto* dcrop = openctpu_alloc_dimension(2, 2, 2);
+  auto* ta = openctpu_create_buffer(da, a.data());
+  auto* tcrop = openctpu_create_buffer(dcrop, cropped.data());
+  openctpu_operator_params params;
+  params.window = {1, 2, {2, 2}};
+  openctpu_invoke_operator(TPU_OP_CROP, OPENCTPU_IDENTITY, ta, tcrop,
+                           params);
+  EXPECT_FLOAT_EQ(cropped[0], a[1 * n + 2]);
+  EXPECT_FLOAT_EQ(cropped[3], a[2 * n + 3]);
+
+  std::vector<float> padded(3 * 4);
+  auto* dext = openctpu_alloc_dimension(2, 3, 4);
+  auto* text = openctpu_create_buffer(dext, padded.data());
+  openctpu_operator_params ext_params;
+  ext_params.pad_target = {3, 4};
+  openctpu_invoke_operator(TPU_OP_EXT, OPENCTPU_IDENTITY, tcrop, text,
+                           ext_params);
+  EXPECT_FLOAT_EQ(padded[0], cropped[0]);
+  EXPECT_FLOAT_EQ(padded[11], 0.0f);
+}
+
+TEST(OpenCtpuTensor, OverloadedOperators) {
+  using gptpu::openctpu::Tensor;
+  const gptpu::Shape2D shape{8, 8};
+  std::vector<float> va(64, 5.0f);
+  std::vector<float> vb(64, 2.0f);
+  Tensor a(shape, va);
+  Tensor b(shape, vb);
+  const auto sum = a + b;
+  const auto diff = a - b;
+  const auto prod = a * b;
+  for (usize r = 0; r < 8; ++r) {
+    for (usize c = 0; c < 8; ++c) {
+      EXPECT_NEAR(sum->view()(r, c), 7.0f, 0.2f);
+      EXPECT_NEAR(diff->view()(r, c), 3.0f, 0.2f);
+      EXPECT_NEAR(prod->view()(r, c), 10.0f, 0.3f);
+    }
+  }
+}
+
+TEST(OpenCtpuTensor, RefreshPicksUpHostMutations) {
+  using gptpu::openctpu::Tensor;
+  const gptpu::Shape2D shape{4, 4};
+  Tensor a(shape);
+  Tensor b(shape);
+  for (usize i = 0; i < 16; ++i) {
+    a.view().data()[i] = 100.0f;
+    b.view().data()[i] = 1.0f;
+  }
+  a.refresh();
+  b.refresh();
+  const auto sum = a + b;
+  EXPECT_NEAR(sum->view()(0, 0), 101.0f, 1.5f);
+}
+
+}  // namespace

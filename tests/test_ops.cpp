@@ -1,0 +1,208 @@
+// Library-operator tests: the ops wrappers against float references,
+// GEMM precision passes (§10(3)), reduction blocking, and the FBGEMM-like
+// baseline's overflow behaviour (Table 5's mechanism).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/gemm_app.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "ops/elementwise.hpp"
+#include "ops/tpu_gemm.hpp"
+
+namespace gptpu::ops {
+namespace {
+
+using runtime::Runtime;
+using runtime::RuntimeConfig;
+
+Matrix<float> random_matrix(Shape2D shape, u64 seed, double lo, double hi) {
+  Matrix<float> m(shape);
+  Rng rng(seed);
+  fill_uniform(m, rng, lo, hi);
+  return m;
+}
+
+TEST(OpsWrappers, PairwiseSubMatchesReference) {
+  Runtime rt{RuntimeConfig{}};
+  const Shape2D shape{70, 90};
+  const auto a = random_matrix(shape, 1, -20, 20);
+  const auto b = random_matrix(shape, 2, -20, 20);
+  Matrix<float> c(shape);
+  tpu_pairwise(rt, rt.begin_task(), isa::Opcode::kSub, a.view(), b.view(),
+               c.view());
+  for (usize i = 0; i < shape.elems(); ++i) {
+    EXPECT_NEAR(c.span()[i], a.span()[i] - b.span()[i], 0.5f);
+  }
+}
+
+TEST(OpsWrappers, TanhMatchesReference) {
+  Runtime rt{RuntimeConfig{}};
+  const Shape2D shape{40, 40};
+  const auto a = random_matrix(shape, 3, -3, 3);
+  Matrix<float> c(shape);
+  tpu_unary(rt, rt.begin_task(), isa::Opcode::kTanh, a.view(), c.view());
+  for (usize i = 0; i < shape.elems(); ++i) {
+    EXPECT_NEAR(c.span()[i], std::tanh(a.span()[i]), 0.03f);
+  }
+}
+
+TEST(OpsWrappers, MeanAndMaxReductions) {
+  Runtime rt{RuntimeConfig{}};
+  const Shape2D shape{100, 130};  // crosses 64x64 tile boundaries
+  const auto a = random_matrix(shape, 4, 0, 50);
+  double ref_mean = 0;
+  float ref_max = a.span()[0];
+  for (const float v : a.span()) {
+    ref_mean += v;
+    ref_max = std::max(ref_max, v);
+  }
+  ref_mean /= static_cast<double>(shape.elems());
+  const u64 task = rt.begin_task();
+  EXPECT_NEAR(tpu_reduce(rt, task, isa::Opcode::kMean, a.view()), ref_mean,
+              0.5);
+  EXPECT_NEAR(tpu_reduce(rt, task, isa::Opcode::kMax, a.view()), ref_max,
+              0.5);
+}
+
+TEST(OpsWrappers, CropAndExtRoundTrip) {
+  Runtime rt{RuntimeConfig{}};
+  const Shape2D shape{60, 60};
+  const auto a = random_matrix(shape, 5, 0, 10);
+  const u64 task = rt.begin_task();
+  Matrix<float> window(20, 30);
+  tpu_crop(rt, task, a.view(), {5, 10, {20, 30}}, window.view());
+  for (usize r = 0; r < 20; ++r) {
+    for (usize c = 0; c < 30; ++c) {
+      EXPECT_NEAR(window(r, c), a(5 + r, 10 + c), 0.1f);
+    }
+  }
+  Matrix<float> padded(25, 40);
+  tpu_ext(rt, task, window.view(), padded.view());
+  EXPECT_NEAR(padded(0, 0), window(0, 0), 0.1f);
+  EXPECT_FLOAT_EQ(padded(24, 39), 0.0f);
+  EXPECT_FLOAT_EQ(padded(0, 35), 0.0f);
+}
+
+TEST(OpsWrappers, Conv2DWithStride) {
+  Runtime rt{RuntimeConfig{}};
+  const auto a = random_matrix({16, 16}, 6, 0, 4);
+  const auto k = random_matrix({4, 4}, 7, 0, 1);
+  Matrix<float> c(4, 4);
+  tpu_conv2d(rt, rt.begin_task(), a.view(), k.view(), c.view(), {4, 4});
+  for (usize orow = 0; orow < 4; ++orow) {
+    for (usize ocol = 0; ocol < 4; ++ocol) {
+      double ref = 0;
+      for (usize kr = 0; kr < 4; ++kr) {
+        for (usize kc = 0; kc < 4; ++kc) {
+          ref += a(4 * orow + kr, 4 * ocol + kc) * k(kr, kc);
+        }
+      }
+      EXPECT_NEAR(c(orow, ocol), ref, 0.3);
+    }
+  }
+}
+
+TEST(GemmKernelSide, CeilSqrtWithExactSquares) {
+  EXPECT_EQ(gemm_kernel_side(1), 1u);
+  EXPECT_EQ(gemm_kernel_side(16), 4u);
+  EXPECT_EQ(gemm_kernel_side(17), 5u);
+  EXPECT_EQ(gemm_kernel_side(1024), 32u);
+  EXPECT_EQ(gemm_kernel_side(1025), 33u);
+}
+
+TEST(GemmReductionBlocking, ChunkedEqualsUnchunkedWithinQuantError) {
+  Runtime rt{RuntimeConfig{}};
+  const usize n = 96;
+  const auto a = random_matrix({32, n}, 8, 0, 4);
+  const auto b = random_matrix({n, 32}, 9, 0, 4);
+  Matrix<float> whole(32, 32);
+  Matrix<float> chunked(32, 32);
+  tpu_gemm(rt, rt.begin_task(), a.view(), b.view(), whole.view(),
+           GemmOptions{.reduction_chunk = 4096});
+  tpu_gemm(rt, rt.begin_task(), a.view(), b.view(), chunked.view(),
+           GemmOptions{.reduction_chunk = 32});  // 3 chunks
+  const Matrix<float> ref = apps::gemm::cpu_reference(
+      [&] { Matrix<float> m(32, n); std::copy(a.span().begin(), a.span().end(), m.span().begin()); return m; }(),
+      [&] { Matrix<float> m(n, 32); std::copy(b.span().begin(), b.span().end(), m.span().begin()); return m; }());
+  EXPECT_LT(rmse(ref.span(), whole.span()), 0.01);
+  EXPECT_LT(rmse(ref.span(), chunked.span()), 0.02);
+}
+
+TEST(GemmPrecisionPasses, ResidualPassesShrinkError) {
+  const usize n = 64;
+  // Awkward, non-grid-aligned values make single-pass quantization error
+  // visible.
+  const auto a = random_matrix({n, n}, 10, -1.0, 1.0);
+  const auto b = random_matrix({n, 6}, 11, -3.7, 3.7);
+  Matrix<float> am(a.shape());
+  Matrix<float> bm(b.shape());
+  std::copy(a.span().begin(), a.span().end(), am.span().begin());
+  std::copy(b.span().begin(), b.span().end(), bm.span().begin());
+  const Matrix<float> ref = apps::gemm::cpu_reference(am, bm);
+
+  auto error_with = [&](usize passes) {
+    Runtime rt{RuntimeConfig{}};
+    Matrix<float> c(n, 6);
+    GemmOptions opt;
+    opt.algo = GemmAlgo::kFullyConnected;
+    opt.quant = isa::QuantMethod::kMinMax;
+    opt.precision_passes = passes;
+    tpu_gemm(rt, rt.begin_task(), a.view(), b.view(), c.view(), opt);
+    return rmse(ref.span(), c.span());
+  };
+  const double e1 = error_with(1);
+  const double e2 = error_with(2);
+  const double e3 = error_with(3);
+  EXPECT_LT(e2, e1);
+  EXPECT_LT(e3, e2 * 1.01);
+  EXPECT_LT(e3, e1 / 10);  // two residual passes win an order of magnitude
+}
+
+TEST(GemmOptions, RejectsBadPrecisionPassCount) {
+  Runtime rt{RuntimeConfig{}};
+  const auto a = random_matrix({4, 4}, 12, 0, 1);
+  const auto b = random_matrix({4, 4}, 13, 0, 1);
+  Matrix<float> c(4, 4);
+  GemmOptions opt;
+  opt.algo = GemmAlgo::kFullyConnected;
+  opt.precision_passes = 4;
+  EXPECT_THROW(
+      tpu_gemm(rt, rt.begin_task(), a.view(), b.view(), c.view(), opt),
+      InvalidArgument);
+}
+
+TEST(FbgemmLike, ExactUntilTheRequantCeiling) {
+  // 1024-length dot products of values <= 16 stay under 2^18: exact.
+  const usize n = 1024;
+  Rng rng(14);
+  Matrix<float> a(8, n);
+  Matrix<float> b(n, 8);
+  fill_uniform_int(a, rng, 0, 16);
+  fill_uniform_int(b, rng, 0, 16);
+  const Matrix<float> ref = apps::gemm::cpu_reference(a, b);
+  Matrix<float> c(8, 8);
+  apps::gemm::fbgemm_like_gemm(a, b, c);
+  EXPECT_DOUBLE_EQ(rmse(ref.span(), c.span()), 0.0);
+}
+
+TEST(FbgemmLike, SaturatesBeyondTheCeiling) {
+  const usize n = 1024;
+  Rng rng(15);
+  Matrix<float> a(8, n);
+  Matrix<float> b(n, 8);
+  fill_uniform_int(a, rng, 0, 128);
+  fill_uniform_int(b, rng, 0, 128);
+  const Matrix<float> ref = apps::gemm::cpu_reference(a, b);
+  Matrix<float> c(8, 8);
+  apps::gemm::fbgemm_like_gemm(a, b, c);
+  EXPECT_GT(rmse(ref.span(), c.span()), 0.5);
+  // Every clipped value sits exactly at the ceiling.
+  for (const float v : c.span()) {
+    EXPECT_LE(v, static_cast<float>(apps::gemm::kFbgemmOutputCeiling));
+  }
+}
+
+}  // namespace
+}  // namespace gptpu::ops

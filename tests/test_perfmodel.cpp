@@ -1,0 +1,137 @@
+// Performance/energy model tests: kernel-class rates, the multicore
+// efficiency curve (anchored at Figure 8's 2.70x), GPU rooflines and the
+// §8.1 energy arithmetic.
+#include <gtest/gtest.h>
+
+#include "perfmodel/cost_model.hpp"
+#include "runtime/energy.hpp"
+
+namespace gptpu::perfmodel {
+namespace {
+
+TEST(CpuModel, ComputeBoundTimeMatchesRate) {
+  Work w;
+  w.flops = kCpuBlasFlopsPerSec;  // one second of BLAS work
+  EXPECT_NEAR(cpu_time(CpuKernelClass::kBlas, w), 1.0, 1e-9);
+  w.flops = kCpuScalarFlopsPerSec;
+  EXPECT_NEAR(cpu_time(CpuKernelClass::kScalar, w), 1.0, 1e-9);
+}
+
+TEST(CpuModel, MemoryBoundKernelsHitTheBandwidthRoof) {
+  Work w;
+  w.flops = 1;  // negligible compute
+  w.bytes = kCpuStreamBytesPerSec;  // one second of traffic
+  EXPECT_NEAR(cpu_time(CpuKernelClass::kVector, w), 1.0, 1e-9);
+}
+
+TEST(CpuModel, KernelClassOrdering) {
+  Work w;
+  w.flops = 1e9;
+  EXPECT_GT(cpu_time(CpuKernelClass::kScalar, w),
+            cpu_time(CpuKernelClass::kVector, w));
+  EXPECT_GT(cpu_time(CpuKernelClass::kVector, w),
+            cpu_time(CpuKernelClass::kBlas, w));
+}
+
+TEST(CpuModel, EightCoreSpeedupMatchesFigure8) {
+  Work w;
+  w.flops = 1e10;
+  const Seconds t1 = cpu_time_parallel(CpuKernelClass::kScalar, w, 1);
+  const Seconds t8 = cpu_time_parallel(CpuKernelClass::kScalar, w, 8);
+  EXPECT_NEAR(t1 / t8, 2.70, 1e-6);
+}
+
+TEST(CpuModel, ParallelSpeedupIsMonotoneInThreads) {
+  Work w;
+  w.flops = 1e10;
+  Seconds prev = cpu_time_parallel(CpuKernelClass::kScalar, w, 1);
+  for (const usize t : {2u, 4u, 8u}) {
+    const Seconds cur = cpu_time_parallel(CpuKernelClass::kScalar, w, t);
+    EXPECT_LT(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(GpuModel, RooflineTakesTheBindingResource) {
+  Work compute_bound;
+  compute_bound.flops = kRtx2080.flops_fp32;  // 1 s of compute
+  compute_bound.bytes = 1;
+  EXPECT_NEAR(gpu_time(kRtx2080, compute_bound, 0, 0), 1.0, 1e-6);
+
+  Work memory_bound;
+  memory_bound.flops = 1;
+  memory_bound.bytes = kRtx2080.mem_bytes_per_sec;  // 1 s of traffic
+  EXPECT_NEAR(gpu_time(kRtx2080, memory_bound, 0, 0), 1.0, 1e-6);
+}
+
+TEST(GpuModel, ReducedPrecisionAndPcieAndLaunches) {
+  Work w;
+  w.flops = kRtx2080.flops_reduced;
+  EXPECT_NEAR(gpu_time(kRtx2080, w, 0, 0, /*reduced=*/true), 1.0, 1e-6);
+  Work none;
+  EXPECT_NEAR(gpu_time(kRtx2080, none, kRtx2080.pcie_bytes_per_sec, 0), 1.0,
+              1e-6);
+  EXPECT_NEAR(gpu_time(kRtx2080, none, 0, 1000),
+              1000 * kRtx2080.kernel_launch_seconds, 1e-9);
+}
+
+TEST(GpuModel, NanoIsSlowerThanRtx) {
+  Work w;
+  w.flops = 1e12;
+  w.bytes = 1e9;
+  EXPECT_GT(gpu_time(kJetsonNano, w, 0, 1), gpu_time(kRtx2080, w, 0, 1));
+}
+
+TEST(EnergyModel, IntegratesActiveAndIdle) {
+  EXPECT_DOUBLE_EQ(energy(10.0, 2.0, 40.0, 3.0), 140.0);
+  EXPECT_THROW((void)energy(10.0, -1.0, 40.0, 3.0), InvalidArgument);
+}
+
+TEST(EnergyModel, CpuBaselineHelpers) {
+  using runtime::cpu_total_energy;
+  using runtime::cpu_active_energy;
+  // One core for 2 s: 40 W idle + 10 W core.
+  EXPECT_DOUBLE_EQ(cpu_total_energy(2.0, 1), 100.0);
+  EXPECT_DOUBLE_EQ(cpu_active_energy(2.0, 1), 20.0);
+  EXPECT_DOUBLE_EQ(cpu_total_energy(1.0, 8), 120.0);
+}
+
+TEST(EnergyModel, GptpuReportArithmetic) {
+  runtime::EnergyReport r;
+  r.makespan = 10.0;
+  r.tpu_active = 4.0;
+  r.host_active = 2.0;
+  EXPECT_DOUBLE_EQ(r.active_energy(),
+                   kEdgeTpuActiveWatts * 4.0 + kGptpuHostWatts * 2.0);
+  EXPECT_DOUBLE_EQ(r.idle_energy(), kSystemIdleWatts * 10.0);
+  EXPECT_DOUBLE_EQ(r.total_energy(), r.active_energy() + r.idle_energy());
+}
+
+TEST(Table1Constants, AllOperatorsHavePositiveRates) {
+  for (const isa::Opcode op : isa::kAllOpcodes) {
+    const OpThroughput t = table1(op);
+    EXPECT_GT(t.ops, 0.0) << isa::name(op);
+    EXPECT_GT(t.rps, 0.0) << isa::name(op);
+    EXPECT_GE(t.rps, t.ops) << isa::name(op);  // >= 1 result per op
+  }
+}
+
+TEST(Table1Constants, Conv2DHas25xTheRpsOfFullyConnected) {
+  // §7.1.2's motivating observation.
+  const double ratio = table1(isa::Opcode::kConv2D).rps /
+                       table1(isa::Opcode::kFullyConnected).rps;
+  EXPECT_NEAR(ratio, 25.3, 0.5);
+}
+
+TEST(Table6, MatchesThePaperVerbatim) {
+  ASSERT_EQ(kTable6.size(), 4u);
+  EXPECT_DOUBLE_EQ(kTable6[0].cost_usd, 24.99);
+  EXPECT_DOUBLE_EQ(kTable6[0].power_watts, 2.0);
+  EXPECT_DOUBLE_EQ(kTable6[1].cost_usd, 699.66);
+  EXPECT_DOUBLE_EQ(kTable6[1].power_watts, 215.0);
+  EXPECT_DOUBLE_EQ(kTable6[3].cost_usd, 159.96);
+  EXPECT_DOUBLE_EQ(kTable6[3].power_watts, 16.0);
+}
+
+}  // namespace
+}  // namespace gptpu::perfmodel

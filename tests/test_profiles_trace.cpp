@@ -1,0 +1,138 @@
+// Device profiles (Edge PCIe / Edge USB / Cloud) and the Chrome-trace
+// exporter.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "runtime/trace_export.hpp"
+#include "sim/device_profile.hpp"
+#include "sim/timing_model.hpp"
+
+namespace gptpu {
+namespace {
+
+using runtime::OperationRequest;
+using runtime::Runtime;
+using runtime::RuntimeConfig;
+
+Seconds timed_add(const sim::DeviceProfile& profile, usize n) {
+  RuntimeConfig cfg;
+  cfg.functional = false;
+  cfg.profile = profile;
+  Runtime rt{cfg};
+  OperationRequest req;
+  req.task_id = rt.begin_task();
+  req.op = isa::Opcode::kAdd;
+  req.in0 = rt.create_virtual_buffer({n, n}, {0, 1});
+  req.in1 = rt.create_virtual_buffer({n, n}, {0, 1});
+  req.out = rt.create_virtual_buffer({n, n}, {0, 2});
+  rt.invoke(req);
+  return rt.makespan();
+}
+
+TEST(DeviceProfiles, UsbAttachmentIsSlowerThanPcie) {
+  // §3.1's rationale for the M.2 form factor: same silicon, worse link.
+  EXPECT_GT(timed_add(sim::kEdgeTpuUsb, 2048),
+            timed_add(sim::kEdgeTpuPcie, 2048) * 1.5);
+}
+
+TEST(DeviceProfiles, CloudTpuOutrunsEdgeOnComputeBoundWork) {
+  const sim::TimingModel edge{sim::kEdgeTpuPcie};
+  const sim::TimingModel cloud{sim::kCloudTpu};
+  isa::Instruction fc;
+  fc.op = isa::Opcode::kFullyConnected;
+  const Shape2D a{256, 4096};
+  const Shape2D w{4096, 4096};
+  const Shape2D out{256, 4096};
+  // The documented 90/4 TOPS ratio (§2.2) carries straight through.
+  EXPECT_NEAR(edge.instruction_latency(fc, a, w, out) /
+                  cloud.instruction_latency(fc, a, w, out),
+              22.5, 0.1);
+}
+
+TEST(DeviceProfiles, CloudTpuMemoryAdmitsBiggerWorkingSets) {
+  RuntimeConfig cfg;
+  cfg.functional = false;
+  cfg.profile = sim::kCloudTpu;
+  Runtime rt{cfg};
+  // 64 MB operand tiles would overwhelm an 8 MB Edge TPU's Tensorizer
+  // budget but fit the Cloud profile in far fewer instructions.
+  OperationRequest req;
+  req.task_id = rt.begin_task();
+  req.op = isa::Opcode::kFullyConnected;
+  req.in0 = rt.create_virtual_buffer({64, 8192}, {0, 1});
+  req.in1 = rt.create_virtual_buffer({8192, 8192}, {0, 1});
+  req.out = rt.create_virtual_buffer({64, 8192}, {0, 100});
+  rt.invoke(req);
+  EXPECT_LE(rt.opq_log()[0].num_instructions, 8u);
+}
+
+TEST(DeviceProfiles, EnergyUsesProfilePower) {
+  RuntimeConfig cfg;
+  cfg.functional = false;
+  cfg.profile = sim::kCloudTpu;
+  Runtime rt{cfg};
+  OperationRequest req;
+  req.task_id = rt.begin_task();
+  req.op = isa::Opcode::kReLu;
+  req.in0 = rt.create_virtual_buffer({512, 512}, {0, 1});
+  req.out = rt.create_virtual_buffer({512, 512}, {0, 1});
+  rt.invoke(req);
+  EXPECT_DOUBLE_EQ(rt.energy().tpu_watts, 250.0);
+}
+
+TEST(TraceExport, EmitsValidChromeEventsForEveryTrack) {
+  RuntimeConfig cfg;
+  cfg.functional = false;
+  cfg.num_devices = 2;
+  Runtime rt{cfg};
+  runtime::enable_tracing(rt);
+  OperationRequest req;
+  req.task_id = rt.begin_task();
+  req.op = isa::Opcode::kMul;
+  req.in0 = rt.create_virtual_buffer({512, 512}, {0, 1});
+  req.in1 = rt.create_virtual_buffer({512, 512}, {0, 1});
+  req.out = rt.create_virtual_buffer({512, 512}, {0, 1});
+  rt.invoke(req);
+
+  std::ostringstream os;
+  runtime::export_chrome_trace(rt, os);
+  const std::string json = os.str();
+  EXPECT_EQ(json.front(), '[');
+  // Track names for both devices plus the host tracks.
+  EXPECT_NE(json.find("tpu0/compute"), std::string::npos);
+  EXPECT_NE(json.find("tpu1/link"), std::string::npos);
+  EXPECT_NE(json.find("tpu0/host-lane"), std::string::npos);
+  EXPECT_NE(json.find("\"host\""), std::string::npos);
+  // Duration events with microsecond stamps.
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  // Balanced braces (cheap well-formedness proxy).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+TEST(TraceExport, UnwritablePathReportsFailure) {
+  RuntimeConfig cfg;
+  cfg.functional = false;
+  Runtime rt{cfg};
+  EXPECT_FALSE(runtime::export_chrome_trace_file(
+      rt, "/nonexistent-dir/trace.json"));
+}
+
+TEST(TraceExport, DisabledTracingYieldsOnlyMetadata) {
+  RuntimeConfig cfg;
+  cfg.functional = false;
+  Runtime rt{cfg};
+  OperationRequest req;
+  req.task_id = rt.begin_task();
+  req.op = isa::Opcode::kReLu;
+  req.in0 = rt.create_virtual_buffer({64, 64}, {0, 1});
+  req.out = rt.create_virtual_buffer({64, 64}, {0, 1});
+  rt.invoke(req);
+  std::ostringstream os;
+  runtime::export_chrome_trace(rt, os);
+  EXPECT_EQ(os.str().find("\"ph\":\"X\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gptpu

@@ -1,0 +1,151 @@
+// Quantization unit and property tests: round-trip error bounds, the
+// §6.2.2 scaling formulas (Eq. 4-8), calibration sampling, and the
+// tighter kMinMax / sampled scales.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "quant/quantize.hpp"
+
+namespace gptpu::quant {
+namespace {
+
+using isa::Opcode;
+
+TEST(Calibrate, FindsExactExtrema) {
+  const std::vector<float> v{3, -7, 2, 9, 0};
+  const Range r = calibrate(v);
+  EXPECT_FLOAT_EQ(r.min, -7);
+  EXPECT_FLOAT_EQ(r.max, 9);
+  EXPECT_FLOAT_EQ(r.magnitude(), 9);
+  EXPECT_FLOAT_EQ(r.width(), 16);
+}
+
+TEST(Calibrate, StridedSamplingIncludesEndpoints) {
+  std::vector<float> v(1000, 1.0f);
+  v.back() = 100.0f;  // extremum at the very end, off the stride grid
+  const Range r = calibrate(v, 7);
+  EXPECT_FLOAT_EQ(r.max, 100.0f);
+}
+
+TEST(Calibrate, EmptyDataYieldsZeroRange) {
+  const Range r = calibrate({});
+  EXPECT_EQ(r, (Range{0, 0}));
+  EXPECT_FLOAT_EQ(input_scale(r), 1.0f);
+}
+
+TEST(InputScale, MapsMagnitudeTo127) {
+  EXPECT_FLOAT_EQ(input_scale({-10, 5}), 12.7f);
+  EXPECT_FLOAT_EQ(input_scale({0, 127}), 1.0f);
+}
+
+TEST(QuantizeValue, RoundsAndSaturates) {
+  EXPECT_EQ(quantize_value(1.4f, 1.0f), 1);
+  EXPECT_EQ(quantize_value(1.6f, 1.0f), 2);
+  EXPECT_EQ(quantize_value(-1.6f, 1.0f), -2);
+  EXPECT_EQ(quantize_value(1000.0f, 1.0f), 127);
+  EXPECT_EQ(quantize_value(-1000.0f, 1.0f), -127);
+}
+
+// Property: the quantize/dequantize round trip never errs by more than
+// half a quantization step, across magnitudes spanning ten orders.
+class QuantRoundTrip : public ::testing::TestWithParam<double> {};
+
+TEST_P(QuantRoundTrip, ErrorBoundedByHalfStep) {
+  const double mag = GetParam();
+  Rng rng(static_cast<u64>(mag * 1000) + 1);
+  std::vector<float> raw(512);
+  for (auto& v : raw) v = static_cast<float>(rng.uniform(-mag, mag));
+  const float scale = input_scale(calibrate(raw));
+  const auto q = quantize(raw, scale);
+  const auto back = dequantize(q, scale);
+  const float bound = max_quant_error(scale) * 1.0001f;
+  for (usize i = 0; i < raw.size(); ++i) {
+    EXPECT_LE(std::abs(back[i] - raw[i]), bound) << "mag=" << mag;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Magnitudes, QuantRoundTrip,
+                         ::testing::Values(1e-4, 1e-2, 1.0, 127.0, 1e4, 1e8));
+
+TEST(Quantize, SmallIntegersWithIdentityScaleAreExact) {
+  std::vector<float> raw;
+  for (int v = -127; v <= 127; ++v) raw.push_back(static_cast<float>(v));
+  const auto q = quantize(raw, 1.0f);
+  const auto back = dequantize(q, 1.0f);
+  for (usize i = 0; i < raw.size(); ++i) EXPECT_EQ(back[i], raw[i]);
+}
+
+TEST(OutputScale, FollowsEquations5Through8) {
+  const Range r{0, 10};  // width 10
+  const usize n = 4;
+  // Eq. 5: conv2D / FullyConnected: 127 / (width^2 * N).
+  EXPECT_NEAR(output_scale(Opcode::kFullyConnected, r, r, n),
+              127.0 / (100.0 * 4), 1e-5);
+  EXPECT_NEAR(output_scale(Opcode::kConv2D, r, r, n), 127.0 / 400.0, 1e-5);
+  // Eq. 6: add/sub: 127 / (2 * width).
+  EXPECT_NEAR(output_scale(Opcode::kAdd, r, r, 0), 127.0 / 20.0, 1e-5);
+  EXPECT_NEAR(output_scale(Opcode::kSub, r, r, 0), 127.0 / 20.0, 1e-5);
+  // Eq. 7: mul: 127 / width^2.
+  EXPECT_NEAR(output_scale(Opcode::kMul, r, r, 0), 127.0 / 100.0, 1e-5);
+  // Eq. 8: others: 127 / width.
+  EXPECT_NEAR(output_scale(Opcode::kReLu, r, r, 0), 12.7, 1e-5);
+}
+
+TEST(OutputScale, JointRangeSpansBothOperands) {
+  const Range a{0, 1};
+  const Range b{-100, 0};
+  // Joint width 101 dominates.
+  EXPECT_NEAR(output_scale(Opcode::kAdd, a, b, 0), 127.0 / 202.0, 1e-4);
+}
+
+TEST(OutputScale, ArithmeticRequiresInnerN) {
+  EXPECT_THROW((void)output_scale(Opcode::kConv2D, {0, 1}, {0, 1}, 0),
+               InvalidArgument);
+}
+
+// Property: quantizing any pair of inputs and computing with §6.2.2 output
+// scales never clips -- overflow prevention is the formulas' purpose.
+class NoOverflow : public ::testing::TestWithParam<double> {};
+
+TEST_P(NoOverflow, WorstCaseOutputsStayInsideInt8) {
+  const double hi = GetParam();
+  const Range r{static_cast<float>(-hi), static_cast<float>(hi)};
+  // Worst cases per operator class:
+  const double worst_add = 2 * hi;
+  const double worst_mul = hi * hi;
+  const usize n = 64;
+  const double worst_dot = hi * hi * n;
+  EXPECT_LE(worst_add * output_scale(Opcode::kAdd, r, r, 0), 127.0 * 1.001);
+  EXPECT_LE(worst_mul * output_scale(Opcode::kMul, r, r, 0), 127.0 * 1.001);
+  EXPECT_LE(worst_dot * output_scale(Opcode::kFullyConnected, r, r, n),
+            127.0 * 1.001);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranges, NoOverflow,
+                         ::testing::Values(0.5, 8.0, 127.0, 32767.0, 2.1e9));
+
+TEST(MinMaxScale, TighterThanWorstCaseFormulas) {
+  const Range r{0, 10};
+  EXPECT_GT(output_scale_minmax(Opcode::kAdd, r, r, 0),
+            output_scale(Opcode::kAdd, r, r, 0) * 0.999);
+  EXPECT_GT(output_scale_minmax(Opcode::kMul, r, r, 0),
+            output_scale(Opcode::kMul, r, r, 0) * 0.999);
+}
+
+TEST(SampledScale, AppliesHeadroom) {
+  EXPECT_NEAR(sampled_scale({0, 100}, 1.25f), 127.0 / 125.0, 1e-4);
+  EXPECT_FLOAT_EQ(sampled_scale({0, 0}), 1.0f);
+  EXPECT_THROW((void)sampled_scale({0, 1}, 0.5f), InvalidArgument);
+}
+
+TEST(Dequantize, RejectsBadScale) {
+  std::vector<i8> q(4);
+  std::vector<float> out(4);
+  EXPECT_THROW(dequantize(q, 0.0f, out), InvalidArgument);
+  EXPECT_THROW(dequantize(q, -1.0f, out), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace gptpu::quant

@@ -1,0 +1,393 @@
+// Extended runtime tests: device-cache behaviour, memory-pressure
+// eviction, multi-device result consistency, parallel tasks, task
+// serialization in virtual time, configuration toggles and failure paths.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "runtime/runtime.hpp"
+
+namespace gptpu::runtime {
+namespace {
+
+using isa::Opcode;
+
+Matrix<float> random_matrix(Shape2D shape, u64 seed, double lo = -10,
+                            double hi = 10) {
+  Matrix<float> m(shape);
+  Rng rng(seed);
+  fill_uniform(m, rng, lo, hi);
+  return m;
+}
+
+OperationRequest pairwise_req(Runtime& /*rt*/, Opcode op, TensorBuffer* a,
+                              TensorBuffer* b, TensorBuffer* out, u64 task) {
+  OperationRequest req;
+  req.task_id = task;
+  req.op = op;
+  req.in0 = a;
+  req.in1 = b;
+  req.out = out;
+  return req;
+}
+
+TEST(RuntimeCache, RepeatedInputsHitTheCache) {
+  Runtime rt{RuntimeConfig{}};
+  const Shape2D shape{256, 256};
+  auto a = random_matrix(shape, 1);
+  auto b = random_matrix(shape, 2);
+  Matrix<float> c(shape);
+  auto* ba = rt.create_buffer(shape, a.data());
+  auto* bb = rt.create_buffer(shape, b.data());
+  auto* bc = rt.create_buffer(shape, c.data());
+  const u64 task = rt.begin_task();
+
+  rt.invoke(pairwise_req(rt, Opcode::kAdd, ba, bb, bc, task));
+  const auto first = rt.cache_stats();
+  EXPECT_EQ(first.hits, 0u);
+  EXPECT_GT(first.misses, 0u);
+
+  rt.invoke(pairwise_req(rt, Opcode::kSub, ba, bb, bc, task));
+  const auto second = rt.cache_stats();
+  // a and b tiles are identical (same buffers, versions, scales... for sub
+  // the joint scale matches add's joint scale since ranges are equal).
+  EXPECT_GT(second.hits, 0u);
+}
+
+TEST(RuntimeCache, OutputVersionBumpInvalidatesTiles) {
+  Runtime rt{RuntimeConfig{}};
+  const Shape2D shape{64, 64};
+  auto a = random_matrix(shape, 3);
+  auto b = random_matrix(shape, 4);
+  Matrix<float> c(shape);
+  auto* ba = rt.create_buffer(shape, a.data());
+  auto* bb = rt.create_buffer(shape, b.data());
+  auto* bc = rt.create_buffer(shape, c.data());
+  const u64 task = rt.begin_task();
+
+  // c = a + b, then c feeds the next op: its tile must be re-staged with
+  // the new version, never reuse a stale copy.
+  rt.invoke(pairwise_req(rt, Opcode::kAdd, ba, bb, bc, task));
+  Matrix<float> d(shape);
+  auto* bd = rt.create_buffer(shape, d.data());
+  rt.invoke(pairwise_req(rt, Opcode::kAdd, bc, bb, bd, task));
+  for (usize i = 0; i < shape.elems(); ++i) {
+    const float expect = a.span()[i] + 2 * b.span()[i];
+    // Two chained int8 adds over +/-20 ranges: each step is ~0.3, so the
+    // worst-case compound error is just under one step of the wider op.
+    EXPECT_NEAR(d.span()[i], expect, 0.8f);
+  }
+}
+
+TEST(RuntimeCache, EvictionKeepsWorkingUnderMemoryPressure) {
+  Runtime rt{RuntimeConfig{}};
+  // Stream ops over many distinct large buffers so the cache must evict.
+  const Shape2D shape{1024, 1024};  // 1 MB per tensor, 8 MB device
+  const u64 task = rt.begin_task();
+  for (int i = 0; i < 12; ++i) {
+    auto a = random_matrix(shape, 10 + i);
+    auto b = random_matrix(shape, 50 + i);
+    Matrix<float> c(shape);
+    auto* ba = rt.create_buffer(shape, a.data());
+    auto* bb = rt.create_buffer(shape, b.data());
+    auto* bc = rt.create_buffer(shape, c.data());
+    rt.invoke(pairwise_req(rt, Opcode::kAdd, ba, bb, bc, task));
+    rt.destroy_buffer(ba);
+    rt.destroy_buffer(bb);
+    rt.destroy_buffer(bc);
+  }
+  EXPECT_GT(rt.cache_stats().evictions, 0u);
+  // Device memory never exceeded capacity (execute would have thrown).
+  EXPECT_LE(rt.pool().device(0).memory_used(),
+            rt.pool().device(0).memory_capacity());
+}
+
+TEST(RuntimeMultiDevice, ResultsIdenticalToSingleDevice) {
+  const Shape2D shape{300, 300};
+  auto a = random_matrix(shape, 5);
+  auto b = random_matrix(shape, 6);
+  auto run = [&](usize devices) {
+    RuntimeConfig cfg;
+    cfg.num_devices = devices;
+    Runtime rt{cfg};
+    Matrix<float> c(shape);
+    auto* ba = rt.create_buffer(shape, a.data());
+    auto* bb = rt.create_buffer(shape, b.data());
+    auto* bc = rt.create_buffer(shape, c.data());
+    rt.invoke(pairwise_req(rt, Opcode::kMul, ba, bb, bc, rt.begin_task()));
+    return c;
+  };
+  const Matrix<float> one = run(1);
+  const Matrix<float> four = run(4);
+  EXPECT_EQ(one, four);  // bit-identical: same plans, same kernels
+}
+
+TEST(RuntimeMultiDevice, MakespanShrinksWithDevices) {
+  auto time_with = [&](usize devices) {
+    RuntimeConfig cfg;
+    cfg.num_devices = devices;
+    cfg.functional = false;
+    Runtime rt{cfg};
+    const u64 task = rt.begin_task();
+    OperationRequest req;
+    req.task_id = task;
+    req.op = Opcode::kAdd;
+    req.in0 = rt.create_virtual_buffer({4096, 4096}, {0, 1});
+    req.in1 = rt.create_virtual_buffer({4096, 4096}, {0, 1});
+    req.out = rt.create_virtual_buffer({4096, 4096}, {0, 2});
+    rt.invoke(req);
+    return rt.makespan();
+  };
+  const Seconds t1 = time_with(1);
+  const Seconds t4 = time_with(4);
+  EXPECT_GT(t1 / t4, 2.5);
+}
+
+TEST(RuntimeTasks, OperationsOfOneTaskSerializeInVirtualTime) {
+  RuntimeConfig cfg;
+  cfg.functional = false;
+  Runtime rt{cfg};
+  const u64 task = rt.begin_task();
+  auto* a = rt.create_virtual_buffer({512, 512}, {0, 1});
+  auto* b = rt.create_virtual_buffer({512, 512}, {0, 1});
+  auto* c = rt.create_virtual_buffer({512, 512}, {0, 2});
+  OperationRequest req;
+  req.task_id = task;
+  req.op = Opcode::kAdd;
+  req.in0 = a;
+  req.in1 = b;
+  req.out = c;
+  rt.invoke(req);
+  const Seconds after_first = rt.task_ready(task);
+  rt.invoke(req);
+  const auto& log = rt.opq_log();
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_GE(log[1].virtual_done, after_first);
+  EXPECT_GT(rt.task_ready(task), after_first);
+}
+
+TEST(RuntimeTasks, IndependentTasksOverlapInVirtualTime) {
+  RuntimeConfig cfg;
+  cfg.functional = false;
+  cfg.num_devices = 2;
+  Runtime rt{cfg};
+  auto submit = [&](u64 task) {
+    OperationRequest req;
+    req.task_id = task;
+    req.op = Opcode::kAdd;
+    req.in0 = rt.create_virtual_buffer({2048, 2048}, {0, 1});
+    req.in1 = rt.create_virtual_buffer({2048, 2048}, {0, 1});
+    req.out = rt.create_virtual_buffer({2048, 2048}, {0, 2});
+    rt.invoke(req);
+  };
+  const u64 t1 = rt.begin_task();
+  const u64 t2 = rt.begin_task();
+  std::thread w1([&] { submit(t1); });
+  std::thread w2([&] { submit(t2); });
+  w1.join();
+  w2.join();
+  // Two independent 25 ms-ish operations on two devices must not cost the
+  // serial sum.
+  const Seconds serial_estimate = rt.task_ready(t1) + rt.task_ready(t2);
+  EXPECT_LT(rt.makespan(), serial_estimate);
+}
+
+TEST(RuntimeChargeHost, AdvancesTaskTimeline) {
+  RuntimeConfig cfg;
+  cfg.functional = false;
+  Runtime rt{cfg};
+  const u64 task = rt.begin_task();
+  EXPECT_DOUBLE_EQ(rt.task_ready(task), 0.0);
+  rt.charge_host(task, 0.25, "prep");
+  EXPECT_DOUBLE_EQ(rt.task_ready(task), 0.25);
+  rt.charge_host(task, 0.25, "prep2");
+  EXPECT_DOUBLE_EQ(rt.task_ready(task), 0.5);
+  EXPECT_DOUBLE_EQ(rt.makespan(), 0.5);
+}
+
+TEST(RuntimeConfigToggles, InputCacheOffForcesRestaging) {
+  RuntimeConfig cfg;
+  cfg.functional = false;
+  cfg.input_cache = false;
+  Runtime rt{cfg};
+  const u64 task = rt.begin_task();
+  auto* a = rt.create_virtual_buffer({256, 256}, {0, 1});
+  auto* b = rt.create_virtual_buffer({256, 256}, {0, 1});
+  auto* c = rt.create_virtual_buffer({256, 256}, {0, 2});
+  OperationRequest req;
+  req.task_id = task;
+  req.op = Opcode::kAdd;
+  req.in0 = a;
+  req.in1 = b;
+  req.out = c;
+  rt.invoke(req);
+  rt.invoke(req);
+  EXPECT_EQ(rt.cache_stats().hits, 0u);
+}
+
+TEST(RuntimeErrors, InvalidRequestsPropagateToCaller) {
+  Runtime rt{RuntimeConfig{}};
+  OperationRequest req;
+  req.task_id = rt.begin_task();
+  req.op = Opcode::kAdd;
+  EXPECT_THROW(rt.invoke(req), InvalidArgument);  // null buffers
+}
+
+TEST(RuntimeErrors, IrreducibleWorkingSetSurfacesResourceExhausted) {
+  // A conv2D kernel that alone exceeds the Tensorizer's working-set
+  // budget cannot be tiled further; the failure must reach the caller as
+  // ResourceExhausted, not crash a worker.
+  Runtime rt{RuntimeConfig{}};
+  const Shape2D in_shape{4000, 4000};
+  const Shape2D k_shape{3000, 3000};  // 9 MB kernel > 8 MB device
+  auto in = random_matrix({16, 16}, 30);  // placeholder data, tiny
+  Matrix<float> big_in(in_shape);
+  Matrix<float> big_k(k_shape);
+  Matrix<float> out(1001, 1001);
+  OperationRequest req;
+  req.task_id = rt.begin_task();
+  req.op = Opcode::kConv2D;
+  req.in0 = rt.create_buffer(in_shape, big_in.data());
+  req.in1 = rt.create_buffer(k_shape, big_k.data());
+  req.out = rt.create_buffer(out.shape(), out.data());
+  EXPECT_THROW(rt.invoke(req), ResourceExhausted);
+  // The runtime stays usable afterwards.
+  auto a = random_matrix({64, 64}, 31);
+  auto b = random_matrix({64, 64}, 32);
+  Matrix<float> c(64, 64);
+  rt.invoke(pairwise_req(rt, Opcode::kAdd, rt.create_buffer({64, 64}, a.data()),
+                         rt.create_buffer({64, 64}, b.data()),
+                         rt.create_buffer({64, 64}, c.data()),
+                         rt.begin_task()));
+  EXPECT_NEAR(c(0, 0), a(0, 0) + b(0, 0), 0.5f);
+}
+
+TEST(RuntimeErrors, DestroyUnknownBufferThrows) {
+  Runtime rt{RuntimeConfig{}};
+  Matrix<float> m(2, 2);
+  TensorBuffer local(m.shape(), m.data());
+  EXPECT_THROW(rt.destroy_buffer(&local), InvalidArgument);
+}
+
+TEST(RuntimeReset, ClearsClocksAndLogsButKeepsBuffers) {
+  Runtime rt{RuntimeConfig{}};
+  const Shape2D shape{64, 64};
+  auto a = random_matrix(shape, 7);
+  auto b = random_matrix(shape, 8);
+  Matrix<float> c(shape);
+  auto* ba = rt.create_buffer(shape, a.data());
+  auto* bb = rt.create_buffer(shape, b.data());
+  auto* bc = rt.create_buffer(shape, c.data());
+  rt.invoke(pairwise_req(rt, Opcode::kAdd, ba, bb, bc, rt.begin_task()));
+  EXPECT_GT(rt.makespan(), 0.0);
+  rt.reset();
+  EXPECT_DOUBLE_EQ(rt.makespan(), 0.0);
+  EXPECT_TRUE(rt.opq_log().empty());
+  // Buffers still usable after reset.
+  rt.invoke(pairwise_req(rt, Opcode::kAdd, ba, bb, bc, rt.begin_task()));
+  EXPECT_GT(rt.makespan(), 0.0);
+}
+
+TEST(RuntimeDeterminism, SingleTaskTimedRunsAreReproducible) {
+  auto run_once = [] {
+    RuntimeConfig cfg;
+    cfg.functional = false;
+    cfg.num_devices = 4;
+    Runtime rt{cfg};
+    const u64 task = rt.begin_task();
+    for (int i = 0; i < 6; ++i) {
+      OperationRequest req;
+      req.task_id = task;
+      req.op = i % 2 == 0 ? Opcode::kMul : Opcode::kAdd;
+      req.in0 = rt.create_virtual_buffer({1000, 700}, {0, 1});
+      req.in1 = rt.create_virtual_buffer({1000, 700}, {0, 1});
+      req.out = rt.create_virtual_buffer({1000, 700}, {0, 2});
+      rt.invoke(req);
+    }
+    return rt.makespan();
+  };
+  const Seconds a = run_once();
+  const Seconds b = run_once();
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(RuntimeEnergy, ReportIsConsistent) {
+  RuntimeConfig cfg;
+  cfg.functional = false;
+  Runtime rt{cfg};
+  OperationRequest req;
+  req.task_id = rt.begin_task();
+  req.op = Opcode::kMul;
+  req.in0 = rt.create_virtual_buffer({1024, 1024}, {0, 1});
+  req.in1 = rt.create_virtual_buffer({1024, 1024}, {0, 1});
+  req.out = rt.create_virtual_buffer({1024, 1024}, {0, 1});
+  rt.invoke(req);
+  const EnergyReport e = rt.energy();
+  EXPECT_GT(e.makespan, 0.0);
+  EXPECT_GT(e.tpu_active, 0.0);
+  EXPECT_GT(e.host_active, 0.0);
+  EXPECT_GT(e.total_energy(), e.active_energy());
+  EXPECT_DOUBLE_EQ(e.total_energy(), e.active_energy() + e.idle_energy());
+  EXPECT_DOUBLE_EQ(e.energy_delay(), e.total_energy() * e.makespan);
+}
+
+TEST(RuntimeZeroTiles, MultiplicativeOpsSkipEmptyTiles) {
+  Runtime rt{RuntimeConfig{}};
+  const Shape2D shape{256, 256};
+  // Block-sparse input: only the top-left 128x128 tile is populated.
+  Matrix<float> a(shape);
+  Rng rng(21);
+  for (usize r = 0; r < 128; ++r) {
+    for (usize c = 0; c < 128; ++c) {
+      a(r, c) = static_cast<float>(rng.uniform(1, 2));
+    }
+  }
+  auto b = random_matrix(shape, 22, 1, 2);
+  Matrix<float> c(shape);
+  auto* ba = rt.create_buffer(shape, a.data());
+  auto* bb = rt.create_buffer(shape, b.data());
+  auto* bc = rt.create_buffer(shape, c.data());
+  rt.invoke(pairwise_req(rt, Opcode::kMul, ba, bb, bc, rt.begin_task()));
+  EXPECT_EQ(rt.cache_stats().zero_tiles_skipped, 3u);  // 3 of 4 tiles empty
+  for (usize r = 0; r < shape.rows; ++r) {
+    for (usize col = 0; col < shape.cols; ++col) {
+      const float expect = a(r, col) * b(r, col);
+      EXPECT_NEAR(c(r, col), expect, 0.1f) << r << "," << col;
+    }
+  }
+}
+
+TEST(RuntimeZeroTiles, AdditiveOpsNeverSkip) {
+  Runtime rt{RuntimeConfig{}};
+  const Shape2D shape{128, 128};
+  Matrix<float> zero(shape, 0.0f);
+  auto b = random_matrix(shape, 23, 1, 2);
+  Matrix<float> c(shape);
+  auto* ba = rt.create_buffer(shape, zero.data());
+  auto* bb = rt.create_buffer(shape, b.data());
+  auto* bc = rt.create_buffer(shape, c.data());
+  rt.invoke(pairwise_req(rt, Opcode::kAdd, ba, bb, bc, rt.begin_task()));
+  EXPECT_EQ(rt.cache_stats().zero_tiles_skipped, 0u);
+  EXPECT_NEAR(c(5, 5), b(5, 5), 0.1f);  // 0 + b
+}
+
+TEST(RuntimeZeroTiles, DisabledFlagRunsEverything) {
+  RuntimeConfig cfg;
+  cfg.skip_zero_tiles = false;
+  Runtime rt{cfg};
+  const Shape2D shape{128, 128};
+  Matrix<float> zero(shape, 0.0f);
+  auto b = random_matrix(shape, 24, 1, 2);
+  Matrix<float> c(Shape2D{128, 128}, 7.0f);
+  auto* ba = rt.create_buffer(shape, zero.data());
+  auto* bb = rt.create_buffer(shape, b.data());
+  auto* bc = rt.create_buffer(shape, c.data());
+  rt.invoke(pairwise_req(rt, Opcode::kMul, ba, bb, bc, rt.begin_task()));
+  EXPECT_EQ(rt.cache_stats().zero_tiles_skipped, 0u);
+  EXPECT_FLOAT_EQ(c(0, 0), 0.0f);  // computed, not skipped
+}
+
+}  // namespace
+}  // namespace gptpu::runtime

@@ -1,0 +1,149 @@
+// Parameterized round-trip sweep: every Edge TPU operator driven through
+// the whole stack (Tensorizer -> scheduler -> device -> CPU aggregation)
+// against an exact float reference, over several shapes, device counts
+// and quantization methods.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "runtime/runtime.hpp"
+
+namespace gptpu::runtime {
+namespace {
+
+using isa::Opcode;
+
+struct RoundTripCase {
+  Opcode op;
+  Shape2D shape;
+  usize devices;
+  isa::QuantMethod quant;
+};
+
+std::string case_name(const ::testing::TestParamInfo<RoundTripCase>& info) {
+  const auto& p = info.param;
+  std::string quant = p.quant == isa::QuantMethod::kScale    ? "scale"
+                      : p.quant == isa::QuantMethod::kMinMax ? "minmax"
+                                                             : "identity";
+  return std::string(isa::name(p.op)) + "_" +
+         std::to_string(p.shape.rows) + "x" + std::to_string(p.shape.cols) +
+         "_d" + std::to_string(p.devices) + "_" + quant;
+}
+
+class RoundTrip : public ::testing::TestWithParam<RoundTripCase> {};
+
+TEST_P(RoundTrip, MatchesFloatReference) {
+  const RoundTripCase& p = GetParam();
+  RuntimeConfig cfg;
+  cfg.num_devices = p.devices;
+  Runtime rt{cfg};
+
+  Rng rng(p.shape.rows * 77 + p.shape.cols + p.devices);
+  const bool integer_data = p.quant == isa::QuantMethod::kIdentity;
+  Matrix<float> a(p.shape);
+  Matrix<float> b(p.shape);
+  if (integer_data) {
+    fill_uniform_int(a, rng, -9, 9);
+    fill_uniform_int(b, rng, -9, 9);
+  } else {
+    fill_uniform(a, rng, -6, 6);
+    fill_uniform(b, rng, -6, 6);
+  }
+
+  const bool two_operand = isa::has_second_operand(p.op);
+  const Shape2D out_shape =
+      isa::op_class(p.op) == isa::OpClass::kMatrixwise ? Shape2D{1, 1}
+                                                       : p.shape;
+  Matrix<float> c(out_shape);
+
+  OperationRequest req;
+  req.task_id = rt.begin_task();
+  req.op = p.op;
+  req.quant = p.quant;
+  req.in0 = rt.create_buffer(p.shape, a.data());
+  req.in1 = two_operand ? rt.create_buffer(p.shape, b.data()) : nullptr;
+  req.out = rt.create_buffer(out_shape, c.data());
+  switch (p.op) {
+    case Opcode::kCrop:
+      req.window = {0, 0, p.shape};
+      break;
+    case Opcode::kExt:
+      req.pad_target = p.shape;
+      break;
+    default:
+      break;
+  }
+  if (p.op == Opcode::kFullyConnected || p.op == Opcode::kConv2D) {
+    GTEST_SKIP() << "arithmetic ops covered by dedicated GEMM/conv tests";
+  }
+  rt.invoke(req);
+
+  // Float reference.
+  auto ref_at = [&](usize i) -> double {
+    const double av = a.span()[i];
+    const double bv = b.span()[i];
+    switch (p.op) {
+      case Opcode::kAdd: return av + bv;
+      case Opcode::kSub: return av - bv;
+      case Opcode::kMul: return av * bv;
+      case Opcode::kTanh: return std::tanh(av);
+      case Opcode::kReLu: return std::max(0.0, av);
+      case Opcode::kCrop:
+      case Opcode::kExt: return av;
+      default: return 0;
+    }
+  };
+
+  // Tolerance: one step of the §6.2.2 output grid for this operator.
+  const double width = integer_data ? 18.0 : 12.0;
+  double step;
+  switch (p.op) {
+    case Opcode::kMul: step = width * width / 127.0; break;
+    case Opcode::kAdd:
+    case Opcode::kSub: step = 2 * width / 127.0; break;
+    default: step = width / 127.0; break;
+  }
+  if (integer_data) step = std::max(step, 1.0);  // identity: exact grid
+
+  if (isa::op_class(p.op) == isa::OpClass::kMatrixwise) {
+    double ref = 0;
+    if (p.op == Opcode::kMean) {
+      for (const float v : a.span()) ref += v;
+      ref /= static_cast<double>(a.elems());
+    } else {
+      ref = a.span()[0];
+      for (const float v : a.span()) ref = std::max(ref, static_cast<double>(v));
+    }
+    EXPECT_NEAR(c(0, 0), ref, step + 0.05);
+    return;
+  }
+
+  for (usize i = 0; i < c.elems(); ++i) {
+    ASSERT_NEAR(c.span()[i], ref_at(i), step + 1e-3) << "elem " << i;
+  }
+}
+
+std::vector<RoundTripCase> all_cases() {
+  std::vector<RoundTripCase> cases;
+  const Opcode ops[] = {Opcode::kAdd,  Opcode::kSub,  Opcode::kMul,
+                        Opcode::kTanh, Opcode::kReLu, Opcode::kCrop,
+                        Opcode::kExt,  Opcode::kMean, Opcode::kMax};
+  const Shape2D shapes[] = {{64, 64}, {129, 65}, {300, 140}};
+  for (const Opcode op : ops) {
+    for (const Shape2D shape : shapes) {
+      cases.push_back({op, shape, 1, isa::QuantMethod::kScale});
+    }
+    // One multi-device and one alternate-quantization case per op.
+    cases.push_back({op, {200, 200}, 4, isa::QuantMethod::kScale});
+    cases.push_back({op, {96, 96}, 1, isa::QuantMethod::kIdentity});
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOps, RoundTrip, ::testing::ValuesIn(all_cases()),
+                         case_name);
+
+}  // namespace
+}  // namespace gptpu::runtime

@@ -1,0 +1,116 @@
+// End-to-end smoke tests of the runtime pipeline: OPQ -> Tensorizer -> IQ
+// -> simulated devices -> host aggregation.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "runtime/runtime.hpp"
+
+namespace gptpu::runtime {
+namespace {
+
+using isa::Opcode;
+
+Matrix<float> random_matrix(Shape2D shape, u64 seed, double lo, double hi) {
+  Matrix<float> m(shape);
+  Rng rng(seed);
+  fill_uniform(m, rng, lo, hi);
+  return m;
+}
+
+TEST(RuntimeSmoke, PairwiseAddMatchesReference) {
+  Runtime rt{RuntimeConfig{}};
+  const Shape2D shape{300, 200};  // not a multiple of the 128 tile
+  auto a = random_matrix(shape, 1, -50, 50);
+  auto b = random_matrix(shape, 2, -50, 50);
+  Matrix<float> c(shape);
+
+  OperationRequest req;
+  req.task_id = rt.begin_task();
+  req.op = Opcode::kAdd;
+  req.in0 = rt.create_buffer(shape, a.data());
+  req.in1 = rt.create_buffer(shape, b.data());
+  req.out = rt.create_buffer(shape, c.data());
+  rt.invoke(req);
+
+  Matrix<float> ref(shape);
+  for (usize r = 0; r < shape.rows; ++r) {
+    for (usize col = 0; col < shape.cols; ++col) {
+      ref(r, col) = a(r, col) + b(r, col);
+    }
+  }
+  EXPECT_LT(rmse(ref.span(), c.span()), 0.02);
+  EXPECT_GT(rt.makespan(), 0.0);
+}
+
+TEST(RuntimeSmoke, FullyConnectedMatchesReference) {
+  Runtime rt{RuntimeConfig{}};
+  const Shape2D a_shape{64, 96};
+  const Shape2D w_shape{96, 80};
+  auto a = random_matrix(a_shape, 3, 0, 4);
+  auto w = random_matrix(w_shape, 4, 0, 4);
+  Matrix<float> c(a_shape.rows, w_shape.cols);
+
+  OperationRequest req;
+  req.task_id = rt.begin_task();
+  req.op = Opcode::kFullyConnected;
+  req.in0 = rt.create_buffer(a_shape, a.data());
+  req.in1 = rt.create_buffer(w_shape, w.data());
+  req.out = rt.create_buffer(c.shape(), c.data());
+  rt.invoke(req);
+
+  Matrix<float> ref(c.shape());
+  for (usize i = 0; i < a_shape.rows; ++i) {
+    for (usize j = 0; j < w_shape.cols; ++j) {
+      double acc = 0;
+      for (usize k = 0; k < a_shape.cols; ++k) acc += a(i, k) * w(k, j);
+      ref(i, j) = static_cast<float>(acc);
+    }
+  }
+  EXPECT_LT(rmse(ref.span(), c.span()), 0.02);
+}
+
+TEST(RuntimeSmoke, MeanAggregatesAcrossTiles) {
+  Runtime rt{RuntimeConfig{}};
+  const Shape2D shape{150, 90};
+  auto a = random_matrix(shape, 5, 0, 10);
+  Matrix<float> out(1, 1);
+
+  OperationRequest req;
+  req.task_id = rt.begin_task();
+  req.op = Opcode::kMean;
+  req.in0 = rt.create_buffer(shape, a.data());
+  req.out = rt.create_buffer({1, 1}, out.data());
+  rt.invoke(req);
+
+  double ref = 0;
+  for (float v : a.span()) ref += v;
+  ref /= static_cast<double>(shape.elems());
+  EXPECT_NEAR(out(0, 0), ref, 0.2);
+}
+
+TEST(RuntimeSmoke, TimingOnlyModeRunsWithoutData) {
+  RuntimeConfig cfg;
+  cfg.functional = false;
+  Runtime rt{cfg};
+  const Shape2D shape{4096, 4096};  // 16 MB int8: larger than the device
+  auto* in0 = rt.create_virtual_buffer(shape, {0, 100});
+  auto* in1 = rt.create_virtual_buffer(shape, {0, 100});
+  auto* out = rt.create_virtual_buffer(shape, {0, 200});
+
+  OperationRequest req;
+  req.task_id = rt.begin_task();
+  req.op = Opcode::kAdd;
+  req.in0 = in0;
+  req.in1 = in1;
+  req.out = out;
+  rt.invoke(req);
+
+  // 3 x 16 MB over the 6 ms/MB link: the makespan must be transfer-bound.
+  EXPECT_GT(rt.makespan(), 0.2);
+  EXPECT_EQ(rt.opq_log().size(), 1u);
+  EXPECT_EQ(rt.opq_log()[0].num_instructions, 32u * 32u);
+}
+
+}  // namespace
+}  // namespace gptpu::runtime

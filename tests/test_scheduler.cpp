@@ -1,0 +1,101 @@
+// Scheduler tests: §6.1 affinity vs FCFS, backlog clocks, residency
+// tracking and determinism.
+#include <gtest/gtest.h>
+
+#include "runtime/scheduler.hpp"
+
+namespace gptpu::runtime {
+namespace {
+
+constexpr usize kMB = 1 << 20;
+
+TEST(Scheduler, SpreadsIndependentWork) {
+  Scheduler s(4, true);
+  std::vector<usize> counts(4, 0);
+  for (u64 i = 0; i < 16; ++i) {
+    Scheduler::TileNeed needs[] = {{1000 + i, kMB}};
+    ++counts[s.assign(needs, 0.01, 0.0)];
+  }
+  for (const usize c : counts) EXPECT_EQ(c, 4u);
+}
+
+TEST(Scheduler, AffinityKeepsResidentTilesHome) {
+  Scheduler s(4, true);
+  Scheduler::TileNeed big[] = {{42, 4 * kMB}};  // 24 ms to re-transfer
+  const usize home = s.assign(big, 0.001, 0.0);
+  // Later ops (higher ready times) needing the same tile return home even
+  // though other devices are idle.
+  for (int i = 1; i <= 8; ++i) {
+    EXPECT_EQ(s.assign(big, 0.001, 0.01 * i), home);
+  }
+}
+
+TEST(Scheduler, AffinityYieldsWhenBacklogExceedsTransferSavings) {
+  Scheduler s(2, true);
+  Scheduler::TileNeed small[] = {{7, 1024}};  // ~6 us to re-transfer
+  const usize home = s.assign(small, 1.0, 0.0);  // 1 s of backlog
+  // The saving is microseconds; the backlog is a second: go elsewhere.
+  EXPECT_NE(s.assign(small, 1.0, 0.0), home);
+}
+
+TEST(Scheduler, BacklogDrainsWithAdvancingReadyTime) {
+  Scheduler s(2, true);
+  Scheduler::TileNeed t0[] = {{1, kMB}};
+  const usize d0 = s.assign(t0, 0.5, 0.0);
+  // With ready far past the backlog, the loaded device is as good as idle
+  // and still holds the tile: affinity wins again.
+  EXPECT_EQ(s.assign(t0, 0.1, 100.0), d0);
+}
+
+TEST(Scheduler, DisabledAffinityIgnoresResidency) {
+  Scheduler s(2, false);
+  Scheduler::TileNeed t0[] = {{1, 8 * kMB}};
+  const usize d0 = s.assign(t0, 0.010, 0.0);
+  // FCFS: the other (less loaded) device is chosen despite residency.
+  EXPECT_NE(s.assign(t0, 0.010, 0.0), d0);
+}
+
+TEST(Scheduler, DropTileForgetsResidency) {
+  Scheduler s(2, true);
+  Scheduler::TileNeed t0[] = {{9, 8 * kMB}};
+  const usize home = s.assign(t0, 0.001, 0.0);
+  s.drop_tile(home, 9);
+  // No residency anywhere: pure load balance; the slightly-loaded home
+  // loses.
+  EXPECT_NE(s.assign(t0, 0.001, 0.0), home);
+}
+
+TEST(Scheduler, DeterministicForIdenticalSequences) {
+  auto run = [] {
+    Scheduler s(3, true);
+    std::vector<usize> picks;
+    for (u64 i = 0; i < 32; ++i) {
+      Scheduler::TileNeed needs[] = {{i % 5, (i % 3 + 1) * kMB}};
+      picks.push_back(s.assign(needs, 0.002 * (i % 4 + 1), 0.001 * i));
+    }
+    return picks;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(Scheduler, SingleDeviceAlwaysPicksIt) {
+  Scheduler s(1, true);
+  Scheduler::TileNeed needs[] = {{5, kMB}};
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(s.assign(needs, 1.0, 0.0), 0u);
+}
+
+TEST(Scheduler, RejectsZeroDevices) {
+  EXPECT_THROW(Scheduler(0, true), InvalidArgument);
+}
+
+TEST(Scheduler, ResetClearsLoadAndResidency) {
+  Scheduler s(2, true);
+  Scheduler::TileNeed t0[] = {{1, kMB}};
+  (void)s.assign(t0, 5.0, 0.0);
+  s.reset();
+  EXPECT_DOUBLE_EQ(s.estimated_load(0), 0.0);
+  EXPECT_DOUBLE_EQ(s.estimated_load(1), 0.0);
+}
+
+}  // namespace
+}  // namespace gptpu::runtime

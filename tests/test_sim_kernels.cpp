@@ -1,0 +1,233 @@
+// Functional-kernel tests: the bit-level semantics of every Edge TPU
+// instruction against plain float references, including the wide
+// (int32-accumulator) modes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "quant/quantize.hpp"
+#include "sim/kernels.hpp"
+
+namespace gptpu::sim::kernels {
+namespace {
+
+using isa::Opcode;
+
+Matrix<i8> random_q(Shape2D shape, u64 seed) {
+  Matrix<i8> m(shape);
+  Rng rng(seed);
+  for (auto& v : m.span()) v = static_cast<i8>(rng.uniform_int(-127, 127));
+  return m;
+}
+
+TEST(Requantize, RoundsToNearestAndSaturates) {
+  EXPECT_EQ(requantize(3.4, 1.0f), 3);
+  EXPECT_EQ(requantize(3.6, 1.0f), 4);
+  EXPECT_EQ(requantize(-500.0, 1.0f), -127);
+  EXPECT_EQ(requantize(500.0, 1.0f), 127);
+  EXPECT_EQ(requantize(10.0, 0.5f), 5);
+}
+
+TEST(Conv2DWide, MatchesExactIntegerConvolution) {
+  const Matrix<i8> in = random_q({9, 9}, 1);
+  const Matrix<i8> kernel = random_q({3, 3}, 2);
+  Matrix<i32> out(7, 7);
+  conv2d_wide(in.view(), kernel.view(), {1, 1}, 1, out.view());
+  for (usize r = 0; r < 7; ++r) {
+    for (usize c = 0; c < 7; ++c) {
+      i32 acc = 0;
+      for (usize kr = 0; kr < 3; ++kr) {
+        for (usize kc = 0; kc < 3; ++kc) {
+          acc += static_cast<i32>(in(r + kr, c + kc)) * kernel(kr, kc);
+        }
+      }
+      EXPECT_EQ(out(r, c), acc) << r << "," << c;
+    }
+  }
+}
+
+TEST(Conv2DWide, StrideSkipsWindows) {
+  const Matrix<i8> in = random_q({8, 8}, 3);
+  const Matrix<i8> kernel = random_q({2, 2}, 4);
+  Matrix<i32> strided(4, 4);
+  conv2d_wide(in.view(), kernel.view(), {2, 2}, 1, strided.view());
+  Matrix<i32> dense(7, 7);
+  conv2d_wide(in.view(), kernel.view(), {1, 1}, 1, dense.view());
+  for (usize r = 0; r < 4; ++r) {
+    for (usize c = 0; c < 4; ++c) {
+      EXPECT_EQ(strided(r, c), dense(2 * r, 2 * c));
+    }
+  }
+}
+
+TEST(Conv2DWide, KernelBankEqualsSeparateConvolutions) {
+  const Matrix<i8> in = random_q({10, 4}, 5);
+  const Matrix<i8> bank = random_q({12, 4}, 6);  // 3 kernels of 4x4
+  Matrix<i32> banked(7, 3);
+  conv2d_wide(in.view(), bank.view(), {1, 1}, 3, banked.view());
+  for (usize k = 0; k < 3; ++k) {
+    Matrix<i32> single(7, 1);
+    conv2d_wide(in.view(), bank.sub(4 * k, 0, {4, 4}), {1, 1}, 1,
+                single.view());
+    for (usize r = 0; r < 7; ++r) EXPECT_EQ(banked(r, k), single(r, 0));
+  }
+}
+
+TEST(Conv2DQuantized, TracksWideWithinOneStep) {
+  const Matrix<i8> in = random_q({12, 12}, 7);
+  const Matrix<i8> kernel = random_q({3, 3}, 8);
+  const float s_in = 4.0f;
+  const float s_k = 8.0f;
+  const float s_out = 127.0f / 5000.0f;
+  Matrix<i8> out(10, 10);
+  conv2d(in.view(), s_in, kernel.view(), s_k, {1, 1}, 1, s_out, out.view());
+  Matrix<i32> wide(10, 10);
+  conv2d_wide(in.view(), kernel.view(), {1, 1}, 1, wide.view());
+  for (usize i = 0; i < out.elems(); ++i) {
+    const double raw = wide.span()[i] / (static_cast<double>(s_in) * s_k);
+    const double expect = std::clamp(std::nearbyint(raw * s_out), -127.0, 127.0);
+    EXPECT_EQ(out.span()[i], static_cast<i8>(expect));
+  }
+}
+
+TEST(FullyConnectedWide, MatchesExactIntegerProduct) {
+  const Matrix<i8> a = random_q({5, 17}, 9);
+  const Matrix<i8> w = random_q({17, 11}, 10);
+  Matrix<i32> out(5, 11);
+  fully_connected_wide(a.view(), w.view(), out.view());
+  for (usize i = 0; i < 5; ++i) {
+    for (usize j = 0; j < 11; ++j) {
+      i32 acc = 0;
+      for (usize k = 0; k < 17; ++k) {
+        acc += static_cast<i32>(a(i, k)) * w(k, j);
+      }
+      EXPECT_EQ(out(i, j), acc);
+    }
+  }
+}
+
+struct PairwiseCase {
+  Opcode op;
+  float a, b, expect_raw;
+};
+
+class PairwiseSemantics : public ::testing::TestWithParam<PairwiseCase> {};
+
+TEST_P(PairwiseSemantics, ComputesOnDequantizedValues) {
+  const auto& p = GetParam();
+  const float s = 10.0f;
+  Matrix<i8> a(1, 1);
+  Matrix<i8> b(1, 1);
+  a(0, 0) = quant::quantize_value(p.a, s);
+  b(0, 0) = quant::quantize_value(p.b, s);
+  Matrix<i8> out(1, 1);
+  pairwise(p.op, a.view(), s, b.view(), s, 1.0f, out.view());
+  EXPECT_NEAR(out(0, 0), p.expect_raw, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Ops, PairwiseSemantics,
+    ::testing::Values(PairwiseCase{Opcode::kAdd, 3.0f, 4.0f, 7.0f},
+                      PairwiseCase{Opcode::kSub, 3.0f, 4.0f, -1.0f},
+                      PairwiseCase{Opcode::kMul, 3.0f, 4.0f, 12.0f},
+                      PairwiseCase{Opcode::kAdd, -5.0f, 2.0f, -3.0f},
+                      PairwiseCase{Opcode::kMul, -5.0f, 2.0f, -10.0f}));
+
+TEST(Pairwise, MixedScalesAreRespected) {
+  Matrix<i8> a(1, 1);
+  Matrix<i8> b(1, 1);
+  a(0, 0) = 100;  // raw 10 at scale 10
+  b(0, 0) = 50;   // raw 25 at scale 2
+  Matrix<i8> out(1, 1);
+  pairwise(Opcode::kAdd, a.view(), 10.0f, b.view(), 2.0f, 1.0f, out.view());
+  EXPECT_EQ(out(0, 0), 35);
+}
+
+TEST(Pairwise, RejectsNonPairwiseOpcodeAndShapeMismatch) {
+  Matrix<i8> a(2, 2);
+  Matrix<i8> b(2, 2);
+  Matrix<i8> bad(2, 3);
+  Matrix<i8> out(2, 2);
+  EXPECT_THROW(pairwise(Opcode::kTanh, a.view(), 1, b.view(), 1, 1,
+                        out.view()),
+               InvalidArgument);
+  Matrix<i8> out_bad(2, 3);
+  EXPECT_THROW(pairwise(Opcode::kAdd, a.view(), 1, bad.view(), 1, 1,
+                        out_bad.view()),
+               InvalidArgument);
+}
+
+TEST(Elementwise, TanhSaturatesToUnitRange) {
+  Matrix<i8> in(1, 5);
+  in(0, 0) = -127;
+  in(0, 1) = -10;
+  in(0, 2) = 0;
+  in(0, 3) = 10;
+  in(0, 4) = 127;
+  Matrix<i8> out(1, 5);
+  // Input scale 1 (raw = q); output scale 127 maps [-1,1] onto int8.
+  elementwise(Opcode::kTanh, in.view(), 1.0f, 127.0f, out.view());
+  EXPECT_EQ(out(0, 0), -127);  // tanh(-127) ~ -1
+  EXPECT_EQ(out(0, 2), 0);
+  EXPECT_EQ(out(0, 4), 127);
+  EXPECT_NEAR(out(0, 3), std::round(std::tanh(10.0) * 127), 1);
+  // Odd symmetry.
+  EXPECT_EQ(out(0, 1), static_cast<i8>(-out(0, 3)));
+}
+
+TEST(Elementwise, ReLuZeroesNegatives) {
+  Matrix<i8> in(1, 4);
+  in(0, 0) = -50;
+  in(0, 1) = -1;
+  in(0, 2) = 0;
+  in(0, 3) = 50;
+  Matrix<i8> out(1, 4);
+  elementwise(Opcode::kReLu, in.view(), 1.0f, 1.0f, out.view());
+  EXPECT_EQ(out(0, 0), 0);
+  EXPECT_EQ(out(0, 1), 0);
+  EXPECT_EQ(out(0, 2), 0);
+  EXPECT_EQ(out(0, 3), 50);
+}
+
+TEST(Reduce, MeanAndMax) {
+  Matrix<i8> in(2, 3);
+  const i8 vals[] = {10, 20, 30, 40, 50, 66};
+  std::copy(std::begin(vals), std::end(vals), in.span().begin());
+  EXPECT_EQ(reduce(Opcode::kMax, in.view(), 1.0f, 1.0f), 66);
+  EXPECT_EQ(reduce(Opcode::kMean, in.view(), 1.0f, 1.0f), 36);  // 216/6
+  EXPECT_THROW((void)reduce(Opcode::kAdd, in.view(), 1.0f, 1.0f),
+               InvalidArgument);
+}
+
+TEST(Crop, ExtractsWindowExactly) {
+  Matrix<i8> in(4, 5);
+  for (usize i = 0; i < in.elems(); ++i) {
+    in.span()[i] = static_cast<i8>(i);
+  }
+  Matrix<i8> out(2, 2);
+  crop(in.view(), 1.0f, {1, 2, {2, 2}}, 1.0f, out.view());
+  EXPECT_EQ(out(0, 0), 7);
+  EXPECT_EQ(out(1, 1), 13);
+}
+
+TEST(Ext, ZeroPadsBottomRight) {
+  Matrix<i8> in(Shape2D{2, 2}, i8{9});
+  Matrix<i8> out(4, 3);
+  ext(in.view(), 1.0f, 1.0f, out.view());
+  EXPECT_EQ(out(0, 0), 9);
+  EXPECT_EQ(out(1, 1), 9);
+  EXPECT_EQ(out(0, 2), 0);
+  EXPECT_EQ(out(3, 0), 0);
+}
+
+TEST(CropExt, RescaleBetweenScales) {
+  Matrix<i8> in(1, 1);
+  in(0, 0) = 100;  // raw 50 at scale 2
+  Matrix<i8> out(1, 1);
+  crop(in.view(), 2.0f, {0, 0, {1, 1}}, 1.0f, out.view());
+  EXPECT_EQ(out(0, 0), 50);
+}
+
+}  // namespace
+}  // namespace gptpu::sim::kernels

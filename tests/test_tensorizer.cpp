@@ -1,0 +1,271 @@
+// Tensorizer lowering tests: the §6.2.1 rewriting rules must tile every
+// operator class onto its optimal shapes, partition the output exactly
+// once, respect the on-chip memory budget, and pick §6.2.2 scales.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hpp"
+#include "runtime/tensorizer.hpp"
+
+namespace gptpu::runtime {
+namespace {
+
+using isa::Opcode;
+
+struct Buffers {
+  Matrix<float> a;
+  Matrix<float> b;
+  Matrix<float> out;
+  std::unique_ptr<TensorBuffer> ba, bb, bout;
+
+  Buffers(Shape2D sa, Shape2D sb, Shape2D so, u64 seed = 1)
+      : a(sa), b(sb.elems() > 0 ? sb : Shape2D{1, 1}), out(so) {
+    Rng rng(seed);
+    fill_uniform(a, rng, -10, 10);
+    fill_uniform(b, rng, -10, 10);
+    ba = std::make_unique<TensorBuffer>(sa, a.data());
+    if (sb.elems() > 0) bb = std::make_unique<TensorBuffer>(sb, b.data());
+    bout = std::make_unique<TensorBuffer>(so, out.data());
+  }
+
+  OperationRequest request(Opcode op) {
+    OperationRequest req;
+    req.op = op;
+    req.in0 = ba.get();
+    req.in1 = bb.get();
+    req.out = bout.get();
+    return req;
+  }
+};
+
+/// Checks that the plans' output regions tile the full output exactly once.
+void expect_exact_output_cover(const LoweredOperation& lowered,
+                               Shape2D out_shape) {
+  std::vector<int> cover(out_shape.elems(), 0);
+  for (const auto& p : lowered.plans) {
+    for (usize r = 0; r < p.out_shape.rows; ++r) {
+      for (usize c = 0; c < p.out_shape.cols; ++c) {
+        const usize rr = p.out_row0 + r;
+        const usize cc = p.out_col0 + c;
+        ASSERT_LT(rr, out_shape.rows);
+        ASSERT_LT(cc, out_shape.cols);
+        ++cover[rr * out_shape.cols + cc];
+      }
+    }
+  }
+  const bool accumulating = lowered.plans.front().combine ==
+                            HostCombine::kAccumulate;
+  for (const int c : cover) {
+    if (accumulating) {
+      EXPECT_GE(c, 1);  // inner-dimension chunks revisit regions
+    } else {
+      EXPECT_EQ(c, 1);
+    }
+  }
+}
+
+TEST(TensorizerPairwise, TilesAt128AndCoversOutput) {
+  Buffers b({300, 200}, {300, 200}, {300, 200});
+  Tensorizer t;
+  const auto lowered = t.lower(b.request(Opcode::kAdd));
+  // ceil(300/128) * ceil(200/128) = 3 * 2.
+  EXPECT_EQ(lowered.plans.size(), 6u);
+  expect_exact_output_cover(lowered, {300, 200});
+  // Both operands share one joint scale so the int8 grids align.
+  for (const auto& p : lowered.plans) {
+    EXPECT_FLOAT_EQ(p.in0.scale, p.in1.scale);
+    EXPECT_TRUE(p.in1.as_model);
+    EXPECT_FALSE(p.in0.as_model);
+  }
+}
+
+TEST(TensorizerElementwise, SingleOperandTiles) {
+  Buffers b({128, 129}, {0, 0}, {128, 129});
+  Tensorizer t;
+  const auto lowered = t.lower(b.request(Opcode::kReLu));
+  EXPECT_EQ(lowered.plans.size(), 2u);
+  expect_exact_output_cover(lowered, {128, 129});
+}
+
+TEST(TensorizerMatrixwise, Uses64TilesAndWeightedPartials) {
+  Buffers b({130, 64}, {0, 0}, {1, 1});
+  Tensorizer t;
+  const auto lowered = t.lower(b.request(Opcode::kMean));
+  EXPECT_EQ(lowered.plans.size(), 3u);  // 64+64+2 rows
+  double weight = 0;
+  for (const auto& p : lowered.plans) {
+    EXPECT_EQ(p.combine, HostCombine::kMeanPartial);
+    weight += p.combine_weight;
+  }
+  EXPECT_NEAR(weight, 1.0, 1e-9);
+}
+
+TEST(TensorizerFullyConnected, BlocksAndAccumulates) {
+  // A wide weight matrix (20000 x 2048) exceeds any single model chunk,
+  // so the reduction splits and partial products accumulate on the CPU.
+  Buffers b({8, 20000}, {20000, 2048}, {8, 2048});
+  Tensorizer t;
+  const auto lowered = t.lower(b.request(Opcode::kFullyConnected));
+  EXPECT_TRUE(lowered.zero_output_first);
+  EXPECT_GT(lowered.plans.size(), 1u);  // the inner dimension splits
+  expect_exact_output_cover(lowered, {8, 2048});
+  for (const auto& p : lowered.plans) {
+    EXPECT_EQ(p.combine, HostCombine::kAccumulate);
+    EXPECT_TRUE(p.in1.as_model);
+    EXPECT_TRUE(p.wide_output);  // exact_arithmetic default
+  }
+}
+
+TEST(TensorizerFullyConnected, InnerChunksPartitionTheReduction) {
+  Buffers b({4, 5000}, {5000, 8}, {4, 8});
+  Tensorizer t;
+  const auto lowered = t.lower(b.request(Opcode::kFullyConnected));
+  // The in0 column ranges of one output tile must partition [0, 5000).
+  std::set<usize> starts;
+  usize covered = 0;
+  for (const auto& p : lowered.plans) {
+    if (p.out_row0 == 0 && p.out_col0 == 0) {
+      EXPECT_TRUE(starts.insert(p.in0.col0).second);
+      covered += p.in0.shape.cols;
+      // in1 rows must align with in0 columns.
+      EXPECT_EQ(p.in1.row0, p.in0.col0);
+      EXPECT_EQ(p.in1.shape.rows, p.in0.shape.cols);
+    }
+  }
+  EXPECT_EQ(covered, 5000u);
+}
+
+TEST(TensorizerConv2D, RowChunksAlignWithStride) {
+  Buffers b({4096, 64}, {64 * 64, 64}, {64, 64});  // 64 blocks, 64 kernels
+  OperationRequest req = b.request(Opcode::kConv2D);
+  req.stride = {64, 64};
+  req.kernel_bank = 64;
+  Tensorizer t;
+  const auto lowered = t.lower(req);
+  expect_exact_output_cover(lowered, {64, 64});
+  for (const auto& p : lowered.plans) {
+    // Input chunks begin at stride boundaries.
+    EXPECT_EQ(p.in0.row0 % 64, 0u);
+    // Kernel-bank slices begin at kernel boundaries.
+    EXPECT_EQ(p.in1.row0 % 64, 0u);
+    EXPECT_EQ(static_cast<usize>(p.kernel_bank) * 64, p.in1.shape.rows);
+  }
+}
+
+TEST(TensorizerConv2D, LargeInputsSplitToFitMemory) {
+  // 16 MB input cannot sit in 8 MB of device memory.
+  Buffers b({4096, 4096}, {3, 3}, {4094, 4094});
+  OperationRequest req = b.request(Opcode::kConv2D);
+  Tensorizer t;
+  const auto lowered = t.lower(req);
+  EXPECT_GT(lowered.plans.size(), 1u);
+  expect_exact_output_cover(lowered, {4094, 4094});
+  const usize budget = static_cast<usize>(
+      t.config().device_memory_bytes * t.config().working_set_fraction);
+  for (const auto& p : lowered.plans) {
+    const usize out_bytes =
+        p.out_shape.elems() * (p.wide_output ? 4 : 1);
+    EXPECT_LE(p.in0.bytes() + p.in1.bytes() + out_bytes,
+              t.config().device_memory_bytes);
+    EXPECT_LE(p.in0.bytes(), budget);
+  }
+}
+
+TEST(TensorizerLayout, CropBandsCoverTheWindow) {
+  Buffers b({500, 400}, {0, 0}, {123, 77});
+  OperationRequest req = b.request(Opcode::kCrop);
+  req.window = {10, 20, {123, 77}};
+  Tensorizer t;
+  const auto lowered = t.lower(req);
+  expect_exact_output_cover(lowered, {123, 77});
+  for (const auto& p : lowered.plans) {
+    EXPECT_EQ(p.window.col0, 20u);  // column crop happens on-device
+  }
+}
+
+TEST(TensorizerLayout, ExtPadsToTarget) {
+  Buffers b({100, 100}, {0, 0}, {150, 140});
+  OperationRequest req = b.request(Opcode::kExt);
+  req.pad_target = {150, 140};
+  Tensorizer t;
+  const auto lowered = t.lower(req);
+  EXPECT_TRUE(lowered.zero_output_first);  // bottom rows are host zeros
+  usize covered_rows = 0;
+  for (const auto& p : lowered.plans) {
+    EXPECT_EQ(p.out_shape.cols, 140u);
+    covered_rows += p.out_shape.rows;
+  }
+  EXPECT_EQ(covered_rows, 100u);  // plans cover the input-backed rows only
+}
+
+TEST(TensorizerQuant, IdentityMethodUsesUnitScales) {
+  Buffers b({64, 64}, {64, 64}, {64, 64});
+  OperationRequest req = b.request(Opcode::kMul);
+  req.quant = isa::QuantMethod::kIdentity;
+  Tensorizer t;
+  const auto lowered = t.lower(req);
+  for (const auto& p : lowered.plans) {
+    EXPECT_FLOAT_EQ(p.in0.scale, 1.0f);
+    EXPECT_FLOAT_EQ(p.out_scale, 1.0f);
+  }
+}
+
+TEST(TensorizerQuant, NonExactArithmeticGetsRequantScale) {
+  Buffers b({32, 32}, {32, 32}, {32, 32});
+  OperationRequest req = b.request(Opcode::kFullyConnected);
+  req.exact_arithmetic = false;
+  Tensorizer t;
+  const auto lowered = t.lower(req);
+  for (const auto& p : lowered.plans) {
+    EXPECT_FALSE(p.wide_output);
+    EXPECT_GT(p.out_scale, 0.0f);
+    EXPECT_NE(p.out_scale, 1.0f);
+  }
+}
+
+TEST(TensorizerErrors, RejectsInconsistentRequests) {
+  Tensorizer t;
+  {
+    Buffers b({4, 4}, {5, 5}, {4, 4});
+    EXPECT_THROW((void)t.lower(b.request(Opcode::kAdd)), InvalidArgument);
+  }
+  {
+    Buffers b({4, 4}, {4, 4}, {9, 9});
+    EXPECT_THROW((void)t.lower(b.request(Opcode::kFullyConnected)),
+                 InvalidArgument);
+  }
+  {
+    Buffers b({4, 4}, {0, 0}, {4, 4});
+    OperationRequest req = b.request(Opcode::kMul);  // in1 missing
+    EXPECT_THROW((void)t.lower(req), InvalidArgument);
+  }
+  {
+    Buffers b({64, 64}, {0, 0}, {2, 2});
+    EXPECT_THROW((void)t.lower(b.request(Opcode::kMean)), InvalidArgument);
+  }
+}
+
+TEST(TensorizerConfig, ValidatesParameters) {
+  Tensorizer::Config bad;
+  bad.working_set_fraction = 0.0;
+  EXPECT_THROW(Tensorizer{bad}, InvalidArgument);
+  bad = {};
+  bad.pairwise_tile = 0;
+  EXPECT_THROW(Tensorizer{bad}, InvalidArgument);
+}
+
+TEST(TensorizerNaive, WholeBandLoweringEmitsFewerPlans) {
+  Tensorizer::Config naive;
+  naive.use_optimal_tiling = false;
+  Tensorizer t_naive{naive};
+  Tensorizer t_opt;
+  Buffers b({1024, 1024}, {1024, 1024}, {1024, 1024});
+  const auto opt = t_opt.lower(b.request(Opcode::kAdd));
+  const auto nv = t_naive.lower(b.request(Opcode::kAdd));
+  EXPECT_LT(nv.plans.size(), opt.plans.size());
+  expect_exact_output_cover(nv, {1024, 1024});
+}
+
+}  // namespace
+}  // namespace gptpu::runtime

@@ -1,0 +1,36 @@
+// characterize -- the §3.3 reverse-engineering methodology as a tool.
+//
+// The paper recovered the Edge TPU model format "by creating models with
+// different inputs, dimensions, and value ranges" and diffing the results.
+// This tool runs that exact black-box procedure against the model compiler
+// (isa::build_model) and reports what it discovers, without consulting the
+// format's definition:
+//   (1) the fixed general-header size,
+//   (2) the header field holding the data-section size,
+//   (3) that the data section is row-major int8 scaled by a factor,
+//   (4) the metadata location of the scaling factor,
+//   (5) little-endian encoding.
+// A regression test (test_characterize) asserts the discovered layout
+// matches the documented one.
+#include <cstdio>
+
+#include "tools/characterize_lib.hpp"
+
+int main() {
+  const gptpu::tools::FormatFindings f = gptpu::tools::characterize_model_format();
+  std::printf("Black-box characterization of the model wire format (§3.3)\n");
+  std::printf("  header bytes              : %zu (paper: 120)\n",
+              f.header_bytes);
+  std::printf("  data-size field offset    : %zu (last 4 header bytes)\n",
+              f.size_field_offset);
+  std::printf("  size field little-endian  : %s\n",
+              f.size_field_little_endian ? "yes" : "no");
+  std::printf("  data section row-major    : %s\n",
+              f.data_row_major ? "yes" : "no");
+  std::printf("  data encodes raw * scale  : %s\n",
+              f.data_scaled_int8 ? "yes" : "no");
+  std::printf("  scale offset in metadata  : %zu (float32 LE)\n",
+              f.scale_metadata_offset);
+  std::printf("  metadata bytes            : %zu\n", f.metadata_bytes);
+  return f.consistent() ? 0 : 1;
+}

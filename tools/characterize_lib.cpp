@@ -1,0 +1,114 @@
+#include "tools/characterize_lib.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "isa/model_format.hpp"
+
+namespace gptpu::tools {
+
+namespace {
+
+/// The "unknown compiler" under study. Everything below treats its output
+/// as opaque bytes.
+std::vector<u8> compile(const Matrix<float>& data, float scale) {
+  return isa::build_model(data.view(), scale, {1, 1});
+}
+
+Matrix<float> constant_matrix(Shape2D shape, float v) {
+  return Matrix<float>(shape, v);
+}
+
+u32 read_le32(const std::vector<u8>& blob, usize at) {
+  return static_cast<u32>(blob[at]) | static_cast<u32>(blob[at + 1]) << 8 |
+         static_cast<u32>(blob[at + 2]) << 16 |
+         static_cast<u32>(blob[at + 3]) << 24;
+}
+
+}  // namespace
+
+FormatFindings characterize_model_format() {
+  FormatFindings f;
+
+  // (1) Header size: two models with identical dimensions but different
+  // values differ only after the header (values live in the data section,
+  // which begins where the first difference appears).
+  const auto a = compile(constant_matrix({8, 8}, 1.0f), 1.0f);
+  const auto b = compile(constant_matrix({8, 8}, 2.0f), 1.0f);
+  usize first_diff = 0;
+  while (first_diff < a.size() && a[first_diff] == b[first_diff]) {
+    ++first_diff;
+  }
+  f.header_bytes = first_diff;
+
+  // (2) Size field: grow the matrix and look for a 32-bit header word that
+  // tracks the data-element count across several sizes.
+  const usize probe_sides[] = {8, 16, 32, 48};
+  for (usize off = 0; off + 4 <= f.header_bytes; ++off) {
+    bool tracks = true;
+    for (const usize side : probe_sides) {
+      const auto m = compile(constant_matrix({side, side}, 1.0f), 1.0f);
+      if (read_le32(m, off) != side * side) {
+        tracks = false;
+        break;
+      }
+    }
+    if (tracks) {
+      f.size_field_offset = off;
+      f.size_field_little_endian = true;  // read_le32 matched at each size
+      break;
+    }
+  }
+
+  // (3) Row-major int8 data scaled by the factor: set one element, find
+  // its byte, and check the address arithmetic.
+  {
+    Matrix<float> probe(Shape2D{6, 10}, 0.0f);
+    probe(2, 3) = 40.0f;
+    const float scale = 2.0f;
+    const auto m = compile(probe, scale);
+    const usize expect = f.header_bytes + 2 * 10 + 3;
+    f.data_row_major =
+        expect < m.size() &&
+        static_cast<i8>(m[expect]) != 0;
+    f.data_scaled_int8 =
+        f.data_row_major &&
+        static_cast<i8>(m[expect]) ==
+            static_cast<i8>(std::lround(40.0f * scale));
+    // Every other data byte stays zero.
+    for (usize i = 0; i < 60 && f.data_row_major; ++i) {
+      if (i != 2 * 10 + 3 && m[f.header_bytes + i] != 0) {
+        f.data_row_major = false;
+      }
+    }
+  }
+
+  // (4) Scaling factor in the metadata: recompile the same data with two
+  // scales and find the trailing 4 bytes that decode (little endian) to
+  // exactly those floats.
+  {
+    const Matrix<float> data = constant_matrix({8, 8}, 3.0f);
+    const auto m1 = compile(data, 1.5f);
+    const auto m2 = compile(data, 2.5f);
+    const usize meta_start = f.header_bytes + 8 * 8;
+    f.metadata_bytes = m1.size() - meta_start;
+    for (usize off = meta_start; off + 4 <= m1.size(); ++off) {
+      float v1;
+      float v2;
+      const u32 b1 = read_le32(m1, off);
+      const u32 b2 = read_le32(m2, off);
+      std::memcpy(&v1, &b1, 4);
+      std::memcpy(&v2, &b2, 4);
+      if (v1 == 1.5f && v2 == 2.5f) {
+        f.scale_metadata_offset = off - meta_start;
+        break;
+      }
+    }
+  }
+
+  return f;
+}
+
+}  // namespace gptpu::tools

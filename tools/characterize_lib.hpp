@@ -1,0 +1,29 @@
+// Black-box probing of the model wire format (§3.3), separated from the
+// CLI so tests can assert the discovered layout.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace gptpu::tools {
+
+struct FormatFindings {
+  usize header_bytes = 0;
+  usize size_field_offset = 0;
+  bool size_field_little_endian = false;
+  bool data_row_major = false;
+  bool data_scaled_int8 = false;
+  usize scale_metadata_offset = 0;  // relative to the metadata section
+  usize metadata_bytes = 0;
+
+  [[nodiscard]] bool consistent() const {
+    return header_bytes > 0 && size_field_little_endian && data_row_major &&
+           data_scaled_int8;
+  }
+};
+
+/// Runs the §3.3 procedure: build models over varying inputs, dimensions
+/// and value ranges; diff the blobs; infer the layout. Never reads the
+/// format's constants -- only compiler outputs.
+[[nodiscard]] FormatFindings characterize_model_format();
+
+}  // namespace gptpu::tools

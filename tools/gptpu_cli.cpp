@@ -1,0 +1,191 @@
+// gptpu -- command-line driver for the GPTPU-Sim stack.
+//
+// Subcommands:
+//   apps                      list the seven GPTPU applications
+//   run <app> [--devices=N]   modelled run at paper scale + accuracy check
+//   trace <app> [--devices=N] [--out=FILE]
+//                             export the modelled timeline as a Chrome
+//                             trace (chrome://tracing / Perfetto)
+//   profiles <app>            compare Edge-PCIe / Edge-USB / Cloud-TPU
+//   info                      print the calibrated machine model
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "apps/app_common.hpp"
+#include "isa/opcode.hpp"
+#include "perfmodel/machine_constants.hpp"
+#include "runtime/trace_export.hpp"
+#include "sim/device_profile.hpp"
+
+namespace {
+
+using namespace gptpu;
+
+usize flag_value(int argc, char** argv, const char* name, usize fallback) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 0; i < argc; ++i) {
+    if (std::string(argv[i]).rfind(prefix, 0) == 0) {
+      return static_cast<usize>(std::atoi(argv[i] + prefix.size()));
+    }
+  }
+  return fallback;
+}
+
+std::string flag_string(int argc, char** argv, const char* name,
+                        std::string fallback) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 0; i < argc; ++i) {
+    if (std::string(argv[i]).rfind(prefix, 0) == 0) {
+      return std::string(argv[i] + prefix.size());
+    }
+  }
+  return fallback;
+}
+
+int cmd_apps() {
+  std::printf("application    paper workload (Table 3)\n");
+  std::printf("%-14s 1x8Kx8K weight matrix, plain-vanilla training\n",
+              "Backprop");
+  std::printf("%-14s option pricing, polynomial CNDF via FullyConnected\n",
+              "BlackScholes");
+  std::printf("%-14s 4Kx4K linear system, blocked elimination\n", "Gaussian");
+  std::printf("%-14s 16Kx16K matrix multiply via strided conv2D\n", "GEMM");
+  std::printf("%-14s 8 layers of 8Kx8K thermal stencil\n", "HotSpot3D");
+  std::printf("%-14s 4Kx4K LU factorization\n", "LUD");
+  std::printf("%-14s power-method ranking, resident adjacency model\n",
+              "PageRank");
+  return 0;
+}
+
+int cmd_run(const apps::AppInfo& app, int argc, char** argv) {
+  const usize devices = flag_value(argc, argv, "devices", 1);
+  std::printf("%s on %zu simulated Edge TPU(s)\n", std::string(app.name).c_str(),
+              devices);
+  const Seconds cpu = app.cpu_time(1);
+  const apps::TimedResult r = app.gptpu_timed(devices);
+  std::printf("  modelled CPU baseline (1 core) : %10.3f s\n", cpu);
+  std::printf("  modelled GPTPU latency         : %10.3f s  (%.2fx)\n",
+              r.seconds, cpu / r.seconds);
+  std::printf("  modelled GPTPU energy          : %10.3f J total "
+              "(%.3f J active)\n",
+              r.energy.total_energy(), r.energy.active_energy());
+  const apps::Accuracy acc = app.accuracy(42, 0);
+  std::printf("  accuracy vs CPU reference      : MAPE %.3f%%  RMSE %.3f%%\n",
+              acc.mape * 100, acc.rmse * 100);
+  return 0;
+}
+
+int cmd_trace(const apps::AppInfo& app, int argc, char** argv) {
+  const usize devices = flag_value(argc, argv, "devices", 1);
+  const std::string out =
+      flag_string(argc, argv, "out", "gptpu_trace.json");
+  runtime::RuntimeConfig cfg;
+  cfg.functional = false;
+  cfg.num_devices = devices;
+  runtime::Runtime rt{cfg};
+  runtime::enable_tracing(rt);
+  app.run_paper_scale(rt);
+  if (!runtime::export_chrome_trace_file(rt, out)) {
+    std::printf("error: cannot write %s\n", out.c_str());
+    return 1;
+  }
+  std::printf("wrote %s (open in chrome://tracing); makespan %.3f ms\n",
+              out.c_str(), rt.makespan() * 1e3);
+  return 0;
+}
+
+int cmd_profiles(const apps::AppInfo& app) {
+  std::printf("%s across device profiles (modelled, 1 device)\n",
+              std::string(app.name).c_str());
+  for (const sim::DeviceProfile* p :
+       {&sim::kEdgeTpuPcie, &sim::kEdgeTpuUsb, &sim::kCloudTpu}) {
+    runtime::RuntimeConfig cfg;
+    cfg.functional = false;
+    cfg.profile = *p;
+    runtime::Runtime rt{cfg};
+    app.run_paper_scale(rt);
+    std::printf("  %-14.*s %10.3f s   active energy %8.3f J\n",
+                static_cast<int>(p->name.size()), p->name.data(),
+                rt.makespan(), rt.energy().active_energy());
+  }
+  std::printf("  (modelled 1-core CPU baseline: %.3f s)\n", app.cpu_time(1));
+  return 0;
+}
+
+int cmd_ops() {
+  std::printf("Edge TPU operator/instruction set (Table 1)\n");
+  std::printf("  %-16s %-12s %12s %16s\n", "operator", "class", "OPS",
+              "RPS");
+  for (const isa::Opcode op : isa::kAllOpcodes) {
+    const auto t = perfmodel::table1(op);
+    const char* cls = "";
+    switch (isa::op_class(op)) {
+      case isa::OpClass::kArithmetic: cls = "arithmetic"; break;
+      case isa::OpClass::kPairwise: cls = "pair-wise"; break;
+      case isa::OpClass::kElementwise: cls = "element-wise"; break;
+      case isa::OpClass::kMatrixwise: cls = "matrix-wise"; break;
+      case isa::OpClass::kLayout: cls = "layout"; break;
+    }
+    std::printf("  %-16s %-12s %12.2f %16.2f\n",
+                std::string(isa::name(op)).c_str(), cls, t.ops, t.rps);
+  }
+  std::printf("\n  optimal tiles: 128x128 (64x64 for matrix-wise), §6.2.1\n");
+  return 0;
+}
+
+int cmd_info() {
+  using namespace perfmodel;
+  std::printf("GPTPU-Sim machine model (see machine_constants.hpp)\n");
+  std::printf("  Edge TPU memory        : %zu MB\n",
+              kEdgeTpuMemoryBytes >> 20);
+  std::printf("  conv2D MAC rate        : %.1f GMAC/s\n",
+              kConv2DMacsPerSec / 1e9);
+  std::printf("  FullyConnected rate    : %.1f GMAC/s\n",
+              kFullyConnectedMacsPerSec / 1e9);
+  std::printf("  link                   : %.2f ms/MB + %.0f us\n",
+              kLinkSecondsPerByte * (1 << 20) * 1e3,
+              kLinkFixedSeconds * 1e6);
+  std::printf("  Tensorizer model rate  : %.2f Gelem/s (1.8 ms / 2Kx2K)\n",
+              kTensorizerElemsPerSec / 1e9);
+  std::printf("  CPU: BLAS %.0f / vector %.0f / scalar %.1f GFLOP/s\n",
+              kCpuBlasFlopsPerSec / 1e9, kCpuVectorFlopsPerSec / 1e9,
+              kCpuScalarFlopsPerSec / 1e9);
+  std::printf("  power: idle %.0f W, Edge TPU %.2f W, CPU core %.0f W\n",
+              kSystemIdleWatts, kEdgeTpuActiveWatts, kCpuCoreActiveWatts);
+  return 0;
+}
+
+int usage() {
+  std::printf(
+      "usage: gptpu <command>\n"
+      "  apps                      list applications\n"
+      "  ops                       list the Edge TPU instruction set\n"
+      "  run <app> [--devices=N]   modelled run + accuracy\n"
+      "  trace <app> [--out=FILE]  Chrome-trace export\n"
+      "  profiles <app>            Edge-PCIe vs Edge-USB vs Cloud-TPU\n"
+      "  info                      calibrated machine model\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "apps") return cmd_apps();
+    if (cmd == "ops") return cmd_ops();
+    if (cmd == "info") return cmd_info();
+    if ((cmd == "run" || cmd == "trace" || cmd == "profiles") && argc >= 3) {
+      const apps::AppInfo& app = apps::app_by_name(argv[2]);
+      if (cmd == "run") return cmd_run(app, argc, argv);
+      if (cmd == "trace") return cmd_trace(app, argc, argv);
+      return cmd_profiles(app);
+    }
+  } catch (const gptpu::Error& e) {
+    std::printf("error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
