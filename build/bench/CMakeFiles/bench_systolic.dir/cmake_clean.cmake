@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_systolic.dir/bench_systolic.cpp.o"
+  "CMakeFiles/bench_systolic.dir/bench_systolic.cpp.o.d"
+  "bench_systolic"
+  "bench_systolic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_systolic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table6.cpp" "bench/CMakeFiles/bench_table6.dir/bench_table6.cpp.o" "gcc" "bench/CMakeFiles/bench_table6.dir/bench_table6.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/gptpu_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/ops/CMakeFiles/gptpu_ops.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/gptpu_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/openctpu/CMakeFiles/gptpu_openctpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gptpu_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/quant/CMakeFiles/gptpu_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/gptpu_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfmodel/CMakeFiles/gptpu_perfmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gptpu_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

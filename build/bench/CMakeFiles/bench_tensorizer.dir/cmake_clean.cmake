@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tensorizer.dir/bench_tensorizer.cpp.o"
+  "CMakeFiles/bench_tensorizer.dir/bench_tensorizer.cpp.o.d"
+  "bench_tensorizer"
+  "bench_tensorizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tensorizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_tpu.dir/multi_tpu.cpp.o"
+  "CMakeFiles/multi_tpu.dir/multi_tpu.cpp.o.d"
+  "multi_tpu"
+  "multi_tpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_tpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/app_registry.cpp" "src/apps/CMakeFiles/gptpu_apps.dir/app_registry.cpp.o" "gcc" "src/apps/CMakeFiles/gptpu_apps.dir/app_registry.cpp.o.d"
+  "/root/repo/src/apps/backprop_app.cpp" "src/apps/CMakeFiles/gptpu_apps.dir/backprop_app.cpp.o" "gcc" "src/apps/CMakeFiles/gptpu_apps.dir/backprop_app.cpp.o.d"
+  "/root/repo/src/apps/blackscholes_app.cpp" "src/apps/CMakeFiles/gptpu_apps.dir/blackscholes_app.cpp.o" "gcc" "src/apps/CMakeFiles/gptpu_apps.dir/blackscholes_app.cpp.o.d"
+  "/root/repo/src/apps/gaussian_app.cpp" "src/apps/CMakeFiles/gptpu_apps.dir/gaussian_app.cpp.o" "gcc" "src/apps/CMakeFiles/gptpu_apps.dir/gaussian_app.cpp.o.d"
+  "/root/repo/src/apps/gemm_app.cpp" "src/apps/CMakeFiles/gptpu_apps.dir/gemm_app.cpp.o" "gcc" "src/apps/CMakeFiles/gptpu_apps.dir/gemm_app.cpp.o.d"
+  "/root/repo/src/apps/hotspot_app.cpp" "src/apps/CMakeFiles/gptpu_apps.dir/hotspot_app.cpp.o" "gcc" "src/apps/CMakeFiles/gptpu_apps.dir/hotspot_app.cpp.o.d"
+  "/root/repo/src/apps/lud_app.cpp" "src/apps/CMakeFiles/gptpu_apps.dir/lud_app.cpp.o" "gcc" "src/apps/CMakeFiles/gptpu_apps.dir/lud_app.cpp.o.d"
+  "/root/repo/src/apps/pagerank_app.cpp" "src/apps/CMakeFiles/gptpu_apps.dir/pagerank_app.cpp.o" "gcc" "src/apps/CMakeFiles/gptpu_apps.dir/pagerank_app.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ops/CMakeFiles/gptpu_ops.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/gptpu_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfmodel/CMakeFiles/gptpu_perfmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/quant/CMakeFiles/gptpu_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gptpu_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/gptpu_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gptpu_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gptpu_apps.dir/app_registry.cpp.o"
+  "CMakeFiles/gptpu_apps.dir/app_registry.cpp.o.d"
+  "CMakeFiles/gptpu_apps.dir/backprop_app.cpp.o"
+  "CMakeFiles/gptpu_apps.dir/backprop_app.cpp.o.d"
+  "CMakeFiles/gptpu_apps.dir/blackscholes_app.cpp.o"
+  "CMakeFiles/gptpu_apps.dir/blackscholes_app.cpp.o.d"
+  "CMakeFiles/gptpu_apps.dir/gaussian_app.cpp.o"
+  "CMakeFiles/gptpu_apps.dir/gaussian_app.cpp.o.d"
+  "CMakeFiles/gptpu_apps.dir/gemm_app.cpp.o"
+  "CMakeFiles/gptpu_apps.dir/gemm_app.cpp.o.d"
+  "CMakeFiles/gptpu_apps.dir/hotspot_app.cpp.o"
+  "CMakeFiles/gptpu_apps.dir/hotspot_app.cpp.o.d"
+  "CMakeFiles/gptpu_apps.dir/lud_app.cpp.o"
+  "CMakeFiles/gptpu_apps.dir/lud_app.cpp.o.d"
+  "CMakeFiles/gptpu_apps.dir/pagerank_app.cpp.o"
+  "CMakeFiles/gptpu_apps.dir/pagerank_app.cpp.o.d"
+  "libgptpu_apps.a"
+  "libgptpu_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gptpu_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gptpu_common.dir/csr.cpp.o"
+  "CMakeFiles/gptpu_common.dir/csr.cpp.o.d"
+  "CMakeFiles/gptpu_common.dir/stats.cpp.o"
+  "CMakeFiles/gptpu_common.dir/stats.cpp.o.d"
+  "CMakeFiles/gptpu_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/gptpu_common.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/gptpu_common.dir/timeline.cpp.o"
+  "CMakeFiles/gptpu_common.dir/timeline.cpp.o.d"
+  "CMakeFiles/gptpu_common.dir/types.cpp.o"
+  "CMakeFiles/gptpu_common.dir/types.cpp.o.d"
+  "libgptpu_common.a"
+  "libgptpu_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gptpu_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

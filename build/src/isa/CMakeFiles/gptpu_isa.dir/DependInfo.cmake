@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/isa/instruction.cpp" "src/isa/CMakeFiles/gptpu_isa.dir/instruction.cpp.o" "gcc" "src/isa/CMakeFiles/gptpu_isa.dir/instruction.cpp.o.d"
+  "/root/repo/src/isa/model_format.cpp" "src/isa/CMakeFiles/gptpu_isa.dir/model_format.cpp.o" "gcc" "src/isa/CMakeFiles/gptpu_isa.dir/model_format.cpp.o.d"
+  "/root/repo/src/isa/reference_compiler.cpp" "src/isa/CMakeFiles/gptpu_isa.dir/reference_compiler.cpp.o" "gcc" "src/isa/CMakeFiles/gptpu_isa.dir/reference_compiler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gptpu_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

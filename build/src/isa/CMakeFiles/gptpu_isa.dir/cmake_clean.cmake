@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gptpu_isa.dir/instruction.cpp.o"
+  "CMakeFiles/gptpu_isa.dir/instruction.cpp.o.d"
+  "CMakeFiles/gptpu_isa.dir/model_format.cpp.o"
+  "CMakeFiles/gptpu_isa.dir/model_format.cpp.o.d"
+  "CMakeFiles/gptpu_isa.dir/reference_compiler.cpp.o"
+  "CMakeFiles/gptpu_isa.dir/reference_compiler.cpp.o.d"
+  "libgptpu_isa.a"
+  "libgptpu_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gptpu_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gptpu_openctpu.dir/gptpu.cpp.o"
+  "CMakeFiles/gptpu_openctpu.dir/gptpu.cpp.o.d"
+  "CMakeFiles/gptpu_openctpu.dir/tensor.cpp.o"
+  "CMakeFiles/gptpu_openctpu.dir/tensor.cpp.o.d"
+  "libgptpu_openctpu.a"
+  "libgptpu_openctpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gptpu_openctpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

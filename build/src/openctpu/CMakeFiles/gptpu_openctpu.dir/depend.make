@@ -1,0 +1,2 @@
+# Empty dependencies file for gptpu_openctpu.
+# This may be replaced when dependencies are built.

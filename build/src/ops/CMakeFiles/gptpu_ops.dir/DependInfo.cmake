@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ops/elementwise.cpp" "src/ops/CMakeFiles/gptpu_ops.dir/elementwise.cpp.o" "gcc" "src/ops/CMakeFiles/gptpu_ops.dir/elementwise.cpp.o.d"
+  "/root/repo/src/ops/tpu_gemm.cpp" "src/ops/CMakeFiles/gptpu_ops.dir/tpu_gemm.cpp.o" "gcc" "src/ops/CMakeFiles/gptpu_ops.dir/tpu_gemm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/gptpu_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/quant/CMakeFiles/gptpu_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gptpu_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfmodel/CMakeFiles/gptpu_perfmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/gptpu_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gptpu_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

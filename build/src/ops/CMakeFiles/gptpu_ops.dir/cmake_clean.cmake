@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gptpu_ops.dir/elementwise.cpp.o"
+  "CMakeFiles/gptpu_ops.dir/elementwise.cpp.o.d"
+  "CMakeFiles/gptpu_ops.dir/tpu_gemm.cpp.o"
+  "CMakeFiles/gptpu_ops.dir/tpu_gemm.cpp.o.d"
+  "libgptpu_ops.a"
+  "libgptpu_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gptpu_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

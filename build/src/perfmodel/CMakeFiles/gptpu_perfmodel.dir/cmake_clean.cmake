@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gptpu_perfmodel.dir/cost_model.cpp.o"
+  "CMakeFiles/gptpu_perfmodel.dir/cost_model.cpp.o.d"
+  "libgptpu_perfmodel.a"
+  "libgptpu_perfmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gptpu_perfmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

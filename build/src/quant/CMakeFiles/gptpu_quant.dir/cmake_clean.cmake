@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gptpu_quant.dir/quantize.cpp.o"
+  "CMakeFiles/gptpu_quant.dir/quantize.cpp.o.d"
+  "libgptpu_quant.a"
+  "libgptpu_quant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gptpu_quant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/buffer.cpp" "src/runtime/CMakeFiles/gptpu_runtime.dir/buffer.cpp.o" "gcc" "src/runtime/CMakeFiles/gptpu_runtime.dir/buffer.cpp.o.d"
+  "/root/repo/src/runtime/runtime.cpp" "src/runtime/CMakeFiles/gptpu_runtime.dir/runtime.cpp.o" "gcc" "src/runtime/CMakeFiles/gptpu_runtime.dir/runtime.cpp.o.d"
+  "/root/repo/src/runtime/scheduler.cpp" "src/runtime/CMakeFiles/gptpu_runtime.dir/scheduler.cpp.o" "gcc" "src/runtime/CMakeFiles/gptpu_runtime.dir/scheduler.cpp.o.d"
+  "/root/repo/src/runtime/tensorizer.cpp" "src/runtime/CMakeFiles/gptpu_runtime.dir/tensorizer.cpp.o" "gcc" "src/runtime/CMakeFiles/gptpu_runtime.dir/tensorizer.cpp.o.d"
+  "/root/repo/src/runtime/trace_export.cpp" "src/runtime/CMakeFiles/gptpu_runtime.dir/trace_export.cpp.o" "gcc" "src/runtime/CMakeFiles/gptpu_runtime.dir/trace_export.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gptpu_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/gptpu_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/quant/CMakeFiles/gptpu_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gptpu_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfmodel/CMakeFiles/gptpu_perfmodel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

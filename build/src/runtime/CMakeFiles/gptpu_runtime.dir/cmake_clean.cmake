@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gptpu_runtime.dir/buffer.cpp.o"
+  "CMakeFiles/gptpu_runtime.dir/buffer.cpp.o.d"
+  "CMakeFiles/gptpu_runtime.dir/runtime.cpp.o"
+  "CMakeFiles/gptpu_runtime.dir/runtime.cpp.o.d"
+  "CMakeFiles/gptpu_runtime.dir/scheduler.cpp.o"
+  "CMakeFiles/gptpu_runtime.dir/scheduler.cpp.o.d"
+  "CMakeFiles/gptpu_runtime.dir/tensorizer.cpp.o"
+  "CMakeFiles/gptpu_runtime.dir/tensorizer.cpp.o.d"
+  "CMakeFiles/gptpu_runtime.dir/trace_export.cpp.o"
+  "CMakeFiles/gptpu_runtime.dir/trace_export.cpp.o.d"
+  "libgptpu_runtime.a"
+  "libgptpu_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gptpu_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

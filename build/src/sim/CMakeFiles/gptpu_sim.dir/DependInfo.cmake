@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/device.cpp" "src/sim/CMakeFiles/gptpu_sim.dir/device.cpp.o" "gcc" "src/sim/CMakeFiles/gptpu_sim.dir/device.cpp.o.d"
+  "/root/repo/src/sim/device_pool.cpp" "src/sim/CMakeFiles/gptpu_sim.dir/device_pool.cpp.o" "gcc" "src/sim/CMakeFiles/gptpu_sim.dir/device_pool.cpp.o.d"
+  "/root/repo/src/sim/kernels.cpp" "src/sim/CMakeFiles/gptpu_sim.dir/kernels.cpp.o" "gcc" "src/sim/CMakeFiles/gptpu_sim.dir/kernels.cpp.o.d"
+  "/root/repo/src/sim/systolic.cpp" "src/sim/CMakeFiles/gptpu_sim.dir/systolic.cpp.o" "gcc" "src/sim/CMakeFiles/gptpu_sim.dir/systolic.cpp.o.d"
+  "/root/repo/src/sim/timing_model.cpp" "src/sim/CMakeFiles/gptpu_sim.dir/timing_model.cpp.o" "gcc" "src/sim/CMakeFiles/gptpu_sim.dir/timing_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gptpu_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/gptpu_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfmodel/CMakeFiles/gptpu_perfmodel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

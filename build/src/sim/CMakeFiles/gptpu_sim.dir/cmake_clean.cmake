@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gptpu_sim.dir/device.cpp.o"
+  "CMakeFiles/gptpu_sim.dir/device.cpp.o.d"
+  "CMakeFiles/gptpu_sim.dir/device_pool.cpp.o"
+  "CMakeFiles/gptpu_sim.dir/device_pool.cpp.o.d"
+  "CMakeFiles/gptpu_sim.dir/kernels.cpp.o"
+  "CMakeFiles/gptpu_sim.dir/kernels.cpp.o.d"
+  "CMakeFiles/gptpu_sim.dir/systolic.cpp.o"
+  "CMakeFiles/gptpu_sim.dir/systolic.cpp.o.d"
+  "CMakeFiles/gptpu_sim.dir/timing_model.cpp.o"
+  "CMakeFiles/gptpu_sim.dir/timing_model.cpp.o.d"
+  "libgptpu_sim.a"
+  "libgptpu_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gptpu_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

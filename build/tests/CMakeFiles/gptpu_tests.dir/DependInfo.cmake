@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_app_invariants.cpp" "tests/CMakeFiles/gptpu_tests.dir/test_app_invariants.cpp.o" "gcc" "tests/CMakeFiles/gptpu_tests.dir/test_app_invariants.cpp.o.d"
+  "/root/repo/tests/test_apps.cpp" "tests/CMakeFiles/gptpu_tests.dir/test_apps.cpp.o" "gcc" "tests/CMakeFiles/gptpu_tests.dir/test_apps.cpp.o.d"
+  "/root/repo/tests/test_characterize.cpp" "tests/CMakeFiles/gptpu_tests.dir/test_characterize.cpp.o" "gcc" "tests/CMakeFiles/gptpu_tests.dir/test_characterize.cpp.o.d"
+  "/root/repo/tests/test_common.cpp" "tests/CMakeFiles/gptpu_tests.dir/test_common.cpp.o" "gcc" "tests/CMakeFiles/gptpu_tests.dir/test_common.cpp.o.d"
+  "/root/repo/tests/test_concurrency.cpp" "tests/CMakeFiles/gptpu_tests.dir/test_concurrency.cpp.o" "gcc" "tests/CMakeFiles/gptpu_tests.dir/test_concurrency.cpp.o.d"
+  "/root/repo/tests/test_device.cpp" "tests/CMakeFiles/gptpu_tests.dir/test_device.cpp.o" "gcc" "tests/CMakeFiles/gptpu_tests.dir/test_device.cpp.o.d"
+  "/root/repo/tests/test_isa.cpp" "tests/CMakeFiles/gptpu_tests.dir/test_isa.cpp.o" "gcc" "tests/CMakeFiles/gptpu_tests.dir/test_isa.cpp.o.d"
+  "/root/repo/tests/test_model_fuzz.cpp" "tests/CMakeFiles/gptpu_tests.dir/test_model_fuzz.cpp.o" "gcc" "tests/CMakeFiles/gptpu_tests.dir/test_model_fuzz.cpp.o.d"
+  "/root/repo/tests/test_openctpu.cpp" "tests/CMakeFiles/gptpu_tests.dir/test_openctpu.cpp.o" "gcc" "tests/CMakeFiles/gptpu_tests.dir/test_openctpu.cpp.o.d"
+  "/root/repo/tests/test_ops.cpp" "tests/CMakeFiles/gptpu_tests.dir/test_ops.cpp.o" "gcc" "tests/CMakeFiles/gptpu_tests.dir/test_ops.cpp.o.d"
+  "/root/repo/tests/test_perfmodel.cpp" "tests/CMakeFiles/gptpu_tests.dir/test_perfmodel.cpp.o" "gcc" "tests/CMakeFiles/gptpu_tests.dir/test_perfmodel.cpp.o.d"
+  "/root/repo/tests/test_profiles_trace.cpp" "tests/CMakeFiles/gptpu_tests.dir/test_profiles_trace.cpp.o" "gcc" "tests/CMakeFiles/gptpu_tests.dir/test_profiles_trace.cpp.o.d"
+  "/root/repo/tests/test_quant.cpp" "tests/CMakeFiles/gptpu_tests.dir/test_quant.cpp.o" "gcc" "tests/CMakeFiles/gptpu_tests.dir/test_quant.cpp.o.d"
+  "/root/repo/tests/test_runtime.cpp" "tests/CMakeFiles/gptpu_tests.dir/test_runtime.cpp.o" "gcc" "tests/CMakeFiles/gptpu_tests.dir/test_runtime.cpp.o.d"
+  "/root/repo/tests/test_runtime_roundtrip.cpp" "tests/CMakeFiles/gptpu_tests.dir/test_runtime_roundtrip.cpp.o" "gcc" "tests/CMakeFiles/gptpu_tests.dir/test_runtime_roundtrip.cpp.o.d"
+  "/root/repo/tests/test_runtime_smoke.cpp" "tests/CMakeFiles/gptpu_tests.dir/test_runtime_smoke.cpp.o" "gcc" "tests/CMakeFiles/gptpu_tests.dir/test_runtime_smoke.cpp.o.d"
+  "/root/repo/tests/test_scheduler.cpp" "tests/CMakeFiles/gptpu_tests.dir/test_scheduler.cpp.o" "gcc" "tests/CMakeFiles/gptpu_tests.dir/test_scheduler.cpp.o.d"
+  "/root/repo/tests/test_sim_kernels.cpp" "tests/CMakeFiles/gptpu_tests.dir/test_sim_kernels.cpp.o" "gcc" "tests/CMakeFiles/gptpu_tests.dir/test_sim_kernels.cpp.o.d"
+  "/root/repo/tests/test_systolic.cpp" "tests/CMakeFiles/gptpu_tests.dir/test_systolic.cpp.o" "gcc" "tests/CMakeFiles/gptpu_tests.dir/test_systolic.cpp.o.d"
+  "/root/repo/tests/test_tensorizer.cpp" "tests/CMakeFiles/gptpu_tests.dir/test_tensorizer.cpp.o" "gcc" "tests/CMakeFiles/gptpu_tests.dir/test_tensorizer.cpp.o.d"
+  "/root/repo/tests/test_timing_model.cpp" "tests/CMakeFiles/gptpu_tests.dir/test_timing_model.cpp.o" "gcc" "tests/CMakeFiles/gptpu_tests.dir/test_timing_model.cpp.o.d"
+  "/root/repo/tests/test_tpu_gemm.cpp" "tests/CMakeFiles/gptpu_tests.dir/test_tpu_gemm.cpp.o" "gcc" "tests/CMakeFiles/gptpu_tests.dir/test_tpu_gemm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/tools/CMakeFiles/gptpu_tools_lib.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/gptpu_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/ops/CMakeFiles/gptpu_ops.dir/DependInfo.cmake"
+  "/root/repo/build/src/openctpu/CMakeFiles/gptpu_openctpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/gptpu_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gptpu_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/quant/CMakeFiles/gptpu_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/gptpu_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gptpu_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfmodel/CMakeFiles/gptpu_perfmodel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

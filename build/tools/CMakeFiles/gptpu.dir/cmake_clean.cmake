@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gptpu.dir/gptpu_cli.cpp.o"
+  "CMakeFiles/gptpu.dir/gptpu_cli.cpp.o.d"
+  "gptpu"
+  "gptpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gptpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

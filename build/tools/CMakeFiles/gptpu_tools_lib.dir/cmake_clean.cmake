@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gptpu_tools_lib.dir/characterize_lib.cpp.o"
+  "CMakeFiles/gptpu_tools_lib.dir/characterize_lib.cpp.o.d"
+  "libgptpu_tools_lib.a"
+  "libgptpu_tools_lib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gptpu_tools_lib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

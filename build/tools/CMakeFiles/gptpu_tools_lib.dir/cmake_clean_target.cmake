@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgptpu_tools_lib.a"
+)
