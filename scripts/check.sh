@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Full analysis gate for the GPTPU runtime: project lint, then the test
+# suite under the plain build and under each sanitizer preset (ASan,
+# UBSan, TSan). This is the single entry point CI should call; a clean
+# exit means every gate in docs/ANALYSIS.md passed.
+#
+# Usage:
+#   scripts/check.sh              # lint + default + asan + ubsan + tsan
+#   scripts/check.sh asan tsan    # just the named presets (lint always runs)
+#   JOBS=4 scripts/check.sh       # cap build parallelism
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-$(nproc)}"
+PRESETS=("$@")
+if [[ ${#PRESETS[@]} -eq 0 ]]; then
+  PRESETS=(default asan ubsan tsan)
+fi
+
+banner() { printf '\n==== %s ====\n' "$*"; }
+
+banner "lint"
+python3 scripts/lint.py
+
+for preset in "${PRESETS[@]}"; do
+  banner "preset: ${preset} (configure)"
+  cmake --preset "${preset}"
+  banner "preset: ${preset} (build)"
+  cmake --build --preset "${preset}" -j "${JOBS}"
+  banner "preset: ${preset} (test)"
+  ctest --preset "${preset}"
+done
+
+banner "all checks passed"

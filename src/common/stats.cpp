@@ -48,6 +48,7 @@ double rmse(std::span<const float> reference, std::span<const float> actual) {
 }
 
 void RunningStats::add(double x) {
+  MutexLock lock(mu_);
   if (n_ == 0) {
     min_ = max_ = x;
   } else {
@@ -58,11 +59,25 @@ void RunningStats::add(double x) {
   ++n_;
 }
 
+usize RunningStats::count() const {
+  MutexLock lock(mu_);
+  return n_;
+}
+
 double RunningStats::mean() const {
+  MutexLock lock(mu_);
   return n_ == 0 ? 0.0 : sum_ / static_cast<double>(n_);
 }
-double RunningStats::min() const { return min_; }
-double RunningStats::max() const { return max_; }
+
+double RunningStats::min() const {
+  MutexLock lock(mu_);
+  return min_;
+}
+
+double RunningStats::max() const {
+  MutexLock lock(mu_);
+  return max_;
+}
 
 double geomean(std::span<const double> values) {
   if (values.empty()) return 0.0;

@@ -3,6 +3,7 @@
 
 #include <span>
 
+#include "common/thread_annotations.hpp"
 #include "common/types.hpp"
 
 namespace gptpu {
@@ -20,20 +21,22 @@ double mape(std::span<const float> reference, std::span<const float> actual);
 /// ~1e-5, could not otherwise be "0.41%").
 double rmse(std::span<const float> reference, std::span<const float> actual);
 
-/// Simple running mean/min/max accumulator.
+/// Simple running mean/min/max accumulator. Thread-safe: benchmark and
+/// stress harnesses feed one accumulator from many worker threads.
 class RunningStats {
  public:
-  void add(double x);
-  [[nodiscard]] usize count() const { return n_; }
-  [[nodiscard]] double mean() const;
-  [[nodiscard]] double min() const;
-  [[nodiscard]] double max() const;
+  void add(double x) GPTPU_EXCLUDES(mu_);
+  [[nodiscard]] usize count() const GPTPU_EXCLUDES(mu_);
+  [[nodiscard]] double mean() const GPTPU_EXCLUDES(mu_);
+  [[nodiscard]] double min() const GPTPU_EXCLUDES(mu_);
+  [[nodiscard]] double max() const GPTPU_EXCLUDES(mu_);
 
  private:
-  usize n_ = 0;
-  double sum_ = 0;
-  double min_ = 0;
-  double max_ = 0;
+  mutable Mutex mu_;
+  usize n_ GPTPU_GUARDED_BY(mu_) = 0;
+  double sum_ GPTPU_GUARDED_BY(mu_) = 0;
+  double min_ GPTPU_GUARDED_BY(mu_) = 0;
+  double max_ GPTPU_GUARDED_BY(mu_) = 0;
 };
 
 /// Geometric mean over a set of strictly positive values (used for speedup

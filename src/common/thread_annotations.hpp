@@ -1,0 +1,149 @@
+// Clang thread-safety-analysis annotations (a.k.a. -Wthread-safety).
+//
+// The OPQ/IQ runtime is a concurrent dataflow system: producer threads
+// enqueue operations while per-device worker threads drain instruction
+// queues. These macros let the compiler prove, at build time, that every
+// access to a mutex-protected member actually holds the right mutex.
+//
+// Under clang the annotations expand to `__attribute__((...))` and the
+// build promotes -Wthread-safety to an error (see the top-level
+// CMakeLists.txt). Under GCC and other compilers they expand to nothing,
+// so annotated code stays portable.
+//
+// The analysis can only follow RAII types that are themselves annotated.
+// libstdc++'s std::mutex / std::lock_guard carry no annotations, so this
+// header also provides drop-in annotated wrappers -- gptpu::Mutex,
+// gptpu::MutexLock and gptpu::CondVar -- that all concurrent code in the
+// project uses instead of the std types (the same approach as
+// absl::Mutex). They compile to the identical std primitives.
+//
+// Conventions used across the codebase (docs/ANALYSIS.md):
+//  * every member a mutex protects is marked GPTPU_GUARDED_BY(mu_);
+//  * private helpers that expect the caller to hold a lock are marked
+//    GPTPU_REQUIRES(mu_);
+//  * public methods that must NOT be called with the lock held (they take
+//    it themselves) are marked GPTPU_EXCLUDES(mu_);
+//  * condition waits are predicate loops around CondVar::wait so the
+//    guarded accesses in the predicate stay inside the analyzed scope.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__) && (!defined(SWIG))
+#define GPTPU_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define GPTPU_THREAD_ANNOTATION(x)  // no-op
+#endif
+
+#define GPTPU_CAPABILITY(x) GPTPU_THREAD_ANNOTATION(capability(x))
+
+#define GPTPU_SCOPED_CAPABILITY GPTPU_THREAD_ANNOTATION(scoped_lockable)
+
+#define GPTPU_GUARDED_BY(x) GPTPU_THREAD_ANNOTATION(guarded_by(x))
+
+#define GPTPU_PT_GUARDED_BY(x) GPTPU_THREAD_ANNOTATION(pt_guarded_by(x))
+
+#define GPTPU_ACQUIRED_BEFORE(...) \
+  GPTPU_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+
+#define GPTPU_ACQUIRED_AFTER(...) \
+  GPTPU_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+#define GPTPU_REQUIRES(...) \
+  GPTPU_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+#define GPTPU_REQUIRES_SHARED(...) \
+  GPTPU_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+#define GPTPU_ACQUIRE(...) \
+  GPTPU_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+#define GPTPU_ACQUIRE_SHARED(...) \
+  GPTPU_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+#define GPTPU_RELEASE(...) \
+  GPTPU_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+#define GPTPU_RELEASE_SHARED(...) \
+  GPTPU_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+#define GPTPU_TRY_ACQUIRE(...) \
+  GPTPU_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+#define GPTPU_EXCLUDES(...) GPTPU_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+#define GPTPU_ASSERT_CAPABILITY(x) \
+  GPTPU_THREAD_ANNOTATION(assert_capability(x))
+
+#define GPTPU_RETURN_CAPABILITY(x) GPTPU_THREAD_ANNOTATION(lock_returned(x))
+
+#define GPTPU_NO_THREAD_SAFETY_ANALYSIS \
+  GPTPU_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace gptpu {
+
+class CondVar;
+
+/// std::mutex with capability annotations, so clang can prove lock
+/// discipline at compile time. Zero overhead over the raw std::mutex.
+class GPTPU_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() GPTPU_ACQUIRE() { mu_.lock(); }
+  void unlock() GPTPU_RELEASE() { mu_.unlock(); }
+  [[nodiscard]] bool try_lock() GPTPU_TRY_ACQUIRE(true) {
+    return mu_.try_lock();
+  }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII lock for Mutex, equivalent to std::lock_guard.
+class GPTPU_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) GPTPU_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() GPTPU_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable for Mutex. Spurious wakeups are possible: always
+/// wait inside a predicate loop, e.g.
+///
+///   MutexLock lock(mu_);
+///   while (!ready_) cv_.wait(mu_);
+///
+/// The predicate check then happens in the caller's scope, where the
+/// thread-safety analysis can see the lock is held.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu` and blocks; re-acquires `mu` before
+  /// returning. The caller must hold `mu`.
+  void wait(Mutex& mu) GPTPU_REQUIRES(mu) {
+    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+    cv_.wait(native);
+    native.release();  // ownership stays with the caller's MutexLock
+  }
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace gptpu

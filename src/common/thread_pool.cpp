@@ -14,7 +14,7 @@ ThreadPool::ThreadPool(usize num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     stopping_ = true;
   }
   cv_.notify_all();
@@ -25,8 +25,8 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock lock(mu_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!stopping_ && queue_.empty()) cv_.wait(mu_);
       if (stopping_ && queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -34,7 +34,7 @@ void ThreadPool::worker_loop() {
     }
     task();
     {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       --active_;
       if (active_ == 0 && queue_.empty()) idle_cv_.notify_all();
     }
@@ -42,8 +42,8 @@ void ThreadPool::worker_loop() {
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock lock(mu_);
-  idle_cv_.wait(lock, [this] { return active_ == 0 && queue_.empty(); });
+  MutexLock lock(mu_);
+  while (active_ != 0 || !queue_.empty()) idle_cv_.wait(mu_);
 }
 
 void ThreadPool::parallel_for(ThreadPool& pool, usize n,
@@ -58,7 +58,6 @@ void ThreadPool::parallel_for(ThreadPool& pool, usize n,
   // OpenMP `schedule(static)` loop, which is what the paper's multicore
   // baselines use.
   const usize chunks = std::min(workers, n);
-  std::atomic<usize> failures{0};
   std::vector<std::future<void>> futs;
   futs.reserve(chunks);
   for (usize c = 0; c < chunks; ++c) {
@@ -69,7 +68,6 @@ void ThreadPool::parallel_for(ThreadPool& pool, usize n,
     }));
   }
   for (auto& f : futs) f.get();
-  (void)failures;
 }
 
 }  // namespace gptpu

@@ -4,14 +4,14 @@
 // is also reused by OpenMP-style multicore CPU baselines (parallel_for).
 #pragma once
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
+#include <memory>
 #include <thread>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "common/types.hpp"
 
 namespace gptpu {
@@ -29,11 +29,11 @@ class ThreadPool {
   /// Enqueues a task; the returned future resolves when it completes.
   /// Exceptions thrown by the task propagate through the future.
   template <typename F>
-  std::future<void> submit(F&& f) {
+  std::future<void> submit(F&& f) GPTPU_EXCLUDES(mu_) {
     auto task = std::make_shared<std::packaged_task<void()>>(std::forward<F>(f));
     auto fut = task->get_future();
     {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       GPTPU_CHECK(!stopping_, "submit() on a stopped ThreadPool");
       queue_.emplace_back([task] { (*task)(); });
     }
@@ -42,7 +42,7 @@ class ThreadPool {
   }
 
   /// Blocks until every task submitted so far has finished.
-  void wait_idle();
+  void wait_idle() GPTPU_EXCLUDES(mu_);
 
   /// Runs fn(i) for i in [0, n) across the pool, blocking until done.
   /// Degenerates to a serial loop for n small relative to the pool.
@@ -50,15 +50,15 @@ class ThreadPool {
                            const std::function<void(usize)>& fn);
 
  private:
-  void worker_loop();
+  void worker_loop() GPTPU_EXCLUDES(mu_);
 
-  std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::condition_variable idle_cv_;
-  usize active_ = 0;
-  bool stopping_ = false;
+  std::vector<std::thread> workers_;  // written only by the constructor
+  Mutex mu_;
+  CondVar cv_;
+  CondVar idle_cv_;
+  std::deque<std::function<void()>> queue_ GPTPU_GUARDED_BY(mu_);
+  usize active_ GPTPU_GUARDED_BY(mu_) = 0;
+  bool stopping_ GPTPU_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace gptpu

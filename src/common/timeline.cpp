@@ -7,6 +7,7 @@ namespace gptpu {
 Seconds VirtualResource::acquire(Seconds earliest_start, Seconds duration,
                                  std::string label) {
   GPTPU_CHECK(duration >= 0, "negative duration");
+  MutexLock lock(mu_);
   const Seconds start = std::max(earliest_start, busy_until_);
   const Seconds end = start + duration;
   busy_until_ = end;
@@ -16,6 +17,7 @@ Seconds VirtualResource::acquire(Seconds earliest_start, Seconds duration,
 }
 
 void VirtualResource::reset() {
+  MutexLock lock(mu_);
   busy_until_ = 0;
   busy_time_ = 0;
   trace_.clear();

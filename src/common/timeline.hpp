@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "common/types.hpp"
 
 namespace gptpu {
@@ -23,6 +24,12 @@ struct TraceEvent {
 };
 
 /// A serially-reusable modelled resource.
+///
+/// Thread-safe: a resource is typically advanced by exactly one worker
+/// thread, but pool-level introspection (Runtime::makespan, energy
+/// integration, trace export) reads the clocks from other threads while
+/// work is in flight, so all state is guarded by an internal mutex. The
+/// lock is leaf-level and uncontended on the hot path.
 class VirtualResource {
  public:
   explicit VirtualResource(std::string name) : name_(std::move(name)) {}
@@ -31,28 +38,44 @@ class VirtualResource {
   /// `earliest_start`. Returns the completion time. Work on one resource
   /// never overlaps; it begins at max(earliest_start, busy_until).
   Seconds acquire(Seconds earliest_start, Seconds duration,
-                  std::string label = {});
+                  std::string label = {}) GPTPU_EXCLUDES(mu_);
 
-  [[nodiscard]] Seconds busy_until() const { return busy_until_; }
+  [[nodiscard]] Seconds busy_until() const GPTPU_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return busy_until_;
+  }
 
   /// Total busy (active) seconds accumulated on this resource.
-  [[nodiscard]] Seconds busy_time() const { return busy_time_; }
+  [[nodiscard]] Seconds busy_time() const GPTPU_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return busy_time_;
+  }
 
   [[nodiscard]] const std::string& name() const { return name_; }
-  [[nodiscard]] const std::vector<TraceEvent>& trace() const { return trace_; }
+
+  /// Snapshot of the recorded intervals. A copy: the live vector may be
+  /// appended to concurrently by the owning worker.
+  [[nodiscard]] std::vector<TraceEvent> trace() const GPTPU_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return trace_;
+  }
 
   /// Enables interval recording (off by default: app-scale runs schedule
   /// millions of instructions).
-  void set_tracing(bool on) { tracing_ = on; }
+  void set_tracing(bool on) GPTPU_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    tracing_ = on;
+  }
 
-  void reset();
+  void reset() GPTPU_EXCLUDES(mu_);
 
  private:
-  std::string name_;
-  Seconds busy_until_ = 0;
-  Seconds busy_time_ = 0;
-  bool tracing_ = false;
-  std::vector<TraceEvent> trace_;
+  std::string name_;  // immutable after construction
+  mutable Mutex mu_;
+  Seconds busy_until_ GPTPU_GUARDED_BY(mu_) = 0;
+  Seconds busy_time_ GPTPU_GUARDED_BY(mu_) = 0;
+  bool tracing_ GPTPU_GUARDED_BY(mu_) = false;
+  std::vector<TraceEvent> trace_ GPTPU_GUARDED_BY(mu_);
 };
 
 }  // namespace gptpu

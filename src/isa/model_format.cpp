@@ -84,7 +84,11 @@ std::vector<u8> build_model(MatrixView<const float> raw, float scale,
     i8* dst = data + r * info.padded.cols;
     for (usize c = 0; c < src.size(); ++c) {
       const float q = std::round(src[c] * scale);
-      dst[c] = static_cast<i8>(std::clamp(q, -127.0f, 127.0f));
+      // NaN slips through clamp unchanged and float->int conversion of NaN
+      // is UB (caught by -fsanitize=undefined); store 0 for NaN inputs.
+      dst[c] = std::isnan(q)
+                   ? i8{0}
+                   : static_cast<i8>(std::clamp(q, -127.0f, 127.0f));
     }
   }
 

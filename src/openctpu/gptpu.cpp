@@ -2,10 +2,11 @@
 
 #include <future>
 #include <memory>
-#include <mutex>
+#include <mutex>  // std::call_once only; locking goes through gptpu::Mutex
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "runtime/runtime.hpp"
 
 namespace {
@@ -20,12 +21,13 @@ using gptpu::runtime::RuntimeConfig;
 
 struct Context {
   std::unique_ptr<Runtime> runtime;
-  std::vector<std::unique_ptr<openctpu_dimension>> dimensions;
-  std::vector<std::unique_ptr<openctpu_buffer>> buffers;
 
-  std::mutex mu;
-  std::unordered_map<int, std::future<void>> tasks;
-  int next_handle = 1;
+  gptpu::Mutex mu;
+  std::vector<std::unique_ptr<openctpu_dimension>> dimensions
+      GPTPU_GUARDED_BY(mu);
+  std::vector<std::unique_ptr<openctpu_buffer>> buffers GPTPU_GUARDED_BY(mu);
+  std::unordered_map<int, std::future<void>> tasks GPTPU_GUARDED_BY(mu);
+  int next_handle GPTPU_GUARDED_BY(mu) = 1;
 };
 
 Context& context() {
@@ -118,8 +120,11 @@ void openctpu_init(const openctpu_options& options) {
 void openctpu_shutdown() {
   Context& ctx = context();
   openctpu_sync();
-  ctx.buffers.clear();
-  ctx.dimensions.clear();
+  {
+    gptpu::MutexLock lock(ctx.mu);
+    ctx.buffers.clear();
+    ctx.dimensions.clear();
+  }
   ctx.runtime.reset();
 }
 
@@ -134,7 +139,7 @@ openctpu_dimension* openctpu_alloc_dimension(int dimensions, usize rows,
   Context& ctx = initialized_context();
   auto dim = std::make_unique<openctpu_dimension>();
   dim->shape = dimensions == 1 ? Shape2D{1, rows} : Shape2D{rows, cols};
-  std::lock_guard lock(ctx.mu);
+  gptpu::MutexLock lock(ctx.mu);
   ctx.dimensions.push_back(std::move(dim));
   return ctx.dimensions.back().get();
 }
@@ -147,7 +152,7 @@ openctpu_buffer* openctpu_create_buffer(openctpu_dimension* dimension,
   auto buf = std::make_unique<openctpu_buffer>();
   buf->impl = ctx.runtime->create_buffer(dimension->shape, data);
   buf->host = data;
-  std::lock_guard lock(ctx.mu);
+  gptpu::MutexLock lock(ctx.mu);
   ctx.buffers.push_back(std::move(buf));
   return ctx.buffers.back().get();
 }
@@ -157,7 +162,7 @@ int openctpu_enqueue(const std::function<void()>& kernel) {
   const gptpu::u64 task_id = ctx.runtime->begin_task();
   int handle;
   {
-    std::lock_guard lock(ctx.mu);
+    gptpu::MutexLock lock(ctx.mu);
     handle = ctx.next_handle++;
   }
   auto fut = std::async(std::launch::async, [kernel, task_id] {
@@ -165,7 +170,7 @@ int openctpu_enqueue(const std::function<void()>& kernel) {
     kernel();
     tls_task_id = 0;
   });
-  std::lock_guard lock(ctx.mu);
+  gptpu::MutexLock lock(ctx.mu);
   ctx.tasks.emplace(handle, std::move(fut));
   return handle;
 }
@@ -186,7 +191,7 @@ int openctpu_sync() {
   Context& ctx = initialized_context();
   std::unordered_map<int, std::future<void>> pending;
   {
-    std::lock_guard lock(ctx.mu);
+    gptpu::MutexLock lock(ctx.mu);
     pending.swap(ctx.tasks);
   }
   for (auto& [handle, fut] : pending) fut.get();
@@ -197,7 +202,7 @@ int openctpu_wait(int task_handle) {
   Context& ctx = initialized_context();
   std::future<void> fut;
   {
-    std::lock_guard lock(ctx.mu);
+    gptpu::MutexLock lock(ctx.mu);
     const auto it = ctx.tasks.find(task_handle);
     if (it == ctx.tasks.end()) return 0;  // already completed
     fut = std::move(it->second);

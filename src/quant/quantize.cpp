@@ -79,6 +79,10 @@ float sampled_scale(Range sampled_outputs, float headroom) {
 
 i8 quantize_value(float raw, float scale) {
   const float q = std::round(raw * scale);
+  // NaN propagates through clamp (all comparisons false -> q comes back
+  // unchanged), and float->int conversion of NaN or out-of-range values is
+  // UB. Map NaN to 0 explicitly; clamp handles +/-inf and overflow.
+  if (std::isnan(q)) return 0;
   return static_cast<i8>(std::clamp(q, -kQuantLimit, kQuantLimit));
 }
 

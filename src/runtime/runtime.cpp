@@ -57,30 +57,36 @@ void quantize_tile(const TileRef& tile, std::vector<i8>& out) {
 // --- internal state types ----------------------------------------------------
 
 struct Runtime::OpContext {
+  // Written by invoke() before any plan is dispatched; read-only for the
+  // workers afterwards (the queue push/pop pair orders the accesses).
   const OperationRequest* req = nullptr;
   Seconds op_ready = 0;
 
-  std::mutex mu;
-  std::condition_variable cv;
-  usize remaining = 0;
-  Seconds virtual_start = std::numeric_limits<Seconds>::max();
-  Seconds virtual_done = 0;
-  std::exception_ptr error;
+  Mutex mu;
+  CondVar cv;
+  usize remaining GPTPU_GUARDED_BY(mu) = 0;
+  Seconds virtual_start GPTPU_GUARDED_BY(mu) =
+      std::numeric_limits<Seconds>::max();
+  Seconds virtual_done GPTPU_GUARDED_BY(mu) = 0;
+  std::exception_ptr error GPTPU_GUARDED_BY(mu);
 
   // Matrix-wise CPU aggregation (§6.2.1).
-  double mean_acc = 0;
-  double max_acc = -std::numeric_limits<double>::infinity();
-  bool max_seen = false;
+  double mean_acc GPTPU_GUARDED_BY(mu) = 0;
+  double max_acc GPTPU_GUARDED_BY(mu) =
+      -std::numeric_limits<double>::infinity();
+  bool max_seen GPTPU_GUARDED_BY(mu) = false;
 };
 
 struct Runtime::DeviceState {
   usize index = 0;
   sim::Device* device = nullptr;
 
-  std::mutex mu;
-  std::condition_variable cv;
-  std::deque<WorkItem> queue;
+  Mutex mu;
+  CondVar cv;
+  std::deque<WorkItem> queue GPTPU_GUARDED_BY(mu);
 
+  // Cache bookkeeping is owned exclusively by this device's worker thread;
+  // no lock needed (the queue hand-off orders the accesses).
   struct CacheEntry {
     DeviceTensorId id;
     usize bytes = 0;
@@ -88,7 +94,15 @@ struct Runtime::DeviceState {
   };
   std::unordered_map<u64, CacheEntry> cache;
   std::list<u64> lru;  // front = most recently used
-  CacheStats stats;
+
+  /// Counters are atomics: the worker increments them while cache_stats()
+  /// aggregates from other threads mid-flight.
+  struct {
+    std::atomic<u64> hits{0};
+    std::atomic<u64> misses{0};
+    std::atomic<u64> evictions{0};
+    std::atomic<u64> zero_tiles_skipped{0};
+  } stats;
 
   /// The host core feeding this device (quantization / model creation /
   /// result aggregation). The prototype machine pairs an 8-core Ryzen
@@ -142,7 +156,7 @@ Runtime::~Runtime() {
   for (auto& ds : device_states_) {
     // Taking each worker's mutex pairs the flag with its wait predicate
     // (no lost wakeups), then the notify releases it.
-    std::lock_guard lock(ds->mu);
+    MutexLock lock(ds->mu);
     ds->cv.notify_all();
   }
   for (auto& w : workers_) w.join();
@@ -154,7 +168,7 @@ TensorBuffer* Runtime::create_buffer(Shape2D shape, float* host) {
   GPTPU_CHECK(config_.functional,
               "create_buffer with data requires functional mode");
   auto buf = std::make_unique<TensorBuffer>(shape, host);
-  std::lock_guard lock(buffers_mu_);
+  MutexLock lock(buffers_mu_);
   buffers_.push_back(std::move(buf));
   return buffers_.back().get();
 }
@@ -162,14 +176,14 @@ TensorBuffer* Runtime::create_buffer(Shape2D shape, float* host) {
 TensorBuffer* Runtime::create_virtual_buffer(Shape2D shape,
                                              quant::Range range) {
   auto buf = std::make_unique<TensorBuffer>(shape, range);
-  std::lock_guard lock(buffers_mu_);
+  MutexLock lock(buffers_mu_);
   buffers_.push_back(std::move(buf));
   return buffers_.back().get();
 }
 
 void Runtime::destroy_buffer(TensorBuffer* buffer) {
   if (buffer == nullptr) return;
-  std::lock_guard lock(buffers_mu_);
+  MutexLock lock(buffers_mu_);
   const auto it =
       std::find_if(buffers_.begin(), buffers_.end(),
                    [&](const auto& b) { return b.get() == buffer; });
@@ -180,25 +194,24 @@ void Runtime::destroy_buffer(TensorBuffer* buffer) {
 // --- tasks ----------------------------------------------------------------------
 
 u64 Runtime::begin_task() {
-  std::lock_guard lock(tasks_mu_);
+  MutexLock lock(tasks_mu_);
   return next_task_++;
 }
 
 Seconds Runtime::task_ready(u64 task_id) const {
-  std::lock_guard lock(tasks_mu_);
+  MutexLock lock(tasks_mu_);
   const auto it = task_ready_.find(task_id);
   return it == task_ready_.end() ? 0.0 : it->second;
 }
 
 void Runtime::charge_host(u64 task_id, Seconds duration, const char* label) {
   const Seconds done = acquire_host(task_ready(task_id), duration, label);
-  std::lock_guard lock(tasks_mu_);
+  MutexLock lock(tasks_mu_);
   task_ready_[task_id] = std::max(task_ready_[task_id], done);
 }
 
 Seconds Runtime::acquire_host(Seconds ready, Seconds duration,
                               const char* label) {
-  std::lock_guard lock(host_mu_);
   return host_.acquire(ready, duration, label);
 }
 
@@ -255,33 +268,39 @@ void Runtime::invoke(const OperationRequest& request) {
         tm.instruction_latency(probe, plan.in0.shape, in1_shape, out_shape) +
         tm.transfer_latency(out_bytes);
 
-    usize dev;
-    {
-      std::lock_guard lock(sched_mu_);
-      dev = scheduler_.assign({needs.data(), n_needs}, est, ctx.op_ready);
-    }
+    const usize dev =
+        scheduler_.assign({needs.data(), n_needs}, est, ctx.op_ready);
 
     DeviceState& ds = *device_states_[dev];
     {
-      std::lock_guard lock(ds.mu);
+      MutexLock lock(ds.mu);
       ds.queue.push_back(WorkItem{plan, &ctx});
     }
     ds.cv.notify_one();
   }
 
-  // Wait for the last IQ entry of this OPQ entry.
+  // Wait for the last IQ entry of this OPQ entry, then move the guarded
+  // aggregation results out so the remainder of invoke() runs lock-free.
+  Seconds op_virtual_start;
+  Seconds op_virtual_done;
+  double mean_acc;
+  double max_acc;
   {
-    std::unique_lock lock(ctx.mu);
-    ctx.cv.wait(lock, [&] { return ctx.remaining == 0; });
+    MutexLock lock(ctx.mu);
+    while (ctx.remaining != 0) ctx.cv.wait(ctx.mu);
     if (ctx.error) std::rethrow_exception(ctx.error);
+    op_virtual_start = ctx.virtual_start;
+    op_virtual_done = ctx.virtual_done;
+    mean_acc = ctx.mean_acc;
+    max_acc = ctx.max_acc;
   }
 
   // Matrix-wise operators: the CPU-aggregated scalar lands here.
   if (config_.functional && request.out->functional() &&
       isa::op_class(request.op) == isa::OpClass::kMatrixwise) {
     request.out->view()(0, 0) =
-        request.op == Opcode::kMean ? static_cast<float>(ctx.mean_acc)
-                                    : static_cast<float>(ctx.max_acc);
+        request.op == Opcode::kMean ? static_cast<float>(mean_acc)
+                                    : static_cast<float>(max_acc);
   }
 
   // The output buffer changed: new version for cache correctness, fresh
@@ -299,14 +318,14 @@ void Runtime::invoke(const OperationRequest& request) {
   }
 
   {
-    std::lock_guard lock(tasks_mu_);
+    MutexLock lock(tasks_mu_);
     task_ready_[request.task_id] =
-        std::max(task_ready_[request.task_id], ctx.virtual_done);
+        std::max(task_ready_[request.task_id], op_virtual_done);
   }
   {
-    std::lock_guard lock(opq_mu_);
+    MutexLock lock(opq_mu_);
     opq_.push_back(OpRecord{request.task_id, request.op, lowered.plans.size(),
-                            ctx.virtual_start, ctx.virtual_done});
+                            op_virtual_start, op_virtual_done});
   }
 }
 
@@ -315,10 +334,10 @@ void Runtime::worker_loop(usize device_index) {
   for (;;) {
     WorkItem item;
     {
-      std::unique_lock lock(ds.mu);
-      ds.cv.wait(lock, [&] {
-        return stopping_.load(std::memory_order_acquire) || !ds.queue.empty();
-      });
+      MutexLock lock(ds.mu);
+      while (!stopping_.load(std::memory_order_acquire) && ds.queue.empty()) {
+        ds.cv.wait(ds.mu);
+      }
       if (ds.queue.empty()) {
         if (stopping_.load(std::memory_order_acquire)) return;
         continue;
@@ -330,11 +349,11 @@ void Runtime::worker_loop(usize device_index) {
     try {
       execute_plan(ds, item);
     } catch (...) {
-      std::lock_guard lock(ctx.mu);
+      MutexLock lock(ctx.mu);
       if (!ctx.error) ctx.error = std::current_exception();
     }
     {
-      std::lock_guard lock(ctx.mu);
+      MutexLock lock(ctx.mu);
       --ctx.remaining;
       if (ctx.remaining == 0) ctx.cv.notify_all();
     }
@@ -365,11 +384,8 @@ void Runtime::ensure_device_space(DeviceState& ds, usize bytes,
     dev.free_tensor(centry->second.id);
     ds.lru.erase(std::next(it).base());
     ds.cache.erase(centry);
-    ++ds.stats.evictions;
-    {
-      std::lock_guard lock(sched_mu_);
-      scheduler_.drop_tile(ds.index, key);
-    }
+    ds.stats.evictions.fetch_add(1, std::memory_order_relaxed);
+    scheduler_.drop_tile(ds.index, key);
   }
 }
 
@@ -385,12 +401,12 @@ isa::DeviceTensorId Runtime::stage_tile(DeviceState& ds, const TileRef& tile,
     }
   }
   if (const auto it = ds.cache.find(key); it != ds.cache.end()) {
-    ++ds.stats.hits;
+    ds.stats.hits.fetch_add(1, std::memory_order_relaxed);
     ds.lru.splice(ds.lru.begin(), ds.lru, it->second.lru_it);
     *available_at = ds.device->tensor_ready(it->second.id);
     return it->second.id;
   }
-  ++ds.stats.misses;
+  ds.stats.misses.fetch_add(1, std::memory_order_relaxed);
 
   // Host-side preparation: quantization (plain tensors) or model creation
   // (§6.2.3). Overlapped mode charges the device's host lane, which runs
@@ -485,7 +501,7 @@ void Runtime::execute_plan(DeviceState& ds, const WorkItem& item) {
     if (ctx.req->out->functional() &&
         (plan.combine == HostCombine::kStore ||
          plan.combine == HostCombine::kAccumulate)) {
-      std::lock_guard lock(ctx.mu);
+      MutexLock lock(ctx.mu);
       if (plan.combine == HostCombine::kStore) {
         auto dst = ctx.req->out->view().sub(plan.out_row0, plan.out_col0,
                                             plan.out_shape);
@@ -496,8 +512,8 @@ void Runtime::execute_plan(DeviceState& ds, const WorkItem& item) {
       }
       // kAccumulate: adding zero is a no-op.
     }
-    ++ds.stats.zero_tiles_skipped;
-    std::lock_guard lock(ctx.mu);
+    ds.stats.zero_tiles_skipped.fetch_add(1, std::memory_order_relaxed);
+    MutexLock lock(ctx.mu);
     ctx.virtual_start = std::min(ctx.virtual_start, ready);
     ctx.virtual_done = std::max(ctx.virtual_done, scanned);
     return;
@@ -566,7 +582,7 @@ void Runtime::execute_plan(DeviceState& ds, const WorkItem& item) {
     const double inv = plan.wide_output
                            ? plan.wide_dequant
                            : 1.0 / static_cast<double>(plan.out_scale);
-    std::lock_guard lock(ctx.mu);
+    MutexLock lock(ctx.mu);
     switch (plan.combine) {
       case HostCombine::kStore:
       case HostCombine::kAccumulate: {
@@ -607,7 +623,7 @@ void Runtime::execute_plan(DeviceState& ds, const WorkItem& item) {
   }
 
   {
-    std::lock_guard lock(ctx.mu);
+    MutexLock lock(ctx.mu);
     ctx.virtual_start = std::min(ctx.virtual_start, std::min(in0_at, ready));
     ctx.virtual_done = std::max(ctx.virtual_done, combined);
   }
@@ -620,11 +636,7 @@ Seconds Runtime::makespan() const {
   for (const auto& ds : device_states_) {
     m = std::max(m, ds->host_lane.busy_until());
   }
-  {
-    std::lock_guard lock(host_mu_);
-    m = std::max(m, host_.busy_until());
-  }
-  return m;
+  return std::max(m, host_.busy_until());
 }
 
 EnergyReport Runtime::energy() const {
@@ -635,20 +647,18 @@ EnergyReport Runtime::energy() const {
   for (const auto& ds : device_states_) {
     r.host_active += ds->host_lane.busy_time();
   }
-  {
-    std::lock_guard lock(host_mu_);
-    r.host_active += host_.busy_time();
-  }
+  r.host_active += host_.busy_time();
   return r;
 }
 
 Runtime::CacheStats Runtime::cache_stats() const {
   CacheStats total;
   for (const auto& ds : device_states_) {
-    total.hits += ds->stats.hits;
-    total.misses += ds->stats.misses;
-    total.evictions += ds->stats.evictions;
-    total.zero_tiles_skipped += ds->stats.zero_tiles_skipped;
+    total.hits += ds->stats.hits.load(std::memory_order_relaxed);
+    total.misses += ds->stats.misses.load(std::memory_order_relaxed);
+    total.evictions += ds->stats.evictions.load(std::memory_order_relaxed);
+    total.zero_tiles_skipped +=
+        ds->stats.zero_tiles_skipped.load(std::memory_order_relaxed);
   }
   return total;
 }
@@ -658,7 +668,6 @@ void Runtime::set_tracing(bool on) {
     ds->device->set_tracing(on);
     ds->host_lane.set_tracing(on);
   }
-  std::lock_guard lock(host_mu_);
   host_.set_tracing(on);
 }
 
@@ -671,36 +680,30 @@ void Runtime::visit_resources(
     fn(base + "/link", ds->device->link());
     fn(base + "/host-lane", ds->host_lane);
   }
-  {
-    std::lock_guard lock(host_mu_);
-    fn("host", host_);
-  }
+  fn("host", host_);
 }
 
 void Runtime::reset() {
   for (auto& ds : device_states_) {
-    std::lock_guard lock(ds->mu);
+    MutexLock lock(ds->mu);
     GPTPU_CHECK(ds->queue.empty(), "reset() while work is pending");
     ds->cache.clear();
     ds->lru.clear();
-    ds->stats = {};
+    ds->stats.hits.store(0, std::memory_order_relaxed);
+    ds->stats.misses.store(0, std::memory_order_relaxed);
+    ds->stats.evictions.store(0, std::memory_order_relaxed);
+    ds->stats.zero_tiles_skipped.store(0, std::memory_order_relaxed);
     ds->host_lane.reset();
   }
   pool_.reset();
+  scheduler_.reset();
+  host_.reset();
   {
-    std::lock_guard lock(sched_mu_);
-    scheduler_.reset();
-  }
-  {
-    std::lock_guard lock(host_mu_);
-    host_.reset();
-  }
-  {
-    std::lock_guard lock(tasks_mu_);
+    MutexLock lock(tasks_mu_);
     task_ready_.clear();
   }
   {
-    std::lock_guard lock(opq_mu_);
+    MutexLock lock(opq_mu_);
     opq_.clear();
   }
 }

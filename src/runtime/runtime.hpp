@@ -20,15 +20,14 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <unordered_map>
 
+#include "common/thread_annotations.hpp"
 #include "common/timeline.hpp"
 #include "runtime/buffer.hpp"
 #include "runtime/energy.hpp"
@@ -101,14 +100,15 @@ class Runtime {
 
   /// Allocates a task ID (openctpu_enqueue). Operations carrying the same
   /// task ID serialize in virtual time.
-  u64 begin_task();
+  u64 begin_task() GPTPU_EXCLUDES(tasks_mu_);
 
   /// Executes one operation synchronously (OPQ -> Tensorizer -> IQ ->
   /// devices -> host aggregation). Throws on invalid requests.
   void invoke(const OperationRequest& request);
 
   /// Modelled completion time of the last operation of `task`.
-  [[nodiscard]] Seconds task_ready(u64 task_id) const;
+  [[nodiscard]] Seconds task_ready(u64 task_id) const
+      GPTPU_EXCLUDES(tasks_mu_);
 
   /// Charges host-side work (e.g. the conv2D-GEMM layout transform) to the
   /// task's virtual timeline and the host resource.
@@ -119,7 +119,12 @@ class Runtime {
   /// Modelled end-to-end latency: when every device and the host are idle.
   [[nodiscard]] Seconds makespan() const;
   [[nodiscard]] EnergyReport energy() const;
-  [[nodiscard]] const std::vector<OpRecord>& opq_log() const { return opq_; }
+  /// Snapshot of the OPQ log. A copy: producer threads may be appending
+  /// concurrently.
+  [[nodiscard]] std::vector<OpRecord> opq_log() const GPTPU_EXCLUDES(opq_mu_) {
+    MutexLock lock(opq_mu_);
+    return opq_;
+  }
 
   [[nodiscard]] sim::DevicePool& pool() { return pool_; }
   [[nodiscard]] const RuntimeConfig& config() const { return config_; }
@@ -167,21 +172,23 @@ class Runtime {
   sim::DevicePool pool_;
   Tensorizer tensorizer_;
 
-  mutable std::mutex sched_mu_;
+  /// Internally synchronized (see scheduler.hpp): producers assign() while
+  /// workers drop_tile() on eviction.
   Scheduler scheduler_;
 
-  mutable std::mutex host_mu_;
+  /// Internally synchronized, like every VirtualResource.
   VirtualResource host_{"host"};
 
-  mutable std::mutex tasks_mu_;
-  std::unordered_map<u64, Seconds> task_ready_;
-  u64 next_task_ = 1;
+  mutable Mutex tasks_mu_;
+  std::unordered_map<u64, Seconds> task_ready_ GPTPU_GUARDED_BY(tasks_mu_);
+  u64 next_task_ GPTPU_GUARDED_BY(tasks_mu_) = 1;
 
-  std::vector<std::unique_ptr<TensorBuffer>> buffers_;
-  std::mutex buffers_mu_;
+  Mutex buffers_mu_;
+  std::vector<std::unique_ptr<TensorBuffer>> buffers_
+      GPTPU_GUARDED_BY(buffers_mu_);
 
-  mutable std::mutex opq_mu_;
-  std::vector<OpRecord> opq_;
+  mutable Mutex opq_mu_;
+  std::vector<OpRecord> opq_ GPTPU_GUARDED_BY(opq_mu_);
 
   std::vector<std::unique_ptr<DeviceState>> device_states_;
   std::vector<std::thread> workers_;

@@ -5,7 +5,9 @@
 namespace gptpu::runtime {
 
 Scheduler::Scheduler(usize num_devices, bool affinity_enabled)
-    : affinity_enabled_(affinity_enabled), load_(num_devices, 0.0) {
+    : affinity_enabled_(affinity_enabled),
+      num_devices_(num_devices),
+      load_(num_devices, 0.0) {
   GPTPU_CHECK(num_devices >= 1, "Scheduler needs at least one device");
 }
 
@@ -17,6 +19,7 @@ usize Scheduler::assign(std::span<const TileNeed> tiles,
     total_bytes += bytes;
   }
 
+  MutexLock lock(mu_);
   usize chosen = 0;
   Seconds chosen_finish = 0;
   for (usize d = 0; d < load_.size(); ++d) {
@@ -47,6 +50,7 @@ usize Scheduler::assign(std::span<const TileNeed> tiles,
 }
 
 void Scheduler::drop_tile(usize device, u64 key) {
+  MutexLock lock(mu_);
   const auto it = residency_.find(key);
   if (it == residency_.end()) return;
   it->second.erase(device);
@@ -54,6 +58,7 @@ void Scheduler::drop_tile(usize device, u64 key) {
 }
 
 void Scheduler::reset() {
+  MutexLock lock(mu_);
   std::fill(load_.begin(), load_.end(), 0.0);
   residency_.clear();
 }

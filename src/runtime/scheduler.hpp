@@ -6,6 +6,12 @@
 // assigns first-come-first-serve to the device that will become available
 // earliest (tracked as an estimated-load clock per device, so the decision
 // is deterministic at dispatch time).
+//
+// The scheduler is internally synchronized: dispatching producer threads
+// call assign() while device workers call drop_tile() on eviction, so the
+// load clocks and the residency map are guarded by one mutex and the
+// guarantee is compiler-checked via the clang thread-safety annotations
+// (docs/ANALYSIS.md).
 #pragma once
 
 #include <span>
@@ -14,6 +20,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "common/types.hpp"
 #include "perfmodel/machine_constants.hpp"
 
@@ -37,24 +44,30 @@ class Scheduler {
   /// pool. With affinity disabled, every device is charged the full
   /// transfer (pure FCFS). Records the tiles as resident on the choice.
   [[nodiscard]] usize assign(std::span<const TileNeed> tiles,
-                             Seconds instr_seconds, Seconds ready);
+                             Seconds instr_seconds, Seconds ready)
+      GPTPU_EXCLUDES(mu_);
 
   /// Forgets a tile (evicted from a device's memory).
-  void drop_tile(usize device, u64 key);
+  void drop_tile(usize device, u64 key) GPTPU_EXCLUDES(mu_);
 
-  [[nodiscard]] usize num_devices() const { return load_.size(); }
-  [[nodiscard]] Seconds estimated_load(usize device) const {
+  [[nodiscard]] usize num_devices() const { return num_devices_; }
+  [[nodiscard]] Seconds estimated_load(usize device) const
+      GPTPU_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return load_.at(device);
   }
 
-  void reset();
+  void reset() GPTPU_EXCLUDES(mu_);
 
  private:
-  bool affinity_enabled_;
+  const bool affinity_enabled_;
+  const usize num_devices_;
+  mutable Mutex mu_;
   /// Estimated virtual instant each device finishes its assigned backlog.
-  std::vector<Seconds> load_;
+  std::vector<Seconds> load_ GPTPU_GUARDED_BY(mu_);
   /// tile cache key -> devices believed to hold it.
-  std::unordered_map<u64, std::unordered_set<usize>> residency_;
+  std::unordered_map<u64, std::unordered_set<usize>> residency_
+      GPTPU_GUARDED_BY(mu_);
 };
 
 }  // namespace gptpu::runtime

@@ -32,7 +32,7 @@ const Device::TensorRecord& Device::record(DeviceTensorId id) const {
 DeviceTensorId Device::alloc(Shape2D shape, float scale, Seconds ready,
                              bool with_data, bool wide) {
   const usize bytes = shape.elems() * (wide ? sizeof(i32) : sizeof(i8));
-  if (bytes > memory_available()) {
+  if (bytes > config_.memory_bytes - memory_used_) {
     std::ostringstream os;
     os << "device " << config_.id << ": tensor of " << bytes
        << " bytes does not fit (used " << memory_used_ << " of "
@@ -60,6 +60,7 @@ Device::Completion Device::write_tensor(Shape2D shape, float scale,
   }
   const Seconds done = link_.acquire(
       ready, link_setup + timing_->transfer_latency(shape.elems()));
+  MutexLock lock(mu_);
   const DeviceTensorId id = alloc(shape, scale, done, /*with_data=*/true);
   if (config_.functional) {
     auto& rec = tensors_.at(id.value);
@@ -73,6 +74,7 @@ Device::Completion Device::load_model(std::span<const u8> blob,
   const isa::ParsedModel parsed = isa::parse_model(blob);
   const Seconds done = link_.acquire(
       ready, link_setup + timing_->transfer_latency(blob.size()));
+  MutexLock lock(mu_);
   const DeviceTensorId id =
       alloc(parsed.info.padded, parsed.info.scale, done, /*with_data=*/true);
   if (config_.functional) {
@@ -88,12 +90,14 @@ Device::Completion Device::load_model_meta(const isa::ModelInfo& info,
   const Seconds done = link_.acquire(
       ready,
       link_setup + timing_->transfer_latency(isa::model_wire_size(info.padded)));
+  MutexLock lock(mu_);
   const DeviceTensorId id =
       alloc(info.padded, info.scale, done, /*with_data=*/false);
   return {id, done};
 }
 
 Device::Completion Device::execute(const Instruction& instr, Seconds ready) {
+  MutexLock lock(mu_);
   const TensorRecord& in0 = record(instr.in0);
   const TensorRecord* in1 =
       isa::has_second_operand(instr.op) || instr.in1.valid()
@@ -171,6 +175,7 @@ Device::Completion Device::execute(const Instruction& instr, Seconds ready) {
 
 Seconds Device::read_tensor(DeviceTensorId id, std::span<i8> out,
                             Seconds ready) {
+  MutexLock lock(mu_);
   const TensorRecord& rec = record(id);
   GPTPU_CHECK(!rec.wide, "read_tensor on a wide tensor");
   if (config_.functional) {
@@ -184,6 +189,7 @@ Seconds Device::read_tensor(DeviceTensorId id, std::span<i8> out,
 
 Seconds Device::read_tensor_wide(DeviceTensorId id, std::span<i32> out,
                                  Seconds ready) {
+  MutexLock lock(mu_);
   const TensorRecord& rec = record(id);
   GPTPU_CHECK(rec.wide, "read_tensor_wide on a narrow tensor");
   if (config_.functional) {
@@ -196,6 +202,7 @@ Seconds Device::read_tensor_wide(DeviceTensorId id, std::span<i32> out,
 }
 
 void Device::free_tensor(DeviceTensorId id) {
+  MutexLock lock(mu_);
   const auto it = tensors_.find(id.value);
   if (it == tensors_.end()) {
     throw InvalidArgument("free_tensor: unknown id " +
@@ -206,16 +213,20 @@ void Device::free_tensor(DeviceTensorId id) {
 }
 
 Shape2D Device::tensor_shape(DeviceTensorId id) const {
+  MutexLock lock(mu_);
   return record(id).shape;
 }
 float Device::tensor_scale(DeviceTensorId id) const {
+  MutexLock lock(mu_);
   return record(id).scale;
 }
 Seconds Device::tensor_ready(DeviceTensorId id) const {
+  MutexLock lock(mu_);
   return record(id).ready;
 }
 
 MatrixView<const i8> Device::tensor_data(DeviceTensorId id) const {
+  MutexLock lock(mu_);
   const TensorRecord& rec = record(id);
   GPTPU_CHECK(config_.functional, "tensor_data in timing-only mode");
   return {rec.data.data(), rec.shape};
@@ -232,6 +243,7 @@ Seconds Device::active_time() const {
 void Device::reset() {
   compute_.reset();
   link_.reset();
+  MutexLock lock(mu_);
   tensors_.clear();
   memory_used_ = 0;
   next_id_ = 0;

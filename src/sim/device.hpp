@@ -8,8 +8,12 @@
 //  * a memory accountant that enforces the 8 MB capacity, which is what
 //    forces the Tensorizer to tile large operations.
 //
-// A Device is driven by a single runtime worker at a time and is therefore
-// deliberately not thread-safe; the DevicePool hands out exclusive access.
+// A Device is driven by a single runtime worker at a time, which owns all
+// staging/execute/read-back ordering. The tensor table and the memory
+// accountant are nevertheless guarded by an internal mutex (with clang
+// thread-safety annotations) so pool-level introspection -- memory_used(),
+// idle_at(), energy integration -- may run from other threads while the
+// worker is in flight.
 //
 // In timing-only mode (functional=false) tensors carry no data: the same
 // scheduling, tiling and memory-pressure paths run, but instruction
@@ -22,6 +26,7 @@
 #include <unordered_map>
 
 #include "common/matrix.hpp"
+#include "common/thread_annotations.hpp"
 #include "common/timeline.hpp"
 #include "isa/instruction.hpp"
 #include "isa/model_format.hpp"
@@ -57,43 +62,54 @@ class Device {
   /// ResourceExhausted when the tensor does not fit.
   Completion write_tensor(Shape2D shape, float scale,
                           std::span<const i8> data, Seconds ready,
-                          Seconds link_setup = 0);
+                          Seconds link_setup = 0) GPTPU_EXCLUDES(mu_);
 
   /// Loads a serialized model blob (isa::parse_model) into on-chip memory.
   /// The transfer is charged for the full wire size of the blob.
   Completion load_model(std::span<const u8> blob, Seconds ready,
-                        Seconds link_setup = 0);
+                        Seconds link_setup = 0) GPTPU_EXCLUDES(mu_);
 
   /// Timing-only variant: loads a model described by `info` without data.
   Completion load_model_meta(const isa::ModelInfo& info, Seconds ready,
-                             Seconds link_setup = 0);
+                             Seconds link_setup = 0) GPTPU_EXCLUDES(mu_);
 
   /// Executes one instruction whose operands are resident tensors,
   /// allocating the output tensor. Functional mode computes real values;
   /// both modes advance the compute unit's clock.
-  Completion execute(const isa::Instruction& instr, Seconds ready);
+  Completion execute(const isa::Instruction& instr, Seconds ready)
+      GPTPU_EXCLUDES(mu_);
 
   /// Transfers a tensor back to the host. `out` must hold elems() values
   /// (ignored, may be empty, in timing-only mode). Returns the modelled
   /// completion time.
   Seconds read_tensor(isa::DeviceTensorId id, std::span<i8> out,
-                      Seconds ready);
+                      Seconds ready) GPTPU_EXCLUDES(mu_);
 
   /// Reads a wide (int32 accumulator) tensor; 4x the transfer volume.
   Seconds read_tensor_wide(isa::DeviceTensorId id, std::span<i32> out,
-                           Seconds ready);
+                           Seconds ready) GPTPU_EXCLUDES(mu_);
 
-  void free_tensor(isa::DeviceTensorId id);
+  void free_tensor(isa::DeviceTensorId id) GPTPU_EXCLUDES(mu_);
 
-  [[nodiscard]] Shape2D tensor_shape(isa::DeviceTensorId id) const;
-  [[nodiscard]] float tensor_scale(isa::DeviceTensorId id) const;
-  [[nodiscard]] MatrixView<const i8> tensor_data(isa::DeviceTensorId id) const;
+  [[nodiscard]] Shape2D tensor_shape(isa::DeviceTensorId id) const
+      GPTPU_EXCLUDES(mu_);
+  [[nodiscard]] float tensor_scale(isa::DeviceTensorId id) const
+      GPTPU_EXCLUDES(mu_);
+  /// View into the resident tensor's bytes. The view stays valid until the
+  /// tensor is freed; only the owning worker may free while views exist.
+  [[nodiscard]] MatrixView<const i8> tensor_data(isa::DeviceTensorId id) const
+      GPTPU_EXCLUDES(mu_);
   /// Modelled time at which the tensor's producer finishes.
-  [[nodiscard]] Seconds tensor_ready(isa::DeviceTensorId id) const;
+  [[nodiscard]] Seconds tensor_ready(isa::DeviceTensorId id) const
+      GPTPU_EXCLUDES(mu_);
 
-  [[nodiscard]] usize memory_used() const { return memory_used_; }
+  [[nodiscard]] usize memory_used() const GPTPU_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return memory_used_;
+  }
   [[nodiscard]] usize memory_capacity() const { return config_.memory_bytes; }
-  [[nodiscard]] usize memory_available() const {
+  [[nodiscard]] usize memory_available() const GPTPU_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return config_.memory_bytes - memory_used_;
   }
 
@@ -118,7 +134,7 @@ class Device {
   }
 
   /// Returns the device to a pristine state (memory and clocks).
-  void reset();
+  void reset() GPTPU_EXCLUDES(mu_);
 
  private:
   struct TensorRecord {
@@ -133,17 +149,19 @@ class Device {
     }
   };
 
-  const TensorRecord& record(isa::DeviceTensorId id) const;
+  const TensorRecord& record(isa::DeviceTensorId id) const GPTPU_REQUIRES(mu_);
   isa::DeviceTensorId alloc(Shape2D shape, float scale, Seconds ready,
-                            bool with_data, bool wide = false);
+                            bool with_data, bool wide = false)
+      GPTPU_REQUIRES(mu_);
 
   DeviceConfig config_;
   const TimingModel* timing_;
   VirtualResource compute_;
   VirtualResource link_;
-  std::unordered_map<u32, TensorRecord> tensors_;
-  usize memory_used_ = 0;
-  u32 next_id_ = 0;
+  mutable Mutex mu_;
+  std::unordered_map<u32, TensorRecord> tensors_ GPTPU_GUARDED_BY(mu_);
+  usize memory_used_ GPTPU_GUARDED_BY(mu_) = 0;
+  u32 next_id_ GPTPU_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace gptpu::sim

@@ -2,6 +2,13 @@
 // equivalent of the paper's quad-EdgeTPU PCIe cards (§3.1). Each device
 // owns an independent link, mirroring the per-M.2-slot PCIe 2.0 lanes
 // behind the switch.
+//
+// Concurrency contract: the device list is immutable after construction
+// (no lock needed to hand out references), and each Device guards its own
+// state internally, so the aggregate queries below -- makespan(),
+// total_active_time() -- are safe to call from any thread while workers
+// are in flight. reset() is the exception: it must only run when no work
+// is pending, like Runtime::reset().
 #pragma once
 
 #include <memory>

@@ -3,6 +3,9 @@
 // is either a successful parse or a FormatError.
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <limits>
+
 #include "common/rng.hpp"
 #include "isa/model_format.hpp"
 
@@ -65,6 +68,94 @@ TEST(ModelFuzz, RandomGarbageIsRejected) {
       // expected
     }
   }
+}
+
+void put_u32(std::vector<u8>& blob, usize off, u32 v) {
+  blob[off + 0] = static_cast<u8>(v);
+  blob[off + 1] = static_cast<u8>(v >> 8);
+  blob[off + 2] = static_cast<u8>(v >> 16);
+  blob[off + 3] = static_cast<u8>(v >> 24);
+}
+
+/// Hand-assembles a wire blob with arbitrary (possibly inconsistent)
+/// header and metadata fields, bypassing build_model's invariants.
+std::vector<u8> craft_blob(u32 data_size, u32 padded_rows, u32 padded_cols,
+                           u32 raw_rows, u32 raw_cols, float scale) {
+  std::vector<u8> blob(kModelHeaderBytes + data_size + kModelMetadataBytes, 0);
+  std::copy(kModelMagic.begin(), kModelMagic.end(), blob.begin());
+  put_u32(blob, 4, kModelVersion);
+  put_u32(blob, kModelHeaderBytes - 4, data_size);
+  const usize m = kModelHeaderBytes + data_size;
+  put_u32(blob, m + 0, padded_rows);
+  put_u32(blob, m + 4, padded_cols);
+  put_u32(blob, m + 8, raw_rows);
+  put_u32(blob, m + 12, raw_cols);
+  u32 scale_bits;
+  static_assert(sizeof(float) == 4);
+  std::memcpy(&scale_bits, &scale, 4);
+  put_u32(blob, m + 16, scale_bits);
+  return blob;
+}
+
+// A blob that is exactly one header -- valid magic and version but no data
+// section or metadata -- must be rejected without reading past the end.
+TEST(ModelFuzz, HeaderOnlyBlobIsRejected) {
+  auto blob = craft_blob(0, 4, 4, 4, 4, 1.0f);
+  for (usize len = 0; len <= kModelHeaderBytes; ++len) {
+    EXPECT_THROW((void)parse_model({blob.data(), len}), FormatError) << len;
+  }
+}
+
+// Header data_size fields that claim far more data than the blob holds
+// must fail the size cross-check, not index out of bounds.
+TEST(ModelFuzz, OversizedDataSizeClaimIsRejected) {
+  auto blob = valid_blob(6);
+  for (const u32 claim :
+       {u32{0xFFFFFFFF}, u32{0x80000000}, static_cast<u32>(blob.size())}) {
+    auto bad = blob;
+    put_u32(bad, kModelHeaderBytes - 4, claim);
+    EXPECT_THROW((void)parse_model(bad), FormatError) << claim;
+  }
+}
+
+// Metadata dimensions near the u32 limit: rows * cols is computed in
+// 64-bit, so products that would wrap a 32-bit counter cannot masquerade
+// as a matching data size.
+TEST(ModelFuzz, OversizedDimensionsAreRejected) {
+  // 65536 * 65536 == 2^32, which wraps to 0 in u32 arithmetic; with
+  // data_size == 0 a 32-bit elems() would accept this blob.
+  EXPECT_THROW((void)parse_model(craft_blob(0, 65536, 65536, 1, 1, 1.0f)),
+               FormatError);
+  // Max dims with a tiny data section.
+  EXPECT_THROW(
+      (void)parse_model(craft_blob(16, 0xFFFFFFFF, 0xFFFFFFFF, 1, 1, 1.0f)),
+      FormatError);
+  // Raw dims exceeding padded dims.
+  EXPECT_THROW((void)parse_model(craft_blob(16, 4, 4, 5, 4, 1.0f)),
+               FormatError);
+  EXPECT_THROW((void)parse_model(craft_blob(16, 4, 4, 4, 0xFFFFFFFF, 1.0f)),
+               FormatError);
+  // Consistent control: same shape as the rejects but honest sizes.
+  EXPECT_NO_THROW((void)parse_model(craft_blob(16, 4, 4, 3, 2, 1.0f)));
+}
+
+// Regression: build_model quantizes raw floats straight into the data
+// section; NaN inputs used to hit an undefined NaN->i8 conversion. They
+// must quantize to 0 and round-trip through the parser.
+TEST(ModelFuzz, BuildModelToleratesNonFiniteInputs) {
+  Matrix<float> raw(4, 4);
+  for (usize r = 0; r < raw.rows(); ++r)
+    for (usize c = 0; c < raw.cols(); ++c)
+      raw(r, c) = static_cast<float>(r * 4 + c);
+  raw(0, 0) = std::numeric_limits<float>::quiet_NaN();
+  raw(1, 1) = std::numeric_limits<float>::infinity();
+  raw(2, 2) = -std::numeric_limits<float>::infinity();
+  const auto blob = build_model(raw.view(), 1.0f, {4, 4});
+  const ParsedModel m = parse_model(blob);
+  EXPECT_EQ(m.data[0], 0);            // NaN -> 0
+  EXPECT_EQ(m.data[4 * 1 + 1], 127);  // +inf saturates
+  EXPECT_EQ(m.data[4 * 2 + 2], -127); // -inf saturates
+  EXPECT_EQ(m.data[4 * 3 + 3], 15);   // ordinary values untouched
 }
 
 TEST(ModelFuzz, ScaleFieldMutationsAreValidated) {

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "common/rng.hpp"
 #include "quant/quantize.hpp"
@@ -46,6 +47,20 @@ TEST(QuantizeValue, RoundsAndSaturates) {
   EXPECT_EQ(quantize_value(-1.6f, 1.0f), -2);
   EXPECT_EQ(quantize_value(1000.0f, 1.0f), 127);
   EXPECT_EQ(quantize_value(-1000.0f, 1.0f), -127);
+}
+
+// Regression: NaN used to fall through std::clamp unchanged and hit a
+// NaN->i8 conversion, which is undefined behaviour (UBSan aborts). Both
+// NaN raw values and NaN products (inf * 0 scale) must map to 0, and
+// infinities must saturate like any out-of-range value.
+TEST(QuantizeValue, NonFiniteInputsAreDefined) {
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  const float inf = std::numeric_limits<float>::infinity();
+  EXPECT_EQ(quantize_value(nan, 1.0f), 0);
+  EXPECT_EQ(quantize_value(1.0f, nan), 0);
+  EXPECT_EQ(quantize_value(inf, 0.0f), 0);  // inf * 0 -> NaN
+  EXPECT_EQ(quantize_value(inf, 1.0f), 127);
+  EXPECT_EQ(quantize_value(-inf, 1.0f), -127);
 }
 
 // Property: the quantize/dequantize round trip never errs by more than
