@@ -5,8 +5,11 @@
 #pragma once
 
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 #include "common/types.hpp"
 
@@ -31,10 +34,14 @@ inline void compare_row(std::string_view label, double paper, double measured,
               static_cast<int>(unit.size()), unit.data());
 }
 
-/// Simple --scale / --devices flag parsing shared by the benches.
+/// Simple flag parsing shared by the benches: --scale / --devices plus
+/// --quick (cheaper trial counts for CI smoke runs) and --json <path>
+/// (machine-readable results; accepts --json=path too).
 struct BenchArgs {
   double scale = 1.0;
   usize devices = 1;
+  bool quick = false;
+  std::string json_path;
 
   static BenchArgs parse(int argc, char** argv) {
     BenchArgs args;
@@ -48,9 +55,41 @@ struct BenchArgs {
       if (const char* v = value("--devices=")) {
         args.devices = static_cast<usize>(std::atoi(v));
       }
+      if (a == "--quick") args.quick = true;
+      if (const char* v = value("--json=")) args.json_path = v;
+      if (a == "--json" && i + 1 < argc) args.json_path = argv[++i];
     }
     return args;
   }
+};
+
+/// Flat metric sink written out as one JSON object; keys use
+/// "section.metric" dotted names. scripts/bench_compare.py consumes this.
+class JsonWriter {
+ public:
+  void add(std::string key, double value) {
+    metrics_.emplace_back(std::move(key), value);
+  }
+
+  /// Writes {"key": value, ...}; returns false when the file cannot be
+  /// opened. No-op (returns true) when `path` is empty.
+  bool write(const std::string& path) const {
+    if (path.empty()) return true;
+    std::ofstream os(path);
+    if (!os) return false;
+    os << "{\n";
+    for (usize i = 0; i < metrics_.size(); ++i) {
+      char num[64];
+      std::snprintf(num, sizeof(num), "%.6g", metrics_[i].second);
+      os << "  \"" << metrics_[i].first << "\": " << num
+         << (i + 1 < metrics_.size() ? ",\n" : "\n");
+    }
+    os << "}\n";
+    return os.good();
+  }
+
+ private:
+  std::vector<std::pair<std::string, double>> metrics_;
 };
 
 }  // namespace gptpu::bench

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Compare a fresh bench_kernels JSON against the committed baseline.
+
+Report-only: prints per-metric deltas and always exits 0 (unless the
+input files are unreadable), because wall-clock throughput on shared CI
+machines is too noisy to gate on. The committed baseline lives at
+BENCH_kernels.json in the repo root; regenerate it on a quiet machine
+with:
+
+    build/bench/bench_kernels --json BENCH_kernels.json
+
+Usage:
+    scripts/bench_compare.py NEW.json [BASELINE.json]
+"""
+
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_BASELINE = REPO_ROOT / "BENCH_kernels.json"
+
+# Deltas beyond this fraction get flagged in the report (still exit 0).
+HIGHLIGHT_FRACTION = 0.25
+
+
+def load(path: Path) -> dict:
+    with open(path) as f:
+        data = json.load(f)
+    if not isinstance(data, dict):
+        raise ValueError(f"{path}: expected a flat JSON object")
+    return data
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) < 2 or len(argv) > 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    new_path = Path(argv[1])
+    base_path = Path(argv[2]) if len(argv) == 3 else DEFAULT_BASELINE
+
+    try:
+        new = load(new_path)
+    except (OSError, ValueError) as e:
+        print(f"bench_compare: cannot read new results: {e}", file=sys.stderr)
+        return 2
+    try:
+        base = load(base_path)
+    except (OSError, ValueError) as e:
+        # A missing baseline is not an error for a report-only tool: CI on
+        # a branch that predates the baseline should still pass.
+        print(f"bench_compare: no baseline ({e}); nothing to compare")
+        return 0
+
+    print(f"bench_compare: {new_path} vs baseline {base_path}")
+    print(f"  {'metric':<44} {'baseline':>10} {'new':>10} {'delta':>8}")
+    flagged = 0
+    for key in sorted(set(base) | set(new)):
+        if key not in base:
+            print(f"  {key:<44} {'-':>10} {new[key]:>10.3f}   (new metric)")
+            continue
+        if key not in new:
+            print(f"  {key:<44} {base[key]:>10.3f} {'-':>10}   (missing)")
+            continue
+        b, n = float(base[key]), float(new[key])
+        delta = (n - b) / b if b != 0 else float("inf")
+        mark = ""
+        if abs(delta) > HIGHLIGHT_FRACTION:
+            mark = "  <-- large delta"
+            flagged += 1
+        print(f"  {key:<44} {b:>10.3f} {n:>10.3f} {delta:>+7.1%}{mark}")
+    if flagged:
+        print(
+            f"bench_compare: {flagged} metric(s) moved more than "
+            f"{HIGHLIGHT_FRACTION:.0%}; expected on noisy/shared machines, "
+            "worth a look if it reproduces on quiet hardware"
+        )
+    print("bench_compare: report only, not a gate")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

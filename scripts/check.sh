@@ -32,4 +32,13 @@ for preset in "${PRESETS[@]}"; do
   ctest --preset "${preset}"
 done
 
+# Report-only perf trend: the default preset's bench.smoke run (part of
+# ctest above) wrote a quick bench_kernels JSON; diff it against the
+# committed baseline. Never gates -- wall clock on CI is too noisy.
+SMOKE_JSON="build/bench/bench_kernels_smoke.json"
+if [[ -f "${SMOKE_JSON}" && -f BENCH_kernels.json ]]; then
+  banner "bench_compare (report only)"
+  python3 scripts/bench_compare.py "${SMOKE_JSON}"
+fi
+
 banner "all checks passed"

@@ -1,5 +1,6 @@
 #include "common/thread_pool.hpp"
 
+#include <algorithm>
 #include <atomic>
 
 namespace gptpu {
@@ -68,6 +69,37 @@ void ThreadPool::parallel_for(ThreadPool& pool, usize n,
     }));
   }
   for (auto& f : futs) f.get();
+}
+
+void ThreadPool::parallel_chunks(
+    ThreadPool* pool, usize n, usize min_chunk,
+    const std::function<void(usize begin, usize end)>& fn) {
+  if (n == 0) return;
+  if (min_chunk == 0) min_chunk = 1;
+  const usize workers = pool != nullptr ? pool->size() : 0;
+  // Including the caller there are workers + 1 hands available; do not
+  // split finer than min_chunk.
+  const usize max_chunks = workers > 0 ? workers + 1 : 1;
+  const usize chunks = std::min(max_chunks, (n + min_chunk - 1) / min_chunk);
+  if (chunks <= 1) {
+    fn(0, n);
+    return;
+  }
+  std::vector<std::future<void>> futs;
+  futs.reserve(chunks - 1);
+  for (usize c = 1; c < chunks; ++c) {
+    const usize begin = n * c / chunks;
+    const usize end = n * (c + 1) / chunks;
+    futs.push_back(pool->submit([&fn, begin, end] { fn(begin, end); }));
+  }
+  fn(0, n * 1 / chunks);  // caller runs the first chunk
+  for (auto& f : futs) f.get();
+}
+
+ThreadPool& shared_worker_pool() {
+  static ThreadPool pool(
+      std::max<usize>(1, std::thread::hardware_concurrency()));
+  return pool;
 }
 
 }  // namespace gptpu

@@ -49,6 +49,19 @@ class ThreadPool {
   static void parallel_for(ThreadPool& pool, usize n,
                            const std::function<void(usize)>& fn);
 
+  /// Runs fn(begin, end) over contiguous chunks of [0, n), blocking until
+  /// every chunk is done. Caller-runs: one chunk always executes on the
+  /// calling thread (after the others are queued), so the caller never
+  /// parks while work it could do sits in the queue, and a null/size-1
+  /// pool degrades to a plain serial call -- which is what makes this safe
+  /// to use from the runtime's device workers without risking a
+  /// worker-waits-on-worker deadlock (chunk tasks themselves never block).
+  /// `min_chunk` bounds how finely the range is split so tiny ranges do
+  /// not pay queueing overhead.
+  static void parallel_chunks(
+      ThreadPool* pool, usize n, usize min_chunk,
+      const std::function<void(usize begin, usize end)>& fn);
+
  private:
   void worker_loop() GPTPU_EXCLUDES(mu_);
 
@@ -60,5 +73,11 @@ class ThreadPool {
   usize active_ GPTPU_GUARDED_BY(mu_) = 0;
   bool stopping_ GPTPU_GUARDED_BY(mu_) = false;
 };
+
+/// Process-wide compute pool sized to the machine (>= 1 thread), shared by
+/// every simulated device for intra-instruction parallelism and by the
+/// runtime's bulk quantize/dequantize paths. Lazily constructed on first
+/// use; lives until process exit.
+ThreadPool& shared_worker_pool();
 
 }  // namespace gptpu

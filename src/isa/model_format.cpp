@@ -38,12 +38,19 @@ float get_f32_le(const u8* src) {
 
 std::vector<u8> serialize_model(std::span<const i8> padded_data,
                                 const ModelInfo& info) {
+  std::vector<u8> blob;
+  serialize_model(padded_data, info, blob);
+  return blob;
+}
+
+void serialize_model(std::span<const i8> padded_data, const ModelInfo& info,
+                     std::vector<u8>& blob) {
   GPTPU_CHECK(padded_data.size() == info.padded.elems(),
               "data section does not match padded dimensions");
   GPTPU_CHECK(info.raw.rows <= info.padded.rows &&
                   info.raw.cols <= info.padded.cols,
               "raw dimensions exceed padded dimensions");
-  std::vector<u8> blob(model_wire_size(info.padded));
+  blob.resize(model_wire_size(info.padded));
 
   // Header: magic, version, reserved, trailing data-section size.
   u8* h = blob.data();
@@ -62,7 +69,6 @@ std::vector<u8> serialize_model(std::span<const i8> padded_data,
   put_u32_le(m + 8, static_cast<u32>(info.raw.rows));
   put_u32_le(m + 12, static_cast<u32>(info.raw.cols));
   put_f32_le(m + 16, info.scale);
-  return blob;
 }
 
 std::vector<u8> build_model(MatrixView<const float> raw, float scale,

@@ -49,6 +49,12 @@ struct ParsedModel {
 [[nodiscard]] std::vector<u8> serialize_model(std::span<const i8> padded_data,
                                               const ModelInfo& info);
 
+/// serialize_model into a caller-owned blob, reusing its capacity. The
+/// runtime's staging path serializes one model per tile; routing them
+/// through per-device scratch removes that per-instruction allocation.
+void serialize_model(std::span<const i8> padded_data, const ModelInfo& info,
+                     std::vector<u8>& blob);
+
 /// Quantizes `raw` with `scale` (q = clamp(round(raw * scale), -127, 127)),
 /// zero-pads to the next multiple of `tile`, and serializes. This is the
 /// fast single-pass path the Tensorizer uses (§6.2.3).

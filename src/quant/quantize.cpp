@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "quant/requant.hpp"
+
 namespace gptpu::quant {
 
 float Range::magnitude() const { return std::max(std::abs(min), std::abs(max)); }
@@ -78,12 +80,11 @@ float sampled_scale(Range sampled_outputs, float headroom) {
 }
 
 i8 quantize_value(float raw, float scale) {
-  const float q = std::round(raw * scale);
-  // NaN propagates through clamp (all comparisons false -> q comes back
-  // unchanged), and float->int conversion of NaN or out-of-range values is
-  // UB. Map NaN to 0 explicitly; clamp handles +/-inf and overflow.
-  if (std::isnan(q)) return 0;
-  return static_cast<i8>(std::clamp(q, -kQuantLimit, kQuantLimit));
+  // saturate_i8 owns the NaN->0 mapping and the clamp (float->int
+  // conversion of NaN or out-of-range values is UB); only the rounding
+  // rule -- round() here, half-away-from-zero -- is specific to input
+  // quantization.
+  return saturate_i8(std::round(raw * scale));
 }
 
 void quantize(std::span<const float> raw, float scale, std::span<i8> out) {

@@ -1,0 +1,116 @@
+// Shared requantization: integer accumulator -> int8 output.
+//
+// Two pieces live here so every clamp/NaN decision exists exactly once:
+//
+//  * saturate_i8(): the common tail of quant::quantize_value and
+//    sim::kernels::requantize -- map NaN to 0 (float->int conversion of
+//    NaN is UB), clamp to [-127, 127].
+//
+//  * Requant: a per-tile precomputed fixed-point multiplier for turning
+//    int32/int64 accumulators into int8 outputs without touching floating
+//    point per element. A plan folds the whole dequant * out_scale chain
+//    into one rational factor mult / 2^47; apply() is branch-free integer
+//    arithmetic (clamp, multiply, shift, round half to even), so the
+//    compiler can vectorize requantization loops, and it is NaN-free by
+//    construction. Both the fast kernel engine and the kernels::reference
+//    oracle call the same apply(), which is what makes the bit-exactness
+//    property tests hold by construction.
+#pragma once
+
+#include <cmath>
+
+#include "common/types.hpp"
+
+namespace gptpu::quant {
+
+/// NaN -> 0, then clamp to [-127, 127] and narrow. The only permitted way
+/// to turn a rounded floating-point quantity into an int8 code.
+[[nodiscard]] inline i8 saturate_i8(double q) {
+  if (std::isnan(q)) return 0;
+  if (q < -127.0) return -127;
+  if (q > 127.0) return 127;
+  return static_cast<i8>(q);
+}
+
+/// Shift of the fixed-point requantization grid: factors are represented
+/// as mult / 2^47, which keeps ~14 significant decimal digits for every
+/// factor the scale rules produce while a presaturated 64-bit product can
+/// never overflow.
+inline constexpr int kRequantShift = 47;
+
+/// Rounds a 47-bit fixed-point value to the nearest integer (ties to
+/// even, matching std::nearbyint) and saturates into int8. The shared
+/// tail of Requant::apply and the pairwise two-multiplier path.
+///
+/// Half-to-even is computed with the bias form (add half-1 plus the
+/// floor's parity bit, then arithmetic-shift) rather than separate
+/// rem>half / rem==half compares: the two are identical for every
+/// |pr| < 2^62 (callers bound |pr| below 2^62 by presaturation or by the
+/// 127.5 factor cap), and only the bias form is something GCC can
+/// vectorize -- the compare-and-or form leaves every requantization loop
+/// scalar.
+[[nodiscard]] inline i8 round_fixed47_to_i8(i64 pr) {
+  const i64 odd = (pr >> kRequantShift) & 1;
+  const i64 half = i64{1} << (kRequantShift - 1);
+  const i64 q = (pr + half - 1 + odd) >> kRequantShift;
+  return static_cast<i8>(q < -127 ? -127 : (q > 127 ? 127 : q));
+}
+
+/// Fixed-point requantization plan: out = round_half_even(acc * factor)
+/// saturated to [-127, 127], computed as (acc * mult) >> 47 with exact
+/// integer rounding. `presat` bounds the accumulator before the multiply
+/// so the 64-bit product cannot overflow for any factor (see plan()).
+struct Requant {
+  static constexpr int kShift = kRequantShift;
+
+  i64 mult = 0;
+  i64 presat = 0;          // |acc| is clamped to presat before multiplying
+  bool saturate_all = false;  // factor so large every nonzero acc saturates
+
+  /// Builds the plan for `factor` (the product of dequantization and
+  /// output scales). Non-finite or non-positive factors yield the
+  /// all-zero plan, matching a zero output scale. Factors above 127.5
+  /// saturate every nonzero accumulator, so no multiplier is needed.
+  [[nodiscard]] static Requant plan(double factor) {
+    Requant p;
+    if (!(factor > 0.0) || !std::isfinite(factor)) return p;  // all zeros
+    if (factor > 127.5) {
+      p.saturate_all = true;
+      return p;
+    }
+    // Beyond 129 / factor the result saturates either way, so clamping
+    // there first loses nothing and bounds |acc * mult| below
+    // 384 * 2^47 < 2^56: the product can never overflow.
+    const double ps = std::ceil(129.0 / factor) + 1.0;
+    p.presat = ps > 9.0e15 ? static_cast<i64>(9.0e15) : static_cast<i64>(ps);
+    p.mult = std::llround(std::ldexp(factor, kShift));
+    return p;
+  }
+
+  /// Requantizes one accumulator. Small enough to inline into kernel
+  /// loops, where the loop-invariant branches hoist and the rest
+  /// auto-vectorizes.
+  [[nodiscard]] i8 apply(i64 acc) const {
+    if (saturate_all) {
+      return acc > 0 ? i8{127} : (acc < 0 ? i8{-127} : i8{0});
+    }
+    const i64 a = acc < -presat ? -presat : (acc > presat ? presat : acc);
+    return round_fixed47_to_i8(a * mult);
+  }
+
+  /// apply() without the presaturation clamp. Only valid when the caller
+  /// proves |acc| <= presat for every accumulator (e.g. a conv2d whose
+  /// krows * kcols * 127^2 bound fits); kernels use it to shave the two
+  /// clamp operations off their hottest requantization loops.
+  [[nodiscard]] i8 apply_unsaturated(i64 acc) const {
+    return round_fixed47_to_i8(acc * mult);
+  }
+
+  /// True when apply_unsaturated() is safe for accumulators bounded by
+  /// `max_abs_acc`.
+  [[nodiscard]] bool covers(i64 max_abs_acc) const {
+    return !saturate_all && max_abs_acc <= presat;
+  }
+};
+
+}  // namespace gptpu::quant

@@ -6,6 +6,7 @@
 #include <cstring>
 #include <limits>
 
+#include "common/thread_pool.hpp"
 #include "isa/model_format.hpp"
 
 namespace gptpu::runtime {
@@ -40,16 +41,21 @@ u64 tile_key(const TileRef& t) {
 }
 
 /// Quantizes the tile's host rectangle into `out` (row-major, contiguous).
+/// Rows are striped across the shared worker pool (each row writes a
+/// disjoint slice of `out`); small tiles run serially on the caller.
 void quantize_tile(const TileRef& tile, std::vector<i8>& out) {
   const auto src =
       tile.buffer->view().sub(tile.row0, tile.col0, tile.shape);
   out.resize(tile.shape.elems());
-  usize i = 0;
-  for (usize r = 0; r < src.rows(); ++r) {
-    const auto row = src.row(r);
-    quant::quantize(row, tile.scale, std::span<i8>(&out[i], row.size()));
-    i += row.size();
-  }
+  const usize cols = tile.shape.cols;
+  ThreadPool::parallel_chunks(
+      &shared_worker_pool(), src.rows(), /*min_chunk=*/16,
+      [&](usize rbegin, usize rend) {
+        for (usize r = rbegin; r < rend; ++r) {
+          quant::quantize(src.row(r), tile.scale,
+                          std::span<i8>(&out[r * cols], cols));
+        }
+      });
 }
 
 }  // namespace
@@ -75,6 +81,18 @@ struct Runtime::OpContext {
   double max_acc GPTPU_GUARDED_BY(mu) =
       -std::numeric_limits<double>::infinity();
   bool max_seen GPTPU_GUARDED_BY(mu) = false;
+
+  // Partial-product accumulation (HostCombine::kAccumulate) serializes per
+  // output stripe instead of per operation, so workers landing disjoint
+  // output tiles never contend. Plans that accumulate into the same
+  // rectangle share an origin (inner-dimension splits of one output tile),
+  // so hashing the origin picks one consistent stripe lock per rectangle.
+  static constexpr usize kAccumStripes = 8;
+  std::array<Mutex, kAccumStripes> accum_mu;
+
+  [[nodiscard]] Mutex& accum_lock(usize row0, usize col0) {
+    return accum_mu[(row0 * 131 + col0) % kAccumStripes];
+  }
 };
 
 struct Runtime::DeviceState {
@@ -112,6 +130,7 @@ struct Runtime::DeviceState {
 
   // Scratch reused across plans to avoid per-plan allocation churn.
   std::vector<i8> stage_scratch;
+  std::vector<u8> model_scratch;
   std::vector<i8> out_scratch;
   std::vector<i32> wide_scratch;
 };
@@ -240,6 +259,12 @@ void Runtime::invoke(const OperationRequest& request) {
     }
   }
 
+  // Per-operation invariants, hoisted out of the dispatch loop (and off
+  // every lock): the timing model and the probe instruction object whose
+  // per-plan fields are overwritten below.
+  const sim::TimingModel& tm = pool_.timing();
+  isa::Instruction probe;
+
   // Dispatch every IQ entry. Scheduling decisions happen here, in plan
   // order, so they are deterministic for a given program.
   for (InstructionPlan& plan : lowered.plans) {
@@ -252,7 +277,6 @@ void Runtime::invoke(const OperationRequest& request) {
 
     // Instruction-latency estimate; the scheduler adds transfer costs for
     // tiles not yet resident on each candidate device.
-    isa::Instruction probe;
     probe.op = plan.op;
     probe.stride = plan.stride;
     probe.kernel_bank = plan.kernel_bank;
@@ -261,7 +285,6 @@ void Runtime::invoke(const OperationRequest& request) {
     const Shape2D in1_shape = plan.in1.valid() ? plan.in1.shape : Shape2D{};
     const Shape2D out_shape =
         isa::infer_output_shape(probe, plan.in0.shape, in1_shape);
-    const auto& tm = pool_.timing();
     const usize out_bytes =
         out_shape.elems() * (plan.wide_output ? sizeof(i32) : sizeof(i8));
     const Seconds est =
@@ -430,9 +453,9 @@ isa::DeviceTensorId Runtime::stage_tile(DeviceState& ds, const TileRef& tile,
     if (tile.as_model) {
       quantize_tile(tile, ds.stage_scratch);
       const isa::ModelInfo info{tile.shape, tile.shape, tile.scale};
-      const std::vector<u8> blob =
-          isa::serialize_model(ds.stage_scratch, info);
-      done = ds.device->load_model(blob, transfer_ready, link_setup);
+      isa::serialize_model(ds.stage_scratch, info, ds.model_scratch);
+      done = ds.device->load_model(ds.model_scratch, transfer_ready,
+                                   link_setup);
     } else {
       quantize_tile(tile, ds.stage_scratch);
       done = ds.device->write_tensor(tile.shape, tile.scale, ds.stage_scratch,
@@ -498,19 +521,16 @@ void Runtime::execute_plan(DeviceState& ds, const WorkItem& item) {
         ready,
         pool_.timing().model_creation_latency(plan.in0.shape.elems()) * 0.25,
         "zero-scan");
-    if (ctx.req->out->functional() &&
-        (plan.combine == HostCombine::kStore ||
-         plan.combine == HostCombine::kAccumulate)) {
-      MutexLock lock(ctx.mu);
-      if (plan.combine == HostCombine::kStore) {
-        auto dst = ctx.req->out->view().sub(plan.out_row0, plan.out_col0,
-                                            plan.out_shape);
-        for (usize r = 0; r < dst.rows(); ++r) {
-          auto row = dst.row(r);
-          std::fill(row.begin(), row.end(), 0.0f);
-        }
+    if (ctx.req->out->functional() && plan.combine == HostCombine::kStore) {
+      // kStore rectangles are disjoint across plans, so the fill needs no
+      // lock (see the combine path below). kAccumulate: adding zero is a
+      // no-op.
+      auto dst = ctx.req->out->view().sub(plan.out_row0, plan.out_col0,
+                                          plan.out_shape);
+      for (usize r = 0; r < dst.rows(); ++r) {
+        auto row = dst.row(r);
+        std::fill(row.begin(), row.end(), 0.0f);
       }
-      // kAccumulate: adding zero is a no-op.
     }
     ds.stats.zero_tiles_skipped.fetch_add(1, std::memory_order_relaxed);
     MutexLock lock(ctx.mu);
@@ -542,9 +562,10 @@ void Runtime::execute_plan(DeviceState& ds, const WorkItem& item) {
   instr.task_id = ctx.req->task_id;
   instr.quant = ctx.req->quant;
 
+  // Staged tiles have exactly the plan's shapes, so the output shape
+  // derives from the plan without a device-mutex round trip per operand.
   const Shape2D out_shape = isa::infer_output_shape(
-      instr, ds.device->tensor_shape(in0),
-      plan.in1.valid() ? ds.device->tensor_shape(in1) : Shape2D{});
+      instr, plan.in0.shape, plan.in1.valid() ? plan.in1.shape : Shape2D{});
   const usize out_bytes =
       out_shape.elems() * (plan.wide_output ? sizeof(i32) : sizeof(i8));
   ensure_device_space(ds, out_bytes, {pinned.data(), n_pinned});
@@ -582,7 +603,6 @@ void Runtime::execute_plan(DeviceState& ds, const WorkItem& item) {
     const double inv = plan.wide_output
                            ? plan.wide_dequant
                            : 1.0 / static_cast<double>(plan.out_scale);
-    MutexLock lock(ctx.mu);
     switch (plan.combine) {
       case HostCombine::kStore:
       case HostCombine::kAccumulate: {
@@ -591,30 +611,61 @@ void Runtime::execute_plan(DeviceState& ds, const WorkItem& item) {
         auto dst = ctx.req->out->view().sub(plan.out_row0, plan.out_col0,
                                             plan.out_shape);
         const bool acc = plan.combine == HostCombine::kAccumulate;
-        for (usize r = 0; r < out_shape.rows; ++r) {
-          float* d = dst.row(r).data();
-          for (usize c = 0; c < out_shape.cols; ++c) {
-            const double raw =
-                plan.wide_output
-                    ? static_cast<double>(
-                          ds.wide_scratch[r * out_shape.cols + c])
-                    : static_cast<double>(
-                          ds.out_scratch[r * out_shape.cols + c]);
-            const float v = static_cast<float>(raw * inv);
-            if (acc) {
-              d[c] += v;
+        // Dequantize + land the tile with rows striped across the shared
+        // pool; rows of one plan are disjoint, so the chunks never race
+        // with each other.
+        const auto land = [&](usize rbegin, usize rend) {
+          for (usize r = rbegin; r < rend; ++r) {
+            float* __restrict d = dst.row(r).data();
+            if (plan.wide_output) {
+              const i32* src = ds.wide_scratch.data() + r * out_shape.cols;
+              for (usize c = 0; c < out_shape.cols; ++c) {
+                const float v =
+                    static_cast<float>(static_cast<double>(src[c]) * inv);
+                if (acc) {
+                  d[c] += v;
+                } else {
+                  d[c] = v;
+                }
+              }
             } else {
-              d[c] = v;
+              const i8* src = ds.out_scratch.data() + r * out_shape.cols;
+              for (usize c = 0; c < out_shape.cols; ++c) {
+                const float v =
+                    static_cast<float>(static_cast<double>(src[c]) * inv);
+                if (acc) {
+                  d[c] += v;
+                } else {
+                  d[c] = v;
+                }
+              }
             }
           }
+        };
+        if (acc) {
+          // Accumulating plans that target the same rectangle serialize on
+          // a per-stripe lock (held by this worker across the parallel
+          // landing); disjoint rectangles usually hash to different
+          // stripes and proceed concurrently. This replaces the old
+          // whole-operation ctx.mu serialization.
+          MutexLock lock(ctx.accum_lock(plan.out_row0, plan.out_col0));
+          ThreadPool::parallel_chunks(&shared_worker_pool(), out_shape.rows,
+                                      /*min_chunk=*/32, land);
+        } else {
+          // kStore rectangles are disjoint across plans: lock-free.
+          ThreadPool::parallel_chunks(&shared_worker_pool(), out_shape.rows,
+                                      /*min_chunk=*/32, land);
         }
         break;
       }
-      case HostCombine::kMeanPartial:
+      case HostCombine::kMeanPartial: {
+        MutexLock lock(ctx.mu);
         ctx.mean_acc += ds.out_scratch[0] * inv * plan.combine_weight;
         break;
+      }
       case HostCombine::kMaxPartial: {
         const double v = ds.out_scratch[0] * inv;
+        MutexLock lock(ctx.mu);
         ctx.max_acc = ctx.max_seen ? std::max(ctx.max_acc, v) : v;
         ctx.max_seen = true;
         break;

@@ -130,21 +130,23 @@ Device::Completion Device::execute(const Instruction& instr, Seconds ready) {
       case Opcode::kConv2D:
         if (wide) {
           kernels::conv2d_wide(a, {in1->data.data(), in1->shape},
-                               instr.stride, instr.kernel_bank, wout);
+                               instr.stride, instr.kernel_bank, wout,
+                               compute_pool_);
         } else {
           kernels::conv2d(a, in0.scale, {in1->data.data(), in1->shape},
                           in1->scale, instr.stride, instr.kernel_bank,
-                          instr.out_scale, out);
+                          instr.out_scale, out, compute_pool_);
         }
         break;
       case Opcode::kFullyConnected:
         if (wide) {
           kernels::fully_connected_wide(a, {in1->data.data(), in1->shape},
-                                        wout);
+                                        wout, compute_pool_);
         } else {
           kernels::fully_connected(a, in0.scale,
                                    {in1->data.data(), in1->shape},
-                                   in1->scale, instr.out_scale, out);
+                                   in1->scale, instr.out_scale, out,
+                                   compute_pool_);
         }
         break;
       case Opcode::kAdd:
@@ -152,11 +154,12 @@ Device::Completion Device::execute(const Instruction& instr, Seconds ready) {
       case Opcode::kMul:
         kernels::pairwise(instr.op, a, in0.scale,
                           {in1->data.data(), in1->shape}, in1->scale,
-                          instr.out_scale, out);
+                          instr.out_scale, out, compute_pool_);
         break;
       case Opcode::kTanh:
       case Opcode::kReLu:
-        kernels::elementwise(instr.op, a, in0.scale, instr.out_scale, out);
+        kernels::elementwise(instr.op, a, in0.scale, instr.out_scale, out,
+                             compute_pool_);
         break;
       case Opcode::kMean:
       case Opcode::kMax:

@@ -32,6 +32,10 @@
 #include "isa/model_format.hpp"
 #include "sim/timing_model.hpp"
 
+namespace gptpu {
+class ThreadPool;
+}  // namespace gptpu
+
 namespace gptpu::sim {
 
 struct DeviceConfig {
@@ -136,6 +140,13 @@ class Device {
   /// Returns the device to a pristine state (memory and clocks).
   void reset() GPTPU_EXCLUDES(mu_);
 
+  /// Worker pool the functional kernels stripe their output rows across
+  /// (nullptr, the default, runs them serially). Set once at pool
+  /// construction, before any worker drives the device; the kernels'
+  /// chunk tasks never take device or runtime locks, so striping cannot
+  /// invert a lock order or stall the owning worker.
+  void set_compute_pool(ThreadPool* pool) { compute_pool_ = pool; }
+
  private:
   struct TensorRecord {
     Shape2D shape{};
@@ -156,6 +167,7 @@ class Device {
 
   DeviceConfig config_;
   const TimingModel* timing_;
+  ThreadPool* compute_pool_ = nullptr;  // written before workers start
   VirtualResource compute_;
   VirtualResource link_;
   mutable Mutex mu_;

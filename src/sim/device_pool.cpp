@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/thread_pool.hpp"
+
 namespace gptpu::sim {
 
 DevicePool::DevicePool(usize count, bool functional, usize memory_bytes) {
@@ -13,6 +15,9 @@ DevicePool::DevicePool(usize count, bool functional, usize memory_bytes) {
     cfg.memory_bytes = memory_bytes;
     cfg.functional = functional;
     devices_.push_back(std::make_unique<Device>(cfg, &timing_));
+    // Functional kernels stripe their rows across the process-wide pool;
+    // timing-only devices execute no payloads and skip the wiring.
+    if (functional) devices_.back()->set_compute_pool(&shared_worker_pool());
   }
 }
 
@@ -27,6 +32,7 @@ DevicePool::DevicePool(usize count, bool functional,
     cfg.memory_bytes = profile.memory_bytes;
     cfg.functional = functional;
     devices_.push_back(std::make_unique<Device>(cfg, &timing_));
+    if (functional) devices_.back()->set_compute_pool(&shared_worker_pool());
   }
 }
 

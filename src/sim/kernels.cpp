@@ -1,17 +1,625 @@
 #include "sim/kernels.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "quant/requant.hpp"
+
+// The reference oracle must stay scalar even when this translation unit is
+// built with -march=native, or the bench_kernels speedup would compare the
+// engine against an auto-vectorized "reference".
+#if defined(__GNUC__) && !defined(__clang__)
+#define GPTPU_SCALAR_KERNEL \
+  __attribute__((optimize("no-tree-vectorize", "no-tree-slp-vectorize")))
+#else
+#define GPTPU_SCALAR_KERNEL
+#endif
 
 namespace gptpu::sim::kernels {
 
 using isa::Opcode;
+using quant::Requant;
 
-i8 requantize(double raw, float out_scale) {
-  const double q = std::nearbyint(raw * static_cast<double>(out_scale));
-  return static_cast<i8>(std::clamp(q, -127.0, 127.0));
+namespace {
+
+/// Minimum output rows per parallel chunk; smaller matrices run serial.
+constexpr usize kRowGrain = 8;
+
+/// i32 accumulators are exact while taps * 127 * 127 fits in int32.
+constexpr usize kMaxI32Taps = ((usize{1} << 31) - 1) / (127 * 127);
+
+/// Adds (kInit = false) or initializes (kInit = true) up to four fused
+/// kernel taps into a row of i32 accumulators: acc[c] (+)= sum over t of
+/// kp[t] * ip[c + t]. Fusing taps amortizes the accumulator load/store
+/// traffic, which dominates small-kernel conv2d; initializing on the first
+/// group replaces a separate zero-fill pass.
+template <bool kInit>
+void conv_taps(i32* __restrict acc, const i8* __restrict ip,
+               const i8* __restrict kp, usize ntaps, usize n) {
+  const i32 k0 = static_cast<i32>(kp[0]);
+  const i32 k1 = ntaps > 1 ? static_cast<i32>(kp[1]) : 0;
+  const i32 k2 = ntaps > 2 ? static_cast<i32>(kp[2]) : 0;
+  const i32 k3 = ntaps > 3 ? static_cast<i32>(kp[3]) : 0;
+  switch (ntaps) {
+    case 4:
+      for (usize c = 0; c < n; ++c) {
+        const i32 v = k0 * static_cast<i32>(ip[c]) +
+                      k1 * static_cast<i32>(ip[c + 1]) +
+                      k2 * static_cast<i32>(ip[c + 2]) +
+                      k3 * static_cast<i32>(ip[c + 3]);
+        if (kInit) {
+          acc[c] = v;
+        } else {
+          acc[c] += v;
+        }
+      }
+      break;
+    case 3:
+      for (usize c = 0; c < n; ++c) {
+        const i32 v = k0 * static_cast<i32>(ip[c]) +
+                      k1 * static_cast<i32>(ip[c + 1]) +
+                      k2 * static_cast<i32>(ip[c + 2]);
+        if (kInit) {
+          acc[c] = v;
+        } else {
+          acc[c] += v;
+        }
+      }
+      break;
+    case 2:
+      for (usize c = 0; c < n; ++c) {
+        const i32 v =
+            k0 * static_cast<i32>(ip[c]) + k1 * static_cast<i32>(ip[c + 1]);
+        if (kInit) {
+          acc[c] = v;
+        } else {
+          acc[c] += v;
+        }
+      }
+      break;
+    default:
+      for (usize c = 0; c < n; ++c) {
+        const i32 v = k0 * static_cast<i32>(ip[c]);
+        if (kInit) {
+          acc[c] = v;
+        } else {
+          acc[c] += v;
+        }
+      }
+      break;
+  }
 }
 
+/// One stride.x == 1 conv2d output row: accumulates the whole kernel
+/// window into acc[0..out_cols) in tap groups of four. The first group
+/// initializes the accumulators, so no zero-fill pass is needed.
+void conv_row_i32(MatrixView<const i8> in, MatrixView<const i8> kernel,
+                  usize r0, usize krows, usize kcols, i32* acc,
+                  usize out_cols) {
+  if (krows == 3 && kcols == 3) {
+    // Fully fused 3x3 window: one pass, one store per output element
+    // instead of three accumulator read-modify-write passes. The most
+    // common CNN kernel size, and the shape the paper's conv results
+    // center on. Integer adds reassociate exactly, so this stays
+    // bit-identical to the tap-group path.
+    const i8* __restrict i0 = in.row(r0).data();
+    const i8* __restrict i1 = in.row(r0 + 1).data();
+    const i8* __restrict i2 = in.row(r0 + 2).data();
+    const i8* k0 = kernel.row(0).data();
+    const i8* k1 = kernel.row(1).data();
+    const i8* k2 = kernel.row(2).data();
+    const i32 k00 = k0[0], k01 = k0[1], k02 = k0[2];
+    const i32 k10 = k1[0], k11 = k1[1], k12 = k1[2];
+    const i32 k20 = k2[0], k21 = k2[1], k22 = k2[2];
+    for (usize c = 0; c < out_cols; ++c) {
+      acc[c] = k00 * static_cast<i32>(i0[c]) +
+               k01 * static_cast<i32>(i0[c + 1]) +
+               k02 * static_cast<i32>(i0[c + 2]) +
+               k10 * static_cast<i32>(i1[c]) +
+               k11 * static_cast<i32>(i1[c + 1]) +
+               k12 * static_cast<i32>(i1[c + 2]) +
+               k20 * static_cast<i32>(i2[c]) +
+               k21 * static_cast<i32>(i2[c + 1]) +
+               k22 * static_cast<i32>(i2[c + 2]);
+    }
+    return;
+  }
+  bool first = true;
+  for (usize kr = 0; kr < krows; ++kr) {
+    const i8* irow = in.row(r0 + kr).data();
+    const i8* krow = kernel.row(kr).data();
+    usize x = 0;
+    while (x < kcols) {
+      const usize ntaps = std::min<usize>(4, kcols - x);
+      if (first) {
+        conv_taps<true>(acc, irow + x, krow + x, ntaps, out_cols);
+        first = false;
+      } else {
+        conv_taps<false>(acc, irow + x, krow + x, ntaps, out_cols);
+      }
+      x += ntaps;
+    }
+  }
+}
+
+/// Requantizes a row of accumulators into int8. The plan is copied to a
+/// local so int8 stores through dst cannot alias it; `nosat` selects the
+/// clamp-free path when the caller proved |acc| <= presat for the row.
+template <typename Acc>
+void requant_row(const Requant& rq, bool nosat, const Acc* __restrict acc,
+                 i8* __restrict dst, usize n) {
+  // Members are hoisted into local scalars: GCC refuses to vectorize a
+  // loop whose body re-loads a struct field ("no vectype" for the i64
+  // member access), and the i64 multiply below only pays for itself in
+  // 8-lane form.
+  const Requant p = rq;
+  const i64 mult = p.mult;
+  const i64 presat = p.presat;
+  if (p.saturate_all) {
+    for (usize c = 0; c < n; ++c) {
+      const Acc a = acc[c];
+      dst[c] = a > 0 ? i8{127} : (a < 0 ? i8{-127} : i8{0});
+    }
+  } else if (nosat) {
+    for (usize c = 0; c < n; ++c) {
+      dst[c] = quant::round_fixed47_to_i8(static_cast<i64>(acc[c]) * mult);
+    }
+  } else {
+    for (usize c = 0; c < n; ++c) {
+      i64 a = static_cast<i64>(acc[c]);
+      a = a < -presat ? -presat : (a > presat ? presat : a);
+      dst[c] = quant::round_fixed47_to_i8(a * mult);
+    }
+  }
+}
+
+/// Shared add/sub/mul requantization plan. add/sub use two 47-bit
+/// fixed-point multipliers (out = round((a * mult_a +- b * mult_b) >> 47));
+/// mul folds both dequant scales into one Requant on the int16 product.
+/// Factors the fixed-point grid cannot represent (non-finite, or so large
+/// a single code saturates) fall back to the original double path; the
+/// engine and the reference oracle share this decision, which is what
+/// keeps them bit-exact.
+struct PairPlan {
+  bool fixed = false;
+  i64 mult_a = 0;
+  i64 mult_b = 0;
+  Requant mul_rq;
+  double inv_a = 0.0;
+  double inv_b = 0.0;
+};
+
+PairPlan plan_pairwise(Opcode op, float s_a, float s_b, float out_scale) {
+  PairPlan p;
+  p.inv_a = 1.0 / static_cast<double>(s_a);
+  p.inv_b = 1.0 / static_cast<double>(s_b);
+  const double scale = static_cast<double>(out_scale);
+  if (op == Opcode::kMul) {
+    p.mul_rq = Requant::plan(scale * p.inv_a * p.inv_b);
+    p.fixed = true;
+    return p;
+  }
+  const double fa = scale * p.inv_a;
+  const double fb = scale * p.inv_b;
+  // Both multipliers must fit the grid: 0 < f <= 127.5 bounds each term by
+  // 127 * 127.5 * 2^47 < 2^61, so the two-term sum cannot overflow i64.
+  if (std::isfinite(fa) && std::isfinite(fb) && fa > 0.0 && fb > 0.0 &&
+      fa <= 127.5 && fb <= 127.5) {
+    p.fixed = true;
+    p.mult_a = std::llround(std::ldexp(fa, Requant::kShift));
+    p.mult_b = std::llround(std::ldexp(fb, Requant::kShift));
+  }
+  return p;
+}
+
+/// Per-element pairwise evaluation on the shared plan; the reference
+/// oracle calls this directly, the engine inlines the same arithmetic
+/// into per-opcode loops.
+i8 pairwise_value(Opcode op, const PairPlan& p, i8 a, i8 b, float out_scale) {
+  if (p.fixed) {
+    switch (op) {
+      case Opcode::kAdd:
+        return quant::round_fixed47_to_i8(a * p.mult_a + b * p.mult_b);
+      case Opcode::kSub:
+        return quant::round_fixed47_to_i8(a * p.mult_a - b * p.mult_b);
+      default:
+        return p.mul_rq.apply(static_cast<i32>(a) * static_cast<i32>(b));
+    }
+  }
+  const double va = a * p.inv_a;
+  const double vb = b * p.inv_b;
+  const double raw = op == Opcode::kAdd ? va + vb : va - vb;
+  return requantize(raw, out_scale);
+}
+
+/// 256-entry table of requantize(q / s_in, out_scale) for q in
+/// [-128, 127] -- the hardware's evaluation strategy for per-value ops,
+/// and byte-identical to requantizing each element individually.
+std::array<i8, 256> rescale_lut(float s_in, float out_scale) {
+  std::array<i8, 256> lut{};
+  const double inv = 1.0 / static_cast<double>(s_in);
+  for (int q = -128; q <= 127; ++q) {
+    lut[static_cast<usize>(q + 128)] = requantize(q * inv, out_scale);
+  }
+  return lut;
+}
+
+void lut_map_row(const std::array<i8, 256>& lut, const i8* __restrict src,
+                 i8* __restrict dst, usize n) {
+  for (usize c = 0; c < n; ++c) {
+    dst[c] = lut[static_cast<usize>(static_cast<int>(src[c]) + 128)];
+  }
+}
+
+}  // namespace
+
+i8 requantize(double raw, float out_scale) {
+  // saturate_i8 owns the NaN->0 mapping and the clamp; nearbyint
+  // (round half to even) is the rounding rule for output requantization.
+  return quant::saturate_i8(
+      std::nearbyint(raw * static_cast<double>(out_scale)));
+}
+
+void conv2d(MatrixView<const i8> in, float s_in, MatrixView<const i8> kernels,
+            float s_k, isa::Stride stride, u16 bank, float out_scale,
+            MatrixView<i8> out, ThreadPool* pool) {
+  GPTPU_CHECK(stride.x > 0 && stride.y > 0, "conv2d: zero stride");
+  GPTPU_CHECK(bank > 0 && kernels.rows() % bank == 0,
+              "conv2d: bank does not divide kernel rows");
+  const usize krows = kernels.rows() / bank;
+  const usize kcols = kernels.cols();
+  GPTPU_CHECK(krows <= in.rows() && kcols <= in.cols(),
+              "conv2d: kernel larger than input");
+  const usize out_rows = (in.rows() - krows) / stride.y + 1;
+  const usize out_cols = (in.cols() - kcols) / stride.x + 1;
+  GPTPU_CHECK(out.rows() == out_rows && out.cols() == out_cols * bank,
+              "conv2d: bad output shape");
+  const double factor = static_cast<double>(out_scale) /
+                        (static_cast<double>(s_in) * static_cast<double>(s_k));
+  const Requant rq = Requant::plan(factor);
+  const usize taps = krows * kcols;
+  const bool nosat = rq.covers(static_cast<i64>(taps) * (127 * 127));
+  if (stride.x == 1 && taps > 0 && taps <= kMaxI32Taps) {
+    ThreadPool::parallel_chunks(
+        pool, out_rows, kRowGrain, [&](usize rbegin, usize rend) {
+          std::vector<i32> acc(out_cols);
+          for (usize k = 0; k < bank; ++k) {
+            const MatrixView<const i8> kernel =
+                kernels.sub(k * krows, 0, {krows, kcols});
+            const usize out_col_base = k * out_cols;
+            for (usize orow = rbegin; orow < rend; ++orow) {
+              conv_row_i32(in, kernel, orow * stride.y, krows, kcols,
+                           acc.data(), out_cols);
+              requant_row(rq, nosat, acc.data(), &out(orow, out_col_base),
+                          out_cols);
+            }
+          }
+        });
+    return;
+  }
+  // Strided-x / oversized-kernel path: per-output i64 accumulation with
+  // the same requantization plan.
+  ThreadPool::parallel_chunks(
+      pool, out_rows, kRowGrain, [&](usize rbegin, usize rend) {
+        for (usize k = 0; k < bank; ++k) {
+          const MatrixView<const i8> kernel =
+              kernels.sub(k * krows, 0, {krows, kcols});
+          const usize out_col_base = k * out_cols;
+          for (usize orow = rbegin; orow < rend; ++orow) {
+            const usize r0 = orow * stride.y;
+            for (usize ocol = 0; ocol < out_cols; ++ocol) {
+              const usize c0 = ocol * stride.x;
+              i64 acc = 0;
+              for (usize kr = 0; kr < krows; ++kr) {
+                const i8* irow = in.row(r0 + kr).data() + c0;
+                const i8* krow = kernel.row(kr).data();
+                i64 racc = 0;
+                for (usize kc = 0; kc < kcols; ++kc) {
+                  racc +=
+                      static_cast<i32>(irow[kc]) * static_cast<i32>(krow[kc]);
+                }
+                acc += racc;
+              }
+              out(orow, out_col_base + ocol) = rq.apply(acc);
+            }
+          }
+        }
+      });
+}
+
+void conv2d_wide(MatrixView<const i8> in, MatrixView<const i8> kernels,
+                 isa::Stride stride, u16 bank, MatrixView<i32> out,
+                 ThreadPool* pool) {
+  GPTPU_CHECK(stride.x > 0 && stride.y > 0, "conv2d: zero stride");
+  GPTPU_CHECK(bank > 0 && kernels.rows() % bank == 0,
+              "conv2d: bank does not divide kernel rows");
+  const usize krows = kernels.rows() / bank;
+  const usize kcols = kernels.cols();
+  GPTPU_CHECK(krows <= in.rows() && kcols <= in.cols(),
+              "conv2d: kernel larger than input");
+  const usize out_rows = (in.rows() - krows) / stride.y + 1;
+  const usize out_cols = (in.cols() - kcols) / stride.x + 1;
+  GPTPU_CHECK(out.rows() == out_rows && out.cols() == out_cols * bank,
+              "conv2d: bad output shape");
+  const usize taps = krows * kcols;
+  if (stride.x == 1 && taps > 0) {
+    // Accumulate straight into the i32 output row (same width as the
+    // hardware's wide mode, so overflow behavior matches the scalar code).
+    ThreadPool::parallel_chunks(
+        pool, out_rows, kRowGrain, [&](usize rbegin, usize rend) {
+          for (usize k = 0; k < bank; ++k) {
+            const MatrixView<const i8> kernel =
+                kernels.sub(k * krows, 0, {krows, kcols});
+            const usize out_col_base = k * out_cols;
+            for (usize orow = rbegin; orow < rend; ++orow) {
+              conv_row_i32(in, kernel, orow * stride.y, krows, kcols,
+                           &out(orow, out_col_base), out_cols);
+            }
+          }
+        });
+    return;
+  }
+  ThreadPool::parallel_chunks(
+      pool, out_rows, kRowGrain, [&](usize rbegin, usize rend) {
+        for (usize k = 0; k < bank; ++k) {
+          const MatrixView<const i8> kernel =
+              kernels.sub(k * krows, 0, {krows, kcols});
+          const usize out_col_base = k * out_cols;
+          for (usize orow = rbegin; orow < rend; ++orow) {
+            const usize r0 = orow * stride.y;
+            for (usize ocol = 0; ocol < out_cols; ++ocol) {
+              const usize c0 = ocol * stride.x;
+              i32 acc = 0;
+              for (usize kr = 0; kr < krows; ++kr) {
+                const i8* irow = in.row(r0 + kr).data() + c0;
+                const i8* krow = kernel.row(kr).data();
+                i32 racc = 0;
+                for (usize kc = 0; kc < kcols; ++kc) {
+                  racc +=
+                      static_cast<i32>(irow[kc]) * static_cast<i32>(krow[kc]);
+                }
+                acc += racc;
+              }
+              out(orow, out_col_base + ocol) = acc;
+            }
+          }
+        }
+      });
+}
+
+void fully_connected_wide(MatrixView<const i8> in,
+                          MatrixView<const i8> weights, MatrixView<i32> out,
+                          ThreadPool* pool) {
+  GPTPU_CHECK(in.cols() == weights.rows(), "fully_connected: inner mismatch");
+  GPTPU_CHECK(out.rows() == in.rows() && out.cols() == weights.cols(),
+              "fully_connected: bad output shape");
+  const usize n = in.cols();
+  const usize k = weights.cols();
+  ThreadPool::parallel_chunks(
+      pool, in.rows(), 4, [&](usize rbegin, usize rend) {
+        for (usize r = rbegin; r < rend; ++r) {
+          i32* __restrict orow = out.row(r).data();
+          std::fill_n(orow, k, 0);
+          const i8* irow = in.row(r).data();
+          // Rank-1 updates: inner loop walks one weight row and the output
+          // row contiguously, which vectorizes; zero input codes skip the
+          // whole row.
+          for (usize j = 0; j < n; ++j) {
+            const i32 a = irow[j];
+            if (a == 0) continue;
+            const i8* __restrict wrow = weights.row(j).data();
+            for (usize c = 0; c < k; ++c) {
+              orow[c] += a * static_cast<i32>(wrow[c]);
+            }
+          }
+        }
+      });
+}
+
+void fully_connected(MatrixView<const i8> in, float s_in,
+                     MatrixView<const i8> weights, float s_w, float out_scale,
+                     MatrixView<i8> out, ThreadPool* pool) {
+  GPTPU_CHECK(in.cols() == weights.rows(), "fully_connected: inner mismatch");
+  GPTPU_CHECK(out.rows() == in.rows() && out.cols() == weights.cols(),
+              "fully_connected: bad output shape");
+  const double factor = static_cast<double>(out_scale) /
+                        (static_cast<double>(s_in) * static_cast<double>(s_w));
+  const Requant rq = Requant::plan(factor);
+  const usize n = in.cols();
+  const usize k = weights.cols();
+  const bool nosat = rq.covers(static_cast<i64>(n) * (127 * 127));
+  if (n <= kMaxI32Taps) {
+    ThreadPool::parallel_chunks(
+        pool, in.rows(), 4, [&](usize rbegin, usize rend) {
+          std::vector<i32> acc(k);
+          for (usize r = rbegin; r < rend; ++r) {
+            std::fill(acc.begin(), acc.end(), 0);
+            const i8* irow = in.row(r).data();
+            i32* __restrict accp = acc.data();
+            for (usize j = 0; j < n; ++j) {
+              const i32 a = irow[j];
+              if (a == 0) continue;
+              const i8* __restrict wrow = weights.row(j).data();
+              for (usize c = 0; c < k; ++c) {
+                accp[c] += a * static_cast<i32>(wrow[c]);
+              }
+            }
+            requant_row(rq, nosat, accp, out.row(r).data(), k);
+          }
+        });
+    return;
+  }
+  // Inner dimension too long for exact i32 accumulation: fall back to i64.
+  ThreadPool::parallel_chunks(
+      pool, in.rows(), 4, [&](usize rbegin, usize rend) {
+        std::vector<i64> acc(k);
+        for (usize r = rbegin; r < rend; ++r) {
+          std::fill(acc.begin(), acc.end(), 0);
+          const i8* irow = in.row(r).data();
+          i64* __restrict accp = acc.data();
+          for (usize j = 0; j < n; ++j) {
+            const i32 a = irow[j];
+            if (a == 0) continue;
+            const i8* __restrict wrow = weights.row(j).data();
+            for (usize c = 0; c < k; ++c) {
+              accp[c] += a * static_cast<i32>(wrow[c]);
+            }
+          }
+          requant_row(rq, nosat, accp, out.row(r).data(), k);
+        }
+      });
+}
+
+void pairwise(Opcode op, MatrixView<const i8> a, float s_a,
+              MatrixView<const i8> b, float s_b, float out_scale,
+              MatrixView<i8> out, ThreadPool* pool) {
+  GPTPU_CHECK(a.shape() == b.shape() && a.shape() == out.shape(),
+              "pairwise: shape mismatch");
+  if (op != Opcode::kAdd && op != Opcode::kSub && op != Opcode::kMul) {
+    throw InvalidArgument("pairwise: not a pairwise opcode");
+  }
+  const PairPlan pp = plan_pairwise(op, s_a, s_b, out_scale);
+  const usize cols = a.cols();
+  ThreadPool::parallel_chunks(
+      pool, a.rows(), kRowGrain, [&](usize rbegin, usize rend) {
+        const PairPlan p = pp;  // local copy: i8 stores cannot alias it
+        const usize n = cols;   // ditto for the captured loop bound
+        for (usize r = rbegin; r < rend; ++r) {
+          const i8* __restrict ra = a.row(r).data();
+          const i8* __restrict rb = b.row(r).data();
+          i8* __restrict ro = out.row(r).data();
+          if (!p.fixed) {
+            for (usize c = 0; c < n; ++c) {
+              ro[c] = pairwise_value(op, p, ra[c], rb[c], out_scale);
+            }
+          } else if (op == Opcode::kAdd) {
+            const i64 ma = p.mult_a, mb = p.mult_b;
+            for (usize c = 0; c < n; ++c) {
+              ro[c] = quant::round_fixed47_to_i8(ra[c] * ma + rb[c] * mb);
+            }
+          } else if (op == Opcode::kSub) {
+            const i64 ma = p.mult_a, mb = p.mult_b;
+            for (usize c = 0; c < n; ++c) {
+              ro[c] = quant::round_fixed47_to_i8(ra[c] * ma - rb[c] * mb);
+            }
+          } else {
+            // mul: |a * b| <= 127^2, so when the plan covers that bound
+            // the presat clamp drops out; all three sub-cases keep the
+            // plan in scalars (member loads block vectorization, as in
+            // requant_row) and match mul_rq.apply() exactly.
+            const Requant rq = p.mul_rq;
+            const i64 mult = rq.mult, presat = rq.presat;
+            if (rq.saturate_all) {
+              for (usize c = 0; c < n; ++c) {
+                const i32 v =
+                    static_cast<i32>(ra[c]) * static_cast<i32>(rb[c]);
+                ro[c] = v > 0 ? i8{127} : (v < 0 ? i8{-127} : i8{0});
+              }
+            } else if (rq.covers(127 * 127)) {
+              for (usize c = 0; c < n; ++c) {
+                const i64 v =
+                    static_cast<i32>(ra[c]) * static_cast<i32>(rb[c]);
+                ro[c] = quant::round_fixed47_to_i8(v * mult);
+              }
+            } else {
+              for (usize c = 0; c < n; ++c) {
+                i64 v = static_cast<i32>(ra[c]) * static_cast<i32>(rb[c]);
+                v = v < -presat ? -presat : (v > presat ? presat : v);
+                ro[c] = quant::round_fixed47_to_i8(v * mult);
+              }
+            }
+          }
+        }
+      });
+}
+
+void elementwise(Opcode op, MatrixView<const i8> in, float s_in,
+                 float out_scale, MatrixView<i8> out, ThreadPool* pool) {
+  GPTPU_CHECK(in.shape() == out.shape(), "elementwise: shape mismatch");
+  // 256-entry lookup table, exactly how the hardware evaluates activation
+  // functions on quantized values.
+  std::array<i8, 256> lut{};
+  const double inv = 1.0 / static_cast<double>(s_in);
+  for (int q = -128; q <= 127; ++q) {
+    const double x = q * inv;
+    double y = 0;
+    switch (op) {
+      case Opcode::kTanh: y = std::tanh(x); break;
+      case Opcode::kReLu: y = x > 0 ? x : 0; break;
+      default: throw InvalidArgument("elementwise: not an elementwise opcode");
+    }
+    lut[static_cast<usize>(q + 128)] = requantize(y, out_scale);
+  }
+  const usize cols = in.cols();
+  ThreadPool::parallel_chunks(
+      pool, in.rows(), kRowGrain, [&](usize rbegin, usize rend) {
+        for (usize r = rbegin; r < rend; ++r) {
+          lut_map_row(lut, in.row(r).data(), out.row(r).data(), cols);
+        }
+      });
+}
+
+i8 reduce(Opcode op, MatrixView<const i8> in, float s_in, float out_scale) {
+  GPTPU_CHECK(in.rows() > 0 && in.cols() > 0, "reduce: empty input");
+  const double inv = 1.0 / static_cast<double>(s_in);
+  if (op == Opcode::kMax) {
+    i8 best = in(0, 0);
+    for (usize r = 0; r < in.rows(); ++r) {
+      const i8* ri = in.row(r).data();
+      for (usize c = 0; c < in.cols(); ++c) best = std::max(best, ri[c]);
+    }
+    return requantize(best * inv, out_scale);
+  }
+  if (op == Opcode::kMean) {
+    i64 acc = 0;
+    for (usize r = 0; r < in.rows(); ++r) {
+      const i8* ri = in.row(r).data();
+      i64 racc = 0;
+      for (usize c = 0; c < in.cols(); ++c) racc += ri[c];
+      acc += racc;
+    }
+    const double mean =
+        static_cast<double>(acc) / static_cast<double>(in.shape().elems());
+    return requantize(mean * inv, out_scale);
+  }
+  throw InvalidArgument("reduce: not a matrix-wise opcode");
+}
+
+void crop(MatrixView<const i8> in, float s_in, isa::Window window,
+          float out_scale, MatrixView<i8> out) {
+  GPTPU_CHECK(window.row0 + window.shape.rows <= in.rows() &&
+                  window.col0 + window.shape.cols <= in.cols(),
+              "crop: window out of range");
+  GPTPU_CHECK(out.shape() == window.shape, "crop: bad output shape");
+  const std::array<i8, 256> lut = rescale_lut(s_in, out_scale);
+  for (usize r = 0; r < window.shape.rows; ++r) {
+    lut_map_row(lut, in.row(window.row0 + r).data() + window.col0,
+                out.row(r).data(), window.shape.cols);
+  }
+}
+
+void ext(MatrixView<const i8> in, float s_in, float out_scale,
+         MatrixView<i8> out) {
+  GPTPU_CHECK(out.rows() >= in.rows() && out.cols() >= in.cols(),
+              "ext: output smaller than input");
+  const std::array<i8, 256> lut = rescale_lut(s_in, out_scale);
+  for (usize r = 0; r < out.rows(); ++r) {
+    i8* ro = out.row(r).data();
+    if (r < in.rows()) {
+      lut_map_row(lut, in.row(r).data(), ro, in.cols());
+      std::fill(ro + in.cols(), ro + out.cols(), static_cast<i8>(0));
+    } else {
+      std::fill_n(ro, out.cols(), static_cast<i8>(0));
+    }
+  }
+}
+
+namespace reference {
+
+GPTPU_SCALAR_KERNEL
 void conv2d(MatrixView<const i8> in, float s_in, MatrixView<const i8> kernels,
             float s_k, isa::Stride stride, u16 bank, float out_scale,
             MatrixView<i8> out) {
@@ -26,8 +634,9 @@ void conv2d(MatrixView<const i8> in, float s_in, MatrixView<const i8> kernels,
   const usize out_cols = (in.cols() - kcols) / stride.x + 1;
   GPTPU_CHECK(out.rows() == out_rows && out.cols() == out_cols * bank,
               "conv2d: bad output shape");
-  const double dequant =
-      1.0 / (static_cast<double>(s_in) * static_cast<double>(s_k));
+  const double factor = static_cast<double>(out_scale) /
+                        (static_cast<double>(s_in) * static_cast<double>(s_k));
+  const Requant rq = Requant::plan(factor);
   for (usize k = 0; k < bank; ++k) {
     const MatrixView<const i8> kernel =
         kernels.sub(k * krows, 0, {krows, kcols});
@@ -46,13 +655,13 @@ void conv2d(MatrixView<const i8> in, float s_in, MatrixView<const i8> kernels,
           }
           acc += racc;
         }
-        out(orow, out_col_base + ocol) =
-            requantize(static_cast<double>(acc) * dequant, out_scale);
+        out(orow, out_col_base + ocol) = rq.apply(acc);
       }
     }
   }
 }
 
+GPTPU_SCALAR_KERNEL
 void conv2d_wide(MatrixView<const i8> in, MatrixView<const i8> kernels,
                  isa::Stride stride, u16 bank, MatrixView<i32> out) {
   GPTPU_CHECK(stride.x > 0 && stride.y > 0, "conv2d: zero stride");
@@ -90,6 +699,7 @@ void conv2d_wide(MatrixView<const i8> in, MatrixView<const i8> kernels,
   }
 }
 
+GPTPU_SCALAR_KERNEL
 void fully_connected_wide(MatrixView<const i8> in,
                           MatrixView<const i8> weights, MatrixView<i32> out) {
   GPTPU_CHECK(in.cols() == weights.rows(), "fully_connected: inner mismatch");
@@ -112,22 +722,22 @@ void fully_connected_wide(MatrixView<const i8> in,
   }
 }
 
+GPTPU_SCALAR_KERNEL
 void fully_connected(MatrixView<const i8> in, float s_in,
                      MatrixView<const i8> weights, float s_w, float out_scale,
                      MatrixView<i8> out) {
   GPTPU_CHECK(in.cols() == weights.rows(), "fully_connected: inner mismatch");
   GPTPU_CHECK(out.rows() == in.rows() && out.cols() == weights.cols(),
               "fully_connected: bad output shape");
-  const double dequant =
-      1.0 / (static_cast<double>(s_in) * static_cast<double>(s_w));
+  const double factor = static_cast<double>(out_scale) /
+                        (static_cast<double>(s_in) * static_cast<double>(s_w));
+  const Requant rq = Requant::plan(factor);
   const usize n = in.cols();
   const usize k = weights.cols();
   std::vector<i64> acc(k);
   for (usize r = 0; r < in.rows(); ++r) {
     std::fill(acc.begin(), acc.end(), 0);
     const i8* irow = in.row(r).data();
-    // Loop order (inner over columns of the weight row) keeps both streams
-    // sequential, letting the compiler vectorize the int8 x int8 products.
     for (usize j = 0; j < n; ++j) {
       const i32 a = irow[j];
       if (a == 0) continue;
@@ -138,42 +748,35 @@ void fully_connected(MatrixView<const i8> in, float s_in,
     }
     i8* orow = out.row(r).data();
     for (usize c = 0; c < k; ++c) {
-      orow[c] = requantize(static_cast<double>(acc[c]) * dequant, out_scale);
+      orow[c] = rq.apply(acc[c]);
     }
   }
 }
 
+GPTPU_SCALAR_KERNEL
 void pairwise(Opcode op, MatrixView<const i8> a, float s_a,
               MatrixView<const i8> b, float s_b, float out_scale,
               MatrixView<i8> out) {
   GPTPU_CHECK(a.shape() == b.shape() && a.shape() == out.shape(),
               "pairwise: shape mismatch");
-  const double inv_a = 1.0 / static_cast<double>(s_a);
-  const double inv_b = 1.0 / static_cast<double>(s_b);
+  if (op != Opcode::kAdd && op != Opcode::kSub && op != Opcode::kMul) {
+    throw InvalidArgument("pairwise: not a pairwise opcode");
+  }
+  const PairPlan pp = plan_pairwise(op, s_a, s_b, out_scale);
   for (usize r = 0; r < a.rows(); ++r) {
     const i8* ra = a.row(r).data();
     const i8* rb = b.row(r).data();
     i8* ro = out.row(r).data();
     for (usize c = 0; c < a.cols(); ++c) {
-      const double va = ra[c] * inv_a;
-      const double vb = rb[c] * inv_b;
-      double raw = 0;
-      switch (op) {
-        case Opcode::kAdd: raw = va + vb; break;
-        case Opcode::kSub: raw = va - vb; break;
-        case Opcode::kMul: raw = va * vb; break;
-        default: throw InvalidArgument("pairwise: not a pairwise opcode");
-      }
-      ro[c] = requantize(raw, out_scale);
+      ro[c] = pairwise_value(op, pp, ra[c], rb[c], out_scale);
     }
   }
 }
 
+GPTPU_SCALAR_KERNEL
 void elementwise(Opcode op, MatrixView<const i8> in, float s_in,
                  float out_scale, MatrixView<i8> out) {
   GPTPU_CHECK(in.shape() == out.shape(), "elementwise: shape mismatch");
-  // 256-entry lookup table, exactly how the hardware evaluates activation
-  // functions on quantized values.
   std::array<i8, 256> lut{};
   const double inv = 1.0 / static_cast<double>(s_in);
   for (int q = -128; q <= 127; ++q) {
@@ -195,6 +798,7 @@ void elementwise(Opcode op, MatrixView<const i8> in, float s_in,
   }
 }
 
+GPTPU_SCALAR_KERNEL
 i8 reduce(Opcode op, MatrixView<const i8> in, float s_in, float out_scale) {
   GPTPU_CHECK(in.rows() > 0 && in.cols() > 0, "reduce: empty input");
   const double inv = 1.0 / static_cast<double>(s_in);
@@ -217,6 +821,7 @@ i8 reduce(Opcode op, MatrixView<const i8> in, float s_in, float out_scale) {
   throw InvalidArgument("reduce: not a matrix-wise opcode");
 }
 
+GPTPU_SCALAR_KERNEL
 void crop(MatrixView<const i8> in, float s_in, isa::Window window,
           float out_scale, MatrixView<i8> out) {
   GPTPU_CHECK(window.row0 + window.shape.rows <= in.rows() &&
@@ -233,6 +838,7 @@ void crop(MatrixView<const i8> in, float s_in, isa::Window window,
   }
 }
 
+GPTPU_SCALAR_KERNEL
 void ext(MatrixView<const i8> in, float s_in, float out_scale,
          MatrixView<i8> out) {
   GPTPU_CHECK(out.rows() >= in.rows() && out.cols() >= in.cols(),
@@ -250,5 +856,7 @@ void ext(MatrixView<const i8> in, float s_in, float out_scale,
     }
   }
 }
+
+}  // namespace reference
 
 }  // namespace gptpu::sim::kernels

@@ -4,10 +4,30 @@
 // accumulation inside one instruction, and requantization of results to
 // int8 with the instruction's output scale. Every accuracy number the
 // benchmarks report flows through these kernels.
+//
+// Two implementations live here:
+//
+//  * The default engine: cache-blocked kernels with contiguous inner
+//    loops over i8 x i8 -> i32 accumulators that auto-vectorize, and a
+//    precomputed fixed-point requantization plan (quant::Requant) instead
+//    of per-element double math. Each entry point optionally stripes its
+//    output rows across a ThreadPool; pass nullptr (the default) for a
+//    plain serial call. Chunk tasks never block, so striping is safe from
+//    the runtime's per-device workers (see ThreadPool::parallel_chunks).
+//
+//  * kernels::reference: the original scalar triple-nested loops, pinned
+//    to non-vectorized code. It is the test oracle -- the engine must be
+//    bit-exact against it (tests/test_kernels_equivalence.cpp), which
+//    holds by construction because both sides share the same Requant
+//    plan for every accumulator -> int8 conversion.
 #pragma once
 
 #include "common/matrix.hpp"
 #include "isa/instruction.hpp"
+
+namespace gptpu {
+class ThreadPool;
+}  // namespace gptpu
 
 namespace gptpu::sim::kernels {
 
@@ -20,30 +40,33 @@ namespace gptpu::sim::kernels {
 /// contributes a contiguous group of output columns).
 void conv2d(MatrixView<const i8> in, float s_in, MatrixView<const i8> kernels,
             float s_k, isa::Stride stride, u16 bank, float out_scale,
-            MatrixView<i8> out);
+            MatrixView<i8> out, ThreadPool* pool = nullptr);
 
 /// conv2D emitting the raw int32 accumulators (wide-output mode; the host
 /// dequantizes with 1 / (s_in * s_k)).
 void conv2d_wide(MatrixView<const i8> in, MatrixView<const i8> kernels,
-                 isa::Stride stride, u16 bank, MatrixView<i32> out);
+                 isa::Stride stride, u16 bank, MatrixView<i32> out,
+                 ThreadPool* pool = nullptr);
 
 /// FullyConnected: out = in (MxN) x weights (NxK), int32 accumulation.
 void fully_connected(MatrixView<const i8> in, float s_in,
                      MatrixView<const i8> weights, float s_w, float out_scale,
-                     MatrixView<i8> out);
+                     MatrixView<i8> out, ThreadPool* pool = nullptr);
 
 /// FullyConnected emitting the raw int32 accumulators.
 void fully_connected_wide(MatrixView<const i8> in,
-                          MatrixView<const i8> weights, MatrixView<i32> out);
+                          MatrixView<const i8> weights, MatrixView<i32> out,
+                          ThreadPool* pool = nullptr);
 
 /// add / sub / mul on corresponding value pairs.
 void pairwise(isa::Opcode op, MatrixView<const i8> a, float s_a,
               MatrixView<const i8> b, float s_b, float out_scale,
-              MatrixView<i8> out);
+              MatrixView<i8> out, ThreadPool* pool = nullptr);
 
 /// tanh / ReLu element-wise.
 void elementwise(isa::Opcode op, MatrixView<const i8> in, float s_in,
-                 float out_scale, MatrixView<i8> out);
+                 float out_scale, MatrixView<i8> out,
+                 ThreadPool* pool = nullptr);
 
 /// mean / max matrix-wise reduction to a single int8 value.
 [[nodiscard]] i8 reduce(isa::Opcode op, MatrixView<const i8> in, float s_in,
@@ -59,7 +82,45 @@ void ext(MatrixView<const i8> in, float s_in, float out_scale,
          MatrixView<i8> out);
 
 /// Requantization helper shared by all kernels:
-/// clamp(round(raw * out_scale)) into int8.
+/// clamp(round(raw * out_scale)) into int8, NaN -> 0.
 [[nodiscard]] i8 requantize(double raw, float out_scale);
+
+/// The original scalar kernels, kept as the bit-exactness oracle for the
+/// vectorized engine above (and as the baseline the bench_kernels speedup
+/// numbers are measured against). Pinned to non-vectorized code on GCC so
+/// the comparison stays honest under -march=native.
+namespace reference {
+
+void conv2d(MatrixView<const i8> in, float s_in, MatrixView<const i8> kernels,
+            float s_k, isa::Stride stride, u16 bank, float out_scale,
+            MatrixView<i8> out);
+
+void conv2d_wide(MatrixView<const i8> in, MatrixView<const i8> kernels,
+                 isa::Stride stride, u16 bank, MatrixView<i32> out);
+
+void fully_connected(MatrixView<const i8> in, float s_in,
+                     MatrixView<const i8> weights, float s_w, float out_scale,
+                     MatrixView<i8> out);
+
+void fully_connected_wide(MatrixView<const i8> in,
+                          MatrixView<const i8> weights, MatrixView<i32> out);
+
+void pairwise(isa::Opcode op, MatrixView<const i8> a, float s_a,
+              MatrixView<const i8> b, float s_b, float out_scale,
+              MatrixView<i8> out);
+
+void elementwise(isa::Opcode op, MatrixView<const i8> in, float s_in,
+                 float out_scale, MatrixView<i8> out);
+
+[[nodiscard]] i8 reduce(isa::Opcode op, MatrixView<const i8> in, float s_in,
+                        float out_scale);
+
+void crop(MatrixView<const i8> in, float s_in, isa::Window window,
+          float out_scale, MatrixView<i8> out);
+
+void ext(MatrixView<const i8> in, float s_in, float out_scale,
+         MatrixView<i8> out);
+
+}  // namespace reference
 
 }  // namespace gptpu::sim::kernels
