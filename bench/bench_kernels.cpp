@@ -3,11 +3,13 @@
 // optimal arithmetic tile, 64x64 the conservative one; §5.2, §6.2).
 //
 // Wall-clock throughput only -- no modelled (virtual-time) number is
-// produced or consumed here. Each measurement is the minimum over N
-// trials to suppress scheduler jitter on shared machines. The engine's
-// outputs are compared element-wise against the reference on every shape;
-// any mismatch fails the run, making this a cheap bit-exactness smoke
-// test as well.
+// produced or consumed here. Each headline measurement is the minimum
+// over N trials to suppress scheduler jitter on shared machines; the
+// per-trial dispersion (Welford stddev via bench::TimingSummary) is
+// printed and exported alongside so noisy runs are identifiable. The
+// engine's outputs are compared element-wise against the reference on
+// every shape; any mismatch fails the run, making this a cheap
+// bit-exactness smoke test as well.
 //
 //   bench_kernels [--quick] [--json <path>]
 //
@@ -23,6 +25,7 @@
 
 #include "bench_util.hpp"
 #include "common/matrix.hpp"
+#include "common/metrics.hpp"
 #include "common/rng.hpp"
 #include "sim/kernels.hpp"
 
@@ -53,28 +56,53 @@ double timed_reps(int reps, F&& fn) {
   return best;
 }
 
-struct PairSeconds {
-  double ref_s;
-  double eng_s;
+struct PairTiming {
+  gptpu::bench::TimingSummary ref;
+  gptpu::bench::TimingSummary eng;
 };
 
 /// Times reference and engine interleaved within each trial so scheduler
-/// noise on a shared machine hits both sides alike, then keeps the
-/// per-side minimum. Separate min-of-N phases can skew the ratio 2x here
-/// when a noise burst lands entirely in one phase.
+/// noise on a shared machine hits both sides alike. The headline GOPS
+/// still comes from the per-side minimum (separate min-of-N phases can
+/// skew the ratio 2x when a noise burst lands entirely in one phase);
+/// the summaries additionally carry mean/stddev across trials. Fills the
+/// caller's PairTiming in place (TimingSummary owns a mutex, so it is
+/// neither copyable nor movable).
 template <typename FR, typename FE>
-PairSeconds min_seconds_pair(const Trial& t, FR&& ref_fn, FE&& eng_fn) {
-  PairSeconds best{std::numeric_limits<double>::infinity(),
-                   std::numeric_limits<double>::infinity()};
+void time_pair(const Trial& t, FR&& ref_fn, FE&& eng_fn, PairTiming& pt) {
   for (int i = 0; i < t.trials; ++i) {
-    best.ref_s = std::min(best.ref_s, timed_reps(t.reps, ref_fn));
-    best.eng_s = std::min(best.eng_s, timed_reps(t.reps, eng_fn));
+    pt.ref.add(timed_reps(t.reps, ref_fn));
+    pt.eng.add(timed_reps(t.reps, eng_fn));
   }
-  return best;
 }
 
 void fill_i8(Matrix<i8>& m, Rng& rng) {
   for (auto& v : m.span()) v = static_cast<i8>(rng.uniform_int(-127, 127));
+}
+
+/// Appends the global metrics registry as flat "metrics.<name>" keys
+/// (histograms expand to .count/.p50/.p95). The kernel engine bumps a few
+/// counters (e.g. quant.requant_saturated_tiles) as it runs, so the
+/// --json output doubles as a registry smoke. bench_compare.py treats
+/// unknown keys as informational, so the committed baseline is unaffected.
+void append_registry_metrics(JsonWriter& json) {
+  for (const auto& e : gptpu::metrics::MetricRegistry::global().snapshot()) {
+    const std::string key = "metrics." + e.name;
+    using Kind = gptpu::metrics::MetricRegistry::Kind;
+    switch (e.kind) {
+      case Kind::kCounter:
+        json.add(key, static_cast<double>(e.counter));
+        break;
+      case Kind::kGauge:
+        json.add(key, e.gauge);
+        break;
+      case Kind::kHistogram:
+        json.add(key + ".count", static_cast<double>(e.hist.count));
+        json.add(key + ".p50", e.hist.p50);
+        json.add(key + ".p95", e.hist.p95);
+        break;
+    }
+  }
 }
 
 usize count_mismatches(const Matrix<i8>& a, const Matrix<i8>& b) {
@@ -86,17 +114,25 @@ usize count_mismatches(const Matrix<i8>& a, const Matrix<i8>& b) {
 }
 
 /// Prints one comparison row and records reference/engine GOPS plus the
-/// speedup under `name` in the JSON sink.
-void report(JsonWriter& json, const char* name, double ops, double ref_s,
-            double eng_s, usize mismatches, usize* total_mismatches) {
+/// speedup under `name` in the JSON sink. GOPS come from the per-side
+/// trial minima (same methodology as the committed baseline); the
+/// relative stddev across trials rides along as a noise indicator.
+void report(JsonWriter& json, const char* name, double ops,
+            const PairTiming& pt, usize mismatches, usize* total_mismatches) {
+  const double ref_s = pt.ref.min();
+  const double eng_s = pt.eng.min();
   const double ref_gops = ops / ref_s / 1e9;
   const double eng_gops = ops / eng_s / 1e9;
-  std::printf("  %-24s reference %8.3f GOPS   engine %8.3f GOPS   %5.2fx%s\n",
-              name, ref_gops, eng_gops, ref_s / eng_s,
-              mismatches != 0 ? "  MISMATCH" : "");
+  std::printf(
+      "  %-24s reference %8.3f GOPS   engine %8.3f GOPS   %5.2fx  "
+      "(noise +/-%4.1f%%)%s\n",
+      name, ref_gops, eng_gops, ref_s / eng_s, pt.eng.rel_stddev() * 100,
+      mismatches != 0 ? "  MISMATCH" : "");
   json.add(std::string(name) + ".reference_gops", ref_gops);
   json.add(std::string(name) + ".engine_gops", eng_gops);
   json.add(std::string(name) + ".speedup", ref_s / eng_s);
+  json.add(std::string(name) + ".reference_rel_stddev", pt.ref.rel_stddev());
+  json.add(std::string(name) + ".engine_rel_stddev", pt.eng.rel_stddev());
   *total_mismatches += mismatches;
 }
 
@@ -117,7 +153,8 @@ void bench_conv(JsonWriter& json, const char* name, usize size, usize ksz,
   const usize out_cols = size - ksz + 1;
   Matrix<i8> ref_out(out_rows, out_cols * bank);
   Matrix<i8> eng_out(out_rows, out_cols * bank);
-  const auto [ref_s, eng_s] = min_seconds_pair(
+  PairTiming pt;
+  time_pair(
       t,
       [&] {
         kern::reference::conv2d(in.view(), s_in, kernels.view(), s_k, {1, 1},
@@ -126,11 +163,11 @@ void bench_conv(JsonWriter& json, const char* name, usize size, usize ksz,
       [&] {
         kern::conv2d(in.view(), s_in, kernels.view(), s_k, {1, 1}, bank,
                      out_scale, eng_out.view());
-      });
+      },
+      pt);
   const double ops =
       2.0 * static_cast<double>(out_rows * out_cols * ksz * ksz * bank);
-  report(json, name, ops, ref_s, eng_s, count_mismatches(ref_out, eng_out),
-         mismatches);
+  report(json, name, ops, pt, count_mismatches(ref_out, eng_out), mismatches);
 }
 
 void bench_fc(JsonWriter& json, const char* name, usize size, const Trial& t,
@@ -146,7 +183,8 @@ void bench_fc(JsonWriter& json, const char* name, usize size, const Trial& t,
       127.0f / (73.0f * 73.0f * std::sqrt(static_cast<float>(size)));
   Matrix<i8> ref_out(size, size);
   Matrix<i8> eng_out(size, size);
-  const auto [ref_s, eng_s] = min_seconds_pair(
+  PairTiming pt;
+  time_pair(
       t,
       [&] {
         kern::reference::fully_connected(in.view(), s_in, weights.view(), s_w,
@@ -155,10 +193,10 @@ void bench_fc(JsonWriter& json, const char* name, usize size, const Trial& t,
       [&] {
         kern::fully_connected(in.view(), s_in, weights.view(), s_w, out_scale,
                               eng_out.view());
-      });
+      },
+      pt);
   const double ops = 2.0 * static_cast<double>(size * size * size);
-  report(json, name, ops, ref_s, eng_s, count_mismatches(ref_out, eng_out),
-         mismatches);
+  report(json, name, ops, pt, count_mismatches(ref_out, eng_out), mismatches);
 }
 
 void bench_pairwise(JsonWriter& json, const char* name, isa::Opcode op,
@@ -173,7 +211,8 @@ void bench_pairwise(JsonWriter& json, const char* name, isa::Opcode op,
   const float s_a = 8.0f;
   const float s_b = 5.0f;
   const float out_scale = op == isa::Opcode::kMul ? 12.0f : 3.0f;
-  const auto [ref_s, eng_s] = min_seconds_pair(
+  PairTiming pt;
+  time_pair(
       t,
       [&] {
         kern::reference::pairwise(op, a.view(), s_a, b.view(), s_b, out_scale,
@@ -182,10 +221,10 @@ void bench_pairwise(JsonWriter& json, const char* name, isa::Opcode op,
       [&] {
         kern::pairwise(op, a.view(), s_a, b.view(), s_b, out_scale,
                        eng_out.view());
-      });
+      },
+      pt);
   const double ops = static_cast<double>(size * size);
-  report(json, name, ops, ref_s, eng_s, count_mismatches(ref_out, eng_out),
-         mismatches);
+  report(json, name, ops, pt, count_mismatches(ref_out, eng_out), mismatches);
 }
 
 void bench_elementwise(JsonWriter& json, const char* name, isa::Opcode op,
@@ -197,16 +236,17 @@ void bench_elementwise(JsonWriter& json, const char* name, isa::Opcode op,
   Matrix<i8> eng_out(size, size);
   const float s_in = 32.0f;
   const float out_scale = 100.0f;
-  const auto [ref_s, eng_s] = min_seconds_pair(
+  PairTiming pt;
+  time_pair(
       t,
       [&] {
         kern::reference::elementwise(op, in.view(), s_in, out_scale,
                                      ref_out.view());
       },
-      [&] { kern::elementwise(op, in.view(), s_in, out_scale, eng_out.view()); });
+      [&] { kern::elementwise(op, in.view(), s_in, out_scale, eng_out.view()); },
+      pt);
   const double ops = static_cast<double>(size * size);
-  report(json, name, ops, ref_s, eng_s, count_mismatches(ref_out, eng_out),
-         mismatches);
+  report(json, name, ops, pt, count_mismatches(ref_out, eng_out), mismatches);
 }
 
 }  // namespace
@@ -239,6 +279,8 @@ int main(int argc, char** argv) {
                  &mismatches);
   bench_elementwise(json, "elementwise_tanh_128", gptpu::isa::Opcode::kTanh,
                     128, t, &mismatches);
+
+  append_registry_metrics(json);
 
   if (!json.write(args.json_path)) {
     std::fprintf(stderr, "bench_kernels: cannot write %s\n",

@@ -11,6 +11,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/stats.hpp"
 #include "common/types.hpp"
 
 namespace gptpu::bench {
@@ -61,6 +62,27 @@ struct BenchArgs {
     }
     return args;
   }
+};
+
+/// Wall-clock timing accumulator for bench trial loops. The minimum stays
+/// the headline number (robust against steal time on shared machines);
+/// mean and Welford stddev quantify the dispersion so a reader can tell a
+/// quiet measurement from a noisy one.
+class TimingSummary {
+ public:
+  void add(double seconds) { stats_.add(seconds); }
+  [[nodiscard]] usize count() const { return stats_.count(); }
+  [[nodiscard]] double min() const { return stats_.min(); }
+  [[nodiscard]] double mean() const { return stats_.mean(); }
+  [[nodiscard]] double stddev() const { return stats_.stddev(); }
+  /// Relative dispersion (stddev / mean); 0 for degenerate inputs.
+  [[nodiscard]] double rel_stddev() const {
+    const double m = mean();
+    return m > 0 ? stddev() / m : 0.0;
+  }
+
+ private:
+  RunningStats stats_;
 };
 
 /// Flat metric sink written out as one JSON object; keys use

@@ -27,6 +27,12 @@ R5  include-hygiene    Headers use #pragma once; no '../' relative
                        includes; no <bits/...> internal headers; a .cpp
                        file's first project include is its own header (so
                        every header proves it is self-contained).
+R6  metrics-in-header  No header includes common/metrics.hpp: metric
+                       lookups are implementation detail, performed in
+                       .cpp files against the process-global registry, so
+                       interfaces never grow a registry dependency.
+                       (common/span_profiler.hpp is fine in headers -- the
+                       trace exporter's interface needs SpanRecord.)
 
 Exit status is the number of violations (0 = clean).
 """
@@ -90,6 +96,7 @@ WIDE_REINTERPRET = re.compile(
     r"(u16|u32|u64|i16|i32|i64|float|double|std::uint16_t|std::uint32_t|"
     r"std::uint64_t|std::int16_t|std::int32_t|std::int64_t)\s*\*"
 )
+METRICS_INCLUDE = re.compile(r'#\s*include\s+"common/metrics\.hpp"')
 RELATIVE_INCLUDE = re.compile(r'#\s*include\s+"\.\./')
 BITS_INCLUDE = re.compile(r"#\s*include\s+<bits/")
 PROJECT_INCLUDE = re.compile(r'#\s*include\s+"([^"]+)"')
@@ -170,6 +177,12 @@ def lint_file(rel: pathlib.Path) -> None:
             report(rel, lineno, "annotated-mutex",
                    "raw std synchronization type; use gptpu::Mutex / "
                    "MutexLock / CondVar (common/thread_annotations.hpp)")
+
+        # R6 -- the metrics registry stays out of interfaces.
+        if is_header and METRICS_INCLUDE.search(line):
+            report(rel, lineno, "metrics-in-header",
+                   "headers must not include common/metrics.hpp; look the "
+                   "metric up in the .cpp and cache the reference")
 
         # R5 -- include hygiene.
         if RELATIVE_INCLUDE.search(line):

@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Metrics-registry smoke test (the metrics.smoke ctest entry).
+
+Drives the gptpu CLI end to end and asserts the observability contract of
+docs/OBSERVABILITY.md:
+
+ 1. Determinism -- a single-device `run GEMM --metrics-out` executed twice
+    produces a byte-identical "virtual" object (modelled-time metrics must
+    not leak host timing). The "wall" object is allowed to differ.
+ 2. Coverage -- a two-device run registers the §6.1 scheduler metrics
+    (affinity hit rate), the per-opcode virtual-time latency histograms,
+    and the model-cache counters; the wall domain carries span histograms.
+ 3. The Prometheus exposition parses at the line level and carries typed
+    gptpu_-prefixed metrics.
+
+Multi-device "virtual" metrics are NOT diffed: §6.1 affinity decisions
+observe concurrent worker progress, so their modelled clocks legitimately
+vary run to run (see docs/OBSERVABILITY.md).
+
+Usage: metrics_smoke.py <gptpu-binary> <workdir>
+"""
+
+import json
+import pathlib
+import subprocess
+import sys
+
+
+def fail(msg: str) -> None:
+    print(f"metrics_smoke: FAIL: {msg}")
+    sys.exit(1)
+
+
+def run_cli(binary: str, *args: str) -> None:
+    proc = subprocess.run([binary, *args], stdout=subprocess.PIPE,
+                          stderr=subprocess.STDOUT, text=True)
+    if proc.returncode != 0:
+        fail(f"{' '.join(args)} exited {proc.returncode}:\n{proc.stdout}")
+
+
+def virtual_slice(text: str) -> str:
+    """The raw bytes of the "virtual" object, for byte-level comparison."""
+    start = text.index('"virtual"')
+    end = text.index('"wall"')
+    return text[start:end]
+
+
+def main() -> None:
+    if len(sys.argv) != 3:
+        fail("usage: metrics_smoke.py <gptpu-binary> <workdir>")
+    binary = sys.argv[1]
+    work = pathlib.Path(sys.argv[2])
+    work.mkdir(parents=True, exist_ok=True)
+
+    # 1. Byte-stability of the virtual domain across identical runs.
+    paths = [work / "metrics_run1.json", work / "metrics_run2.json"]
+    for p in paths:
+        run_cli(binary, "run", "GEMM", f"--metrics-out={p}")
+    texts = [p.read_text() for p in paths]
+    for text, p in zip(texts, paths):
+        json.loads(text)  # must parse
+    if virtual_slice(texts[0]) != virtual_slice(texts[1]):
+        a = json.loads(texts[0])["virtual"]
+        b = json.loads(texts[1])["virtual"]
+        diff = [k for k in a if a.get(k) != b.get(k)]
+        fail(f"virtual metrics differ between identical runs: {diff}")
+
+    # 2. Required keys on a multi-device run (plus the Prometheus dump).
+    mpath = work / "metrics_multi.json"
+    prom_path = work / "metrics_multi.prom"
+    run_cli(binary, "run", "GEMM", "--devices=2",
+            f"--metrics-out={mpath}", f"--metrics-prom={prom_path}")
+    doc = json.loads(mpath.read_text())
+    virt, wall = doc["virtual"], doc["wall"]
+
+    for key in ("cache.hits", "cache.misses", "runtime.makespan_vt_seconds",
+                "quant.quantize_bytes", "scheduler.device0.instructions"):
+        if key not in virt:
+            fail(f"virtual domain is missing '{key}'")
+    hist = virt.get("op.conv2D.service_vt")
+    if not isinstance(hist, dict) or hist.get("count", 0) <= 0:
+        fail(f"per-opcode latency histogram missing or empty: {hist}")
+    for field in ("count", "sum", "min", "max", "p50", "p95", "p99"):
+        if field not in hist:
+            fail(f"op.conv2D.service_vt lacks '{field}'")
+    # Scheduler affinity telemetry is dispatch-estimate data -> wall domain.
+    for key in ("wall.scheduler.affinity_hit_rate",
+                "wall.scheduler.affinity_hits",
+                "wall.scheduler.retransfer_bytes_avoided"):
+        if key not in wall:
+            fail(f"wall domain is missing '{key}'")
+    if not (0.0 <= wall["wall.scheduler.affinity_hit_rate"] <= 1.0):
+        fail(f"affinity hit rate out of range: "
+             f"{wall['wall.scheduler.affinity_hit_rate']}")
+    if not any(k.startswith("wall.span.") for k in wall):
+        fail(f"wall domain has no span histograms: {sorted(wall)}")
+    if any(k.startswith("wall.") for k in virt):
+        fail("wall.-prefixed metric leaked into the virtual domain")
+
+    # 3. Prometheus text: typed, prefixed, numerically parseable.
+    prom = prom_path.read_text().splitlines()
+    types = [ln for ln in prom if ln.startswith("# TYPE gptpu_")]
+    if not types:
+        fail("Prometheus dump has no '# TYPE gptpu_*' lines")
+    if "# TYPE gptpu_cache_hits counter" not in prom:
+        fail("Prometheus dump is missing the cache.hits counter")
+    if "# TYPE gptpu_wall_scheduler_affinity_hit_rate gauge" not in prom:
+        fail("Prometheus dump is missing the affinity hit-rate gauge")
+    for ln in prom:
+        if ln.startswith("#") or not ln.strip():
+            continue
+        name, _, value = ln.rpartition(" ")
+        if not name.split("{", 1)[0].startswith("gptpu_"):
+            fail(f"sample without gptpu_ prefix: {ln}")
+        float(value)  # must parse as a number
+
+    print("metrics_smoke: OK (virtual domain byte-stable; "
+          f"{len(virt)} virtual + {len(wall)} wall metrics; "
+          f"{len(types)} Prometheus families)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Dual-clock Chrome-trace smoke test (the trace.export_smoke ctest entry).
+
+Runs `gptpu trace GEMM --devices=2` and validates the exported file the
+way a human would load it into chrome://tracing / Perfetto:
+
+ * it parses as JSON (same parser as `python3 -m json.tool`);
+ * both clock-domain processes are present: pid 1 "modelled-virtual-time"
+   and pid 2 "host-wall-clock";
+ * each domain carries at least one complete-duration ("X") event, and
+   every X event has the ts/dur/name fields the viewer needs;
+ * a nonexistent output directory makes the CLI exit non-zero (the
+   trace-export error path of docs/OBSERVABILITY.md).
+
+Usage: trace_smoke.py <gptpu-binary> <workdir>
+"""
+
+import json
+import pathlib
+import subprocess
+import sys
+
+
+def fail(msg: str) -> None:
+    print(f"trace_smoke: FAIL: {msg}")
+    sys.exit(1)
+
+
+def main() -> None:
+    if len(sys.argv) != 3:
+        fail("usage: trace_smoke.py <gptpu-binary> <workdir>")
+    binary = sys.argv[1]
+    work = pathlib.Path(sys.argv[2])
+    work.mkdir(parents=True, exist_ok=True)
+    out = work / "trace_smoke.json"
+
+    proc = subprocess.run(
+        [binary, "trace", "GEMM", "--devices=2", f"--out={out}"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+    if proc.returncode != 0:
+        fail(f"trace command exited {proc.returncode}:\n{proc.stdout}")
+
+    events = json.loads(out.read_text())  # parse == `python3 -m json.tool`
+    if not isinstance(events, list) or not events:
+        fail("trace is not a non-empty JSON array")
+
+    process_names = {}
+    for ev in events:
+        if ev.get("ph") == "M" and ev.get("name") == "process_name":
+            process_names[ev["pid"]] = ev["args"]["name"]
+    if process_names.get(1) != "modelled-virtual-time":
+        fail(f"pid 1 not named modelled-virtual-time: {process_names}")
+    if process_names.get(2) != "host-wall-clock":
+        fail(f"pid 2 not named host-wall-clock: {process_names}")
+
+    durations = {1: 0, 2: 0}
+    for ev in events:
+        if ev.get("ph") != "X":
+            continue
+        for field in ("pid", "tid", "ts", "dur", "name"):
+            if field not in ev:
+                fail(f"X event missing '{field}': {ev}")
+        if ev["dur"] < 0:
+            fail(f"negative duration: {ev}")
+        durations[ev["pid"]] = durations.get(ev["pid"], 0) + 1
+    if durations[1] == 0:
+        fail("no duration events in the modelled-virtual-time domain")
+    if durations[2] == 0:
+        fail("no duration events in the host-wall-clock domain")
+
+    # Error path: unwritable output must exit non-zero and say why.
+    bad = subprocess.run(
+        [binary, "trace", "GEMM", "--out=/nonexistent-dir/trace.json"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+    if bad.returncode == 0:
+        fail("unwritable trace path did not fail the CLI")
+    if "nonexistent-dir" not in bad.stdout:
+        fail(f"diagnostic does not name the failing path:\n{bad.stdout}")
+
+    print(f"trace_smoke: OK ({durations[1]} virtual + {durations[2]} wall "
+          f"duration events across {len(events)} trace events)")
+
+
+if __name__ == "__main__":
+    main()

@@ -16,6 +16,7 @@
 
 #include "common/stats.hpp"
 #include "perfmodel/cost_model.hpp"
+#include "quant/quantize.hpp"
 #include "runtime/energy.hpp"
 #include "runtime/runtime.hpp"
 
@@ -28,7 +29,9 @@ struct Accuracy {
 
 [[nodiscard]] inline Accuracy compare(std::span<const float> reference,
                                       std::span<const float> actual) {
-  return {mape(reference, actual), rmse(reference, actual)};
+  Accuracy a{mape(reference, actual), rmse(reference, actual)};
+  quant::record_mape(a.mape);
+  return a;
 }
 
 struct TimedResult {

@@ -1,0 +1,181 @@
+#include "common/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gptpu::metrics {
+
+usize Histogram::bucket_index(double v) {
+  if (!(v > 0.0) || std::isinf(v)) {
+    // Zero, negatives and NaN all land in the underflow bucket; +inf in
+    // the overflow bucket. Distributions we track (times, bytes, error
+    // rates) are non-negative, so this only loses sub-bucket resolution
+    // for degenerate inputs.
+    return std::isinf(v) ? kBuckets - 1 : 0;
+  }
+  int exp = 0;
+  // frexp: v = m * 2^exp with m in [0.5, 1). Sub-bucket from the mantissa
+  // so every octave splits into kSubBuckets geometric slices.
+  const double m = std::frexp(v, &exp);
+  const int sub = std::min(kSubBuckets - 1,
+                           static_cast<int>((m - 0.5) * 2.0 * kSubBuckets));
+  const i64 idx =
+      (static_cast<i64>(exp) - 1 - kMinExp) * kSubBuckets + sub + 1;
+  if (idx < 1) return 0;
+  if (idx >= static_cast<i64>(kBuckets) - 1) return kBuckets - 1;
+  return static_cast<usize>(idx);
+}
+
+double Histogram::bucket_mid(usize i) {
+  if (i == 0) return 0.0;
+  if (i >= kBuckets - 1) return std::ldexp(1.0, kMaxExp);
+  const usize lin = i - 1;
+  const double exp_lo =
+      kMinExp + static_cast<double>(lin) / kSubBuckets;
+  // Geometric midpoint: quarter of a sub-bucket past the low edge in
+  // exponent space is the half-way point of the geometric interval.
+  return std::exp2(exp_lo + 0.5 / kSubBuckets);
+}
+
+void Histogram::record(double v) {
+  const usize idx = bucket_index(v);
+  MutexLock lock(mu_);
+  if (count_ == 0) {
+    min_ = v;
+    max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++count_;
+  sum_ += v;
+  ++buckets_[idx];
+}
+
+Histogram::Summary Histogram::summary() const {
+  MutexLock lock(mu_);
+  Summary s;
+  s.count = count_;
+  s.sum = sum_;
+  if (count_ == 0) return s;
+  s.min = min_;
+  s.max = max_;
+
+  const auto percentile = [&](double q) {
+    // Rank of the q-th percentile under the nearest-rank definition,
+    // resolved to the geometric midpoint of its bucket and clamped into
+    // the exact observed range.
+    const u64 rank = std::max<u64>(
+        1, static_cast<u64>(std::ceil(q * static_cast<double>(count_))));
+    u64 seen = 0;
+    for (usize i = 0; i < kBuckets; ++i) {
+      seen += buckets_[i];
+      if (seen >= rank) {
+        return std::clamp(bucket_mid(i), min_, max_);
+      }
+    }
+    return max_;
+  };
+  s.p50 = percentile(0.50);
+  s.p95 = percentile(0.95);
+  s.p99 = percentile(0.99);
+  return s;
+}
+
+void Histogram::reset_value() {
+  MutexLock lock(mu_);
+  count_ = 0;
+  sum_ = 0;
+  min_ = 0;
+  max_ = 0;
+  buckets_.fill(0);
+}
+
+MetricRegistry& MetricRegistry::global() {
+  // Constructed on first use, so any static-initialization-time
+  // instrumentation is safe; destroyed after main() like every other
+  // function-local static.
+  static MetricRegistry registry;
+  return registry;
+}
+
+MetricRegistry::Slot& MetricRegistry::slot(std::string_view name, Kind kind) {
+  auto it = slots_.find(name);
+  if (it == slots_.end()) {
+    it = slots_.emplace(std::string(name), Slot{}).first;
+    it->second.kind = kind;
+    switch (kind) {
+      case Kind::kCounter:
+        it->second.counter = std::make_unique<Counter>();
+        break;
+      case Kind::kGauge:
+        it->second.gauge = std::make_unique<Gauge>();
+        break;
+      case Kind::kHistogram:
+        it->second.histogram = std::make_unique<Histogram>();
+        break;
+    }
+  }
+  GPTPU_CHECK(it->second.kind == kind,
+              "metric '" + std::string(name) +
+                  "' already registered as a different kind");
+  return it->second;
+}
+
+Counter& MetricRegistry::counter(std::string_view name) {
+  MutexLock lock(mu_);
+  return *slot(name, Kind::kCounter).counter;
+}
+
+Gauge& MetricRegistry::gauge(std::string_view name) {
+  MutexLock lock(mu_);
+  return *slot(name, Kind::kGauge).gauge;
+}
+
+Histogram& MetricRegistry::histogram(std::string_view name) {
+  MutexLock lock(mu_);
+  return *slot(name, Kind::kHistogram).histogram;
+}
+
+std::vector<MetricRegistry::SnapshotEntry> MetricRegistry::snapshot() const {
+  MutexLock lock(mu_);
+  std::vector<SnapshotEntry> out;
+  out.reserve(slots_.size());
+  for (const auto& [name, s] : slots_) {
+    SnapshotEntry e;
+    e.name = name;
+    e.kind = s.kind;
+    switch (s.kind) {
+      case Kind::kCounter:
+        e.counter = s.counter->value();
+        break;
+      case Kind::kGauge:
+        e.gauge = s.gauge->value();
+        break;
+      case Kind::kHistogram:
+        e.hist = s.histogram->summary();
+        break;
+    }
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+void MetricRegistry::reset_values() {
+  MutexLock lock(mu_);
+  for (auto& [name, s] : slots_) {
+    switch (s.kind) {
+      case Kind::kCounter:
+        s.counter->reset_value();
+        break;
+      case Kind::kGauge:
+        s.gauge->reset_value();
+        break;
+      case Kind::kHistogram:
+        s.histogram->reset_value();
+        break;
+    }
+  }
+}
+
+}  // namespace gptpu::metrics

@@ -1,0 +1,169 @@
+// Process-global metrics registry: the runtime's standing measurement
+// layer (docs/OBSERVABILITY.md).
+//
+// Three primitives, all safe to write from any thread:
+//
+//  * Counter   -- a monotonically increasing relaxed-atomic u64. The hot
+//    paths touch only these: one relaxed fetch_add, no lock.
+//  * Gauge     -- a last-write-wins double (plus a record_max() CAS helper
+//    for high-water marks). Set from introspection points, not hot loops.
+//  * Histogram -- fixed log-spaced buckets (4 per octave, ~19 % relative
+//    resolution) with exact count/sum/min/max and bucket-derived
+//    p50/p95/p99. Guarded by a leaf Mutex; record() is called per
+//    operation / per span, never per element.
+//
+// Metrics are registered on first use by dotted name ("cache.hits",
+// "op.conv2D.service_vt") and live for the life of the process;
+// instrumentation sites look a metric up once and cache the reference, so
+// steady-state cost is the primitive's own write. Names prefixed "wall."
+// carry wall-clock (host-measured, nondeterministic) values; everything
+// else is derived from modelled virtual time or deterministic counts and
+// must be byte-stable across identical runs (the metrics.smoke ctest
+// enforces this through the JSON exporter).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/thread_annotations.hpp"
+#include "common/types.hpp"
+
+namespace gptpu::metrics {
+
+/// Monotone event count. Relaxed ordering: totals are exact once the
+/// writing threads are quiescent (or joined), which is when snapshots are
+/// meaningful; mid-flight reads are advisory.
+class Counter {
+ public:
+  void add(u64 n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] u64 value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  /// Zeroes the counter (tests / explicit registry resets only).
+  void reset_value() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<u64> value_{0};
+};
+
+/// Last-write-wins instantaneous value, plus a high-water helper.
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  /// Raises the gauge to `v` if `v` exceeds the current value.
+  void record_max(double v) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !value_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] double value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset_value() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-log-bucket distribution. Bucket i spans the value range
+/// [2^(kMinExp + i/kSubBuckets), 2^(kMinExp + (i+1)/kSubBuckets)); values
+/// below the first edge (including zero) land in an underflow bucket,
+/// values at or above the last edge in an overflow bucket. Percentiles are
+/// the geometric midpoint of the bucket holding the requested rank,
+/// clamped into [min, max] -- deterministic regardless of the order in
+/// which threads recorded.
+class Histogram {
+ public:
+  static constexpr int kSubBuckets = 4;   // 2^(1/4) ~ 19 % bucket width
+  static constexpr int kMinExp = -40;     // ~9.1e-13: below any modelled time
+  static constexpr int kMaxExp = 40;      // ~1.1e12: above any byte count
+  static constexpr usize kBuckets =
+      static_cast<usize>(kMaxExp - kMinExp) * kSubBuckets + 2;
+
+  void record(double v) GPTPU_EXCLUDES(mu_);
+
+  struct Summary {
+    u64 count = 0;
+    double sum = 0;
+    double min = 0;
+    double max = 0;
+    double p50 = 0;
+    double p95 = 0;
+    double p99 = 0;
+  };
+  [[nodiscard]] Summary summary() const GPTPU_EXCLUDES(mu_);
+
+  void reset_value() GPTPU_EXCLUDES(mu_);
+
+ private:
+  static usize bucket_index(double v);
+  /// Geometric midpoint of bucket `i` (representative percentile value).
+  static double bucket_mid(usize i);
+
+  mutable Mutex mu_;
+  u64 count_ GPTPU_GUARDED_BY(mu_) = 0;
+  double sum_ GPTPU_GUARDED_BY(mu_) = 0;
+  double min_ GPTPU_GUARDED_BY(mu_) = 0;
+  double max_ GPTPU_GUARDED_BY(mu_) = 0;
+  std::array<u64, kBuckets> buckets_ GPTPU_GUARDED_BY(mu_){};
+};
+
+/// Named metric directory. counter()/gauge()/histogram() register on first
+/// use and return a stable reference (node-based storage; the reference
+/// outlives every runtime object because the global registry is destroyed
+/// after main). A name identifies exactly one kind: asking for an existing
+/// name as a different kind throws InvalidArgument.
+class MetricRegistry {
+ public:
+  MetricRegistry() = default;
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  /// The process-wide registry every instrumentation site uses.
+  static MetricRegistry& global();
+
+  Counter& counter(std::string_view name) GPTPU_EXCLUDES(mu_);
+  Gauge& gauge(std::string_view name) GPTPU_EXCLUDES(mu_);
+  Histogram& histogram(std::string_view name) GPTPU_EXCLUDES(mu_);
+
+  enum class Kind : u8 { kCounter, kGauge, kHistogram };
+
+  /// One metric's state at snapshot time. Only the field matching `kind`
+  /// is meaningful.
+  struct SnapshotEntry {
+    std::string name;
+    Kind kind = Kind::kCounter;
+    u64 counter = 0;
+    double gauge = 0;
+    Histogram::Summary hist;
+  };
+
+  /// All registered metrics, sorted by name (the registry stores them in a
+  /// sorted map, so the order is deterministic by construction).
+  [[nodiscard]] std::vector<SnapshotEntry> snapshot() const
+      GPTPU_EXCLUDES(mu_);
+
+  /// Zeroes every registered metric's value, keeping the registrations
+  /// (and therefore every cached reference) valid. Test isolation helper.
+  void reset_values() GPTPU_EXCLUDES(mu_);
+
+ private:
+  struct Slot {
+    Kind kind = Kind::kCounter;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  Slot& slot(std::string_view name, Kind kind) GPTPU_REQUIRES(mu_);
+
+  mutable Mutex mu_;
+  std::map<std::string, Slot, std::less<>> slots_ GPTPU_GUARDED_BY(mu_);
+};
+
+}  // namespace gptpu::metrics

@@ -1,0 +1,150 @@
+#include "common/span_profiler.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "common/metrics.hpp"
+#include "common/thread_annotations.hpp"
+
+namespace gptpu::prof {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Per-thread span buffer. Owned jointly by the writing thread (via its
+/// thread_local handle) and the global profiler state (for snapshots and
+/// for keeping records from threads that have exited).
+struct ThreadBuffer {
+  Mutex mu;
+  std::vector<SpanRecord> records GPTPU_GUARDED_BY(mu);
+  u32 ordinal = 0;
+};
+
+struct GlobalState {
+  std::atomic<bool> enabled{false};
+  Clock::time_point epoch = Clock::now();
+
+  Mutex mu;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers GPTPU_GUARDED_BY(mu);
+  u32 next_ordinal GPTPU_GUARDED_BY(mu) = 0;
+};
+
+GlobalState& state() {
+  static GlobalState s;
+  return s;
+}
+
+double since_epoch(Clock::time_point t) {
+  return std::chrono::duration<double>(t - state().epoch).count();
+}
+
+/// Registers this thread's buffer on construction; the shared_ptr in the
+/// global list keeps the records alive after the thread exits.
+struct ThreadHandle {
+  std::shared_ptr<ThreadBuffer> buffer;
+  // Nesting depth of open spans on this thread; a fixed small stack of
+  // start times avoids any allocation on the begin path.
+  static constexpr usize kMaxDepth = 16;
+  const char* labels[kMaxDepth] = {};
+  double starts[kMaxDepth] = {};
+  usize depth = 0;
+
+  ThreadHandle() : buffer(std::make_shared<ThreadBuffer>()) {
+    GlobalState& s = state();
+    MutexLock lock(s.mu);
+    buffer->ordinal = s.next_ordinal++;
+    s.buffers.push_back(buffer);
+  }
+};
+
+ThreadHandle& thread_handle() {
+  thread_local ThreadHandle handle;
+  return handle;
+}
+
+}  // namespace
+
+void set_enabled(bool enabled) {
+  state().enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool enabled() { return state().enabled.load(std::memory_order_relaxed); }
+
+namespace detail {
+
+void begin_span(const char* label) {
+  ThreadHandle& h = thread_handle();
+  if (h.depth >= ThreadHandle::kMaxDepth) {
+    ++h.depth;  // too deep: count it so end_span stays balanced, drop it
+    return;
+  }
+  h.labels[h.depth] = label;
+  h.starts[h.depth] = since_epoch(Clock::now());
+  ++h.depth;
+}
+
+void end_span() {
+  ThreadHandle& h = thread_handle();
+  if (h.depth == 0) return;
+  --h.depth;
+  if (h.depth >= ThreadHandle::kMaxDepth) return;  // dropped at begin
+  SpanRecord rec;
+  rec.label = h.labels[h.depth];
+  rec.start_s = h.starts[h.depth];
+  rec.end_s = since_epoch(Clock::now());
+  rec.thread_ordinal = h.buffer->ordinal;
+  MutexLock lock(h.buffer->mu);
+  h.buffer->records.push_back(rec);
+}
+
+}  // namespace detail
+
+std::vector<SpanRecord> snapshot() {
+  GlobalState& s = state();
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    MutexLock lock(s.mu);
+    buffers = s.buffers;
+  }
+  std::vector<SpanRecord> out;
+  for (const auto& buf : buffers) {
+    MutexLock lock(buf->mu);
+    out.insert(out.end(), buf->records.begin(), buf->records.end());
+  }
+  return out;
+}
+
+std::vector<SpanRecord> drain() {
+  GlobalState& s = state();
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    MutexLock lock(s.mu);
+    buffers = s.buffers;
+  }
+  std::vector<SpanRecord> out;
+  for (const auto& buf : buffers) {
+    std::vector<SpanRecord> taken;
+    {
+      MutexLock lock(buf->mu);
+      taken = std::move(buf->records);
+      buf->records.clear();
+    }
+    out.insert(out.end(), taken.begin(), taken.end());
+  }
+  return out;
+}
+
+std::vector<SpanRecord> drain_to_registry() {
+  std::vector<SpanRecord> spans = drain();
+  auto& registry = metrics::MetricRegistry::global();
+  for (const SpanRecord& rec : spans) {
+    registry.histogram(std::string("wall.span.") + rec.label)
+        .record(rec.end_s - rec.start_s);
+  }
+  return spans;
+}
+
+}  // namespace gptpu::prof

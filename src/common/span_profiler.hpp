@@ -1,0 +1,81 @@
+// RAII wall-clock span profiler: the host-time half of the dual-clock
+// observability story (docs/OBSERVABILITY.md).
+//
+// The simulator's Chrome traces are drawn from modelled virtual time; the
+// spans collected here measure what the *host* actually spent in the real
+// hot paths (kernel execution, tile quantization, result landing). Both
+// clock domains end up side by side in the exported trace, and span
+// durations drain into the metrics registry as "wall.span.<label>"
+// histograms.
+//
+// Collection is off by default. When disabled, a Span costs one relaxed
+// atomic load and nothing else -- cheap enough to leave in the PR 2
+// vectorized hot paths permanently. When enabled, each span takes two
+// steady_clock reads and appends one record to a thread-local buffer
+// (mutex-guarded, but only ever contended by a snapshot/drain, which is
+// rare and cold).
+//
+// Labels must be string literals (or otherwise static storage): records
+// keep the pointer, not a copy.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace gptpu::prof {
+
+/// One completed span. Times are host seconds relative to the profiler's
+/// process-wide epoch (first use), so all threads share one timeline.
+struct SpanRecord {
+  const char* label = nullptr;
+  double start_s = 0;
+  double end_s = 0;
+  u32 thread_ordinal = 0;  ///< Stable per-thread id for trace track lanes.
+};
+
+/// Turns collection on or off. Spans opened while disabled record
+/// nothing, whatever the state at close.
+void set_enabled(bool enabled);
+[[nodiscard]] bool enabled();
+
+/// Copies every buffered span (all threads, including exited ones).
+[[nodiscard]] std::vector<SpanRecord> snapshot();
+
+/// Moves every buffered span out, leaving the buffers empty.
+std::vector<SpanRecord> drain();
+
+/// Drains buffered spans into MetricRegistry::global() as
+/// "wall.span.<label>" duration histograms, and returns them.
+std::vector<SpanRecord> drain_to_registry();
+
+namespace detail {
+void begin_span(const char* label);
+void end_span();
+}  // namespace detail
+
+/// RAII span over the enclosing scope. `label` must point at static
+/// storage (string literal).
+class Span {
+ public:
+  explicit Span(const char* label) : active_(enabled()) {
+    if (active_) detail::begin_span(label);
+  }
+  ~Span() {
+    if (active_) detail::end_span();
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  bool active_;
+};
+
+}  // namespace gptpu::prof
+
+#define GPTPU_SPAN_CONCAT2(a, b) a##b
+#define GPTPU_SPAN_CONCAT(a, b) GPTPU_SPAN_CONCAT2(a, b)
+
+/// Profiles the enclosing scope under `label` (a string literal).
+#define GPTPU_SPAN(label) \
+  ::gptpu::prof::Span GPTPU_SPAN_CONCAT(gptpu_span_, __LINE__)(label)

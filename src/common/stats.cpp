@@ -57,6 +57,9 @@ void RunningStats::add(double x) {
   }
   sum_ += x;
   ++n_;
+  const double delta = x - welford_mean_;
+  welford_mean_ += delta / static_cast<double>(n_);
+  welford_m2_ += delta * (x - welford_mean_);
 }
 
 usize RunningStats::count() const {
@@ -77,6 +80,12 @@ double RunningStats::min() const {
 double RunningStats::max() const {
   MutexLock lock(mu_);
   return max_;
+}
+
+double RunningStats::stddev() const {
+  MutexLock lock(mu_);
+  if (n_ < 2) return 0.0;
+  return std::sqrt(welford_m2_ / static_cast<double>(n_ - 1));
 }
 
 double geomean(std::span<const double> values) {

@@ -21,8 +21,10 @@ double mape(std::span<const float> reference, std::span<const float> actual);
 /// ~1e-5, could not otherwise be "0.41%").
 double rmse(std::span<const float> reference, std::span<const float> actual);
 
-/// Simple running mean/min/max accumulator. Thread-safe: benchmark and
-/// stress harnesses feed one accumulator from many worker threads.
+/// Simple running mean/min/max/stddev accumulator. Thread-safe: benchmark
+/// and stress harnesses feed one accumulator from many worker threads.
+/// Variance uses Welford's online update, so it stays numerically stable
+/// for long runs of nearly equal samples (bench timings).
 class RunningStats {
  public:
   void add(double x) GPTPU_EXCLUDES(mu_);
@@ -30,6 +32,9 @@ class RunningStats {
   [[nodiscard]] double mean() const GPTPU_EXCLUDES(mu_);
   [[nodiscard]] double min() const GPTPU_EXCLUDES(mu_);
   [[nodiscard]] double max() const GPTPU_EXCLUDES(mu_);
+  /// Sample standard deviation (n-1 denominator); 0 for fewer than two
+  /// samples.
+  [[nodiscard]] double stddev() const GPTPU_EXCLUDES(mu_);
 
  private:
   mutable Mutex mu_;
@@ -37,6 +42,8 @@ class RunningStats {
   double sum_ GPTPU_GUARDED_BY(mu_) = 0;
   double min_ GPTPU_GUARDED_BY(mu_) = 0;
   double max_ GPTPU_GUARDED_BY(mu_) = 0;
+  double welford_mean_ GPTPU_GUARDED_BY(mu_) = 0;
+  double welford_m2_ GPTPU_GUARDED_BY(mu_) = 0;
 };
 
 /// Geometric mean over a set of strictly positive values (used for speedup

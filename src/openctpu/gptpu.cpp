@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/metrics.hpp"
 #include "common/thread_annotations.hpp"
 #include "runtime/runtime.hpp"
 
@@ -31,6 +32,11 @@ struct Context {
 };
 
 Context& context() {
+  // Construct the metrics registry before ctx: function-local statics are
+  // destroyed in reverse completion order, and ~Context tears down the
+  // Runtime, whose destructor publishes end-of-life gauges into the
+  // registry. Without the pin the registry dies first.
+  gptpu::metrics::MetricRegistry::global();
   static Context ctx;
   return ctx;
 }
@@ -98,6 +104,10 @@ int invoke(Opcode op, unsigned flags, openctpu_buffer* in0,
   req.kernel_bank = params.kernel_bank;
   req.window = params.window;
   req.pad_target = params.pad_target;
+  static gptpu::metrics::Counter& invoked =
+      gptpu::metrics::MetricRegistry::global().counter(
+          "openctpu.operators_invoked");
+  invoked.add(1);
   rt.invoke(req);
   return 0;
 }
@@ -159,6 +169,10 @@ openctpu_buffer* openctpu_create_buffer(openctpu_dimension* dimension,
 
 int openctpu_enqueue(const std::function<void()>& kernel) {
   Context& ctx = initialized_context();
+  static gptpu::metrics::Counter& enqueued =
+      gptpu::metrics::MetricRegistry::global().counter(
+          "openctpu.kernels_enqueued");
+  enqueued.add(1);
   const gptpu::u64 task_id = ctx.runtime->begin_task();
   int handle;
   {
@@ -189,6 +203,9 @@ int openctpu_invoke_operator(tpu_ops op, unsigned flags, openctpu_buffer* in,
 
 int openctpu_sync() {
   Context& ctx = initialized_context();
+  static gptpu::metrics::Counter& syncs =
+      gptpu::metrics::MetricRegistry::global().counter("openctpu.syncs");
+  syncs.add(1);
   std::unordered_map<int, std::future<void>> pending;
   {
     gptpu::MutexLock lock(ctx.mu);

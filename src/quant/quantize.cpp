@@ -3,9 +3,16 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/metrics.hpp"
 #include "quant/requant.hpp"
 
 namespace gptpu::quant {
+
+void record_mape(double mape_fraction) {
+  static metrics::Histogram& hist =
+      metrics::MetricRegistry::global().histogram("quant.mape");
+  hist.record(mape_fraction);
+}
 
 float Range::magnitude() const { return std::max(std::abs(min), std::abs(max)); }
 float Range::width() const { return std::abs(max - min); }

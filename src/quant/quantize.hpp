@@ -86,4 +86,10 @@ void dequantize(std::span<const i8> q, float scale, std::span<float> out);
   return 0.5f / scale;
 }
 
+/// Feeds one end-to-end quantization-error observation (a MAPE fraction
+/// against a float reference) into the global "quant.mape" histogram, so
+/// the Table 4/5 error distributions are visible in every metrics export.
+/// Call whenever a reference is available (apps::compare does).
+void record_mape(double mape_fraction);
+
 }  // namespace gptpu::quant

@@ -1,0 +1,150 @@
+#include "runtime/metrics_export.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <vector>
+
+#include "common/metrics.hpp"
+
+namespace gptpu::runtime {
+
+namespace {
+
+using metrics::MetricRegistry;
+
+/// Fixed numeric formatting so identical values always print identically
+/// (std::ostream formatting is locale- and state-dependent; snprintf with
+/// a fixed format is not).
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  return buf;
+}
+
+bool is_wall_metric(const std::string& name) {
+  return name.rfind("wall.", 0) == 0;
+}
+
+void append_json_value(std::string& out, const MetricRegistry::SnapshotEntry& e) {
+  switch (e.kind) {
+    case MetricRegistry::Kind::kCounter:
+      out += std::to_string(e.counter);
+      break;
+    case MetricRegistry::Kind::kGauge:
+      out += fmt_double(e.gauge);
+      break;
+    case MetricRegistry::Kind::kHistogram:
+      out += "{\"count\":" + std::to_string(e.hist.count) +
+             ",\"sum\":" + fmt_double(e.hist.sum) +
+             ",\"min\":" + fmt_double(e.hist.min) +
+             ",\"max\":" + fmt_double(e.hist.max) +
+             ",\"p50\":" + fmt_double(e.hist.p50) +
+             ",\"p95\":" + fmt_double(e.hist.p95) +
+             ",\"p99\":" + fmt_double(e.hist.p99) + "}";
+      break;
+  }
+}
+
+void append_json_object(std::string& out,
+                        const std::vector<MetricRegistry::SnapshotEntry>& entries,
+                        bool wall) {
+  out += "{";
+  bool first = true;
+  for (const auto& e : entries) {
+    if (is_wall_metric(e.name) != wall) continue;
+    if (!first) out += ",";
+    first = false;
+    out += "\n    \"" + e.name + "\": ";
+    append_json_value(out, e);
+  }
+  out += first ? "}" : "\n  }";
+}
+
+/// Prometheus metric names allow [a-zA-Z0-9_:]; everything else becomes
+/// an underscore.
+std::string prom_name(const std::string& name) {
+  std::string out = "gptpu_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string metrics_snapshot_json() {
+  const auto entries = MetricRegistry::global().snapshot();
+  // Registry snapshots are name-sorted; "virtual" holds every metric
+  // derived from modelled time or deterministic counts, "wall" the
+  // host-measured ones. Only "virtual" is expected to be byte-stable.
+  std::string out = "{\n  \"virtual\": ";
+  append_json_object(out, entries, /*wall=*/false);
+  out += ",\n  \"wall\": ";
+  append_json_object(out, entries, /*wall=*/true);
+  out += "\n}\n";
+  return out;
+}
+
+std::string metrics_prometheus_text() {
+  const auto entries = MetricRegistry::global().snapshot();
+  std::ostringstream os;
+  for (const auto& e : entries) {
+    const std::string name = prom_name(e.name);
+    switch (e.kind) {
+      case MetricRegistry::Kind::kCounter:
+        os << "# TYPE " << name << " counter\n"
+           << name << " " << e.counter << "\n";
+        break;
+      case MetricRegistry::Kind::kGauge:
+        os << "# TYPE " << name << " gauge\n"
+           << name << " " << fmt_double(e.gauge) << "\n";
+        break;
+      case MetricRegistry::Kind::kHistogram:
+        os << "# TYPE " << name << " summary\n"
+           << name << "{quantile=\"0.5\"} " << fmt_double(e.hist.p50) << "\n"
+           << name << "{quantile=\"0.95\"} " << fmt_double(e.hist.p95) << "\n"
+           << name << "{quantile=\"0.99\"} " << fmt_double(e.hist.p99) << "\n"
+           << name << "_sum " << fmt_double(e.hist.sum) << "\n"
+           << name << "_count " << e.hist.count << "\n";
+        break;
+    }
+  }
+  return os.str();
+}
+
+namespace {
+bool write_text_file(const std::string& path, const std::string& text,
+                     const char* what) {
+  errno = 0;
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << what << ": cannot open '" << path
+              << "': " << std::strerror(errno) << "\n";
+    return false;
+  }
+  out << text;
+  out.flush();
+  if (!out.good()) {
+    std::cerr << what << ": write to '" << path
+              << "' failed: " << std::strerror(errno) << "\n";
+    return false;
+  }
+  return true;
+}
+}  // namespace
+
+bool write_metrics_json_file(const std::string& path) {
+  return write_text_file(path, metrics_snapshot_json(), "metrics export");
+}
+
+bool write_metrics_prometheus_file(const std::string& path) {
+  return write_text_file(path, metrics_prometheus_text(), "metrics export");
+}
+
+}  // namespace gptpu::runtime

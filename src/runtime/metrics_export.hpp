@@ -1,0 +1,33 @@
+// Machine-readable exports of the global metrics registry
+// (docs/OBSERVABILITY.md).
+//
+// Two formats:
+//  * JSON -- deterministic: keys sorted, values printed with a fixed
+//    format, and the nondeterministic wall-clock domain ("wall."-prefixed
+//    metrics) segregated into its own top-level object so the "virtual"
+//    object is byte-stable across identical runs (the metrics.smoke ctest
+//    diffs it).
+//  * Prometheus text exposition -- for scraping; histograms render as
+//    quantile-labelled gauges plus _sum/_count, matching how a summary
+//    type is written.
+#pragma once
+
+#include <string>
+
+namespace gptpu::runtime {
+
+/// The registry as a JSON object: {"virtual": {...}, "wall": {...}}.
+/// Counters are integers; gauges print with %.12g; a histogram becomes an
+/// object with count/sum/min/max/p50/p95/p99 fields. Keys are sorted.
+[[nodiscard]] std::string metrics_snapshot_json();
+
+/// The registry in Prometheus text exposition format. Metric names are
+/// prefixed "gptpu_" and sanitized to the Prometheus charset.
+[[nodiscard]] std::string metrics_prometheus_text();
+
+/// Write either format to a file. On failure prints the failing path and
+/// strerror(errno) to stderr and returns false.
+bool write_metrics_json_file(const std::string& path);
+bool write_metrics_prometheus_file(const std::string& path);
+
+}  // namespace gptpu::runtime

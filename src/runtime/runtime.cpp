@@ -5,7 +5,10 @@
 #include <cmath>
 #include <cstring>
 #include <limits>
+#include <string>
 
+#include "common/metrics.hpp"
+#include "common/span_profiler.hpp"
 #include "common/thread_pool.hpp"
 #include "isa/model_format.hpp"
 
@@ -15,6 +18,60 @@ using isa::DeviceTensorId;
 using isa::Opcode;
 
 namespace {
+
+/// Cross-runtime counters fed from the dispatch/worker paths. Resolved
+/// once, then each update is a relaxed atomic add.
+struct RuntimeMetrics {
+  metrics::Counter& quantize_bytes;
+  metrics::Counter& dequantize_bytes;
+  metrics::Gauge& opq_inflight_highwater;
+  metrics::Gauge& iq_depth_highwater;
+
+  static RuntimeMetrics& get() {
+    auto& reg = metrics::MetricRegistry::global();
+    static RuntimeMetrics m{
+        reg.counter("quant.quantize_bytes"),
+        reg.counter("quant.dequantize_bytes"),
+        // Queue depths depend on real thread interleaving, so they live in
+        // the wall (nondeterministic) domain.
+        reg.gauge("wall.opq_inflight_highwater"),
+        reg.gauge("wall.iq_depth_highwater"),
+    };
+    return m;
+  }
+};
+
+/// Per-opcode OPQ telemetry: operation count plus queue-wait and service
+/// histograms in modelled virtual time. Fed from invoke()'s epilogue --
+/// one record per operation. Queue wait is the *scheduler's estimate* at
+/// dispatch time, which observes concurrent worker-side evictions and so
+/// varies run to run (wall domain); service time is the executed virtual
+/// timeline, deterministic for a single device.
+struct OpMetrics {
+  metrics::Counter& count;
+  metrics::Counter& instructions;
+  metrics::Histogram& queue_wait_vt;
+  metrics::Histogram& service_vt;
+};
+
+OpMetrics& op_metrics(Opcode op) {
+  static std::array<std::unique_ptr<OpMetrics>, isa::kNumOpcodes> table = [] {
+    auto& reg = metrics::MetricRegistry::global();
+    std::array<std::unique_ptr<OpMetrics>, isa::kNumOpcodes> t;
+    for (usize i = 0; i < isa::kNumOpcodes; ++i) {
+      const std::string base =
+          "op." + std::string(isa::name(isa::kAllOpcodes[i])) + ".";
+      t[i] = std::make_unique<OpMetrics>(OpMetrics{
+          reg.counter(base + "count"),
+          reg.counter(base + "instructions"),
+          reg.histogram("wall." + base + "queue_wait_vt"),
+          reg.histogram(base + "service_vt"),
+      });
+    }
+    return t;
+  }();
+  return *table[static_cast<usize>(op)];
+}
 
 u64 mix64(u64 h, u64 v) {
   h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
@@ -44,6 +101,8 @@ u64 tile_key(const TileRef& t) {
 /// Rows are striped across the shared worker pool (each row writes a
 /// disjoint slice of `out`); small tiles run serially on the caller.
 void quantize_tile(const TileRef& tile, std::vector<i8>& out) {
+  GPTPU_SPAN("quantize_tile");
+  RuntimeMetrics::get().quantize_bytes.add(tile.shape.elems());
   const auto src =
       tile.buffer->view().sub(tile.row0, tile.col0, tile.shape);
   out.resize(tile.shape.elems());
@@ -128,6 +187,9 @@ struct Runtime::DeviceState {
   /// device's worker touches it, keeping virtual times deterministic.
   VirtualResource host_lane{"host-lane"};
 
+  /// "scheduler.device<N>.instructions", resolved once at construction.
+  metrics::Counter* instructions = nullptr;
+
   // Scratch reused across plans to avoid per-plan allocation churn.
   std::vector<i8> stage_scratch;
   std::vector<u8> model_scratch;
@@ -154,6 +216,11 @@ Runtime::Runtime(const RuntimeConfig& config)
       pool_(config.num_devices, config.functional, config.profile),
       tensorizer_(tensorizer_config_for(config)),
       scheduler_(config.num_devices, config.affinity) {
+  // Touch the registry so it is fully constructed before this Runtime:
+  // ~Runtime publishes end-of-life gauges, and function-local statics
+  // destroy in reverse completion order, so a Runtime embedded in (or
+  // built during construction of) a static must not outlive the registry.
+  metrics::MetricRegistry::global();
   GPTPU_CHECK(tensorizer_.config().device_memory_bytes ==
                   pool_.device(0).memory_capacity(),
               "Tensorizer and device memory configuration disagree");
@@ -162,6 +229,8 @@ Runtime::Runtime(const RuntimeConfig& config)
     auto ds = std::make_unique<DeviceState>();
     ds->index = i;
     ds->device = &pool_.device(i);
+    ds->instructions = &metrics::MetricRegistry::global().counter(
+        "scheduler.device" + std::to_string(i) + ".instructions");
     device_states_.push_back(std::move(ds));
   }
   workers_.reserve(config.num_devices);
@@ -179,6 +248,32 @@ Runtime::~Runtime() {
     ds->cv.notify_all();
   }
   for (auto& w : workers_) w.join();
+  publish_final_metrics();
+}
+
+void Runtime::publish_final_metrics() {
+  // Only a runtime that actually executed work publishes: a helper
+  // runtime destroyed later must not clobber the interesting gauges with
+  // zeros. Workers are joined, so every virtual clock is final and the
+  // values are deterministic for a fixed program.
+  {
+    MutexLock lock(opq_mu_);
+    if (opq_.empty()) return;
+  }
+  auto& reg = metrics::MetricRegistry::global();
+  visit_resources([&reg](const std::string& track, const VirtualResource& r) {
+    std::string name = "resource." + track + ".busy_vt_seconds";
+    std::replace(name.begin(), name.end(), '/', '.');
+    reg.gauge(name).set(r.busy_time());
+  });
+  reg.gauge("runtime.makespan_vt_seconds").set(makespan());
+  reg.gauge("wall.scheduler.affinity_hit_rate")
+      .set(scheduler_.affinity_hit_rate());
+  const CacheStats cs = cache_stats();
+  reg.counter("cache.hits").add(cs.hits);
+  reg.counter("cache.misses").add(cs.misses);
+  reg.counter("cache.evictions").add(cs.evictions);
+  reg.counter("cache.zero_tiles_skipped").add(cs.zero_tiles_skipped);
 }
 
 // --- buffers --------------------------------------------------------------------
@@ -236,7 +331,23 @@ Seconds Runtime::acquire_host(Seconds ready, Seconds duration,
 
 // --- the operation pipeline ------------------------------------------------------
 
+namespace {
+/// Decrements an in-flight depth counter on every exit path.
+struct InflightGuard {
+  std::atomic<u64>& depth;
+  explicit InflightGuard(std::atomic<u64>& d, metrics::Gauge& highwater)
+      : depth(d) {
+    highwater.record_max(
+        static_cast<double>(depth.fetch_add(1, std::memory_order_relaxed) + 1));
+  }
+  ~InflightGuard() { depth.fetch_sub(1, std::memory_order_relaxed); }
+};
+}  // namespace
+
 void Runtime::invoke(const OperationRequest& request) {
+  auto& rtm = RuntimeMetrics::get();
+  InflightGuard inflight(opq_inflight_, rtm.opq_inflight_highwater);
+
   LoweredOperation lowered = tensorizer_.lower(request);
   GPTPU_CHECK(!lowered.plans.empty(), "Tensorizer produced no instructions");
 
@@ -266,7 +377,9 @@ void Runtime::invoke(const OperationRequest& request) {
   isa::Instruction probe;
 
   // Dispatch every IQ entry. Scheduling decisions happen here, in plan
-  // order, so they are deterministic for a given program.
+  // order, so they are deterministic for a given program (and so is the
+  // queue-wait estimate summed across the operation's plans).
+  Seconds queue_wait_sum = 0;
   for (InstructionPlan& plan : lowered.plans) {
     std::array<Scheduler::TileNeed, 2> needs{};
     usize n_needs = 0;
@@ -291,15 +404,20 @@ void Runtime::invoke(const OperationRequest& request) {
         tm.instruction_latency(probe, plan.in0.shape, in1_shape, out_shape) +
         tm.transfer_latency(out_bytes);
 
-    const usize dev =
-        scheduler_.assign({needs.data(), n_needs}, est, ctx.op_ready);
+    const Scheduler::Assignment assignment =
+        scheduler_.assign_detailed({needs.data(), n_needs}, est, ctx.op_ready);
+    queue_wait_sum += assignment.queue_wait;
 
-    DeviceState& ds = *device_states_[dev];
+    DeviceState& ds = *device_states_[assignment.device];
+    ds.instructions->add(1);
+    usize iq_depth = 0;
     {
       MutexLock lock(ds.mu);
       ds.queue.push_back(WorkItem{plan, &ctx});
+      iq_depth = ds.queue.size();
     }
     ds.cv.notify_one();
+    rtm.iq_depth_highwater.record_max(static_cast<double>(iq_depth));
   }
 
   // Wait for the last IQ entry of this OPQ entry, then move the guarded
@@ -350,6 +468,14 @@ void Runtime::invoke(const OperationRequest& request) {
     opq_.push_back(OpRecord{request.task_id, request.op, lowered.plans.size(),
                             op_virtual_start, op_virtual_done});
   }
+
+  // Per-opcode telemetry, recorded once per operation from virtual-time
+  // quantities that are deterministic for a fixed program.
+  OpMetrics& om = op_metrics(request.op);
+  om.count.add(1);
+  om.instructions.add(lowered.plans.size());
+  om.queue_wait_vt.record(queue_wait_sum);
+  om.service_vt.record(op_virtual_done - op_virtual_start);
 }
 
 void Runtime::worker_loop(usize device_index) {
@@ -505,6 +631,7 @@ bool zero_annihilates(Opcode op) {
 }  // namespace
 
 void Runtime::execute_plan(DeviceState& ds, const WorkItem& item) {
+  GPTPU_SPAN("plan_execute");
   const InstructionPlan& plan = item.plan;
   OpContext& ctx = *item.ctx;
   const Seconds ready = ctx.op_ready;
@@ -600,6 +727,8 @@ void Runtime::execute_plan(DeviceState& ds, const WorkItem& item) {
       "combine");
 
   if (config_.functional && ctx.req->out->functional()) {
+    GPTPU_SPAN("result_land");
+    RuntimeMetrics::get().dequantize_bytes.add(out_bytes);
     const double inv = plan.wide_output
                            ? plan.wide_dequant
                            : 1.0 / static_cast<double>(plan.out_scale);

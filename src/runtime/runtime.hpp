@@ -162,6 +162,11 @@ class Runtime {
 
   void worker_loop(usize device_index);
   void execute_plan(DeviceState& ds, const WorkItem& item);
+  /// Publishes end-of-life gauges (resource busy times, makespan, affinity
+  /// hit rate) and folds the per-device cache counters into the global
+  /// metrics registry. Runs after the workers joined, so every published
+  /// value is a settled virtual-time quantity.
+  void publish_final_metrics();
   isa::DeviceTensorId stage_tile(DeviceState& ds, const TileRef& tile,
                                  Seconds ready, Seconds* available_at);
   void ensure_device_space(DeviceState& ds, usize bytes,
@@ -192,6 +197,10 @@ class Runtime {
 
   std::vector<std::unique_ptr<DeviceState>> device_states_;
   std::vector<std::thread> workers_;
+  /// Operations currently inside invoke() (the OPQ in-flight depth). Feeds
+  /// a wall-domain high-water gauge: the value depends on how caller
+  /// threads interleave.
+  std::atomic<u64> opq_inflight_{0};
   /// Shutdown flag. Atomic because each worker re-checks it under its own
   /// device mutex while the destructor sets it once for all of them.
   std::atomic<bool> stopping_{false};

@@ -2,7 +2,32 @@
 
 #include <algorithm>
 
+#include "common/metrics.hpp"
+
 namespace gptpu::runtime {
+
+namespace {
+/// Global mirrors of the per-scheduler affinity tallies, resolved once.
+struct SchedulerMetrics {
+  metrics::Counter& hits;
+  metrics::Counter& misses;
+  metrics::Counter& bytes_avoided;
+
+  static SchedulerMetrics& get() {
+    auto& reg = metrics::MetricRegistry::global();
+    static SchedulerMetrics m{
+        // wall domain: affinity decisions are dispatch-time *estimates*
+        // that observe concurrent worker-side evictions, so the tallies
+        // legitimately vary run to run even when the executed virtual
+        // timeline does not.
+        reg.counter("wall.scheduler.affinity_hits"),
+        reg.counter("wall.scheduler.affinity_misses"),
+        reg.counter("wall.scheduler.retransfer_bytes_avoided"),
+    };
+    return m;
+  }
+};
+}  // namespace
 
 Scheduler::Scheduler(usize num_devices, bool affinity_enabled)
     : affinity_enabled_(affinity_enabled),
@@ -11,42 +36,75 @@ Scheduler::Scheduler(usize num_devices, bool affinity_enabled)
   GPTPU_CHECK(num_devices >= 1, "Scheduler needs at least one device");
 }
 
-usize Scheduler::assign(std::span<const TileNeed> tiles,
-                        Seconds instr_seconds, Seconds ready) {
+Scheduler::Assignment Scheduler::assign_detailed(
+    std::span<const TileNeed> tiles, Seconds instr_seconds, Seconds ready) {
   usize total_bytes = 0;
   for (const auto& [key, bytes] : tiles) {
     (void)key;
     total_bytes += bytes;
   }
 
-  MutexLock lock(mu_);
-  usize chosen = 0;
-  Seconds chosen_finish = 0;
-  for (usize d = 0; d < load_.size(); ++d) {
-    usize missing = total_bytes;
-    if (affinity_enabled_) {
-      for (const auto& [key, bytes] : tiles) {
-        const auto it = residency_.find(key);
-        if (it != residency_.end() && it->second.contains(d)) {
-          missing -= bytes;
+  Assignment result;
+  {
+    MutexLock lock(mu_);
+    usize chosen = 0;
+    Seconds chosen_finish = 0;
+    usize chosen_missing = total_bytes;
+    for (usize d = 0; d < load_.size(); ++d) {
+      usize missing = total_bytes;
+      if (affinity_enabled_) {
+        for (const auto& [key, bytes] : tiles) {
+          const auto it = residency_.find(key);
+          if (it != residency_.end() && it->second.contains(d)) {
+            missing -= bytes;
+          }
         }
       }
+      const Seconds finish =
+          std::max(ready, load_[d]) + instr_seconds +
+          static_cast<double>(missing) * perfmodel::kLinkSecondsPerByte;
+      if (d == 0 || finish < chosen_finish) {
+        chosen = d;
+        chosen_finish = finish;
+        chosen_missing = missing;
+      }
     }
-    const Seconds finish =
-        std::max(ready, load_[d]) + instr_seconds +
-        static_cast<double>(missing) * perfmodel::kLinkSecondsPerByte;
-    if (d == 0 || finish < chosen_finish) {
-      chosen = d;
-      chosen_finish = finish;
+
+    result.device = chosen;
+    result.queue_wait = std::max(0.0, load_[chosen] - ready);
+    result.resident_bytes = total_bytes - chosen_missing;
+    if (affinity_enabled_ && !tiles.empty()) {
+      if (result.resident_bytes > 0) {
+        ++affinity_hits_;
+      } else {
+        ++affinity_misses_;
+      }
+    }
+
+    load_[chosen] = chosen_finish;
+    for (const auto& [key, bytes] : tiles) {
+      (void)bytes;
+      residency_[key].insert(chosen);
     }
   }
 
-  load_[chosen] = chosen_finish;
-  for (const auto& [key, bytes] : tiles) {
-    (void)bytes;
-    residency_[key].insert(chosen);
+  if (affinity_enabled_ && !tiles.empty()) {
+    auto& m = SchedulerMetrics::get();
+    if (result.resident_bytes > 0) {
+      m.hits.add(1);
+      m.bytes_avoided.add(result.resident_bytes);
+    } else {
+      m.misses.add(1);
+    }
   }
-  return chosen;
+  return result;
+}
+
+double Scheduler::affinity_hit_rate() const {
+  MutexLock lock(mu_);
+  const u64 eligible = affinity_hits_ + affinity_misses_;
+  if (eligible == 0) return 0.0;
+  return static_cast<double>(affinity_hits_) / static_cast<double>(eligible);
 }
 
 void Scheduler::drop_tile(usize device, u64 key) {
@@ -61,6 +119,8 @@ void Scheduler::reset() {
   MutexLock lock(mu_);
   std::fill(load_.begin(), load_.end(), 0.0);
   residency_.clear();
+  affinity_hits_ = 0;
+  affinity_misses_ = 0;
 }
 
 }  // namespace gptpu::runtime

@@ -35,6 +35,19 @@ class Scheduler {
 
   Scheduler(usize num_devices, bool affinity_enabled);
 
+  /// What assign() decided, with enough detail for the metrics layer:
+  /// which device, how long the plan is expected to sit behind that
+  /// device's backlog, and how many input bytes were already resident
+  /// there (the §6.1 re-transfer the affinity rule just avoided).
+  struct Assignment {
+    usize device = 0;
+    /// Estimated virtual time the plan waits for the device to free up
+    /// (max(0, backlog - ready) at decision time).
+    Seconds queue_wait = 0;
+    /// Input bytes already resident on the chosen device.
+    usize resident_bytes = 0;
+  };
+
   /// Picks the device for a plan that becomes ready at `ready` (virtual
   /// time), needs `tiles` resident, and runs for about `instr_seconds`
   /// once they are. Chooses the earliest *estimated finish*: each
@@ -42,10 +55,24 @@ class Scheduler {
   /// resident there, which is exactly the §6.1 affinity rule (resident
   /// inputs make a device finish sooner) generalized to also balance the
   /// pool. With affinity disabled, every device is charged the full
-  /// transfer (pure FCFS). Records the tiles as resident on the choice.
+  /// transfer (pure FCFS). Records the tiles as resident on the choice
+  /// and feeds the scheduler.* metrics.
+  [[nodiscard]] Assignment assign_detailed(std::span<const TileNeed> tiles,
+                                           Seconds instr_seconds,
+                                           Seconds ready)
+      GPTPU_EXCLUDES(mu_);
+
+  /// assign_detailed() reduced to the chosen device id.
   [[nodiscard]] usize assign(std::span<const TileNeed> tiles,
                              Seconds instr_seconds, Seconds ready)
-      GPTPU_EXCLUDES(mu_);
+      GPTPU_EXCLUDES(mu_) {
+    return assign_detailed(tiles, instr_seconds, ready).device;
+  }
+
+  /// Fraction of affinity-eligible assignments (plans with at least one
+  /// input tile, affinity enabled) that found bytes resident on the
+  /// chosen device. 0 when nothing was eligible.
+  [[nodiscard]] double affinity_hit_rate() const GPTPU_EXCLUDES(mu_);
 
   /// Forgets a tile (evicted from a device's memory).
   void drop_tile(usize device, u64 key) GPTPU_EXCLUDES(mu_);
@@ -68,6 +95,10 @@ class Scheduler {
   /// tile cache key -> devices believed to hold it.
   std::unordered_map<u64, std::unordered_set<usize>> residency_
       GPTPU_GUARDED_BY(mu_);
+  /// Affinity-eligible assignments whose chosen device held input bytes.
+  u64 affinity_hits_ GPTPU_GUARDED_BY(mu_) = 0;
+  /// Affinity-eligible assignments that found nothing resident.
+  u64 affinity_misses_ GPTPU_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace gptpu::runtime

@@ -1,6 +1,11 @@
 #include "runtime/trace_export.hpp"
 
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
 #include <fstream>
+#include <iostream>
+#include <vector>
 
 namespace gptpu::runtime {
 
@@ -22,40 +27,97 @@ void json_escape(std::ostream& os, const std::string& s) {
   }
 }
 
+/// pid of the modelled-virtual-time process and of the host-wall-clock
+/// process in the exported trace. Two processes, two clock domains.
+constexpr int kVirtualPid = 1;
+constexpr int kWallPid = 2;
+
+void emit_metadata(std::ostream& os, bool& first, const char* kind, int pid,
+                   int tid, const std::string& name) {
+  if (!first) os << ",\n";
+  first = false;
+  os << R"({"name":")" << kind << R"(","ph":"M","pid":)" << pid;
+  if (tid >= 0) os << R"(,"tid":)" << tid;
+  os << R"(,"args":{"name":")";
+  json_escape(os, name);
+  os << R"("}})";
+}
+
 }  // namespace
 
 void enable_tracing(Runtime& rt) { rt.set_tracing(true); }
 
 void export_chrome_trace(const Runtime& rt, std::ostream& os) {
+  export_chrome_trace(rt, os, {});
+}
+
+void export_chrome_trace(const Runtime& rt, std::ostream& os,
+                         std::span<const prof::SpanRecord> spans) {
   os << "[\n";
   bool first = true;
+  emit_metadata(os, first, "process_name", kVirtualPid, /*tid=*/-1,
+                "modelled-virtual-time");
   int tid = 0;
   rt.visit_resources([&](const std::string& track,
                          const VirtualResource& res) {
     ++tid;
     // Thread-name metadata event names the track.
-    if (!first) os << ",\n";
-    first = false;
-    os << R"({"name":"thread_name","ph":"M","pid":1,"tid":)" << tid
-       << R"(,"args":{"name":")";
-    json_escape(os, track);
-    os << R"("}})";
+    emit_metadata(os, first, "thread_name", kVirtualPid, tid, track);
     for (const TraceEvent& e : res.trace()) {
       os << ",\n";
       os << R"({"name":")";
       json_escape(os, e.label.empty() ? "busy" : e.label);
-      os << R"(","ph":"X","pid":1,"tid":)" << tid << R"(,"ts":)"
-         << e.start * 1e6 << R"(,"dur":)" << (e.end - e.start) * 1e6 << "}";
+      os << R"(","ph":"X","pid":)" << kVirtualPid << R"(,"tid":)" << tid
+         << R"(,"ts":)" << e.start * 1e6 << R"(,"dur":)"
+         << (e.end - e.start) * 1e6 << "}";
     }
   });
+
+  if (!spans.empty()) {
+    emit_metadata(os, first, "process_name", kWallPid, /*tid=*/-1,
+                  "host-wall-clock");
+    std::vector<u32> ordinals;
+    for (const prof::SpanRecord& s : spans) ordinals.push_back(s.thread_ordinal);
+    std::sort(ordinals.begin(), ordinals.end());
+    ordinals.erase(std::unique(ordinals.begin(), ordinals.end()),
+                   ordinals.end());
+    for (const u32 ord : ordinals) {
+      emit_metadata(os, first, "thread_name", kWallPid, static_cast<int>(ord),
+                    "wall/thread" + std::to_string(ord));
+    }
+    for (const prof::SpanRecord& s : spans) {
+      os << ",\n";
+      os << R"({"name":")";
+      json_escape(os, s.label != nullptr ? s.label : "span");
+      os << R"(","ph":"X","pid":)" << kWallPid << R"(,"tid":)"
+         << s.thread_ordinal << R"(,"ts":)" << s.start_s * 1e6 << R"(,"dur":)"
+         << (s.end_s - s.start_s) * 1e6 << "}";
+    }
+  }
   os << "\n]\n";
 }
 
 bool export_chrome_trace_file(const Runtime& rt, const std::string& path) {
+  return export_chrome_trace_file(rt, path, {});
+}
+
+bool export_chrome_trace_file(const Runtime& rt, const std::string& path,
+                              std::span<const prof::SpanRecord> spans) {
+  errno = 0;
   std::ofstream out(path);
-  if (!out) return false;
-  export_chrome_trace(rt, out);
-  return out.good();
+  if (!out) {
+    std::cerr << "trace export: cannot open '" << path
+              << "': " << std::strerror(errno) << "\n";
+    return false;
+  }
+  export_chrome_trace(rt, out, spans);
+  out.flush();
+  if (!out.good()) {
+    std::cerr << "trace export: write to '" << path
+              << "' failed: " << std::strerror(errno) << "\n";
+    return false;
+  }
+  return true;
 }
 
 }  // namespace gptpu::runtime

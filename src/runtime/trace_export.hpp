@@ -1,15 +1,25 @@
-// Chrome-tracing export of the modelled timeline.
+// Chrome-tracing export of the modelled timeline -- and, optionally, of
+// measured host time next to it.
 //
 // With tracing enabled, every VirtualResource interval (device compute
 // units, PCIe links, host lanes, the global host) becomes a Chrome
 // trace-event; load the JSON in chrome://tracing or Perfetto to see how
 // transfers, instructions and host work overlap -- the visual counterpart
 // of the paper's §6.2.3 overlap claim.
+//
+// The span-taking overloads add a second clock domain: wall-clock spans
+// captured by the span profiler (common/span_profiler.hpp) render as a
+// separate process ("host-wall-clock", pid 2) beside the modelled one
+// ("modelled-virtual-time", pid 1), so the real cost of the functional
+// hot paths lines up visually with the simulated schedule
+// (docs/OBSERVABILITY.md).
 #pragma once
 
 #include <ostream>
+#include <span>
 #include <string>
 
+#include "common/span_profiler.hpp"
 #include "runtime/runtime.hpp"
 
 namespace gptpu::runtime {
@@ -25,8 +35,15 @@ void enable_tracing(Runtime& rt);
 /// of modelled time.
 void export_chrome_trace(const Runtime& rt, std::ostream& os);
 
-/// Convenience: export to a file. Returns false when the file cannot be
-/// opened.
+/// Same, plus the wall-clock spans as a second process (pid 2) with one
+/// track per profiled thread. Pass prof::snapshot() or prof::drain().
+void export_chrome_trace(const Runtime& rt, std::ostream& os,
+                         std::span<const prof::SpanRecord> spans);
+
+/// Convenience: export to a file. On failure prints the failing path and
+/// strerror(errno) to stderr and returns false.
 bool export_chrome_trace_file(const Runtime& rt, const std::string& path);
+bool export_chrome_trace_file(const Runtime& rt, const std::string& path,
+                              std::span<const prof::SpanRecord> spans);
 
 }  // namespace gptpu::runtime

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <sstream>
 
+#include "common/span_profiler.hpp"
 #include "sim/kernels.hpp"
 
 namespace gptpu::sim {
@@ -121,6 +122,7 @@ Device::Completion Device::execute(const Instruction& instr, Seconds ready) {
       alloc(out_shape, instr.out_scale, done, /*with_data=*/true, wide);
 
   if (config_.functional) {
+    GPTPU_SPAN("kernel_execute");
     auto& out_rec = tensors_.at(out_id.value);
     MatrixView<i8> out{out_rec.data.data(), out_shape};
     MatrixView<i32> wout{reinterpret_cast<i32*>(out_rec.data.data()),

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <vector>
 
+#include "common/metrics.hpp"
 #include "common/thread_pool.hpp"
 #include "quant/requant.hpp"
 
@@ -254,6 +255,19 @@ void lut_map_row(const std::array<i8, 256>& lut, const i8* __restrict src,
   }
 }
 
+/// Counts engine tile calls whose requant plan saturates every nonzero
+/// accumulator (factor > 127.5): such a tile comes out all +-127/0, so a
+/// nonzero count flags a badly calibrated scale chain. Called once per
+/// engine entry, never by the reference oracle (which would double-count
+/// the equivalence tests).
+void note_requant_saturation(const Requant& rq) {
+  if (!rq.saturate_all) return;
+  static metrics::Counter& saturated =
+      metrics::MetricRegistry::global().counter(
+          "quant.requant_saturated_tiles");
+  saturated.add(1);
+}
+
 }  // namespace
 
 i8 requantize(double raw, float out_scale) {
@@ -280,6 +294,7 @@ void conv2d(MatrixView<const i8> in, float s_in, MatrixView<const i8> kernels,
   const double factor = static_cast<double>(out_scale) /
                         (static_cast<double>(s_in) * static_cast<double>(s_k));
   const Requant rq = Requant::plan(factor);
+  note_requant_saturation(rq);
   const usize taps = krows * kcols;
   const bool nosat = rq.covers(static_cast<i64>(taps) * (127 * 127));
   if (stride.x == 1 && taps > 0 && taps <= kMaxI32Taps) {
@@ -428,6 +443,7 @@ void fully_connected(MatrixView<const i8> in, float s_in,
   const double factor = static_cast<double>(out_scale) /
                         (static_cast<double>(s_in) * static_cast<double>(s_w));
   const Requant rq = Requant::plan(factor);
+  note_requant_saturation(rq);
   const usize n = in.cols();
   const usize k = weights.cols();
   const bool nosat = rq.covers(static_cast<i64>(n) * (127 * 127));
@@ -482,6 +498,7 @@ void pairwise(Opcode op, MatrixView<const i8> a, float s_a,
     throw InvalidArgument("pairwise: not a pairwise opcode");
   }
   const PairPlan pp = plan_pairwise(op, s_a, s_b, out_scale);
+  if (op == Opcode::kMul) note_requant_saturation(pp.mul_rq);
   const usize cols = a.cols();
   ThreadPool::parallel_chunks(
       pool, a.rows(), kRowGrain, [&](usize rbegin, usize rend) {

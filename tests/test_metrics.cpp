@@ -1,0 +1,316 @@
+// Unit tests for the observability layer: the metrics registry primitives
+// (Counter / Gauge / Histogram), registration semantics, the JSON and
+// Prometheus exporters, the wall-clock span profiler, and the Welford
+// stddev added to RunningStats. Concurrency coverage for the same surface
+// lives in test_race_stress.cpp.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.hpp"
+#include "common/span_profiler.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "runtime/metrics_export.hpp"
+
+namespace gptpu {
+namespace {
+
+using metrics::Counter;
+using metrics::Gauge;
+using metrics::Histogram;
+using metrics::MetricRegistry;
+
+// ---------------------------------------------------------------------------
+// Primitives.
+// ---------------------------------------------------------------------------
+
+TEST(MetricsCounter, AddsAndResets) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset_value();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(MetricsGauge, SetIsLastWriteWins) {
+  Gauge g;
+  g.set(3.5);
+  g.set(-1.25);
+  EXPECT_DOUBLE_EQ(g.value(), -1.25);
+  g.reset_value();
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST(MetricsGauge, RecordMaxOnlyRaises) {
+  Gauge g;
+  g.record_max(2.0);
+  g.record_max(1.0);  // lower: ignored
+  EXPECT_DOUBLE_EQ(g.value(), 2.0);
+  g.record_max(7.0);
+  EXPECT_DOUBLE_EQ(g.value(), 7.0);
+}
+
+TEST(MetricsHistogram, EmptySummaryIsZero) {
+  Histogram h;
+  const Histogram::Summary s = h.summary();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.sum, 0.0);
+  EXPECT_DOUBLE_EQ(s.min, 0.0);
+  EXPECT_DOUBLE_EQ(s.max, 0.0);
+  EXPECT_DOUBLE_EQ(s.p50, 0.0);
+}
+
+TEST(MetricsHistogram, SingleValueClampsPercentilesExactly) {
+  Histogram h;
+  h.record(0.125);
+  const Histogram::Summary s = h.summary();
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.sum, 0.125);
+  EXPECT_DOUBLE_EQ(s.min, 0.125);
+  EXPECT_DOUBLE_EQ(s.max, 0.125);
+  // Percentiles are bucket midpoints clamped into [min, max]; with one
+  // value the clamp collapses them to the exact value.
+  EXPECT_DOUBLE_EQ(s.p50, 0.125);
+  EXPECT_DOUBLE_EQ(s.p95, 0.125);
+  EXPECT_DOUBLE_EQ(s.p99, 0.125);
+}
+
+TEST(MetricsHistogram, PercentilesTrackRankWithinBucketResolution) {
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.record(static_cast<double>(i));
+  const Histogram::Summary s = h.summary();
+  EXPECT_EQ(s.count, 1000u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 1000.0);
+  EXPECT_NEAR(s.sum, 500500.0, 1e-6);
+  // Buckets are ~19 % wide, so a 25 % tolerance bounds the bucket-midpoint
+  // error at every rank.
+  EXPECT_NEAR(s.p50, 500.0, 125.0);
+  EXPECT_NEAR(s.p95, 950.0, 240.0);
+  EXPECT_NEAR(s.p99, 990.0, 250.0);
+}
+
+TEST(MetricsHistogram, NonPositiveValuesLandInUnderflowBucket) {
+  Histogram h;
+  h.record(0.0);
+  h.record(-3.0);
+  const Histogram::Summary s = h.summary();
+  EXPECT_EQ(s.count, 2u);
+  EXPECT_DOUBLE_EQ(s.min, -3.0);
+  EXPECT_DOUBLE_EQ(s.max, 0.0);
+  // The underflow bucket's midpoint is clamped into [min, max].
+  EXPECT_GE(s.p50, s.min);
+  EXPECT_LE(s.p50, s.max);
+}
+
+TEST(MetricsHistogram, ResetClearsStateButStaysUsable) {
+  Histogram h;
+  h.record(5.0);
+  h.reset_value();
+  EXPECT_EQ(h.summary().count, 0u);
+  h.record(2.0);
+  EXPECT_EQ(h.summary().count, 1u);
+  EXPECT_DOUBLE_EQ(h.summary().min, 2.0);
+}
+
+// ---------------------------------------------------------------------------
+// Registry.
+// ---------------------------------------------------------------------------
+
+TEST(MetricsRegistry, SameNameReturnsSameInstance) {
+  MetricRegistry reg;
+  Counter& a = reg.counter("test.counter");
+  Counter& b = reg.counter("test.counter");
+  EXPECT_EQ(&a, &b);
+  a.add(3);
+  EXPECT_EQ(b.value(), 3u);
+}
+
+TEST(MetricsRegistry, KindCollisionThrows) {
+  MetricRegistry reg;
+  reg.counter("test.collision");
+  EXPECT_THROW(reg.gauge("test.collision"), InvalidArgument);
+  EXPECT_THROW(reg.histogram("test.collision"), InvalidArgument);
+}
+
+TEST(MetricsRegistry, SnapshotIsNameSorted) {
+  MetricRegistry reg;
+  reg.counter("zebra");
+  reg.gauge("alpha");
+  reg.histogram("middle");
+  const auto entries = reg.snapshot();
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0].name, "alpha");
+  EXPECT_EQ(entries[1].name, "middle");
+  EXPECT_EQ(entries[2].name, "zebra");
+  EXPECT_EQ(entries[0].kind, MetricRegistry::Kind::kGauge);
+  EXPECT_EQ(entries[1].kind, MetricRegistry::Kind::kHistogram);
+  EXPECT_EQ(entries[2].kind, MetricRegistry::Kind::kCounter);
+}
+
+TEST(MetricsRegistry, ResetValuesKeepsReferencesValid) {
+  MetricRegistry reg;
+  Counter& c = reg.counter("test.c");
+  Gauge& g = reg.gauge("test.g");
+  Histogram& h = reg.histogram("test.h");
+  c.add(10);
+  g.set(1.5);
+  h.record(2.0);
+  reg.reset_values();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  EXPECT_EQ(h.summary().count, 0u);
+  c.add(1);  // the registration survives the reset
+  EXPECT_EQ(reg.snapshot().size(), 3u);
+}
+
+TEST(MetricsRegistry, GlobalIsASingleton) {
+  EXPECT_EQ(&MetricRegistry::global(), &MetricRegistry::global());
+}
+
+// ---------------------------------------------------------------------------
+// Exporters. These run against the global registry (the exporters are
+// process-wide by design), so assertions use test-owned names and do not
+// depend on what other tests registered.
+// ---------------------------------------------------------------------------
+
+TEST(MetricsExport, JsonSeparatesWallFromVirtualDomains) {
+  MetricRegistry::global().counter("test.export.virtual_counter").add(7);
+  MetricRegistry::global().gauge("wall.test.export.gauge").set(1.25);
+  const std::string json = runtime::metrics_snapshot_json();
+  const auto virt_pos = json.find("\"virtual\"");
+  const auto wall_pos = json.find("\"wall\"");
+  ASSERT_NE(virt_pos, std::string::npos);
+  ASSERT_NE(wall_pos, std::string::npos);
+  EXPECT_LT(virt_pos, wall_pos);
+  // The virtual counter must appear before the "wall" object opens; the
+  // wall.-prefixed gauge after it.
+  const auto counter_pos = json.find("\"test.export.virtual_counter\": 7");
+  const auto gauge_pos = json.find("\"wall.test.export.gauge\": 1.25");
+  ASSERT_NE(counter_pos, std::string::npos);
+  ASSERT_NE(gauge_pos, std::string::npos);
+  EXPECT_LT(counter_pos, wall_pos);
+  EXPECT_GT(gauge_pos, wall_pos);
+}
+
+TEST(MetricsExport, JsonIsByteStableAcrossBackToBackSnapshots) {
+  MetricRegistry::global().histogram("test.export.hist").record(0.5);
+  EXPECT_EQ(runtime::metrics_snapshot_json(), runtime::metrics_snapshot_json());
+}
+
+TEST(MetricsExport, PrometheusEmitsTypedSanitizedMetrics) {
+  MetricRegistry::global().counter("test.export.prom-counter").add(2);
+  MetricRegistry::global().histogram("test.export.prom_hist").record(4.0);
+  const std::string text = runtime::metrics_prometheus_text();
+  // Dots and dashes sanitize to underscores under the gptpu_ prefix.
+  EXPECT_NE(text.find("# TYPE gptpu_test_export_prom_counter counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("gptpu_test_export_prom_counter 2"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE gptpu_test_export_prom_hist summary"),
+            std::string::npos);
+  EXPECT_NE(text.find("gptpu_test_export_prom_hist{quantile=\"0.5\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("gptpu_test_export_prom_hist_count 1"),
+            std::string::npos);
+}
+
+TEST(MetricsExport, UnwritableJsonPathReportsFailure) {
+  EXPECT_FALSE(runtime::write_metrics_json_file("/nonexistent-dir/m.json"));
+  EXPECT_FALSE(
+      runtime::write_metrics_prometheus_file("/nonexistent-dir/m.prom"));
+}
+
+// ---------------------------------------------------------------------------
+// Span profiler.
+// ---------------------------------------------------------------------------
+
+TEST(SpanProfiler, DisabledSpansRecordNothing) {
+  prof::set_enabled(false);
+  prof::drain();  // start clean
+  { GPTPU_SPAN("test_disabled"); }
+  EXPECT_TRUE(prof::snapshot().empty());
+}
+
+TEST(SpanProfiler, EnabledSpansRecordLabelAndDuration) {
+  prof::set_enabled(false);
+  prof::drain();
+  prof::set_enabled(true);
+  {
+    GPTPU_SPAN("test_outer");
+    { GPTPU_SPAN("test_inner"); }
+  }
+  prof::set_enabled(false);
+  const std::vector<prof::SpanRecord> spans = prof::drain();
+  ASSERT_EQ(spans.size(), 2u);
+  // Inner closes first, so it lands first.
+  EXPECT_STREQ(spans[0].label, "test_inner");
+  EXPECT_STREQ(spans[1].label, "test_outer");
+  for (const prof::SpanRecord& s : spans) {
+    EXPECT_GE(s.end_s, s.start_s);
+  }
+  // Outer encloses inner on the shared timeline.
+  EXPECT_LE(spans[1].start_s, spans[0].start_s);
+  EXPECT_GE(spans[1].end_s, spans[0].end_s);
+}
+
+TEST(SpanProfiler, DrainToRegistryFeedsWallHistograms) {
+  prof::set_enabled(false);
+  prof::drain();
+  prof::set_enabled(true);
+  { GPTPU_SPAN("test_drained"); }
+  prof::set_enabled(false);
+  const auto spans = prof::drain_to_registry();
+  ASSERT_EQ(spans.size(), 1u);
+  const Histogram::Summary s =
+      MetricRegistry::global().histogram("wall.span.test_drained").summary();
+  EXPECT_GE(s.count, 1u);
+  EXPECT_GE(s.max, 0.0);
+  EXPECT_TRUE(prof::snapshot().empty()) << "drain must empty the buffers";
+}
+
+TEST(SpanProfiler, SpansFromSeveralThreadsGetDistinctOrdinals) {
+  prof::set_enabled(false);
+  prof::drain();
+  prof::set_enabled(true);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 3; ++t) {
+    threads.emplace_back([] { GPTPU_SPAN("test_thread"); });
+  }
+  for (auto& th : threads) th.join();
+  prof::set_enabled(false);
+  const auto spans = prof::drain();
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_NE(spans[0].thread_ordinal, spans[1].thread_ordinal);
+  EXPECT_NE(spans[1].thread_ordinal, spans[2].thread_ordinal);
+  EXPECT_NE(spans[0].thread_ordinal, spans[2].thread_ordinal);
+}
+
+// ---------------------------------------------------------------------------
+// RunningStats Welford stddev (satellite of the observability PR).
+// ---------------------------------------------------------------------------
+
+TEST(RunningStatsStddev, MatchesClosedFormSampleDeviation) {
+  RunningStats rs;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) rs.add(v);
+  EXPECT_DOUBLE_EQ(rs.mean(), 5.0);
+  // Sample (n-1) deviation of the classic example set: sqrt(32 / 7).
+  EXPECT_NEAR(rs.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(RunningStatsStddev, DegenerateCountsYieldZero) {
+  RunningStats rs;
+  EXPECT_DOUBLE_EQ(rs.stddev(), 0.0);
+  rs.add(42.0);
+  EXPECT_DOUBLE_EQ(rs.stddev(), 0.0);  // one sample: undefined -> 0
+  rs.add(42.0);
+  EXPECT_DOUBLE_EQ(rs.stddev(), 0.0);  // identical samples
+}
+
+}  // namespace
+}  // namespace gptpu

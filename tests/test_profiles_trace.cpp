@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <vector>
 
+#include "common/span_profiler.hpp"
 #include "runtime/trace_export.hpp"
 #include "sim/device_profile.hpp"
 #include "sim/timing_model.hpp"
@@ -109,6 +111,53 @@ TEST(TraceExport, EmitsValidChromeEventsForEveryTrack) {
   // Balanced braces (cheap well-formedness proxy).
   EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
             std::count(json.begin(), json.end(), '}'));
+}
+
+TEST(TraceExport, DualClockExportCarriesBothDomains) {
+  prof::set_enabled(false);
+  prof::drain();  // discard spans left over from earlier tests
+
+  RuntimeConfig cfg;
+  cfg.functional = false;
+  cfg.num_devices = 2;
+  Runtime rt{cfg};
+  runtime::enable_tracing(rt);
+  prof::set_enabled(true);
+  OperationRequest req;
+  req.task_id = rt.begin_task();
+  req.op = isa::Opcode::kAdd;
+  req.in0 = rt.create_virtual_buffer({512, 512}, {0, 1});
+  req.in1 = rt.create_virtual_buffer({512, 512}, {0, 1});
+  req.out = rt.create_virtual_buffer({512, 512}, {0, 1});
+  rt.invoke(req);
+  prof::set_enabled(false);
+  const std::vector<prof::SpanRecord> spans = prof::snapshot();
+  ASSERT_FALSE(spans.empty()) << "plan execution should emit wall spans";
+
+  std::ostringstream os;
+  runtime::export_chrome_trace(rt, os, spans);
+  const std::string json = os.str();
+  // Both clock-domain processes are named...
+  EXPECT_NE(json.find("modelled-virtual-time"), std::string::npos);
+  EXPECT_NE(json.find("host-wall-clock"), std::string::npos);
+  // ...and both carry duration events: virtual tracks on pid 1, wall span
+  // lanes on pid 2.
+  EXPECT_NE(json.find("tpu0/compute"), std::string::npos);
+  EXPECT_NE(json.find("wall/thread"), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":2"), std::string::npos);
+  EXPECT_NE(json.find("plan_execute"), std::string::npos);
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  prof::drain();
+}
+
+TEST(TraceExport, NoSpansOmitsWallProcess) {
+  RuntimeConfig cfg;
+  cfg.functional = false;
+  Runtime rt{cfg};
+  std::ostringstream os;
+  runtime::export_chrome_trace(rt, os, {});
+  EXPECT_EQ(os.str().find("host-wall-clock"), std::string::npos);
 }
 
 TEST(TraceExport, UnwritablePathReportsFailure) {

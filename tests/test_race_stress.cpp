@@ -10,7 +10,9 @@
 #include <thread>
 #include <vector>
 
+#include "common/metrics.hpp"
 #include "common/rng.hpp"
+#include "common/span_profiler.hpp"
 #include "common/thread_pool.hpp"
 #include "runtime/runtime.hpp"
 
@@ -297,6 +299,107 @@ TEST(RaceStress, AffinitySurvivesConcurrentChurn) {
   // A still-later ready clears every load clock, so the finish estimate is
   // ready + instr + transfer-of-missing-tiles and residency decides alone.
   EXPECT_EQ(sched.assign(big, 1e-7, 2e6), home);
+}
+
+// ---------------------------------------------------------------------------
+// Metrics registry: concurrent writers vs. snapshot readers.
+//
+// Writers hammer one shared counter/gauge/histogram trio and register
+// fresh metrics as they go (exercising the map under the registry lock)
+// while readers snapshot the whole registry mid-flight. Totals must be
+// exact once writers are joined -- relaxed counters are still atomic.
+// ---------------------------------------------------------------------------
+TEST(RaceStress, MetricRegistryWritersVersusSnapshotReaders) {
+  metrics::MetricRegistry reg;  // fresh registry: totals are predictable
+  constexpr usize kWriters = 4;
+  constexpr usize kItersPerWriter = 500;
+
+  metrics::Counter& shared_counter = reg.counter("stress.shared.counter");
+  metrics::Gauge& shared_gauge = reg.gauge("stress.shared.gauge");
+  metrics::Histogram& shared_hist = reg.histogram("stress.shared.hist");
+
+  std::atomic<bool> done{false};
+  std::atomic<usize> snapshots_taken{0};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&] {
+      while (!done.load(std::memory_order_acquire)) {
+        const auto entries = reg.snapshot();
+        for (const auto& e : entries) {
+          // Snapshot order stays sorted while writers register new names.
+          EXPECT_FALSE(e.name.empty());
+        }
+        snapshots_taken.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  std::vector<std::thread> writers;
+  for (usize t = 0; t < kWriters; ++t) {
+    writers.emplace_back([&, t] {
+      for (usize i = 0; i < kItersPerWriter; ++i) {
+        shared_counter.add(1);
+        shared_gauge.record_max(static_cast<double>(t * kItersPerWriter + i));
+        shared_hist.record(1e-6 * static_cast<double>(i + 1));
+        // Re-registration of a hot name and creation of per-thread names
+        // both go through the registry map.
+        reg.counter("stress.shared.counter").add(1);
+        reg.counter("stress.writer" + std::to_string(t)).add(1);
+      }
+    });
+  }
+  for (auto& th : writers) th.join();
+  done.store(true, std::memory_order_release);
+  for (auto& th : readers) th.join();
+
+  EXPECT_GT(snapshots_taken.load(), 0u);
+  EXPECT_EQ(shared_counter.value(), 2 * kWriters * kItersPerWriter);
+  const metrics::Histogram::Summary s = shared_hist.summary();
+  EXPECT_EQ(s.count, kWriters * kItersPerWriter);
+  EXPECT_DOUBLE_EQ(shared_gauge.value(),
+                   static_cast<double>(kWriters * kItersPerWriter - 1));
+  for (usize t = 0; t < kWriters; ++t) {
+    EXPECT_EQ(reg.counter("stress.writer" + std::to_string(t)).value(),
+              kItersPerWriter);
+  }
+}
+
+// Span begin/end from many threads while another thread toggles collection
+// and drains: the profiler's global buffer list and the thread-local
+// buffers must tolerate every interleaving.
+TEST(RaceStress, SpanProfilerConcurrentSpansAndDrains) {
+  prof::set_enabled(false);
+  prof::drain();
+  prof::set_enabled(true);
+
+  constexpr usize kThreads = 4;
+  constexpr usize kSpansPerThread = 200;
+  std::atomic<bool> done{false};
+  std::thread drainer([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      (void)prof::snapshot();
+      (void)prof::drain();
+    }
+  });
+
+  std::vector<std::thread> spanners;
+  for (usize t = 0; t < kThreads; ++t) {
+    spanners.emplace_back([] {
+      for (usize i = 0; i < kSpansPerThread; ++i) {
+        GPTPU_SPAN("stress_outer");
+        GPTPU_SPAN("stress_inner");
+      }
+    });
+  }
+  for (auto& th : spanners) th.join();
+  done.store(true, std::memory_order_release);
+  drainer.join();
+  prof::set_enabled(false);
+
+  // Everything left after the final concurrent drain is well-formed.
+  for (const prof::SpanRecord& rec : prof::drain()) {
+    EXPECT_GE(rec.end_s, rec.start_s);
+  }
 }
 
 }  // namespace

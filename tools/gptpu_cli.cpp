@@ -2,19 +2,26 @@
 //
 // Subcommands:
 //   apps                      list the seven GPTPU applications
-//   run <app> [--devices=N]   modelled run at paper scale + accuracy check
-//   trace <app> [--devices=N] [--out=FILE]
+//   run <app> [--devices=N] [--metrics-out=FILE] [--metrics-prom=FILE]
+//                             modelled run at paper scale + accuracy check;
+//                             optionally dump the metrics registry as JSON
+//                             and/or Prometheus text (docs/OBSERVABILITY.md)
+//   trace <app> [--devices=N] [--out=FILE] [--metrics-out=FILE]
 //                             export the modelled timeline as a Chrome
-//                             trace (chrome://tracing / Perfetto)
+//                             trace (chrome://tracing / Perfetto) with the
+//                             wall-clock span tracks beside it
 //   profiles <app>            compare Edge-PCIe / Edge-USB / Cloud-TPU
 //   info                      print the calibrated machine model
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "apps/app_common.hpp"
+#include "common/span_profiler.hpp"
 #include "isa/opcode.hpp"
 #include "perfmodel/machine_constants.hpp"
+#include "runtime/metrics_export.hpp"
 #include "runtime/trace_export.hpp"
 #include "sim/device_profile.hpp"
 
@@ -58,11 +65,38 @@ int cmd_apps() {
   return 0;
 }
 
+/// Drains profiler spans into the registry and writes the requested
+/// metrics files. Returns false (and reports) when a write fails.
+bool dump_metrics(const std::string& json_path, const std::string& prom_path) {
+  if (json_path.empty() && prom_path.empty()) return true;
+  prof::drain_to_registry();
+  bool ok = true;
+  if (!json_path.empty()) {
+    ok = runtime::write_metrics_json_file(json_path) && ok;
+    if (ok) std::printf("wrote metrics JSON to %s\n", json_path.c_str());
+  }
+  if (!prom_path.empty()) {
+    const bool prom_ok = runtime::write_metrics_prometheus_file(prom_path);
+    if (prom_ok) std::printf("wrote Prometheus text to %s\n", prom_path.c_str());
+    ok = ok && prom_ok;
+  }
+  return ok;
+}
+
 int cmd_run(const apps::AppInfo& app, int argc, char** argv) {
   const usize devices = flag_value(argc, argv, "devices", 1);
+  const std::string metrics_json = flag_string(argc, argv, "metrics-out", "");
+  const std::string metrics_prom = flag_string(argc, argv, "metrics-prom", "");
+  if (!metrics_json.empty() || !metrics_prom.empty()) {
+    prof::set_enabled(true);
+  }
   std::printf("%s on %zu simulated Edge TPU(s)\n", std::string(app.name).c_str(),
               devices);
   const Seconds cpu = app.cpu_time(1);
+  // The accuracy (functional) run goes first so the paper-scale timed run
+  // is the last runtime destroyed: its settled virtual clocks are what the
+  // end-of-life gauges (resource busy times, makespan) publish.
+  const apps::Accuracy acc = app.accuracy(42, 0);
   const apps::TimedResult r = app.gptpu_timed(devices);
   std::printf("  modelled CPU baseline (1 core) : %10.3f s\n", cpu);
   std::printf("  modelled GPTPU latency         : %10.3f s  (%.2fx)\n",
@@ -70,29 +104,33 @@ int cmd_run(const apps::AppInfo& app, int argc, char** argv) {
   std::printf("  modelled GPTPU energy          : %10.3f J total "
               "(%.3f J active)\n",
               r.energy.total_energy(), r.energy.active_energy());
-  const apps::Accuracy acc = app.accuracy(42, 0);
   std::printf("  accuracy vs CPU reference      : MAPE %.3f%%  RMSE %.3f%%\n",
               acc.mape * 100, acc.rmse * 100);
-  return 0;
+  return dump_metrics(metrics_json, metrics_prom) ? 0 : 1;
 }
 
 int cmd_trace(const apps::AppInfo& app, int argc, char** argv) {
   const usize devices = flag_value(argc, argv, "devices", 1);
   const std::string out =
       flag_string(argc, argv, "out", "gptpu_trace.json");
+  const std::string metrics_json = flag_string(argc, argv, "metrics-out", "");
   runtime::RuntimeConfig cfg;
   cfg.functional = false;
   cfg.num_devices = devices;
   runtime::Runtime rt{cfg};
   runtime::enable_tracing(rt);
+  // Collect wall-clock spans alongside the modelled timeline so the trace
+  // shows both clock domains.
+  prof::set_enabled(true);
   app.run_paper_scale(rt);
-  if (!runtime::export_chrome_trace_file(rt, out)) {
-    std::printf("error: cannot write %s\n", out.c_str());
+  const std::vector<prof::SpanRecord> spans = prof::snapshot();
+  if (!runtime::export_chrome_trace_file(rt, out, spans)) {
+    // export_chrome_trace_file already printed the strerror diagnostic.
     return 1;
   }
   std::printf("wrote %s (open in chrome://tracing); makespan %.3f ms\n",
               out.c_str(), rt.makespan() * 1e3);
-  return 0;
+  return dump_metrics(metrics_json, "") ? 0 : 1;
 }
 
 int cmd_profiles(const apps::AppInfo& app) {
@@ -161,8 +199,10 @@ int usage() {
       "usage: gptpu <command>\n"
       "  apps                      list applications\n"
       "  ops                       list the Edge TPU instruction set\n"
-      "  run <app> [--devices=N]   modelled run + accuracy\n"
-      "  trace <app> [--out=FILE]  Chrome-trace export\n"
+      "  run <app> [--devices=N] [--metrics-out=FILE] [--metrics-prom=FILE]\n"
+      "                            modelled run + accuracy (+ metrics dump)\n"
+      "  trace <app> [--out=FILE] [--metrics-out=FILE]\n"
+      "                            dual-clock Chrome-trace export\n"
       "  profiles <app>            Edge-PCIe vs Edge-USB vs Cloud-TPU\n"
       "  info                      calibrated machine model\n");
   return 2;
