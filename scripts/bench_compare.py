@@ -1,13 +1,17 @@
 #!/usr/bin/env python3
-"""Compare a fresh bench_kernels JSON against the committed baseline.
+"""Compare a fresh bench JSON against its committed baseline.
 
 Report-only: prints per-metric deltas and always exits 0 (unless the
 input files are unreadable), because wall-clock throughput on shared CI
-machines is too noisy to gate on. The committed baseline lives at
-BENCH_kernels.json in the repo root; regenerate it on a quiet machine
-with:
+machines is too noisy to gate on. Committed baselines live in the repo
+root; regenerate them on a quiet machine with:
 
     build/bench/bench_kernels --json BENCH_kernels.json
+    build/bench/bench_runtime --json BENCH_runtime.json
+
+When no explicit baseline is given, one is inferred from the new file's
+name (bench_runtime_smoke.json -> BENCH_runtime.json, anything else ->
+BENCH_kernels.json).
 
 Usage:
     scripts/bench_compare.py NEW.json [BASELINE.json]
@@ -18,7 +22,20 @@ import sys
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
-DEFAULT_BASELINE = REPO_ROOT / "BENCH_kernels.json"
+
+# Filename substrings mapped to their committed baselines; first match
+# wins, bench_kernels stays the fallback for compatibility.
+BASELINES = [
+    ("bench_runtime", REPO_ROOT / "BENCH_runtime.json"),
+    ("bench_kernels", REPO_ROOT / "BENCH_kernels.json"),
+]
+
+
+def default_baseline(new_path: Path) -> Path:
+    for needle, baseline in BASELINES:
+        if needle in new_path.name:
+            return baseline
+    return REPO_ROOT / "BENCH_kernels.json"
 
 # Deltas beyond this fraction get flagged in the report (still exit 0).
 HIGHLIGHT_FRACTION = 0.25
@@ -37,7 +54,7 @@ def main(argv: list[str]) -> int:
         print(__doc__.strip(), file=sys.stderr)
         return 2
     new_path = Path(argv[1])
-    base_path = Path(argv[2]) if len(argv) == 3 else DEFAULT_BASELINE
+    base_path = Path(argv[2]) if len(argv) == 3 else default_baseline(new_path)
 
     try:
         new = load(new_path)

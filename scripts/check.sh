@@ -32,13 +32,19 @@ for preset in "${PRESETS[@]}"; do
   ctest --preset "${preset}"
 done
 
-# Report-only perf trend: the default preset's bench.smoke run (part of
-# ctest above) wrote a quick bench_kernels JSON; diff it against the
-# committed baseline. Never gates -- wall clock on CI is too noisy.
+# Report-only perf trend: the default preset's bench.smoke /
+# bench.runtime_smoke runs (part of ctest above) wrote quick JSONs; diff
+# them against the committed baselines (inferred from the filename).
+# Never gates -- wall clock on CI is too noisy.
 SMOKE_JSON="build/bench/bench_kernels_smoke.json"
 if [[ -f "${SMOKE_JSON}" && -f BENCH_kernels.json ]]; then
   banner "bench_compare (report only)"
   python3 scripts/bench_compare.py "${SMOKE_JSON}"
+fi
+RUNTIME_SMOKE_JSON="build/bench/bench_runtime_smoke.json"
+if [[ -f "${RUNTIME_SMOKE_JSON}" && -f BENCH_runtime.json ]]; then
+  banner "bench_compare runtime (report only)"
+  python3 scripts/bench_compare.py "${RUNTIME_SMOKE_JSON}"
 fi
 
 banner "all checks passed"

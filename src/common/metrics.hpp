@@ -16,10 +16,12 @@
 // "op.conv2D.service_vt") and live for the life of the process;
 // instrumentation sites look a metric up once and cache the reference, so
 // steady-state cost is the primitive's own write. Names prefixed "wall."
-// carry wall-clock (host-measured, nondeterministic) values; everything
-// else is derived from modelled virtual time or deterministic counts and
-// must be byte-stable across identical runs (the metrics.smoke ctest
-// enforces this through the JSON exporter).
+// (plus the "host_cache." family of the staging cache, whose counts
+// depend on thread interleaving) carry wall-clock (host-measured,
+// nondeterministic) values; everything else is derived from modelled
+// virtual time or deterministic counts and must be byte-stable across
+// identical runs (the metrics.smoke ctest enforces this through the JSON
+// exporter).
 #pragma once
 
 #include <array>

@@ -1,5 +1,7 @@
 #include "runtime/buffer.hpp"
 
+#include "runtime/staging_cache.hpp"
+
 namespace gptpu::runtime {
 
 namespace {
@@ -20,12 +22,26 @@ TensorBuffer::TensorBuffer(Shape2D shape, float* host)
     : id_(next_id()), shape_(shape), host_(host) {
   GPTPU_CHECK(host != nullptr, "null host pointer");
   GPTPU_CHECK(shape.elems() > 0, "empty buffer");
+  // Construct the process-wide staging cache before this buffer exists,
+  // so a static-duration buffer's destructor can still invalidate into a
+  // live cache (function-local statics destroy in reverse order).
+  StagingCache::global();
   recalibrate();
 }
 
 TensorBuffer::TensorBuffer(Shape2D shape, quant::Range range)
     : id_(next_id()), shape_(shape), range_(range) {
   GPTPU_CHECK(shape.elems() > 0, "empty buffer");
+  StagingCache::global();
+}
+
+TensorBuffer::~TensorBuffer() {
+  StagingCache::global().invalidate_buffer(id_);
+}
+
+void TensorBuffer::bump_version() {
+  StagingCache::global().invalidate_buffer(id_);
+  ++version_;
 }
 
 void TensorBuffer::recalibrate() {

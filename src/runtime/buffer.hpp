@@ -24,6 +24,14 @@ class TensorBuffer {
   /// Timing-only descriptor: no data, a synthetic range.
   TensorBuffer(Shape2D shape, quant::Range range);
 
+  /// Drops this buffer's host staging-cache entries (see
+  /// runtime/staging_cache.hpp): cached quantized bytes must not outlive
+  /// the buffer identity they are keyed on.
+  ~TensorBuffer();
+
+  TensorBuffer(const TensorBuffer&) = delete;
+  TensorBuffer& operator=(const TensorBuffer&) = delete;
+
   [[nodiscard]] u64 id() const { return id_; }
   [[nodiscard]] Shape2D shape() const { return shape_; }
   [[nodiscard]] bool functional() const { return host_ != nullptr; }
@@ -47,7 +55,9 @@ class TensorBuffer {
   /// operation output; part of the device-cache key so stale tiles are
   /// never reused (§6.1's affinity rule only applies to identical inputs).
   [[nodiscard]] u64 version() const { return version_; }
-  void bump_version() { ++version_; }
+  /// Also invalidates the buffer's host staging-cache entries, so the
+  /// memoized quantized bytes can never be served for rewritten data.
+  void bump_version();
 
  private:
   static u64 next_id();

@@ -77,6 +77,13 @@ struct InstructionPlan {
   TileRef in0;
   TileRef in1;
 
+  /// Cache keys of in0/in1 (`tile_key`), computed once at dispatch and
+  /// carried along so the scheduler, the stage-ahead thread and the
+  /// executing worker all agree on the identity without rehashing.
+  /// 0 until invoke() fills them in (and for an invalid in1).
+  u64 in0_key = 0;
+  u64 in1_key = 0;
+
   // Host-side result routing.
   usize out_row0 = 0;
   usize out_col0 = 0;

@@ -26,6 +26,7 @@ struct RuntimeMetrics {
   metrics::Counter& dequantize_bytes;
   metrics::Gauge& opq_inflight_highwater;
   metrics::Gauge& iq_depth_highwater;
+  metrics::Gauge& stage_ahead_depth;
 
   static RuntimeMetrics& get() {
     auto& reg = metrics::MetricRegistry::global();
@@ -36,6 +37,9 @@ struct RuntimeMetrics {
         // the wall (nondeterministic) domain.
         reg.gauge("wall.opq_inflight_highwater"),
         reg.gauge("wall.iq_depth_highwater"),
+        // High-water of how far a stage-ahead thread ran in front of its
+        // executor (1 = the very next plan, stage_slots = ring full).
+        reg.gauge("wall.stage.ahead_depth"),
     };
     return m;
   }
@@ -73,36 +77,14 @@ OpMetrics& op_metrics(Opcode op) {
   return *table[static_cast<usize>(op)];
 }
 
-u64 mix64(u64 h, u64 v) {
-  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
-  return h;
-}
-
-/// Cache identity of a staged tile: buffer (and its write version), the
-/// rectangle, quantization scale and staging kind. Two plans whose tiles
-/// agree on all of these can share the resident copy (§6.1).
-u64 tile_key(const TileRef& t) {
-  u64 h = 0x2545f4914f6cdd1dULL;
-  h = mix64(h, t.buffer->id());
-  h = mix64(h, t.buffer->version());
-  h = mix64(h, t.row0);
-  h = mix64(h, t.col0);
-  h = mix64(h, t.shape.rows);
-  h = mix64(h, t.shape.cols);
-  u32 scale_bits;
-  static_assert(sizeof(scale_bits) == sizeof(t.scale));
-  std::memcpy(&scale_bits, &t.scale, sizeof(scale_bits));
-  h = mix64(h, scale_bits);
-  h = mix64(h, t.as_model ? 1 : 0);
-  return h;
-}
-
 /// Quantizes the tile's host rectangle into `out` (row-major, contiguous).
 /// Rows are striped across the shared worker pool (each row writes a
 /// disjoint slice of `out`); small tiles run serially on the caller.
+/// (The quant.quantize_bytes counter is charged at the stage_tile miss,
+/// not here: with the staging cache a hit skips this function entirely,
+/// and the virtual-domain counter must not depend on wall-clock hits.)
 void quantize_tile(const TileRef& tile, std::vector<i8>& out) {
   GPTPU_SPAN("quantize_tile");
-  RuntimeMetrics::get().quantize_bytes.add(tile.shape.elems());
   const auto src =
       tile.buffer->view().sub(tile.row0, tile.col0, tile.shape);
   out.resize(tile.shape.elems());
@@ -130,6 +112,16 @@ struct Runtime::OpContext {
   Mutex mu;
   CondVar cv;
   usize remaining GPTPU_GUARDED_BY(mu) = 0;
+  /// Stage-ahead threads currently preparing a plan of this operation.
+  /// invoke() must not return (destroying this context and unpinning the
+  /// request's buffers) while a stager still reads them, so its wait
+  /// predicate is `remaining == 0 && stage_pins == 0`. Incremented under
+  /// the device mutex while the plan is still queued (so the context is
+  /// provably alive), decremented under `mu` with a notify. Atomic: the
+  /// two sides use different mutexes; visibility of the increment to the
+  /// waiter is given by the device-mutex -> ctx-mutex handoff chain
+  /// through the plan's executor.
+  std::atomic<u32> stage_pins{0};
   Seconds virtual_start GPTPU_GUARDED_BY(mu) =
       std::numeric_limits<Seconds>::max();
   Seconds virtual_done GPTPU_GUARDED_BY(mu) = 0;
@@ -162,6 +154,30 @@ struct Runtime::DeviceState {
   CondVar cv;
   std::deque<WorkItem> queue GPTPU_GUARDED_BY(mu);
 
+  // --- stage-ahead pipeline state (two-stage wall-clock pipeline) ---
+  // The stager prepares host bytes for plan `seq` into slot
+  // `seq % slots.size()` while the executor drains earlier plans. The
+  // window invariant `exec_seq <= staged seq < exec_seq + slots.size()`
+  // guarantees a slot is never overwritten before its plan was popped.
+  /// Next sequence number to assign at dispatch.
+  u64 enqueue_seq GPTPU_GUARDED_BY(mu) = 0;
+  /// Sequence number of the next plan the executor will pop (every plan
+  /// with a smaller seq has already left the queue).
+  u64 exec_seq GPTPU_GUARDED_BY(mu) = 0;
+  /// Plans awaiting stage-ahead, in dispatch order (a copy of what the
+  /// stager needs; never aliases the executor queue).
+  std::deque<StageRequest> stage_queue GPTPU_GUARDED_BY(mu);
+  /// Wakes the stager: new request, or the window slid (a pop freed a
+  /// slot), or shutdown.
+  CondVar stage_cv;
+  struct StageSlot {
+    static constexpr u64 kEmpty = ~u64{0};
+    u64 seq = kEmpty;
+    StagingCache::PayloadPtr in0;
+    StagingCache::PayloadPtr in1;
+  };
+  std::vector<StageSlot> slots GPTPU_GUARDED_BY(mu);
+
   // Cache bookkeeping is owned exclusively by this device's worker thread;
   // no lock needed (the queue hand-off orders the accesses).
   struct CacheEntry {
@@ -191,8 +207,9 @@ struct Runtime::DeviceState {
   metrics::Counter* instructions = nullptr;
 
   // Scratch reused across plans to avoid per-plan allocation churn.
-  std::vector<i8> stage_scratch;
-  std::vector<u8> model_scratch;
+  // (Staging bytes no longer live here: they are owned by refcounted
+  // StagingCache payloads, shared between the slot ring, the cache and
+  // the device write in flight.)
   std::vector<i8> out_scratch;
   std::vector<i32> wide_scratch;
 };
@@ -224,6 +241,8 @@ Runtime::Runtime(const RuntimeConfig& config)
   GPTPU_CHECK(tensorizer_.config().device_memory_bytes ==
                   pool_.device(0).memory_capacity(),
               "Tensorizer and device memory configuration disagree");
+  stager_enabled_ = config_.stage_pipeline && config_.functional;
+  const usize slots = std::clamp<usize>(config_.stage_slots, 2, 8);
   device_states_.reserve(config.num_devices);
   for (usize i = 0; i < config.num_devices; ++i) {
     auto ds = std::make_unique<DeviceState>();
@@ -231,11 +250,21 @@ Runtime::Runtime(const RuntimeConfig& config)
     ds->device = &pool_.device(i);
     ds->instructions = &metrics::MetricRegistry::global().counter(
         "scheduler.device" + std::to_string(i) + ".instructions");
+    if (stager_enabled_) {
+      MutexLock lock(ds->mu);
+      ds->slots.resize(slots);
+    }
     device_states_.push_back(std::move(ds));
   }
   workers_.reserve(config.num_devices);
   for (usize i = 0; i < config.num_devices; ++i) {
     workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+  if (stager_enabled_) {
+    stagers_.reserve(config.num_devices);
+    for (usize i = 0; i < config.num_devices; ++i) {
+      stagers_.emplace_back([this, i] { stager_loop(i); });
+    }
   }
 }
 
@@ -246,8 +275,10 @@ Runtime::~Runtime() {
     // (no lost wakeups), then the notify releases it.
     MutexLock lock(ds->mu);
     ds->cv.notify_all();
+    ds->stage_cv.notify_all();
   }
   for (auto& w : workers_) w.join();
+  for (auto& s : stagers_) s.join();
   publish_final_metrics();
 }
 
@@ -381,11 +412,17 @@ void Runtime::invoke(const OperationRequest& request) {
   // queue-wait estimate summed across the operation's plans).
   Seconds queue_wait_sum = 0;
   for (InstructionPlan& plan : lowered.plans) {
+    // Tile keys are computed once here and carried in the plan: the
+    // scheduler, the stage-ahead thread and the executing worker all use
+    // these exact values (no rehashing downstream).
+    plan.in0_key = tile_key(plan.in0);
+    if (plan.in1.valid()) plan.in1_key = tile_key(plan.in1);
+
     std::array<Scheduler::TileNeed, 2> needs{};
     usize n_needs = 0;
-    needs[n_needs++] = {tile_key(plan.in0), plan.in0.bytes()};
+    needs[n_needs++] = {plan.in0_key, plan.in0.bytes()};
     if (plan.in1.valid()) {
-      needs[n_needs++] = {tile_key(plan.in1), plan.in1.bytes()};
+      needs[n_needs++] = {plan.in1_key, plan.in1.bytes()};
     }
 
     // Instruction-latency estimate; the scheduler adds transfer costs for
@@ -413,10 +450,39 @@ void Runtime::invoke(const OperationRequest& request) {
     usize iq_depth = 0;
     {
       MutexLock lock(ds.mu);
-      ds.queue.push_back(WorkItem{plan, &ctx});
+      WorkItem item;
+      item.plan = plan;
+      item.ctx = &ctx;
+      item.seq = ds.enqueue_seq++;
+      if (stager_enabled_) {
+        StageRequest sr;
+        sr.seq = item.seq;
+        sr.in0 = plan.in0;
+        sr.in1 = plan.in1;
+        sr.in0_key = plan.in0_key;
+        sr.in1_key = plan.in1_key;
+        sr.op = plan.op;
+        // Stage what the scheduler believes is NOT yet resident on the
+        // device; resident tiles will hit the device cache and need no
+        // host bytes at all. Without the input cache everything
+        // re-stages every plan.
+        sr.stage_mask = 0;
+        if (!config_.input_cache || (assignment.resident_mask & 1u) == 0) {
+          sr.stage_mask |= 1u;
+        }
+        if (plan.in1.valid() &&
+            (!config_.input_cache || (assignment.resident_mask & 2u) == 0)) {
+          sr.stage_mask |= 2u;
+        }
+        sr.out_buffer_id = request.out->id();
+        sr.ctx = &ctx;
+        ds.stage_queue.push_back(std::move(sr));
+      }
+      ds.queue.push_back(std::move(item));
       iq_depth = ds.queue.size();
     }
     ds.cv.notify_one();
+    if (stager_enabled_) ds.stage_cv.notify_one();
     rtm.iq_depth_highwater.record_max(static_cast<double>(iq_depth));
   }
 
@@ -428,7 +494,10 @@ void Runtime::invoke(const OperationRequest& request) {
   double max_acc;
   {
     MutexLock lock(ctx.mu);
-    while (ctx.remaining != 0) ctx.cv.wait(ctx.mu);
+    while (ctx.remaining != 0 ||
+           ctx.stage_pins.load(std::memory_order_acquire) != 0) {
+      ctx.cv.wait(ctx.mu);
+    }
     if (ctx.error) std::rethrow_exception(ctx.error);
     op_virtual_start = ctx.virtual_start;
     op_virtual_done = ctx.virtual_done;
@@ -493,6 +562,20 @@ void Runtime::worker_loop(usize device_index) {
       }
       item = std::move(ds.queue.front());
       ds.queue.pop_front();
+      if (stager_enabled_) {
+        // Take whatever the stage-ahead thread parked for this plan (it
+        // may still be working on it, or have skipped it -- both leave
+        // the slot empty and the executor stages inline). Advancing
+        // exec_seq slides the window, freeing a slot for the stager.
+        auto& slot = ds.slots[item.seq % ds.slots.size()];
+        if (slot.seq == item.seq) {
+          item.hint0 = std::move(slot.in0);
+          item.hint1 = std::move(slot.in1);
+          slot.seq = DeviceState::StageSlot::kEmpty;
+        }
+        ds.exec_seq = item.seq + 1;
+        ds.stage_cv.notify_one();
+      }
     }
     OpContext& ctx = *item.ctx;
     try {
@@ -507,6 +590,140 @@ void Runtime::worker_loop(usize device_index) {
       if (ctx.remaining == 0) ctx.cv.notify_all();
     }
   }
+}
+
+namespace {
+/// True when every element of the tile's host region is exactly zero.
+/// Vectorized: a row scans as an OR-reduction over the float bit
+/// patterns with the sign bit masked off, which is zero iff every
+/// element is +0.0f or -0.0f -- exactly the `x != 0.0f` predicate
+/// (NaNs and denormals have nonzero magnitude bits). The branch-free
+/// chunks auto-vectorize; chunking keeps the early exit.
+bool tile_scan_zero(const TileRef& tile) {
+  if (!tile.buffer->functional()) return false;
+  const auto v = tile.buffer->view().sub(tile.row0, tile.col0, tile.shape);
+  for (usize r = 0; r < v.rows(); ++r) {
+    const std::span<const float> row = v.row(r);
+    const usize n = row.size();
+    usize c = 0;
+    for (; c + 64 <= n; c += 64) {
+      u32 acc = 0;
+      for (usize i = 0; i < 64; ++i) {
+        u32 bits;
+        std::memcpy(&bits, &row[c + i], sizeof(bits));
+        acc |= bits & 0x7fffffffu;
+      }
+      if (acc != 0) return false;
+    }
+    for (; c < n; ++c) {
+      if (row[c] != 0.0f) return false;
+    }
+  }
+  return true;
+}
+
+/// Opcodes for which a zero operand forces a zero result.
+bool zero_annihilates(Opcode op) {
+  switch (op) {
+    case Opcode::kMul:
+    case Opcode::kConv2D:
+    case Opcode::kFullyConnected:
+      return true;
+    default:
+      return false;
+  }
+}
+}  // namespace
+
+void Runtime::stager_loop(usize device_index) {
+  DeviceState& ds = *device_states_[device_index];
+  usize nslots;
+  {
+    MutexLock lock(ds.mu);
+    nslots = ds.slots.size();
+  }
+  for (;;) {
+    StageRequest req;
+    u64 depth = 0;
+    {
+      MutexLock lock(ds.mu);
+      for (;;) {
+        // Requests the executor already passed are useless; drop them.
+        while (!ds.stage_queue.empty() &&
+               ds.stage_queue.front().seq < ds.exec_seq) {
+          ds.stage_queue.pop_front();
+        }
+        if (stopping_.load(std::memory_order_acquire)) return;
+        if (!ds.stage_queue.empty() &&
+            ds.stage_queue.front().seq < ds.exec_seq + nslots) {
+          break;
+        }
+        // Idle, or the ring is full: wait for a dispatch or a pop.
+        ds.stage_cv.wait(ds.mu);
+      }
+      req = std::move(ds.stage_queue.front());
+      ds.stage_queue.pop_front();
+      depth = req.seq - ds.exec_seq + 1;
+      // Pin the operation: its plan is still queued (seq >= exec_seq),
+      // so the context is alive, and invoke() will now not return until
+      // we unpin -- the buffers this request references stay valid for
+      // the whole preparation.
+      req.ctx->stage_pins.fetch_add(1, std::memory_order_acq_rel);
+    }
+    RuntimeMetrics::get().stage_ahead_depth.record_max(
+        static_cast<double>(depth));
+    try {
+      stage_ahead(ds, req);
+    } catch (...) {
+      // Preparation is purely advisory: on any failure the executor
+      // simply stages inline and surfaces the error itself.
+    }
+    {
+      MutexLock lock(req.ctx->mu);
+      req.ctx->stage_pins.fetch_sub(1, std::memory_order_acq_rel);
+      req.ctx->cv.notify_all();
+    }
+  }
+}
+
+void Runtime::stage_ahead(DeviceState& ds, const StageRequest& req) {
+  GPTPU_SPAN("stage_ahead");
+  // Never read a buffer the operation's landings may be writing: an
+  // input aliasing the output makes this whole request unsafe to touch.
+  if (req.in0.buffer->id() == req.out_buffer_id ||
+      (req.in1.valid() && req.in1.buffer->id() == req.out_buffer_id)) {
+    return;
+  }
+
+  // Warm the zero verdicts first: if a multiplicative operand is all
+  // zeros the executor skips staging entirely, so payload builds would
+  // be wasted work.
+  bool skip_payloads = false;
+  if (config_.skip_zero_tiles && zero_annihilates(req.op)) {
+    const bool z0 = tile_is_zero_cached(req.in0, req.in0_key);
+    const bool z1 =
+        req.in1.valid() && tile_is_zero_cached(req.in1, req.in1_key);
+    skip_payloads = z0 || z1;
+  }
+
+  StagingCache::PayloadPtr p0;
+  StagingCache::PayloadPtr p1;
+  if (!skip_payloads) {
+    if ((req.stage_mask & 1u) != 0 && req.in0.buffer->functional()) {
+      p0 = staged_payload(req.in0, req.in0_key);
+    }
+    if ((req.stage_mask & 2u) != 0 && req.in1.valid() &&
+        req.in1.buffer->functional()) {
+      p1 = staged_payload(req.in1, req.in1_key);
+    }
+  }
+
+  MutexLock lock(ds.mu);
+  if (req.seq < ds.exec_seq) return;  // the executor beat us; drop it
+  auto& slot = ds.slots[req.seq % ds.slots.size()];
+  slot.seq = req.seq;
+  slot.in0 = std::move(p0);
+  slot.in1 = std::move(p1);
 }
 
 void Runtime::ensure_device_space(DeviceState& ds, usize bytes,
@@ -538,9 +755,31 @@ void Runtime::ensure_device_space(DeviceState& ds, usize bytes,
   }
 }
 
+/// Host bytes for a tile, built once: quantized int8 rectangle, plus the
+/// serialized model blob for model-kind operands (which then drop the
+/// intermediate tensor bytes -- load_model consumes only the blob).
+StagingCache::PayloadPtr Runtime::staged_payload(const TileRef& tile,
+                                                 u64 key) {
+  const auto build = [&tile] {
+    StagingCache::Payload p;
+    quantize_tile(tile, p.tensor);
+    if (tile.as_model) {
+      const isa::ModelInfo info{tile.shape, tile.shape, tile.scale};
+      isa::serialize_model(p.tensor, info, p.model);
+      p.tensor = {};
+    }
+    return p;
+  };
+  if (config_.host_staging_cache) {
+    return StagingCache::global().get_or_build(
+        key, StagingCache::identity_of(tile), build);
+  }
+  return std::make_shared<const StagingCache::Payload>(build());
+}
+
 isa::DeviceTensorId Runtime::stage_tile(DeviceState& ds, const TileRef& tile,
+                                        u64 key, StagingCache::PayloadPtr hint,
                                         Seconds ready, Seconds* available_at) {
-  const u64 key = tile_key(tile);
   if (!config_.input_cache) {
     // Stateless mode: evict any previous copy and re-stage below.
     if (const auto it = ds.cache.find(key); it != ds.cache.end()) {
@@ -576,15 +815,19 @@ isa::DeviceTensorId Runtime::stage_tile(DeviceState& ds, const TileRef& tile,
 
   sim::Device::Completion done{};
   if (config_.functional && tile.buffer->functional()) {
+    // Virtual domain: the miss performed this much quantization work,
+    // whether the wall-clock bytes came from the stage-ahead slot, the
+    // staging cache or an inline build.
+    RuntimeMetrics::get().quantize_bytes.add(tile.shape.elems());
+    const StagingCache::PayloadPtr payload =
+        hint ? std::move(hint) : staged_payload(tile, key);
     if (tile.as_model) {
-      quantize_tile(tile, ds.stage_scratch);
-      const isa::ModelInfo info{tile.shape, tile.shape, tile.scale};
-      isa::serialize_model(ds.stage_scratch, info, ds.model_scratch);
-      done = ds.device->load_model(ds.model_scratch, transfer_ready,
+      done = ds.device->load_model(payload->model, transfer_ready,
                                    link_setup);
     } else {
-      quantize_tile(tile, ds.stage_scratch);
-      done = ds.device->write_tensor(tile.shape, tile.scale, ds.stage_scratch,
+      GPTPU_CHECK(payload->tensor.size() == tile.shape.elems(),
+                  "staged payload does not match the tile shape");
+      done = ds.device->write_tensor(tile.shape, tile.scale, payload->tensor,
                                      transfer_ready, link_setup);
     }
   } else {
@@ -604,31 +847,20 @@ isa::DeviceTensorId Runtime::stage_tile(DeviceState& ds, const TileRef& tile,
   return done.id;
 }
 
-namespace {
-/// True when every element of the tile's host region is exactly zero.
-bool tile_is_zero(const TileRef& tile) {
+bool Runtime::tile_is_zero_cached(const TileRef& tile, u64 key) {
   if (!tile.buffer->functional()) return false;
-  const auto v = tile.buffer->view().sub(tile.row0, tile.col0, tile.shape);
-  for (usize r = 0; r < v.rows(); ++r) {
-    for (const float x : v.row(r)) {
-      if (x != 0.0f) return false;
-    }
+  if (!config_.host_staging_cache) return tile_scan_zero(tile);
+  // The verdict is as version-stable as the staged bytes, so it shares
+  // the cache's entries (and their bump_version invalidation).
+  auto& cache = StagingCache::global();
+  const auto id = StagingCache::identity_of(tile);
+  if (const std::optional<bool> verdict = cache.zero_verdict(key, id)) {
+    return *verdict;
   }
-  return true;
+  const bool zero = tile_scan_zero(tile);
+  cache.store_zero_verdict(key, id, zero);
+  return zero;
 }
-
-/// Opcodes for which a zero operand forces a zero result.
-bool zero_annihilates(Opcode op) {
-  switch (op) {
-    case Opcode::kMul:
-    case Opcode::kConv2D:
-    case Opcode::kFullyConnected:
-      return true;
-    default:
-      return false;
-  }
-}
-}  // namespace
 
 void Runtime::execute_plan(DeviceState& ds, const WorkItem& item) {
   GPTPU_SPAN("plan_execute");
@@ -640,8 +872,8 @@ void Runtime::execute_plan(DeviceState& ds, const WorkItem& item) {
   // multiplicative operand tile is all zeros.
   if (config_.functional && config_.skip_zero_tiles &&
       zero_annihilates(plan.op) &&
-      (tile_is_zero(plan.in0) ||
-       (plan.in1.valid() && tile_is_zero(plan.in1)))) {
+      (tile_is_zero_cached(plan.in0, plan.in0_key) ||
+       (plan.in1.valid() && tile_is_zero_cached(plan.in1, plan.in1_key)))) {
     // The host still pays to look at the tile once (a calibration-speed
     // scan); no transfer, no instruction.
     const Seconds scanned = ds.host_lane.acquire(
@@ -668,13 +900,14 @@ void Runtime::execute_plan(DeviceState& ds, const WorkItem& item) {
 
   Seconds in0_at = 0;
   Seconds in1_at = 0;
-  const DeviceTensorId in0 = stage_tile(ds, plan.in0, ready, &in0_at);
+  const DeviceTensorId in0 = stage_tile(ds, plan.in0, plan.in0_key,
+                                        item.hint0, ready, &in0_at);
   DeviceTensorId in1;
-  std::array<u64, 2> pinned{tile_key(plan.in0), 0};
+  std::array<u64, 2> pinned{plan.in0_key, 0};
   usize n_pinned = 1;
   if (plan.in1.valid()) {
-    pinned[n_pinned++] = tile_key(plan.in1);
-    in1 = stage_tile(ds, plan.in1, ready, &in1_at);
+    pinned[n_pinned++] = plan.in1_key;
+    in1 = stage_tile(ds, plan.in1, plan.in1_key, item.hint1, ready, &in1_at);
   }
 
   isa::Instruction instr;
@@ -867,6 +1100,17 @@ void Runtime::reset() {
   for (auto& ds : device_states_) {
     MutexLock lock(ds->mu);
     GPTPU_CHECK(ds->queue.empty(), "reset() while work is pending");
+    // Pipeline state: pending stage requests are for completed plans
+    // (the queue is empty), so dropping them is safe; the seq counters
+    // restart together, keeping the window invariant intact.
+    ds->stage_queue.clear();
+    for (auto& slot : ds->slots) {
+      slot.seq = DeviceState::StageSlot::kEmpty;
+      slot.in0.reset();
+      slot.in1.reset();
+    }
+    ds->enqueue_seq = 0;
+    ds->exec_seq = 0;
     ds->cache.clear();
     ds->lru.clear();
     ds->stats.hits.store(0, std::memory_order_relaxed);

@@ -33,6 +33,7 @@
 #include "runtime/energy.hpp"
 #include "runtime/operation.hpp"
 #include "runtime/scheduler.hpp"
+#include "runtime/staging_cache.hpp"
 #include "runtime/tensorizer.hpp"
 #include "sim/device_pool.hpp"
 
@@ -64,6 +65,22 @@ struct RuntimeConfig {
   /// matrices) shed their empty tiles. Functional mode only -- the check
   /// needs data.
   bool skip_zero_tiles = true;
+  /// Two-stage wall-clock pipeline per device: a stage-ahead thread
+  /// pre-quantizes / pre-serializes host bytes for queued plans into a
+  /// small ring of staging slots while the worker drains earlier plans
+  /// (the wall-clock realization of the §6.2.3 overlap the virtual model
+  /// already charges). Wall-clock placement only -- the modelled virtual
+  /// timeline is byte-identical on or off. Functional mode only; off =
+  /// strictly serial staging (ablation / determinism baseline).
+  bool stage_pipeline = true;
+  /// Stage-ahead ring depth (2 = double buffering, 3 = triple); clamped
+  /// to [2, 8].
+  usize stage_slots = 3;
+  /// Memoize quantized tile bytes / serialized model blobs in the
+  /// process-wide StagingCache, so iterative and multi-device runs stop
+  /// re-paying host preparation for unchanged buffers. Wall-clock only;
+  /// off = always rebuild (ablation).
+  bool host_staging_cache = true;
 };
 
 /// One OPQ log entry, kept for introspection, tests and ablations.
@@ -157,17 +174,51 @@ class Runtime {
   struct WorkItem {
     InstructionPlan plan;
     OpContext* ctx = nullptr;
+    /// Position in this device's IQ (assigned at dispatch under the
+    /// device mutex); indexes the staging-slot ring.
+    u64 seq = 0;
+    /// Pre-built host bytes handed over from the stage-ahead thread's
+    /// slot at pop time (null = stage inline as before).
+    StagingCache::PayloadPtr hint0;
+    StagingCache::PayloadPtr hint1;
+  };
+  /// What the stage-ahead thread needs to prepare one queued plan: a
+  /// self-contained copy, so it never dereferences the executor's queue.
+  struct StageRequest {
+    u64 seq = 0;
+    TileRef in0;
+    TileRef in1;
+    u64 in0_key = 0;
+    u64 in1_key = 0;
+    isa::Opcode op{};
+    /// Bit 0 / bit 1 set when in0 / in1 is worth preparing (the
+    /// scheduler believed it NOT resident on the device at dispatch).
+    u8 stage_mask = 0;
+    /// The operation's output buffer id: tiles aliasing it are skipped
+    /// (the stager must never read memory a landing may be writing).
+    u64 out_buffer_id = 0;
+    OpContext* ctx = nullptr;
   };
   struct DeviceState;
 
   void worker_loop(usize device_index);
+  void stager_loop(usize device_index);
+  /// Prepares one stage request: zero-verdict precompute plus payload
+  /// builds through the staging cache, parked in the slot ring.
+  void stage_ahead(DeviceState& ds, const StageRequest& req);
   void execute_plan(DeviceState& ds, const WorkItem& item);
+  /// Host bytes for a tile: staging-cache lookup (memoized across
+  /// devices and iterations) or a direct build when the cache is off.
+  StagingCache::PayloadPtr staged_payload(const TileRef& tile, u64 key);
+  /// Zero-tile scan with the verdict memoized per tile_key.
+  bool tile_is_zero_cached(const TileRef& tile, u64 key);
   /// Publishes end-of-life gauges (resource busy times, makespan, affinity
   /// hit rate) and folds the per-device cache counters into the global
   /// metrics registry. Runs after the workers joined, so every published
   /// value is a settled virtual-time quantity.
   void publish_final_metrics();
   isa::DeviceTensorId stage_tile(DeviceState& ds, const TileRef& tile,
+                                 u64 key, StagingCache::PayloadPtr hint,
                                  Seconds ready, Seconds* available_at);
   void ensure_device_space(DeviceState& ds, usize bytes,
                            std::span<const u64> pinned_keys);
@@ -197,6 +248,11 @@ class Runtime {
 
   std::vector<std::unique_ptr<DeviceState>> device_states_;
   std::vector<std::thread> workers_;
+  /// One stage-ahead thread per device (empty when the pipeline is off
+  /// or the runtime is timing-only).
+  std::vector<std::thread> stagers_;
+  /// config_.stage_pipeline && config_.functional, resolved once.
+  bool stager_enabled_ = false;
   /// Operations currently inside invoke() (the OPQ in-flight depth). Feeds
   /// a wall-domain high-water gauge: the value depends on how caller
   /// threads interleave.

@@ -73,6 +73,14 @@ Scheduler::Assignment Scheduler::assign_detailed(
     result.device = chosen;
     result.queue_wait = std::max(0.0, load_[chosen] - ready);
     result.resident_bytes = total_bytes - chosen_missing;
+    if (affinity_enabled_) {
+      for (usize i = 0; i < tiles.size() && i < 32; ++i) {
+        const auto it = residency_.find(tiles[i].first);
+        if (it != residency_.end() && it->second.contains(chosen)) {
+          result.resident_mask |= u32{1} << i;
+        }
+      }
+    }
     if (affinity_enabled_ && !tiles.empty()) {
       if (result.resident_bytes > 0) {
         ++affinity_hits_;

@@ -46,6 +46,13 @@ class Scheduler {
     Seconds queue_wait = 0;
     /// Input bytes already resident on the chosen device.
     usize resident_bytes = 0;
+    /// Bit i set when tiles[i] was believed resident on the chosen device
+    /// at decision time. The stage-ahead pipeline reads this as its IQ
+    /// lookahead: a resident tile will hit the device cache, so
+    /// pre-quantizing its bytes would be wasted wall-clock work. Advisory
+    /// only -- a worker-side eviction can invalidate it, in which case
+    /// the executor stages inline as before.
+    u32 resident_mask = 0;
   };
 
   /// Picks the device for a plan that becomes ready at `ready` (virtual

@@ -1,0 +1,312 @@
+#include "runtime/staging_cache.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "common/metrics.hpp"
+
+namespace gptpu::runtime {
+
+namespace {
+
+/// Wall-domain mirrors of the cache tallies. The counts depend on how
+/// worker and stager threads interleave with evictions, so they live
+/// outside the deterministic virtual domain even though the names carry
+/// no "wall." prefix (metrics_export classifies the "host_cache."
+/// prefix explicitly; see docs/OBSERVABILITY.md).
+struct HostCacheMetrics {
+  metrics::Counter& hits;
+  metrics::Counter& misses;
+  metrics::Counter& bytes;
+  metrics::Counter& evictions;
+
+  static HostCacheMetrics& get() {
+    auto& reg = metrics::MetricRegistry::global();
+    static HostCacheMetrics m{
+        reg.counter("host_cache.hits"),
+        reg.counter("host_cache.misses"),
+        reg.counter("host_cache.bytes"),
+        reg.counter("host_cache.evictions"),
+    };
+    return m;
+  }
+};
+
+u64 mix64(u64 h, u64 v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+/// Map/LRU/index node overhead charged per entry so verdict-only entries
+/// (no payload bytes) still count against the capacity bound.
+constexpr usize kEntryOverhead = 128;
+
+}  // namespace
+
+u64 tile_key(const TileRef& t) {
+  u64 h = 0x2545f4914f6cdd1dULL;
+  h = mix64(h, t.buffer->id());
+  h = mix64(h, t.buffer->version());
+  h = mix64(h, t.row0);
+  h = mix64(h, t.col0);
+  h = mix64(h, t.shape.rows);
+  h = mix64(h, t.shape.cols);
+  u32 scale_bits;
+  static_assert(sizeof(scale_bits) == sizeof(t.scale));
+  std::memcpy(&scale_bits, &t.scale, sizeof(scale_bits));
+  h = mix64(h, scale_bits);
+  h = mix64(h, t.as_model ? 1 : 0);
+  return h;
+}
+
+StagingCache::TileIdentity StagingCache::identity_of(const TileRef& tile) {
+  TileIdentity id;
+  id.buffer_id = tile.buffer->id();
+  id.version = tile.buffer->version();
+  id.row0 = tile.row0;
+  id.col0 = tile.col0;
+  id.shape = tile.shape;
+  std::memcpy(&id.scale_bits, &tile.scale, sizeof(id.scale_bits));
+  id.as_model = tile.as_model;
+  return id;
+}
+
+StagingCache::StagingCache(usize capacity_bytes)
+    : capacity_bytes_(capacity_bytes) {
+  // Resolve the registry (and the counters) now: the registry's
+  // function-local static must complete construction before this cache
+  // so it is destroyed after it (same ordering rule as Runtime).
+  HostCacheMetrics::get();
+}
+
+StagingCache& StagingCache::global() {
+  static StagingCache cache(kDefaultCapacityBytes);
+  return cache;
+}
+
+void StagingCache::charge_and_insert_lru(u64 key, Entry& e) {
+  e.charged = kEntryOverhead + (e.payload ? e.payload->bytes() : 0);
+  resident_bytes_ += e.charged;
+  lru_.push_front(key);
+  e.lru_it = lru_.begin();
+  e.in_lru = true;
+}
+
+void StagingCache::erase_entry(u64 key) {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return;
+  Entry& e = it->second;
+  if (e.in_lru) {
+    lru_.erase(e.lru_it);
+    resident_bytes_ -= e.charged;
+  }
+  if (const auto bit = by_buffer_.find(e.id.buffer_id);
+      bit != by_buffer_.end()) {
+    auto& keys = bit->second;
+    keys.erase(std::remove(keys.begin(), keys.end(), key), keys.end());
+    if (keys.empty()) by_buffer_.erase(bit);
+  }
+  entries_.erase(it);
+}
+
+void StagingCache::evict_to_capacity() {
+  auto& m = HostCacheMetrics::get();
+  while (resident_bytes_ > capacity_bytes_ && !lru_.empty()) {
+    erase_entry(lru_.back());
+    ++stats_.evictions;
+    m.evictions.add(1);
+  }
+}
+
+StagingCache::PayloadPtr StagingCache::get_or_build(
+    u64 key, const TileIdentity& id, const std::function<Payload()>& build) {
+  auto& m = HostCacheMetrics::get();
+  bool claimed = false;
+  {
+    MutexLock lock(mu_);
+    for (;;) {
+      auto it = entries_.find(key);
+      if (it != entries_.end() && !(it->second.id == id)) {
+        ++stats_.collisions;
+        if (it->second.building) {
+          // A build under the colliding identity owns the slot; serve
+          // this request uncached rather than disturb it.
+          break;
+        }
+        // The resident entry lost the slot (collision or stale key).
+        erase_entry(key);
+        it = entries_.end();
+      }
+      if (it == entries_.end()) {
+        Entry& e = entries_[key];
+        e.id = id;
+        e.building = true;
+        by_buffer_[id.buffer_id].push_back(key);
+        ++stats_.misses;
+        m.misses.add(1);
+        claimed = true;
+        break;
+      }
+      Entry& e = it->second;
+      if (e.payload) {
+        ++stats_.hits;
+        m.hits.add(1);
+        lru_.splice(lru_.begin(), lru_, e.lru_it);
+        return e.payload;
+      }
+      if (e.building) {
+        // Coalesce with the in-flight build, then re-examine: the entry
+        // may complete, be doomed, or vanish entirely.
+        build_done_.wait(mu_);
+        continue;
+      }
+      // Verdict-only entry: claim it for the payload build. Pull it out
+      // of the LRU while building (building entries are never evicted).
+      lru_.erase(e.lru_it);
+      e.in_lru = false;
+      resident_bytes_ -= e.charged;
+      e.charged = 0;
+      e.building = true;
+      ++stats_.misses;
+      m.misses.add(1);
+      claimed = true;
+      break;
+    }
+  }
+
+  if (!claimed) {
+    return std::make_shared<const Payload>(build());
+  }
+
+  PayloadPtr result;
+  try {
+    result = std::make_shared<const Payload>(build());
+  } catch (...) {
+    {
+      MutexLock lock(mu_);
+      erase_entry(key);
+    }
+    build_done_.notify_all();
+    throw;
+  }
+
+  {
+    MutexLock lock(mu_);
+    const auto it = entries_.find(key);
+    GPTPU_CHECK(it != entries_.end() && it->second.building,
+                "staging-cache build entry disappeared");
+    Entry& e = it->second;
+    e.building = false;
+    if (e.doomed) {
+      // Invalidated mid-build: hand the bytes to the waiters but do not
+      // publish them.
+      erase_entry(key);
+    } else {
+      e.payload = result;
+      m.bytes.add(result->bytes());
+      charge_and_insert_lru(key, e);
+      evict_to_capacity();
+    }
+  }
+  build_done_.notify_all();
+  return result;
+}
+
+std::optional<bool> StagingCache::zero_verdict(u64 key,
+                                               const TileIdentity& id) const {
+  MutexLock lock(mu_);
+  const auto it = entries_.find(key);
+  if (it == entries_.end() || !(it->second.id == id)) return std::nullopt;
+  return it->second.zero;
+}
+
+void StagingCache::store_zero_verdict(u64 key, const TileIdentity& id,
+                                      bool zero) {
+  MutexLock lock(mu_);
+  auto it = entries_.find(key);
+  if (it != entries_.end() && !(it->second.id == id)) {
+    ++stats_.collisions;
+    if (it->second.building) return;  // don't disturb an in-flight build
+    erase_entry(key);
+    it = entries_.end();
+  }
+  if (it == entries_.end()) {
+    Entry& e = entries_[key];
+    e.id = id;
+    e.zero = zero;
+    by_buffer_[id.buffer_id].push_back(key);
+    charge_and_insert_lru(key, e);
+    evict_to_capacity();
+    return;
+  }
+  it->second.zero = zero;
+  if (it->second.in_lru) {
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+  }
+}
+
+void StagingCache::invalidate_buffer(u64 buffer_id) {
+  MutexLock lock(mu_);
+  const auto bit = by_buffer_.find(buffer_id);
+  if (bit == by_buffer_.end()) return;
+  // erase_entry mutates the index vector, so drain a moved-out copy.
+  const std::vector<u64> keys = std::move(bit->second);
+  by_buffer_.erase(bit);
+  for (const u64 key : keys) {
+    const auto it = entries_.find(key);
+    if (it == entries_.end()) continue;
+    if (it->second.building) {
+      it->second.doomed = true;
+      continue;
+    }
+    if (it->second.in_lru) {
+      lru_.erase(it->second.lru_it);
+      resident_bytes_ -= it->second.charged;
+    }
+    entries_.erase(it);
+  }
+}
+
+void StagingCache::clear() {
+  MutexLock lock(mu_);
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second.building) {
+      it->second.doomed = true;
+      ++it;
+      continue;
+    }
+    it = entries_.erase(it);
+  }
+  lru_.clear();
+  resident_bytes_ = 0;
+  by_buffer_.clear();
+  // Re-index the surviving (doomed, in-flight) builds so a concurrent
+  // invalidate_buffer still finds them.
+  for (const auto& [key, e] : entries_) {
+    by_buffer_[e.id.buffer_id].push_back(key);
+  }
+}
+
+void StagingCache::set_capacity(usize bytes) {
+  MutexLock lock(mu_);
+  capacity_bytes_ = bytes;
+  evict_to_capacity();
+}
+
+usize StagingCache::resident_bytes() const {
+  MutexLock lock(mu_);
+  return resident_bytes_;
+}
+
+usize StagingCache::entries() const {
+  MutexLock lock(mu_);
+  return entries_.size();
+}
+
+StagingCache::Stats StagingCache::stats() const {
+  MutexLock lock(mu_);
+  return stats_;
+}
+
+}  // namespace gptpu::runtime

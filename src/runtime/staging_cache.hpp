@@ -1,0 +1,168 @@
+// Process-wide host staging cache (the wall-clock companion of §6.1).
+//
+// Staging a tile costs real host time twice over: quantizing the float
+// rectangle to int8 and, for model-kind operands, serializing the wire
+// blob (§6.2.3). The *virtual* cost of that work is modelled on the
+// per-device host lanes, but the wall-clock cost used to be re-paid on
+// every device-cache miss -- so iterative apps (PageRank, HotSpot3D,
+// Backprop epochs) and multi-device runs re-quantized identical bytes
+// every iteration / on every device. This cache memoizes the produced
+// host bytes keyed by the same `tile_key` the device caches and the
+// scheduler use (buffer id + write version + rectangle + scale + staging
+// kind), so an unchanged buffer is quantized once per process, not once
+// per (device x iteration).
+//
+// Wall-clock only: the cache hands back bytes, never virtual timestamps.
+// Every VirtualResource / Device acquire happens in the runtime exactly
+// as before, so the modelled timeline is byte-identical with the cache
+// on or off (asserted by tests/test_staging_pipeline.cpp).
+//
+// Concurrency: one mutex guards the map + LRU; builds run *outside* the
+// lock with per-entry coalescing (concurrent requests for the same key
+// wait on the builder instead of duplicating the work). Payloads are
+// handed out as shared_ptr<const Payload>, so eviction and invalidation
+// never pull bytes out from under a reader. `bump_version` / buffer
+// destruction invalidate by buffer id via a secondary index.
+//
+// The 64-bit key is a hash; each entry stores the full TileIdentity and
+// verifies it on lookup. A mismatch (hash collision or a version bump
+// racing a stale key) bypasses the cache rather than serving wrong bytes.
+#pragma once
+
+#include <functional>
+#include <list>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/thread_annotations.hpp"
+#include "runtime/operation.hpp"
+
+namespace gptpu::runtime {
+
+/// Cache identity of a staged tile: buffer (and its write version), the
+/// rectangle, quantization scale and staging kind. Two plans whose tiles
+/// agree on all of these can share the resident copy (§6.1). Used by the
+/// device caches, the scheduler's residency map and the staging cache.
+[[nodiscard]] u64 tile_key(const TileRef& tile);
+
+class StagingCache {
+ public:
+  /// The host bytes staging produces: the quantized int8 rectangle
+  /// (plain operands) or the serialized model wire blob (model-kind
+  /// operands keep only the blob -- that is what load_model consumes).
+  struct Payload {
+    std::vector<i8> tensor;
+    std::vector<u8> model;
+    [[nodiscard]] usize bytes() const {
+      return tensor.capacity() * sizeof(i8) + model.capacity() * sizeof(u8);
+    }
+  };
+  using PayloadPtr = std::shared_ptr<const Payload>;
+
+  /// The exact fields `tile_key` hashes, kept verbatim so a lookup can
+  /// prove the 64-bit key did not collide.
+  struct TileIdentity {
+    u64 buffer_id = 0;
+    u64 version = 0;
+    usize row0 = 0;
+    usize col0 = 0;
+    Shape2D shape{};
+    u32 scale_bits = 0;
+    bool as_model = false;
+
+    [[nodiscard]] bool operator==(const TileIdentity&) const = default;
+  };
+  [[nodiscard]] static TileIdentity identity_of(const TileRef& tile);
+
+  explicit StagingCache(usize capacity_bytes);
+
+  StagingCache(const StagingCache&) = delete;
+  StagingCache& operator=(const StagingCache&) = delete;
+
+  /// The process-wide instance every Runtime shares (default capacity
+  /// kDefaultCapacityBytes). Constructed on first use; TensorBuffer's
+  /// constructor touches it so it outlives any buffer whose destructor
+  /// needs to invalidate.
+  static StagingCache& global();
+
+  /// Returns the payload for `key`, building it via `build` on a miss.
+  /// Concurrent callers for the same key coalesce: one builds, the rest
+  /// wait. An identity mismatch on a resident entry (hash collision, or
+  /// the buffer was re-versioned under a stale key) builds and returns
+  /// without caching. `build` runs with no cache lock held.
+  [[nodiscard]] PayloadPtr get_or_build(u64 key, const TileIdentity& id,
+                                        const std::function<Payload()>& build)
+      GPTPU_EXCLUDES(mu_);
+
+  /// Memoized zero-tile verdicts ride in the same entries: the runtime's
+  /// §6.2 zero-tile elision scans each multiplicative operand tile, and
+  /// the verdict is as version-stable as the payload bytes.
+  [[nodiscard]] std::optional<bool> zero_verdict(u64 key,
+                                                 const TileIdentity& id) const
+      GPTPU_EXCLUDES(mu_);
+  void store_zero_verdict(u64 key, const TileIdentity& id, bool zero)
+      GPTPU_EXCLUDES(mu_);
+
+  /// Drops every entry of `buffer_id` (any version / rectangle). Called
+  /// from TensorBuffer::bump_version and its destructor, so stale bytes
+  /// are unreachable the moment a buffer is rewritten or freed. Entries
+  /// mid-build are doomed instead: the builder's result is returned to
+  /// its waiters but not cached.
+  void invalidate_buffer(u64 buffer_id) GPTPU_EXCLUDES(mu_);
+
+  /// Drops everything (doomed builds excepted, as above).
+  void clear() GPTPU_EXCLUDES(mu_);
+
+  void set_capacity(usize bytes) GPTPU_EXCLUDES(mu_);
+
+  [[nodiscard]] usize resident_bytes() const GPTPU_EXCLUDES(mu_);
+  [[nodiscard]] usize entries() const GPTPU_EXCLUDES(mu_);
+
+  /// Per-instance tallies (tests); the process-wide host_cache.* metric
+  /// counters mirror the global() instance.
+  struct Stats {
+    u64 hits = 0;
+    u64 misses = 0;
+    u64 evictions = 0;
+    u64 collisions = 0;
+  };
+  [[nodiscard]] Stats stats() const GPTPU_EXCLUDES(mu_);
+
+  static constexpr usize kDefaultCapacityBytes = usize{128} << 20;
+
+ private:
+  struct Entry {
+    TileIdentity id{};
+    PayloadPtr payload;
+    std::optional<bool> zero;
+    /// A build is in flight for this entry; it is not in the LRU and
+    /// invalidation must doom it rather than erase it (the builder holds
+    /// a reference across the unlocked build).
+    bool building = false;
+    /// Invalidated while building: discard the result instead of caching.
+    bool doomed = false;
+    /// Bytes charged against capacity_ (payload + entry overhead).
+    usize charged = 0;
+    std::list<u64>::iterator lru_it{};
+    bool in_lru = false;
+  };
+
+  void charge_and_insert_lru(u64 key, Entry& e) GPTPU_REQUIRES(mu_);
+  void erase_entry(u64 key) GPTPU_REQUIRES(mu_);
+  void evict_to_capacity() GPTPU_REQUIRES(mu_);
+
+  mutable Mutex mu_;
+  CondVar build_done_;
+  usize capacity_bytes_ GPTPU_GUARDED_BY(mu_);
+  usize resident_bytes_ GPTPU_GUARDED_BY(mu_) = 0;
+  std::unordered_map<u64, Entry> entries_ GPTPU_GUARDED_BY(mu_);
+  std::list<u64> lru_ GPTPU_GUARDED_BY(mu_);  // front = most recently used
+  /// buffer id -> keys of its entries, for O(entries-of-buffer)
+  /// invalidation on bump_version.
+  std::unordered_map<u64, std::vector<u64>> by_buffer_ GPTPU_GUARDED_BY(mu_);
+  Stats stats_ GPTPU_GUARDED_BY(mu_);
+};
+
+}  // namespace gptpu::runtime

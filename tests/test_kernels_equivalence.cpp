@@ -271,5 +271,38 @@ TEST(KernelsEquivalence, CropExtReduce) {
   }
 }
 
+// The engine memoizes activation LUTs across calls (keyed by the exact
+// scale bit patterns); the reference rebuilds per call. Bit-exactness
+// must therefore hold on the *second and later* calls with a given scale
+// pair -- the cache-hit path -- including when hits interleave with
+// misses for other scales, and for scale pairs that differ only in the
+// last mantissa bit (the key must not conflate them).
+TEST(KernelsEquivalence, ElementwiseLutMemoizationBitExact) {
+  Rng rng(0x170du);
+  const Shape2D shape{64, 64};
+  for (const Opcode op : {Opcode::kTanh, Opcode::kReLu}) {
+    for (usize i = 0; i < 24; ++i) {
+      const Matrix<i8> a = random_i8(rng, shape);
+      const float s_in = random_scale(rng);
+      const float out_scale = random_scale(rng);
+      Matrix<i8> ref(shape);
+      Matrix<i8> eng(shape);
+      kern::reference::elementwise(op, a.view(), s_in, out_scale, ref.view());
+      for (usize call = 0; call < 3; ++call) {
+        kern::elementwise(op, a.view(), s_in, out_scale, eng.view(), nullptr);
+        expect_equal(ref.view(), eng.view(),
+                     "memoized elementwise call " + std::to_string(call));
+      }
+      // A near-identical scale (one ulp off) must key a distinct entry.
+      const float s_nudged = std::nextafter(s_in, 2.0f * s_in);
+      kern::reference::elementwise(op, a.view(), s_nudged, out_scale,
+                                   ref.view());
+      kern::elementwise(op, a.view(), s_nudged, out_scale, eng.view(),
+                        nullptr);
+      expect_equal(ref.view(), eng.view(), "nudged-scale elementwise");
+    }
+  }
+}
+
 }  // namespace
 }  // namespace gptpu::sim

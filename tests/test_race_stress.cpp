@@ -15,6 +15,7 @@
 #include "common/span_profiler.hpp"
 #include "common/thread_pool.hpp"
 #include "runtime/runtime.hpp"
+#include "runtime/staging_cache.hpp"
 
 namespace gptpu::runtime {
 namespace {
@@ -400,6 +401,207 @@ TEST(RaceStress, SpanProfilerConcurrentSpansAndDrains) {
   for (const prof::SpanRecord& rec : prof::drain()) {
     EXPECT_GE(rec.end_s, rec.start_s);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Stage-ahead pipeline: stager vs. executor slot handoff.
+//
+// The smallest slot ring (2) with the device input cache off maximizes
+// contention on the handoff: the stager refills a slot the moment the
+// executor frees it, while producers keep the IQ deep enough that the
+// window invariant (exec_seq <= staged seq < exec_seq + nslots) is
+// exercised at both edges. Shared read-only inputs route every thread
+// through the same staging-cache entries (build coalescing under fire),
+// and each thread feeding its own previous output back in makes
+// bump_version invalidation race the other threads' cache lookups.
+// ---------------------------------------------------------------------------
+TEST(RaceStress, StagerExecutorSlotHandoffUnderLoad) {
+  RuntimeConfig cfg;
+  cfg.num_devices = 3;
+  cfg.stage_slots = 2;
+  cfg.input_cache = false;  // every instruction re-stages: maximum traffic
+  Runtime rt{cfg};
+
+  constexpr usize kProducers = 4;
+  constexpr usize kOpsPerThread = 8;
+  const Shape2D shape{96, 96};
+
+  // One shared read-only operand for everyone, plus per-thread state.
+  Matrix<float> shared(shape);
+  {
+    Rng rng(7);
+    fill_uniform(shared, rng, -3, 3);
+  }
+  auto* bshared = rt.create_buffer(shape, shared.data());
+
+  struct ThreadData {
+    Matrix<float> a;
+    Matrix<float> sum, prod, fc;
+    u64 task = 0;
+  };
+  std::vector<ThreadData> data;
+  data.reserve(kProducers);
+  for (usize t = 0; t < kProducers; ++t) {
+    ThreadData d{.a = Matrix<float>(shape),
+                 .sum = Matrix<float>(shape),
+                 .prod = Matrix<float>(shape),
+                 .fc = Matrix<float>(shape)};
+    Rng rng(100 + t);
+    fill_uniform(d.a, rng, -3, 3);
+    d.task = rt.begin_task();
+    data.push_back(std::move(d));
+  }
+
+  std::vector<std::thread> producers;
+  std::vector<std::exception_ptr> errors(kProducers);
+  for (usize t = 0; t < kProducers; ++t) {
+    producers.emplace_back([&, t] {
+      try {
+        auto* ba = rt.create_buffer(shape, data[t].a.data());
+        auto* bsum = rt.create_buffer(shape, data[t].sum.data());
+        auto* bprod = rt.create_buffer(shape, data[t].prod.data());
+        auto* bfc = rt.create_buffer(shape, data[t].fc.data());
+        for (usize i = 0; i < kOpsPerThread; ++i) {
+          OperationRequest add;
+          add.task_id = data[t].task;
+          add.op = Opcode::kAdd;
+          add.in0 = ba;
+          add.in1 = bshared;
+          add.out = bsum;
+          rt.invoke(add);
+          // Feed the fresh output straight back in: its version bump
+          // invalidates staging-cache entries while other threads are
+          // mid-lookup on theirs. (kAdd keeps the ranges comparable, so
+          // the joint pairwise quantization grid stays meaningful.)
+          OperationRequest mul;
+          mul.task_id = data[t].task;
+          mul.op = Opcode::kMul;
+          mul.in0 = bsum;
+          mul.in1 = bshared;
+          mul.out = bprod;
+          rt.invoke(mul);
+          // Model-kind staging (serialized wire blobs) rides the same
+          // slots; the shared operand coalesces across all threads.
+          OperationRequest fc;
+          fc.task_id = data[t].task;
+          fc.op = Opcode::kFullyConnected;
+          fc.in0 = ba;
+          fc.in1 = bshared;
+          fc.out = bfc;
+          rt.invoke(fc);
+        }
+      } catch (...) {
+        errors[t] = std::current_exception();
+      }
+    });
+  }
+  for (auto& th : producers) th.join();
+  for (const auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+
+  EXPECT_EQ(rt.opq_log().size(), kProducers * kOpsPerThread * 3);
+  // Functional spot-check: a torn slot handoff would corrupt results.
+  for (usize t = 0; t < kProducers; ++t) {
+    const double sum = data[t].a(5, 11) + shared(5, 11);
+    EXPECT_NEAR(data[t].sum(5, 11), sum, 0.5) << "thread " << t;
+    EXPECT_NEAR(data[t].prod(5, 11), data[t].sum(5, 11) * shared(5, 11), 1.2)
+        << "thread " << t;
+    double expect = 0;
+    for (usize k = 0; k < shape.cols; ++k) {
+      expect += data[t].a(5, k) * shared(k, 11);
+    }
+    EXPECT_NEAR(data[t].fc(5, 11), expect, std::abs(expect) * 0.1 + 2.0)
+        << "thread " << t;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// StagingCache: concurrent readers vs. bump_version-style invalidation.
+//
+// Hammers one small cache instance from three directions at once --
+// get_or_build readers (coalescing on shared keys), an invalidator
+// cycling invalidate_buffer over every buffer id (the bump_version
+// path), and zero-verdict writers -- with a capacity small enough that
+// LRU eviction runs throughout. Payload integrity is asserted on every
+// lookup: an entry surviving invalidation with stale bytes, or a build
+// racing an eviction, would surface as a wrong fill value (and as a
+// TSan report under the tsan preset).
+// ---------------------------------------------------------------------------
+TEST(RaceStress, StagingCacheReadersVsInvalidation) {
+  constexpr usize kCapacity = 8 * 1024;
+  StagingCache cache(kCapacity);
+
+  constexpr u64 kBuffers = 4;
+  constexpr u64 kTilesPerBuffer = 4;
+  constexpr usize kReaders = 4;
+  constexpr usize kItersPerReader = 400;
+
+  const auto identity = [](u64 buf, u64 tile) {
+    StagingCache::TileIdentity id;
+    id.buffer_id = buf;
+    id.row0 = static_cast<usize>(tile) * 16;
+    id.shape = Shape2D{16, 16};
+    return id;
+  };
+  const auto key_of = [](u64 buf, u64 tile) { return buf * 1000 + tile; };
+  const auto fill_of = [](u64 buf, u64 tile) {
+    return static_cast<i8>(buf * 16 + tile + 1);
+  };
+
+  std::atomic<bool> done{false};
+  std::thread invalidator([&] {
+    u64 buf = 1;
+    while (!done.load(std::memory_order_acquire)) {
+      cache.invalidate_buffer(buf);
+      buf = buf % kBuffers + 1;
+    }
+  });
+  std::thread verdict_writer([&] {
+    u64 i = 0;
+    while (!done.load(std::memory_order_acquire)) {
+      const u64 buf = i % kBuffers + 1;
+      const u64 tile = i / kBuffers % kTilesPerBuffer;
+      cache.store_zero_verdict(key_of(buf, tile), identity(buf, tile),
+                               tile == 0);
+      const auto v =
+          cache.zero_verdict(key_of(buf, tile), identity(buf, tile));
+      if (v.has_value()) {
+        EXPECT_EQ(*v, tile == 0);
+      }
+      ++i;
+    }
+  });
+
+  std::vector<std::thread> readers;
+  for (usize r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      Rng rng(9000 + r);
+      for (usize i = 0; i < kItersPerReader; ++i) {
+        const u64 buf = rng.next_u64() % kBuffers + 1;
+        const u64 tile = rng.next_u64() % kTilesPerBuffer;
+        const auto p = cache.get_or_build(
+            key_of(buf, tile), identity(buf, tile), [&] {
+              StagingCache::Payload pl;
+              pl.tensor.assign(512, fill_of(buf, tile));
+              return pl;
+            });
+        // Integrity: whatever the interleaving, the bytes handed back
+        // must be the requested identity's bytes.
+        ASSERT_EQ(p->tensor.size(), 512u);
+        EXPECT_EQ(p->tensor[0], fill_of(buf, tile));
+        EXPECT_EQ(p->tensor[511], fill_of(buf, tile));
+      }
+    });
+  }
+  for (auto& th : readers) th.join();
+  done.store(true, std::memory_order_release);
+  invalidator.join();
+  verdict_writer.join();
+
+  EXPECT_LE(cache.resident_bytes(), kCapacity);
+  const StagingCache::Stats s = cache.stats();
+  EXPECT_EQ(s.hits + s.misses, kReaders * kItersPerReader);
 }
 
 }  // namespace

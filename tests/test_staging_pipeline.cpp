@@ -1,0 +1,352 @@
+// Staging pipeline + host staging cache tests (runtime/staging_cache.hpp).
+//
+// Two concerns:
+//  * StagingCache unit behaviour: hit/miss accounting, the LRU byte
+//    bound, buffer invalidation, 64-bit-key collision handling and
+//    concurrent build coalescing.
+//  * The pipeline's core contract -- the modelled virtual timeline is
+//    byte-identical with the stage-ahead pipeline and the staging cache
+//    on or off. The A/B test runs one workload under both configurations
+//    and byte-compares the virtual metrics JSON slice, the virtual-only
+//    Chrome trace and the functional outputs.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.hpp"
+#include "common/rng.hpp"
+#include "runtime/metrics_export.hpp"
+#include "runtime/runtime.hpp"
+#include "runtime/staging_cache.hpp"
+#include "runtime/trace_export.hpp"
+
+namespace gptpu::runtime {
+namespace {
+
+using isa::Opcode;
+
+Matrix<float> random_matrix(Shape2D shape, u64 seed, double lo = -8,
+                            double hi = 8) {
+  Matrix<float> m(shape);
+  Rng rng(seed);
+  fill_uniform(m, rng, lo, hi);
+  return m;
+}
+
+// ---------------------------------------------------------------------------
+// StagingCache unit tests (a private instance, so the global cache's
+// state never leaks into the assertions).
+// ---------------------------------------------------------------------------
+
+StagingCache::TileIdentity make_identity(u64 buffer_id, u64 version = 0,
+                                         usize row0 = 0) {
+  StagingCache::TileIdentity id;
+  id.buffer_id = buffer_id;
+  id.version = version;
+  id.row0 = row0;
+  id.shape = Shape2D{16, 16};
+  id.scale_bits = 0x3f800000u;  // 1.0f
+  return id;
+}
+
+StagingCache::Payload make_payload(usize bytes, i8 fill) {
+  StagingCache::Payload p;
+  p.tensor.assign(bytes, fill);
+  return p;
+}
+
+TEST(StagingCacheUnit, HitMissAndCoalescedStats) {
+  StagingCache cache(1 << 20);
+  const auto id = make_identity(1);
+  std::atomic<int> builds{0};
+  const auto build = [&] {
+    builds.fetch_add(1);
+    return make_payload(64, 7);
+  };
+
+  const auto p1 = cache.get_or_build(42, id, build);
+  const auto p2 = cache.get_or_build(42, id, build);
+  EXPECT_EQ(builds.load(), 1) << "second lookup must be served resident";
+  EXPECT_EQ(p1.get(), p2.get());
+  ASSERT_EQ(p1->tensor.size(), 64u);
+  EXPECT_EQ(p1->tensor[0], 7);
+
+  const auto s = cache.stats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.collisions, 0u);
+  EXPECT_EQ(cache.entries(), 1u);
+  EXPECT_GT(cache.resident_bytes(), 64u);  // payload + entry overhead
+}
+
+TEST(StagingCacheUnit, LruEvictionKeepsResidentBytesBounded) {
+  // Each entry charges ~(1024 + overhead) bytes; a 4 KiB capacity holds
+  // at most three, so inserting eight must evict and stay bounded.
+  constexpr usize kCapacity = 4096;
+  StagingCache cache(kCapacity);
+  for (u64 k = 0; k < 8; ++k) {
+    (void)cache.get_or_build(k, make_identity(/*buffer_id=*/k + 1),
+                             [] { return make_payload(1024, 1); });
+    EXPECT_LE(cache.resident_bytes(), kCapacity);
+  }
+  EXPECT_GT(cache.stats().evictions, 0u);
+  EXPECT_LE(cache.resident_bytes(), kCapacity);
+
+  // The most recent key survived; the oldest was evicted and rebuilds.
+  std::atomic<int> rebuilt{0};
+  (void)cache.get_or_build(7, make_identity(8), [&] {
+    rebuilt.fetch_add(1);
+    return make_payload(1024, 1);
+  });
+  EXPECT_EQ(rebuilt.load(), 0) << "most recently used entry was evicted";
+  (void)cache.get_or_build(0, make_identity(1), [&] {
+    rebuilt.fetch_add(1);
+    return make_payload(1024, 1);
+  });
+  EXPECT_EQ(rebuilt.load(), 1) << "least recently used entry survived";
+
+  // Shrinking the capacity evicts down to the new bound.
+  cache.set_capacity(1024);
+  EXPECT_LE(cache.resident_bytes(), 1024u);
+}
+
+TEST(StagingCacheUnit, InvalidateBufferDropsOnlyThatBuffer) {
+  StagingCache cache(1 << 20);
+  (void)cache.get_or_build(1, make_identity(/*buffer_id=*/10),
+                           [] { return make_payload(32, 1); });
+  (void)cache.get_or_build(2, make_identity(/*buffer_id=*/10, 0, 16),
+                           [] { return make_payload(32, 2); });
+  (void)cache.get_or_build(3, make_identity(/*buffer_id=*/11),
+                           [] { return make_payload(32, 3); });
+  ASSERT_EQ(cache.entries(), 3u);
+
+  cache.invalidate_buffer(10);
+  EXPECT_EQ(cache.entries(), 1u);
+
+  std::atomic<int> builds{0};
+  const auto count_build = [&] {
+    builds.fetch_add(1);
+    return make_payload(32, 9);
+  };
+  (void)cache.get_or_build(3, make_identity(11), count_build);
+  EXPECT_EQ(builds.load(), 0) << "unrelated buffer's entry must survive";
+  (void)cache.get_or_build(1, make_identity(10), count_build);
+  (void)cache.get_or_build(2, make_identity(10, 0, 16), count_build);
+  EXPECT_EQ(builds.load(), 2) << "invalidated entries must rebuild";
+}
+
+TEST(StagingCacheUnit, IdentityMismatchNeverServesWrongBytes) {
+  // Two distinct identities forced onto one 64-bit key model a hash
+  // collision (or a stale key raced by a version bump). The cache must
+  // never serve identity A's bytes for identity B.
+  StagingCache cache(1 << 20);
+  const auto id_a = make_identity(/*buffer_id=*/1);
+  const auto id_b = make_identity(/*buffer_id=*/2);
+  constexpr u64 kKey = 99;
+
+  const auto pa = cache.get_or_build(kKey, id_a, [] {
+    return make_payload(16, 'a');
+  });
+  const auto pb = cache.get_or_build(kKey, id_b, [] {
+    return make_payload(16, 'b');
+  });
+  EXPECT_EQ(pa->tensor[0], 'a');
+  EXPECT_EQ(pb->tensor[0], 'b');
+  EXPECT_GE(cache.stats().collisions, 1u);
+
+  // The slot now belongs to B; asking for B again is a hit with B's bytes.
+  std::atomic<int> builds{0};
+  const auto pb2 = cache.get_or_build(kKey, id_b, [&] {
+    builds.fetch_add(1);
+    return make_payload(16, 'x');
+  });
+  EXPECT_EQ(builds.load(), 0);
+  EXPECT_EQ(pb2->tensor[0], 'b');
+}
+
+TEST(StagingCacheUnit, ZeroVerdictRidesTheEntry) {
+  StagingCache cache(1 << 20);
+  const auto id = make_identity(5);
+  EXPECT_FALSE(cache.zero_verdict(7, id).has_value());
+
+  cache.store_zero_verdict(7, id, true);
+  ASSERT_TRUE(cache.zero_verdict(7, id).has_value());
+  EXPECT_TRUE(*cache.zero_verdict(7, id));
+  // A different identity under the same key must not see the verdict.
+  EXPECT_FALSE(cache.zero_verdict(7, make_identity(6)).has_value());
+
+  // Upgrading the verdict-only entry with a payload keeps the verdict.
+  (void)cache.get_or_build(7, id, [] { return make_payload(8, 0); });
+  ASSERT_TRUE(cache.zero_verdict(7, id).has_value());
+  EXPECT_TRUE(*cache.zero_verdict(7, id));
+
+  cache.invalidate_buffer(5);
+  EXPECT_FALSE(cache.zero_verdict(7, id).has_value());
+}
+
+TEST(StagingCacheUnit, ConcurrentLookupsCoalesceOntoOneBuild) {
+  StagingCache cache(1 << 20);
+  const auto id = make_identity(3);
+  std::atomic<int> builds{0};
+  constexpr usize kThreads = 8;
+
+  std::vector<StagingCache::PayloadPtr> results(kThreads);
+  std::vector<std::thread> threads;
+  for (usize t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      results[t] = cache.get_or_build(11, id, [&] {
+        builds.fetch_add(1);
+        // Widen the race window so waiters pile onto the build.
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        return make_payload(128, 4);
+      });
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(builds.load(), 1) << "concurrent misses must coalesce";
+  for (const auto& p : results) {
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(p->tensor.size(), 128u);
+    EXPECT_EQ(p->tensor[0], 4);
+  }
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, kThreads - 1);
+}
+
+// ---------------------------------------------------------------------------
+// A/B determinism: the pipeline and the staging cache are wall-clock
+// placement only. One single-device workload, run under both
+// configurations, must produce a byte-identical virtual metrics slice,
+// a byte-identical virtual-only Chrome trace and byte-identical
+// functional outputs. (Single-device: the virtual domain is only
+// byte-stable when one worker drains the IQ, the same property the
+// metrics.smoke ctest relies on.)
+// ---------------------------------------------------------------------------
+
+struct WorkloadRun {
+  std::string virtual_metrics;  // the "virtual" object of the JSON snapshot
+  std::string trace;            // virtual-only Chrome trace
+  Matrix<float> fc, mul, act;   // final-iteration outputs
+};
+
+/// Everything before the "wall" object: the complete "virtual" slice plus
+/// the enclosing punctuation, which is constant.
+std::string virtual_slice(const std::string& json) {
+  const auto pos = json.find("\"wall\"");
+  EXPECT_NE(pos, std::string::npos) << json.substr(0, 200);
+  return json.substr(0, pos);
+}
+
+WorkloadRun run_ab_workload(bool accelerated) {
+  metrics::MetricRegistry::global().reset_values();
+  StagingCache::global().clear();
+
+  RuntimeConfig cfg;
+  cfg.num_devices = 1;
+  cfg.stage_pipeline = accelerated;
+  cfg.host_staging_cache = accelerated;
+  cfg.stage_slots = 2;  // smallest ring: the tightest handoff window
+  // Stateless streaming: every instruction re-stages its inputs, so the
+  // stage-ahead thread and the host cache see maximum traffic.
+  cfg.input_cache = false;
+
+  const Shape2D shape{192, 192};  // crosses the 128-wide pairwise tile edge
+  auto a = random_matrix(shape, 21);
+  auto b = random_matrix(shape, 22);
+  // Zero the leading 128x128 tile of b: the zero-elision path (and its
+  // memoized verdict) must not disturb the virtual timeline either.
+  for (usize r = 0; r < 128; ++r) {
+    for (usize c = 0; c < 128; ++c) b(r, c) = 0.0f;
+  }
+
+  WorkloadRun run;
+  run.fc = Matrix<float>(shape);
+  run.mul = Matrix<float>(shape);
+  run.act = Matrix<float>(shape);
+
+  auto rt = std::make_unique<Runtime>(cfg);
+  rt->set_tracing(true);
+  auto* ba = rt->create_buffer(shape, a.data());
+  auto* bb = rt->create_buffer(shape, b.data());
+  auto* bfc = rt->create_buffer(shape, run.fc.data());
+  auto* bmul = rt->create_buffer(shape, run.mul.data());
+  auto* bact = rt->create_buffer(shape, run.act.data());
+  const u64 task = rt->begin_task();
+
+  for (usize iter = 0; iter < 3; ++iter) {
+    OperationRequest fc;
+    fc.task_id = task;
+    fc.op = Opcode::kFullyConnected;
+    fc.in0 = ba;
+    fc.in1 = bb;
+    fc.out = bfc;
+    rt->invoke(fc);
+
+    OperationRequest mul;
+    mul.task_id = task;
+    mul.op = Opcode::kMul;
+    mul.in0 = bb;  // leading zero tile: exercises the skip path
+    mul.in1 = ba;
+    mul.out = bmul;
+    rt->invoke(mul);
+
+    OperationRequest act;
+    act.task_id = task;
+    act.op = Opcode::kTanh;
+    act.in0 = bfc;  // consumes an output: version-bumped every iteration
+    act.out = bact;
+    rt->invoke(act);
+  }
+
+  std::ostringstream trace;
+  export_chrome_trace(*rt, trace);
+  run.trace = trace.str();
+
+  // Destroy the runtime so publish_final_metrics lands the end-of-life
+  // gauges before the snapshot.
+  rt.reset();
+  run.virtual_metrics = virtual_slice(metrics_snapshot_json());
+  return run;
+}
+
+TEST(StagingPipelineAB, VirtualDomainIsByteIdenticalOnVsOff) {
+  const StagingCache::Stats before = StagingCache::global().stats();
+  const WorkloadRun off = run_ab_workload(false);
+  const WorkloadRun on = run_ab_workload(true);
+  const StagingCache::Stats after = StagingCache::global().stats();
+
+  // The pipeline must not perturb a single modelled quantity: metrics
+  // slice and trace compare as bytes, not approximately.
+  EXPECT_EQ(off.virtual_metrics, on.virtual_metrics);
+  EXPECT_EQ(off.trace, on.trace);
+  EXPECT_GT(off.trace.size(), 2u) << "tracing produced no intervals";
+
+  // Functional results are bit-exact: the staged bytes are the same
+  // bytes, whoever quantized them.
+  const auto expect_same = [](const Matrix<float>& x, const Matrix<float>& y,
+                              const char* what) {
+    ASSERT_EQ(x.shape().elems(), y.shape().elems());
+    EXPECT_EQ(std::memcmp(x.data(), y.data(),
+                          x.shape().elems() * sizeof(float)),
+              0)
+        << what << " outputs diverged between pipeline off and on";
+  };
+  expect_same(off.fc, on.fc, "FullyConnected");
+  expect_same(off.mul, on.mul, "mul");
+  expect_same(off.act, on.act, "tanh");
+
+  // The accelerated run actually used the cache: with the device input
+  // cache off, repeated iterations re-stage the same unchanged tiles.
+  EXPECT_GT(after.hits, before.hits)
+      << "accelerated run never hit the host staging cache";
+}
+
+}  // namespace
+}  // namespace gptpu::runtime
