@@ -162,7 +162,43 @@ int main(int argc, char** argv) {
         (void)apps::backprop::run_gptpu(rt, bp, &workload);
       });
 
+  // Fault-path overhead: an armed injector whose schedule never fires
+  // must cost nothing beyond one consult per device boundary -- with
+  // fault.injected == 0 the tolerance layer is a no-op by contract
+  // (docs/FAULT_TOLERANCE.md). Measured on the PageRank workload above.
+  bench::section("fault-path overhead (armed injector, zero faults fired)");
+  auto& injected = metrics::MetricRegistry::global().counter("fault.injected");
+  const u64 injected_before = injected.value();
+  const ConfigTiming fault_off =
+      run_config(make_config(true, pg_memory), trials, [&](Runtime& rt) {
+        (void)apps::pagerank::run_gptpu(rt, pg, &graph);
+      });
+  RuntimeConfig armed_cfg = make_config(true, pg_memory);
+  armed_cfg.faults.spec = "dev0:loss@1000000000";  // armed, never reached
+  const ConfigTiming fault_armed =
+      run_config(armed_cfg, trials, [&](Runtime& rt) {
+        (void)apps::pagerank::run_gptpu(rt, pg, &graph);
+      });
+  if (injected.value() != injected_before) {
+    std::fprintf(stderr,
+                 "bench_runtime: the armed-but-idle fault schedule fired "
+                 "(%llu injections); the overhead A/B is invalid\n",
+                 static_cast<unsigned long long>(injected.value() -
+                                                injected_before));
+    return 1;
+  }
+  const double overhead_pct =
+      fault_off.seconds > 0
+          ? (fault_armed.seconds / fault_off.seconds - 1.0) * 100.0
+          : 0.0;
+  std::printf("  %-10s off %11.2f ms   armed %9.2f ms   overhead %+5.1f%%\n",
+              "pagerank", fault_off.seconds * 1e3, fault_armed.seconds * 1e3,
+              overhead_pct);
+
   JsonWriter json;
+  json.add("runtime.fault_overhead.off_ms", fault_off.seconds * 1e3);
+  json.add("runtime.fault_overhead.armed_ms", fault_armed.seconds * 1e3);
+  json.add("runtime.fault_overhead.overhead_pct", overhead_pct);
   bench::section("summary");
   report("pagerank", pagerank, json);
   report("backprop", backprop, json);

@@ -37,7 +37,7 @@ Measured measure(Opcode op) {
   fill_uniform(in0, rng, -1.0, 1.0);
   const float scale = quant::input_scale(quant::calibrate(in0.span()));
   const auto q0 = quant::quantize(in0.span(), scale);
-  const auto t0 = dev.write_tensor(ref.in0, scale, q0, 0.0);
+  const auto t0 = dev.write_tensor(ref.in0, scale, q0, 0.0).value();
 
   isa::Instruction instr;
   instr.op = op;
@@ -53,7 +53,7 @@ Measured measure(Opcode op) {
       Matrix<float> in1m(ref.in1);
       fill_uniform(in1m, rng, -1.0, 1.0);
       const auto q1 = quant::quantize(in1m.span(), scale);
-      in1 = dev.write_tensor(ref.in1, scale, q1, t0.done).id;
+      in1 = dev.write_tensor(ref.in1, scale, q1, t0.done).value().id;
       instr.in1 = in1;
       break;
     }
@@ -76,7 +76,7 @@ Measured measure(Opcode op) {
     Seconds start = dev.idle_at();
     u64 results = 0;
     for (usize i = 0; i < count; ++i) {
-      const auto done = dev.execute(instr, start);
+      const auto done = dev.execute(instr, start).value();
       results += dev.tensor_shape(done.id).elems();
       dev.free_tensor(done.id);
     }
@@ -117,7 +117,7 @@ int main() {
       const usize bytes = mb << 20;
       const Seconds before = dev.idle_at();
       const auto c =
-          dev.write_tensor({bytes, 1}, 1.0f, {}, before);
+          dev.write_tensor({bytes, 1}, 1.0f, {}, before).value();
       std::printf("  transfer %zu MB:  paper ~%3zu ms   measured %6.2f ms\n",
                   mb, 6 * mb, (c.done - before) * 1e3);
       dev.free_tensor(c.id);

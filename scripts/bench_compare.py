@@ -92,6 +92,15 @@ def main(argv: list[str]) -> int:
             f"{HIGHLIGHT_FRACTION:.0%}; expected on noisy/shared machines, "
             "worth a look if it reproduces on quiet hardware"
         )
+    if "runtime.fault_overhead.overhead_pct" in new:
+        off = float(new.get("runtime.fault_overhead.off_ms", 0.0))
+        armed = float(new.get("runtime.fault_overhead.armed_ms", 0.0))
+        pct = float(new["runtime.fault_overhead.overhead_pct"])
+        print(
+            f"bench_compare: fault-path overhead (armed, zero fired): "
+            f"{off:.2f} ms -> {armed:.2f} ms ({pct:+.1f}%); the tolerance "
+            "layer must be a no-op when no fault fires"
+        )
     print("bench_compare: report only, not a gate")
     return 0
 

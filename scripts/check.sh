@@ -32,6 +32,15 @@ for preset in "${PRESETS[@]}"; do
   ctest --preset "${preset}"
 done
 
+# Explicit fault-tolerance gate (docs/FAULT_TOLERANCE.md): mid-run device
+# loss and all-dead CPU fallback must complete bit-exact against the
+# fault-free run. Already part of the suites above; re-run by name so a
+# fault-layer regression is called out unmistakably in CI logs.
+if [[ -d build ]]; then
+  banner "faults.smoke"
+  ctest --test-dir build -R '^faults\.smoke$' --output-on-failure
+fi
+
 # Report-only perf trend: the default preset's bench.smoke /
 # bench.runtime_smoke runs (part of ctest above) wrote quick JSONs; diff
 # them against the committed baselines (inferred from the filename).

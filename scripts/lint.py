@@ -33,6 +33,12 @@ R6  metrics-in-header  No header includes common/metrics.hpp: metric
                        interfaces never grow a registry dependency.
                        (common/span_profiler.hpp is fine in headers -- the
                        trace exporter's interface needs SpanRecord.)
+R7  no-device-throw    src/sim/device.cpp must not use the `throw`
+                       keyword: device boundaries report faults and
+                       capacity misses as Status/Result so runtime worker
+                       threads never unwind (docs/FAULT_TOLERANCE.md).
+                       Invariant violations go through GPTPU_CHECK, whose
+                       out-of-line fail_check does the throwing.
 
 Exit status is the number of violations (0 = clean).
 """
@@ -97,6 +103,7 @@ WIDE_REINTERPRET = re.compile(
     r"std::uint64_t|std::int16_t|std::int32_t|std::int64_t)\s*\*"
 )
 METRICS_INCLUDE = re.compile(r'#\s*include\s+"common/metrics\.hpp"')
+DEVICE_THROW = re.compile(r"(^|[^\w])throw\b")
 RELATIVE_INCLUDE = re.compile(r'#\s*include\s+"\.\./')
 BITS_INCLUDE = re.compile(r"#\s*include\s+<bits/")
 PROJECT_INCLUDE = re.compile(r'#\s*include\s+"([^"]+)"')
@@ -141,6 +148,7 @@ def lint_file(rel: pathlib.Path) -> None:
 
     is_header = rel.suffix in {".hpp", ".h"}
     is_model_format = rel == pathlib.Path("src/isa/model_format.cpp")
+    is_device_cpp = rel == pathlib.Path("src/sim/device.cpp")
     first_project_include: str | None = None
 
     if is_header and "#pragma once" not in text:
@@ -183,6 +191,12 @@ def lint_file(rel: pathlib.Path) -> None:
             report(rel, lineno, "metrics-in-header",
                    "headers must not include common/metrics.hpp; look the "
                    "metric up in the .cpp and cache the reference")
+
+        # R7 -- device boundaries never throw across the worker boundary.
+        if is_device_cpp and DEVICE_THROW.search(line):
+            report(rel, lineno, "no-device-throw",
+                   "`throw` in device.cpp; return Status/Result (faults "
+                   "must not unwind through runtime workers)")
 
         # R5 -- include hygiene.
         if RELATIVE_INCLUDE.search(line):

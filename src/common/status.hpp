@@ -1,0 +1,123 @@
+// Status codes and a std::expected-style result for the device boundary.
+//
+// Device worker threads cannot let exceptions escape (an uncaught throw in
+// a std::thread body calls std::terminate), so every fallible call the
+// runtime makes into sim::Device returns Result<T> instead of throwing.
+// The taxonomy distinguishes three classes the runtime treats differently
+// (docs/FAULT_TOLERANCE.md):
+//  * structural errors (kInvalidArgument, kResourceExhausted): the request
+//    itself cannot be served -- retrying or moving to an identical device
+//    cannot help, so they surface to the caller unchanged;
+//  * transient faults (kTransferError, kDataCorruption): retried with
+//    exponential backoff in virtual time;
+//  * device-fatal faults (kExecuteTimeout, kDeviceLost): the device is
+//    declared dead and the plan is re-dispatched to a survivor.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "common/types.hpp"
+
+namespace gptpu {
+
+enum class StatusCode : u8 {
+  kOk = 0,
+  kInvalidArgument,
+  kResourceExhausted,
+  kTransferError,    // transient: PCIe transfer failed (bad CRC, dropped DMA)
+  kExecuteTimeout,   // fatal: inference hung past the watchdog
+  kDeviceLost,       // fatal: device dropped off the bus
+  kDataCorruption,   // transient: result readback failed verification
+};
+
+[[nodiscard]] constexpr std::string_view status_code_name(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "ok";
+    case StatusCode::kInvalidArgument: return "invalid_argument";
+    case StatusCode::kResourceExhausted: return "resource_exhausted";
+    case StatusCode::kTransferError: return "transfer_error";
+    case StatusCode::kExecuteTimeout: return "execute_timeout";
+    case StatusCode::kDeviceLost: return "device_lost";
+    case StatusCode::kDataCorruption: return "data_corruption";
+  }
+  return "unknown";
+}
+
+/// True for faults worth retrying on the same device after a backoff.
+[[nodiscard]] constexpr bool is_transient_fault(StatusCode code) {
+  return code == StatusCode::kTransferError ||
+         code == StatusCode::kDataCorruption;
+}
+
+/// True for faults after which the device must be declared dead.
+[[nodiscard]] constexpr bool is_device_fatal(StatusCode code) {
+  return code == StatusCode::kExecuteTimeout ||
+         code == StatusCode::kDeviceLost;
+}
+
+/// A status code plus a human-readable message. Default-constructed is OK.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
+
+  [[nodiscard]] std::string to_string() const {
+    if (ok()) return "ok";
+    return std::string(status_code_name(code_)) + ": " + message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Minimal std::expected substitute (C++20 toolchain, no std::expected):
+/// either a value or a non-OK Status. Implicitly constructible from both so
+/// `return Completion{...}` and `return Status{...}` both work.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    GPTPU_CHECK(!status_.ok(), "Result constructed from an OK status");
+  }
+
+  [[nodiscard]] bool ok() const { return status_.ok(); }
+  [[nodiscard]] StatusCode code() const { return status_.code(); }
+  [[nodiscard]] const Status& status() const { return status_; }
+
+  [[nodiscard]] const T& value() const {
+    GPTPU_CHECK(ok(), "Result::value() on error: " + status_.to_string());
+    return value_;
+  }
+  [[nodiscard]] T& value() {
+    GPTPU_CHECK(ok(), "Result::value() on error: " + status_.to_string());
+    return value_;
+  }
+
+ private:
+  T value_{};
+  Status status_;
+};
+
+/// Thrown by Runtime::invoke when an operation fails permanently (every
+/// placement exhausted and CPU fallback disabled). Carries the status code
+/// that is also recorded on the operation's OpRecord.
+class OperationFailed : public Error {
+ public:
+  OperationFailed(StatusCode code, const std::string& what)
+      : Error(what), code_(code) {}
+  [[nodiscard]] StatusCode code() const { return code_; }
+
+ private:
+  StatusCode code_;
+};
+
+}  // namespace gptpu

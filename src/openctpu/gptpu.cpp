@@ -124,6 +124,9 @@ void openctpu_init(const openctpu_options& options) {
   GPTPU_CHECK(!ctx.runtime, "openctpu already initialized");
   RuntimeConfig cfg;
   cfg.num_devices = options.num_devices;
+  cfg.faults.spec = options.faults;
+  cfg.faults.seed = options.fault_seed;
+  cfg.fault_policy.cpu_fallback = options.cpu_fallback;
   ctx.runtime = std::make_unique<Runtime>(cfg);
 }
 
@@ -211,8 +214,19 @@ int openctpu_sync() {
     gptpu::MutexLock lock(ctx.mu);
     pending.swap(ctx.tasks);
   }
-  for (auto& [handle, fut] : pending) fut.get();
-  return 0;
+  // Drain every task even after a failure, so one permanently-failed
+  // operation does not leave later tasks dangling.
+  int rc = 0;
+  for (auto& [handle, fut] : pending) {
+    try {
+      fut.get();
+    } catch (const gptpu::Error&) {
+      // The failing operation already logged its status on its OpRecord
+      // (see openctpu_sync's contract in gptpu.hpp).
+      rc = -1;
+    }
+  }
+  return rc;
 }
 
 int openctpu_wait(int task_handle) {
@@ -225,6 +239,10 @@ int openctpu_wait(int task_handle) {
     fut = std::move(it->second);
     ctx.tasks.erase(it);
   }
-  fut.get();
+  try {
+    fut.get();
+  } catch (const gptpu::Error&) {
+    return -1;
+  }
   return 0;
 }

@@ -21,6 +21,7 @@
 #pragma once
 
 #include <functional>
+#include <string>
 
 #include "common/matrix.hpp"
 #include "isa/instruction.hpp"
@@ -82,6 +83,17 @@ struct openctpu_operator_params {
 
 struct openctpu_options {
   gptpu::usize num_devices = 1;
+  /// Deterministic fault-injection spec (docs/FAULT_TOLERANCE.md grammar,
+  /// e.g. "dev1:loss@20" or "all:transient@p0.01"). Empty = the process
+  /// default set by gptpu_cli --faults (or no faults at all).
+  std::string faults;
+  /// Seed for probabilistic fault clauses; only read when `faults` is set.
+  gptpu::u64 fault_seed = 0x6a017;
+  /// Degrade operations to the bit-exact CPU reference path when every
+  /// device is dead. When false, such operations fail permanently:
+  /// openctpu_sync / openctpu_wait return -1 and the operation's OpRecord
+  /// carries the status code.
+  bool cpu_fallback = true;
 };
 
 /// Initializes the GPTPU runtime. Called implicitly (1 device) by the
@@ -127,7 +139,16 @@ int openctpu_invoke_operator(tpu_ops op, unsigned flags, openctpu_buffer* in,
                              const openctpu_operator_params& params = {});
 
 /// Blocks until all enqueued TPU tasks complete.
+///
+/// Error contract: returns 0 when every task completed; returns -1 when
+/// any task failed permanently (an operation exhausted every device
+/// placement with CPU fallback disabled, or was otherwise rejected). The
+/// failed operation's status code is recorded on its OpRecord
+/// (Runtime::opq_log), so callers can tell *which* operation failed and
+/// why after the -1. A -1 drains every pending task before returning.
 int openctpu_sync();
 
-/// Blocks until the given task completes.
+/// Blocks until the given task completes. Same error contract as
+/// openctpu_sync(): 0 on success, -1 when the task's kernel failed
+/// permanently (status recorded on the operation's OpRecord).
 int openctpu_wait(int task_handle);

@@ -11,6 +11,7 @@
 #include "common/span_profiler.hpp"
 #include "common/thread_pool.hpp"
 #include "isa/model_format.hpp"
+#include "sim/kernels.hpp"
 
 namespace gptpu::runtime {
 
@@ -57,6 +58,34 @@ struct OpMetrics {
   metrics::Histogram& queue_wait_vt;
   metrics::Histogram& service_vt;
 };
+
+/// Fault-tolerance telemetry (docs/FAULT_TOLERANCE.md). All in the
+/// virtual (deterministic) domain: faults fire at fixed positions in the
+/// per-device boundary-op sequence and the policy's reactions are charged
+/// in virtual time, so the tallies replay byte-identically for a fixed
+/// {program, spec, seed}. fault.injected itself is counted by the
+/// injector (sim/fault_injector.cpp).
+struct FaultMetrics {
+  metrics::Counter& retried;
+  metrics::Counter& redispatched;
+  metrics::Counter& cpu_fallback;
+  metrics::Histogram& backoff_wait_vt;
+
+  static FaultMetrics& get() {
+    auto& reg = metrics::MetricRegistry::global();
+    static FaultMetrics m{
+        reg.counter("fault.retried"),
+        reg.counter("fault.redispatched"),
+        reg.counter("fault.cpu_fallback"),
+        reg.histogram("fault.backoff_wait_vt"),
+    };
+    return m;
+  }
+};
+
+/// FaultTraceEvent.device value for events with no device (the CPU
+/// fallback of an operation that never reached a device).
+constexpr usize kHostFaultDevice = ~usize{0};
 
 OpMetrics& op_metrics(Opcode op) {
   static std::array<std::unique_ptr<OpMetrics>, isa::kNumOpcodes> table = [] {
@@ -126,6 +155,21 @@ struct Runtime::OpContext {
       std::numeric_limits<Seconds>::max();
   Seconds virtual_done GPTPU_GUARDED_BY(mu) = 0;
   std::exception_ptr error GPTPU_GUARDED_BY(mu);
+
+  /// Plans a worker could not run (device faulted out from under them, or
+  /// a structural kResourceExhausted). invoke() drains this after the
+  /// remaining==0 barrier and re-dispatches / falls back / surfaces, in
+  /// `order`, so fault handling is deterministic even though workers
+  /// append in completion order.
+  struct FailedPlan {
+    InstructionPlan plan;
+    StatusCode code = StatusCode::kOk;
+    std::string message;
+    u32 attempts = 0;  // devices tried so far
+    usize order = 0;   // original dispatch position within the operation
+    usize device = 0;  // the device that reported the failure
+  };
+  std::vector<FailedPlan> failed GPTPU_GUARDED_BY(mu);
 
   // Matrix-wise CPU aggregation (§6.2.1).
   double mean_acc GPTPU_GUARDED_BY(mu) = 0;
@@ -206,6 +250,13 @@ struct Runtime::DeviceState {
   /// "scheduler.device<N>.instructions", resolved once at construction.
   metrics::Counter* instructions = nullptr;
 
+  /// DeviceHealth, advanced healthy -> degraded -> dead by the owning
+  /// worker (kill/degrade run on the worker; the scheduler and
+  /// introspection read it from other threads, hence atomic).
+  std::atomic<u8> health{static_cast<u8>(DeviceHealth::kHealthy)};
+  /// "fault.device<N>.health" gauge mirroring `health`.
+  metrics::Gauge* health_gauge = nullptr;
+
   // Scratch reused across plans to avoid per-plan allocation churn.
   // (Staging bytes no longer live here: they are owned by refcounted
   // StagingCache payloads, shared between the slot ring, the cache and
@@ -241,6 +292,19 @@ Runtime::Runtime(const RuntimeConfig& config)
   GPTPU_CHECK(tensorizer_.config().device_memory_bytes ==
                   pool_.device(0).memory_capacity(),
               "Tensorizer and device memory configuration disagree");
+  GPTPU_CHECK(config_.fault_policy.backoff_base_vt > 0 &&
+                  config_.fault_policy.backoff_multiplier >= 1.0,
+              "fault backoff policy must grow monotonically");
+  // An explicit spec wins; otherwise the process default (gptpu_cli's
+  // --faults flag) applies, so app helpers that build their own Runtime
+  // still see the operator's fault schedule.
+  sim::FaultConfig faults = config_.faults;
+  if (!faults.enabled()) faults = sim::FaultInjector::process_default();
+  if (faults.enabled()) {
+    fault_injector_ =
+        std::make_unique<sim::FaultInjector>(faults, config_.num_devices);
+    pool_.set_fault_injector(fault_injector_.get());
+  }
   stager_enabled_ = config_.stage_pipeline && config_.functional;
   const usize slots = std::clamp<usize>(config_.stage_slots, 2, 8);
   device_states_.reserve(config.num_devices);
@@ -250,6 +314,9 @@ Runtime::Runtime(const RuntimeConfig& config)
     ds->device = &pool_.device(i);
     ds->instructions = &metrics::MetricRegistry::global().counter(
         "scheduler.device" + std::to_string(i) + ".instructions");
+    ds->health_gauge = &metrics::MetricRegistry::global().gauge(
+        "fault.device" + std::to_string(i) + ".health");
+    ds->health_gauge->set(0);
     if (stager_enabled_) {
       MutexLock lock(ds->mu);
       ds->slots.resize(slots);
@@ -385,7 +452,6 @@ void Runtime::invoke(const OperationRequest& request) {
   OpContext ctx;
   ctx.req = &request;
   ctx.op_ready = task_ready(request.task_id);
-  ctx.remaining = lowered.plans.size();
 
   if (lowered.host_prep_seconds > 0) {
     ctx.op_ready =
@@ -401,108 +467,129 @@ void Runtime::invoke(const OperationRequest& request) {
     }
   }
 
-  // Per-operation invariants, hoisted out of the dispatch loop (and off
-  // every lock): the timing model and the probe instruction object whose
-  // per-plan fields are overwritten below.
-  const sim::TimingModel& tm = pool_.timing();
-  isa::Instruction probe;
-
   // Dispatch every IQ entry. Scheduling decisions happen here, in plan
   // order, so they are deterministic for a given program (and so is the
   // queue-wait estimate summed across the operation's plans).
+  auto& fm = FaultMetrics::get();
+  StatusCode op_status = StatusCode::kOk;
   Seconds queue_wait_sum = 0;
-  for (InstructionPlan& plan : lowered.plans) {
-    // Tile keys are computed once here and carried in the plan: the
-    // scheduler, the stage-ahead thread and the executing worker all use
-    // these exact values (no rehashing downstream).
-    plan.in0_key = tile_key(plan.in0);
-    if (plan.in1.valid()) plan.in1_key = tile_key(plan.in1);
-
-    std::array<Scheduler::TileNeed, 2> needs{};
-    usize n_needs = 0;
-    needs[n_needs++] = {plan.in0_key, plan.in0.bytes()};
-    if (plan.in1.valid()) {
-      needs[n_needs++] = {plan.in1_key, plan.in1.bytes()};
-    }
-
-    // Instruction-latency estimate; the scheduler adds transfer costs for
-    // tiles not yet resident on each candidate device.
-    probe.op = plan.op;
-    probe.stride = plan.stride;
-    probe.kernel_bank = plan.kernel_bank;
-    probe.window = plan.window;
-    probe.pad_target = plan.pad_target;
-    const Shape2D in1_shape = plan.in1.valid() ? plan.in1.shape : Shape2D{};
-    const Shape2D out_shape =
-        isa::infer_output_shape(probe, plan.in0.shape, in1_shape);
-    const usize out_bytes =
-        out_shape.elems() * (plan.wide_output ? sizeof(i32) : sizeof(i8));
-    const Seconds est =
-        tm.instruction_latency(probe, plan.in0.shape, in1_shape, out_shape) +
-        tm.transfer_latency(out_bytes);
-
-    const Scheduler::Assignment assignment =
-        scheduler_.assign_detailed({needs.data(), n_needs}, est, ctx.op_ready);
-    queue_wait_sum += assignment.queue_wait;
-
-    DeviceState& ds = *device_states_[assignment.device];
-    ds.instructions->add(1);
-    usize iq_depth = 0;
-    {
-      MutexLock lock(ds.mu);
-      WorkItem item;
-      item.plan = plan;
-      item.ctx = &ctx;
-      item.seq = ds.enqueue_seq++;
-      if (stager_enabled_) {
-        StageRequest sr;
-        sr.seq = item.seq;
-        sr.in0 = plan.in0;
-        sr.in1 = plan.in1;
-        sr.in0_key = plan.in0_key;
-        sr.in1_key = plan.in1_key;
-        sr.op = plan.op;
-        // Stage what the scheduler believes is NOT yet resident on the
-        // device; resident tiles will hit the device cache and need no
-        // host bytes at all. Without the input cache everything
-        // re-stages every plan.
-        sr.stage_mask = 0;
-        if (!config_.input_cache || (assignment.resident_mask & 1u) == 0) {
-          sr.stage_mask |= 1u;
-        }
-        if (plan.in1.valid() &&
-            (!config_.input_cache || (assignment.resident_mask & 2u) == 0)) {
-          sr.stage_mask |= 2u;
-        }
-        sr.out_buffer_id = request.out->id();
-        sr.ctx = &ctx;
-        ds.stage_queue.push_back(std::move(sr));
+  if (scheduler_.alive_count() == 0) {
+    // Every device died before this operation dispatched: degrade to the
+    // CPU path plan by plan (or surface, when the policy forbids it).
+    if (config_.fault_policy.cpu_fallback) {
+      for (const InstructionPlan& plan : lowered.plans) {
+        fm.cpu_fallback.add(1);
+        record_fault_event(kHostFaultDevice, ctx.op_ready, "cpu-fallback");
+        cpu_fallback_plan(ctx, plan);
       }
-      ds.queue.push_back(std::move(item));
-      iq_depth = ds.queue.size();
+    } else {
+      op_status = StatusCode::kDeviceLost;
     }
-    ds.cv.notify_one();
-    if (stager_enabled_) ds.stage_cv.notify_one();
-    rtm.iq_depth_highwater.record_max(static_cast<double>(iq_depth));
+  } else {
+    {
+      MutexLock lock(ctx.mu);
+      ctx.remaining = lowered.plans.size();
+    }
+    usize order = 0;
+    for (const InstructionPlan& plan : lowered.plans) {
+      queue_wait_sum += dispatch_plan(ctx, plan, order++, /*attempts=*/0);
+    }
   }
 
-  // Wait for the last IQ entry of this OPQ entry, then move the guarded
-  // aggregation results out so the remainder of invoke() runs lock-free.
+  // Wait for the operation's IQ entries, then react to worker-reported
+  // failures: re-dispatch to survivors, or degrade to the CPU path, in
+  // dispatch order (FailedPlan.order) so the fault reaction is
+  // deterministic even though workers append in completion order.
+  for (;;) {
+    std::vector<OpContext::FailedPlan> failures;
+    {
+      MutexLock lock(ctx.mu);
+      while (ctx.remaining != 0 ||
+             ctx.stage_pins.load(std::memory_order_acquire) != 0) {
+        ctx.cv.wait(ctx.mu);
+      }
+      if (ctx.error) std::rethrow_exception(ctx.error);
+      failures.swap(ctx.failed);
+    }
+    if (failures.empty()) break;
+    std::sort(failures.begin(), failures.end(),
+              [](const OpContext::FailedPlan& a, const OpContext::FailedPlan& b) {
+                return a.order < b.order;
+              });
+    for (const auto& f : failures) {
+      // Structural: the plan cannot fit this device class, and every pool
+      // device is identical -- surface unchanged (the pre-fault capacity
+      // contract; see tests/test_runtime.cpp).
+      if (f.code == StatusCode::kResourceExhausted) {
+        throw ResourceExhausted(f.message);
+      }
+    }
+    const usize alive = scheduler_.alive_count();
+    std::vector<const OpContext::FailedPlan*> redispatch;
+    std::vector<const OpContext::FailedPlan*> fallback;
+    for (const auto& f : failures) {
+      // Re-dispatch while a survivor exists and the plan has not yet been
+      // tried on every device of the pool; otherwise fall back.
+      if (alive > 0 && f.attempts < config_.num_devices) {
+        redispatch.push_back(&f);
+      } else {
+        fallback.push_back(&f);
+      }
+    }
+    if (!redispatch.empty()) {
+      {
+        MutexLock lock(ctx.mu);
+        ctx.remaining += redispatch.size();
+      }
+      for (const auto* f : redispatch) {
+        fm.redispatched.add(1);
+        record_fault_event(f->device, ctx.op_ready, "redispatch");
+        queue_wait_sum += dispatch_plan(ctx, f->plan, f->order, f->attempts);
+      }
+    }
+    for (const auto* f : fallback) {
+      if (config_.fault_policy.cpu_fallback) {
+        fm.cpu_fallback.add(1);
+        record_fault_event(f->device, ctx.op_ready, "cpu-fallback");
+        cpu_fallback_plan(ctx, f->plan);
+      } else {
+        op_status = f->code;
+      }
+    }
+    if (redispatch.empty()) break;
+  }
+
+  // Move the guarded aggregation results out so the remainder of invoke()
+  // runs lock-free (workers are done with this context).
   Seconds op_virtual_start;
   Seconds op_virtual_done;
   double mean_acc;
   double max_acc;
   {
     MutexLock lock(ctx.mu);
-    while (ctx.remaining != 0 ||
-           ctx.stage_pins.load(std::memory_order_acquire) != 0) {
-      ctx.cv.wait(ctx.mu);
-    }
-    if (ctx.error) std::rethrow_exception(ctx.error);
     op_virtual_start = ctx.virtual_start;
     op_virtual_done = ctx.virtual_done;
     mean_acc = ctx.mean_acc;
     max_acc = ctx.max_acc;
+  }
+  if (op_virtual_start > op_virtual_done) op_virtual_start = ctx.op_ready;
+
+  if (op_status != StatusCode::kOk) {
+    // Permanent failure with CPU fallback disabled: log the operation with
+    // its status (the openctpu_wait/openctpu_sync error contract) and
+    // throw. The output buffer contents are unspecified.
+    {
+      MutexLock lock(opq_mu_);
+      opq_.push_back(OpRecord{request.task_id, request.op,
+                              lowered.plans.size(), op_virtual_start,
+                              std::max(op_virtual_done, ctx.op_ready),
+                              op_status});
+    }
+    throw OperationFailed(
+        op_status,
+        "operation failed permanently (" +
+            std::string(status_code_name(op_status)) +
+            "): no device placement left and CPU fallback is disabled");
   }
 
   // Matrix-wise operators: the CPU-aggregated scalar lands here.
@@ -547,6 +634,90 @@ void Runtime::invoke(const OperationRequest& request) {
   om.service_vt.record(op_virtual_done - op_virtual_start);
 }
 
+Seconds Runtime::dispatch_plan(OpContext& ctx, const InstructionPlan& plan_in,
+                               usize order, u32 attempts) {
+  const sim::TimingModel& tm = pool_.timing();
+
+  // Tile keys are computed once here and carried in the plan: the
+  // scheduler, the stage-ahead thread and the executing worker all use
+  // these exact values (no rehashing downstream). Recomputing them on a
+  // fault re-dispatch is idempotent.
+  InstructionPlan plan = plan_in;
+  plan.in0_key = tile_key(plan.in0);
+  if (plan.in1.valid()) plan.in1_key = tile_key(plan.in1);
+
+  std::array<Scheduler::TileNeed, 2> needs{};
+  usize n_needs = 0;
+  needs[n_needs++] = {plan.in0_key, plan.in0.bytes()};
+  if (plan.in1.valid()) {
+    needs[n_needs++] = {plan.in1_key, plan.in1.bytes()};
+  }
+
+  // Instruction-latency estimate; the scheduler adds transfer costs for
+  // tiles not yet resident on each candidate device.
+  isa::Instruction probe;
+  probe.op = plan.op;
+  probe.stride = plan.stride;
+  probe.kernel_bank = plan.kernel_bank;
+  probe.window = plan.window;
+  probe.pad_target = plan.pad_target;
+  const Shape2D in1_shape = plan.in1.valid() ? plan.in1.shape : Shape2D{};
+  const Shape2D out_shape =
+      isa::infer_output_shape(probe, plan.in0.shape, in1_shape);
+  const usize out_bytes =
+      out_shape.elems() * (plan.wide_output ? sizeof(i32) : sizeof(i8));
+  const Seconds est =
+      tm.instruction_latency(probe, plan.in0.shape, in1_shape, out_shape) +
+      tm.transfer_latency(out_bytes);
+
+  const Scheduler::Assignment assignment =
+      scheduler_.assign_detailed({needs.data(), n_needs}, est, ctx.op_ready);
+
+  DeviceState& ds = *device_states_[assignment.device];
+  ds.instructions->add(1);
+  usize iq_depth = 0;
+  {
+    MutexLock lock(ds.mu);
+    WorkItem item;
+    item.plan = plan;
+    item.ctx = &ctx;
+    item.seq = ds.enqueue_seq++;
+    item.order = order;
+    item.attempts = attempts;
+    if (stager_enabled_) {
+      StageRequest sr;
+      sr.seq = item.seq;
+      sr.in0 = plan.in0;
+      sr.in1 = plan.in1;
+      sr.in0_key = plan.in0_key;
+      sr.in1_key = plan.in1_key;
+      sr.op = plan.op;
+      // Stage what the scheduler believes is NOT yet resident on the
+      // device; resident tiles will hit the device cache and need no
+      // host bytes at all. Without the input cache everything
+      // re-stages every plan.
+      sr.stage_mask = 0;
+      if (!config_.input_cache || (assignment.resident_mask & 1u) == 0) {
+        sr.stage_mask |= 1u;
+      }
+      if (plan.in1.valid() &&
+          (!config_.input_cache || (assignment.resident_mask & 2u) == 0)) {
+        sr.stage_mask |= 2u;
+      }
+      sr.out_buffer_id = ctx.req->out->id();
+      sr.ctx = &ctx;
+      ds.stage_queue.push_back(std::move(sr));
+    }
+    ds.queue.push_back(std::move(item));
+    iq_depth = ds.queue.size();
+  }
+  ds.cv.notify_one();
+  if (stager_enabled_) ds.stage_cv.notify_one();
+  RuntimeMetrics::get().iq_depth_highwater.record_max(
+      static_cast<double>(iq_depth));
+  return assignment.queue_wait;
+}
+
 void Runtime::worker_loop(usize device_index) {
   DeviceState& ds = *device_states_[device_index];
   for (;;) {
@@ -578,14 +749,22 @@ void Runtime::worker_loop(usize device_index) {
       }
     }
     OpContext& ctx = *item.ctx;
+    Status status;
     try {
-      execute_plan(ds, item);
+      status = run_plan_with_retries(ds, item);
     } catch (...) {
+      // Programming errors (GPTPU_CHECK) still travel as exceptions;
+      // injected faults and capacity misses arrive as statuses.
       MutexLock lock(ctx.mu);
       if (!ctx.error) ctx.error = std::current_exception();
     }
     {
       MutexLock lock(ctx.mu);
+      if (!status.ok()) {
+        ctx.failed.push_back(OpContext::FailedPlan{
+            item.plan, status.code(), status.message(), item.attempts + 1,
+            item.order, ds.index});
+      }
       --ctx.remaining;
       if (ctx.remaining == 0) ctx.cv.notify_all();
     }
@@ -673,7 +852,12 @@ void Runtime::stager_loop(usize device_index) {
     RuntimeMetrics::get().stage_ahead_depth.record_max(
         static_cast<double>(depth));
     try {
-      stage_ahead(ds, req);
+      // A dead device executes nothing, so preparing bytes for it is
+      // wasted wall-clock work; the pin/unpin handshake still runs.
+      if (ds.health.load(std::memory_order_acquire) !=
+          static_cast<u8>(DeviceHealth::kDead)) {
+        stage_ahead(ds, req);
+      }
     } catch (...) {
       // Preparation is purely advisory: on any failure the executor
       // simply stages inline and surfaces the error itself.
@@ -726,11 +910,12 @@ void Runtime::stage_ahead(DeviceState& ds, const StageRequest& req) {
   slot.in1 = std::move(p1);
 }
 
-void Runtime::ensure_device_space(DeviceState& ds, usize bytes,
-                                  std::span<const u64> pinned_keys) {
+Status Runtime::ensure_device_space(DeviceState& ds, usize bytes,
+                                    std::span<const u64> pinned_keys) {
   sim::Device& dev = *ds.device;
   if (bytes > dev.memory_capacity()) {
-    throw ResourceExhausted("tile larger than device memory");
+    return Status{StatusCode::kResourceExhausted,
+                  "tile larger than device memory"};
   }
   while (dev.memory_available() < bytes) {
     // Evict from the LRU tail, skipping tiles the current plan needs.
@@ -741,8 +926,8 @@ void Runtime::ensure_device_space(DeviceState& ds, usize bytes,
       ++it;
     }
     if (it == ds.lru.rend()) {
-      throw ResourceExhausted(
-          "cannot make space on device: working set exceeds memory");
+      return Status{StatusCode::kResourceExhausted,
+                    "cannot make space on device: working set exceeds memory"};
     }
     const u64 key = *it;
     const auto centry = ds.cache.find(key);
@@ -753,6 +938,7 @@ void Runtime::ensure_device_space(DeviceState& ds, usize bytes,
     ds.stats.evictions.fetch_add(1, std::memory_order_relaxed);
     scheduler_.drop_tile(ds.index, key);
   }
+  return {};
 }
 
 /// Host bytes for a tile, built once: quantized int8 rectangle, plus the
@@ -777,9 +963,11 @@ StagingCache::PayloadPtr Runtime::staged_payload(const TileRef& tile,
   return std::make_shared<const StagingCache::Payload>(build());
 }
 
-isa::DeviceTensorId Runtime::stage_tile(DeviceState& ds, const TileRef& tile,
-                                        u64 key, StagingCache::PayloadPtr hint,
-                                        Seconds ready, Seconds* available_at) {
+Result<isa::DeviceTensorId> Runtime::stage_tile(DeviceState& ds,
+                                                const TileRef& tile, u64 key,
+                                                StagingCache::PayloadPtr hint,
+                                                Seconds ready,
+                                                Seconds* available_at) {
   if (!config_.input_cache) {
     // Stateless mode: evict any previous copy and re-stage below.
     if (const auto it = ds.cache.find(key); it != ds.cache.end()) {
@@ -811,34 +999,39 @@ isa::DeviceTensorId Runtime::stage_tile(DeviceState& ds, const TileRef& tile,
   }
 
   const u64 pinned[] = {key};
-  ensure_device_space(ds, tile.shape.elems(), pinned);
+  if (Status st = ensure_device_space(ds, tile.shape.elems(), pinned);
+      !st.ok()) {
+    return st;
+  }
 
-  sim::Device::Completion done{};
-  if (config_.functional && tile.buffer->functional()) {
-    // Virtual domain: the miss performed this much quantization work,
-    // whether the wall-clock bytes came from the stage-ahead slot, the
-    // staging cache or an inline build.
-    RuntimeMetrics::get().quantize_bytes.add(tile.shape.elems());
-    const StagingCache::PayloadPtr payload =
-        hint ? std::move(hint) : staged_payload(tile, key);
-    if (tile.as_model) {
-      done = ds.device->load_model(payload->model, transfer_ready,
-                                   link_setup);
-    } else {
+  Result<sim::Device::Completion> staged = [&]() {
+    if (config_.functional && tile.buffer->functional()) {
+      // Virtual domain: the miss performed this much quantization work,
+      // whether the wall-clock bytes came from the stage-ahead slot, the
+      // staging cache or an inline build.
+      RuntimeMetrics::get().quantize_bytes.add(tile.shape.elems());
+      const StagingCache::PayloadPtr payload =
+          hint ? std::move(hint) : staged_payload(tile, key);
+      if (tile.as_model) {
+        return ds.device->load_model(payload->model, transfer_ready,
+                                     link_setup);
+      }
       GPTPU_CHECK(payload->tensor.size() == tile.shape.elems(),
                   "staged payload does not match the tile shape");
-      done = ds.device->write_tensor(tile.shape, tile.scale, payload->tensor,
+      return ds.device->write_tensor(tile.shape, tile.scale, payload->tensor,
                                      transfer_ready, link_setup);
     }
-  } else {
     if (tile.as_model) {
       const isa::ModelInfo info{tile.shape, tile.shape, tile.scale};
-      done = ds.device->load_model_meta(info, transfer_ready, link_setup);
-    } else {
-      done = ds.device->write_tensor(tile.shape, tile.scale, {},
-                                     transfer_ready, link_setup);
+      return ds.device->load_model_meta(info, transfer_ready, link_setup);
     }
-  }
+    return ds.device->write_tensor(tile.shape, tile.scale, {}, transfer_ready,
+                                   link_setup);
+  }();
+  // A failed transfer leaves nothing resident: no cache entry, and a
+  // retry re-stages from the (host-side, still valid) staging payload.
+  if (!staged.ok()) return staged.status();
+  const sim::Device::Completion done = staged.value();
 
   ds.lru.push_front(key);
   ds.cache.emplace(key, DeviceState::CacheEntry{done.id, tile.shape.elems(),
@@ -862,11 +1055,11 @@ bool Runtime::tile_is_zero_cached(const TileRef& tile, u64 key) {
   return zero;
 }
 
-void Runtime::execute_plan(DeviceState& ds, const WorkItem& item) {
+Status Runtime::try_execute_plan(DeviceState& ds, const WorkItem& item,
+                                 Seconds ready) {
   GPTPU_SPAN("plan_execute");
   const InstructionPlan& plan = item.plan;
   OpContext& ctx = *item.ctx;
-  const Seconds ready = ctx.op_ready;
 
   // Zero-tile elision: skip the device round trip entirely when a
   // multiplicative operand tile is all zeros.
@@ -895,19 +1088,24 @@ void Runtime::execute_plan(DeviceState& ds, const WorkItem& item) {
     MutexLock lock(ctx.mu);
     ctx.virtual_start = std::min(ctx.virtual_start, ready);
     ctx.virtual_done = std::max(ctx.virtual_done, scanned);
-    return;
+    return {};
   }
 
   Seconds in0_at = 0;
   Seconds in1_at = 0;
-  const DeviceTensorId in0 = stage_tile(ds, plan.in0, plan.in0_key,
-                                        item.hint0, ready, &in0_at);
+  const auto in0_r =
+      stage_tile(ds, plan.in0, plan.in0_key, item.hint0, ready, &in0_at);
+  if (!in0_r.ok()) return in0_r.status();
+  const DeviceTensorId in0 = in0_r.value();
   DeviceTensorId in1;
   std::array<u64, 2> pinned{plan.in0_key, 0};
   usize n_pinned = 1;
   if (plan.in1.valid()) {
     pinned[n_pinned++] = plan.in1_key;
-    in1 = stage_tile(ds, plan.in1, plan.in1_key, item.hint1, ready, &in1_at);
+    const auto in1_r =
+        stage_tile(ds, plan.in1, plan.in1_key, item.hint1, ready, &in1_at);
+    if (!in1_r.ok()) return in1_r.status();
+    in1 = in1_r.value();
   }
 
   isa::Instruction instr;
@@ -928,30 +1126,39 @@ void Runtime::execute_plan(DeviceState& ds, const WorkItem& item) {
       instr, plan.in0.shape, plan.in1.valid() ? plan.in1.shape : Shape2D{});
   const usize out_bytes =
       out_shape.elems() * (plan.wide_output ? sizeof(i32) : sizeof(i8));
-  ensure_device_space(ds, out_bytes, {pinned.data(), n_pinned});
+  if (Status st = ensure_device_space(ds, out_bytes, {pinned.data(), n_pinned});
+      !st.ok()) {
+    return st;
+  }
 
   instr.wide_output = plan.wide_output;
-  const auto exec = ds.device->execute(instr, ready);
+  const auto exec_r = ds.device->execute(instr, ready);
+  if (!exec_r.ok()) return exec_r.status();
+  const sim::Device::Completion exec = exec_r.value();
 
-  Seconds read_done;
-  if (plan.wide_output) {
-    if (config_.functional) ds.wide_scratch.resize(out_shape.elems());
-    read_done = ds.device->read_tensor_wide(
-        exec.id,
-        config_.functional
-            ? std::span<i32>(ds.wide_scratch.data(), out_shape.elems())
-            : std::span<i32>{},
-        exec.done);
-  } else {
+  const Result<Seconds> read_r = [&]() -> Result<Seconds> {
+    if (plan.wide_output) {
+      if (config_.functional) ds.wide_scratch.resize(out_shape.elems());
+      return ds.device->read_tensor_wide(
+          exec.id,
+          config_.functional
+              ? std::span<i32>(ds.wide_scratch.data(), out_shape.elems())
+              : std::span<i32>{},
+          exec.done);
+    }
     if (config_.functional) ds.out_scratch.resize(out_shape.elems());
-    read_done = ds.device->read_tensor(
+    return ds.device->read_tensor(
         exec.id,
         config_.functional
             ? std::span<i8>(ds.out_scratch.data(), out_shape.elems())
             : std::span<i8>{},
         exec.done);
-  }
+  }();
+  // The result tensor is consumed (or, on a faulted readback, discarded --
+  // the retry re-executes) either way.
   ds.device->free_tensor(exec.id);
+  if (!read_r.ok()) return read_r.status();
+  const Seconds read_done = read_r.value();
 
   // CPU-side landing of the result (dequantization + §6.2.1 aggregation)
   // on this device's host lane.
@@ -959,87 +1166,281 @@ void Runtime::execute_plan(DeviceState& ds, const WorkItem& item) {
       read_done, pool_.timing().model_creation_latency(out_shape.elems()),
       "combine");
 
-  if (config_.functional && ctx.req->out->functional()) {
-    GPTPU_SPAN("result_land");
-    RuntimeMetrics::get().dequantize_bytes.add(out_bytes);
-    const double inv = plan.wide_output
-                           ? plan.wide_dequant
-                           : 1.0 / static_cast<double>(plan.out_scale);
-    switch (plan.combine) {
-      case HostCombine::kStore:
-      case HostCombine::kAccumulate: {
-        GPTPU_CHECK(out_shape == plan.out_shape,
-                    "device output does not match plan routing");
-        auto dst = ctx.req->out->view().sub(plan.out_row0, plan.out_col0,
-                                            plan.out_shape);
-        const bool acc = plan.combine == HostCombine::kAccumulate;
-        // Dequantize + land the tile with rows striped across the shared
-        // pool; rows of one plan are disjoint, so the chunks never race
-        // with each other.
-        const auto land = [&](usize rbegin, usize rend) {
-          for (usize r = rbegin; r < rend; ++r) {
-            float* __restrict d = dst.row(r).data();
-            if (plan.wide_output) {
-              const i32* src = ds.wide_scratch.data() + r * out_shape.cols;
-              for (usize c = 0; c < out_shape.cols; ++c) {
-                const float v =
-                    static_cast<float>(static_cast<double>(src[c]) * inv);
-                if (acc) {
-                  d[c] += v;
-                } else {
-                  d[c] = v;
-                }
-              }
-            } else {
-              const i8* src = ds.out_scratch.data() + r * out_shape.cols;
-              for (usize c = 0; c < out_shape.cols; ++c) {
-                const float v =
-                    static_cast<float>(static_cast<double>(src[c]) * inv);
-                if (acc) {
-                  d[c] += v;
-                } else {
-                  d[c] = v;
-                }
-              }
-            }
-          }
-        };
-        if (acc) {
-          // Accumulating plans that target the same rectangle serialize on
-          // a per-stripe lock (held by this worker across the parallel
-          // landing); disjoint rectangles usually hash to different
-          // stripes and proceed concurrently. This replaces the old
-          // whole-operation ctx.mu serialization.
-          MutexLock lock(ctx.accum_lock(plan.out_row0, plan.out_col0));
-          ThreadPool::parallel_chunks(&shared_worker_pool(), out_shape.rows,
-                                      /*min_chunk=*/32, land);
-        } else {
-          // kStore rectangles are disjoint across plans: lock-free.
-          ThreadPool::parallel_chunks(&shared_worker_pool(), out_shape.rows,
-                                      /*min_chunk=*/32, land);
-        }
-        break;
-      }
-      case HostCombine::kMeanPartial: {
-        MutexLock lock(ctx.mu);
-        ctx.mean_acc += ds.out_scratch[0] * inv * plan.combine_weight;
-        break;
-      }
-      case HostCombine::kMaxPartial: {
-        const double v = ds.out_scratch[0] * inv;
-        MutexLock lock(ctx.mu);
-        ctx.max_acc = ctx.max_seen ? std::max(ctx.max_acc, v) : v;
-        ctx.max_seen = true;
-        break;
-      }
-    }
-  }
+  land_result(ctx, plan, out_shape, ds.out_scratch.data(),
+              ds.wide_scratch.data());
 
   {
     MutexLock lock(ctx.mu);
     ctx.virtual_start = std::min(ctx.virtual_start, std::min(in0_at, ready));
     ctx.virtual_done = std::max(ctx.virtual_done, combined);
   }
+  return {};
+}
+
+void Runtime::land_result(OpContext& ctx, const InstructionPlan& plan,
+                          Shape2D out_shape, const i8* narrow,
+                          const i32* wide) {
+  if (!config_.functional || !ctx.req->out->functional()) return;
+  GPTPU_SPAN("result_land");
+  const usize out_bytes =
+      out_shape.elems() * (plan.wide_output ? sizeof(i32) : sizeof(i8));
+  RuntimeMetrics::get().dequantize_bytes.add(out_bytes);
+  const double inv = plan.wide_output
+                         ? plan.wide_dequant
+                         : 1.0 / static_cast<double>(plan.out_scale);
+  switch (plan.combine) {
+    case HostCombine::kStore:
+    case HostCombine::kAccumulate: {
+      GPTPU_CHECK(out_shape == plan.out_shape,
+                  "device output does not match plan routing");
+      auto dst = ctx.req->out->view().sub(plan.out_row0, plan.out_col0,
+                                          plan.out_shape);
+      const bool acc = plan.combine == HostCombine::kAccumulate;
+      // Dequantize + land the tile with rows striped across the shared
+      // pool; rows of one plan are disjoint, so the chunks never race
+      // with each other.
+      const auto land = [&](usize rbegin, usize rend) {
+        for (usize r = rbegin; r < rend; ++r) {
+          float* __restrict d = dst.row(r).data();
+          if (plan.wide_output) {
+            const i32* src = wide + r * out_shape.cols;
+            for (usize c = 0; c < out_shape.cols; ++c) {
+              const float v =
+                  static_cast<float>(static_cast<double>(src[c]) * inv);
+              if (acc) {
+                d[c] += v;
+              } else {
+                d[c] = v;
+              }
+            }
+          } else {
+            const i8* src = narrow + r * out_shape.cols;
+            for (usize c = 0; c < out_shape.cols; ++c) {
+              const float v =
+                  static_cast<float>(static_cast<double>(src[c]) * inv);
+              if (acc) {
+                d[c] += v;
+              } else {
+                d[c] = v;
+              }
+            }
+          }
+        }
+      };
+      if (acc) {
+        // Accumulating plans that target the same rectangle serialize on
+        // a per-stripe lock (held by this worker across the parallel
+        // landing); disjoint rectangles usually hash to different
+        // stripes and proceed concurrently. This replaces the old
+        // whole-operation ctx.mu serialization.
+        MutexLock lock(ctx.accum_lock(plan.out_row0, plan.out_col0));
+        ThreadPool::parallel_chunks(&shared_worker_pool(), out_shape.rows,
+                                    /*min_chunk=*/32, land);
+      } else {
+        // kStore rectangles are disjoint across plans: lock-free.
+        ThreadPool::parallel_chunks(&shared_worker_pool(), out_shape.rows,
+                                    /*min_chunk=*/32, land);
+      }
+      break;
+    }
+    case HostCombine::kMeanPartial: {
+      MutexLock lock(ctx.mu);
+      ctx.mean_acc += narrow[0] * inv * plan.combine_weight;
+      break;
+    }
+    case HostCombine::kMaxPartial: {
+      const double v = narrow[0] * inv;
+      MutexLock lock(ctx.mu);
+      ctx.max_acc = ctx.max_seen ? std::max(ctx.max_acc, v) : v;
+      ctx.max_seen = true;
+      break;
+    }
+  }
+}
+
+// --- fault tolerance (docs/FAULT_TOLERANCE.md) -------------------------------
+
+Status Runtime::run_plan_with_retries(DeviceState& ds, const WorkItem& item) {
+  if (ds.health.load(std::memory_order_acquire) ==
+      static_cast<u8>(DeviceHealth::kDead)) {
+    // The device died after this plan was queued (or the scheduler raced a
+    // concurrent kill); hand the plan back for re-dispatch untouched.
+    return Status{StatusCode::kDeviceLost, "device already dead"};
+  }
+  const RuntimeConfig::FaultPolicy& policy = config_.fault_policy;
+  auto& fm = FaultMetrics::get();
+  Seconds ready = item.ctx->op_ready;
+  for (u32 attempt = 0;; ++attempt) {
+    const Status st = try_execute_plan(ds, item, ready);
+    if (st.ok()) return st;
+    if (st.code() == StatusCode::kResourceExhausted) {
+      // Structural, not a fault: every pool device is identical, so no
+      // retry or re-dispatch can change the answer.
+      return st;
+    }
+    if (is_device_fatal(st.code())) {
+      kill_device(ds, st.code(), ready);
+      return st;
+    }
+    // Transient (transfer error / readback corruption): degrade, back off
+    // in virtual time, retry on the same device up to the policy bound.
+    u8 expected = static_cast<u8>(DeviceHealth::kHealthy);
+    if (ds.health.compare_exchange_strong(
+            expected, static_cast<u8>(DeviceHealth::kDegraded),
+            std::memory_order_acq_rel)) {
+      ds.health_gauge->set(1);
+      record_fault_event(ds.index, ready, "degraded");
+    }
+    if (attempt >= policy.max_retries) {
+      kill_device(ds, st.code(), ready);
+      return st;
+    }
+    const Seconds backoff =
+        policy.backoff_base_vt *
+        std::pow(policy.backoff_multiplier, static_cast<double>(attempt));
+    fm.retried.add(1);
+    fm.backoff_wait_vt.record(backoff);
+    record_fault_event(ds.index, ready,
+                       "retry:" + std::string(status_code_name(st.code())));
+    ready += backoff;
+  }
+}
+
+void Runtime::kill_device(DeviceState& ds, StatusCode code, Seconds at) {
+  const u8 dead = static_cast<u8>(DeviceHealth::kDead);
+  if (ds.health.exchange(dead, std::memory_order_acq_rel) == dead) return;
+  ds.health_gauge->set(2);
+  // No further assignments; the dead device's residency entries vanish
+  // with it (a re-dispatched plan must re-transfer its tiles).
+  scheduler_.mark_dead(ds.index);
+  // Worker-owned cache bookkeeping follows (this runs on the owning worker
+  // thread). The tensors themselves died with the device -- no free calls.
+  ds.cache.clear();
+  ds.lru.clear();
+  record_fault_event(ds.index, at,
+                     "dead:" + std::string(status_code_name(code)));
+}
+
+void Runtime::cpu_fallback_plan(OpContext& ctx, const InstructionPlan& plan) {
+  GPTPU_SPAN("cpu_fallback");
+  isa::Instruction instr;
+  instr.op = plan.op;
+  instr.stride = plan.stride;
+  instr.window = plan.window;
+  instr.pad_target = plan.pad_target;
+  instr.kernel_bank = plan.kernel_bank;
+  instr.out_scale = plan.out_scale;
+  instr.wide_output = plan.wide_output;
+
+  const Shape2D in1_shape = plan.in1.valid() ? plan.in1.shape : Shape2D{};
+  const Shape2D out_shape =
+      isa::infer_output_shape(instr, plan.in0.shape, in1_shape);
+
+  // Modelled cost: host-side preparation over every operand plus the
+  // instruction's device latency scaled by the configured CPU slowdown,
+  // serialized on the global host resource (the fallback competes with
+  // aggregation work for the same cores).
+  const sim::TimingModel& tm = pool_.timing();
+  const usize touched =
+      plan.in0.shape.elems() + in1_shape.elems() + out_shape.elems();
+  const Seconds cost =
+      tm.model_creation_latency(touched) +
+      tm.instruction_latency(instr, plan.in0.shape, in1_shape, out_shape) *
+          config_.fault_policy.cpu_slowdown;
+  const Seconds done = acquire_host(ctx.op_ready, cost, "cpu-fallback");
+
+  if (config_.functional && ctx.req->out->functional()) {
+    // Same quantized operands and bit-exact kernel semantics as the device
+    // path: kernels::reference shares the engine's Requant plan
+    // (tests/test_kernels_equivalence.cpp), so a fallen-back plan lands
+    // byte-identical results.
+    std::vector<i8> q0;
+    quantize_tile(plan.in0, q0);
+    std::vector<i8> q1;
+    if (plan.in1.valid()) quantize_tile(plan.in1, q1);
+    const MatrixView<const i8> a{q0.data(), plan.in0.shape};
+    const MatrixView<const i8> b{q1.data(), in1_shape};
+    const bool wide = plan.wide_output &&
+                      isa::op_class(plan.op) == isa::OpClass::kArithmetic;
+    std::vector<i8> narrow;
+    std::vector<i32> wide_out;
+    if (wide) {
+      wide_out.resize(out_shape.elems());
+    } else {
+      narrow.resize(out_shape.elems());
+    }
+    MatrixView<i8> out{narrow.data(), out_shape};
+    MatrixView<i32> wout{wide_out.data(), out_shape};
+    namespace ref = sim::kernels::reference;
+    switch (plan.op) {
+      case Opcode::kConv2D:
+        if (wide) {
+          ref::conv2d_wide(a, b, plan.stride, plan.kernel_bank, wout);
+        } else {
+          ref::conv2d(a, plan.in0.scale, b, plan.in1.scale, plan.stride,
+                      plan.kernel_bank, plan.out_scale, out);
+        }
+        break;
+      case Opcode::kFullyConnected:
+        if (wide) {
+          ref::fully_connected_wide(a, b, wout);
+        } else {
+          ref::fully_connected(a, plan.in0.scale, b, plan.in1.scale,
+                               plan.out_scale, out);
+        }
+        break;
+      case Opcode::kAdd:
+      case Opcode::kSub:
+      case Opcode::kMul:
+        ref::pairwise(plan.op, a, plan.in0.scale, b, plan.in1.scale,
+                      plan.out_scale, out);
+        break;
+      case Opcode::kTanh:
+      case Opcode::kReLu:
+        ref::elementwise(plan.op, a, plan.in0.scale, plan.out_scale, out);
+        break;
+      case Opcode::kMean:
+      case Opcode::kMax:
+        out(0, 0) = ref::reduce(plan.op, a, plan.in0.scale, plan.out_scale);
+        break;
+      case Opcode::kCrop:
+        ref::crop(a, plan.in0.scale, plan.window, plan.out_scale, out);
+        break;
+      case Opcode::kExt:
+        ref::ext(a, plan.in0.scale, plan.out_scale, out);
+        break;
+    }
+    land_result(ctx, plan, out_shape, narrow.data(), wide_out.data());
+  }
+
+  MutexLock lock(ctx.mu);
+  ctx.virtual_start = std::min(ctx.virtual_start, ctx.op_ready);
+  ctx.virtual_done = std::max(ctx.virtual_done, done);
+}
+
+void Runtime::record_fault_event(usize device, Seconds at, std::string label) {
+  MutexLock lock(fault_mu_);
+  fault_events_.push_back(FaultTraceEvent{at, device, std::move(label)});
+}
+
+std::vector<FaultTraceEvent> Runtime::fault_trace() const {
+  std::vector<FaultTraceEvent> events;
+  {
+    MutexLock lock(fault_mu_);
+    events = fault_events_;
+  }
+  std::sort(events.begin(), events.end(),
+            [](const FaultTraceEvent& a, const FaultTraceEvent& b) {
+              if (a.at != b.at) return a.at < b.at;
+              if (a.device != b.device) return a.device < b.device;
+              return a.label < b.label;
+            });
+  return events;
+}
+
+DeviceHealth Runtime::device_health(usize device) const {
+  return static_cast<DeviceHealth>(
+      device_states_.at(device)->health.load(std::memory_order_acquire));
 }
 
 // --- results -----------------------------------------------------------------
@@ -1118,10 +1519,20 @@ void Runtime::reset() {
     ds->stats.evictions.store(0, std::memory_order_relaxed);
     ds->stats.zero_tiles_skipped.store(0, std::memory_order_relaxed);
     ds->host_lane.reset();
+    // Revive the device: reset() models a fresh power cycle, and the
+    // injector's schedule restarts with it.
+    ds->health.store(static_cast<u8>(DeviceHealth::kHealthy),
+                     std::memory_order_release);
+    ds->health_gauge->set(0);
   }
   pool_.reset();
   scheduler_.reset();
   host_.reset();
+  if (fault_injector_ != nullptr) fault_injector_->reset();
+  {
+    MutexLock lock(fault_mu_);
+    fault_events_.clear();
+  }
   {
     MutexLock lock(tasks_mu_);
     task_ready_.clear();

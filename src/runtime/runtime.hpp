@@ -27,6 +27,7 @@
 #include <thread>
 #include <unordered_map>
 
+#include "common/status.hpp"
 #include "common/thread_annotations.hpp"
 #include "common/timeline.hpp"
 #include "runtime/buffer.hpp"
@@ -36,6 +37,7 @@
 #include "runtime/staging_cache.hpp"
 #include "runtime/tensorizer.hpp"
 #include "sim/device_pool.hpp"
+#include "sim/fault_injector.hpp"
 
 namespace gptpu::runtime {
 
@@ -81,6 +83,28 @@ struct RuntimeConfig {
   /// re-paying host preparation for unchanged buffers. Wall-clock only;
   /// off = always rebuild (ablation).
   bool host_staging_cache = true;
+  /// Deterministic fault injection (docs/FAULT_TOLERANCE.md). An empty
+  /// spec falls back to sim::FaultInjector::process_default() (how the
+  /// gptpu_cli --faults flag reaches app-constructed runtimes); if that is
+  /// empty too, no injector is built and every device boundary costs one
+  /// null-pointer branch.
+  sim::FaultConfig faults{};
+  /// How the runtime reacts to injected (or, on real hardware, observed)
+  /// device faults; see docs/FAULT_TOLERANCE.md for the state machine.
+  struct FaultPolicy {
+    /// Same-device attempts for a transient fault before the device is
+    /// declared dead (total tries = 1 + max_retries).
+    u32 max_retries = 3;
+    /// First retry waits this much virtual time; each further retry
+    /// multiplies it by backoff_multiplier.
+    Seconds backoff_base_vt = 5e-4;
+    double backoff_multiplier = 4.0;
+    /// Degrade to the kernels::reference CPU path when no device can run
+    /// a plan. Off: Runtime::invoke throws OperationFailed instead.
+    bool cpu_fallback = true;
+    /// Modelled CPU-vs-TPU slowdown charged for a fallback instruction.
+    double cpu_slowdown = 25.0;
+  } fault_policy{};
 };
 
 /// One OPQ log entry, kept for introspection, tests and ablations.
@@ -90,6 +114,24 @@ struct OpRecord {
   usize num_instructions = 0;
   Seconds virtual_start = 0;
   Seconds virtual_done = 0;
+  /// kOk unless the operation failed permanently (every placement
+  /// exhausted, CPU fallback disabled) -- the error-reporting contract
+  /// openctpu_wait/openctpu_sync document.
+  StatusCode status = StatusCode::kOk;
+};
+
+/// Per-device health as seen by the fault-tolerance layer: kHealthy until
+/// the first transient fault, kDegraded while retries succeed, kDead after
+/// a fatal fault or exhausted retries (terminal until reset()).
+enum class DeviceHealth : u8 { kHealthy = 0, kDegraded = 1, kDead = 2 };
+
+/// One fault-layer event for the Chrome trace ("i" instant events on the
+/// virtual timeline): injected faults, retries, device deaths,
+/// re-dispatches, CPU fallbacks.
+struct FaultTraceEvent {
+  Seconds at = 0;
+  usize device = 0;  // pool index; npos-like max for host-level events
+  std::string label;
 };
 
 class Runtime {
@@ -147,6 +189,17 @@ class Runtime {
   [[nodiscard]] const RuntimeConfig& config() const { return config_; }
   [[nodiscard]] const Tensorizer& tensorizer() const { return tensorizer_; }
 
+  /// Health of one device (atomic snapshot; safe while work is in flight).
+  [[nodiscard]] DeviceHealth device_health(usize device) const;
+  /// Devices the scheduler still assigns to.
+  [[nodiscard]] usize alive_devices() const {
+    return scheduler_.alive_count();
+  }
+  /// Snapshot of the fault-event log, sorted by (time, device, label) so
+  /// concurrent workers' appends export deterministically.
+  [[nodiscard]] std::vector<FaultTraceEvent> fault_trace() const
+      GPTPU_EXCLUDES(fault_mu_);
+
   /// Cache statistics (affinity effectiveness; used by tests/ablation).
   struct CacheStats {
     u64 hits = 0;
@@ -177,6 +230,13 @@ class Runtime {
     /// Position in this device's IQ (assigned at dispatch under the
     /// device mutex); indexes the staging-slot ring.
     u64 seq = 0;
+    /// Position of the plan in its operation's dispatch order; keeps
+    /// fault re-dispatch deterministic (failures are re-issued in this
+    /// order, not in worker completion order).
+    usize order = 0;
+    /// Devices this plan has already been tried on (0 = first dispatch);
+    /// bounds re-dispatch at config_.num_devices placements.
+    u32 attempts = 0;
     /// Pre-built host bytes handed over from the stage-ahead thread's
     /// slot at pop time (null = stage inline as before).
     StagingCache::PayloadPtr hint0;
@@ -206,7 +266,34 @@ class Runtime {
   /// Prepares one stage request: zero-verdict precompute plus payload
   /// builds through the staging cache, parked in the slot ring.
   void stage_ahead(DeviceState& ds, const StageRequest& req);
-  void execute_plan(DeviceState& ds, const WorkItem& item);
+  /// One attempt at a plan on a device. Non-OK statuses are fault or
+  /// capacity reports, never injected-fault exceptions: device boundaries
+  /// return Result (lint rule R7).
+  Status try_execute_plan(DeviceState& ds, const WorkItem& item,
+                          Seconds ready);
+  /// try_execute_plan plus the fault-tolerance policy: retry/backoff on
+  /// transient faults, device death on fatal ones. A non-OK return means
+  /// this device cannot run the plan (invoke() re-dispatches or falls
+  /// back; kResourceExhausted is structural and surfaces unchanged).
+  Status run_plan_with_retries(DeviceState& ds, const WorkItem& item);
+  /// Declares a device dead: health gauge, scheduler exclusion, worker
+  /// cache bookkeeping teardown. Runs on the owning worker thread.
+  void kill_device(DeviceState& ds, StatusCode code, Seconds at);
+  /// Runs one plan on the host via kernels::reference -- same quantized
+  /// inputs, bit-exact kernels, same landing math as the device path, so
+  /// results match a fault-free device run exactly.
+  void cpu_fallback_plan(OpContext& ctx, const InstructionPlan& plan);
+  /// Shared result landing (kStore/kAccumulate/kMeanPartial/kMaxPartial)
+  /// for the device readback path and the CPU fallback path.
+  void land_result(OpContext& ctx, const InstructionPlan& plan,
+                   Shape2D out_shape, const i8* narrow, const i32* wide);
+  /// Assigns one plan to an alive device (primary dispatch or fault
+  /// re-dispatch) and enqueues its work item + stage request. Returns the
+  /// scheduler's queue-wait estimate.
+  Seconds dispatch_plan(OpContext& ctx, const InstructionPlan& plan,
+                        usize order, u32 attempts);
+  void record_fault_event(usize device, Seconds at, std::string label)
+      GPTPU_EXCLUDES(fault_mu_);
   /// Host bytes for a tile: staging-cache lookup (memoized across
   /// devices and iterations) or a direct build when the cache is off.
   StagingCache::PayloadPtr staged_payload(const TileRef& tile, u64 key);
@@ -217,16 +304,22 @@ class Runtime {
   /// metrics registry. Runs after the workers joined, so every published
   /// value is a settled virtual-time quantity.
   void publish_final_metrics();
-  isa::DeviceTensorId stage_tile(DeviceState& ds, const TileRef& tile,
-                                 u64 key, StagingCache::PayloadPtr hint,
-                                 Seconds ready, Seconds* available_at);
-  void ensure_device_space(DeviceState& ds, usize bytes,
-                           std::span<const u64> pinned_keys);
+  Result<isa::DeviceTensorId> stage_tile(DeviceState& ds, const TileRef& tile,
+                                         u64 key, StagingCache::PayloadPtr hint,
+                                         Seconds ready, Seconds* available_at);
+  Status ensure_device_space(DeviceState& ds, usize bytes,
+                             std::span<const u64> pinned_keys);
   Seconds acquire_host(Seconds ready, Seconds duration, const char* label);
 
   RuntimeConfig config_;
   sim::DevicePool pool_;
   Tensorizer tensorizer_;
+
+  /// Built when config_.faults (or the process default) has a spec;
+  /// attached to every device before workers start. Null otherwise.
+  std::unique_ptr<sim::FaultInjector> fault_injector_;
+  mutable Mutex fault_mu_;
+  std::vector<FaultTraceEvent> fault_events_ GPTPU_GUARDED_BY(fault_mu_);
 
   /// Internally synchronized (see scheduler.hpp): producers assign() while
   /// workers drop_tile() on eviction.

@@ -32,7 +32,8 @@ struct SchedulerMetrics {
 Scheduler::Scheduler(usize num_devices, bool affinity_enabled)
     : affinity_enabled_(affinity_enabled),
       num_devices_(num_devices),
-      load_(num_devices, 0.0) {
+      load_(num_devices, 0.0),
+      dead_(num_devices, 0) {
   GPTPU_CHECK(num_devices >= 1, "Scheduler needs at least one device");
 }
 
@@ -47,10 +48,12 @@ Scheduler::Assignment Scheduler::assign_detailed(
   Assignment result;
   {
     MutexLock lock(mu_);
+    bool have_choice = false;
     usize chosen = 0;
     Seconds chosen_finish = 0;
     usize chosen_missing = total_bytes;
     for (usize d = 0; d < load_.size(); ++d) {
+      if (dead_[d] != 0) continue;
       usize missing = total_bytes;
       if (affinity_enabled_) {
         for (const auto& [key, bytes] : tiles) {
@@ -63,12 +66,16 @@ Scheduler::Assignment Scheduler::assign_detailed(
       const Seconds finish =
           std::max(ready, load_[d]) + instr_seconds +
           static_cast<double>(missing) * perfmodel::kLinkSecondsPerByte;
-      if (d == 0 || finish < chosen_finish) {
+      if (!have_choice || finish < chosen_finish) {
+        have_choice = true;
         chosen = d;
         chosen_finish = finish;
         chosen_missing = missing;
       }
     }
+    GPTPU_CHECK(have_choice,
+                "assign_detailed: no alive device (callers must check "
+                "alive_count() and fall back to the CPU path)");
 
     result.device = chosen;
     result.queue_wait = std::max(0.0, load_[chosen] - ready);
@@ -123,9 +130,30 @@ void Scheduler::drop_tile(usize device, u64 key) {
   if (it->second.empty()) residency_.erase(it);
 }
 
+void Scheduler::mark_dead(usize device) {
+  MutexLock lock(mu_);
+  GPTPU_CHECK(device < dead_.size(), "mark_dead: bad device index");
+  if (dead_[device] != 0) return;
+  dead_[device] = 1;
+  // The device's resident tensors are gone with it; keeping the entries
+  // would steer future plans toward phantom residency.
+  for (auto it = residency_.begin(); it != residency_.end();) {
+    it->second.erase(device);
+    it = it->second.empty() ? residency_.erase(it) : std::next(it);
+  }
+}
+
+usize Scheduler::alive_count() const {
+  MutexLock lock(mu_);
+  usize alive = 0;
+  for (const char d : dead_) alive += d == 0 ? 1 : 0;
+  return alive;
+}
+
 void Scheduler::reset() {
   MutexLock lock(mu_);
   std::fill(load_.begin(), load_.end(), 0.0);
+  std::fill(dead_.begin(), dead_.end(), 0);
   residency_.clear();
   affinity_hits_ = 0;
   affinity_misses_ = 0;

@@ -84,6 +84,18 @@ class Scheduler {
   /// Forgets a tile (evicted from a device's memory).
   void drop_tile(usize device, u64 key) GPTPU_EXCLUDES(mu_);
 
+  /// Declares a device dead: it receives no further assignments and all
+  /// of its residency entries are forgotten (a lost device's resident
+  /// tensors and affinity history are gone with it). Idempotent; called by
+  /// the runtime's fault-tolerance layer (docs/FAULT_TOLERANCE.md).
+  void mark_dead(usize device) GPTPU_EXCLUDES(mu_);
+
+  [[nodiscard]] bool is_alive(usize device) const GPTPU_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return !dead_.at(device);
+  }
+  [[nodiscard]] usize alive_count() const GPTPU_EXCLUDES(mu_);
+
   [[nodiscard]] usize num_devices() const { return num_devices_; }
   [[nodiscard]] Seconds estimated_load(usize device) const
       GPTPU_EXCLUDES(mu_) {
@@ -99,6 +111,10 @@ class Scheduler {
   mutable Mutex mu_;
   /// Estimated virtual instant each device finishes its assigned backlog.
   std::vector<Seconds> load_ GPTPU_GUARDED_BY(mu_);
+  /// Devices declared dead by mark_dead(); excluded from assignment.
+  /// std::vector<char>, not <bool>: the packed specialization has no
+  /// addressable elements for at().
+  std::vector<char> dead_ GPTPU_GUARDED_BY(mu_);
   /// tile cache key -> devices believed to hold it.
   std::unordered_map<u64, std::unordered_set<usize>> residency_
       GPTPU_GUARDED_BY(mu_);

@@ -73,6 +73,28 @@ void export_chrome_trace(const Runtime& rt, std::ostream& os,
     }
   });
 
+  // Fault-layer events (injections, retries, deaths, re-dispatches, CPU
+  // fallbacks) render as instants on a dedicated virtual-time track. The
+  // log is sorted by (time, device, label), so the export is deterministic
+  // regardless of worker interleaving. Present whenever faults fired, even
+  // without enable_tracing().
+  const std::vector<FaultTraceEvent> faults = rt.fault_trace();
+  if (!faults.empty()) {
+    ++tid;
+    emit_metadata(os, first, "thread_name", kVirtualPid, tid, "faults");
+    for (const FaultTraceEvent& e : faults) {
+      os << ",\n";
+      os << R"({"name":")";
+      if (e.device == ~usize{0}) {
+        json_escape(os, e.label);
+      } else {
+        json_escape(os, "dev" + std::to_string(e.device) + ":" + e.label);
+      }
+      os << R"(","ph":"i","s":"t","pid":)" << kVirtualPid << R"(,"tid":)"
+         << tid << R"(,"ts":)" << e.at * 1e6 << "}";
+    }
+  }
+
   if (!spans.empty()) {
     emit_metadata(os, first, "process_name", kWallPid, /*tid=*/-1,
                   "host-wall-clock");

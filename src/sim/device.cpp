@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/span_profiler.hpp"
+#include "sim/fault_injector.hpp"
 #include "sim/kernels.hpp"
 
 namespace gptpu::sim {
@@ -23,22 +24,20 @@ Device::Device(const DeviceConfig& config, const TimingModel* timing)
 
 const Device::TensorRecord& Device::record(DeviceTensorId id) const {
   const auto it = tensors_.find(id.value);
-  if (it == tensors_.end()) {
-    throw InvalidArgument("unknown device tensor id " +
-                          std::to_string(id.value));
-  }
+  GPTPU_CHECK(it != tensors_.end(),
+              "unknown device tensor id " + std::to_string(id.value));
   return it->second;
 }
 
-DeviceTensorId Device::alloc(Shape2D shape, float scale, Seconds ready,
-                             bool with_data, bool wide) {
+Result<DeviceTensorId> Device::alloc(Shape2D shape, float scale, Seconds ready,
+                                     bool with_data, bool wide) {
   const usize bytes = shape.elems() * (wide ? sizeof(i32) : sizeof(i8));
   if (bytes > config_.memory_bytes - memory_used_) {
     std::ostringstream os;
     os << "device " << config_.id << ": tensor of " << bytes
        << " bytes does not fit (used " << memory_used_ << " of "
        << config_.memory_bytes << ")";
-    throw ResourceExhausted(os.str());
+    return Status{StatusCode::kResourceExhausted, os.str()};
   }
   const DeviceTensorId id{next_id_++};
   TensorRecord rec;
@@ -52,52 +51,96 @@ DeviceTensorId Device::alloc(Shape2D shape, float scale, Seconds ready,
   return id;
 }
 
-Device::Completion Device::write_tensor(Shape2D shape, float scale,
-                                        std::span<const i8> data,
-                                        Seconds ready, Seconds link_setup) {
+// Shared transfer-boundary fault handling: on a transient fault the failed
+// attempt still occupied the wire before the (modelled) CRC check rejected
+// it, so the link time is charged; a lost device never sees the bytes.
+Status Device::consult_transfer(Seconds ready, Seconds wire_seconds) {
+  const FaultInjector::Decision d =
+      injector_->consult(config_.id, FaultInjector::Boundary::kTransfer);
+  if (d.code == StatusCode::kOk) return {};
+  if (d.code == StatusCode::kTransferError) {
+    (void)link_.acquire(ready, wire_seconds, "fault-transfer");
+    return {d.code, "injected transfer fault"};
+  }
+  return {d.code, "device lost"};
+}
+
+Result<Device::Completion> Device::write_tensor(Shape2D shape, float scale,
+                                                std::span<const i8> data,
+                                                Seconds ready,
+                                                Seconds link_setup) {
   if (config_.functional) {
     GPTPU_CHECK(data.size() == shape.elems(),
                 "write_tensor: data does not match shape");
   }
-  const Seconds done = link_.acquire(
-      ready, link_setup + timing_->transfer_latency(shape.elems()));
+  const Seconds wire = link_setup + timing_->transfer_latency(shape.elems());
+  if (injector_ != nullptr) {
+    const Status st = consult_transfer(ready, wire);
+    if (!st.ok()) return st;
+  }
+  const Seconds done = link_.acquire(ready, wire);
   MutexLock lock(mu_);
-  const DeviceTensorId id = alloc(shape, scale, done, /*with_data=*/true);
+  const auto id = alloc(shape, scale, done, /*with_data=*/true);
+  if (!id.ok()) return id.status();
   if (config_.functional) {
-    auto& rec = tensors_.at(id.value);
+    auto& rec = tensors_.at(id.value().value);
     std::copy(data.begin(), data.end(), rec.data.begin());
   }
-  return {id, done};
+  return Completion{id.value(), done};
 }
 
-Device::Completion Device::load_model(std::span<const u8> blob,
-                                      Seconds ready, Seconds link_setup) {
+Result<Device::Completion> Device::load_model(std::span<const u8> blob,
+                                              Seconds ready,
+                                              Seconds link_setup) {
+  const Seconds wire = link_setup + timing_->transfer_latency(blob.size());
+  if (injector_ != nullptr) {
+    const Status st = consult_transfer(ready, wire);
+    if (!st.ok()) return st;
+  }
   const isa::ParsedModel parsed = isa::parse_model(blob);
-  const Seconds done = link_.acquire(
-      ready, link_setup + timing_->transfer_latency(blob.size()));
+  const Seconds done = link_.acquire(ready, wire);
   MutexLock lock(mu_);
-  const DeviceTensorId id =
+  const auto id =
       alloc(parsed.info.padded, parsed.info.scale, done, /*with_data=*/true);
+  if (!id.ok()) return id.status();
   if (config_.functional) {
-    auto& rec = tensors_.at(id.value);
+    auto& rec = tensors_.at(id.value().value);
     std::copy(parsed.data.begin(), parsed.data.end(), rec.data.begin());
   }
-  return {id, done};
+  return Completion{id.value(), done};
 }
 
-Device::Completion Device::load_model_meta(const isa::ModelInfo& info,
-                                           Seconds ready,
-                                           Seconds link_setup) {
-  const Seconds done = link_.acquire(
-      ready,
-      link_setup + timing_->transfer_latency(isa::model_wire_size(info.padded)));
+Result<Device::Completion> Device::load_model_meta(const isa::ModelInfo& info,
+                                                   Seconds ready,
+                                                   Seconds link_setup) {
+  const Seconds wire =
+      link_setup + timing_->transfer_latency(isa::model_wire_size(info.padded));
+  if (injector_ != nullptr) {
+    const Status st = consult_transfer(ready, wire);
+    if (!st.ok()) return st;
+  }
+  const Seconds done = link_.acquire(ready, wire);
   MutexLock lock(mu_);
-  const DeviceTensorId id =
-      alloc(info.padded, info.scale, done, /*with_data=*/false);
-  return {id, done};
+  const auto id = alloc(info.padded, info.scale, done, /*with_data=*/false);
+  if (!id.ok()) return id.status();
+  return Completion{id.value(), done};
 }
 
-Device::Completion Device::execute(const Instruction& instr, Seconds ready) {
+Result<Device::Completion> Device::execute(const Instruction& instr,
+                                           Seconds ready) {
+  FaultInjector::Decision fault;
+  if (injector_ != nullptr) {
+    fault = injector_->consult(config_.id, FaultInjector::Boundary::kExecute);
+    if (fault.code == StatusCode::kDeviceLost) {
+      return Status{fault.code, "device lost"};
+    }
+    if (fault.code == StatusCode::kExecuteTimeout) {
+      // The hung inference occupies the compute unit until the watchdog
+      // declares the device dead.
+      (void)compute_.acquire(ready, fault.extra_latency, "fault-watchdog");
+      return Status{fault.code, "injected hang past the watchdog"};
+    }
+  }
   MutexLock lock(mu_);
   const TensorRecord& in0 = record(instr.in0);
   const TensorRecord* in1 =
@@ -111,15 +154,19 @@ Device::Completion Device::execute(const Instruction& instr, Seconds ready) {
   Seconds start = std::max(ready, in0.ready);
   if (in1 != nullptr) start = std::max(start, in1->ready);
 
+  // A sub-watchdog injected hang rides in the same compute interval.
   const Seconds done = compute_.acquire(
       start,
-      timing_->instruction_latency(instr, in0.shape, in1_shape, out_shape),
+      timing_->instruction_latency(instr, in0.shape, in1_shape, out_shape) +
+          fault.extra_latency,
       std::string(isa::name(instr.op)));
 
   const bool wide = instr.wide_output &&
                     isa::op_class(instr.op) == isa::OpClass::kArithmetic;
-  const DeviceTensorId out_id =
+  const auto out_alloc =
       alloc(out_shape, instr.out_scale, done, /*with_data=*/true, wide);
+  if (!out_alloc.ok()) return out_alloc.status();
+  const DeviceTensorId out_id = out_alloc.value();
 
   if (config_.functional) {
     GPTPU_SPAN("kernel_execute");
@@ -175,11 +222,18 @@ Device::Completion Device::execute(const Instruction& instr, Seconds ready) {
         break;
     }
   }
-  return {out_id, done};
+  return Completion{out_id, done};
 }
 
-Seconds Device::read_tensor(DeviceTensorId id, std::span<i8> out,
-                            Seconds ready) {
+Result<Seconds> Device::read_tensor(DeviceTensorId id, std::span<i8> out,
+                                    Seconds ready) {
+  FaultInjector::Decision fault;
+  if (injector_ != nullptr) {
+    fault = injector_->consult(config_.id, FaultInjector::Boundary::kReadback);
+    if (fault.code == StatusCode::kDeviceLost) {
+      return Status{fault.code, "device lost"};
+    }
+  }
   MutexLock lock(mu_);
   const TensorRecord& rec = record(id);
   GPTPU_CHECK(!rec.wide, "read_tensor on a wide tensor");
@@ -188,12 +242,31 @@ Seconds Device::read_tensor(DeviceTensorId id, std::span<i8> out,
                 "read_tensor: bad destination size");
     std::copy(rec.data.begin(), rec.data.end(), out.begin());
   }
-  return link_.acquire(std::max(ready, rec.ready),
-                       timing_->transfer_latency(rec.bytes()));
+  const Seconds done = link_.acquire(std::max(ready, rec.ready),
+                                     timing_->transfer_latency(rec.bytes()));
+  if (fault.code == StatusCode::kDataCorruption) {
+    // The transfer paid for itself before the verification failed; one bit
+    // of the copy is flipped so the corruption is real, and the caller
+    // must discard the buffer. The resident tensor is intact, so a retry
+    // re-reads clean data.
+    if (!out.empty()) {
+      auto& b = out[static_cast<usize>(fault.corrupt_bit / 8 % out.size())];
+      b = static_cast<i8>(b ^ static_cast<i8>(1 << (fault.corrupt_bit % 8)));
+    }
+    return Status{fault.code, "injected readback corruption"};
+  }
+  return done;
 }
 
-Seconds Device::read_tensor_wide(DeviceTensorId id, std::span<i32> out,
-                                 Seconds ready) {
+Result<Seconds> Device::read_tensor_wide(DeviceTensorId id, std::span<i32> out,
+                                         Seconds ready) {
+  FaultInjector::Decision fault;
+  if (injector_ != nullptr) {
+    fault = injector_->consult(config_.id, FaultInjector::Boundary::kReadback);
+    if (fault.code == StatusCode::kDeviceLost) {
+      return Status{fault.code, "device lost"};
+    }
+  }
   MutexLock lock(mu_);
   const TensorRecord& rec = record(id);
   GPTPU_CHECK(rec.wide, "read_tensor_wide on a narrow tensor");
@@ -202,17 +275,23 @@ Seconds Device::read_tensor_wide(DeviceTensorId id, std::span<i32> out,
                 "read_tensor_wide: bad destination size");
     std::memcpy(out.data(), rec.data.data(), rec.data.size());
   }
-  return link_.acquire(std::max(ready, rec.ready),
-                       timing_->transfer_latency(rec.bytes()));
+  const Seconds done = link_.acquire(std::max(ready, rec.ready),
+                                     timing_->transfer_latency(rec.bytes()));
+  if (fault.code == StatusCode::kDataCorruption) {
+    if (!out.empty()) {
+      auto& w = out[static_cast<usize>(fault.corrupt_bit / 32 % out.size())];
+      w ^= i32{1} << (fault.corrupt_bit % 32);
+    }
+    return Status{fault.code, "injected readback corruption"};
+  }
+  return done;
 }
 
 void Device::free_tensor(DeviceTensorId id) {
   MutexLock lock(mu_);
   const auto it = tensors_.find(id.value);
-  if (it == tensors_.end()) {
-    throw InvalidArgument("free_tensor: unknown id " +
-                          std::to_string(id.value));
-  }
+  GPTPU_CHECK(it != tensors_.end(),
+              "free_tensor: unknown id " + std::to_string(id.value));
   memory_used_ -= it->second.bytes();
   tensors_.erase(it);
 }

@@ -26,6 +26,7 @@
 #include <unordered_map>
 
 #include "common/matrix.hpp"
+#include "common/status.hpp"
 #include "common/thread_annotations.hpp"
 #include "common/timeline.hpp"
 #include "isa/instruction.hpp"
@@ -37,6 +38,8 @@ class ThreadPool;
 }  // namespace gptpu
 
 namespace gptpu::sim {
+
+class FaultInjector;
 
 struct DeviceConfig {
   u32 id = 0;
@@ -58,40 +61,50 @@ class Device {
     Seconds done = 0;
   };
 
+  // Every fallible boundary below returns Result instead of throwing:
+  // these methods run on runtime worker threads, where an escaping
+  // exception would std::terminate the process (lint rule R7 bans the
+  // throw keyword in device.cpp). Capacity misses surface as
+  // kResourceExhausted; an attached FaultInjector adds the fault codes in
+  // common/status.hpp. Precondition violations (bad sizes, unknown ids)
+  // remain GPTPU_CHECK bugs, not statuses.
+
   /// Allocates an on-chip tensor and transfers `data` into it over the
   /// link. `data` must hold shape.elems() values, or be empty in
   /// timing-only mode. `link_setup` seconds of host-side preparation are
   /// charged serially on the link before the transfer (used when model
-  /// creation is not overlapped with data movement; see §6.2.3). Throws
-  /// ResourceExhausted when the tensor does not fit.
-  Completion write_tensor(Shape2D shape, float scale,
-                          std::span<const i8> data, Seconds ready,
-                          Seconds link_setup = 0) GPTPU_EXCLUDES(mu_);
+  /// creation is not overlapped with data movement; see §6.2.3). Returns
+  /// kResourceExhausted when the tensor does not fit.
+  Result<Completion> write_tensor(Shape2D shape, float scale,
+                                  std::span<const i8> data, Seconds ready,
+                                  Seconds link_setup = 0) GPTPU_EXCLUDES(mu_);
 
   /// Loads a serialized model blob (isa::parse_model) into on-chip memory.
   /// The transfer is charged for the full wire size of the blob.
-  Completion load_model(std::span<const u8> blob, Seconds ready,
-                        Seconds link_setup = 0) GPTPU_EXCLUDES(mu_);
+  Result<Completion> load_model(std::span<const u8> blob, Seconds ready,
+                                Seconds link_setup = 0) GPTPU_EXCLUDES(mu_);
 
   /// Timing-only variant: loads a model described by `info` without data.
-  Completion load_model_meta(const isa::ModelInfo& info, Seconds ready,
-                             Seconds link_setup = 0) GPTPU_EXCLUDES(mu_);
+  Result<Completion> load_model_meta(const isa::ModelInfo& info, Seconds ready,
+                                     Seconds link_setup = 0)
+      GPTPU_EXCLUDES(mu_);
 
   /// Executes one instruction whose operands are resident tensors,
   /// allocating the output tensor. Functional mode computes real values;
   /// both modes advance the compute unit's clock.
-  Completion execute(const isa::Instruction& instr, Seconds ready)
+  Result<Completion> execute(const isa::Instruction& instr, Seconds ready)
       GPTPU_EXCLUDES(mu_);
 
   /// Transfers a tensor back to the host. `out` must hold elems() values
   /// (ignored, may be empty, in timing-only mode). Returns the modelled
-  /// completion time.
-  Seconds read_tensor(isa::DeviceTensorId id, std::span<i8> out,
-                      Seconds ready) GPTPU_EXCLUDES(mu_);
+  /// completion time. On an injected kDataCorruption the destination holds
+  /// a corrupted copy (one flipped bit) that the caller must discard.
+  Result<Seconds> read_tensor(isa::DeviceTensorId id, std::span<i8> out,
+                              Seconds ready) GPTPU_EXCLUDES(mu_);
 
   /// Reads a wide (int32 accumulator) tensor; 4x the transfer volume.
-  Seconds read_tensor_wide(isa::DeviceTensorId id, std::span<i32> out,
-                           Seconds ready) GPTPU_EXCLUDES(mu_);
+  Result<Seconds> read_tensor_wide(isa::DeviceTensorId id, std::span<i32> out,
+                                   Seconds ready) GPTPU_EXCLUDES(mu_);
 
   void free_tensor(isa::DeviceTensorId id) GPTPU_EXCLUDES(mu_);
 
@@ -147,6 +160,11 @@ class Device {
   /// invert a lock order or stall the owning worker.
   void set_compute_pool(ThreadPool* pool) { compute_pool_ = pool; }
 
+  /// Attaches a fault injector the boundary methods consult (nullptr, the
+  /// default, costs exactly one branch per boundary). Set at Runtime
+  /// construction, before any worker drives the device.
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+
  private:
   struct TensorRecord {
     Shape2D shape{};
@@ -161,13 +179,18 @@ class Device {
   };
 
   const TensorRecord& record(isa::DeviceTensorId id) const GPTPU_REQUIRES(mu_);
-  isa::DeviceTensorId alloc(Shape2D shape, float scale, Seconds ready,
-                            bool with_data, bool wide = false)
+  /// Consults the injector at a transfer boundary; non-OK means the
+  /// transfer must not proceed (the link time is charged for transient
+  /// failures -- the wire was occupied before the CRC check rejected it).
+  Status consult_transfer(Seconds ready, Seconds wire_seconds);
+  Result<isa::DeviceTensorId> alloc(Shape2D shape, float scale, Seconds ready,
+                                    bool with_data, bool wide = false)
       GPTPU_REQUIRES(mu_);
 
   DeviceConfig config_;
   const TimingModel* timing_;
-  ThreadPool* compute_pool_ = nullptr;  // written before workers start
+  ThreadPool* compute_pool_ = nullptr;    // written before workers start
+  FaultInjector* injector_ = nullptr;     // written before workers start
   VirtualResource compute_;
   VirtualResource link_;
   mutable Mutex mu_;

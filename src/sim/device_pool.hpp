@@ -37,6 +37,12 @@ class DevicePool {
   /// Sum of busy time across all devices (for active-energy integration).
   [[nodiscard]] Seconds total_active_time() const;
 
+  /// Attaches one fault injector to every device (nullptr detaches). Must
+  /// run before workers start driving the pool, like set_compute_pool.
+  void set_fault_injector(FaultInjector* injector) {
+    for (auto& dev : devices_) dev->set_fault_injector(injector);
+  }
+
   void reset();
 
  private:

@@ -1,0 +1,248 @@
+#include "sim/fault_injector.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <sstream>
+
+#include "common/metrics.hpp"
+
+namespace gptpu::sim {
+
+namespace {
+
+/// fault.injected lives in the virtual metrics domain on purpose: fault
+/// schedules are positional in the deterministic boundary-op sequence, so
+/// the count is replayable and belongs in the byte-stable JSON slice.
+metrics::Counter& injected_counter() {
+  static metrics::Counter& c =
+      metrics::MetricRegistry::global().counter("fault.injected");
+  return c;
+}
+
+struct ProcessDefault {
+  Mutex mu;
+  FaultConfig config GPTPU_GUARDED_BY(mu);
+};
+
+ProcessDefault& process_default_slot() {
+  static ProcessDefault slot;
+  return slot;
+}
+
+[[noreturn]] void spec_error(std::string_view clause, const std::string& why) {
+  std::ostringstream os;
+  os << "fault spec clause '" << clause << "': " << why;
+  throw InvalidArgument(os.str());
+}
+
+u64 parse_u64(std::string_view clause, std::string_view text,
+              const char* what) {
+  u64 value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) {
+    spec_error(clause, std::string("cannot parse ") + what + " '" +
+                           std::string(text) + "'");
+  }
+  return value;
+}
+
+double parse_double(std::string_view clause, std::string_view text,
+                    const char* what) {
+  try {
+    usize used = 0;
+    const double value = std::stod(std::string(text), &used);
+    if (used != text.size()) throw std::invalid_argument("trailing junk");
+    return value;
+  } catch (const std::exception&) {
+    spec_error(clause, std::string("cannot parse ") + what + " '" +
+                           std::string(text) + "'");
+  }
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(const FaultConfig& config, usize num_devices)
+    : config_(config) {
+  MutexLock lock(mu_);
+  devices_.resize(num_devices);
+  GPTPU_CHECK(config_.watchdog_vt > 0, "fault watchdog must be positive");
+
+  std::string_view spec = config_.spec;
+  while (!spec.empty()) {
+    const usize semi = spec.find(';');
+    std::string_view clause = trim(spec.substr(0, semi));
+    spec = semi == std::string_view::npos ? std::string_view{}
+                                          : spec.substr(semi + 1);
+    if (clause.empty()) continue;
+
+    // target ':' kind '@' where
+    const usize colon = clause.find(':');
+    if (colon == std::string_view::npos) spec_error(clause, "missing ':'");
+    const std::string_view target = trim(clause.substr(0, colon));
+    std::string_view body = trim(clause.substr(colon + 1));
+    const usize at_sign = body.find('@');
+    if (at_sign == std::string_view::npos) spec_error(clause, "missing '@'");
+    const std::string_view kind_text = trim(body.substr(0, at_sign));
+    std::string_view where = trim(body.substr(at_sign + 1));
+
+    Clause parsed;
+    if (kind_text == "transient") {
+      parsed.kind = Kind::kTransient;
+    } else if (kind_text == "hang") {
+      parsed.kind = Kind::kHang;
+      parsed.hang_vt = 2 * config_.watchdog_vt;  // fatal unless overridden
+      const usize hang_colon = where.find(':');
+      if (hang_colon != std::string_view::npos) {
+        parsed.hang_vt = parse_double(clause, trim(where.substr(hang_colon + 1)),
+                                      "hang seconds");
+        if (parsed.hang_vt <= 0) spec_error(clause, "hang seconds must be > 0");
+        where = trim(where.substr(0, hang_colon));
+      }
+    } else if (kind_text == "loss") {
+      parsed.kind = Kind::kLoss;
+    } else if (kind_text == "bitflip") {
+      parsed.kind = Kind::kBitFlip;
+    } else {
+      spec_error(clause, "unknown kind '" + std::string(kind_text) +
+                             "' (transient|hang|loss|bitflip)");
+    }
+
+    if (parsed.kind == Kind::kTransient && !where.empty() &&
+        where.front() == 'p') {
+      parsed.prob = parse_double(clause, where.substr(1), "probability");
+      if (parsed.prob <= 0 || parsed.prob > 1) {
+        spec_error(clause, "probability must be in (0, 1]");
+      }
+    } else {
+      const usize x = where.find('x');
+      if (x != std::string_view::npos) {
+        if (parsed.kind == Kind::kLoss) {
+          spec_error(clause, "loss takes no repeat count");
+        }
+        parsed.count =
+            parse_u64(clause, trim(where.substr(x + 1)), "repeat count");
+        if (parsed.count == 0) spec_error(clause, "repeat count must be > 0");
+        where = trim(where.substr(0, x));
+      }
+      parsed.at = parse_u64(clause, where, "op index");
+    }
+
+    if (target == "all") {
+      for (auto& dev : devices_) dev.clauses.push_back(parsed);
+    } else if (target.size() > 3 && target.substr(0, 3) == "dev") {
+      const u64 index = parse_u64(clause, target.substr(3), "device index");
+      if (index >= devices_.size()) {
+        spec_error(clause, "device index out of range (have " +
+                               std::to_string(devices_.size()) + " devices)");
+      }
+      devices_[static_cast<usize>(index)].clauses.push_back(parsed);
+    } else {
+      spec_error(clause, "target must be devN or all");
+    }
+  }
+  seed_schedules();
+}
+
+void FaultInjector::seed_schedules() {
+  for (usize d = 0; d < devices_.size(); ++d) {
+    auto& dev = devices_[d];
+    for (auto& n : dev.ops) n = 0;
+    dev.total_ops = 0;
+    dev.lost = false;
+    // Distinct deterministic stream per device.
+    dev.rng = Rng(config_.seed ^ (0x9e3779b97f4a7c15ULL * (d + 1)));
+  }
+}
+
+void FaultInjector::reset() {
+  MutexLock lock(mu_);
+  seed_schedules();
+}
+
+FaultInjector::Decision FaultInjector::consult(u32 device, Boundary boundary) {
+  MutexLock lock(mu_);
+  GPTPU_CHECK(device < devices_.size(), "fault consult: bad device index");
+  auto& dev = devices_[device];
+
+  const u64 op = dev.ops[static_cast<usize>(boundary)]++;
+  const u64 total = dev.total_ops++;
+
+  Decision decision;
+  if (dev.lost) {
+    decision.code = StatusCode::kDeviceLost;
+    return decision;  // already counted as injected when the loss fired
+  }
+
+  for (const Clause& clause : dev.clauses) {
+    switch (clause.kind) {
+      case Kind::kLoss:
+        if (total >= clause.at) {
+          dev.lost = true;
+          decision.code = StatusCode::kDeviceLost;
+        }
+        break;
+      case Kind::kTransient:
+        if (boundary != Boundary::kTransfer) break;
+        if (clause.prob >= 0 ? dev.rng.next_double() < clause.prob
+                             : (op >= clause.at && op < clause.at + clause.count)) {
+          decision.code = StatusCode::kTransferError;
+        }
+        break;
+      case Kind::kHang:
+        if (boundary != Boundary::kExecute) break;
+        if (op >= clause.at && op < clause.at + clause.count) {
+          if (clause.hang_vt >= config_.watchdog_vt) {
+            decision.code = StatusCode::kExecuteTimeout;
+            decision.extra_latency = config_.watchdog_vt;
+          } else {
+            decision.extra_latency = clause.hang_vt;
+          }
+        }
+        break;
+      case Kind::kBitFlip:
+        if (boundary != Boundary::kReadback) break;
+        if (op >= clause.at && op < clause.at + clause.count) {
+          decision.code = StatusCode::kDataCorruption;
+          decision.corrupt_bit = dev.rng.next_u64();
+        }
+        break;
+    }
+    if (decision.code != StatusCode::kOk) break;
+  }
+
+  if (decision.code != StatusCode::kOk || decision.extra_latency > 0) {
+    ++injected_;
+    injected_counter().add(1);
+  }
+  return decision;
+}
+
+u64 FaultInjector::injected() const {
+  MutexLock lock(mu_);
+  return injected_;
+}
+
+void FaultInjector::set_process_default(const FaultConfig& config) {
+  auto& slot = process_default_slot();
+  MutexLock lock(slot.mu);
+  slot.config = config;
+}
+
+FaultConfig FaultInjector::process_default() {
+  auto& slot = process_default_slot();
+  MutexLock lock(slot.mu);
+  return slot.config;
+}
+
+}  // namespace gptpu::sim

@@ -1,0 +1,129 @@
+// Deterministic, seeded fault injection for the simulated device pool.
+//
+// A FaultInjector owns a per-device fault schedule parsed from a compact
+// spec string (grammar below, full reference in docs/FAULT_TOLERANCE.md).
+// sim::Device consults it at every fallible boundary -- host->device
+// transfers (write_tensor / load_model), execute, and result readback --
+// and converts the returned Decision into a Status on its Result path, so
+// faults never throw through the runtime's worker threads.
+//
+// Spec grammar (';'-separated clauses, whitespace ignored):
+//
+//   clause     := target ':' kind '@' where
+//   target     := 'dev' N | 'all'
+//   kind/where := 'transient' '@' (K ['x' C] | 'p' P)
+//               | 'hang'      '@' K ['x' C] [':' S]
+//               | 'loss'      '@' K
+//               | 'bitflip'   '@' K ['x' C]
+//
+//   transient  -- transfer ops K..K+C-1 (C defaults to 1) fail with
+//                 kTransferError; 'pP' instead fails each transfer with
+//                 probability P (seeded, deterministic).
+//   hang       -- execute ops K..K+C-1 stall S virtual seconds (default
+//                 2x the watchdog). S below the watchdog is pure extra
+//                 latency; at or past it the watchdog fires and the
+//                 decision is kExecuteTimeout.
+//   loss       -- the device drops off the bus at its K-th boundary op
+//                 (transfers + executes + readbacks combined) and every
+//                 later call returns kDeviceLost.
+//   bitflip    -- readback ops K..K+C-1 return kDataCorruption with a
+//                 seeded bit index for the device to flip in the result.
+//
+// Examples: "dev1:loss@40", "all:transient@p0.02", "dev0:hang@10:0.001",
+// "dev0:transient@3x2;dev1:bitflip@7".
+//
+// Every counter that feeds a decision is per-device and advances exactly
+// once per boundary call, so a fixed {spec, seed} pair replays the same
+// fault sequence on every run -- the basis of the replay determinism test.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/status.hpp"
+#include "common/thread_annotations.hpp"
+#include "common/types.hpp"
+
+namespace gptpu::sim {
+
+/// Fault-injection configuration carried on RuntimeConfig. An empty spec
+/// means no injector is constructed and the device boundaries cost one
+/// null-pointer branch each.
+struct FaultConfig {
+  /// Fault schedule in the grammar above; empty disables injection.
+  std::string spec;
+  /// Seed for probabilistic clauses and bit-flip positions.
+  u64 seed = 0x6a017;
+  /// Virtual seconds after which a hung execute is declared dead.
+  Seconds watchdog_vt = 0.25;
+
+  [[nodiscard]] bool enabled() const { return !spec.empty(); }
+};
+
+class FaultInjector {
+ public:
+  enum class Boundary : u8 { kTransfer, kExecute, kReadback };
+
+  /// What the device should do at a boundary: proceed (kOk, possibly with
+  /// extra modelled latency from a sub-watchdog hang), or fail with the
+  /// given code. corrupt_bit picks the flipped bit for kDataCorruption.
+  struct Decision {
+    StatusCode code = StatusCode::kOk;
+    Seconds extra_latency = 0;
+    u64 corrupt_bit = 0;
+  };
+
+  /// Parses the spec; throws InvalidArgument on grammar errors (this runs
+  /// on the caller's thread at Runtime construction, never on a worker).
+  FaultInjector(const FaultConfig& config, usize num_devices);
+
+  /// Called by Device at each fallible boundary. Advances the device's
+  /// schedule position and returns the scheduled decision. Thread-safe.
+  Decision consult(u32 device, Boundary boundary) GPTPU_EXCLUDES(mu_);
+
+  /// Total faults fired so far (also published as the fault.injected
+  /// counter).
+  [[nodiscard]] u64 injected() const GPTPU_EXCLUDES(mu_);
+
+  [[nodiscard]] Seconds watchdog() const { return config_.watchdog_vt; }
+  [[nodiscard]] const FaultConfig& config() const { return config_; }
+
+  /// Rewinds every schedule to its initial state (counters, loss flags,
+  /// rng streams) so a reset Runtime replays the same fault sequence.
+  void reset() GPTPU_EXCLUDES(mu_);
+
+  /// Process-wide default consulted by Runtime when its own config has no
+  /// spec -- how gptpu_cli's --faults flag reaches the Runtimes that app
+  /// helpers construct internally.
+  static void set_process_default(const FaultConfig& config);
+  [[nodiscard]] static FaultConfig process_default();
+
+ private:
+  enum class Kind : u8 { kTransient, kHang, kLoss, kBitFlip };
+
+  struct Clause {
+    Kind kind = Kind::kTransient;
+    u64 at = 0;        // first matching boundary op (per-kind counter)
+    u64 count = 1;     // how many consecutive ops fail
+    double prob = -1;  // transient: per-op probability; <0 = positional
+    Seconds hang_vt = 0;
+  };
+
+  struct DeviceSchedule {
+    std::vector<Clause> clauses;
+    u64 ops[3] = {0, 0, 0};  // per-Boundary counters
+    u64 total_ops = 0;
+    bool lost = false;
+    Rng rng{0};
+  };
+
+  void seed_schedules() GPTPU_REQUIRES(mu_);
+
+  const FaultConfig config_;
+  mutable Mutex mu_;
+  std::vector<DeviceSchedule> devices_ GPTPU_GUARDED_BY(mu_);
+  u64 injected_ GPTPU_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace gptpu::sim

@@ -1,5 +1,9 @@
 // Device tests: on-chip memory accounting, transfers over the link model,
 // wide tensors, model loading, timing-only mode and clock behaviour.
+//
+// Device boundary calls return Result<T> (common/status.hpp): worker
+// threads must never unwind through a throw, so even pre-fault structural
+// errors like over-capacity arrive as statuses here.
 #include <gtest/gtest.h>
 
 #include "common/rng.hpp"
@@ -26,9 +30,9 @@ std::vector<i8> bytes(usize n, i8 fill = 1) { return std::vector<i8>(n, fill); }
 TEST(DeviceMemory, AccountsAllocationsAndFrees) {
   Fixture f;
   EXPECT_EQ(f.dev.memory_used(), 0u);
-  const auto a = f.dev.write_tensor({100, 100}, 1.0f, bytes(10000), 0.0);
+  const auto a = f.dev.write_tensor({100, 100}, 1.0f, bytes(10000), 0.0).value();
   EXPECT_EQ(f.dev.memory_used(), 10000u);
-  const auto b = f.dev.write_tensor({10, 10}, 1.0f, bytes(100), 0.0);
+  const auto b = f.dev.write_tensor({10, 10}, 1.0f, bytes(100), 0.0).value();
   EXPECT_EQ(f.dev.memory_used(), 10100u);
   f.dev.free_tensor(a.id);
   EXPECT_EQ(f.dev.memory_used(), 100u);
@@ -36,26 +40,32 @@ TEST(DeviceMemory, AccountsAllocationsAndFrees) {
   EXPECT_EQ(f.dev.memory_used(), 0u);
 }
 
-TEST(DeviceMemory, OverCapacityThrows) {
+TEST(DeviceMemory, OverCapacityReturnsResourceExhaustedStatus) {
   Fixture f(true, 1000);
-  EXPECT_THROW(
-      (void)f.dev.write_tensor({40, 40}, 1.0f, bytes(1600), 0.0),
-      ResourceExhausted);
-  // Failed allocation must not leak accounting.
+  const auto r = f.dev.write_tensor({40, 40}, 1.0f, bytes(1600), 0.0);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(r.status().message().find("does not fit"), std::string::npos);
+  // Failed allocation must not leak accounting, and the device must stay
+  // usable for requests that do fit.
   EXPECT_EQ(f.dev.memory_used(), 0u);
+  const auto ok = f.dev.write_tensor({10, 10}, 1.0f, bytes(100), 0.0);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(f.dev.memory_used(), 100u);
 }
 
 TEST(DeviceMemory, WideTensorsCostFourBytesPerElement) {
   Fixture f;
-  const auto in = f.dev.write_tensor({1, 64}, 1.0f, bytes(64), 0.0);
-  const auto w = f.dev.write_tensor({64, 64}, 1.0f, bytes(64 * 64), 0.0);
+  const auto in = f.dev.write_tensor({1, 64}, 1.0f, bytes(64), 0.0).value();
+  const auto w =
+      f.dev.write_tensor({64, 64}, 1.0f, bytes(64 * 64), 0.0).value();
   Instruction fc;
   fc.op = Opcode::kFullyConnected;
   fc.in0 = in.id;
   fc.in1 = w.id;
   fc.wide_output = true;
   const usize before = f.dev.memory_used();
-  const auto out = f.dev.execute(fc, 0.0);
+  const auto out = f.dev.execute(fc, 0.0).value();
   EXPECT_EQ(f.dev.memory_used() - before, 64u * 4);
   f.dev.free_tensor(out.id);
   EXPECT_EQ(f.dev.memory_used(), before);
@@ -63,9 +73,10 @@ TEST(DeviceMemory, WideTensorsCostFourBytesPerElement) {
 
 TEST(DeviceTransfers, LatencyIsSizeLinear) {
   Fixture f(false, 16 << 20);
-  const auto small = f.dev.write_tensor({1 << 20, 1}, 1.0f, {}, 0.0);
+  const auto small = f.dev.write_tensor({1 << 20, 1}, 1.0f, {}, 0.0).value();
   const Seconds t1 = small.done;
-  const auto big = f.dev.write_tensor({2 << 20, 1}, 1.0f, {}, small.done);
+  const auto big =
+      f.dev.write_tensor({2 << 20, 1}, 1.0f, {}, small.done).value();
   const Seconds t2 = big.done - small.done;
   // 2 MB costs twice 1 MB up to the fixed setup term.
   EXPECT_NEAR(t2 / t1, 2.0, 0.05);
@@ -74,18 +85,18 @@ TEST(DeviceTransfers, LatencyIsSizeLinear) {
 
 TEST(DeviceTransfers, LinkSerializesBackToBack) {
   Fixture f(false, 16 << 20);
-  const auto a = f.dev.write_tensor({1 << 20, 1}, 1.0f, {}, 0.0);
-  const auto b = f.dev.write_tensor({1 << 20, 1}, 1.0f, {}, 0.0);
+  const auto a = f.dev.write_tensor({1 << 20, 1}, 1.0f, {}, 0.0).value();
+  const auto b = f.dev.write_tensor({1 << 20, 1}, 1.0f, {}, 0.0).value();
   EXPECT_GE(b.done, 2 * a.done * 0.99);
 }
 
 TEST(DeviceExecute, WaitsForOperandTransfers) {
   Fixture f;
-  const auto a = f.dev.write_tensor({64, 64}, 1.0f, bytes(4096), 0.0);
+  const auto a = f.dev.write_tensor({64, 64}, 1.0f, bytes(4096), 0.0).value();
   Instruction relu;
   relu.op = Opcode::kReLu;
   relu.in0 = a.id;
-  const auto done = f.dev.execute(relu, 0.0);
+  const auto done = f.dev.execute(relu, 0.0).value();
   EXPECT_GT(done.done, a.done);  // cannot start before the data arrives
 }
 
@@ -96,15 +107,15 @@ TEST(DeviceExecute, FunctionalResultsAreReadable) {
   fill_uniform(raw, rng, -5, 5);
   const float s = quant::input_scale(quant::calibrate(raw.span()));
   const auto q = quant::quantize(raw.span(), s);
-  const auto t = f.dev.write_tensor({4, 4}, s, q, 0.0);
+  const auto t = f.dev.write_tensor({4, 4}, s, q, 0.0).value();
 
   Instruction relu;
   relu.op = Opcode::kReLu;
   relu.in0 = t.id;
   relu.out_scale = s;
-  const auto out = f.dev.execute(relu, 0.0);
+  const auto out = f.dev.execute(relu, 0.0).value();
   std::vector<i8> result(16);
-  f.dev.read_tensor(out.id, result, out.done);
+  ASSERT_TRUE(f.dev.read_tensor(out.id, result, out.done).ok());
   for (usize i = 0; i < 16; ++i) {
     const float expect = std::max(0.0f, raw.span()[i]);
     EXPECT_NEAR(result[i] / s, expect, quant::max_quant_error(s) * 2);
@@ -117,7 +128,7 @@ TEST(DeviceModels, LoadModelParsesWireFormat) {
   Rng rng(2);
   fill_uniform(raw, rng, -3, 3);
   const auto blob = isa::build_model(raw.view(), 20.0f, {1, 1});
-  const auto m = f.dev.load_model(blob, 0.0);
+  const auto m = f.dev.load_model(blob, 0.0).value();
   EXPECT_EQ(f.dev.tensor_shape(m.id), (Shape2D{8, 8}));
   EXPECT_FLOAT_EQ(f.dev.tensor_scale(m.id), 20.0f);
   // The transfer was charged for the full wire size, not just the data.
@@ -129,9 +140,11 @@ TEST(DeviceModels, MetaLoadMatchesTimingOfRealLoad) {
   Fixture meta(false, 1 << 20);
   Matrix<float> raw(32, 32);
   const auto blob = isa::build_model(raw.view(), 1.0f, {1, 1});
-  const auto a = real.dev.load_model(blob, 0.0);
-  const auto b = meta.dev.load_model_meta(
-      isa::ModelInfo{{32, 32}, {32, 32}, 1.0f}, 0.0);
+  const auto a = real.dev.load_model(blob, 0.0).value();
+  const auto b = meta.dev
+                     .load_model_meta(
+                         isa::ModelInfo{{32, 32}, {32, 32}, 1.0f}, 0.0)
+                     .value();
   EXPECT_DOUBLE_EQ(a.done, b.done);
 }
 
@@ -139,7 +152,7 @@ TEST(DeviceErrors, UnknownIdsAndWrongModesThrow) {
   Fixture f;
   EXPECT_THROW((void)f.dev.tensor_shape(DeviceTensorId{99}), InvalidArgument);
   EXPECT_THROW(f.dev.free_tensor(DeviceTensorId{99}), InvalidArgument);
-  const auto t = f.dev.write_tensor({2, 2}, 1.0f, bytes(4), 0.0);
+  const auto t = f.dev.write_tensor({2, 2}, 1.0f, bytes(4), 0.0).value();
   std::vector<i32> wide(4);
   EXPECT_THROW((void)f.dev.read_tensor_wide(t.id, wide, 0.0),
                InvalidArgument);
@@ -166,17 +179,17 @@ TEST(DevicePool, MakespanIsMaxAcrossDevices) {
 
 TEST(DeviceTimingOnly, ExecutesWithoutData) {
   Fixture f(false);
-  const auto a = f.dev.write_tensor({64, 64}, 1.0f, {}, 0.0);
-  const auto b = f.dev.write_tensor({64, 64}, 1.0f, {}, 0.0);
+  const auto a = f.dev.write_tensor({64, 64}, 1.0f, {}, 0.0).value();
+  const auto b = f.dev.write_tensor({64, 64}, 1.0f, {}, 0.0).value();
   Instruction add;
   add.op = Opcode::kAdd;
   add.in0 = a.id;
   add.in1 = b.id;
-  const auto out = f.dev.execute(add, 0.0);
+  const auto out = f.dev.execute(add, 0.0).value();
   EXPECT_GT(out.done, 0.0);
   EXPECT_THROW((void)f.dev.tensor_data(out.id), InvalidArgument);
   // Read-back still advances the clock.
-  const Seconds done = f.dev.read_tensor(out.id, {}, out.done);
+  const Seconds done = f.dev.read_tensor(out.id, {}, out.done).value();
   EXPECT_GT(done, out.done);
 }
 

@@ -517,6 +517,118 @@ TEST(RaceStress, StagerExecutorSlotHandoffUnderLoad) {
 }
 
 // ---------------------------------------------------------------------------
+// Fault tolerance: health writers vs. scheduler/introspection readers.
+//
+// Worker threads write per-device health (degrade on transient faults,
+// kill on the dev1 loss) and tear down residency via mark_dead while
+// producers keep dispatching through the scheduler and a reader thread
+// polls device_health / alive_devices / fault_trace mid-flight. Every
+// interleaving the fault layer allows must be clean under TSan: health is
+// an atomic, the fault-event log and the scheduler's dead set take locks.
+// ---------------------------------------------------------------------------
+TEST(RaceStress, FaultHealthWritersVersusSchedulerReaders) {
+  RuntimeConfig cfg;
+  cfg.num_devices = 3;
+  cfg.affinity = false;  // spread plans so every device sees boundary ops
+  cfg.faults.spec = "dev1:loss@10;dev2:transient@p0.05;dev0:bitflip@6";
+  Runtime rt{cfg};
+
+  constexpr usize kProducers = 6;
+  constexpr usize kOpsPerThread = 10;
+  const Shape2D shape{64, 64};
+
+  struct ThreadData {
+    std::vector<Matrix<float>> a, b, c;
+    u64 task = 0;
+  };
+  std::vector<ThreadData> data(kProducers);
+  for (usize t = 0; t < kProducers; ++t) {
+    Rng rng(4200 + t);
+    data[t].task = rt.begin_task();
+    for (usize i = 0; i < kOpsPerThread; ++i) {
+      Matrix<float> a(shape), b(shape), c(shape);
+      fill_uniform(a, rng, -4, 4);
+      fill_uniform(b, rng, -4, 4);
+      data[t].a.push_back(std::move(a));
+      data[t].b.push_back(std::move(b));
+      data[t].c.push_back(std::move(c));
+    }
+  }
+
+  std::atomic<bool> done{false};
+  std::atomic<usize> reader_iters{0};
+  std::thread reader([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      usize dead = 0;
+      for (usize d = 0; d < cfg.num_devices; ++d) {
+        const DeviceHealth h = rt.device_health(d);
+        EXPECT_TRUE(h == DeviceHealth::kHealthy ||
+                    h == DeviceHealth::kDegraded || h == DeviceHealth::kDead);
+        dead += h == DeviceHealth::kDead ? 1 : 0;
+      }
+      const usize alive = rt.alive_devices();
+      EXPECT_LE(alive, cfg.num_devices);
+      EXPECT_LE(dead, cfg.num_devices - alive + 1)
+          << "health and scheduler exclusion drifted apart";
+      // The snapshot is taken while workers append; it must come back
+      // sorted (the accessor's determinism contract) and well-formed.
+      const auto events = rt.fault_trace();
+      for (usize i = 1; i < events.size(); ++i) {
+        EXPECT_LE(events[i - 1].at, events[i].at);
+      }
+      reader_iters.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+
+  std::vector<std::thread> producers;
+  std::vector<std::exception_ptr> errors(kProducers);
+  for (usize t = 0; t < kProducers; ++t) {
+    producers.emplace_back([&, t] {
+      try {
+        for (usize i = 0; i < kOpsPerThread; ++i) {
+          OperationRequest req;
+          req.task_id = data[t].task;
+          req.op = i % 2 == 0 ? Opcode::kAdd : Opcode::kMul;
+          req.in0 = rt.create_buffer(shape, data[t].a[i].data());
+          req.in1 = rt.create_buffer(shape, data[t].b[i].data());
+          req.out = rt.create_buffer(shape, data[t].c[i].data());
+          rt.invoke(req);
+        }
+      } catch (...) {
+        errors[t] = std::current_exception();
+      }
+    });
+  }
+  for (auto& th : producers) th.join();
+  done.store(true, std::memory_order_release);
+  reader.join();
+  for (const auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+
+  EXPECT_GT(reader_iters.load(), 0u);
+  // dev1 saw far more than 10 boundary ops, so the loss clause must have
+  // fired and every operation must still have completed (re-dispatch or
+  // CPU fallback, never an error).
+  EXPECT_EQ(rt.device_health(1), DeviceHealth::kDead);
+  EXPECT_LE(rt.alive_devices(), 2u);
+  EXPECT_EQ(rt.opq_log().size(), kProducers * kOpsPerThread);
+  for (const OpRecord& rec : rt.opq_log()) {
+    EXPECT_EQ(rec.status, StatusCode::kOk);
+  }
+  // Tolerated faults must not corrupt results.
+  for (usize t = 0; t < kProducers; ++t) {
+    for (usize i = 0; i < kOpsPerThread; ++i) {
+      const float a = data[t].a[i](7, 9);
+      const float b = data[t].b[i](7, 9);
+      const double expect = i % 2 == 0 ? a + b : a * b;
+      ASSERT_NEAR(data[t].c[i](7, 9), expect, i % 2 == 0 ? 0.4 : 1.2)
+          << "thread " << t << " op " << i;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // StagingCache: concurrent readers vs. bump_version-style invalidation.
 //
 // Hammers one small cache instance from three directions at once --

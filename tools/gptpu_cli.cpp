@@ -12,18 +12,25 @@
 //                             wall-clock span tracks beside it
 //   profiles <app>            compare Edge-PCIe / Edge-USB / Cloud-TPU
 //   info                      print the calibrated machine model
+//
+// run/trace accept --faults=<spec|file> and --fault-seed=<u64> to arm
+// deterministic device-fault injection (docs/FAULT_TOLERANCE.md).
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "apps/app_common.hpp"
+#include "common/metrics.hpp"
 #include "common/span_profiler.hpp"
 #include "isa/opcode.hpp"
 #include "perfmodel/machine_constants.hpp"
 #include "runtime/metrics_export.hpp"
 #include "runtime/trace_export.hpp"
 #include "sim/device_profile.hpp"
+#include "sim/fault_injector.hpp"
 
 namespace {
 
@@ -48,6 +55,54 @@ std::string flag_string(int argc, char** argv, const char* name,
     }
   }
   return fallback;
+}
+
+/// Arms the process-wide fault injector from --faults=<spec|file> and
+/// --fault-seed=<u64>. `@path` always reads the spec from a file (and
+/// errors if it cannot be opened); a bare value that names a readable
+/// file is read too, anything else is the spec itself. File clauses are
+/// separated by ';' or newlines, '#' starts a comment. App helpers build
+/// their Runtimes internally, so the flag travels via
+/// FaultInjector::set_process_default rather than a config.
+void arm_faults(int argc, char** argv) {
+  std::string spec = flag_string(argc, argv, "faults", "");
+  if (spec.empty()) return;
+  const bool explicit_file = spec[0] == '@';
+  if (explicit_file) spec.erase(0, 1);
+  std::ifstream probe(spec);
+  if (explicit_file && !probe) {
+    throw InvalidArgument("--faults=@" + spec + ": cannot open spec file");
+  }
+  if (std::ifstream file = std::move(probe); file) {
+    std::string merged;
+    std::string line;
+    while (std::getline(file, line)) {
+      if (const usize hash = line.find('#'); hash != std::string::npos) {
+        line.resize(hash);
+      }
+      merged += line;
+      merged += ';';
+    }
+    spec = merged;
+  }
+  sim::FaultConfig cfg;
+  cfg.spec = spec;
+  const std::string seed = flag_string(argc, argv, "fault-seed", "");
+  if (!seed.empty()) cfg.seed = std::stoull(seed, nullptr, 0);
+  sim::FaultInjector::set_process_default(cfg);
+}
+
+/// After a faulted run, summarize what the tolerance layer did.
+void print_fault_summary() {
+  auto& reg = metrics::MetricRegistry::global();
+  std::printf(
+      "  faults: injected %llu, retried %llu, redispatched %llu, "
+      "cpu fallback %llu\n",
+      static_cast<unsigned long long>(reg.counter("fault.injected").value()),
+      static_cast<unsigned long long>(reg.counter("fault.retried").value()),
+      static_cast<unsigned long long>(reg.counter("fault.redispatched").value()),
+      static_cast<unsigned long long>(
+          reg.counter("fault.cpu_fallback").value()));
 }
 
 int cmd_apps() {
@@ -95,8 +150,13 @@ int cmd_run(const apps::AppInfo& app, int argc, char** argv) {
   const Seconds cpu = app.cpu_time(1);
   // The accuracy (functional) run goes first so the paper-scale timed run
   // is the last runtime destroyed: its settled virtual clocks are what the
-  // end-of-life gauges (resource busy times, makespan) publish.
+  // end-of-life gauges (resource busy times, makespan) publish. It runs
+  // fault-free: it is the single-device numerical oracle, and a --faults
+  // spec naming devN would not even parse against its one device.
+  const sim::FaultConfig armed = sim::FaultInjector::process_default();
+  sim::FaultInjector::set_process_default({});
   const apps::Accuracy acc = app.accuracy(42, 0);
+  sim::FaultInjector::set_process_default(armed);
   const apps::TimedResult r = app.gptpu_timed(devices);
   std::printf("  modelled CPU baseline (1 core) : %10.3f s\n", cpu);
   std::printf("  modelled GPTPU latency         : %10.3f s  (%.2fx)\n",
@@ -106,6 +166,7 @@ int cmd_run(const apps::AppInfo& app, int argc, char** argv) {
               r.energy.total_energy(), r.energy.active_energy());
   std::printf("  accuracy vs CPU reference      : MAPE %.3f%%  RMSE %.3f%%\n",
               acc.mape * 100, acc.rmse * 100);
+  if (sim::FaultInjector::process_default().enabled()) print_fault_summary();
   return dump_metrics(metrics_json, metrics_prom) ? 0 : 1;
 }
 
@@ -130,6 +191,7 @@ int cmd_trace(const apps::AppInfo& app, int argc, char** argv) {
   }
   std::printf("wrote %s (open in chrome://tracing); makespan %.3f ms\n",
               out.c_str(), rt.makespan() * 1e3);
+  if (sim::FaultInjector::process_default().enabled()) print_fault_summary();
   return dump_metrics(metrics_json, "") ? 0 : 1;
 }
 
@@ -203,6 +265,9 @@ int usage() {
       "                            modelled run + accuracy (+ metrics dump)\n"
       "  trace <app> [--out=FILE] [--metrics-out=FILE]\n"
       "                            dual-clock Chrome-trace export\n"
+      "  --faults=<spec|file>      arm deterministic fault injection for\n"
+      "                            run/trace (docs/FAULT_TOLERANCE.md)\n"
+      "  --fault-seed=<u64>        seed for probabilistic fault clauses\n"
       "  profiles <app>            Edge-PCIe vs Edge-USB vs Cloud-TPU\n"
       "  info                      calibrated machine model\n");
   return 2;
@@ -214,6 +279,7 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
   try {
+    arm_faults(argc, argv);
     if (cmd == "apps") return cmd_apps();
     if (cmd == "ops") return cmd_ops();
     if (cmd == "info") return cmd_info();
