@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Virtual-domain determinism smoke (the determinism.smoke ctest entry).
+
+The R8 clock-domain discipline (docs/ANALYSIS.md) exists to guarantee one
+observable property: everything derived from *modelled* time is a pure
+function of the workload, never of host scheduling. This smoke pins that
+property end to end, complementing the static rule with a dynamic check:
+
+ 1. `gptpu trace GEMM --metrics-out --out` executed twice (single device)
+    must produce a byte-identical "virtual" metrics object -- the same
+    byte-compare metrics_smoke.py does for `run`, here through the
+    tracing code path, which exercises the interval recorder.
+ 2. The virtual-clock process of the Chrome trace (pid 1, the
+    modelled-virtual-time track family) must serialize identically across
+    the two runs. Wall-clock events (pid 2) are host measurements and are
+    explicitly allowed to differ.
+
+Usage: determinism_smoke.py <gptpu-binary> <workdir>
+"""
+
+import json
+import pathlib
+import subprocess
+import sys
+
+
+def fail(msg: str) -> None:
+    print(f"determinism_smoke: FAIL: {msg}")
+    sys.exit(1)
+
+
+def virtual_slice(text: str) -> str:
+    """Raw bytes of the "virtual" metrics object, for byte comparison."""
+    start = text.index('"virtual"')
+    end = text.index('"wall"')
+    return text[start:end]
+
+
+def virtual_events_bytes(trace_path: pathlib.Path) -> str:
+    """Canonical serialization of the virtual-clock (pid 1) trace events.
+
+    json.dumps with sort_keys is byte-deterministic for identical event
+    lists, so comparing the two serializations compares the events
+    themselves -- start, duration, track, label -- to the last byte.
+    """
+    events = json.loads(trace_path.read_text())
+    if not isinstance(events, list) or not events:
+        fail(f"{trace_path} is not a non-empty JSON trace array")
+    virt = [e for e in events if e.get("pid") == 1]
+    if not virt:
+        fail(f"{trace_path} has no virtual-clock (pid 1) events")
+    return json.dumps(virt, sort_keys=True)
+
+
+def main() -> None:
+    if len(sys.argv) != 3:
+        fail("usage: determinism_smoke.py <gptpu-binary> <workdir>")
+    binary = sys.argv[1]
+    work = pathlib.Path(sys.argv[2])
+    work.mkdir(parents=True, exist_ok=True)
+
+    metrics, traces = [], []
+    for i in (1, 2):
+        mpath = work / f"det_metrics_{i}.json"
+        tpath = work / f"det_trace_{i}.json"
+        proc = subprocess.run(
+            [binary, "trace", "GEMM", f"--metrics-out={mpath}",
+             f"--out={tpath}"],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+        if proc.returncode != 0:
+            fail(f"trace run {i} exited {proc.returncode}:\n{proc.stdout}")
+        metrics.append(mpath)
+        traces.append(tpath)
+
+    texts = [p.read_text() for p in metrics]
+    for text in texts:
+        json.loads(text)  # must parse
+    if virtual_slice(texts[0]) != virtual_slice(texts[1]):
+        a = json.loads(texts[0])["virtual"]
+        b = json.loads(texts[1])["virtual"]
+        diff = sorted(k for k in set(a) | set(b) if a.get(k) != b.get(k))
+        fail(f"virtual metrics differ between identical traced runs: {diff}")
+
+    v1, v2 = (virtual_events_bytes(p) for p in traces)
+    if v1 != v2:
+        fail("virtual-clock (pid 1) trace events differ between identical "
+             "runs: modelled time leaked a host-timing dependency")
+
+    n_events = v1.count('"pid"')
+    print("determinism_smoke: OK (virtual metrics byte-stable through the "
+          f"trace path; {n_events} virtual-clock events byte-stable)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,244 +1,22 @@
 #!/usr/bin/env python3
-"""GPTPU project lint: invariants clang-tidy cannot express.
+"""Compatibility shim: the project lint grew into tools/analyzer/.
 
-Run from the repository root (the gptpu_lint CMake target and the
-lint.project ctest entry both do), or pass the root as argv[1].
-
-Rules
------
-R1  no-naked-new       No `new` / `delete` expressions outside the
-                       annotated allowlist; ownership goes through
-                       std::unique_ptr / std::make_unique / containers.
-R2  endian-safe-io     src/isa/model_format.cpp must keep serialization
-                       little-endian-safe: multi-byte fields go through
-                       the put_*_le / get_*_le byte helpers, never through
-                       reinterpret_cast of the wire buffer to a wide type
-                       or memcpy straight out of the blob.
-R3  no-endl            No std::endl: it flushes on every use, which is a
-                       hot-path hazard in per-instruction logging. Use
-                       '\n' and flush explicitly where needed.
-R4  annotated-mutex    Concurrent code uses gptpu::Mutex / MutexLock /
-                       CondVar from common/thread_annotations.hpp, never
-                       raw std::mutex / std::lock_guard / std::unique_lock
-                       / std::condition_variable: the std types carry no
-                       thread-safety annotations under libstdc++, so the
-                       clang analysis cannot see their lock discipline.
-R5  include-hygiene    Headers use #pragma once; no '../' relative
-                       includes; no <bits/...> internal headers; a .cpp
-                       file's first project include is its own header (so
-                       every header proves it is self-contained).
-R6  metrics-in-header  No header includes common/metrics.hpp: metric
-                       lookups are implementation detail, performed in
-                       .cpp files against the process-global registry, so
-                       interfaces never grow a registry dependency.
-                       (common/span_profiler.hpp is fine in headers -- the
-                       trace exporter's interface needs SpanRecord.)
-R7  no-device-throw    src/sim/device.cpp must not use the `throw`
-                       keyword: device boundaries report faults and
-                       capacity misses as Status/Result so runtime worker
-                       threads never unwind (docs/FAULT_TOLERANCE.md).
-                       Invariant violations go through GPTPU_CHECK, whose
-                       out-of-line fail_check does the throwing.
-
-Exit status is the number of violations (0 = clean).
+The R1-R7 regex rules that used to live here are now rules_text.py inside
+the analyzer, which adds clock-domain purity (R8), discarded-Status
+auditing (R9), deterministic-iteration (R10) and the static lock-order
+graph (R11) on top. This wrapper keeps `python3 scripts/lint.py` (and any
+muscle memory / CI pipelines built on it) working from any working
+directory; new callers should invoke tools/analyzer/gptpu_analyze.py
+directly for the full flag surface (--json, --dot, per-file runs).
+Rule catalogue: docs/ANALYSIS.md.
 """
 
-from __future__ import annotations
-
 import pathlib
-import re
+import runpy
 import sys
 
-ROOT = pathlib.Path(sys.argv[1]) if len(sys.argv) > 1 else pathlib.Path(".")
-
-# Directories holding first-party sources.
-SOURCE_DIRS = ["src", "tests", "tools", "bench", "examples"]
-
-# R4 only applies where concurrency runs; tests may use std primitives to
-# build harnesses (e.g. std::latch-style barriers with mutexes) -- but we
-# hold them to the same rule to keep TSan interleavings annotated.
-MUTEX_EXEMPT = {
-    # The wrapper itself is the one place allowed to touch the std types.
-    pathlib.Path("src/common/thread_annotations.hpp"),
-}
-
-NEW_DELETE_EXEMPT: set[pathlib.Path] = set()
-
-violations: list[str] = []
-
-
-def report(path: pathlib.Path, lineno: int, rule: str, msg: str) -> None:
-    violations.append(f"{path}:{lineno}: [{rule}] {msg}")
-
-
-def strip_comments_and_strings(line: str) -> str:
-    """Crude single-line comment/string removal, good enough for linting."""
-    line = re.sub(r'"(\\.|[^"\\])*"', '""', line)
-    line = re.sub(r"'(\\.|[^'\\])*'", "''", line)
-    line = re.sub(r"//.*", "", line)
-    return line
-
-
-def iter_source_files():
-    for d in SOURCE_DIRS:
-        base = ROOT / d
-        if not base.is_dir():
-            continue
-        for path in sorted(base.rglob("*")):
-            if path.suffix in {".cpp", ".hpp", ".h"}:
-                yield path.relative_to(ROOT)
-
-
-NAKED_NEW = re.compile(r"(^|[^\w.])new\s+[\w:<]")
-NAKED_DELETE = re.compile(r"(^|[^\w.])delete(\s*\[\s*\])?\s+[\w(*]")
-STD_ENDL = re.compile(r"std\s*::\s*endl")
-STD_SYNC = re.compile(
-    r"std\s*::\s*(mutex|recursive_mutex|shared_mutex|timed_mutex|"
-    r"lock_guard|unique_lock|scoped_lock|shared_lock|condition_variable"
-    r"(_any)?)\b"
-)
-WIDE_REINTERPRET = re.compile(
-    r"reinterpret_cast\s*<\s*(const\s+)?"
-    r"(u16|u32|u64|i16|i32|i64|float|double|std::uint16_t|std::uint32_t|"
-    r"std::uint64_t|std::int16_t|std::int32_t|std::int64_t)\s*\*"
-)
-METRICS_INCLUDE = re.compile(r'#\s*include\s+"common/metrics\.hpp"')
-DEVICE_THROW = re.compile(r"(^|[^\w])throw\b")
-RELATIVE_INCLUDE = re.compile(r'#\s*include\s+"\.\./')
-BITS_INCLUDE = re.compile(r"#\s*include\s+<bits/")
-PROJECT_INCLUDE = re.compile(r'#\s*include\s+"([^"]+)"')
-
-
-def in_multiline_comment_tracker():
-    """Returns a callable(line) -> line with block comments blanked."""
-    state = {"in_comment": False}
-
-    def strip(line: str) -> str:
-        out = []
-        i = 0
-        while i < len(line):
-            if state["in_comment"]:
-                end = line.find("*/", i)
-                if end == -1:
-                    return "".join(out)
-                state["in_comment"] = False
-                i = end + 2
-            else:
-                start = line.find("/*", i)
-                if start == -1:
-                    out.append(line[i:])
-                    break
-                out.append(line[:start] if i == 0 else line[i:start])
-                state["in_comment"] = True
-                i = start + 2
-        return "".join(out)
-
-    return strip
-
-
-def lint_file(rel: pathlib.Path) -> None:
-    path = ROOT / rel
-    try:
-        text = path.read_text(encoding="utf-8")
-    except UnicodeDecodeError:
-        report(rel, 1, "include-hygiene", "file is not valid UTF-8")
-        return
-    lines = text.splitlines()
-    block_strip = in_multiline_comment_tracker()
-
-    is_header = rel.suffix in {".hpp", ".h"}
-    is_model_format = rel == pathlib.Path("src/isa/model_format.cpp")
-    is_device_cpp = rel == pathlib.Path("src/sim/device.cpp")
-    first_project_include: str | None = None
-
-    if is_header and "#pragma once" not in text:
-        report(rel, 1, "include-hygiene", "header is missing #pragma once")
-
-    for lineno, raw in enumerate(lines, start=1):
-        line = strip_comments_and_strings(block_strip(raw))
-        if not line.strip():
-            continue
-
-        # R1 -- naked new / delete. `= delete` (deleted members) is fine.
-        if rel not in NEW_DELETE_EXEMPT:
-            if NAKED_NEW.search(line) and "operator new" not in line:
-                report(rel, lineno, "no-naked-new",
-                       "naked `new`; use std::make_unique or a container")
-            stripped = re.sub(r"=\s*delete\b", "", line)
-            if NAKED_DELETE.search(stripped) and "operator delete" not in line:
-                report(rel, lineno, "no-naked-new",
-                       "naked `delete`; owning pointers must be smart")
-
-        # R2 -- endianness-unsafe access to the wire buffer.
-        if is_model_format and WIDE_REINTERPRET.search(line):
-            report(rel, lineno, "endian-safe-io",
-                   "reinterpret_cast of the wire buffer to a multi-byte "
-                   "type; use the put_*_le / get_*_le helpers")
-
-        # R3 -- std::endl.
-        if STD_ENDL.search(line):
-            report(rel, lineno, "no-endl",
-                   "std::endl flushes; use '\\n'")
-
-        # R4 -- unannotated synchronization primitives.
-        if rel not in MUTEX_EXEMPT and STD_SYNC.search(line):
-            report(rel, lineno, "annotated-mutex",
-                   "raw std synchronization type; use gptpu::Mutex / "
-                   "MutexLock / CondVar (common/thread_annotations.hpp)")
-
-        # R6 -- the metrics registry stays out of interfaces.
-        if is_header and METRICS_INCLUDE.search(line):
-            report(rel, lineno, "metrics-in-header",
-                   "headers must not include common/metrics.hpp; look the "
-                   "metric up in the .cpp and cache the reference")
-
-        # R7 -- device boundaries never throw across the worker boundary.
-        if is_device_cpp and DEVICE_THROW.search(line):
-            report(rel, lineno, "no-device-throw",
-                   "`throw` in device.cpp; return Status/Result (faults "
-                   "must not unwind through runtime workers)")
-
-        # R5 -- include hygiene.
-        if RELATIVE_INCLUDE.search(line):
-            report(rel, lineno, "include-hygiene",
-                   "'../' relative include; include project-root-relative")
-        if BITS_INCLUDE.search(line):
-            report(rel, lineno, "include-hygiene",
-                   "<bits/...> is a libstdc++ internal header")
-        m = PROJECT_INCLUDE.search(line)
-        if m and first_project_include is None:
-            first_project_include = m.group(1)
-
-    # R5 -- a .cpp's first project include must be its own header, proving
-    # each header compiles standalone. Only checked when that header exists.
-    if rel.suffix == ".cpp" and first_project_include is not None:
-        own = rel.with_suffix(".hpp")
-        try:
-            own_rel_src = own.relative_to("src")
-        except ValueError:
-            own_rel_src = None
-        if own_rel_src is not None and (ROOT / own).exists():
-            if first_project_include != str(own_rel_src):
-                report(rel, 1, "include-hygiene",
-                       f"first project include should be \"{own_rel_src}\" "
-                       f"(got \"{first_project_include}\")")
-
-
-def main() -> int:
-    files = list(iter_source_files())
-    if not files:
-        print("lint: no source files found under", ROOT.resolve())
-        return 1
-    for rel in files:
-        lint_file(rel)
-    if violations:
-        for v in violations:
-            print(v)
-        print(f"lint: {len(violations)} violation(s) in {len(files)} files")
-    else:
-        print(f"lint: OK ({len(files)} files)")
-    return min(len(violations), 99)
-
-
 if __name__ == "__main__":
-    sys.exit(main())
+    driver = (pathlib.Path(__file__).resolve().parent.parent
+              / "tools" / "analyzer" / "gptpu_analyze.py")
+    sys.argv = [str(driver)] + sys.argv[1:]
+    runpy.run_path(str(driver), run_name="__main__")

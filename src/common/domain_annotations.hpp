@@ -1,0 +1,39 @@
+// Clock-domain purity annotations, checked by tools/analyzer (rule R8).
+//
+// The simulator keeps two clocks (docs/OBSERVABILITY.md): *virtual* time
+// is modelled and must be bit-exact run to run -- it is the quantity the
+// paper's speedups are measured in -- while *wall* time is whatever the
+// host actually spent and legitimately varies. The repro's determinism
+// guarantees (byte-identical virtual metrics, virtual-only Chrome trace,
+// fault replay) hold only if no wall-clock reading ever feeds a value on
+// a virtual-time path.
+//
+// These markers put that invariant under static enforcement. They expand
+// to nothing for every compiler: the analyzer reads them from the source
+// tokens (and, when libclang is available, from the AST), so they are
+// free at runtime and portable everywhere.
+//
+//  * GPTPU_VIRTUAL_DOMAIN -- the function computes or propagates modelled
+//    virtual time (or other deterministic output bytes). Its body, and
+//    every project callee the analyzer can resolve from it, must not read
+//    a wall clock: no std::chrono::*_clock, no Stopwatch, no
+//    prof::snapshot()/drain()/drain_to_registry(), and no call into a
+//    GPTPU_WALL_DOMAIN function.
+//  * GPTPU_WALL_DOMAIN -- the function intentionally measures host time
+//    (profiling, benchmarking). Virtual-domain code may never call it.
+//
+// GPTPU_SPAN(label) is exempt from R8 by design: a Span *records* wall
+// durations into the observability side channel but exposes no way for
+// the surrounding code to read them back, so it cannot perturb virtual
+// results (the byte-compare smoke proves this stays true).
+//
+// Placement convention: lead the declaration, like [[nodiscard]] --
+//
+//   GPTPU_VIRTUAL_DOMAIN Seconds acquire(Seconds start, Seconds dur);
+//
+// The full domain model and the analyzer's resolution rules are in
+// docs/ANALYSIS.md.
+#pragma once
+
+#define GPTPU_VIRTUAL_DOMAIN
+#define GPTPU_WALL_DOMAIN

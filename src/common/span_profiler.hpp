@@ -21,6 +21,7 @@
 
 #include <vector>
 
+#include "common/domain_annotations.hpp"
 #include "common/types.hpp"
 
 namespace gptpu::prof {
@@ -40,17 +41,22 @@ void set_enabled(bool enabled);
 [[nodiscard]] bool enabled();
 
 /// Copies every buffered span (all threads, including exited ones).
+GPTPU_WALL_DOMAIN
 [[nodiscard]] std::vector<SpanRecord> snapshot();
 
 /// Moves every buffered span out, leaving the buffers empty.
+GPTPU_WALL_DOMAIN
 std::vector<SpanRecord> drain();
 
 /// Drains buffered spans into MetricRegistry::global() as
 /// "wall.span.<label>" duration histograms, and returns them.
+GPTPU_WALL_DOMAIN
 std::vector<SpanRecord> drain_to_registry();
 
 namespace detail {
+GPTPU_WALL_DOMAIN
 void begin_span(const char* label);
+GPTPU_WALL_DOMAIN
 void end_span();
 }  // namespace detail
 

@@ -107,6 +107,15 @@ class [[nodiscard]] Result {
   Status status_;
 };
 
+/// Explicitly discards a Status / Result<T> the caller has decided not to
+/// act on. This is the only sanctioned way to drop one: `Status` and
+/// `Result` are [[nodiscard]], and the project analyzer (tools/analyzer,
+/// rule R9) flags any call whose returned status is neither consumed nor
+/// wrapped in this macro. Always pair a use with a `// gptpu-analyze:`
+/// comment or a nearby explanation of *why* ignoring is correct -- e.g.
+/// best-effort cleanup where the failure path is covered elsewhere.
+#define GPTPU_IGNORE_STATUS(expr) static_cast<void>(expr)
+
 /// Thrown by Runtime::invoke when an operation fails permanently (every
 /// placement exhausted and CPU fallback disabled). Carries the status code
 /// that is also recorded on the operation's OpRecord.

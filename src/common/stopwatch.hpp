@@ -5,6 +5,7 @@
 
 #include <chrono>
 
+#include "common/domain_annotations.hpp"
 #include "common/types.hpp"
 
 namespace gptpu {
@@ -13,9 +14,11 @@ class Stopwatch {
  public:
   Stopwatch() : start_(Clock::now()) {}
 
+  GPTPU_WALL_DOMAIN
   void restart() { start_ = Clock::now(); }
 
   /// Elapsed wall-clock seconds since construction or restart().
+  GPTPU_WALL_DOMAIN
   [[nodiscard]] Seconds elapsed() const {
     return std::chrono::duration<double>(Clock::now() - start_).count();
   }

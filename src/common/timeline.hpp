@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "common/domain_annotations.hpp"
 #include "common/thread_annotations.hpp"
 #include "common/types.hpp"
 
@@ -37,15 +38,18 @@ class VirtualResource {
   /// Schedules `duration` seconds of work that may not start before
   /// `earliest_start`. Returns the completion time. Work on one resource
   /// never overlaps; it begins at max(earliest_start, busy_until).
+  GPTPU_VIRTUAL_DOMAIN
   Seconds acquire(Seconds earliest_start, Seconds duration,
                   std::string label = {}) GPTPU_EXCLUDES(mu_);
 
+  GPTPU_VIRTUAL_DOMAIN
   [[nodiscard]] Seconds busy_until() const GPTPU_EXCLUDES(mu_) {
     MutexLock lock(mu_);
     return busy_until_;
   }
 
   /// Total busy (active) seconds accumulated on this resource.
+  GPTPU_VIRTUAL_DOMAIN
   [[nodiscard]] Seconds busy_time() const GPTPU_EXCLUDES(mu_) {
     MutexLock lock(mu_);
     return busy_time_;

@@ -1,3 +1,5 @@
+// gptpu-analyze: deterministic-file -- output and dispatch order
+// here must be independent of hash-map layout (docs/ANALYSIS.md R10).
 #include "runtime/runtime.hpp"
 
 #include <algorithm>

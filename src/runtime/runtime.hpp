@@ -27,6 +27,7 @@
 #include <thread>
 #include <unordered_map>
 
+#include "common/domain_annotations.hpp"
 #include "common/status.hpp"
 #include "common/thread_annotations.hpp"
 #include "common/timeline.hpp"
@@ -166,16 +167,19 @@ class Runtime {
   void invoke(const OperationRequest& request);
 
   /// Modelled completion time of the last operation of `task`.
+  GPTPU_VIRTUAL_DOMAIN
   [[nodiscard]] Seconds task_ready(u64 task_id) const
       GPTPU_EXCLUDES(tasks_mu_);
 
   /// Charges host-side work (e.g. the conv2D-GEMM layout transform) to the
   /// task's virtual timeline and the host resource.
+  GPTPU_VIRTUAL_DOMAIN
   void charge_host(u64 task_id, Seconds duration, const char* label);
 
   // --- results --------------------------------------------------------------
 
   /// Modelled end-to-end latency: when every device and the host are idle.
+  GPTPU_VIRTUAL_DOMAIN
   [[nodiscard]] Seconds makespan() const;
   [[nodiscard]] EnergyReport energy() const;
   /// Snapshot of the OPQ log. A copy: producer threads may be appending
@@ -269,12 +273,14 @@ class Runtime {
   /// One attempt at a plan on a device. Non-OK statuses are fault or
   /// capacity reports, never injected-fault exceptions: device boundaries
   /// return Result (lint rule R7).
+  GPTPU_VIRTUAL_DOMAIN
   Status try_execute_plan(DeviceState& ds, const WorkItem& item,
                           Seconds ready);
   /// try_execute_plan plus the fault-tolerance policy: retry/backoff on
   /// transient faults, device death on fatal ones. A non-OK return means
   /// this device cannot run the plan (invoke() re-dispatches or falls
   /// back; kResourceExhausted is structural and surfaces unchanged).
+  GPTPU_VIRTUAL_DOMAIN
   Status run_plan_with_retries(DeviceState& ds, const WorkItem& item);
   /// Declares a device dead: health gauge, scheduler exclusion, worker
   /// cache bookkeeping teardown. Runs on the owning worker thread.
@@ -290,6 +296,7 @@ class Runtime {
   /// Assigns one plan to an alive device (primary dispatch or fault
   /// re-dispatch) and enqueues its work item + stage request. Returns the
   /// scheduler's queue-wait estimate.
+  GPTPU_VIRTUAL_DOMAIN
   Seconds dispatch_plan(OpContext& ctx, const InstructionPlan& plan,
                         usize order, u32 attempts);
   void record_fault_event(usize device, Seconds at, std::string label)
@@ -304,11 +311,14 @@ class Runtime {
   /// metrics registry. Runs after the workers joined, so every published
   /// value is a settled virtual-time quantity.
   void publish_final_metrics();
+  GPTPU_VIRTUAL_DOMAIN
   Result<isa::DeviceTensorId> stage_tile(DeviceState& ds, const TileRef& tile,
                                          u64 key, StagingCache::PayloadPtr hint,
                                          Seconds ready, Seconds* available_at);
+  GPTPU_VIRTUAL_DOMAIN
   Status ensure_device_space(DeviceState& ds, usize bytes,
                              std::span<const u64> pinned_keys);
+  GPTPU_VIRTUAL_DOMAIN
   Seconds acquire_host(Seconds ready, Seconds duration, const char* label);
 
   RuntimeConfig config_;

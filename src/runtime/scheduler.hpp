@@ -20,6 +20,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/domain_annotations.hpp"
 #include "common/thread_annotations.hpp"
 #include "common/types.hpp"
 #include "perfmodel/machine_constants.hpp"
@@ -64,12 +65,14 @@ class Scheduler {
   /// pool. With affinity disabled, every device is charged the full
   /// transfer (pure FCFS). Records the tiles as resident on the choice
   /// and feeds the scheduler.* metrics.
+  GPTPU_VIRTUAL_DOMAIN
   [[nodiscard]] Assignment assign_detailed(std::span<const TileNeed> tiles,
                                            Seconds instr_seconds,
                                            Seconds ready)
       GPTPU_EXCLUDES(mu_);
 
   /// assign_detailed() reduced to the chosen device id.
+  GPTPU_VIRTUAL_DOMAIN
   [[nodiscard]] usize assign(std::span<const TileNeed> tiles,
                              Seconds instr_seconds, Seconds ready)
       GPTPU_EXCLUDES(mu_) {
@@ -97,6 +100,7 @@ class Scheduler {
   [[nodiscard]] usize alive_count() const GPTPU_EXCLUDES(mu_);
 
   [[nodiscard]] usize num_devices() const { return num_devices_; }
+  GPTPU_VIRTUAL_DOMAIN
   [[nodiscard]] Seconds estimated_load(usize device) const
       GPTPU_EXCLUDES(mu_) {
     MutexLock lock(mu_);

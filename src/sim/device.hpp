@@ -25,6 +25,7 @@
 #include <span>
 #include <unordered_map>
 
+#include "common/domain_annotations.hpp"
 #include "common/matrix.hpp"
 #include "common/status.hpp"
 #include "common/thread_annotations.hpp"
@@ -75,16 +76,19 @@ class Device {
   /// charged serially on the link before the transfer (used when model
   /// creation is not overlapped with data movement; see §6.2.3). Returns
   /// kResourceExhausted when the tensor does not fit.
+  GPTPU_VIRTUAL_DOMAIN
   Result<Completion> write_tensor(Shape2D shape, float scale,
                                   std::span<const i8> data, Seconds ready,
                                   Seconds link_setup = 0) GPTPU_EXCLUDES(mu_);
 
   /// Loads a serialized model blob (isa::parse_model) into on-chip memory.
   /// The transfer is charged for the full wire size of the blob.
+  GPTPU_VIRTUAL_DOMAIN
   Result<Completion> load_model(std::span<const u8> blob, Seconds ready,
                                 Seconds link_setup = 0) GPTPU_EXCLUDES(mu_);
 
   /// Timing-only variant: loads a model described by `info` without data.
+  GPTPU_VIRTUAL_DOMAIN
   Result<Completion> load_model_meta(const isa::ModelInfo& info, Seconds ready,
                                      Seconds link_setup = 0)
       GPTPU_EXCLUDES(mu_);
@@ -92,6 +96,7 @@ class Device {
   /// Executes one instruction whose operands are resident tensors,
   /// allocating the output tensor. Functional mode computes real values;
   /// both modes advance the compute unit's clock.
+  GPTPU_VIRTUAL_DOMAIN
   Result<Completion> execute(const isa::Instruction& instr, Seconds ready)
       GPTPU_EXCLUDES(mu_);
 
@@ -99,10 +104,12 @@ class Device {
   /// (ignored, may be empty, in timing-only mode). Returns the modelled
   /// completion time. On an injected kDataCorruption the destination holds
   /// a corrupted copy (one flipped bit) that the caller must discard.
+  GPTPU_VIRTUAL_DOMAIN
   Result<Seconds> read_tensor(isa::DeviceTensorId id, std::span<i8> out,
                               Seconds ready) GPTPU_EXCLUDES(mu_);
 
   /// Reads a wide (int32 accumulator) tensor; 4x the transfer volume.
+  GPTPU_VIRTUAL_DOMAIN
   Result<Seconds> read_tensor_wide(isa::DeviceTensorId id, std::span<i32> out,
                                    Seconds ready) GPTPU_EXCLUDES(mu_);
 
@@ -117,6 +124,7 @@ class Device {
   [[nodiscard]] MatrixView<const i8> tensor_data(isa::DeviceTensorId id) const
       GPTPU_EXCLUDES(mu_);
   /// Modelled time at which the tensor's producer finishes.
+  GPTPU_VIRTUAL_DOMAIN
   [[nodiscard]] Seconds tensor_ready(isa::DeviceTensorId id) const
       GPTPU_EXCLUDES(mu_);
 
@@ -134,8 +142,10 @@ class Device {
   [[nodiscard]] bool functional() const { return config_.functional; }
 
   /// Modelled instant at which all scheduled work on this device is done.
+  GPTPU_VIRTUAL_DOMAIN
   [[nodiscard]] Seconds idle_at() const;
   /// Total busy seconds (compute + link), the basis of active energy.
+  GPTPU_VIRTUAL_DOMAIN
   [[nodiscard]] Seconds active_time() const;
 
   [[nodiscard]] const VirtualResource& compute_unit() const {
@@ -182,6 +192,7 @@ class Device {
   /// Consults the injector at a transfer boundary; non-OK means the
   /// transfer must not proceed (the link time is charged for transient
   /// failures -- the wire was occupied before the CRC check rejected it).
+  GPTPU_VIRTUAL_DOMAIN
   Status consult_transfer(Seconds ready, Seconds wire_seconds);
   Result<isa::DeviceTensorId> alloc(Shape2D shape, float scale, Seconds ready,
                                     bool with_data, bool wide = false)

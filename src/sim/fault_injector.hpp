@@ -40,6 +40,7 @@
 #include <string>
 #include <vector>
 
+#include "common/domain_annotations.hpp"
 #include "common/rng.hpp"
 #include "common/status.hpp"
 #include "common/thread_annotations.hpp"
@@ -80,6 +81,7 @@ class FaultInjector {
 
   /// Called by Device at each fallible boundary. Advances the device's
   /// schedule position and returns the scheduled decision. Thread-safe.
+  GPTPU_VIRTUAL_DOMAIN
   Decision consult(u32 device, Boundary boundary) GPTPU_EXCLUDES(mu_);
 
   /// Total faults fired so far (also published as the fault.injected

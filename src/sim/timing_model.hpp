@@ -16,6 +16,7 @@
 // per-transfer setup cost.
 #pragma once
 
+#include "common/domain_annotations.hpp"
 #include "common/types.hpp"
 #include "isa/instruction.hpp"
 #include "perfmodel/machine_constants.hpp"
@@ -30,19 +31,23 @@ class TimingModel {
   explicit TimingModel(const DeviceProfile& profile = kEdgeTpuPcie);
 
   /// Latency of one instruction given its operand/output shapes.
+  GPTPU_VIRTUAL_DOMAIN
   [[nodiscard]] Seconds instruction_latency(const isa::Instruction& instr,
                                             Shape2D in0, Shape2D in1,
                                             Shape2D out) const;
 
   /// Latency of moving `bytes` across one host<->device link.
+  GPTPU_VIRTUAL_DOMAIN
   [[nodiscard]] Seconds transfer_latency(usize bytes) const;
 
   /// Latency of the fast (Tensorizer) model-creation path for `elems`
   /// values (§6.2.3: 1.8 ms per 2Kx2K). Host-side cost.
+  GPTPU_VIRTUAL_DOMAIN
   [[nodiscard]] Seconds model_creation_latency(usize elems) const;
 
   /// Host-side cost of reshaping `bytes` of data (conv2D-GEMM layout
   /// transform and similar).
+  GPTPU_VIRTUAL_DOMAIN
   [[nodiscard]] Seconds host_reshape_latency(usize bytes) const;
 
   [[nodiscard]] const DeviceProfile& profile() const { return profile_; }

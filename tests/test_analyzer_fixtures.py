@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""Fixture self-test for tools/analyzer (ctest: analysis.fixtures).
+
+Pins the analyzer's rule-visible behavior: every rule R0-R11 must fire at
+exactly the expected (file, line) sites in fixtures/bad -- and nothing
+else -- while fixtures/good stays silent except for two *suppressed* R3
+findings (the reasoned-allow round-trip). Because the fixtures pin exact
+lines, any engine change that shifts, drops, or duplicates a finding
+fails here before it can silently relax the project gate.
+"""
+
+import json
+import pathlib
+import subprocess
+import sys
+import tempfile
+
+REPO = pathlib.Path(__file__).resolve().parents[1]
+ANALYZER = REPO / "tools" / "analyzer" / "gptpu_analyze.py"
+FIXTURES = REPO / "tools" / "analyzer" / "fixtures"
+
+# Every finding the bad corpus must produce: (path, line, rule).
+EXPECTED_BAD = {
+    ("src/common/hygiene.cpp", 2, "R5"),   # '../' relative include
+    ("src/common/hygiene.cpp", 2, "R5"),   # own-header-first (same line)
+    ("src/common/hygiene.cpp", 9, "R1"),
+    ("src/common/hygiene.cpp", 13, "R1"),
+    ("src/common/hygiene.cpp", 17, "R3"),
+    ("src/common/hygiene.cpp", 20, "R4"),
+    ("src/common/hygiene.hpp", 1, "R5"),   # missing #pragma once
+    ("src/common/hygiene.hpp", 2, "R6"),
+    ("src/isa/model_format.cpp", 10, "R2"),
+    ("src/runtime/badallow.cpp", 9, "R0"),
+    ("src/runtime/badallow.cpp", 10, "R3"),
+    ("src/runtime/badallow.cpp", 11, "R0"),
+    ("src/runtime/badallow.cpp", 11, "R3"),
+    ("src/runtime/clockmix.cpp", 24, "R8"),
+    ("src/runtime/clockmix.cpp", 30, "R8"),
+    ("src/runtime/clockmix.cpp", 35, "R8"),
+    ("src/runtime/dropped.cpp", 16, "R9"),
+    ("src/runtime/dropped.cpp", 17, "R9"),
+    ("src/runtime/dropped.cpp", 18, "R9"),
+    ("src/runtime/hashed.cpp", 14, "R10"),
+    ("src/runtime/hashed.cpp", 17, "R10"),
+    ("src/runtime/lockcycle.cpp", 14, "R11"),
+    ("src/sim/device.cpp", 8, "R7"),
+}
+# Duplicate keys collapse in a set; the own-header R5 shares a line with
+# the relative-include R5, so count multiplicity separately.
+EXPECTED_BAD_COUNT = 23
+
+EXPECTED_GOOD_SUPPRESSED = [
+    ("src/runtime/allowed.cpp", 10, "R3"),
+    ("src/runtime/allowed.cpp", 11, "R3"),
+]
+
+failures = []
+
+
+def check(cond, msg):
+    if not cond:
+        failures.append(msg)
+        print(f"FAIL: {msg}")
+
+
+def run(root: pathlib.Path):
+    with tempfile.TemporaryDirectory() as td:
+        out = pathlib.Path(td) / "findings.json"
+        proc = subprocess.run(
+            [sys.executable, str(ANALYZER), "--root", str(root),
+             "--scan-all", "--json", str(out), "--quiet"],
+            capture_output=True, text=True)
+        doc = json.loads(out.read_text())
+        return proc, doc
+
+
+def main() -> int:
+    # --- bad corpus: every rule fires, nothing extra -----------------------
+    proc, doc = run(FIXTURES / "bad")
+    got = [(f["path"], f["line"], f["rule"]) for f in doc["findings"]]
+    check(len(got) == EXPECTED_BAD_COUNT,
+          f"bad corpus: expected {EXPECTED_BAD_COUNT} findings, "
+          f"got {len(got)}")
+    check(set(got) == EXPECTED_BAD,
+          "bad corpus: finding set mismatch\n"
+          f"  missing: {sorted(EXPECTED_BAD - set(got))}\n"
+          f"  extra:   {sorted(set(got) - EXPECTED_BAD)}")
+    check(proc.returncode == min(EXPECTED_BAD_COUNT, 99),
+          f"bad corpus: exit code {proc.returncode}, expected "
+          f"{min(EXPECTED_BAD_COUNT, 99)}")
+    check(doc["suppressed"] == [],
+          f"bad corpus: unexpected suppressions {doc['suppressed']}")
+
+    # Every rule in the catalogue is exercised by the bad corpus.
+    fired = {r for _, _, r in got}
+    catalogue = set(doc["rules"])
+    check(fired == catalogue,
+          f"bad corpus must exercise every rule; missing "
+          f"{sorted(catalogue - fired)}")
+
+    # The R11 cycle is visible in the exported lock graph.
+    edges = {(e["src"], e["dst"]) for e in doc["lock_graph"]["edges"]}
+    check(("PairedState::mu_a_", "PairedState::mu_b_") in edges and
+          ("PairedState::mu_b_", "PairedState::mu_a_") in edges,
+          f"bad corpus: AB/BA edges missing from lock graph: {edges}")
+
+    # --- good corpus: silent except the suppression round-trip ------------
+    proc, doc = run(FIXTURES / "good")
+    check(proc.returncode == 0,
+          f"good corpus: exit code {proc.returncode}, findings "
+          f"{doc['findings']}")
+    check(doc["findings"] == [],
+          f"good corpus: unexpected findings {doc['findings']}")
+    sup = [(s["path"], s["line"], s["rule"]) for s in doc["suppressed"]]
+    check(sup == EXPECTED_GOOD_SUPPRESSED,
+          f"good corpus: suppression round-trip mismatch: {sup}")
+    for s in doc["suppressed"]:
+        check(bool(s["reason"].strip()),
+              f"good corpus: suppression at {s['path']}:{s['line']} "
+              f"lost its reason")
+
+    # The good corpus exercises the lock scanner too (acyclic AB order).
+    check(len(doc["lock_graph"]["nodes"]) >= 2,
+          "good corpus: lock scanner saw no mutexes")
+
+    if failures:
+        print(f"\n{len(failures)} check(s) failed")
+        return 1
+    print("analysis.fixtures: all checks passed "
+          f"({EXPECTED_BAD_COUNT} bad findings, "
+          f"{len(EXPECTED_GOOD_SUPPRESSED)} suppressed in good)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

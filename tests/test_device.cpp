@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.hpp"
+#include "common/status.hpp"
 #include "isa/model_format.hpp"
 #include "quant/quantize.hpp"
 #include "sim/device_pool.hpp"
@@ -160,7 +161,7 @@ TEST(DeviceErrors, UnknownIdsAndWrongModesThrow) {
 
 TEST(DeviceReset, RestoresPristineState) {
   Fixture f;
-  (void)f.dev.write_tensor({10, 10}, 1.0f, bytes(100), 0.0);
+  GPTPU_IGNORE_STATUS(f.dev.write_tensor({10, 10}, 1.0f, bytes(100), 0.0));
   EXPECT_GT(f.dev.idle_at(), 0.0);
   f.dev.reset();
   EXPECT_EQ(f.dev.memory_used(), 0u);
@@ -170,7 +171,8 @@ TEST(DeviceReset, RestoresPristineState) {
 
 TEST(DevicePool, MakespanIsMaxAcrossDevices) {
   DevicePool pool(3, false);
-  (void)pool.device(1).write_tensor({1 << 20, 1}, 1.0f, {}, 0.0);
+  GPTPU_IGNORE_STATUS(
+      pool.device(1).write_tensor({1 << 20, 1}, 1.0f, {}, 0.0));
   EXPECT_DOUBLE_EQ(pool.makespan(), pool.device(1).idle_at());
   EXPECT_GT(pool.total_active_time(), 0.0);
   pool.reset();

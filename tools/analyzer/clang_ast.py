@@ -1,0 +1,133 @@
+"""Optional libclang backend.
+
+When the python clang bindings (`clang.cindex`) and a loadable libclang
+are present, this module re-derives the function index from a real AST:
+qualified names come from semantic parents instead of text heuristics and
+call sites from CALL_EXPR nodes, which removes the token backend's
+unique-simple-name approximation for overload-heavy code. The domain
+markers (GPTPU_VIRTUAL_DOMAIN / GPTPU_WALL_DOMAIN) expand to nothing, so
+even under libclang they are read from the declaration's token stream.
+
+This container images GCC + LLVM tools without the python bindings, so in
+practice the deterministic token backend (cppmodel.py) is what runs; the
+driver treats any failure here -- missing bindings, unloadable library,
+parse errors -- as "not available" and keeps the token results. The two
+backends fill the same FunctionIndex, and the fixture suite pins the
+rule-visible behavior, so swapping backends cannot silently change
+verdicts.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from cppmodel import FunctionIndex, FunctionInfo, scan_lock_scopes
+import core
+
+
+def available() -> bool:
+    try:
+        import clang.cindex  # noqa: F401
+        clang.cindex.Index.create()
+        return True
+    except Exception:
+        return False
+
+
+def refine_index(files, index: FunctionIndex, root: pathlib.Path) -> bool:
+    """Rebuilds function facts from the AST. Returns False (leaving the
+    token-backend index untouched) on any failure."""
+    try:
+        import clang.cindex as ci
+    except Exception:
+        return False
+    try:
+        cindex = ci.Index.create()
+    except Exception:
+        return False
+
+    args = ["-std=c++20", "-xc++", f"-I{root / 'src'}"]
+    functions: list[FunctionInfo] = []
+    fn_kinds = {ci.CursorKind.FUNCTION_DECL, ci.CursorKind.CXX_METHOD,
+                ci.CursorKind.CONSTRUCTOR, ci.CursorKind.FUNCTION_TEMPLATE}
+    try:
+        for sf in files:
+            if sf.rel.suffix not in {".cpp", ".cc", ".cxx"}:
+                continue
+            tu = cindex.parse(str(root / str(sf.rel)), args=args)
+            for cur in tu.cursor.walk_preorder():
+                if cur.kind not in fn_kinds:
+                    continue
+                if cur.location.file is None:
+                    continue
+                loc = pathlib.Path(str(cur.location.file)).resolve()
+                try:
+                    rel = str(loc.relative_to(root.resolve()))
+                except ValueError:
+                    continue
+                parent = cur.semantic_parent
+                cls = parent.spelling if parent and parent.kind in (
+                    ci.CursorKind.CLASS_DECL,
+                    ci.CursorKind.STRUCT_DECL) else None
+                head_tokens = " ".join(
+                    t.spelling for t in cur.get_tokens())[:400]
+                domain = None
+                if "GPTPU_VIRTUAL_DOMAIN" in head_tokens:
+                    domain = "virtual"
+                elif "GPTPU_WALL_DOMAIN" in head_tokens:
+                    domain = "wall"
+                ret = cur.result_type.spelling if cur.result_type else ""
+                fi = FunctionInfo(
+                    name=cur.spelling,
+                    qual=(f"{cls}::{cur.spelling}" if cls else cur.spelling),
+                    cls=cls, path=rel, line=cur.location.line,
+                    head=head_tokens, domain=domain,
+                    returns_status=(ret.split("<")[0].strip().endswith(
+                        "Status") or ret.strip().startswith("Result<")
+                        or "::Result<" in ret))
+                if cur.is_definition():
+                    body = _body_text(cur)
+                    if body is not None:
+                        fi.body = body
+                        fi.body_line = cur.extent.start.line
+                        for child in cur.walk_preorder():
+                            if child.kind == ci.CursorKind.CALL_EXPR and \
+                                    child.spelling:
+                                fi.calls.append((child.spelling,
+                                                 child.location.line))
+                        # Lock scopes remain token-derived: MutexLock RAII
+                        # scoping maps 1:1 onto brace extents either way.
+                        scan_lock_scopes(fi, body, fi.body_line)
+                functions.append(fi)
+    except Exception:
+        return False
+    if not functions:
+        return False
+    index.functions = functions
+    index.merge_declarations()
+    return True
+
+
+def _body_text(cur) -> str | None:
+    try:
+        ext = cur.extent
+        path = pathlib.Path(str(ext.start.file))
+        text = path.read_text(encoding="utf-8", errors="replace")
+        clean = core.strip_comments(text)
+        start = _offset(clean, ext.start.line, ext.start.column)
+        end = _offset(clean, ext.end.line, ext.end.column)
+        seg = clean[start:end]
+        brace = seg.find("{")
+        return seg[brace + 1:-1] if brace >= 0 else None
+    except Exception:
+        return None
+
+
+def _offset(text: str, line: int, col: int) -> int:
+    pos = 0
+    for _ in range(line - 1):
+        nl = text.find("\n", pos)
+        if nl < 0:
+            return len(text)
+        pos = nl + 1
+    return pos + col - 1

@@ -1,0 +1,234 @@
+"""Core engine for gptpu_analyze: file model, suppressions, findings.
+
+The analyzer works on two views of every source file:
+
+* the raw text, from which `// gptpu-analyze: ...` directives are read;
+* a *clean* view with comments and string/char literal contents blanked
+  out (newlines preserved, so positions still map to line numbers), which
+  every rule matches against so commented-out code never fires.
+
+Suppression grammar (docs/ANALYSIS.md):
+
+    // gptpu-analyze: allow(R9 reason for ignoring this status)
+    // gptpu-analyze: allow(R8: may read wall clock, report-only path)
+
+A directive suppresses matching findings on its own line, or -- when the
+comment stands alone on a line -- on the next line that carries code. A
+directive without a reason is itself a finding (rule R0), so a blanket
+`allow(R9)` can never silently pass CI.
+
+File tags:
+
+    // gptpu-analyze: deterministic-file
+
+marks a file whose iteration order can reach output bytes; rule R10
+(deterministic iteration) only runs over tagged files.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import pathlib
+import re
+
+# Rule catalogue. R1-R7 date from scripts/lint.py; R8-R11 are the
+# semantic rules added with the tools/analyzer rewrite. R0 is the
+# meta-rule guarding the suppression mechanism itself.
+RULES = {
+    "R0": "bad-suppression",
+    "R1": "no-naked-new",
+    "R2": "endian-safe-io",
+    "R3": "no-endl",
+    "R4": "annotated-mutex",
+    "R5": "include-hygiene",
+    "R6": "metrics-in-header",
+    "R7": "no-device-throw",
+    "R8": "clock-domain",
+    "R9": "discarded-status",
+    "R10": "deterministic-iteration",
+    "R11": "lock-order",
+}
+NAME_TO_ID = {name: rid for rid, name in RULES.items()}
+
+SUPPRESS_RE = re.compile(
+    r"gptpu-analyze:\s*allow\(\s*(R\d+|[A-Za-z][\w-]*)\s*:?\s*([^)]*)\)")
+DETERMINISTIC_TAG_RE = re.compile(r"gptpu-analyze:\s*deterministic-file")
+
+
+@dataclasses.dataclass
+class Finding:
+    path: str      # repo-root-relative, posix separators
+    line: int
+    rule_id: str   # "R8"
+    message: str
+    suppressed: bool = False
+    suppress_reason: str = ""
+
+    @property
+    def rule_name(self) -> str:
+        return RULES.get(self.rule_id, self.rule_id)
+
+    def render(self) -> str:
+        return (f"{self.path}:{self.line}: "
+                f"[{self.rule_id} {self.rule_name}] {self.message}")
+
+
+@dataclasses.dataclass
+class Suppression:
+    line: int           # line the directive appears on
+    applies_to: int     # line whose findings it covers
+    rule_id: str
+    reason: str
+    used: bool = False
+
+
+def strip_comments(text: str) -> str:
+    """Blanks comments and literal contents, preserving line structure.
+
+    Single state machine over the whole file so block comments and
+    multi-line raw strings cannot desynchronize a per-line scanner.
+    """
+    out: list[str] = []
+    i, n = 0, len(text)
+    state = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "string"
+                out.append('"')
+                i += 1
+                continue
+            if c == "'":
+                state = "char"
+                out.append("'")
+                i += 1
+                continue
+            out.append(c)
+            i += 1
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                out.append("\n")
+            else:
+                out.append(" ")
+            i += 1
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append("\n" if c == "\n" else " ")
+            i += 1
+        elif state in ("string", "char"):
+            quote = '"' if state == "string" else "'"
+            if c == "\\" and nxt:
+                out.append("  ")
+                i += 2
+                continue
+            if c == quote:
+                state = "code"
+                out.append(quote)
+            elif c == "\n":  # unterminated literal; resynchronize
+                state = "code"
+                out.append("\n")
+            else:
+                out.append(" ")
+            i += 1
+    return "".join(out)
+
+
+class SourceFile:
+    """One analyzed file: raw + clean text, directives, tags."""
+
+    def __init__(self, root: pathlib.Path, rel: pathlib.PurePosixPath,
+                 text: str):
+        self.root = root
+        self.rel = rel
+        self.path = str(rel)
+        self.text = text
+        self.lines = text.splitlines()
+        self.clean_text = strip_comments(text)
+        self.clean_lines = self.clean_text.splitlines()
+        # Keep the two views line-aligned even for files without trailing
+        # newlines or with stray carriage returns.
+        while len(self.clean_lines) < len(self.lines):
+            self.clean_lines.append("")
+        self.is_header = rel.suffix in {".hpp", ".h"}
+        self.deterministic = bool(DETERMINISTIC_TAG_RE.search(text))
+        self.suppressions: list[Suppression] = []
+        self._parse_suppressions()
+
+    def _parse_suppressions(self) -> None:
+        for lineno, raw in enumerate(self.lines, start=1):
+            for m in SUPPRESS_RE.finditer(raw):
+                rule = m.group(1)
+                rule_id = rule if rule in RULES else NAME_TO_ID.get(rule, rule)
+                reason = m.group(2).strip()
+                code_part = (self.clean_lines[lineno - 1]
+                             if lineno - 1 < len(self.clean_lines) else "")
+                applies_to = lineno if code_part.strip() else lineno + 1
+                self.suppressions.append(
+                    Suppression(line=lineno, applies_to=applies_to,
+                                rule_id=rule_id, reason=reason))
+
+    def clean_line(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.clean_lines):
+            return self.clean_lines[lineno - 1]
+        return ""
+
+
+def load_file(root: pathlib.Path, rel: pathlib.PurePosixPath):
+    """Returns (SourceFile | None, Finding | None)."""
+    try:
+        text = (root / rel).read_text(encoding="utf-8")
+    except UnicodeDecodeError:
+        return None, Finding(str(rel), 1, "R5", "file is not valid UTF-8")
+    return SourceFile(root, rel, text), None
+
+
+def apply_suppressions(files: list[SourceFile],
+                       findings: list[Finding]) -> list[Finding]:
+    """Marks suppressed findings and appends R0 findings for directives
+    that lack a reason. Returns the full, sorted finding list."""
+    by_path = {f.path: f for f in files}
+    for finding in findings:
+        sf = by_path.get(finding.path)
+        if sf is None:
+            continue
+        for sup in sf.suppressions:
+            if sup.rule_id != finding.rule_id:
+                continue
+            if sup.applies_to != finding.line and sup.line != finding.line:
+                continue
+            if not sup.reason:
+                continue  # reasonless directives suppress nothing
+            finding.suppressed = True
+            finding.suppress_reason = sup.reason
+            sup.used = True
+            break
+    for sf in files:
+        for sup in sf.suppressions:
+            if sup.rule_id not in RULES or sup.rule_id == "R0":
+                findings.append(Finding(
+                    sf.path, sup.line, "R0",
+                    f"allow() names unknown rule '{sup.rule_id}'"))
+            elif not sup.reason:
+                findings.append(Finding(
+                    sf.path, sup.line, "R0",
+                    f"allow({sup.rule_id}) without a reason; write "
+                    f"allow({sup.rule_id} <why this is safe>)"))
+    findings.sort(key=lambda f: (f.path, f.line, f.rule_id, f.message))
+    return findings

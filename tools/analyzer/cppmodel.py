@@ -1,0 +1,481 @@
+"""Token-level C++ facts for the semantic rules (R8-R11).
+
+This is the deterministic fallback backend: a brace/paren-aware scanner
+over the comment-stripped text that recovers just enough structure for
+the project's rules -- function definitions and declarations (with their
+enclosing class, domain annotations and return types), call sites, mutex
+declarations and lock-acquisition scopes. It is *not* a C++ parser; it is
+tuned to the project style the R1-R7 rules already enforce (one class per
+scope level, annotated gptpu::Mutex/MutexLock primitives, no macros that
+hide braces). When python libclang bindings are importable the driver
+swaps in clang_ast.build_index, which produces the same FunctionIndex
+from a real AST (see clang_ast.py).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+
+from core import SourceFile
+
+# Names that look like calls / heads but are control flow or specifiers.
+KEYWORDS = {
+    "if", "for", "while", "switch", "return", "catch", "sizeof", "alignof",
+    "decltype", "noexcept", "static_assert", "throw", "new", "delete",
+    "case", "default", "do", "else", "goto", "co_return", "co_await",
+    "alignas", "requires", "explicit", "operator", "defined", "assert",
+}
+
+# Member calls with these names on a *receiver* (x.clear(), v->size())
+# are overwhelmingly std-container / smart-pointer operations; resolving
+# them by simple name against same-named project methods would fabricate
+# call-graph edges, so they are dropped unless the receiver is `this`.
+CONTAINER_METHODS = {
+    "clear", "size", "empty", "find", "count", "begin", "end", "rbegin",
+    "rend", "erase", "insert", "emplace", "emplace_back", "push_back",
+    "pop_back", "pop_front", "push_front", "front", "back", "at", "data",
+    "reserve", "resize", "swap", "contains", "str", "c_str", "append",
+    "substr", "length", "get", "release", "load", "store", "exchange",
+    "fetch_add", "fetch_sub", "compare_exchange_weak", "push", "pop",
+    "top", "first", "second", "min", "max",
+}
+# Calls qualified with these namespaces are external; never resolve them
+# against project functions.
+EXTERNAL_NAMESPACES = {"std", "testing", "benchmark", "detail"}
+
+IDENT_BEFORE_PAREN = re.compile(r"([A-Za-z_~][A-Za-z0-9_]*)\s*\($")
+QUAL_BEFORE_PAREN = re.compile(
+    r"([A-Za-z_][A-Za-z0-9_]*(?:\s*::\s*[A-Za-z_~][A-Za-z0-9_]*)+)\s*\($")
+CALL_RE = re.compile(r"([A-Za-z_]\w*)\s*\(")
+MUTEX_DECL_RE = re.compile(
+    r"(?:mutable\s+)?(?:gptpu\s*::\s*)?\bMutex\s+([A-Za-z_]\w*)\s*;")
+MUTEX_LOCK_RE = re.compile(r"\bMutexLock\s+[A-Za-z_]\w*\s*\(")
+EXCLUDES_RE = re.compile(r"GPTPU_EXCLUDES\s*\(([^)]*)\)")
+ACQ_BEFORE_RE = re.compile(r"GPTPU_ACQUIRED_BEFORE\s*\(([^)]*)\)")
+ACQ_AFTER_RE = re.compile(r"GPTPU_ACQUIRED_AFTER\s*\(([^)]*)\)")
+ACCESS_SPEC_RE = re.compile(r"\b(?:public|private|protected)\s*:(?!:)")
+
+
+@dataclasses.dataclass
+class FunctionInfo:
+    name: str                  # simple name ("acquire")
+    qual: str                  # qualified ("VirtualResource::acquire")
+    cls: str | None            # enclosing class/struct, if any
+    path: str                  # file the head appears in
+    line: int                  # head line
+    head: str                  # full head text (return type .. annotations)
+    body: str | None = None    # clean body text, None for declarations
+    body_line: int = 0         # line the body's '{' is on
+    domain: str | None = None  # "virtual" | "wall" | None
+    returns_status: bool = False
+    calls: list = dataclasses.field(default_factory=list)   # (name, line)
+    # Lock facts, filled by scan_lock_scopes:
+    #   acquisitions: (mutex_expr, line, [(name,line) calls in scope],
+    #                  [(expr,line) nested acquisitions in scope])
+    acquisitions: list = dataclasses.field(default_factory=list)
+    excludes: list = dataclasses.field(default_factory=list)  # raw exprs
+
+
+@dataclasses.dataclass
+class MutexInfo:
+    name: str        # member name ("mu_")
+    owner: str       # enclosing class, or "<file-stem>" for free mutexes
+    qual: str        # "Scheduler::mu_"
+    path: str
+    line: int
+    acquired_before: list = dataclasses.field(default_factory=list)
+    acquired_after: list = dataclasses.field(default_factory=list)
+
+
+class FunctionIndex:
+    """All extracted functions/mutexes across the analyzed file set."""
+
+    def __init__(self):
+        self.functions: list[FunctionInfo] = []
+        self.mutexes: list[MutexInfo] = []
+
+    # -- lookups -----------------------------------------------------------
+
+    def defs_by_name(self) -> dict[str, list[FunctionInfo]]:
+        out: dict[str, list[FunctionInfo]] = {}
+        for f in self.functions:
+            if f.body is not None:
+                out.setdefault(f.name, []).append(f)
+        return out
+
+    def by_name(self) -> dict[str, list[FunctionInfo]]:
+        out: dict[str, list[FunctionInfo]] = {}
+        for f in self.functions:
+            out.setdefault(f.name, []).append(f)
+        return out
+
+    def merge_declarations(self) -> None:
+        """Propagates header-declaration facts (domain annotation, Status
+        return) onto the matching out-of-line definitions, and vice versa,
+        keyed by qualified name."""
+        # Class-qualified names are unique enough to match across any
+        # files; free functions only match between a header/source pair
+        # (foo.hpp <-> foo.cpp), else unrelated same-named free functions
+        # in different namespaces would cross-contaminate.
+        def key(f: FunctionInfo) -> str:
+            if f.cls:
+                return f.qual
+            stem = f.path.rsplit("/", 1)[-1].rsplit(".", 1)[0]
+            return f"{stem}//{f.qual}"
+
+        domain_by_qual: dict[str, str] = {}
+        status_by_qual: dict[str, bool] = {}
+        for f in self.functions:
+            if f.domain:
+                domain_by_qual.setdefault(key(f), f.domain)
+            if f.returns_status:
+                status_by_qual[key(f)] = True
+        for f in self.functions:
+            if f.domain is None:
+                f.domain = domain_by_qual.get(key(f))
+            if not f.returns_status and status_by_qual.get(key(f)):
+                f.returns_status = True
+
+    def mutex_by_owner(self) -> dict[str, dict[str, MutexInfo]]:
+        out: dict[str, dict[str, MutexInfo]] = {}
+        for m in self.mutexes:
+            out.setdefault(m.owner, {})[m.name] = m
+        return out
+
+    def mutex_by_name(self) -> dict[str, list[MutexInfo]]:
+        out: dict[str, list[MutexInfo]] = {}
+        for m in self.mutexes:
+            out.setdefault(m.name, []).append(m)
+        return out
+
+
+def _line_of(text: str, pos: int) -> int:
+    return text.count("\n", 0, pos) + 1
+
+
+def _head_domain(head: str) -> str | None:
+    if "GPTPU_VIRTUAL_DOMAIN" in head:
+        return "virtual"
+    if "GPTPU_WALL_DOMAIN" in head:
+        return "wall"
+    return None
+
+
+def _returns_status(head: str, name: str) -> bool:
+    """True when the head's return type is Status or Result<T>."""
+    paren = head.find("(")
+    prefix = head[:paren] if paren >= 0 else head
+    # Drop the function name (and qualifier) itself so a constructor of a
+    # class named Status would not count.
+    prefix = re.sub(r"[A-Za-z_~][\w:]*\s*$", "", prefix)
+    if re.search(r"\bResult\s*<", prefix):
+        return True
+    return bool(re.search(r"\bStatus\b\s*&?\s*$", prefix.strip() + " ")
+                ) and "StatusCode" not in prefix
+
+
+def _extract_calls(body: str, base_line: int) -> list:
+    calls = []
+    for m in CALL_RE.finditer(body):
+        name = m.group(1)
+        if name in KEYWORDS or name.startswith("GPTPU_"):
+            continue
+        lead = body[max(0, m.start() - 64):m.start()].rstrip()
+        # `ns::name(` -- skip external namespaces entirely.
+        if lead.endswith("::"):
+            qm = re.search(r"([A-Za-z_]\w*)\s*::$", lead)
+            if qm and qm.group(1) in EXTERNAL_NAMESPACES:
+                continue
+        # `recv.name(` / `recv->name(` -- drop container/smart-pointer
+        # method names unless called on `this`.
+        if (lead.endswith(".") or lead.endswith("->")) and \
+                name in CONTAINER_METHODS:
+            recv = re.search(r"([A-Za-z_]\w*)\s*(?:\.|->)$", lead)
+            if not (recv and recv.group(1) == "this"):
+                continue
+        calls.append((name, base_line + body.count("\n", 0, m.start())))
+    return calls
+
+
+def _matching_paren(text: str, open_pos: int) -> int:
+    depth = 0
+    for i in range(open_pos, len(text)):
+        if text[i] == "(":
+            depth += 1
+        elif text[i] == ")":
+            depth -= 1
+            if depth == 0:
+                return i
+    return len(text) - 1
+
+
+class _Scope:
+    def __init__(self, kind: str, name: str | None):
+        self.kind = kind  # "namespace" | "class" | "function" | "block"
+        self.name = name
+
+
+def scan_file(sf: SourceFile, index: FunctionIndex) -> None:
+    """Extracts functions and mutex declarations from one file."""
+    text = sf.clean_text
+    scopes: list[_Scope] = []
+    head_start = 0  # start of the pending declaration head
+    i, n = 0, len(text)
+
+    def current_class() -> str | None:
+        for s in reversed(scopes):
+            if s.kind == "class":
+                return s.name
+        return None
+
+    def in_function() -> bool:
+        return any(s.kind == "function" for s in scopes)
+
+    def record_mutexes(segment: str, seg_start: int) -> None:
+        owner = current_class() or f"<{sf.rel.stem}>"
+        for m in MUTEX_DECL_RE.finditer(segment):
+            line = _line_of(text, seg_start + m.start())
+            name = m.group(1)
+            info = MutexInfo(name=name, owner=owner,
+                             qual=f"{owner}::{name}", path=sf.path, line=line)
+            tail = segment[m.end():m.end() + 200]
+            lead = segment[max(0, m.start() - 200):m.start()]
+            for rx, dest in ((ACQ_BEFORE_RE, info.acquired_before),
+                             (ACQ_AFTER_RE, info.acquired_after)):
+                for am in rx.finditer(lead + segment[m.start():m.end()] + tail):
+                    dest.extend(x.strip() for x in am.group(1).split(","))
+            index.mutexes.append(info)
+
+    def classify_head(head: str):
+        """Returns ('namespace'|'class'|'function'|None, name)."""
+        stripped = head.strip()
+        if not stripped:
+            return None, None
+        nm = re.match(r"(?:inline\s+)?namespace\b\s*([\w:]*)", stripped)
+        if nm:
+            return "namespace", nm.group(1) or "<anon>"
+        cm = re.search(
+            r"\b(?:class|struct)\s+(?:GPTPU_\w+\s*(?:\([^)]*\)\s*)?)?"
+            r"([A-Za-z_]\w*)\s*(?::[^:]|$)?", stripped)
+        if cm and "(" not in stripped.split("class")[0].split("struct")[0]:
+            # `enum class X` is handled by the enum test below.
+            if re.search(r"\benum\b", stripped):
+                return "block", None
+            # A head like `void f(class X* p)` is a function, not a class:
+            # only classify as class when no paren precedes the keyword.
+            kw = re.search(r"\b(?:class|struct)\b", stripped)
+            if "(" not in stripped[:kw.start()]:
+                tail = stripped[kw.end():]
+                if "(" not in tail.split(cm.group(1))[0]:
+                    return "class", cm.group(1)
+        if re.search(r"\benum\b|\bunion\b", stripped):
+            return "block", None
+        if "=" in re.sub(r"=\s*(?:default|delete|0)\b", "", stripped) and \
+           not re.search(r"operator\s*=*\s*\($", stripped):
+            return "block", None  # initializer list `X x = {...}` etc.
+        # Function head: an identifier directly before the first '('.
+        paren = stripped.find("(")
+        if paren < 0:
+            return "block", None
+        qm = QUAL_BEFORE_PAREN.search(stripped[:paren + 1])
+        im = IDENT_BEFORE_PAREN.search(stripped[:paren + 1])
+        name = None
+        qual = None
+        if qm:
+            parts = [p.strip() for p in qm.group(1).split("::")]
+            name, qual = parts[-1], "::".join(parts[-2:])
+        elif im:
+            name = im.group(1)
+        if not name or name in KEYWORDS or name.startswith("GPTPU_") or \
+                name.isupper():
+            return "block", None
+        return "function", (name, qual)
+
+    def finish_head(head: str, head_pos: int, has_body: bool,
+                    body: str | None, body_pos: int) -> None:
+        kind, payload = classify_head(head)
+        if kind != "function" or payload is None:
+            return
+        name, qual = payload
+        cls = current_class()
+        if qual is None:
+            qual = f"{cls}::{name}" if cls else name
+        else:
+            cls = qual.split("::")[0]
+        fi = FunctionInfo(
+            name=name, qual=qual, cls=cls, path=sf.path,
+            line=_line_of(text, head_pos), head=head,
+            domain=_head_domain(head),
+            returns_status=_returns_status(head, name))
+        for ex in EXCLUDES_RE.finditer(head):
+            fi.excludes.extend(x.strip() for x in ex.group(1).split(","))
+        if has_body and body is not None:
+            fi.body = body
+            fi.body_line = _line_of(text, body_pos)
+            fi.calls = _extract_calls(body, fi.body_line)
+            scan_lock_scopes(fi, body, fi.body_line)
+        index.functions.append(fi)
+
+    # Head text accumulates between statement boundaries at class /
+    # namespace level. We scan character-wise, skipping over parenthesized
+    # groups so `;` inside for-headers or argument defaults cannot split a
+    # head, and over nested braces inside function bodies.
+    pending_start = 0
+    while i < n:
+        c = text[i]
+        if c == "(":
+            i = _matching_paren(text, i) + 1
+            continue
+        if c == ";":
+            if not in_function():
+                seg = text[pending_start:i + 1]
+                record_mutexes(seg, pending_start)
+                finish_head(text[pending_start:i].strip(), pending_start,
+                            has_body=False, body=None, body_pos=i)
+            pending_start = i + 1
+            i += 1
+            continue
+        if c == "{":
+            head = text[pending_start:i]
+            kind, payload = (None, None)
+            if not in_function():
+                kind, payload = classify_head(head)
+            if kind == "namespace":
+                scopes.append(_Scope("namespace", payload))
+            elif kind == "class":
+                scopes.append(_Scope("class", payload))
+            elif kind == "function" and not in_function():
+                end = _matching_brace(text, i)
+                finish_head(head.strip(), pending_start, has_body=True,
+                            body=text[i + 1:end], body_pos=i)
+                i = end + 1
+                pending_start = i
+                continue
+            else:
+                scopes.append(_Scope("block", None))
+            pending_start = i + 1
+            i += 1
+            continue
+        if c == "}":
+            if scopes:
+                scopes.pop()
+            pending_start = i + 1
+            i += 1
+            continue
+        if c == ":" and not in_function():
+            # Reset the head at access specifiers so `private:` does not
+            # glue onto the next declaration.
+            before = text[pending_start:i + 1]
+            if ACCESS_SPEC_RE.search(before[-12:]):
+                pending_start = i + 1
+        i += 1
+
+
+def _matching_brace(text: str, open_pos: int) -> int:
+    depth = 0
+    for i in range(open_pos, len(text)):
+        if text[i] == "{":
+            depth += 1
+        elif text[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return i
+    return len(text) - 1
+
+
+def scan_lock_scopes(fi: FunctionInfo, body: str, base_line: int) -> None:
+    """Records MutexLock acquisitions and what happens while each is held.
+
+    A MutexLock's scope runs to the end of its enclosing brace block. For
+    every acquisition we record the calls and the further acquisitions
+    inside that extent -- the raw material of the lock-order graph (R11).
+    """
+    acquisitions = []
+    for m in MUTEX_LOCK_RE.finditer(body):
+        open_paren = m.end() - 1
+        close = _matching_paren(body, open_paren)
+        expr = body[open_paren + 1:close].strip()
+        # Find the enclosing block's end: walk forward tracking depth; the
+        # scope ends when depth goes negative (the block's closing brace).
+        depth = 0
+        end = len(body)
+        for j in range(m.end(), len(body)):
+            if body[j] == "{":
+                depth += 1
+            elif body[j] == "}":
+                depth -= 1
+                if depth < 0:
+                    end = j
+                    break
+        acquisitions.append((expr, m.start(), m.end(), end))
+    for expr, start, scope_begin, scope_end in acquisitions:
+        line = base_line + body.count("\n", 0, start)
+        held = body[scope_begin:scope_end]
+        calls = _extract_calls(held, base_line + body.count("\n", 0,
+                                                            scope_begin))
+        nested = []
+        for expr2, start2, _, _ in acquisitions:
+            if scope_begin < start2 < scope_end:
+                nested.append((expr2.strip(),
+                               base_line + body.count("\n", 0, start2)))
+        fi.acquisitions.append((expr, line, calls, nested))
+
+
+def build_index(files: list[SourceFile]) -> FunctionIndex:
+    index = FunctionIndex()
+    for sf in files:
+        if sf.rel.suffix in {".cpp", ".hpp", ".h", ".cc", ".cxx"}:
+            scan_file(sf, index)
+    index.merge_declarations()
+    return index
+
+
+def resolve_mutex(expr: str, fi: FunctionInfo,
+                  index: FunctionIndex) -> str | None:
+    """Maps a MutexLock argument expression to a mutex's qualified name.
+
+    Resolution order: a member of the enclosing class; the parameter /
+    object type named in the function head (for `ds.mu` with
+    `DeviceState& ds` in the signature); a globally unique member name; a
+    file-local fallback node so unresolved names never alias across files.
+    """
+    expr = expr.strip()
+    # A trailing call means the lock reference is *returned* by a function
+    # (`ctx.accum_lock(row, col)`): the callee, not its arguments, is the
+    # lock's identity.
+    expr = re.sub(r"\((?:[^()]|\([^()]*\))*\)\s*$", "", expr).strip()
+    tail = re.split(r"\.|->", expr)[-1].strip()
+    tail = re.sub(r"[^\w].*$", "", tail)
+    if not tail:
+        return None
+    owners = index.mutex_by_owner()
+    # 1. Enclosing class member.
+    if fi.cls and fi.cls in owners and tail in owners[fi.cls]:
+        return owners[fi.cls][tail].qual
+    # 2. Object with a type named in the head: `Foo& obj` + `obj.mu`.
+    obj = re.split(r"\.|->", expr)[0].strip()
+    obj = re.sub(r"\(.*$", "", obj)
+    if obj and obj != tail:
+        tm = re.search(rf"([A-Za-z_]\w*)\s*[&*]?\s+{re.escape(obj)}\b",
+                       fi.head)
+        if tm and tm.group(1) in owners and tail in owners[tm.group(1)]:
+            return owners[tm.group(1)][tail].qual
+        # `state().mu`: resolve through the called function's return type.
+        by_name = index.by_name()
+        if obj in by_name and len(by_name[obj]) == 1:
+            ret = by_name[obj][0].head.split("(")[0]
+            rm = re.findall(r"([A-Za-z_]\w*)", ret)
+            for type_name in rm:
+                if type_name in owners and tail in owners[type_name]:
+                    return owners[type_name][tail].qual
+    # 3. Globally unique name.
+    candidates = index.mutex_by_name().get(tail, [])
+    if len(candidates) == 1:
+        return candidates[0].qual
+    # 4. File-local fallback.
+    local = [m for m in candidates if m.path == fi.path]
+    if len(local) == 1:
+        return local[0].qual
+    stem = fi.path.rsplit("/", 1)[-1]
+    return f"<{stem}>::{tail}"

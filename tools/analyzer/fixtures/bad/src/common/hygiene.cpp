@@ -1,0 +1,22 @@
+// Fixture: R1 (naked new/delete), R3 (std::endl), R4 (raw std mutex).
+#include "../common/hygiene.hpp"  // also R5: '../' relative include
+#include <iostream>
+#include <mutex>
+
+namespace fixture {
+
+int* make_buffer() {
+  return new int[16];  // R1
+}
+
+void drop_buffer(int* p) {
+  delete[] p;  // R1
+}
+
+void report() {
+  std::cout << "done" << std::endl;  // R3
+}
+
+std::mutex raw_mu;  // R4
+
+}  // namespace fixture

@@ -1,0 +1,10 @@
+// Fixture: R5 (missing #pragma once) and R6 (metrics include in a header).
+#include "common/metrics.hpp"
+
+namespace fixture {
+
+int* make_buffer();
+void drop_buffer(int* p);
+void report();
+
+}  // namespace fixture

@@ -1,0 +1,13 @@
+// Fixture: R2 -- endianness-unsafe access to the wire buffer. The rule is
+// path-scoped to src/isa/model_format.cpp, which this file mirrors.
+#include "isa/model_format.hpp"
+
+#include <cstdint>
+
+namespace fixture {
+
+std::uint32_t peek_header(const char* buf) {
+  return *reinterpret_cast<const std::uint32_t*>(buf);  // R2
+}
+
+}  // namespace fixture

@@ -1,0 +1,14 @@
+// Fixture: R0 -- suppression directives that carry no justification (or
+// name an unknown rule) are findings themselves, and suppress nothing:
+// the underlying finding still fires alongside the R0.
+#include <iostream>
+
+namespace fixture {
+
+void shout() {
+  // gptpu-analyze: allow(R3)
+  std::cout << "loud" << std::endl;  // R3 still fires: reasonless allow
+  std::cout << "odd" << std::endl;  // gptpu-analyze: allow(R99 not a rule)
+}
+
+}  // namespace fixture

@@ -1,0 +1,38 @@
+// Fixture: R8 -- wall-clock reads reachable from virtual-domain code.
+// Covers all three flavors: a direct wall primitive (R8a), a call into an
+// explicitly wall-annotated function (R8b), and a call into an
+// unannotated helper that transitively reaches a wall primitive (R8c).
+#include "common/domain_annotations.hpp"
+#include "common/stopwatch.hpp"
+
+namespace fixture {
+
+GPTPU_WALL_DOMAIN
+double host_now() {
+  Stopwatch sw;
+  return sw.elapsed();
+}
+
+double leaky_helper() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+GPTPU_VIRTUAL_DOMAIN
+double advance_direct() {
+  Stopwatch sw;  // R8a: wall primitive inside a virtual function
+  return sw.elapsed();
+}
+
+GPTPU_VIRTUAL_DOMAIN
+double advance_via_wall() {
+  return host_now();  // R8b: virtual -> wall-annotated call
+}
+
+GPTPU_VIRTUAL_DOMAIN
+double advance_via_helper() {
+  return leaky_helper();  // R8c: virtual -> unannotated -> wall primitive
+}
+
+}  // namespace fixture

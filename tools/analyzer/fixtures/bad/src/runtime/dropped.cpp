@@ -1,0 +1,23 @@
+// Fixture: R9 -- discarded Status / Result values: a bare expression
+// statement and a `(void)` cast (which silences the compiler without a
+// grep-able marker, so it is a finding too).
+#include "common/status.hpp"
+
+namespace fixture {
+
+gptpu::Status flush_queue();
+gptpu::Status submit(int item);
+
+struct Channel {
+  gptpu::Status send(int item);
+};
+
+void pump(Channel& ch) {
+  flush_queue();              // R9: plain discard
+  (void)submit(1);            // R9: (void) discard
+  ch.send(2);                 // R9: discard through a member call
+  gptpu::Status kept = submit(3);
+  GPTPU_IGNORE_STATUS(kept);
+}
+
+}  // namespace fixture

@@ -1,0 +1,23 @@
+// gptpu-analyze: deterministic-file
+// Fixture: R10 -- range-for over unordered containers in a file tagged
+// deterministic (its output order must not depend on hash-map layout).
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fixture {
+
+std::unordered_map<int, double> totals;
+std::unordered_set<int> seen;
+
+double export_sum() {
+  double s = 0;
+  for (const auto& kv : totals) {  // R10
+    s += kv.second;
+  }
+  for (int id : seen) {  // R10
+    s += id;
+  }
+  return s;
+}
+
+}  // namespace fixture

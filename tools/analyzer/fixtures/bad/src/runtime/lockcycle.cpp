@@ -1,0 +1,27 @@
+// Fixture: R11 -- a lock-order cycle: two paths acquire the same pair of
+// mutexes in opposite orders, the classic AB/BA deadlock.
+#include "common/thread_annotations.hpp"
+
+namespace fixture {
+
+using gptpu::Mutex;
+using gptpu::MutexLock;
+
+class PairedState {
+ public:
+  void drain() {
+    MutexLock a(mu_a_);
+    MutexLock b(mu_b_);  // edge mu_a_ -> mu_b_
+  }
+
+  void refill() {
+    MutexLock b(mu_b_);
+    MutexLock a(mu_a_);  // edge mu_b_ -> mu_a_: closes the cycle
+  }
+
+ private:
+  Mutex mu_a_;
+  Mutex mu_b_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,11 @@
+// Fixture: R7 -- `throw` in device.cpp (path-scoped rule; faults must
+// surface as Status, never unwind through runtime workers).
+#include "sim/device.hpp"
+
+namespace fixture {
+
+void poke_device(bool ok) {
+  if (!ok) throw 42;  // R7
+}
+
+}  // namespace fixture

@@ -1,0 +1,23 @@
+// Fixture: a hygienic header -- pragma once, no metrics include, smart
+// ownership, annotated synchronization. Must produce zero findings.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/thread_annotations.hpp"
+
+namespace fixture {
+
+class CleanState {
+ public:
+  void push(int v);
+  [[nodiscard]] std::vector<int> snapshot() const;
+
+ private:
+  mutable gptpu::Mutex mu_;
+  std::vector<int> items_ GPTPU_GUARDED_BY(mu_);
+  std::unique_ptr<int[]> scratch_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,14 @@
+// Fixture: the suppression round-trip. A reasoned allow() on the line
+// above (comment-only) and inline both silence their finding; the run
+// reports them as suppressed, not active.
+#include <iostream>
+
+namespace fixture {
+
+void banner() {
+  // gptpu-analyze: allow(R3 flushing is intended at program exit)
+  std::cout << "bye" << std::endl;
+  std::cout << "!" << std::endl;  // gptpu-analyze: allow(R3 same, inline form)
+}
+
+}  // namespace fixture

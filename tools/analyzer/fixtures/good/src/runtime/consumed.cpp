@@ -1,0 +1,18 @@
+// Fixture: every Status-returning call is consumed -- assigned, tested,
+// returned, or explicitly discarded through GPTPU_IGNORE_STATUS.
+#include "common/status.hpp"
+
+namespace fixture {
+
+gptpu::Status flush_queue();
+gptpu::Status submit(int item);
+
+gptpu::Status pump() {
+  gptpu::Status s = submit(1);
+  if (!s.ok()) return s;
+  if (gptpu::Status f = flush_queue(); !f.ok()) return f;
+  GPTPU_IGNORE_STATUS(submit(2));
+  return flush_queue();
+}
+
+}  // namespace fixture

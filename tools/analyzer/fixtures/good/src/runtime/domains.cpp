@@ -1,0 +1,34 @@
+// Fixture: clock-domain discipline done right. Virtual-domain code calls
+// only virtual-domain (or wall-free) code; the wall-clock read lives in
+// an explicitly wall-annotated function nothing virtual calls.
+#include "common/domain_annotations.hpp"
+#include "common/stopwatch.hpp"
+
+namespace fixture {
+
+GPTPU_WALL_DOMAIN
+double host_now() {
+  Stopwatch sw;
+  return sw.elapsed();
+}
+
+GPTPU_VIRTUAL_DOMAIN
+double modelled_step(double at) {
+  return at + 1e-6;
+}
+
+GPTPU_VIRTUAL_DOMAIN
+double advance(double at) {
+  return modelled_step(at);  // virtual -> virtual: fine
+}
+
+double pure_math(double x) {
+  return x * 0.5;  // unannotated, wall-free: callable from either domain
+}
+
+GPTPU_VIRTUAL_DOMAIN
+double advance_mixed(double at) {
+  return pure_math(modelled_step(at));
+}
+
+}  // namespace fixture

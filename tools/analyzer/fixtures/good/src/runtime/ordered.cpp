@@ -1,0 +1,47 @@
+// gptpu-analyze: deterministic-file
+// Fixture: deterministic iteration in a tagged file -- ordered containers
+// range-for freely; the unordered map is only touched via sorted keys.
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "common/thread_annotations.hpp"
+
+namespace fixture {
+
+std::map<int, double> ordered_totals;
+std::unordered_map<int, double> hashed_totals;
+
+double export_sum() {
+  double s = 0;
+  for (const auto& kv : ordered_totals) {  // std::map: ordered, fine
+    s += kv.second;
+  }
+  std::vector<int> keys;
+  keys.reserve(hashed_totals.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) {  // index loop, fine
+    s += keys[i];
+  }
+  return s;
+}
+
+// Consistent AB order on both paths: acquiring a before b everywhere
+// keeps the lock-order graph acyclic.
+class OrderedPair {
+ public:
+  void drain() {
+    gptpu::MutexLock a(mu_a_);
+    gptpu::MutexLock b(mu_b_);
+  }
+  void refill() {
+    gptpu::MutexLock a(mu_a_);
+    gptpu::MutexLock b(mu_b_);
+  }
+
+ private:
+  gptpu::Mutex mu_a_;
+  gptpu::Mutex mu_b_;
+};
+
+}  // namespace fixture

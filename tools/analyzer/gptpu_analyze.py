@@ -1,0 +1,223 @@
+#!/usr/bin/env python3
+"""gptpu_analyze -- the GPTPU project analyzer (successor of lint.py).
+
+Statically enforces the invariants the reproduction's correctness story
+rests on: the R1-R7 hygiene rules inherited from scripts/lint.py, plus
+
+  R8   clock-domain purity    no wall-clock read reachable from a
+                              GPTPU_VIRTUAL_DOMAIN function
+  R9   discarded-status       every Status/Result-returning call is
+                              consumed or GPTPU_IGNORE_STATUS'd
+  R10  deterministic-iteration no range-for over unordered containers in
+                              deterministic-tagged files
+  R11  lock-order             the static mutex-acquisition graph is
+                              acyclic (emitted as Graphviz dot)
+
+Run it from anywhere; the repository root is derived from this file's
+location (or pass --root). Exit status is the number of unsuppressed
+findings, capped at 99.
+
+Usage:
+  gptpu_analyze.py                      # scan src/tests/tools/bench/examples
+  gptpu_analyze.py --root DIR --scan-all  # scan every C++ file under DIR
+  gptpu_analyze.py src/sim/device.cpp   # scan specific files (root-relative)
+  gptpu_analyze.py --json out.json --dot docs/lock_order.dot
+  gptpu_analyze.py --list-rules
+
+Suppressions: `// gptpu-analyze: allow(R9 reason)` on or just above the
+flagged line. Reasonless suppressions are findings themselves (R0). The
+full rule catalogue and grammar live in docs/ANALYSIS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+
+import clang_ast
+import core
+import cppmodel
+import rules_domain
+import rules_iter
+import rules_locks
+import rules_status
+import rules_text
+
+# Directories holding first-party sources on a default project scan.
+SOURCE_DIRS = ["src", "tests", "tools", "bench", "examples"]
+CPP_SUFFIXES = {".cpp", ".hpp", ".h", ".cc", ".cxx"}
+# The fixture corpus contains deliberate violations; never part of a
+# project scan (the fixture selftest analyzes it explicitly).
+EXCLUDED_PARTS = {"fixtures"}
+
+
+def default_root() -> pathlib.Path:
+    return pathlib.Path(__file__).resolve().parents[2]
+
+
+def collect_files(root: pathlib.Path, explicit: list[str],
+                  scan_all: bool) -> list[pathlib.PurePosixPath]:
+    rels: list[pathlib.PurePosixPath] = []
+    if explicit:
+        for p in explicit:
+            pp = pathlib.Path(p)
+            rel = pp if not pp.is_absolute() else pp.relative_to(root)
+            rels.append(pathlib.PurePosixPath(rel.as_posix()))
+        return rels
+    bases = [root] if scan_all else [root / d for d in SOURCE_DIRS]
+    for base in bases:
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix not in CPP_SUFFIXES or not path.is_file():
+                continue
+            rel = path.relative_to(root)
+            parts = set(rel.parts)
+            if parts & EXCLUDED_PARTS:
+                continue
+            if any(part.startswith("build") or part == ".git"
+                   for part in rel.parts):
+                continue
+            rels.append(pathlib.PurePosixPath(rel.as_posix()))
+    return sorted(set(rels))
+
+
+def analyze(root: pathlib.Path, rels: list[pathlib.PurePosixPath],
+            backend: str = "auto"):
+    """Runs every rule; returns (findings, files, nodes, edges, backend)."""
+    files: list[core.SourceFile] = []
+    findings: list[core.Finding] = []
+    for rel in rels:
+        sf, err = core.load_file(root, rel)
+        if err:
+            findings.append(err)
+        if sf:
+            files.append(sf)
+
+    for sf in files:
+        findings.extend(rules_text.check_file(sf))
+
+    index = cppmodel.build_index(files)
+    used_backend = "token"
+    if backend in ("auto", "clang") and clang_ast.available():
+        if clang_ast.refine_index(files, index, root):
+            used_backend = "clang"
+    elif backend == "clang":
+        print("gptpu_analyze: libclang requested but not available; "
+              "using the token backend", file=sys.stderr)
+
+    findings.extend(rules_domain.check(index))
+    findings.extend(rules_status.check(files, index))
+    findings.extend(rules_iter.check(files))
+    lock_findings, nodes, edges = rules_locks.check(index)
+    findings.extend(lock_findings)
+
+    findings = core.apply_suppressions(files, findings)
+    return findings, files, nodes, edges, used_backend
+
+
+def summarize(findings, files):
+    active = [f for f in findings if not f.suppressed]
+    suppressed = [f for f in findings if f.suppressed]
+    counts: dict[str, int] = {}
+    for f in active:
+        counts[f.rule_id] = counts.get(f.rule_id, 0) + 1
+    return active, suppressed, counts
+
+
+def main(argv: list[str]) -> int:
+    ap = argparse.ArgumentParser(prog="gptpu_analyze", add_help=True)
+    ap.add_argument("files", nargs="*",
+                    help="root-relative files to analyze (default: scan)")
+    ap.add_argument("--root", type=pathlib.Path, default=None,
+                    help="repository root (default: derived from this "
+                         "script's location)")
+    ap.add_argument("--scan-all", action="store_true",
+                    help="scan every C++ file under root, not just the "
+                         "standard source dirs")
+    ap.add_argument("--json", type=pathlib.Path, default=None,
+                    help="write a machine-readable findings summary")
+    ap.add_argument("--dot", type=pathlib.Path, default=None,
+                    help="write the lock-order graph as Graphviz dot")
+    ap.add_argument("--backend", choices=["auto", "token", "clang"],
+                    default="auto")
+    ap.add_argument("--list-rules", action="store_true")
+    ap.add_argument("-q", "--quiet", action="store_true",
+                    help="print findings only, no summary line")
+    args = ap.parse_args(argv)
+
+    if args.list_rules:
+        for rid in sorted(core.RULES, key=lambda r: int(r[1:])):
+            print(f"{rid:>4}  {core.RULES[rid]}")
+        return 0
+
+    root = (args.root or default_root()).resolve()
+    rels = collect_files(root, args.files, args.scan_all)
+    if not rels:
+        print(f"gptpu_analyze: no source files found under {root}")
+        return 1
+
+    findings, files, nodes, edges, backend = analyze(
+        root, rels, backend=args.backend)
+    active, suppressed, counts = summarize(findings, files)
+
+    for f in active:
+        print(f.render())
+
+    if args.dot:
+        args.dot.parent.mkdir(parents=True, exist_ok=True)
+        args.dot.write_text(rules_locks.to_dot(nodes, edges),
+                            encoding="utf-8")
+
+    if args.json:
+        doc = {
+            "root": str(root),
+            "backend": backend,
+            "files": len(files),
+            "rules": core.RULES,
+            "findings": [
+                {"path": f.path, "line": f.line, "rule": f.rule_id,
+                 "name": f.rule_name, "message": f.message}
+                for f in active
+            ],
+            "suppressed": [
+                {"path": f.path, "line": f.line, "rule": f.rule_id,
+                 "reason": f.suppress_reason}
+                for f in suppressed
+            ],
+            "counts": counts,
+            "lock_graph": {
+                "nodes": sorted(nodes),
+                "edges": [
+                    {"src": e.src, "dst": e.dst,
+                     "at": f"{e.path}:{e.line}", "note": e.note}
+                    for e in sorted(edges, key=lambda e: (e.src, e.dst))
+                ],
+            },
+        }
+        args.json.parent.mkdir(parents=True, exist_ok=True)
+        args.json.write_text(json.dumps(doc, indent=2) + "\n",
+                             encoding="utf-8")
+
+    if not args.quiet:
+        if active:
+            print(f"gptpu_analyze: {len(active)} finding(s) in "
+                  f"{len(files)} files ({len(suppressed)} suppressed; "
+                  f"backend: {backend})")
+        else:
+            sup = (f", {len(suppressed)} suppressed finding(s): " +
+                   "; ".join(f"{f.path}:{f.line} [{f.rule_id}] "
+                             f"{f.suppress_reason}" for f in suppressed)
+                   ) if suppressed else ""
+            print(f"gptpu_analyze: OK ({len(files)} files, "
+                  f"{len(nodes)} mutexes, {len(edges)} lock-order edges, "
+                  f"backend: {backend}{sup})")
+    return min(len(active), 99)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,114 @@
+"""R8: clock-domain purity.
+
+Functions annotated GPTPU_VIRTUAL_DOMAIN produce modelled virtual time or
+other deterministic output bytes (src/common/domain_annotations.hpp). A
+wall-clock reading on such a path silently destroys the byte-identical
+guarantees the reproduction's speedup numbers rest on, so it is a finding:
+
+  R8a  a virtual-domain function body reads a wall clock directly
+       (std::chrono::*_clock, Stopwatch, prof::snapshot/drain/
+       drain_to_registry, clock_gettime, gettimeofday);
+  R8b  a virtual-domain function calls a GPTPU_WALL_DOMAIN function;
+  R8c  a virtual-domain function calls an *unannotated* project function
+       that transitively reaches a wall-clock primitive (resolved over the
+       unique-simple-name call graph, so ambiguous names never guess).
+
+GPTPU_SPAN(label) is exempt by design: spans write wall durations into
+the observability side channel but expose nothing the surrounding code
+could read back, so they cannot perturb virtual results (the determinism
+byte-compare smoke pins that down at run time).
+"""
+
+from __future__ import annotations
+
+import re
+
+from core import Finding
+from cppmodel import FunctionIndex, FunctionInfo
+
+WALL_PRIMITIVE = re.compile(
+    r"std\s*::\s*chrono\b|\bsteady_clock\b|\bsystem_clock\b|"
+    r"\bhigh_resolution_clock\b|\bStopwatch\b|"
+    r"prof\s*::\s*(?:snapshot|drain|drain_to_registry)\s*\(|"
+    r"\bclock_gettime\b|\bgettimeofday\b")
+
+
+def _direct_wall_lines(fi: FunctionInfo) -> list[int]:
+    """Lines inside the body that read a wall-clock primitive."""
+    if fi.body is None:
+        return []
+    lines = []
+    for m in WALL_PRIMITIVE.finditer(fi.body):
+        lines.append(fi.body_line + fi.body.count("\n", 0, m.start()))
+    return lines
+
+
+def _wall_reach(index: FunctionIndex) -> set[str]:
+    """Qualified names of functions that (transitively) read wall clocks.
+
+    Propagation only follows calls whose simple name resolves to exactly
+    one known definition, so common names ('value', 'size') never smear
+    wall-ness across unrelated code.
+    """
+    defs = index.defs_by_name()
+    reach: set[str] = set()
+    for f in index.functions:
+        if f.body is not None and WALL_PRIMITIVE.search(f.body):
+            reach.add(f.qual)
+    changed = True
+    while changed:
+        changed = False
+        for f in index.functions:
+            if f.qual in reach or f.body is None:
+                continue
+            for name, _ in f.calls:
+                cands = defs.get(name, [])
+                if len(cands) == 1 and cands[0].qual in reach:
+                    reach.add(f.qual)
+                    changed = True
+                    break
+    return reach
+
+
+def check(index: FunctionIndex) -> list[Finding]:
+    out: list[Finding] = []
+    defs = index.defs_by_name()
+    by_name = index.by_name()
+    wall_reach = _wall_reach(index)
+
+    for fi in index.functions:
+        if fi.domain != "virtual" or fi.body is None:
+            continue
+        for line in _direct_wall_lines(fi):
+            out.append(Finding(
+                fi.path, line, "R8",
+                f"wall-clock primitive inside virtual-domain function "
+                f"'{fi.qual}'; virtual-time paths must stay deterministic "
+                f"(move the measurement behind GPTPU_WALL_DOMAIN or use "
+                f"modelled time)"))
+        seen: set[tuple[str, int]] = set()
+        for name, line in fi.calls:
+            if (name, line) in seen:
+                continue
+            seen.add((name, line))
+            cands = by_name.get(name, [])
+            if not cands:
+                continue  # std:: / external -- primitives caught above
+            domains = {c.domain for c in cands}
+            if "virtual" in domains:
+                continue
+            if "wall" in domains:
+                out.append(Finding(
+                    fi.path, line, "R8",
+                    f"virtual-domain function '{fi.qual}' calls "
+                    f"wall-domain function '{name}'"))
+                continue
+            defs_c = defs.get(name, [])
+            if len(defs_c) == 1 and defs_c[0].qual in wall_reach:
+                out.append(Finding(
+                    fi.path, line, "R8",
+                    f"virtual-domain function '{fi.qual}' calls "
+                    f"unannotated '{defs_c[0].qual}', which reaches a "
+                    f"wall-clock primitive; annotate the callee's domain "
+                    f"or remove the wall-clock read"))
+    return out

@@ -1,0 +1,122 @@
+"""R10: deterministic iteration in output-producing files.
+
+Iterating a std::unordered_map / std::unordered_set is ordered by hash
+seed and load factor -- stable enough to pass a test, unstable enough to
+break byte-identical exports across compilers, libstdc++ versions, or a
+reserve() call. In files tagged
+
+    // gptpu-analyze: deterministic-file
+
+(metrics export, trace export, scheduler dispatch, fault replay -- any
+file whose iteration order can reach output bytes or placement
+decisions), a range-for over an unordered container is a finding: sort
+the keys first, snapshot into a vector, or use an ordered container.
+
+Detection is project-wide: container *declarations* are indexed across
+every analyzed file, so a tagged .cpp iterating a member declared in its
+header is still caught.
+"""
+
+from __future__ import annotations
+
+import re
+
+from core import Finding, SourceFile
+
+UNORDERED_DECL = re.compile(r"std\s*::\s*unordered_(?:map|set|multimap|"
+                            r"multiset)\b")
+RANGE_FOR = re.compile(r"\bfor\s*\(")
+IDENT = re.compile(r"[A-Za-z_]\w*")
+
+
+def _decl_names(files: list[SourceFile]) -> set[str]:
+    """Variable / member names declared with an unordered container type.
+
+    After the closing `>` of the template argument list the next
+    identifier is the declared name (skipping GPTPU_* annotation macros
+    that precede nothing -- annotations follow the name in this codebase).
+    """
+    names: set[str] = set()
+    for sf in files:
+        text = sf.clean_text
+        for m in UNORDERED_DECL.finditer(text):
+            i = text.find("<", m.end() - 1)
+            if i < 0:
+                continue
+            depth = 0
+            j = i
+            while j < len(text):
+                if text[j] == "<":
+                    depth += 1
+                elif text[j] == ">":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                j += 1
+            tail = text[j + 1:j + 200]
+            im = IDENT.search(tail)
+            if im and im.group(0) not in {"const", "mutable"}:
+                names.add(im.group(0))
+    return names
+
+
+def _range_for_exprs(text: str):
+    """Yields (iterable_expr, offset) for every range-based for."""
+    for m in RANGE_FOR.finditer(text):
+        open_paren = m.end() - 1
+        depth = 0
+        close = None
+        for j in range(open_paren, len(text)):
+            if text[j] == "(":
+                depth += 1
+            elif text[j] == ")":
+                depth -= 1
+                if depth == 0:
+                    close = j
+                    break
+        if close is None:
+            continue
+        header = text[open_paren + 1:close]
+        if ";" in header:
+            continue  # classic three-clause for
+        # The range-for ':' is the first ':' not part of '::'.
+        k = 0
+        colon = -1
+        while k < len(header):
+            if header[k] == ":":
+                if k + 1 < len(header) and header[k + 1] == ":":
+                    k += 2
+                    continue
+                if k > 0 and header[k - 1] == ":":
+                    k += 1
+                    continue
+                colon = k
+                break
+            k += 1
+        if colon < 0:
+            continue
+        yield header[colon + 1:].strip(), open_paren + 1 + colon + 1
+
+
+def check(files: list[SourceFile]) -> list[Finding]:
+    unordered = _decl_names(files)
+    out: list[Finding] = []
+    for sf in files:
+        if not sf.deterministic:
+            continue
+        text = sf.clean_text
+        for expr, offset in _range_for_exprs(text):
+            idents = IDENT.findall(expr)
+            last = idents[-1] if idents else ""
+            direct = "unordered" in expr
+            if not direct and last not in unordered:
+                continue
+            line = 1 + text.count("\n", 0, offset)
+            what = expr if len(expr) <= 40 else expr[:37] + "..."
+            out.append(Finding(
+                sf.path, line, "R10",
+                f"range-for over unordered container '{what}' in a "
+                f"deterministic-tagged file; iterate a sorted snapshot "
+                f"(keys into a vector + std::sort) so output bytes cannot "
+                f"depend on hash order"))
+    return out

@@ -1,0 +1,206 @@
+"""R11: static lock-order graph.
+
+Builds the directed mutex-acquisition graph of the whole tree and fails
+on cycles. An edge A -> B is recorded when:
+
+  * a MutexLock on B is taken while a MutexLock on A is still in scope
+    (same function body, nested or sequential within A's block);
+  * a function called while A is held acquires B -- resolved over the
+    unique-simple-name call graph, transitively, so an EXCLUDES helper
+    that locks its own mutex two calls deep still contributes its edge;
+  * a GPTPU_ACQUIRED_BEFORE / GPTPU_ACQUIRED_AFTER annotation declares
+    the order explicitly.
+
+A cycle (including a self-edge: re-acquiring a held non-recursive mutex)
+is the static shadow of a deadlock and is reported as a finding anchored
+at one of its acquisition sites. The full graph is emitted as Graphviz
+dot (docs/lock_order.dot) so the hierarchy stays reviewable as the
+runtime grows.
+
+Mutex identity is the qualified member name (`Scheduler::mu_`); see
+cppmodel.resolve_mutex for how lock expressions map onto it. Unresolved
+expressions get file-local nodes, so they can never fabricate a
+cross-file cycle.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from core import Finding
+from cppmodel import FunctionIndex, resolve_mutex
+
+
+@dataclasses.dataclass(frozen=True)
+class Edge:
+    src: str
+    dst: str
+    path: str
+    line: int
+    note: str
+
+
+def _function_acquires(index: FunctionIndex) -> dict[str, set[str]]:
+    """qual -> mutexes the function (transitively) acquires itself."""
+    direct: dict[str, set[str]] = {}
+    for fi in index.functions:
+        acq = direct.setdefault(fi.qual, set())
+        for expr, _, _, _ in fi.acquisitions:
+            m = resolve_mutex(expr, fi, index)
+            if m:
+                acq.add(m)
+        for expr in fi.excludes:
+            m = resolve_mutex(expr, fi, index)
+            if m:
+                acq.add(m)
+    defs = index.defs_by_name()
+    # Transitive closure over unique-name calls.
+    changed = True
+    while changed:
+        changed = False
+        for fi in index.functions:
+            if fi.body is None:
+                continue
+            acq = direct[fi.qual]
+            for name, _ in fi.calls:
+                cands = defs.get(name, [])
+                if len(cands) == 1:
+                    extra = direct.get(cands[0].qual, set()) - acq
+                    if extra:
+                        acq.update(extra)
+                        changed = True
+    return direct
+
+
+def build_graph(index: FunctionIndex) -> tuple[set[str], list[Edge]]:
+    nodes = {m.qual for m in index.mutexes}
+    edges: list[Edge] = []
+    defs = index.defs_by_name()
+    acquires = _function_acquires(index)
+
+    for fi in index.functions:
+        for expr, line, calls, nested in fi.acquisitions:
+            held = resolve_mutex(expr, fi, index)
+            if not held:
+                continue
+            nodes.add(held)
+            for expr2, line2 in nested:
+                other = resolve_mutex(expr2, fi, index)
+                if not other:
+                    continue
+                nodes.add(other)
+                edges.append(Edge(held, other, fi.path, line2,
+                                  f"nested in {fi.qual}"))
+            for name, cline in calls:
+                cands = defs.get(name, [])
+                if len(cands) != 1:
+                    continue
+                callee = cands[0]
+                for other in sorted(acquires.get(callee.qual, ())):
+                    nodes.add(other)
+                    edges.append(Edge(held, other, fi.path, cline,
+                                      f"{fi.qual} calls {callee.qual} "
+                                      f"under lock"))
+
+    for m in index.mutexes:
+        for expr in m.acquired_before:
+            tgt = _resolve_in_owner(expr, m.owner, index)
+            if tgt:
+                nodes.add(tgt)
+                edges.append(Edge(m.qual, tgt, m.path, m.line,
+                                  "GPTPU_ACQUIRED_BEFORE"))
+        for expr in m.acquired_after:
+            src = _resolve_in_owner(expr, m.owner, index)
+            if src:
+                nodes.add(src)
+                edges.append(Edge(src, m.qual, m.path, m.line,
+                                  "GPTPU_ACQUIRED_AFTER"))
+
+    # Deduplicate identical (src, dst) pairs, keeping first provenance.
+    seen: dict[tuple[str, str], Edge] = {}
+    for e in sorted(edges, key=lambda e: (e.src, e.dst, e.path, e.line)):
+        seen.setdefault((e.src, e.dst), e)
+    return nodes, list(seen.values())
+
+
+def _resolve_in_owner(expr: str, owner: str,
+                      index: FunctionIndex) -> str | None:
+    name = expr.strip()
+    owners = index.mutex_by_owner()
+    if owner in owners and name in owners[owner]:
+        return owners[owner][name].qual
+    cands = index.mutex_by_name().get(name, [])
+    if len(cands) == 1:
+        return cands[0].qual
+    return None
+
+
+def find_cycles(nodes: set[str], edges: list[Edge]) -> list[list[Edge]]:
+    """Returns one representative edge-path per elementary cycle found by
+    DFS (deterministic order). Self-edges are single-edge cycles."""
+    adj: dict[str, list[Edge]] = {}
+    for e in edges:
+        adj.setdefault(e.src, []).append(e)
+    for lst in adj.values():
+        lst.sort(key=lambda e: (e.dst, e.path, e.line))
+
+    cycles: list[list[Edge]] = []
+    reported: set[frozenset] = set()
+
+    for start in sorted(nodes):
+        path: list[Edge] = []
+        on_path: dict[str, int] = {start: 0}
+
+        def dfs(node: str) -> None:
+            for e in adj.get(node, ()):
+                if e.dst in on_path:
+                    cyc = path[on_path[e.dst]:] + [e]
+                    key = frozenset((c.src, c.dst) for c in cyc)
+                    if key not in reported:
+                        reported.add(key)
+                        cycles.append(cyc)
+                    continue
+                on_path[e.dst] = len(path) + 1
+                path.append(e)
+                dfs(e.dst)
+                path.pop()
+                del on_path[e.dst]
+
+        dfs(start)
+    return cycles
+
+
+def check(index: FunctionIndex) -> tuple[list[Finding], set[str], list[Edge]]:
+    nodes, edges = build_graph(index)
+    findings: list[Finding] = []
+    for cyc in find_cycles(nodes, edges):
+        chain = " -> ".join([cyc[0].src] + [e.dst for e in cyc])
+        where = "; ".join(f"{e.src}->{e.dst} at {e.path}:{e.line} "
+                          f"({e.note})" for e in cyc)
+        findings.append(Finding(
+            cyc[0].path, cyc[0].line, "R11",
+            f"lock-order cycle {chain}: {where}; fix the acquisition "
+            f"order or restructure so one lock is released first"))
+    return findings, nodes, edges
+
+
+def to_dot(nodes: set[str], edges: list[Edge]) -> str:
+    """Deterministic Graphviz rendering of the acquisition graph."""
+    out = [
+        "// Mutex acquisition order, generated by tools/analyzer "
+        "(gptpu_analyze --dot).",
+        "// An edge A -> B means B is acquired while A is held. The "
+        "analyzer fails on cycles (rule R11).",
+        "digraph lock_order {",
+        "  rankdir=LR;",
+        "  node [shape=box, fontname=\"monospace\"];",
+    ]
+    edge_nodes = {e.src for e in edges} | {e.dst for e in edges}
+    for n in sorted(nodes - edge_nodes):
+        out.append(f"  \"{n}\"; // leaf: never held across another "
+                   f"acquisition")
+    for e in sorted(edges, key=lambda e: (e.src, e.dst)):
+        out.append(f"  \"{e.src}\" -> \"{e.dst}\" "
+                   f"[label=\"{e.path}:{e.line}\"];")
+    out.append("}")
+    return "\n".join(out) + "\n"

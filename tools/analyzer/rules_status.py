@@ -1,0 +1,142 @@
+"""R9: no discarded Status / Result.
+
+`Status` and `Result<T>` are [[nodiscard]] (src/common/status.hpp), which
+makes the *compiler* warn on a discarded temporary -- but only under
+-Wall, only as a warning in non-Werror builds, and never through
+dependent contexts the frontend declines to check. This rule closes the
+gap statically: every expression-statement whose final call resolves to a
+Status/Result-returning project function must consume the value (assign,
+return, test, or pass it on) or discard it *explicitly* through
+GPTPU_IGNORE_STATUS(expr) with a nearby justification.
+
+A bare `(void)call()` is also a finding: it silences the compiler without
+leaving a grep-able marker, which is exactly the silent drop this rule
+exists to prevent.
+"""
+
+from __future__ import annotations
+
+import re
+
+from core import Finding, SourceFile
+from cppmodel import FunctionIndex, _matching_paren
+
+# Statements starting with these consume or legitimately ignore a value.
+CONSUMING_PREFIX = re.compile(
+    r"^\s*(?:return|co_return|if|while|for|switch|case|do|else|goto|"
+    r"GPTPU_IGNORE_STATUS|GPTPU_CHECK|throw)\b")
+VOID_CAST = re.compile(r"^\s*(?:\(\s*void\s*\)|static_cast\s*<\s*void\s*>)")
+# The trailing call of a chain: `x`, `x.y`, `ns::x`, `a->b.c` then `(`.
+CALL_CHAIN = re.compile(
+    r"^\s*(?:[A-Za-z_]\w*(?:\s*(?:\.|->|::)\s*))*([A-Za-z_]\w*)\s*\(")
+
+
+def _statements(text: str):
+    """Yields (statement_text, start_offset) split on `;` at paren depth 0
+    and on braces. Preprocessor lines are dropped."""
+    start = 0
+    depth = 0
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "(":
+            i = _matching_paren(text, i) + 1
+            continue
+        if c in ";{}":
+            stmt = text[start:i]
+            if stmt.strip():
+                yield stmt, start
+            start = i + 1
+        i += 1
+    tail = text[start:]
+    if tail.strip():
+        yield tail, start
+
+
+def _status_names(index: FunctionIndex) -> set[str]:
+    return {f.name for f in index.functions if f.returns_status}
+
+
+def _collapse_parens(s: str) -> str:
+    """Repeatedly removes innermost balanced paren groups."""
+    prev = None
+    while prev != s:
+        prev = s
+        s = re.sub(r"\([^()]*\)", "", s)
+    return s
+
+
+def _final_call(body: str):
+    """If `body` is a pure call-chain expression statement ending in a
+    call -- `a.b(1).write(x)` -- returns (final_call_name, name_offset);
+    otherwise None. Any operator in the prefix means the value is used."""
+    trimmed = body.rstrip()
+    if not trimmed.endswith(")"):
+        return None
+    last = len(trimmed) - 1
+    for m in re.finditer(r"([A-Za-z_]\w*)\s*\(", body):
+        open_paren = body.find("(", m.end(1))
+        if _matching_paren(body, open_paren) != last:
+            continue
+        norm = _collapse_parens(body[:m.start(1)]).replace("->", ".")
+        # Two identifiers separated by bare whitespace means this is a
+        # declaration head (`Status foo(...)`), not a call chain.
+        if re.search(r"\w\s+[\w~]", norm):
+            return None
+        norm = re.sub(r"\s+", "", norm)
+        # A pure receiver chain: identifiers joined by `.` / `::` only.
+        # Anything else (operators, commas, templates) consumes the value.
+        if re.fullmatch(r"(?:[A-Za-z_]\w*(?:\.|::))*", norm):
+            return m.group(1), m.start(1)
+        return None
+    return None
+
+
+def check_file(sf: SourceFile, index: FunctionIndex,
+               status_names: set[str]) -> list[Finding]:
+    out: list[Finding] = []
+    text = sf.clean_text
+    for stmt, offset in _statements(text):
+        body = stmt
+        explicit_void = False
+        vm = VOID_CAST.match(body)
+        if vm:
+            explicit_void = True
+            body = body[vm.end():]
+            if vm.group(0).lstrip().startswith("static_cast"):
+                body = re.sub(r"^\s*\(", "", body, count=1)
+                body = re.sub(r"\)\s*$", "", body)
+        if CONSUMING_PREFIX.match(body):
+            continue
+        # Skip preprocessor directives and labels.
+        if re.match(r"\s*#", body) or re.match(r"\s*[A-Za-z_]\w*\s*:$", body):
+            continue
+        fc = _final_call(body)
+        if fc is None:
+            continue
+        name, _ = fc
+        if name not in status_names:
+            continue
+        line = 1 + text.count("\n", 0, offset + len(stmt) - len(stmt.lstrip()))
+        if explicit_void:
+            out.append(Finding(
+                sf.path, line, "R9",
+                f"'(void)' discard of Status-returning '{name}'; use "
+                f"GPTPU_IGNORE_STATUS(...) with a justification instead"))
+        else:
+            out.append(Finding(
+                sf.path, line, "R9",
+                f"result of Status-returning '{name}' is discarded; "
+                f"handle it or wrap in GPTPU_IGNORE_STATUS(...)"))
+    return out
+
+
+def check(files: list[SourceFile], index: FunctionIndex) -> list[Finding]:
+    names = _status_names(index)
+    if not names:
+        return []
+    out: list[Finding] = []
+    for sf in files:
+        if sf.rel.suffix in {".cpp", ".hpp", ".h", ".cc", ".cxx"}:
+            out.extend(check_file(sf, index, names))
+    return out

@@ -1,0 +1,135 @@
+"""Line-level rules R1-R7, ported from the original scripts/lint.py.
+
+These are the project invariants clang-tidy cannot express. The semantics
+are unchanged from the lint.py era (see docs/ANALYSIS.md #3); only the
+engine moved: matching now runs over the shared comment-stripped view and
+every rule supports `// gptpu-analyze: allow(...)` suppressions.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+
+from core import Finding, SourceFile
+
+# R4 exemption: the wrapper is the one place allowed to touch std types.
+MUTEX_EXEMPT = {"src/common/thread_annotations.hpp"}
+
+NAKED_NEW = re.compile(r"(^|[^\w.])new\s+[\w:<]")
+NAKED_DELETE = re.compile(r"(^|[^\w.])delete(\s*\[\s*\])?\s+[\w(*]")
+STD_ENDL = re.compile(r"std\s*::\s*endl")
+STD_SYNC = re.compile(
+    r"std\s*::\s*(mutex|recursive_mutex|shared_mutex|timed_mutex|"
+    r"lock_guard|unique_lock|scoped_lock|shared_lock|condition_variable"
+    r"(_any)?)\b"
+)
+WIDE_REINTERPRET = re.compile(
+    r"reinterpret_cast\s*<\s*(const\s+)?"
+    r"(u16|u32|u64|i16|i32|i64|float|double|std::uint16_t|std::uint32_t|"
+    r"std::uint64_t|std::int16_t|std::int32_t|std::int64_t)\s*\*"
+)
+METRICS_INCLUDE = re.compile(r'#\s*include\s+"common/metrics\.hpp"')
+DEVICE_THROW = re.compile(r"(^|[^\w])throw\b")
+RELATIVE_INCLUDE = re.compile(r'#\s*include\s+"\.\./')
+BITS_INCLUDE = re.compile(r"#\s*include\s+<bits/")
+PROJECT_INCLUDE = re.compile(r'#\s*include\s+"([^"]+)"')
+
+
+def check_file(sf: SourceFile) -> list[Finding]:
+    out: list[Finding] = []
+    rel = pathlib.PurePosixPath(sf.path)
+    is_model_format = sf.path.endswith("src/isa/model_format.cpp") or \
+        sf.path == "src/isa/model_format.cpp"
+    is_device_cpp = sf.path.endswith("src/sim/device.cpp") or \
+        sf.path == "src/sim/device.cpp"
+    first_project_include: str | None = None
+    first_include_line = 0
+
+    # Checked on the comment-stripped view: a pragma mentioned in a
+    # comment (or commented out) must not satisfy the rule.
+    if sf.is_header and not re.search(r"#\s*pragma\s+once", sf.clean_text):
+        out.append(Finding(sf.path, 1, "R5",
+                           "header is missing #pragma once"))
+
+    for lineno, line in enumerate(sf.clean_lines, start=1):
+        if not line.strip():
+            continue
+        # Include directives: the clean view blanks the quoted path, so
+        # detect the directive on the clean line but read the path from
+        # the raw one (commented-out includes stay invisible).
+        raw = sf.lines[lineno - 1] if lineno - 1 < len(sf.lines) else ""
+        if re.match(r"\s*#\s*include", line):
+            if RELATIVE_INCLUDE.search(raw):
+                out.append(Finding(sf.path, lineno, "R5",
+                                   "'../' relative include; include "
+                                   "project-root-relative"))
+            if BITS_INCLUDE.search(raw):
+                out.append(Finding(sf.path, lineno, "R5",
+                                   "<bits/...> is a libstdc++ internal "
+                                   "header"))
+            if sf.is_header and METRICS_INCLUDE.search(raw):
+                out.append(Finding(sf.path, lineno, "R6",
+                                   "headers must not include "
+                                   "common/metrics.hpp; look the metric "
+                                   "up in the .cpp and cache the "
+                                   "reference"))
+            m = PROJECT_INCLUDE.search(raw)
+            if m and first_project_include is None:
+                first_project_include = m.group(1)
+                first_include_line = lineno
+            continue
+
+        # R1 -- naked new / delete. `= delete` (deleted members) is fine.
+        if NAKED_NEW.search(line) and "operator new" not in line:
+            out.append(Finding(sf.path, lineno, "R1",
+                               "naked `new`; use std::make_unique or a "
+                               "container"))
+        stripped = re.sub(r"=\s*delete\b", "", line)
+        if NAKED_DELETE.search(stripped) and "operator delete" not in line:
+            out.append(Finding(sf.path, lineno, "R1",
+                               "naked `delete`; owning pointers must be "
+                               "smart"))
+
+        # R2 -- endianness-unsafe access to the wire buffer.
+        if is_model_format and WIDE_REINTERPRET.search(line):
+            out.append(Finding(sf.path, lineno, "R2",
+                               "reinterpret_cast of the wire buffer to a "
+                               "multi-byte type; use the put_*_le / "
+                               "get_*_le helpers"))
+
+        # R3 -- std::endl.
+        if STD_ENDL.search(line):
+            out.append(Finding(sf.path, lineno, "R3",
+                               "std::endl flushes; use '\\n'"))
+
+        # R4 -- unannotated synchronization primitives.
+        if sf.path not in MUTEX_EXEMPT and STD_SYNC.search(line):
+            out.append(Finding(sf.path, lineno, "R4",
+                               "raw std synchronization type; use "
+                               "gptpu::Mutex / MutexLock / CondVar "
+                               "(common/thread_annotations.hpp)"))
+
+        # R7 -- device boundaries never throw across the worker boundary.
+        if is_device_cpp and DEVICE_THROW.search(line):
+            out.append(Finding(sf.path, lineno, "R7",
+                               "`throw` in device.cpp; return "
+                               "Status/Result (faults must not unwind "
+                               "through runtime workers)"))
+
+    # R5 -- a .cpp's first project include must be its own header, proving
+    # each header compiles standalone. Only checked when that header exists.
+    if rel.suffix == ".cpp" and first_project_include is not None:
+        own = rel.with_suffix(".hpp")
+        own_rel_src: pathlib.PurePosixPath | None
+        try:
+            own_rel_src = own.relative_to("src")
+        except ValueError:
+            own_rel_src = None
+        if own_rel_src is not None and (sf.root / str(own)).exists():
+            if first_project_include != str(own_rel_src):
+                out.append(Finding(
+                    sf.path, first_include_line, "R5",
+                    f'first project include should be "{own_rel_src}" '
+                    f'(got "{first_project_include}")'))
+    return out
