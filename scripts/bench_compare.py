@@ -1,20 +1,37 @@
 #!/usr/bin/env python3
-"""Compare a fresh bench JSON against its committed baseline.
+"""Compare a fresh bench JSON against its committed baseline, and FAIL on
+regressions beyond the noise threshold.
 
-Report-only: prints per-metric deltas and always exits 0 (unless the
-input files are unreadable), because wall-clock throughput on shared CI
-machines is too noisy to gate on. Committed baselines live in the repo
-root; regenerate them on a quiet machine with:
+Committed baselines live in the repo root; regenerate them on a quiet
+machine with:
 
     build/bench/bench_kernels --json BENCH_kernels.json
     build/bench/bench_runtime --json BENCH_runtime.json
+
+Gating rules (wall clock on shared machines is noisy, and the quick smoke
+runs use smaller problem sizes than the committed full-mode baselines, so
+the thresholds are calibrated per metric class):
+
+  * ``runtime.backprop_graph.speedup`` -- modelled virtual time, so it is
+    deterministic up to problem size: fail when it drops more than
+    GRAPH_SPEEDUP_TOLERANCE below baseline, or below the
+    GRAPH_SPEEDUP_FLOOR acceptance bar, or goes missing.
+  * other ``*.speedup`` metrics -- wall clock: fail only when the speedup
+    both collapses by more than WALL_COLLAPSE_FRACTION and lands below
+    parity (the optimization now actively hurts). Size shifts between the
+    quick smoke and the full baseline move these by ~40%; only a genuine
+    collapse crosses both conditions.
+  * everything else (``*_ms``, ``*_gops``, stddevs, counters) -- report
+    only.
+
+``--report-only`` restores the legacy always-exit-0 behavior.
 
 When no explicit baseline is given, one is inferred from the new file's
 name (bench_runtime_smoke.json -> BENCH_runtime.json, anything else ->
 BENCH_kernels.json).
 
 Usage:
-    scripts/bench_compare.py NEW.json [BASELINE.json]
+    scripts/bench_compare.py [--report-only] NEW.json [BASELINE.json]
 """
 
 import json
@@ -30,15 +47,21 @@ BASELINES = [
     ("bench_kernels", REPO_ROOT / "BENCH_kernels.json"),
 ]
 
+# Deltas beyond this fraction get flagged in the report.
+HIGHLIGHT_FRACTION = 0.25
+
+# Gate thresholds (see module docstring).
+GRAPH_SPEEDUP_KEY = "runtime.backprop_graph.speedup"
+GRAPH_SPEEDUP_TOLERANCE = 0.15
+GRAPH_SPEEDUP_FLOOR = 1.3
+WALL_COLLAPSE_FRACTION = 0.60
+
 
 def default_baseline(new_path: Path) -> Path:
     for needle, baseline in BASELINES:
         if needle in new_path.name:
             return baseline
     return REPO_ROOT / "BENCH_kernels.json"
-
-# Deltas beyond this fraction get flagged in the report (still exit 0).
-HIGHLIGHT_FRACTION = 0.25
 
 
 def load(path: Path) -> dict:
@@ -49,12 +72,50 @@ def load(path: Path) -> dict:
     return data
 
 
+def gate_failures(base: dict, new: dict) -> list[str]:
+    """Regressions beyond the noise threshold (see module docstring)."""
+    failures = []
+    if GRAPH_SPEEDUP_KEY in base:
+        if GRAPH_SPEEDUP_KEY not in new:
+            failures.append(
+                f"{GRAPH_SPEEDUP_KEY}: missing from the new results (the "
+                "graph-compiler bench section stopped emitting it)"
+            )
+        else:
+            b, n = float(base[GRAPH_SPEEDUP_KEY]), float(new[GRAPH_SPEEDUP_KEY])
+            if n < GRAPH_SPEEDUP_FLOOR:
+                failures.append(
+                    f"{GRAPH_SPEEDUP_KEY}: {n:.2f}x is below the "
+                    f"{GRAPH_SPEEDUP_FLOOR}x acceptance floor"
+                )
+            elif b > 0 and n < b * (1.0 - GRAPH_SPEEDUP_TOLERANCE):
+                failures.append(
+                    f"{GRAPH_SPEEDUP_KEY}: {b:.2f}x -> {n:.2f}x "
+                    f"(more than {GRAPH_SPEEDUP_TOLERANCE:.0%} below the "
+                    "baseline of this deterministic virtual-time metric)"
+                )
+    for key in sorted(set(base) & set(new)):
+        if key == GRAPH_SPEEDUP_KEY or not key.endswith(".speedup"):
+            continue
+        b, n = float(base[key]), float(new[key])
+        if b <= 0:
+            continue
+        if n < b * (1.0 - WALL_COLLAPSE_FRACTION) and n < 1.0:
+            failures.append(
+                f"{key}: {b:.2f}x -> {n:.2f}x (collapsed more than "
+                f"{WALL_COLLAPSE_FRACTION:.0%} and below parity)"
+            )
+    return failures
+
+
 def main(argv: list[str]) -> int:
-    if len(argv) < 2 or len(argv) > 3:
+    args = [a for a in argv[1:] if a != "--report-only"]
+    report_only = len(args) != len(argv) - 1
+    if len(args) < 1 or len(args) > 2:
         print(__doc__.strip(), file=sys.stderr)
         return 2
-    new_path = Path(argv[1])
-    base_path = Path(argv[2]) if len(argv) == 3 else default_baseline(new_path)
+    new_path = Path(args[0])
+    base_path = Path(args[1]) if len(args) == 2 else default_baseline(new_path)
 
     try:
         new = load(new_path)
@@ -64,8 +125,8 @@ def main(argv: list[str]) -> int:
     try:
         base = load(base_path)
     except (OSError, ValueError) as e:
-        # A missing baseline is not an error for a report-only tool: CI on
-        # a branch that predates the baseline should still pass.
+        # A missing baseline is not an error: CI on a branch that predates
+        # the baseline should still pass.
         print(f"bench_compare: no baseline ({e}); nothing to compare")
         return 0
 
@@ -101,7 +162,16 @@ def main(argv: list[str]) -> int:
             f"{off:.2f} ms -> {armed:.2f} ms ({pct:+.1f}%); the tolerance "
             "layer must be a no-op when no fault fires"
         )
-    print("bench_compare: report only, not a gate")
+
+    failures = gate_failures(base, new)
+    if failures:
+        for f in failures:
+            print(f"bench_compare: FAIL: {f}", file=sys.stderr)
+        if report_only:
+            print("bench_compare: --report-only, regressions reported not gated")
+            return 0
+        return 1
+    print("bench_compare: gate passed (no regression beyond noise threshold)")
     return 0
 
 

@@ -54,18 +54,27 @@ if [[ -d build ]]; then
   ctest --test-dir build -R '^faults\.smoke$' --output-on-failure
 fi
 
-# Report-only perf trend: the default preset's bench.smoke /
+# Explicit graph-compiler gate: fused and unfused graph executions must be
+# byte-identical and the fusion pass must eliminate instructions.
+if [[ -d build ]]; then
+  banner "graph.smoke"
+  ctest --test-dir build -R '^graph\.smoke$' --output-on-failure
+fi
+
+# Perf regression gate: the default preset's bench.smoke /
 # bench.runtime_smoke runs (part of ctest above) wrote quick JSONs; diff
 # them against the committed baselines (inferred from the filename).
-# Never gates -- wall clock on CI is too noisy.
+# bench_compare exits nonzero on a regression beyond its calibrated noise
+# thresholds (tight on deterministic virtual-time metrics, loose on wall
+# clock), which fails this gate under set -e.
 SMOKE_JSON="build/bench/bench_kernels_smoke.json"
 if [[ -f "${SMOKE_JSON}" && -f BENCH_kernels.json ]]; then
-  banner "bench_compare (report only)"
+  banner "bench_compare kernels (gated)"
   python3 scripts/bench_compare.py "${SMOKE_JSON}"
 fi
 RUNTIME_SMOKE_JSON="build/bench/bench_runtime_smoke.json"
 if [[ -f "${RUNTIME_SMOKE_JSON}" && -f BENCH_runtime.json ]]; then
-  banner "bench_compare runtime (report only)"
+  banner "bench_compare runtime (gated)"
   python3 scripts/bench_compare.py "${RUNTIME_SMOKE_JSON}"
 fi
 

@@ -5,6 +5,8 @@
 #include "common/rng.hpp"
 #include "ops/elementwise.hpp"
 #include "ops/tpu_gemm.hpp"
+#include "runtime/graph_compiler.hpp"
+#include "runtime/op_graph.hpp"
 
 namespace gptpu::apps::backprop {
 
@@ -214,6 +216,264 @@ TrainedNet run_gptpu(Runtime& rt, const Params& p, const Workload* w) {
     }
   }
   return net;
+}
+
+namespace {
+
+using runtime::OperationRequest;
+using runtime::TensorBuffer;
+
+/// Host matrices + runtime buffers of the tanh-MLP variant. One struct so
+/// the eager twin and the graph path run the exact same operator
+/// sequence over the exact same storage.
+struct TanhMlpState {
+  // Inputs and parameters.
+  Matrix<float> x, target, w1, w2, w2t, xt, ht;
+  // Intermediates (the go*/gh* chain links are what fusion elides).
+  Matrix<float> h_pre, h, o_pre, o, e, go1, go2, delta_o;
+  Matrix<float> back, gh1, gh2, delta_h, dw1, dw2;
+
+  TensorBuffer *bx, *btarget, *bw1, *bw2, *bw2t, *bxt, *bht;
+  TensorBuffer *bh_pre, *bh, *bo_pre, *bo, *be, *bgo1, *bgo2, *bdelta_o;
+  TensorBuffer *bback, *bgh1, *bgh2, *bdelta_h, *bdw1, *bdw2;
+
+  TanhMlpState(runtime::Runtime& rt, const Params& p, const Workload& w)
+      : x(w.x),
+        target(w.target),
+        w1(w.w1),
+        w2(w.w2),
+        w2t(p.output, p.hidden),
+        xt(p.input, p.batch),
+        ht(p.hidden, p.batch),
+        h_pre(p.batch, p.hidden),
+        h(p.batch, p.hidden),
+        o_pre(p.batch, p.output),
+        o(p.batch, p.output),
+        e(p.batch, p.output),
+        go1(p.batch, p.output),
+        go2(p.batch, p.output),
+        delta_o(p.batch, p.output),
+        back(p.batch, p.hidden),
+        gh1(p.batch, p.hidden),
+        gh2(p.batch, p.hidden),
+        delta_h(p.batch, p.hidden),
+        dw1(p.input, p.hidden),
+        dw2(p.hidden, p.output) {
+    for (usize r = 0; r < x.rows(); ++r) {
+      for (usize c = 0; c < x.cols(); ++c) xt(c, r) = x(r, c);
+    }
+    refresh_w2t();
+    const auto buf = [&rt](Matrix<float>& m) {
+      return rt.create_buffer(m.shape(), m.data());
+    };
+    bx = buf(x);
+    btarget = buf(target);
+    bw1 = buf(w1);
+    bw2 = buf(w2);
+    bw2t = buf(w2t);
+    bxt = buf(xt);
+    bht = buf(ht);
+    bh_pre = buf(h_pre);
+    bh = buf(h);
+    bo_pre = buf(o_pre);
+    bo = buf(o);
+    be = buf(e);
+    bgo1 = buf(go1);
+    bgo2 = buf(go2);
+    bdelta_o = buf(delta_o);
+    bback = buf(back);
+    bgh1 = buf(gh1);
+    bgh2 = buf(gh2);
+    bdelta_h = buf(delta_h);
+    bdw1 = buf(dw1);
+    bdw2 = buf(dw2);
+  }
+
+  void refresh_w2t() {
+    for (usize r = 0; r < w2.rows(); ++r) {
+      for (usize c = 0; c < w2.cols(); ++c) w2t(c, r) = w2(r, c);
+    }
+  }
+
+  void refresh_ht() {
+    for (usize r = 0; r < h.rows(); ++r) {
+      for (usize c = 0; c < h.cols(); ++c) ht(c, r) = h(r, c);
+    }
+  }
+
+  /// Releases the runtime-side buffer records before the host matrices
+  /// they wrap go out of scope.
+  void destroy(runtime::Runtime& rt) {
+    for (TensorBuffer* b :
+         {bx, btarget, bw1, bw2, bw2t, bxt, bht, bh_pre, bh, bo_pre, bo, be,
+          bgo1, bgo2, bdelta_o, bback, bgh1, bgh2, bdelta_h, bdw1, bdw2}) {
+      rt.destroy_buffer(b);
+    }
+  }
+};
+
+OperationRequest fc(TensorBuffer* in0, TensorBuffer* in1, TensorBuffer* out) {
+  OperationRequest req;
+  req.op = isa::Opcode::kFullyConnected;
+  req.in0 = in0;
+  req.in1 = in1;
+  req.out = out;
+  req.quant = isa::QuantMethod::kScale;
+  return req;
+}
+
+OperationRequest pairwise(isa::Opcode op, TensorBuffer* in0,
+                          TensorBuffer* in1, TensorBuffer* out) {
+  OperationRequest req;
+  req.op = op;
+  req.in0 = in0;
+  req.in1 = in1;
+  req.out = out;
+  req.quant = isa::QuantMethod::kMinMax;
+  return req;
+}
+
+OperationRequest unary(isa::Opcode op, TensorBuffer* in0, TensorBuffer* out) {
+  OperationRequest req;
+  req.op = op;
+  req.in0 = in0;
+  req.out = out;
+  req.quant = isa::QuantMethod::kMinMax;
+  return req;
+}
+
+/// The per-iteration forward + delta DAG (12 operators; the two tanh
+/// deltas are Mul/Mul/Sub chains: delta = e - e*a*a).
+std::vector<OperationRequest> forward_delta_ops(TanhMlpState& s) {
+  using isa::Opcode;
+  return {
+      fc(s.bx, s.bw1, s.bh_pre),
+      unary(Opcode::kTanh, s.bh_pre, s.bh),
+      fc(s.bh, s.bw2, s.bo_pre),
+      unary(Opcode::kTanh, s.bo_pre, s.bo),
+      pairwise(Opcode::kSub, s.bo, s.btarget, s.be),
+      pairwise(Opcode::kMul, s.be, s.bo, s.bgo1),        // chain 1 head
+      pairwise(Opcode::kMul, s.bgo1, s.bo, s.bgo2),
+      pairwise(Opcode::kSub, s.be, s.bgo2, s.bdelta_o),
+      fc(s.bdelta_o, s.bw2t, s.bback),
+      pairwise(Opcode::kMul, s.bback, s.bh, s.bgh1),     // chain 2 head
+      pairwise(Opcode::kMul, s.bgh1, s.bh, s.bgh2),
+      pairwise(Opcode::kSub, s.bback, s.bgh2, s.bdelta_h),
+  };
+}
+
+/// The two independent weight-gradient GEMMs (pipeline partitioning
+/// overlaps them on separate devices).
+std::vector<OperationRequest> gradient_ops(TanhMlpState& s) {
+  return {
+      fc(s.bht, s.bdelta_o, s.bdw2),
+      fc(s.bxt, s.bdelta_h, s.bdw1),
+  };
+}
+
+/// Host-side epilogue of one iteration: transposes + SGD update, with the
+/// same virtual charges in both execution modes.
+void host_transpose_h(runtime::Runtime& rt, u64 task, TanhMlpState& s) {
+  host_step(rt, task,
+            rt.pool().timing().host_reshape_latency(s.ht.bytes()),
+            "backprop-transpose-h", [&] {
+              s.refresh_ht();
+              s.bht->bump_version();
+              s.bht->recalibrate();
+            });
+}
+
+void host_weight_update(runtime::Runtime& rt, u64 task, const Params& p,
+                        TanhMlpState& s) {
+  host_step(rt, task,
+            2.0 * static_cast<double>(s.w1.elems() + s.w2.elems()) /
+                perfmodel::kCpuVectorFlopsPerSec,
+            "backprop-update", [&] {
+              for (usize i = 0; i < s.w1.elems(); ++i) {
+                s.w1.span()[i] -= p.learning_rate * s.dw1.span()[i];
+              }
+              for (usize i = 0; i < s.w2.elems(); ++i) {
+                s.w2.span()[i] -= p.learning_rate * s.dw2.span()[i];
+              }
+              s.refresh_w2t();
+              s.bw1->bump_version();
+              s.bw1->recalibrate();
+              s.bw2->bump_version();
+              s.bw2->recalibrate();
+              s.bw2t->bump_version();
+              s.bw2t->recalibrate();
+            });
+}
+
+}  // namespace
+
+TrainedNet run_gptpu_graph(runtime::Runtime& rt, const Params& p,
+                           const Workload& w, bool fuse, bool pipeline,
+                           GraphRunStats* stats) {
+  GPTPU_CHECK(rt.config().functional,
+              "the graph-mode tanh MLP needs a functional runtime");
+  TanhMlpState s(rt, p, w);
+
+  // Capture once, re-run per iteration: buffer *contents* change between
+  // runs (the executor re-derives quantization pins from live ranges),
+  // the dataflow does not.
+  runtime::OpGraph fwd_graph;
+  for (const OperationRequest& req : forward_delta_ops(s)) {
+    fwd_graph.add(req);
+  }
+  fwd_graph.mark_output(s.bh);        // host transposes h
+  fwd_graph.mark_output(s.bdelta_o);  // gradient GEMM operand
+  fwd_graph.mark_output(s.bdelta_h);  // gradient GEMM operand
+  runtime::OpGraph grad_graph;
+  for (const OperationRequest& req : gradient_ops(s)) grad_graph.add(req);
+  grad_graph.mark_output(s.bdw1);
+  grad_graph.mark_output(s.bdw2);
+
+  const runtime::GraphCompiler compiler({fuse, pipeline, /*max_stages=*/0});
+  runtime::CompiledGraph fwd = compiler.compile(fwd_graph, rt);
+  runtime::CompiledGraph grad = compiler.compile(grad_graph, rt);
+
+  const u64 host_task = rt.begin_task();
+  for (usize it = 0; it < p.iterations; ++it) {
+    fwd.run(rt);
+    host_transpose_h(rt, host_task, s);
+    grad.run(rt);
+    host_weight_update(rt, host_task, p, s);
+  }
+
+  if (stats != nullptr) {
+    stats->virtual_seconds = rt.makespan();
+    stats->recorded_nodes = fwd.recorded_nodes() + grad.recorded_nodes();
+    stats->steps = fwd.steps().size() + grad.steps().size();
+    stats->fused_chains = fwd.fused_chains() + grad.fused_chains();
+    stats->instructions_eliminated =
+        fwd.instructions_eliminated() + grad.instructions_eliminated();
+    stats->stages = fwd.num_stages();
+  }
+  s.destroy(rt);
+  return {s.w1, s.w2};
+}
+
+TrainedNet run_gptpu_tanh_eager(runtime::Runtime& rt, const Params& p,
+                                const Workload& w) {
+  GPTPU_CHECK(rt.config().functional,
+              "the eager tanh MLP needs a functional runtime");
+  TanhMlpState s(rt, p, w);
+  const u64 task = rt.begin_task();
+  for (usize it = 0; it < p.iterations; ++it) {
+    for (OperationRequest req : forward_delta_ops(s)) {
+      req.task_id = task;
+      rt.invoke(req);
+    }
+    host_transpose_h(rt, task, s);
+    for (OperationRequest req : gradient_ops(s)) {
+      req.task_id = task;
+      rt.invoke(req);
+    }
+    host_weight_update(rt, task, p, s);
+  }
+  s.destroy(rt);
+  return {s.w1, s.w2};
 }
 
 Accuracy run_accuracy(u64 seed, double range_max) {

@@ -50,4 +50,35 @@ TimedResult run_gptpu_timed(usize num_devices);
 Seconds cpu_time(usize threads);
 GpuWork gpu_work();
 
+// --- graph-compiler study (docs/PERFORMANCE.md "Graph-level Tensorizer") ----
+
+/// Statistics of a graph-mode run, reported by bench_runtime and asserted
+/// by the graph smoke test.
+struct GraphRunStats {
+  Seconds virtual_seconds = 0;  // rt.makespan() after the run
+  usize recorded_nodes = 0;
+  usize steps = 0;              // post-fusion, across both graphs
+  usize fused_chains = 0;
+  usize instructions_eliminated = 0;
+  usize stages = 0;             // pipeline stages of the forward/delta graph
+};
+
+/// Tanh-MLP training variant used by the graph-compiler study. Both tanh
+/// layers produce their deltas through the fusible Mul/Mul/Sub chain
+/// delta = e - e*a*a (the tanh derivative), so each iteration records two
+/// 3-operator chains the fusion pass collapses. The forward/delta DAG and
+/// the two independent weight-gradient GEMMs are captured as OpGraphs
+/// once and re-run per iteration; `fuse`/`pipeline` select the compiler
+/// passes (fuse=false executes the identical capture unfused -- the
+/// bit-exactness A/B partner). Functional runtimes only.
+TrainedNet run_gptpu_graph(runtime::Runtime& rt, const Params& p,
+                           const Workload& w, bool fuse, bool pipeline,
+                           GraphRunStats* stats = nullptr);
+
+/// Eager twin of run_gptpu_graph: the identical operator sequence,
+/// executed one blocking invoke at a time on a single task (total program
+/// order -- the baseline the graph compiler relaxes).
+TrainedNet run_gptpu_tanh_eager(runtime::Runtime& rt, const Params& p,
+                                const Workload& w);
+
 }  // namespace gptpu::apps::backprop

@@ -2,6 +2,8 @@
 
 #include "common/csr.hpp"
 #include "common/rng.hpp"
+#include "runtime/graph_compiler.hpp"
+#include "runtime/op_graph.hpp"
 
 namespace gptpu::apps::pagerank {
 
@@ -112,6 +114,133 @@ Matrix<float> run_gptpu(Runtime& rt, const Params& p,
     if (!functional) brank->bump_version();
   }
   return rank;
+}
+
+namespace {
+
+/// Shared state of the TPU-damping power method (graph mode and its eager
+/// twin): rank lives in one buffer the damping chain overwrites in place.
+///
+/// The rank is kept in units of 1/n (entries start at 1.0, the fixed
+/// point's sum is n): the pairwise lowering quantizes both operands on
+/// one joint grid, so the chain only retains precision when product
+/// (~1), damping (0.85) and teleport (0.15) share a magnitude. The
+/// column-stochastic product preserves the representation; callers
+/// divide by n when extracting the distribution.
+struct TpuDampingState {
+  Matrix<float> at;       // adjacency transposed (FC orientation)
+  Matrix<float> rank;     // 1 x n in units of 1/n, updated in place
+  Matrix<float> product;  // 1 x n, A . r
+  Matrix<float> scaled;   // 1 x n, damping * product (fusion elides it)
+  Matrix<float> dvec;     // 1 x n, constant damping factor
+  Matrix<float> tvec;     // 1 x n, constant teleport term
+  TensorBuffer *brank, *bat, *bprod, *bscaled, *bdamp, *bteleport;
+
+  TpuDampingState(Runtime& rt, const Params& p,
+                  const Matrix<float>& adjacency)
+      : at(p.n, p.n),
+        rank(Shape2D{1, p.n}, 1.0f),
+        product(1, p.n),
+        scaled(1, p.n),
+        dvec(Shape2D{1, p.n}, p.damping),
+        tvec(Shape2D{1, p.n}, 1.0f - p.damping) {
+    for (usize r = 0; r < p.n; ++r) {
+      for (usize c = 0; c < p.n; ++c) at(r, c) = adjacency(c, r);
+    }
+    brank = rt.create_buffer(rank.shape(), rank.data());
+    bat = rt.create_buffer(at.shape(), at.data());
+    bprod = rt.create_buffer(product.shape(), product.data());
+    bscaled = rt.create_buffer(scaled.shape(), scaled.data());
+    bdamp = rt.create_buffer(dvec.shape(), dvec.data());
+    bteleport = rt.create_buffer(tvec.shape(), tvec.data());
+  }
+
+  /// One iteration: product = A.r, then rank = damping*product + teleport
+  /// -- a Mul whose single-consumer intermediate feeds an Add, the
+  /// canonical 2-operator fused chain.
+  [[nodiscard]] std::vector<OperationRequest> iteration_ops() const {
+    const auto make = [](isa::Opcode op, TensorBuffer* in0,
+                         TensorBuffer* in1, TensorBuffer* out) {
+      OperationRequest req;
+      req.op = op;
+      req.in0 = in0;
+      req.in1 = in1;
+      req.out = out;
+      req.quant = isa::QuantMethod::kMinMax;
+      return req;
+    };
+    return {
+        make(isa::Opcode::kFullyConnected, brank, bat, bprod),
+        make(isa::Opcode::kMul, bprod, bdamp, bscaled),
+        make(isa::Opcode::kAdd, bscaled, bteleport, brank),
+    };
+  }
+
+  /// The rank as a probability distribution (back in units of 1).
+  [[nodiscard]] Matrix<float> distribution(const Params& p) const {
+    Matrix<float> result = rank;
+    for (auto& v : result.span()) v /= static_cast<float>(p.n);
+    return result;
+  }
+
+  void destroy(Runtime& rt) {
+    for (TensorBuffer* b : {brank, bat, bprod, bscaled, bdamp, bteleport}) {
+      rt.destroy_buffer(b);
+    }
+  }
+};
+
+}  // namespace
+
+Matrix<float> run_gptpu_graph(Runtime& rt, const Params& p,
+                              const Matrix<float>& adjacency, bool fuse,
+                              bool pipeline, GraphRunStats* stats) {
+  GPTPU_CHECK(rt.config().functional,
+              "graph-mode PageRank needs a functional runtime");
+  TpuDampingState s(rt, p, adjacency);
+  rt.charge_host(rt.begin_task(),
+                 rt.pool().timing().host_reshape_latency(s.at.bytes()),
+                 "pagerank-transpose");
+
+  runtime::OpGraph graph;
+  for (const OperationRequest& req : s.iteration_ops()) graph.add(req);
+  graph.mark_output(s.brank);
+  runtime::CompiledGraph compiled =
+      runtime::GraphCompiler({fuse, pipeline, /*max_stages=*/0})
+          .compile(graph, rt);
+
+  for (usize it = 0; it < p.iterations; ++it) compiled.run(rt);
+
+  if (stats != nullptr) {
+    stats->virtual_seconds = rt.makespan();
+    stats->steps = compiled.steps().size();
+    stats->fused_chains = compiled.fused_chains();
+    stats->instructions_eliminated = compiled.instructions_eliminated();
+    stats->stages = compiled.num_stages();
+  }
+  Matrix<float> result = s.distribution(p);
+  s.destroy(rt);
+  return result;
+}
+
+Matrix<float> run_gptpu_tpu_damping_eager(Runtime& rt, const Params& p,
+                                          const Matrix<float>& adjacency) {
+  GPTPU_CHECK(rt.config().functional,
+              "eager TPU-damping PageRank needs a functional runtime");
+  TpuDampingState s(rt, p, adjacency);
+  const u64 task = rt.begin_task();
+  rt.charge_host(task,
+                 rt.pool().timing().host_reshape_latency(s.at.bytes()),
+                 "pagerank-transpose");
+  for (usize it = 0; it < p.iterations; ++it) {
+    for (OperationRequest req : s.iteration_ops()) {
+      req.task_id = task;
+      rt.invoke(req);
+    }
+  }
+  Matrix<float> result = s.distribution(p);
+  s.destroy(rt);
+  return result;
 }
 
 Accuracy run_accuracy(u64 seed, double range_max) {

@@ -44,4 +44,31 @@ TimedResult run_gptpu_timed(usize num_devices);
 Seconds cpu_time(usize threads);
 GpuWork gpu_work();
 
+/// Statistics of a graph-mode PageRank run.
+struct GraphRunStats {
+  Seconds virtual_seconds = 0;  // rt.makespan() after the run
+  usize steps = 0;              // post-fusion steps of one iteration
+  usize fused_chains = 0;
+  usize instructions_eliminated = 0;
+  usize stages = 0;
+};
+
+/// Graph-mode power method: one iteration is captured as the dataflow
+/// chain FC (adjacency x rank) -> Mul (damping) -> Add (teleport) and the
+/// compiled graph re-runs per iteration; the Mul/Add pair fuses into one
+/// instruction and pipelining pins the FC and the damping chain to
+/// separate devices, so consecutive iterations stream through the two
+/// stages. Unlike run_gptpu, the damping AXPY stays on the TPU (that is
+/// what makes the iteration a pure operator graph). Functional runtimes
+/// only; returns the rank vector.
+Matrix<float> run_gptpu_graph(runtime::Runtime& rt, const Params& p,
+                              const Matrix<float>& adjacency, bool fuse,
+                              bool pipeline, GraphRunStats* stats = nullptr);
+
+/// Eager twin of run_gptpu_graph: the identical FC/Mul/Add sequence,
+/// executed one blocking invoke at a time on a single task.
+Matrix<float> run_gptpu_tpu_damping_eager(runtime::Runtime& rt,
+                                          const Params& p,
+                                          const Matrix<float>& adjacency);
+
 }  // namespace gptpu::apps::pagerank

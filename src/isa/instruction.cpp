@@ -60,12 +60,24 @@ Shape2D infer_output_shape(const Instruction& instr, Shape2D in0,
     case Opcode::kTanh:
     case Opcode::kReLu:
       return in0;
+    case Opcode::kFusedPairwise: {
+      if (!(in0 == in1)) shape_error(instr, in0, in1, "operand shape mismatch");
+      return in0;
+    }
+    case Opcode::kFusedElementwise:
+      // Every foldable stage op is shape-preserving, so the chain's output
+      // shape is the head's input shape.
+      return in0;
   }
   throw InvalidArgument("unknown opcode");
 }
 
 u64 mac_count(const Instruction& instr, Shape2D in0, Shape2D in1,
               Shape2D out) {
+  if (is_fused(instr.op)) {
+    // Head plus each folded stage touches every element once.
+    return static_cast<u64>(in0.elems()) * (1 + instr.fused_stage_count);
+  }
   switch (op_class(instr.op)) {
     case OpClass::kArithmetic:
       if (instr.op == Opcode::kConv2D) {

@@ -6,6 +6,7 @@
 // memory.
 #pragma once
 
+#include <array>
 #include <limits>
 
 #include "common/matrix.hpp"
@@ -48,6 +49,30 @@ struct Window {
   bool operator==(const Window&) const = default;
 };
 
+/// Maximum number of successor ops a fused chain instruction folds in
+/// after its head. Three covers every chain the apps produce; anything
+/// longer is split by the graph compiler.
+inline constexpr usize kMaxFusedStages = 3;
+
+/// One folded-in successor op of a kFusedPairwise / kFusedElementwise
+/// instruction. The stage consumes the previous stage's int8 intermediate
+/// (still on-chip) exactly as the unfused lowering would have consumed the
+/// landed tensor: dequantize at the previous stage's output scale, then
+/// quantize at `in_scale` before applying the stage op. Preserving those
+/// quantization points — rather than re-deriving them across the fusion
+/// boundary — is what makes fused execution bit-exact versus the unfused
+/// chain.
+struct FusedStage {
+  Opcode op = Opcode::kAdd;  // base (unfused) opcode: add/sub/mul/tanh/ReLu
+  DeviceTensorId operand;    // second operand tile (pairwise stages only)
+  /// Pairwise stages: the chain intermediate is the *right* operand and
+  /// `operand` the left — needed for non-commutative sub.
+  bool swapped = false;
+  float in_scale = 1.0f;   // scale both stage inputs are quantized at
+  float out_scale = 1.0f;  // stage output scale (last stage: instruction's)
+  bool operator==(const FusedStage&) const = default;
+};
+
 struct Instruction {
   Opcode op = Opcode::kAdd;
 
@@ -82,6 +107,18 @@ struct Instruction {
   /// Originating GPTPU task, used by the scheduler's affinity rule (§6.1).
   u64 task_id = 0;
   QuantMethod quant = QuantMethod::kScale;
+
+  /// Fused chain instructions (is_fused(op)) only: the head op's
+  /// intermediate output scale, then `fused_stage_count` folded-in
+  /// successor stages. out_scale above remains the *final* output scale
+  /// (the last stage's out_scale), so landing code needs no fused case.
+  float head_scale = 1.0f;
+  u8 fused_stage_count = 0;
+  std::array<FusedStage, kMaxFusedStages> fused_stages{};
+
+  /// The head's base opcode for a fused instruction (add/sub/mul or
+  /// tanh/ReLu); ignored otherwise.
+  Opcode head_op = Opcode::kAdd;
 };
 
 /// Number of int8 multiply-accumulate operations an instruction performs.

@@ -107,6 +107,119 @@ std::vector<u8> build_model(MatrixView<const float> raw, float scale,
   return blob;
 }
 
+namespace {
+
+/// Validates a raw opcode byte from the wire; fused opcodes are legal here
+/// (the wire format exists precisely to carry compiled graph programs).
+Opcode checked_opcode(u8 raw) {
+  if (raw > static_cast<u8>(Opcode::kFusedElementwise)) {
+    throw FormatError("instruction blob: opcode out of range");
+  }
+  return static_cast<Opcode>(raw);
+}
+
+}  // namespace
+
+std::vector<u8> serialize_instruction(const Instruction& instr) {
+  GPTPU_CHECK(instr.fused_stage_count <= kMaxFusedStages,
+              "instruction has more fused stages than the format allows");
+  std::vector<u8> blob(instruction_wire_size(instr.fused_stage_count));
+  u8* h = blob.data();
+  std::copy(kInstructionMagic.begin(), kInstructionMagic.end(), h);
+  put_u32_le(h + 4, kInstructionVersion);
+  h[8] = static_cast<u8>(instr.op);
+  h[9] = static_cast<u8>(instr.head_op);
+  h[10] = static_cast<u8>(instr.quant);
+  h[11] = instr.wide_output ? 1 : 0;
+  put_u32_le(h + 12, instr.in0.value);
+  put_u32_le(h + 16, instr.in1.value);
+  put_u32_le(h + 20, instr.out.value);
+  put_u32_le(h + 24, static_cast<u32>(instr.stride.x) |
+                         static_cast<u32>(instr.stride.y) << 16);
+  put_u32_le(h + 28, static_cast<u32>(instr.window.row0));
+  put_u32_le(h + 32, static_cast<u32>(instr.window.col0));
+  put_u32_le(h + 36, static_cast<u32>(instr.window.shape.rows));
+  put_u32_le(h + 40, static_cast<u32>(instr.window.shape.cols));
+  put_u32_le(h + 44, static_cast<u32>(instr.pad_target.rows));
+  put_u32_le(h + 48, static_cast<u32>(instr.pad_target.cols));
+  put_u32_le(h + 52, static_cast<u32>(instr.kernel_bank) |
+                         static_cast<u32>(instr.fused_stage_count) << 16);
+  put_f32_le(h + 56, instr.out_scale);
+  put_f32_le(h + 60, instr.head_scale);
+  put_u32_le(h + 64, static_cast<u32>(instr.task_id));
+  put_u32_le(h + 68, static_cast<u32>(instr.task_id >> 32));
+  for (usize s = 0; s < instr.fused_stage_count; ++s) {
+    const FusedStage& stage = instr.fused_stages[s];
+    u8* p = blob.data() + kInstructionHeaderBytes + s * kFusedStageBytes;
+    p[0] = static_cast<u8>(stage.op);
+    p[1] = stage.swapped ? 1 : 0;
+    p[2] = 0;
+    p[3] = 0;
+    put_u32_le(p + 4, stage.operand.value);
+    put_f32_le(p + 8, stage.in_scale);
+    put_f32_le(p + 12, stage.out_scale);
+  }
+  return blob;
+}
+
+Instruction parse_instruction(std::span<const u8> blob) {
+  if (blob.size() < kInstructionHeaderBytes) {
+    throw FormatError("instruction blob shorter than header");
+  }
+  if (!std::equal(kInstructionMagic.begin(), kInstructionMagic.end(),
+                  blob.begin())) {
+    throw FormatError("bad instruction magic");
+  }
+  const u32 version = get_u32_le(blob.data() + 4);
+  if (version != kInstructionVersion) {
+    throw FormatError("unsupported instruction version " +
+                      std::to_string(version));
+  }
+  const u8* h = blob.data();
+  Instruction instr;
+  instr.op = checked_opcode(h[8]);
+  instr.head_op = checked_opcode(h[9]);
+  if (h[10] > static_cast<u8>(QuantMethod::kIdentity)) {
+    throw FormatError("instruction blob: quant method out of range");
+  }
+  instr.quant = static_cast<QuantMethod>(h[10]);
+  instr.wide_output = h[11] != 0;
+  instr.in0.value = get_u32_le(h + 12);
+  instr.in1.value = get_u32_le(h + 16);
+  instr.out.value = get_u32_le(h + 20);
+  const u32 stride = get_u32_le(h + 24);
+  instr.stride.x = static_cast<u16>(stride);
+  instr.stride.y = static_cast<u16>(stride >> 16);
+  instr.window.row0 = get_u32_le(h + 28);
+  instr.window.col0 = get_u32_le(h + 32);
+  instr.window.shape = {get_u32_le(h + 36), get_u32_le(h + 40)};
+  instr.pad_target = {get_u32_le(h + 44), get_u32_le(h + 48)};
+  const u32 bank_stages = get_u32_le(h + 52);
+  instr.kernel_bank = static_cast<u16>(bank_stages);
+  const u32 stage_count = bank_stages >> 16;
+  if (stage_count > kMaxFusedStages) {
+    throw FormatError("instruction blob: fused stage count out of range");
+  }
+  instr.fused_stage_count = static_cast<u8>(stage_count);
+  instr.out_scale = get_f32_le(h + 56);
+  instr.head_scale = get_f32_le(h + 60);
+  instr.task_id = static_cast<u64>(get_u32_le(h + 64)) |
+                  static_cast<u64>(get_u32_le(h + 68)) << 32;
+  if (blob.size() != instruction_wire_size(stage_count)) {
+    throw FormatError("instruction blob size inconsistent with stage count");
+  }
+  for (usize s = 0; s < stage_count; ++s) {
+    const u8* p = blob.data() + kInstructionHeaderBytes + s * kFusedStageBytes;
+    FusedStage& stage = instr.fused_stages[s];
+    stage.op = checked_opcode(p[0]);
+    stage.swapped = p[1] != 0;
+    stage.operand.value = get_u32_le(p + 4);
+    stage.in_scale = get_f32_le(p + 8);
+    stage.out_scale = get_f32_le(p + 12);
+  }
+  return instr;
+}
+
 ParsedModel parse_model(std::span<const u8> blob) {
   if (blob.size() < kModelHeaderBytes + kModelMetadataBytes) {
     throw FormatError("model blob shorter than header + metadata");

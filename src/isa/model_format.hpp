@@ -20,6 +20,7 @@
 
 #include "common/matrix.hpp"
 #include "common/types.hpp"
+#include "isa/instruction.hpp"
 
 namespace gptpu::isa {
 
@@ -69,6 +70,29 @@ void serialize_model(std::span<const i8> padded_data, const ModelInfo& info,
 [[nodiscard]] constexpr usize model_wire_size(Shape2D padded) {
   return kModelHeaderBytes + padded.elems() + kModelMetadataBytes;
 }
+
+// --- Instruction wire format -----------------------------------------------
+//
+// Companion to the model format: a fixed 72-byte little-endian record (magic
+// "TPUI") followed by one 16-byte record per fused stage. Lets compiled
+// graph programs (including fused chain instructions) be persisted and
+// replayed; parse_instruction(serialize_instruction(i)) == i field-for-field.
+
+inline constexpr std::array<u8, 4> kInstructionMagic = {'T', 'P', 'U', 'I'};
+inline constexpr u32 kInstructionVersion = 1;
+inline constexpr usize kInstructionHeaderBytes = 72;
+inline constexpr usize kFusedStageBytes = 16;
+
+[[nodiscard]] constexpr usize instruction_wire_size(usize fused_stages) {
+  return kInstructionHeaderBytes + fused_stages * kFusedStageBytes;
+}
+
+/// Serializes an instruction (with its fused stages, if any).
+[[nodiscard]] std::vector<u8> serialize_instruction(const Instruction& instr);
+
+/// Parses a serialized instruction. Throws FormatError on malformed input
+/// (bad magic/version, size mismatch, out-of-range opcode or stage count).
+[[nodiscard]] Instruction parse_instruction(std::span<const u8> blob);
 
 /// Rounds `shape` up to the next multiple of `tile` in both dimensions.
 [[nodiscard]] constexpr Shape2D pad_to_tile(Shape2D shape, Shape2D tile) {

@@ -23,6 +23,16 @@ enum class Opcode : u8 {
   kMax,             // max of all elements (matrix-wise reduction)
   kTanh,            // element-wise tanh
   kReLu,            // element-wise rectifier
+
+  // Fused chain instructions emitted by the graph compiler (not part of
+  // the paper's Table 1 operator set). The head op is a pairwise or
+  // elementwise operator; up to kMaxFusedStages folded-in successors run
+  // on-device without the intermediate readback/re-quantize round trip.
+  // Deliberately excluded from kNumOpcodes/kAllOpcodes: the per-opcode
+  // metric tables cover the programmer-visible operators only, and a
+  // fused opcode never appears in an OperationRequest.
+  kFusedPairwise,     // head is add/sub/mul
+  kFusedElementwise,  // head is tanh/ReLu
 };
 
 inline constexpr usize kNumOpcodes = 11;
@@ -46,8 +56,15 @@ inline constexpr std::array<Opcode, kNumOpcodes> kAllOpcodes = {
     case Opcode::kMax: return "max";
     case Opcode::kTanh: return "tanh";
     case Opcode::kReLu: return "ReLu";
+    case Opcode::kFusedPairwise: return "fused_pairwise";
+    case Opcode::kFusedElementwise: return "fused_elementwise";
   }
   return "?";
+}
+
+/// True for the graph compiler's fused chain instructions.
+[[nodiscard]] constexpr bool is_fused(Opcode op) {
+  return op == Opcode::kFusedPairwise || op == Opcode::kFusedElementwise;
 }
 
 /// Operator classes used by the Tensorizer rewriting rules (§6.2.1) and the
@@ -73,6 +90,10 @@ enum class OpClass : u8 {
     case Opcode::kMax: return OpClass::kMatrixwise;
     case Opcode::kCrop:
     case Opcode::kExt: return OpClass::kLayout;
+    // A fused instruction inherits its head's class: operand shapes,
+    // tiling, and scheduling treat it like its head op.
+    case Opcode::kFusedPairwise: return OpClass::kPairwise;
+    case Opcode::kFusedElementwise: return OpClass::kElementwise;
   }
   return OpClass::kLayout;
 }

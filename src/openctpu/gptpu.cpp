@@ -8,7 +8,16 @@
 
 #include "common/metrics.hpp"
 #include "common/thread_annotations.hpp"
+#include "runtime/graph_compiler.hpp"
 #include "runtime/runtime.hpp"
+
+/// A captured-and-compiled operator graph (opaque in the public header).
+/// `recorded` keeps the capture so A/B runs can recompile with different
+/// options in tests; `compiled` is what run() executes.
+struct openctpu_graph {
+  gptpu::runtime::OpGraph recorded;
+  gptpu::runtime::CompiledGraph compiled;
+};
 
 namespace {
 
@@ -27,6 +36,7 @@ struct Context {
   std::vector<std::unique_ptr<openctpu_dimension>> dimensions
       GPTPU_GUARDED_BY(mu);
   std::vector<std::unique_ptr<openctpu_buffer>> buffers GPTPU_GUARDED_BY(mu);
+  std::vector<std::unique_ptr<openctpu_graph>> graphs GPTPU_GUARDED_BY(mu);
   std::unordered_map<int, std::future<void>> tasks GPTPU_GUARDED_BY(mu);
   int next_handle GPTPU_GUARDED_BY(mu) = 1;
 };
@@ -51,6 +61,10 @@ Context& initialized_context() {
 /// from a plain host thread (operators then serialize on a shared default
 /// task, preserving program order).
 thread_local gptpu::u64 tls_task_id = 0;
+
+/// Graph being recorded on this thread between openctpu_graph_begin and
+/// openctpu_graph_end; null = eager execution.
+thread_local openctpu_graph* tls_graph = nullptr;
 
 gptpu::u64 current_task(Runtime& rt) {
   if (tls_task_id == 0) {
@@ -94,7 +108,6 @@ int invoke(Opcode op, unsigned flags, openctpu_buffer* in0,
   GPTPU_CHECK(in0 != nullptr && out != nullptr, "null buffer");
   Runtime& rt = openctpu_runtime();
   OperationRequest req;
-  req.task_id = current_task(rt);
   req.op = op;
   req.in0 = in0->impl;
   req.in1 = in1 != nullptr ? in1->impl : nullptr;
@@ -104,6 +117,17 @@ int invoke(Opcode op, unsigned flags, openctpu_buffer* in0,
   req.kernel_bank = params.kernel_bank;
   req.window = params.window;
   req.pad_target = params.pad_target;
+  if (tls_graph != nullptr) {
+    // Record mode: capture the request into the thread's open graph. The
+    // executor assigns task ids / pins later.
+    static gptpu::metrics::Counter& recorded =
+        gptpu::metrics::MetricRegistry::global().counter(
+            "openctpu.operators_recorded");
+    recorded.add(1);
+    tls_graph->recorded.add(req);
+    return 0;
+  }
+  req.task_id = current_task(rt);
   static gptpu::metrics::Counter& invoked =
       gptpu::metrics::MetricRegistry::global().counter(
           "openctpu.operators_invoked");
@@ -135,6 +159,7 @@ void openctpu_shutdown() {
   openctpu_sync();
   {
     gptpu::MutexLock lock(ctx.mu);
+    ctx.graphs.clear();  // graphs borrow buffers: tear down first
     ctx.buffers.clear();
     ctx.dimensions.clear();
   }
@@ -202,6 +227,83 @@ int openctpu_invoke_operator(tpu_ops op, unsigned flags, openctpu_buffer* in,
                              openctpu_buffer* out,
                              const openctpu_operator_params& params) {
   return invoke(to_opcode(op), flags, in, nullptr, out, params);
+}
+
+void openctpu_graph_begin() {
+  Context& ctx = initialized_context();
+  GPTPU_CHECK(tls_graph == nullptr,
+              "a graph recording is already active on this thread");
+  auto graph = std::make_unique<openctpu_graph>();
+  gptpu::MutexLock lock(ctx.mu);
+  ctx.graphs.push_back(std::move(graph));
+  tls_graph = ctx.graphs.back().get();
+}
+
+void openctpu_graph_output(openctpu_buffer* buffer) {
+  GPTPU_CHECK(tls_graph != nullptr, "no graph recording active");
+  GPTPU_CHECK(buffer != nullptr && buffer->impl != nullptr, "null buffer");
+  tls_graph->recorded.mark_output(buffer->impl);
+}
+
+openctpu_graph* openctpu_graph_end(const openctpu_graph_options& options) {
+  Context& ctx = initialized_context();
+  GPTPU_CHECK(tls_graph != nullptr, "no graph recording active");
+  openctpu_graph* graph = tls_graph;
+  tls_graph = nullptr;
+  gptpu::runtime::GraphCompileOptions copts;
+  copts.fuse = options.fuse;
+  copts.pipeline = options.pipeline;
+  copts.max_stages = options.max_stages;
+  graph->compiled =
+      gptpu::runtime::GraphCompiler(copts).compile(graph->recorded,
+                                                   *ctx.runtime);
+  static gptpu::metrics::Counter& compiled =
+      gptpu::metrics::MetricRegistry::global().counter(
+          "openctpu.graphs_compiled");
+  compiled.add(1);
+  return graph;
+}
+
+double openctpu_graph_run(openctpu_graph* graph) {
+  GPTPU_CHECK(graph != nullptr, "null graph");
+  Context& ctx = initialized_context();
+  return graph->compiled.run(*ctx.runtime);
+}
+
+openctpu_graph_stats openctpu_graph_query(const openctpu_graph* graph) {
+  GPTPU_CHECK(graph != nullptr, "null graph");
+  openctpu_graph_stats stats;
+  stats.recorded_nodes = graph->compiled.recorded_nodes();
+  stats.steps = graph->compiled.steps().size();
+  stats.fused_chains = graph->compiled.fused_chains();
+  stats.instructions_eliminated = graph->compiled.instructions_eliminated();
+  stats.stages = graph->compiled.num_stages();
+  return stats;
+}
+
+void openctpu_graph_set_tracing(openctpu_graph* graph, bool on) {
+  GPTPU_CHECK(graph != nullptr, "null graph");
+  graph->compiled.set_tracing(on);
+}
+
+const gptpu::runtime::CompiledGraph* openctpu_graph_compiled(
+    const openctpu_graph* graph) {
+  GPTPU_CHECK(graph != nullptr, "null graph");
+  return &graph->compiled;
+}
+
+void openctpu_graph_destroy(openctpu_graph* graph) {
+  if (graph == nullptr) return;
+  GPTPU_CHECK(tls_graph != graph, "destroying a graph while recording it");
+  Context& ctx = context();
+  gptpu::MutexLock lock(ctx.mu);
+  for (auto it = ctx.graphs.begin(); it != ctx.graphs.end(); ++it) {
+    if (it->get() == graph) {
+      ctx.graphs.erase(it);
+      return;
+    }
+  }
+  GPTPU_CHECK(false, "unknown graph handle");
 }
 
 int openctpu_sync() {

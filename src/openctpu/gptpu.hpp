@@ -27,6 +27,7 @@
 #include "isa/instruction.hpp"
 
 namespace gptpu::runtime {
+class CompiledGraph;
 class Runtime;
 class TensorBuffer;
 }  // namespace gptpu::runtime
@@ -137,6 +138,70 @@ int openctpu_invoke_operator(tpu_ops op, unsigned flags, openctpu_buffer* in0,
 int openctpu_invoke_operator(tpu_ops op, unsigned flags, openctpu_buffer* in,
                              openctpu_buffer* out,
                              const openctpu_operator_params& params = {});
+
+// --- graph capture (the graph-level Tensorizer) -----------------------------
+//
+// Record-then-execute alternative to the eager operator calls above
+// (docs/PERFORMANCE.md, "Graph-level Tensorizer"). Between
+// openctpu_graph_begin() and openctpu_graph_end(), this thread's
+// openctpu_invoke_operator calls *record* into a dataflow graph instead
+// of executing. openctpu_graph_end() compiles the capture -- operator
+// fusion plus profiled pipeline partitioning -- and openctpu_graph_run()
+// executes the compiled form against the buffers' current contents.
+// run() may be called repeatedly: iterative applications re-run one
+// compiled graph on evolving data, and quantization points are re-derived
+// from the live value ranges each run. Results are bit-exact with eager
+// execution of the same operator sequence.
+
+struct openctpu_graph;
+
+struct openctpu_graph_options {
+  /// Operator fusion: collapse single-consumer pairwise/elementwise
+  /// chains into one fused instruction per tile.
+  bool fuse = true;
+  /// Pipeline partitioning: split the graph into balanced contiguous
+  /// stages, each pinned to one device.
+  bool pipeline = true;
+  /// Stage-count cap; 0 = up to the runtime's device count.
+  gptpu::usize max_stages = 0;
+};
+
+/// Starts recording on the calling thread. Recordings do not nest.
+void openctpu_graph_begin();
+
+/// Marks a buffer the host reads after the graph runs, so fusion must
+/// materialize it even when a recorded operator consumes it. Call between
+/// begin and end.
+void openctpu_graph_output(openctpu_buffer* buffer);
+
+/// Stops recording and compiles the capture (at least one operator must
+/// have been recorded). The graph borrows the recorded buffers; they must
+/// outlive it. Owned by the library until openctpu_graph_destroy.
+openctpu_graph* openctpu_graph_end(const openctpu_graph_options& options = {});
+
+/// Executes a compiled graph synchronously. Returns the modelled
+/// completion instant (virtual seconds) of the graph's slowest step.
+double openctpu_graph_run(openctpu_graph* graph);
+
+/// Compile-time statistics, for tests and benchmark reporting.
+struct openctpu_graph_stats {
+  gptpu::usize recorded_nodes = 0;
+  gptpu::usize steps = 0;         // post-fusion executable steps
+  gptpu::usize fused_chains = 0;  // chains that merged >= 2 operators
+  gptpu::usize instructions_eliminated = 0;  // per-tile instructions saved
+  gptpu::usize stages = 0;        // pipeline stages (1 = no pipelining)
+};
+openctpu_graph_stats openctpu_graph_query(const openctpu_graph* graph);
+
+/// Enables per-stage interval recording ("graph/stage<N>" Chrome trace
+/// tracks; see runtime/trace_export.hpp).
+void openctpu_graph_set_tracing(openctpu_graph* graph, bool on);
+
+/// The compiled form, for the trace exporter's graph-aware overloads.
+const gptpu::runtime::CompiledGraph* openctpu_graph_compiled(
+    const openctpu_graph* graph);
+
+void openctpu_graph_destroy(openctpu_graph* graph);
 
 /// Blocks until all enqueued TPU tasks complete.
 ///

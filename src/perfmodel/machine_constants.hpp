@@ -45,6 +45,11 @@ struct OpThroughput {
     case Opcode::kMax: return {477.08, 477.08};
     case Opcode::kTanh: return {3232.31, 2148232470.28};
     case Opcode::kReLu: return {11194.26, 4043196115.38};
+    // Fused chain instructions have no Table 1 row; their latency is the
+    // sum of their member ops' terms (TimingModel handles them explicitly
+    // and never consults this table for a fused opcode).
+    case Opcode::kFusedPairwise:
+    case Opcode::kFusedElementwise: return {};
   }
   return {};
 }

@@ -1,0 +1,400 @@
+// gptpu-analyze: deterministic-file -- compilation and execution order
+// must be independent of hash-map layout (docs/ANALYSIS.md R10): step
+// order, stage assignment and not_before edges all feed the modelled
+// virtual timeline.
+#include "runtime/graph_compiler.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <string>
+#include <thread>
+
+#include "common/metrics.hpp"
+#include "common/thread_annotations.hpp"
+#include "perfmodel/machine_constants.hpp"
+#include "runtime/runtime.hpp"
+
+namespace gptpu::runtime {
+
+using isa::OpClass;
+using isa::Opcode;
+
+namespace {
+
+/// Counters of the graph execution layer. Virtual domain: every value is
+/// a deterministic function of the compiled graph.
+struct GraphMetrics {
+  metrics::Counter& nodes;
+  metrics::Counter& fused;
+  metrics::Counter& stages;
+  metrics::Counter& instructions_eliminated;
+
+  static GraphMetrics& get() {
+    auto& reg = metrics::MetricRegistry::global();
+    static GraphMetrics m{
+        reg.counter("graph.nodes"),
+        reg.counter("graph.fused"),
+        reg.counter("graph.stages"),
+        reg.counter("fusion.instructions_eliminated"),
+    };
+    return m;
+  }
+};
+
+bool fusible_class(Opcode op) {
+  const OpClass c = isa::op_class(op);
+  return c == OpClass::kPairwise || c == OpClass::kElementwise;
+}
+
+/// True when `from` transitively depends on any node flagged in
+/// `targets` (DFS over the producer edges; graphs are small).
+bool reaches(const std::vector<OpNode>& nodes, usize from,
+             const std::vector<char>& targets) {
+  std::vector<usize> work{from};
+  std::vector<char> seen(nodes.size(), 0);
+  while (!work.empty()) {
+    const usize n = work.back();
+    work.pop_back();
+    if (targets[n] != 0) return true;
+    if (seen[n] != 0) continue;
+    seen[n] = 1;
+    for (const usize d : nodes[n].deps) work.push_back(d);
+  }
+  return false;
+}
+
+/// Tiles the pairwise lowering emits for this shape (fusion's per-tile
+/// instruction saving).
+usize tiles_for(Shape2D shape, usize tile) {
+  const usize r = (shape.rows + tile - 1) / tile;
+  const usize c = (shape.cols + tile - 1) / tile;
+  return std::max<usize>(1, r * c);
+}
+
+/// The analytic output-range pin for a shape-preserving step, derived
+/// from the operands' *current* ranges with exactly the formulas the
+/// Tensorizer lowers with (planned_out_scale / pinned_range), so a fused
+/// run and an unfused run of the same graph derive identical
+/// quantization points. Arithmetic/layout steps keep their eager
+/// recalibration (identical in both runs, since their inputs are).
+void set_quant_pin(OperationRequest& req) {
+  const OpClass c = isa::op_class(req.op);
+  if (c != OpClass::kPairwise && c != OpClass::kElementwise) return;
+  const quant::Range r1 =
+      req.in1 != nullptr ? req.in1->range() : req.in0->range();
+  float s = Tensorizer::planned_out_scale(req.quant, req.op,
+                                          req.in0->range(), r1);
+  quant::Range prev = Tensorizer::pinned_range(s);
+  for (const FusedOpRequest& f : req.fused_ops) {
+    if (isa::op_class(f.op) == OpClass::kPairwise) {
+      const quant::Range orange = f.operand->range();
+      s = f.swapped
+              ? Tensorizer::planned_out_scale(req.quant, f.op, orange, prev)
+              : Tensorizer::planned_out_scale(req.quant, f.op, prev, orange);
+    } else {
+      s = Tensorizer::planned_out_scale(req.quant, f.op, prev, prev);
+    }
+    prev = Tensorizer::pinned_range(s);
+  }
+  req.pin_output_range = true;
+  req.pinned_output_range = prev;
+}
+
+}  // namespace
+
+Seconds GraphCompiler::node_cost(const OpNode& node) {
+  auto& reg = metrics::MetricRegistry::global();
+  const auto s =
+      reg.histogram("op." + std::string(isa::name(node.req.op)) +
+                    ".service_vt")
+          .summary();
+  if (s.count > 0) {
+    // Profile-guided: the mean measured virtual service time of this
+    // opcode across every operation executed so far in the process.
+    return s.sum / static_cast<double>(s.count);
+  }
+  // Cold fallback: a deterministic throughput estimate from the Table 1
+  // rates plus the link cost of moving the operands once.
+  const Shape2D out = node.req.out->shape();
+  const Shape2D in0 = node.req.in0->shape();
+  double compute = 0;
+  if (node.req.op == Opcode::kFullyConnected) {
+    const double macs = static_cast<double>(in0.rows) * in0.cols *
+                        static_cast<double>(out.cols);
+    compute = macs / perfmodel::kFullyConnectedMacsPerSec;
+  } else if (node.req.op == Opcode::kConv2D) {
+    const Shape2D k = node.req.in1->shape();
+    const double macs =
+        static_cast<double>(out.elems()) * static_cast<double>(k.elems());
+    compute = macs / perfmodel::kConv2DMacsPerSec;
+  } else {
+    compute = static_cast<double>(out.elems()) /
+              perfmodel::table1(node.req.op).rps;
+  }
+  usize bytes = in0.elems() + out.elems();
+  if (node.req.in1 != nullptr) bytes += node.req.in1->shape().elems();
+  return compute +
+         static_cast<double>(bytes) * perfmodel::kLinkSecondsPerByte;
+}
+
+CompiledGraph GraphCompiler::compile(const OpGraph& graph,
+                                     const Runtime& rt) const {
+  GPTPU_CHECK(!graph.empty(), "cannot compile an empty graph");
+  const std::vector<OpNode>& nodes = graph.nodes();
+
+  // --- fusion pass ---------------------------------------------------------
+  // Greedy head-first chaining in topological (= recorded) order: a
+  // pairwise/elementwise node absorbs its successor while every legality
+  // condition holds. `absorbed[n]` marks chain members folded into an
+  // earlier head; `chain_of[h]` lists a head's members in order.
+  std::vector<char> absorbed(nodes.size(), 0);
+  std::vector<std::vector<usize>> chain_of(nodes.size());
+  usize fused_chains = 0;
+  if (options_.fuse) {
+    for (usize h = 0; h < nodes.size(); ++h) {
+      if (absorbed[h] != 0 || !fusible_class(nodes[h].req.op)) continue;
+      std::vector<char> in_chain(nodes.size(), 0);
+      in_chain[h] = 1;
+      usize tail = h;
+      while (chain_of[h].size() < isa::kMaxFusedStages) {
+        const OpNode& t = nodes[tail];
+        // The intermediate must be invisible outside the chain: exactly
+        // one in-graph consumer and never read by the host afterwards.
+        if (t.consumers.size() != 1 || graph.is_output(t.req.out)) break;
+        const usize nx = t.consumers[0];
+        const OpNode& succ = nodes[nx];
+        if (absorbed[nx] != 0 || !fusible_class(succ.req.op)) break;
+        if (succ.req.quant != t.req.quant) break;
+        // A later writer must not overwrite the intermediate before the
+        // successor reads it -- with single-consumer RAW plus the WAW/WAR
+        // edges this shows up as extra deps, caught by the reach check.
+        if (succ.req.out->shape() != t.req.out->shape()) break;
+        const bool as_in0 = succ.req.in0 == t.req.out;
+        const bool as_in1 = succ.req.in1 == t.req.out;
+        if (as_in0 == as_in1) break;  // both (x*x) or neither: keep unfused
+        // The successor's other operand must be available when the chain
+        // head executes: it must not (transitively) depend on any chain
+        // member, or fusing would deadlock the producer behind its own
+        // consumer.
+        bool legal = true;
+        for (const usize d : succ.deps) {
+          if (in_chain[d] != 0) continue;
+          if (reaches(nodes, d, in_chain)) {
+            legal = false;
+            break;
+          }
+        }
+        if (!legal) break;
+        chain_of[h].push_back(nx);
+        absorbed[nx] = 1;
+        in_chain[nx] = 1;
+        tail = nx;
+      }
+      if (!chain_of[h].empty()) ++fused_chains;
+    }
+  }
+
+  // --- step construction ---------------------------------------------------
+  CompiledGraph cg;
+  cg.recorded_nodes_ = nodes.size();
+  cg.fused_chains_ = fused_chains;
+  const usize tile = rt.tensorizer().config().pairwise_tile;
+  std::vector<usize> step_of(nodes.size(), 0);
+  for (usize n = 0; n < nodes.size(); ++n) {
+    if (absorbed[n] != 0) continue;
+    GraphStep step;
+    step.req = nodes[n].req;
+    step.members.push_back(n);
+    step.est_cost = node_cost(nodes[n]);
+    for (const usize m : chain_of[n]) {
+      const OpNode& member = nodes[m];
+      FusedOpRequest fop;
+      fop.op = member.req.op;
+      if (isa::op_class(member.req.op) == OpClass::kPairwise) {
+        const bool swapped = member.req.in1 == nodes[step.members.back()].req.out;
+        fop.swapped = swapped;
+        fop.operand = swapped ? member.req.in0 : member.req.in1;
+      }
+      step.req.fused_ops.push_back(fop);
+      // The chain's result lands in the tail's output buffer.
+      step.req.out = member.req.out;
+      step.members.push_back(m);
+      step.est_cost += node_cost(member);
+      cg.instructions_eliminated_ += tiles_for(member.req.out->shape(), tile);
+    }
+    step_of[n] = cg.steps_.size();
+    cg.steps_.push_back(std::move(step));
+  }
+  // Chain members route to their head's step for dependency remapping.
+  for (usize h = 0; h < nodes.size(); ++h) {
+    for (const usize m : chain_of[h]) step_of[m] = step_of[h];
+  }
+  for (usize s = 0; s < cg.steps_.size(); ++s) {
+    GraphStep& step = cg.steps_[s];
+    for (const usize m : step.members) {
+      for (const usize d : nodes[m].deps) {
+        const usize ds = step_of[d];
+        if (ds == s) continue;
+        const auto it =
+            std::lower_bound(step.deps.begin(), step.deps.end(), ds);
+        if (it == step.deps.end() || *it != ds) step.deps.insert(it, ds);
+      }
+    }
+  }
+
+  // --- profiled pipeline partitioning --------------------------------------
+  // Contiguous split of the step sequence into at most `stages` segments
+  // minimizing the maximum segment cost (classic linear-partition DP).
+  // Contiguity keeps every dependency pointing to the same or an earlier
+  // stage, so the stage threads can never deadlock.
+  usize stages = 1;
+  const usize n_steps = cg.steps_.size();
+  if (options_.pipeline && rt.config().num_devices > 1 && n_steps > 1) {
+    usize want = options_.max_stages == 0 ? rt.config().num_devices
+                                          : options_.max_stages;
+    want = std::min({want, rt.config().num_devices, n_steps});
+    if (want > 1) {
+      std::vector<double> prefix(n_steps + 1, 0);
+      for (usize i = 0; i < n_steps; ++i) {
+        prefix[i + 1] = prefix[i] + cg.steps_[i].est_cost;
+      }
+      constexpr double kInf = std::numeric_limits<double>::infinity();
+      // best[i][k]: minimal max-segment cost covering steps [0, i) with k
+      // segments; cut[i][k] remembers the split point.
+      std::vector<std::vector<double>> best(
+          n_steps + 1, std::vector<double>(want + 1, kInf));
+      std::vector<std::vector<usize>> cut(
+          n_steps + 1, std::vector<usize>(want + 1, 0));
+      best[0][0] = 0;
+      for (usize i = 1; i <= n_steps; ++i) {
+        for (usize k = 1; k <= std::min(i, want); ++k) {
+          for (usize j = k - 1; j < i; ++j) {
+            const double cost =
+                std::max(best[j][k - 1], prefix[i] - prefix[j]);
+            if (cost < best[i][k]) {
+              best[i][k] = cost;
+              cut[i][k] = j;
+            }
+          }
+        }
+      }
+      // Fewer stages can win outright (pipeline fill costs are real);
+      // pick the smallest k achieving the best bottleneck.
+      usize best_k = 1;
+      for (usize k = 2; k <= want; ++k) {
+        if (best[n_steps][k] < best[n_steps][best_k]) best_k = k;
+      }
+      stages = best_k;
+      usize i = n_steps;
+      for (usize k = stages; k >= 1; --k) {
+        const usize j = cut[i][k];
+        for (usize s = j; s < i; ++s) cg.steps_[s].stage = k - 1;
+        i = j;
+        if (k == 1) break;
+      }
+    }
+  }
+  cg.num_stages_ = stages;
+  cg.pinned_ = options_.pipeline && stages > 1;
+  for (usize k = 0; k < stages; ++k) {
+    cg.stage_tracks_.push_back(std::make_unique<VirtualResource>(
+        "graph/stage" + std::to_string(k)));
+  }
+  return cg;
+}
+
+Seconds CompiledGraph::run(Runtime& rt) {
+  GPTPU_CHECK(!steps_.empty(), "run() on an empty compiled graph");
+  auto& gm = GraphMetrics::get();
+  gm.nodes.add(recorded_nodes_);
+  gm.fused.add(fused_chains_);
+  gm.stages.add(num_stages_);
+  gm.instructions_eliminated.add(instructions_eliminated_);
+
+  const usize n = steps_.size();
+  Mutex mu;
+  CondVar cv;
+  std::vector<Seconds> done(n, 0);
+  std::vector<char> completed(n, 0);
+  std::vector<u64> stage_task(num_stages_);
+  for (usize k = 0; k < num_stages_; ++k) stage_task[k] = rt.begin_task();
+
+  const auto stage_body = [&](usize k) {
+    for (usize i = 0; i < n; ++i) {
+      GraphStep& step = steps_[i];
+      if (step.stage != k) continue;
+      // Cross-stage dependency barrier (wall side) + the not_before edge
+      // (virtual side): the op may not start before its producers'
+      // modelled completion.
+      Seconds nb = 0;
+      {
+        MutexLock lock(mu);
+        for (const usize d : step.deps) {
+          while (completed[d] == 0) cv.wait(mu);
+          nb = std::max(nb, done[d]);
+        }
+      }
+      step.req.task_id = stage_task[k];
+      step.req.not_before = nb;
+      step.req.device_pin = pinned_ ? static_cast<int>(k) : -1;
+      set_quant_pin(step.req);
+      const Seconds floor = std::max(nb, rt.task_ready(stage_task[k]));
+      const Seconds vdone = rt.invoke(step.req);
+      // Observational per-stage track: ops of one stage serialize on the
+      // stage task, so this records exactly [floor, vdone] and the
+      // track's busy time is the stage's occupied virtual time.
+      stage_tracks_[k]->acquire(floor, std::max(0.0, vdone - floor),
+                                std::string(isa::name(step.req.op)));
+      {
+        MutexLock lock(mu);
+        done[i] = vdone;
+        completed[i] = 1;
+        cv.notify_all();
+      }
+    }
+  };
+
+  if (num_stages_ == 1) {
+    stage_body(0);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(num_stages_);
+    for (usize k = 0; k < num_stages_; ++k) {
+      threads.emplace_back(stage_body, k);
+    }
+    for (auto& t : threads) t.join();
+  }
+
+  Seconds makespan = 0;
+  for (const Seconds d : done) makespan = std::max(makespan, d);
+  auto& reg = metrics::MetricRegistry::global();
+  for (usize k = 0; k < num_stages_; ++k) {
+    const double occ =
+        makespan > 0 ? stage_tracks_[k]->busy_time() / makespan : 0.0;
+    reg.gauge("graph.stage" + std::to_string(k) + ".occupancy_vt").set(occ);
+  }
+  return makespan;
+}
+
+double CompiledGraph::stage_occupancy(usize stage) const {
+  GPTPU_CHECK(stage < stage_tracks_.size(), "stage_occupancy: bad stage");
+  Seconds makespan = 0;
+  for (const auto& t : stage_tracks_) {
+    makespan = std::max(makespan, t->busy_until());
+  }
+  return makespan > 0 ? stage_tracks_[stage]->busy_time() / makespan : 0.0;
+}
+
+void CompiledGraph::set_tracing(bool on) {
+  for (auto& t : stage_tracks_) t->set_tracing(on);
+}
+
+void CompiledGraph::visit_stage_tracks(
+    const std::function<void(const std::string& track,
+                             const VirtualResource&)>& fn) const {
+  for (usize k = 0; k < stage_tracks_.size(); ++k) {
+    fn("graph/stage" + std::to_string(k), *stage_tracks_[k]);
+  }
+}
+
+}  // namespace gptpu::runtime

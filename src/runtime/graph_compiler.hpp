@@ -1,0 +1,134 @@
+// The graph-level Tensorizer (docs/PERFORMANCE.md "Graph compiler"):
+// compiles a captured OpGraph into an executable pipeline.
+//
+// Two rewrites beyond the eager per-operator lowering:
+//
+//  * Operator fusion -- a chain of shape-preserving pairwise/elementwise
+//    operators whose intermediates each have exactly one in-graph
+//    consumer (and are not host-read outputs) collapses into ONE fused
+//    instruction per tile (isa::Opcode::kFusedPairwise/kFusedElementwise).
+//    The intermediate never crosses the link and never lands on the
+//    host; its quantization points are preserved exactly (see
+//    Tensorizer::lower_fused_chain), so fused results are bit-exact
+//    against the unfused lowering.
+//
+//  * Profiled pipeline partitioning -- the (post-fusion) step sequence is
+//    split into up to num_devices contiguous stages balanced by a cost
+//    model: the measured per-opcode virtual service-time histograms
+//    ("op.<name>.service_vt", fed by every prior eager run) when
+//    populated, a deterministic throughput estimate otherwise. Each
+//    stage is pinned to one device (Scheduler::assign_pinned) and
+//    cross-stage edges become OperationRequest::not_before constraints,
+//    so independent iterations stream through the stages double-buffered
+//    (the PR-4 stage-ahead pipeline overlaps the host work underneath).
+//
+// Execution (CompiledGraph::run) spawns one thread per stage; every
+// stage charges its ops to a per-stage VirtualResource ("graph/stageN")
+// that feeds the Chrome trace a per-stage track plus the
+// graph.stage<N>.occupancy_vt gauge.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/domain_annotations.hpp"
+#include "common/timeline.hpp"
+#include "runtime/op_graph.hpp"
+
+namespace gptpu::runtime {
+
+class Runtime;
+
+struct GraphCompileOptions {
+  /// Operator-fusion pass. Off = every recorded node executes unfused
+  /// (the bit-exactness A/B partner of a fused run).
+  bool fuse = true;
+  /// Pipeline partitioning + per-stage device pinning. Off = one stage,
+  /// scheduler's free device choice.
+  bool pipeline = true;
+  /// Stage count cap; clamped to the runtime's device count. 0 = use
+  /// every device.
+  usize max_stages = 0;
+};
+
+/// One executable step: a recorded node, possibly with successor ops
+/// folded in by the fusion pass.
+struct GraphStep {
+  OperationRequest req;
+  /// Indices of steps that must complete first (edges survive fusion).
+  std::vector<usize> deps;
+  /// Pipeline stage (== pinned device index when pipelining is on).
+  usize stage = 0;
+  /// Cost-model estimate the partitioner balanced (virtual seconds).
+  Seconds est_cost = 0;
+  /// Recorded node ids this step covers (head first).
+  std::vector<usize> members;
+};
+
+class CompiledGraph {
+ public:
+  /// Executes the graph against live buffer contents. Reusable: each
+  /// run() draws fresh task ids and re-derives quantization pins from
+  /// the buffers' current ranges. Not reentrant. Returns the modelled
+  /// completion instant of the slowest step.
+  GPTPU_VIRTUAL_DOMAIN
+  Seconds run(Runtime& rt);
+
+  [[nodiscard]] const std::vector<GraphStep>& steps() const { return steps_; }
+  [[nodiscard]] usize num_stages() const { return num_stages_; }
+  [[nodiscard]] usize recorded_nodes() const { return recorded_nodes_; }
+  /// Fused chains formed by the compiler (each merged >= 2 nodes).
+  [[nodiscard]] usize fused_chains() const { return fused_chains_; }
+  /// Per-tile instructions the fusion pass eliminated (folded stages x
+  /// tiles per op).
+  [[nodiscard]] usize instructions_eliminated() const {
+    return instructions_eliminated_;
+  }
+
+  /// Per-stage occupancy of the last run: busy virtual time / makespan.
+  [[nodiscard]] double stage_occupancy(usize stage) const;
+
+  /// Forwards per-stage interval recording (Chrome trace tracks).
+  void set_tracing(bool on);
+  /// Visits the per-stage virtual tracks ("graph/stage<N>").
+  void visit_stage_tracks(
+      const std::function<void(const std::string& track,
+                               const VirtualResource&)>& fn) const;
+
+ private:
+  friend class GraphCompiler;
+
+  std::vector<GraphStep> steps_;
+  usize num_stages_ = 1;
+  usize recorded_nodes_ = 0;
+  usize fused_chains_ = 0;
+  usize instructions_eliminated_ = 0;
+  /// True when pipelining produced >1 stage: steps carry a device pin.
+  bool pinned_ = false;
+  /// One observational track per stage; charged [op start, op done] for
+  /// every step the stage executes. unique_ptr: VirtualResource is
+  /// neither movable nor copyable.
+  std::vector<std::unique_ptr<VirtualResource>> stage_tracks_;
+};
+
+class GraphCompiler {
+ public:
+  explicit GraphCompiler(GraphCompileOptions options) : options_(options) {}
+
+  /// Compiles the captured graph for the given runtime (device count,
+  /// tile shape). The graph's buffers must outlive the compiled form.
+  [[nodiscard]] CompiledGraph compile(const OpGraph& graph,
+                                      const Runtime& rt) const;
+
+  /// Cost-model estimate for one recorded node: mean of the measured
+  /// "op.<name>.service_vt" histogram when populated (profile-guided),
+  /// else a deterministic throughput estimate from the Table 1 rates.
+  [[nodiscard]] static Seconds node_cost(const OpNode& node);
+
+ private:
+  GraphCompileOptions options_;
+};
+
+}  // namespace gptpu::runtime

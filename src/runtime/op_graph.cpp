@@ -1,0 +1,77 @@
+// gptpu-analyze: deterministic-file -- recorded edges feed the graph
+// compiler, whose output must not depend on hash-map layout (R10).
+#include "runtime/op_graph.hpp"
+
+#include <algorithm>
+
+namespace gptpu::runtime {
+
+namespace {
+void push_unique_sorted(std::vector<usize>& v, usize x) {
+  const auto it = std::lower_bound(v.begin(), v.end(), x);
+  if (it == v.end() || *it != x) v.insert(it, x);
+}
+}  // namespace
+
+usize OpGraph::add(const OperationRequest& req) {
+  GPTPU_CHECK(req.in0 != nullptr && req.out != nullptr,
+              "recorded operation needs in0 and out");
+  GPTPU_CHECK(req.fused_ops.empty() && req.device_pin < 0 &&
+                  !req.pin_output_range && req.not_before == 0,
+              "recorded requests must not carry graph-execution fields");
+  const usize id = nodes_.size();
+  OpNode node;
+  node.id = id;
+  node.req = req;
+
+  const auto read = [&](const TensorBuffer* buf) {
+    const u64 bid = buf->id();
+    // RAW: depend on the last writer; register as its consumer.
+    if (const auto it = last_writer_.find(bid); it != last_writer_.end()) {
+      push_unique_sorted(node.deps, it->second);
+      push_unique_sorted(nodes_[it->second].consumers, id);
+    }
+    readers_since_write_[bid].push_back(id);
+  };
+  read(req.in0);
+  if (req.in1 != nullptr) read(req.in1);
+
+  const u64 out_id = req.out->id();
+  // WAR: everyone who read the old contents must finish first.
+  if (const auto it = readers_since_write_.find(out_id);
+      it != readers_since_write_.end()) {
+    for (const usize r : it->second) {
+      if (r != id) push_unique_sorted(node.deps, r);
+    }
+    it->second.clear();
+  }
+  // WAW: the previous writer must land before this one overwrites.
+  if (const auto it = last_writer_.find(out_id); it != last_writer_.end()) {
+    push_unique_sorted(node.deps, it->second);
+  }
+  last_writer_[out_id] = id;
+
+  nodes_.push_back(std::move(node));
+  return id;
+}
+
+void OpGraph::mark_output(const TensorBuffer* buffer) {
+  GPTPU_CHECK(buffer != nullptr, "mark_output: null buffer");
+  const auto it = std::lower_bound(output_ids_.begin(), output_ids_.end(),
+                                   buffer->id());
+  if (it == output_ids_.end() || *it != buffer->id()) {
+    output_ids_.insert(it, buffer->id());
+  }
+}
+
+bool OpGraph::is_output(const TensorBuffer* buffer) const {
+  return std::binary_search(output_ids_.begin(), output_ids_.end(),
+                            buffer->id());
+}
+
+usize OpGraph::producer_of(u64 buffer_id) const {
+  const auto it = last_writer_.find(buffer_id);
+  return it == last_writer_.end() ? kNoProducer : it->second;
+}
+
+}  // namespace gptpu::runtime

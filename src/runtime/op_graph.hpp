@@ -1,0 +1,74 @@
+// Graph capture (record mode) for the graph-level Tensorizer.
+//
+// Eager GPTPU executes one OperationRequest at a time: the Tensorizer
+// sees a single operator and its buffers, so cross-operator structure
+// (an elementwise chain feeding one consumer, a layer pipeline spread
+// over devices) is invisible to it. An OpGraph captures that structure:
+// requests are *recorded* instead of executed, and buffer producer /
+// consumer relationships become explicit dataflow edges. The
+// GraphCompiler (graph_compiler.hpp) then runs graph-level rewrites --
+// operator fusion, profiled pipeline partitioning -- that the eager
+// queue cannot express.
+//
+// Edge semantics: node B depends on node A when B reads a buffer A wrote
+// (RAW), overwrites a buffer A read (WAR), or overwrites a buffer A
+// wrote (WAW). `consumers` tracks RAW readers only -- that is the
+// relation fusion legality cares about.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "runtime/operation.hpp"
+
+namespace gptpu::runtime {
+
+/// One recorded operation plus its dataflow edges.
+struct OpNode {
+  usize id = 0;
+  /// The captured request. Graph-execution fields (task_id, not_before,
+  /// device_pin, pin_output_range, fused_ops) are filled in by the
+  /// compiler / executor, never by the recorder.
+  OperationRequest req;
+  /// Nodes that must complete before this one (RAW + WAR + WAW),
+  /// deduplicated, ascending.
+  std::vector<usize> deps;
+  /// Nodes that read this node's output buffer (RAW), ascending.
+  std::vector<usize> consumers;
+};
+
+class OpGraph {
+ public:
+  static constexpr usize kNoProducer = ~usize{0};
+
+  /// Records one operation and wires its dependency edges. Returns the
+  /// node id. The request must be a plain eager-style request (no graph
+  /// fields set); buffers must outlive the graph.
+  usize add(const OperationRequest& req);
+
+  /// Declares a buffer as a graph output: the host reads it after the
+  /// graph runs, so the fusion pass must materialize it even when it has
+  /// a single in-graph consumer. Buffers never consumed inside the graph
+  /// are outputs implicitly.
+  void mark_output(const TensorBuffer* buffer);
+
+  [[nodiscard]] const std::vector<OpNode>& nodes() const { return nodes_; }
+  [[nodiscard]] bool empty() const { return nodes_.empty(); }
+  [[nodiscard]] usize size() const { return nodes_.size(); }
+
+  /// True when the buffer was explicitly marked as read by the host.
+  [[nodiscard]] bool is_output(const TensorBuffer* buffer) const;
+
+  /// Node that last writes this buffer, or kNoProducer.
+  [[nodiscard]] usize producer_of(u64 buffer_id) const;
+
+ private:
+  std::vector<OpNode> nodes_;
+  std::vector<u64> output_ids_;  // sorted unique buffer ids
+  // Ordered maps: recording happens on one thread and iteration order
+  // feeds the deterministic compiler (docs/ANALYSIS.md R10).
+  std::map<u64, usize> last_writer_;
+  std::map<u64, std::vector<usize>> readers_since_write_;
+};
+
+}  // namespace gptpu::runtime

@@ -13,6 +13,17 @@
 
 namespace gptpu::runtime {
 
+/// One folded-in successor op of a fused chain request (graph-compiler
+/// fusion). The stage consumes the previous op's output; pairwise stages
+/// bring their own second operand buffer.
+struct FusedOpRequest {
+  isa::Opcode op = isa::Opcode::kAdd;  // add/sub/mul/tanh/ReLu
+  TensorBuffer* operand = nullptr;     // pairwise stages only
+  /// The chain intermediate is the *right* operand of this stage (needed
+  /// for non-commutative sub); `operand` supplies the left side.
+  bool swapped = false;
+};
+
 /// An OPQ entry: "a task ID, the requested TPU operation, the input and
 /// output locations, and parameters like the quantization method".
 struct OperationRequest {
@@ -33,6 +44,25 @@ struct OperationRequest {
   u16 kernel_bank = 1;        // conv2D
   isa::Window window{};       // crop
   Shape2D pad_target{};       // ext
+
+  /// Graph execution extensions (all inert in eager mode):
+  /// earliest virtual time this op may start -- a cross-stage dependency
+  /// edge from a producing op on another pipeline stage.
+  Seconds not_before = 0;
+  /// Pin every instruction of this op to one device (graph pipeline
+  /// stages); -1 keeps the scheduler's free choice.
+  int device_pin = -1;
+  /// Pin the output buffer's post-op range analytically instead of
+  /// recalibrating from produced values. Graph mode pins internal edges so
+  /// fused and unfused executions derive identical quantization points
+  /// (and skips the host-side recalibration scan).
+  bool pin_output_range = false;
+  quant::Range pinned_output_range{};
+  /// Successor ops folded into this request by the graph compiler's
+  /// fusion pass (pairwise/elementwise head only). Lowering emits one
+  /// fused instruction per tile instead of one instruction per tile per
+  /// op.
+  std::vector<FusedOpRequest> fused_ops;
 };
 
 /// A rectangular tile of a host buffer that must be staged into device
@@ -90,6 +120,23 @@ struct InstructionPlan {
   Shape2D out_shape{};  // region written in the host output buffer
   HostCombine combine = HostCombine::kStore;
   double combine_weight = 1.0;  // kMeanPartial: fraction of total elements
+
+  /// Fused chain plans (op == kFusedPairwise / kFusedElementwise) only:
+  /// the head's base opcode and intermediate scale, plus per-stage scale
+  /// plans and operand tiles. Mirrors isa::FusedStage with the host-side
+  /// tile identity attached.
+  struct FusedStagePlan {
+    isa::Opcode op = isa::Opcode::kAdd;
+    TileRef operand;       // pairwise stages only
+    u64 operand_key = 0;   // staged-tile cache key (filled at dispatch)
+    bool swapped = false;
+    float in_scale = 1.0f;
+    float out_scale = 1.0f;
+  };
+  isa::Opcode head_op = isa::Opcode::kAdd;
+  float head_scale = 1.0f;
+  u8 fused_stage_count = 0;
+  std::array<FusedStagePlan, isa::kMaxFusedStages> fused_stages{};
 };
 
 /// A lowered OPQ entry: the instruction list plus one-time host costs.

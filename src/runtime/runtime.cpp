@@ -444,7 +444,7 @@ struct InflightGuard {
 };
 }  // namespace
 
-void Runtime::invoke(const OperationRequest& request) {
+Seconds Runtime::invoke(const OperationRequest& request) {
   auto& rtm = RuntimeMetrics::get();
   InflightGuard inflight(opq_inflight_, rtm.opq_inflight_highwater);
 
@@ -453,7 +453,9 @@ void Runtime::invoke(const OperationRequest& request) {
 
   OpContext ctx;
   ctx.req = &request;
-  ctx.op_ready = task_ready(request.task_id);
+  // not_before is the graph executor's cross-stage dependency edge (0 for
+  // eager operations, so the eager timeline is untouched).
+  ctx.op_ready = std::max(task_ready(request.task_id), request.not_before);
 
   if (lowered.host_prep_seconds > 0) {
     ctx.op_ready =
@@ -605,7 +607,12 @@ void Runtime::invoke(const OperationRequest& request) {
   // The output buffer changed: new version for cache correctness, fresh
   // range for downstream operations.
   request.out->bump_version();
-  if (request.out->functional()) {
+  if (request.pin_output_range) {
+    // Graph mode pins internal edges to the compiler's analytic range, so
+    // fused and unfused executions derive identical quantization points
+    // (and the recalibration scan is skipped).
+    request.out->set_range(request.pinned_output_range);
+  } else if (request.out->functional()) {
     request.out->recalibrate();
   } else {
     float min_scale = std::numeric_limits<float>::max();
@@ -634,6 +641,7 @@ void Runtime::invoke(const OperationRequest& request) {
   om.instructions.add(lowered.plans.size());
   om.queue_wait_vt.record(queue_wait_sum);
   om.service_vt.record(op_virtual_done - op_virtual_start);
+  return op_virtual_done;
 }
 
 Seconds Runtime::dispatch_plan(OpContext& ctx, const InstructionPlan& plan_in,
@@ -648,11 +656,17 @@ Seconds Runtime::dispatch_plan(OpContext& ctx, const InstructionPlan& plan_in,
   plan.in0_key = tile_key(plan.in0);
   if (plan.in1.valid()) plan.in1_key = tile_key(plan.in1);
 
-  std::array<Scheduler::TileNeed, 2> needs{};
+  std::array<Scheduler::TileNeed, 2 + isa::kMaxFusedStages> needs{};
   usize n_needs = 0;
   needs[n_needs++] = {plan.in0_key, plan.in0.bytes()};
   if (plan.in1.valid()) {
     needs[n_needs++] = {plan.in1_key, plan.in1.bytes()};
+  }
+  for (usize s = 0; s < plan.fused_stage_count; ++s) {
+    auto& st = plan.fused_stages[s];
+    if (!st.operand.valid()) continue;
+    st.operand_key = tile_key(st.operand);
+    needs[n_needs++] = {st.operand_key, st.operand.bytes()};
   }
 
   // Instruction-latency estimate; the scheduler adds transfer costs for
@@ -663,6 +677,11 @@ Seconds Runtime::dispatch_plan(OpContext& ctx, const InstructionPlan& plan_in,
   probe.kernel_bank = plan.kernel_bank;
   probe.window = plan.window;
   probe.pad_target = plan.pad_target;
+  probe.head_op = plan.head_op;
+  probe.fused_stage_count = plan.fused_stage_count;
+  for (usize s = 0; s < plan.fused_stage_count; ++s) {
+    probe.fused_stages[s].op = plan.fused_stages[s].op;
+  }
   const Shape2D in1_shape = plan.in1.valid() ? plan.in1.shape : Shape2D{};
   const Shape2D out_shape =
       isa::infer_output_shape(probe, plan.in0.shape, in1_shape);
@@ -672,8 +691,18 @@ Seconds Runtime::dispatch_plan(OpContext& ctx, const InstructionPlan& plan_in,
       tm.instruction_latency(probe, plan.in0.shape, in1_shape, out_shape) +
       tm.transfer_latency(out_bytes);
 
+  // A graph pipeline stage pins its ops to the partitioner's device; a
+  // pinned device that has since died falls back to the free choice (the
+  // fault layer re-balances rather than wedging the stage).
+  const int pin = ctx.req->device_pin;
   const Scheduler::Assignment assignment =
-      scheduler_.assign_detailed({needs.data(), n_needs}, est, ctx.op_ready);
+      (pin >= 0 && static_cast<usize>(pin) < config_.num_devices &&
+       scheduler_.is_alive(static_cast<usize>(pin)))
+          ? scheduler_.assign_pinned(static_cast<usize>(pin),
+                                     {needs.data(), n_needs}, est,
+                                     ctx.op_ready)
+          : scheduler_.assign_detailed({needs.data(), n_needs}, est,
+                                       ctx.op_ready);
 
   DeviceState& ds = *device_states_[assignment.device];
   ds.instructions->add(1);
@@ -803,7 +832,10 @@ bool tile_scan_zero(const TileRef& tile) {
   return true;
 }
 
-/// Opcodes for which a zero operand forces a zero result.
+/// Opcodes for which a zero operand forces a zero result. Fused chains
+/// (kFusedPairwise/kFusedElementwise) deliberately land on the default:
+/// even a mul-headed chain does not annihilate, because the folded-in
+/// stages (add, tanh, ...) transform the zero intermediate further.
 bool zero_annihilates(Opcode op) {
   switch (op) {
     case Opcode::kMul:
@@ -1100,7 +1132,7 @@ Status Runtime::try_execute_plan(DeviceState& ds, const WorkItem& item,
   if (!in0_r.ok()) return in0_r.status();
   const DeviceTensorId in0 = in0_r.value();
   DeviceTensorId in1;
-  std::array<u64, 2> pinned{plan.in0_key, 0};
+  std::array<u64, 2 + isa::kMaxFusedStages> pinned{plan.in0_key};
   usize n_pinned = 1;
   if (plan.in1.valid()) {
     pinned[n_pinned++] = plan.in1_key;
@@ -1121,6 +1153,29 @@ Status Runtime::try_execute_plan(DeviceState& ds, const WorkItem& item,
   instr.out_scale = plan.out_scale;
   instr.task_id = ctx.req->task_id;
   instr.quant = ctx.req->quant;
+
+  // Fused chains: stage each folded-in stage's operand tile (through the
+  // same cache/affinity machinery as in0/in1) and carry the per-stage
+  // scale plan onto the instruction.
+  instr.head_op = plan.head_op;
+  instr.head_scale = plan.head_scale;
+  instr.fused_stage_count = plan.fused_stage_count;
+  for (usize s = 0; s < plan.fused_stage_count; ++s) {
+    const InstructionPlan::FusedStagePlan& sp = plan.fused_stages[s];
+    isa::FusedStage& fs = instr.fused_stages[s];
+    fs.op = sp.op;
+    fs.swapped = sp.swapped;
+    fs.in_scale = sp.in_scale;
+    fs.out_scale = sp.out_scale;
+    if (sp.operand.valid()) {
+      pinned[n_pinned++] = sp.operand_key;
+      Seconds operand_at = 0;
+      const auto op_r = stage_tile(ds, sp.operand, sp.operand_key,
+                                   /*hint=*/nullptr, ready, &operand_at);
+      if (!op_r.ok()) return op_r.status();
+      fs.operand = op_r.value();
+    }
+  }
 
   // Staged tiles have exactly the plan's shapes, so the output shape
   // derives from the plan without a device-mutex round trip per operand.
@@ -1333,6 +1388,12 @@ void Runtime::cpu_fallback_plan(OpContext& ctx, const InstructionPlan& plan) {
   instr.kernel_bank = plan.kernel_bank;
   instr.out_scale = plan.out_scale;
   instr.wide_output = plan.wide_output;
+  instr.head_op = plan.head_op;
+  instr.head_scale = plan.head_scale;
+  instr.fused_stage_count = plan.fused_stage_count;
+  for (usize s = 0; s < plan.fused_stage_count; ++s) {
+    instr.fused_stages[s].op = plan.fused_stages[s].op;
+  }
 
   const Shape2D in1_shape = plan.in1.valid() ? plan.in1.shape : Shape2D{};
   const Shape2D out_shape =
@@ -1411,6 +1472,28 @@ void Runtime::cpu_fallback_plan(OpContext& ctx, const InstructionPlan& plan) {
       case Opcode::kExt:
         ref::ext(a, plan.in0.scale, plan.out_scale, out);
         break;
+      case Opcode::kFusedPairwise:
+      case Opcode::kFusedElementwise: {
+        std::array<std::vector<i8>, isa::kMaxFusedStages> qstage;
+        std::array<sim::kernels::FusedStageArg, isa::kMaxFusedStages> stages{};
+        for (usize s = 0; s < plan.fused_stage_count; ++s) {
+          const InstructionPlan::FusedStagePlan& sp = plan.fused_stages[s];
+          auto& arg = stages[s];
+          arg.op = sp.op;
+          arg.swapped = sp.swapped;
+          arg.in_scale = sp.in_scale;
+          arg.out_scale = sp.out_scale;
+          if (sp.operand.valid()) {
+            quantize_tile(sp.operand, qstage[s]);
+            arg.operand = {qstage[s].data(), sp.operand.shape};
+            arg.operand_scale = sp.operand.scale;
+          }
+        }
+        ref::fused_chain(plan.head_op, a, plan.in0.scale, b, plan.in1.scale,
+                         plan.head_scale,
+                         {stages.data(), plan.fused_stage_count}, out);
+        break;
+      }
     }
     land_result(ctx, plan, out_shape, narrow.data(), wide_out.data());
   }

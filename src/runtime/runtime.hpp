@@ -163,8 +163,12 @@ class Runtime {
   u64 begin_task() GPTPU_EXCLUDES(tasks_mu_);
 
   /// Executes one operation synchronously (OPQ -> Tensorizer -> IQ ->
-  /// devices -> host aggregation). Throws on invalid requests.
-  void invoke(const OperationRequest& request);
+  /// devices -> host aggregation). Throws on invalid requests. Returns
+  /// the operation's modelled completion instant (== the value
+  /// task_ready(request.task_id) advances to), which graph executors use
+  /// as the cross-stage not_before edge.
+  GPTPU_VIRTUAL_DOMAIN
+  Seconds invoke(const OperationRequest& request);
 
   /// Modelled completion time of the last operation of `task`.
   GPTPU_VIRTUAL_DOMAIN

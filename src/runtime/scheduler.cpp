@@ -117,6 +117,62 @@ Scheduler::Assignment Scheduler::assign_detailed(
   return result;
 }
 
+Scheduler::Assignment Scheduler::assign_pinned(usize device,
+                                               std::span<const TileNeed> tiles,
+                                               Seconds instr_seconds,
+                                               Seconds ready) {
+  usize total_bytes = 0;
+  for (const auto& [key, bytes] : tiles) {
+    (void)key;
+    total_bytes += bytes;
+  }
+
+  Assignment result;
+  result.device = device;
+  {
+    MutexLock lock(mu_);
+    GPTPU_CHECK(device < load_.size(), "assign_pinned: bad device index");
+    GPTPU_CHECK(dead_[device] == 0, "assign_pinned: device is dead");
+    usize missing = total_bytes;
+    if (affinity_enabled_) {
+      for (usize i = 0; i < tiles.size(); ++i) {
+        const auto it = residency_.find(tiles[i].first);
+        if (it != residency_.end() && it->second.contains(device)) {
+          missing -= tiles[i].second;
+          if (i < 32) result.resident_mask |= u32{1} << i;
+        }
+      }
+    }
+    result.queue_wait = std::max(0.0, load_[device] - ready);
+    result.resident_bytes = total_bytes - missing;
+    if (affinity_enabled_ && !tiles.empty()) {
+      if (result.resident_bytes > 0) {
+        ++affinity_hits_;
+      } else {
+        ++affinity_misses_;
+      }
+    }
+    load_[device] =
+        std::max(ready, load_[device]) + instr_seconds +
+        static_cast<double>(missing) * perfmodel::kLinkSecondsPerByte;
+    for (const auto& [key, bytes] : tiles) {
+      (void)bytes;
+      residency_[key].insert(device);
+    }
+  }
+
+  if (affinity_enabled_ && !tiles.empty()) {
+    auto& m = SchedulerMetrics::get();
+    if (result.resident_bytes > 0) {
+      m.hits.add(1);
+      m.bytes_avoided.add(result.resident_bytes);
+    } else {
+      m.misses.add(1);
+    }
+  }
+  return result;
+}
+
 double Scheduler::affinity_hit_rate() const {
   MutexLock lock(mu_);
   const u64 eligible = affinity_hits_ + affinity_misses_;

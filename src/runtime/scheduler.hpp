@@ -79,6 +79,16 @@ class Scheduler {
     return assign_detailed(tiles, instr_seconds, ready).device;
   }
 
+  /// assign_detailed() with the device choice forced to `device` (a graph
+  /// pipeline stage pinned there by the partitioner). Performs the same
+  /// load-clock and residency bookkeeping so pinned and free assignments
+  /// observe one consistent affinity state; throws if the device is dead.
+  GPTPU_VIRTUAL_DOMAIN
+  [[nodiscard]] Assignment assign_pinned(usize device,
+                                         std::span<const TileNeed> tiles,
+                                         Seconds instr_seconds, Seconds ready)
+      GPTPU_EXCLUDES(mu_);
+
   /// Fraction of affinity-eligible assignments (plans with at least one
   /// input tile, affinity enabled) that found bytes resident on the
   /// chosen device. 0 when nothing was eligible.

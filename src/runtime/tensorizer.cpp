@@ -98,8 +98,24 @@ usize Tensorizer::budget_bytes() const {
                             config_.working_set_fraction);
 }
 
+float Tensorizer::planned_out_scale(QuantMethod quant, Opcode op, Range r0,
+                                    Range r1) {
+  // tanh outputs live in [-1, 1]; every other shape-preserving op derives
+  // its scale from the operand ranges (§6.2.2). Must stay in lockstep with
+  // lower_pairwise / lower_elementwise: the graph compiler uses this to
+  // predict the scale chain fusion must reproduce.
+  if (op == Opcode::kTanh) return quant::kQuantLimit;
+  return out_scale_for(quant, op, r0, r1, 0);
+}
+
+quant::Range Tensorizer::pinned_range(float out_scale) {
+  const float mag = quant::kQuantLimit / out_scale;
+  return {-mag, mag};
+}
+
 LoweredOperation Tensorizer::lower(const OperationRequest& req) const {
   check_request(req);
+  if (!req.fused_ops.empty()) return lower_fused_chain(req);
   switch (isa::op_class(req.op)) {
     case isa::OpClass::kPairwise: return lower_pairwise(req);
     case isa::OpClass::kElementwise: return lower_elementwise(req);
@@ -122,8 +138,8 @@ LoweredOperation Tensorizer::lower_pairwise(const OperationRequest& req) const {
   const Range joint{std::min(req.in0->range().min, req.in1->range().min),
                     std::max(req.in0->range().max, req.in1->range().max)};
   const float s_in = in_scale_for(req.quant, joint);
-  const float s_out =
-      out_scale_for(req.quant, req.op, req.in0->range(), req.in1->range(), 0);
+  const float s_out = planned_out_scale(req.quant, req.op, req.in0->range(),
+                                        req.in1->range());
 
   // Tile edge: the optimal 128x128 shape, or (naive mode) the largest
   // square band that fits three operands in the working-set budget.
@@ -159,10 +175,8 @@ LoweredOperation Tensorizer::lower_elementwise(
   GPTPU_CHECK(req.out->shape() == shape, "elementwise output shape mismatch");
   const float s_in = in_scale_for(req.quant, req.in0->range());
   // tanh outputs live in [-1, 1]; ReLu preserves the input range.
-  const float s_out = req.op == Opcode::kTanh
-                          ? quant::kQuantLimit
-                          : out_scale_for(req.quant, req.op, req.in0->range(),
-                                          req.in0->range(), 0);
+  const float s_out = planned_out_scale(req.quant, req.op, req.in0->range(),
+                                        req.in0->range());
 
   const usize tile = config_.use_optimal_tiling
                          ? config_.pairwise_tile
@@ -177,6 +191,109 @@ LoweredOperation Tensorizer::lower_elementwise(
       plan.op = req.op;
       plan.out_scale = s_out;
       plan.in0 = {req.in0, r, c, {rows, cols}, s_in, false};
+      plan.out_row0 = r;
+      plan.out_col0 = c;
+      plan.out_shape = {rows, cols};
+      lowered.plans.push_back(plan);
+    }
+  }
+  return lowered;
+}
+
+LoweredOperation Tensorizer::lower_fused_chain(
+    const OperationRequest& req) const {
+  const Shape2D shape = req.in0->shape();
+  const isa::OpClass head_class = isa::op_class(req.op);
+  GPTPU_CHECK(head_class == isa::OpClass::kPairwise ||
+                  head_class == isa::OpClass::kElementwise,
+              "fused chain head must be pairwise or elementwise");
+  GPTPU_CHECK(req.fused_ops.size() <= isa::kMaxFusedStages,
+              "fused chain longer than kMaxFusedStages");
+  GPTPU_CHECK(req.out->shape() == shape, "fused chain output shape mismatch");
+
+  // Head scales: exactly what the unfused lowering would choose for this
+  // request, so the head's quantization points match an unfused run.
+  float s_in = 1.0f;
+  float head_scale = 1.0f;
+  if (head_class == isa::OpClass::kPairwise) {
+    GPTPU_CHECK(req.in1->shape() == shape, "pairwise operand shape mismatch");
+    const Range joint{std::min(req.in0->range().min, req.in1->range().min),
+                      std::max(req.in0->range().max, req.in1->range().max)};
+    s_in = in_scale_for(req.quant, joint);
+    head_scale = planned_out_scale(req.quant, req.op, req.in0->range(),
+                                   req.in1->range());
+  } else {
+    s_in = in_scale_for(req.quant, req.in0->range());
+    head_scale = planned_out_scale(req.quant, req.op, req.in0->range(),
+                                   req.in0->range());
+  }
+
+  // Per-stage scale chain. The intermediate a stage consumes never
+  // materializes on the host, but its value range is analytically pinned
+  // ([-127/s, +127/s]) and its quantization points are derived with the
+  // same formulas the unfused pipeline applies to a pinned buffer -- the
+  // bit-exactness contract.
+  std::array<InstructionPlan::FusedStagePlan, isa::kMaxFusedStages> stages{};
+  Range prev = pinned_range(head_scale);
+  // min() restates the GPTPU_CHECK bound in a form the optimizer can see
+  // (otherwise GCC warns the array indexing might overflow).
+  const usize n_stages = std::min(req.fused_ops.size(), isa::kMaxFusedStages);
+  for (usize s = 0; s < n_stages; ++s) {
+    const FusedOpRequest& fop = req.fused_ops[s];
+    const isa::OpClass cls = isa::op_class(fop.op);
+    auto& st = stages[s];
+    st.op = fop.op;
+    st.swapped = fop.swapped;
+    if (cls == isa::OpClass::kPairwise) {
+      GPTPU_CHECK(fop.operand != nullptr,
+                  "fused pairwise stage needs an operand buffer");
+      GPTPU_CHECK(fop.operand->shape() == shape,
+                  "fused stage operand shape mismatch");
+      const Range orange = fop.operand->range();
+      const Range joint{std::min(prev.min, orange.min),
+                        std::max(prev.max, orange.max)};
+      st.in_scale = in_scale_for(req.quant, joint);
+      st.out_scale = fop.swapped
+                         ? planned_out_scale(req.quant, fop.op, orange, prev)
+                         : planned_out_scale(req.quant, fop.op, prev, orange);
+    } else if (cls == isa::OpClass::kElementwise) {
+      st.in_scale = in_scale_for(req.quant, prev);
+      st.out_scale = planned_out_scale(req.quant, fop.op, prev, prev);
+    } else {
+      throw InvalidArgument("fused stage must be pairwise or elementwise");
+    }
+    prev = pinned_range(st.out_scale);
+  }
+  const float s_final =
+      n_stages == 0 ? head_scale : stages[n_stages - 1].out_scale;
+
+  // Fused lowering is graph-mode only; always the optimal tile shape.
+  const usize tile = config_.pairwise_tile;
+  LoweredOperation lowered;
+  for (usize r = 0; r < shape.rows; r += tile) {
+    const usize rows = std::min(tile, shape.rows - r);
+    for (usize c = 0; c < shape.cols; c += tile) {
+      const usize cols = std::min(tile, shape.cols - c);
+      InstructionPlan plan;
+      plan.op = head_class == isa::OpClass::kPairwise
+                    ? Opcode::kFusedPairwise
+                    : Opcode::kFusedElementwise;
+      plan.head_op = req.op;
+      plan.head_scale = head_scale;
+      plan.out_scale = s_final;
+      plan.fused_stage_count = static_cast<u8>(n_stages);
+      plan.in0 = {req.in0, r, c, {rows, cols}, s_in, /*as_model=*/false};
+      if (head_class == isa::OpClass::kPairwise) {
+        plan.in1 = {req.in1, r, c, {rows, cols}, s_in, /*as_model=*/true};
+      }
+      for (usize s = 0; s < n_stages; ++s) {
+        plan.fused_stages[s] = stages[s];
+        if (req.fused_ops[s].operand != nullptr) {
+          plan.fused_stages[s].operand = {req.fused_ops[s].operand, r, c,
+                                          {rows, cols}, stages[s].in_scale,
+                                          /*as_model=*/true};
+        }
+      }
       plan.out_row0 = r;
       plan.out_col0 = c;
       plan.out_shape = {rows, cols};

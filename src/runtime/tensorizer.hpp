@@ -44,14 +44,32 @@ class Tensorizer {
   /// Lowers one OPQ entry into IQ entries. Pure with respect to device
   /// state; throws InvalidArgument for inconsistent requests and
   /// ResourceExhausted when a single irreducible operand (e.g. one conv2D
-  /// kernel bank entry) cannot fit on-chip.
+  /// kernel bank entry) cannot fit on-chip. Requests carrying fused_ops
+  /// (graph-compiler fusion) lower to one fused instruction per tile.
   [[nodiscard]] LoweredOperation lower(const OperationRequest& req) const;
 
   [[nodiscard]] const Config& config() const { return config_; }
 
+  /// Output scale lower() will choose for a shape-preserving pairwise /
+  /// elementwise op over operands of the given ranges. Shared by the
+  /// unfused lowering, the fused-chain lowering, and the graph compiler's
+  /// pinned-range derivation — one source of truth for the quantization
+  /// points fusion must preserve.
+  [[nodiscard]] static float planned_out_scale(isa::QuantMethod quant,
+                                               isa::Opcode op, quant::Range r0,
+                                               quant::Range r1);
+
+  /// Analytic post-op value range of an int8 output produced at
+  /// `out_scale`: every code dequantizes into [-127/s, +127/s]. The same
+  /// formula Runtime::invoke applies to non-recalibrated outputs, so
+  /// pinning an intermediate buffer to this range reproduces the scale
+  /// chain the fused lowering derives at compile time.
+  [[nodiscard]] static quant::Range pinned_range(float out_scale);
+
  private:
   [[nodiscard]] usize budget_bytes() const;
 
+  LoweredOperation lower_fused_chain(const OperationRequest& req) const;
   LoweredOperation lower_pairwise(const OperationRequest& req) const;
   LoweredOperation lower_elementwise(const OperationRequest& req) const;
   LoweredOperation lower_matrixwise(const OperationRequest& req) const;

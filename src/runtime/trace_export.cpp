@@ -3,6 +3,8 @@
 #include "runtime/trace_export.hpp"
 
 #include <algorithm>
+
+#include "runtime/graph_compiler.hpp"
 #include <cerrno>
 #include <cstring>
 #include <fstream>
@@ -55,13 +57,19 @@ void export_chrome_trace(const Runtime& rt, std::ostream& os) {
 
 void export_chrome_trace(const Runtime& rt, std::ostream& os,
                          std::span<const prof::SpanRecord> spans) {
+  export_chrome_trace(rt, os, spans, /*graph=*/nullptr);
+}
+
+void export_chrome_trace(const Runtime& rt, std::ostream& os,
+                         std::span<const prof::SpanRecord> spans,
+                         const CompiledGraph* graph) {
   os << "[\n";
   bool first = true;
   emit_metadata(os, first, "process_name", kVirtualPid, /*tid=*/-1,
                 "modelled-virtual-time");
   int tid = 0;
-  rt.visit_resources([&](const std::string& track,
-                         const VirtualResource& res) {
+  const auto emit_track = [&](const std::string& track,
+                              const VirtualResource& res) {
     ++tid;
     // Thread-name metadata event names the track.
     emit_metadata(os, first, "thread_name", kVirtualPid, tid, track);
@@ -73,7 +81,11 @@ void export_chrome_trace(const Runtime& rt, std::ostream& os,
          << R"(,"ts":)" << e.start * 1e6 << R"(,"dur":)"
          << (e.end - e.start) * 1e6 << "}";
     }
-  });
+  };
+  rt.visit_resources(emit_track);
+  // The graph executor's per-stage pipeline tracks, when a compiled
+  // graph is being traced alongside the pool.
+  if (graph != nullptr) graph->visit_stage_tracks(emit_track);
 
   // Fault-layer events (injections, retries, deaths, re-dispatches, CPU
   // fallbacks) render as instants on a dedicated virtual-time track. The
@@ -127,6 +139,12 @@ bool export_chrome_trace_file(const Runtime& rt, const std::string& path) {
 
 bool export_chrome_trace_file(const Runtime& rt, const std::string& path,
                               std::span<const prof::SpanRecord> spans) {
+  return export_chrome_trace_file(rt, path, spans, /*graph=*/nullptr);
+}
+
+bool export_chrome_trace_file(const Runtime& rt, const std::string& path,
+                              std::span<const prof::SpanRecord> spans,
+                              const CompiledGraph* graph) {
   errno = 0;
   std::ofstream out(path);
   if (!out) {
@@ -134,7 +152,7 @@ bool export_chrome_trace_file(const Runtime& rt, const std::string& path,
               << "': " << std::strerror(errno) << "\n";
     return false;
   }
-  export_chrome_trace(rt, out, spans);
+  export_chrome_trace(rt, out, spans, graph);
   out.flush();
   if (!out.good()) {
     std::cerr << "trace export: write to '" << path

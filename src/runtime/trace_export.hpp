@@ -24,6 +24,8 @@
 
 namespace gptpu::runtime {
 
+class CompiledGraph;
+
 /// Switches interval recording on for every resource of the runtime.
 /// Call before the work of interest; costs memory proportional to the
 /// instruction count.
@@ -40,10 +42,20 @@ void export_chrome_trace(const Runtime& rt, std::ostream& os);
 void export_chrome_trace(const Runtime& rt, std::ostream& os,
                          std::span<const prof::SpanRecord> spans);
 
+/// Same, plus the graph executor's per-stage tracks ("graph/stage<N>")
+/// as additional virtual-time threads (enable them first with
+/// CompiledGraph::set_tracing). `graph` may be null.
+void export_chrome_trace(const Runtime& rt, std::ostream& os,
+                         std::span<const prof::SpanRecord> spans,
+                         const CompiledGraph* graph);
+
 /// Convenience: export to a file. On failure prints the failing path and
 /// strerror(errno) to stderr and returns false.
 bool export_chrome_trace_file(const Runtime& rt, const std::string& path);
 bool export_chrome_trace_file(const Runtime& rt, const std::string& path,
                               std::span<const prof::SpanRecord> spans);
+bool export_chrome_trace_file(const Runtime& rt, const std::string& path,
+                              std::span<const prof::SpanRecord> spans,
+                              const CompiledGraph* graph);
 
 }  // namespace gptpu::runtime

@@ -153,6 +153,12 @@ Result<Device::Completion> Device::execute(const Instruction& instr,
 
   Seconds start = std::max(ready, in0.ready);
   if (in1 != nullptr) start = std::max(start, in1->ready);
+  // Fused chain instructions: every stage operand must be resident before
+  // the chain launches; the chain is one indivisible compute interval.
+  for (usize s = 0; s < instr.fused_stage_count; ++s) {
+    const isa::FusedStage& st = instr.fused_stages[s];
+    if (st.operand.valid()) start = std::max(start, record(st.operand).ready);
+  }
 
   // A sub-watchdog injected hang rides in the same compute interval.
   const Seconds done = compute_.acquire(
@@ -220,6 +226,30 @@ Result<Device::Completion> Device::execute(const Instruction& instr,
       case Opcode::kExt:
         kernels::ext(a, in0.scale, instr.out_scale, out);
         break;
+      case Opcode::kFusedPairwise:
+      case Opcode::kFusedElementwise: {
+        std::array<kernels::FusedStageArg, isa::kMaxFusedStages> stages{};
+        for (usize s = 0; s < instr.fused_stage_count; ++s) {
+          const isa::FusedStage& st = instr.fused_stages[s];
+          kernels::FusedStageArg& arg = stages[s];
+          arg.op = st.op;
+          arg.swapped = st.swapped;
+          arg.in_scale = st.in_scale;
+          arg.out_scale = st.out_scale;
+          if (st.operand.valid()) {
+            const TensorRecord& rec = record(st.operand);
+            arg.operand = {rec.data.data(), rec.shape};
+            arg.operand_scale = rec.scale;
+          }
+        }
+        kernels::fused_chain(
+            instr.head_op, a, in0.scale,
+            in1 != nullptr ? MatrixView<const i8>{in1->data.data(), in1->shape}
+                           : MatrixView<const i8>{},
+            in1 != nullptr ? in1->scale : 1.0f, instr.head_scale,
+            {stages.data(), instr.fused_stage_count}, out, compute_pool_);
+        break;
+      }
     }
   }
   return Completion{out_id, done};

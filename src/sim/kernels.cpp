@@ -9,6 +9,7 @@
 
 #include "common/metrics.hpp"
 #include "common/thread_pool.hpp"
+#include "quant/quantize.hpp"
 #include "quant/requant.hpp"
 
 // The reference oracle must stay scalar even when this translation unit is
@@ -252,10 +253,40 @@ std::array<i8, 256> rescale_lut(float s_in, float out_scale) {
 
 void lut_map_row(const std::array<i8, 256>& lut, const i8* __restrict src,
                  i8* __restrict dst, usize n) {
-  for (usize c = 0; c < n; ++c) {
-    dst[c] = lut[static_cast<usize>(static_cast<int>(src[c]) + 128)];
+  // Centered table pointer: signed codes index it directly, dropping the
+  // per-element +128 bias from the gather's address arithmetic. The body
+  // is unrolled eight wide so the independent table loads pipeline
+  // instead of serializing on one load -> store per iteration; the table
+  // itself (256 B) lives in four cache lines.
+  const i8* __restrict t = lut.data() + 128;
+  usize c = 0;
+  for (; c + 8 <= n; c += 8) {
+    const i8 v0 = t[src[c + 0]];
+    const i8 v1 = t[src[c + 1]];
+    const i8 v2 = t[src[c + 2]];
+    const i8 v3 = t[src[c + 3]];
+    const i8 v4 = t[src[c + 4]];
+    const i8 v5 = t[src[c + 5]];
+    const i8 v6 = t[src[c + 6]];
+    const i8 v7 = t[src[c + 7]];
+    dst[c + 0] = v0;
+    dst[c + 1] = v1;
+    dst[c + 2] = v2;
+    dst[c + 3] = v3;
+    dst[c + 4] = v4;
+    dst[c + 5] = v5;
+    dst[c + 6] = v6;
+    dst[c + 7] = v7;
+  }
+  for (; c < n; ++c) {
+    dst[c] = t[src[c]];
   }
 }
+
+/// Column-strip width for blocked LUT maps: strips of source and
+/// destination codes stay L1-resident while a band of rows streams
+/// through, so wide matrices do not thrash the gather's working set.
+constexpr usize kLutStripCols = 16384;
 
 /// Counts engine tile calls whose requant plan saturates every nonzero
 /// accumulator (factor > 127.5): such a tile comes out all +-127/0, so a
@@ -605,7 +636,122 @@ std::array<i8, 256> activation_lut(Opcode op, float s_in, float out_scale) {
       .first->second;
 }
 
+/// 256-entry table of the unfused inter-op round trip a fused stage
+/// replaces: land the int8 intermediate exactly like Runtime::land_result
+/// (dequantize in double at the producing instruction's output scale,
+/// narrow to float) and re-quantize at the consuming stage's input scale
+/// exactly like input staging (quant::quantize_value). Evaluating it per
+/// code is byte-identical to performing the round trip per element, which
+/// is what makes fused execution bit-exact versus the unfused chain.
+std::array<i8, 256> landing_lut(float s_prev, float s_next) {
+  std::array<i8, 256> lut{};
+  const double inv = 1.0 / static_cast<double>(s_prev);
+  for (int q = -128; q <= 127; ++q) {
+    const float landed = static_cast<float>(q * inv);
+    lut[static_cast<usize>(q + 128)] = quant::quantize_value(landed, s_next);
+  }
+  return lut;
+}
+
+void check_fused_chain(Opcode head, MatrixView<const i8> in0,
+                       MatrixView<const i8> in1,
+                       std::span<const FusedStageArg> stages,
+                       MatrixView<i8> out) {
+  const isa::OpClass head_class = op_class(head);
+  if (head_class != isa::OpClass::kPairwise &&
+      head_class != isa::OpClass::kElementwise) {
+    throw InvalidArgument("fused_chain: head must be pairwise or elementwise");
+  }
+  GPTPU_CHECK(in0.shape() == out.shape(), "fused_chain: shape mismatch");
+  if (head_class == isa::OpClass::kPairwise) {
+    GPTPU_CHECK(in1.shape() == out.shape(), "fused_chain: shape mismatch");
+  }
+  GPTPU_CHECK(stages.size() <= isa::kMaxFusedStages,
+              "fused_chain: too many stages");
+  for (const FusedStageArg& st : stages) {
+    const isa::OpClass c = op_class(st.op);
+    if (c != isa::OpClass::kPairwise && c != isa::OpClass::kElementwise) {
+      throw InvalidArgument("fused_chain: stage must be pairwise/elementwise");
+    }
+    if (c == isa::OpClass::kPairwise) {
+      GPTPU_CHECK(st.operand.shape() == out.shape(),
+                  "fused_chain: stage operand shape mismatch");
+    }
+  }
+}
+
 }  // namespace
+
+void fused_chain(Opcode head, MatrixView<const i8> in0, float s_in0,
+                 MatrixView<const i8> in1, float s_in1, float head_out_scale,
+                 std::span<const FusedStageArg> stages, MatrixView<i8> out,
+                 ThreadPool* pool) {
+  check_fused_chain(head, in0, in1, stages, out);
+  const Shape2D shape = out.shape();
+  // Ping-pong intermediates plus one landing buffer for pairwise stages.
+  // All of it is on-chip state in the modelled machine; the whole point of
+  // the fused instruction is that none of it crosses the link.
+  const bool any_pairwise_stage =
+      std::any_of(stages.begin(), stages.end(), [](const FusedStageArg& st) {
+        return op_class(st.op) == isa::OpClass::kPairwise;
+      });
+  Matrix<i8> ping(stages.empty() ? Shape2D{} : shape);
+  Matrix<i8> pong(stages.size() > 1 ? shape : Shape2D{});
+  Matrix<i8> landed(any_pairwise_stage ? shape : Shape2D{});
+  MatrixView<i8> cur = stages.empty() ? out : ping.view();
+  if (op_class(head) == isa::OpClass::kElementwise) {
+    elementwise(head, in0, s_in0, head_out_scale, cur, pool);
+  } else {
+    pairwise(head, in0, s_in0, in1, s_in1, head_out_scale, cur, pool);
+  }
+  float prev_scale = head_out_scale;
+  for (usize s = 0; s < stages.size(); ++s) {
+    const FusedStageArg& st = stages[s];
+    const bool last = s + 1 == stages.size();
+    MatrixView<i8> dst =
+        last ? out : (s % 2 == 0 ? pong.view() : ping.view());
+    const std::array<i8, 256> land = landing_lut(prev_scale, st.in_scale);
+    if (op_class(st.op) == isa::OpClass::kElementwise) {
+      // Two pure per-value maps (landing requant, activation) compose
+      // into a single gather table.
+      const std::array<i8, 256> act =
+          activation_lut(st.op, st.in_scale, st.out_scale);
+      std::array<i8, 256> composed{};
+      for (usize q = 0; q < 256; ++q) {
+        composed[q] =
+            act[static_cast<usize>(static_cast<int>(land[q]) + 128)];
+      }
+      const MatrixView<const i8> src = cur;
+      ThreadPool::parallel_chunks(
+          pool, shape.rows, kRowGrain, [&](usize rbegin, usize rend) {
+            for (usize r = rbegin; r < rend; ++r) {
+              lut_map_row(composed, src.row(r).data(), dst.row(r).data(),
+                          shape.cols);
+            }
+          });
+    } else {
+      const MatrixView<const i8> src = cur;
+      const MatrixView<i8> landed_v = landed.view();
+      ThreadPool::parallel_chunks(
+          pool, shape.rows, kRowGrain, [&](usize rbegin, usize rend) {
+            for (usize r = rbegin; r < rend; ++r) {
+              lut_map_row(land, src.row(r).data(), landed_v.row(r).data(),
+                          shape.cols);
+            }
+          });
+      const MatrixView<const i8> inter = landed.view();
+      if (st.swapped) {
+        pairwise(st.op, st.operand, st.operand_scale, inter, st.in_scale,
+                 st.out_scale, dst, pool);
+      } else {
+        pairwise(st.op, inter, st.in_scale, st.operand, st.operand_scale,
+                 st.out_scale, dst, pool);
+      }
+    }
+    cur = dst;
+    prev_scale = st.out_scale;
+  }
+}
 
 void elementwise(Opcode op, MatrixView<const i8> in, float s_in,
                  float out_scale, MatrixView<i8> out, ThreadPool* pool) {
@@ -617,8 +763,14 @@ void elementwise(Opcode op, MatrixView<const i8> in, float s_in,
   const usize cols = in.cols();
   ThreadPool::parallel_chunks(
       pool, in.rows(), kRowGrain, [&](usize rbegin, usize rend) {
-        for (usize r = rbegin; r < rend; ++r) {
-          lut_map_row(lut, in.row(r).data(), out.row(r).data(), cols);
+        // Cache-blocked strips: walk the row band one column strip at a
+        // time so each strip's load/store footprint stays in L1.
+        for (usize c0 = 0; c0 < cols; c0 += kLutStripCols) {
+          const usize len = std::min(kLutStripCols, cols - c0);
+          for (usize r = rbegin; r < rend; ++r) {
+            lut_map_row(lut, in.row(r).data() + c0, out.row(r).data() + c0,
+                        len);
+          }
         }
       });
 }
@@ -856,6 +1008,54 @@ void elementwise(Opcode op, MatrixView<const i8> in, float s_in,
     for (usize c = 0; c < in.cols(); ++c) {
       ro[c] = lut[static_cast<usize>(static_cast<int>(ri[c]) + 128)];
     }
+  }
+}
+
+GPTPU_SCALAR_KERNEL
+void fused_chain(Opcode head, MatrixView<const i8> in0, float s_in0,
+                 MatrixView<const i8> in1, float s_in1, float head_out_scale,
+                 std::span<const FusedStageArg> stages, MatrixView<i8> out) {
+  check_fused_chain(head, in0, in1, stages, out);
+  const Shape2D shape = out.shape();
+  Matrix<i8> ping(stages.empty() ? Shape2D{} : shape);
+  Matrix<i8> pong(stages.size() > 1 ? shape : Shape2D{});
+  Matrix<i8> landed(stages.empty() ? Shape2D{} : shape);
+  MatrixView<i8> cur = stages.empty() ? out : ping.view();
+  if (op_class(head) == isa::OpClass::kElementwise) {
+    reference::elementwise(head, in0, s_in0, head_out_scale, cur);
+  } else {
+    reference::pairwise(head, in0, s_in0, in1, s_in1, head_out_scale, cur);
+  }
+  float prev_scale = head_out_scale;
+  for (usize s = 0; s < stages.size(); ++s) {
+    const FusedStageArg& st = stages[s];
+    const bool last = s + 1 == stages.size();
+    MatrixView<i8> dst =
+        last ? out : (s % 2 == 0 ? pong.view() : ping.view());
+    // Land the intermediate onto the stage's input grid, then run the
+    // stage through the scalar kernel exactly as the unfused instruction
+    // would have consumed the landed tensor.
+    const std::array<i8, 256> land = landing_lut(prev_scale, st.in_scale);
+    const MatrixView<i8> landed_v = landed.view();
+    for (usize r = 0; r < shape.rows; ++r) {
+      const i8* ri = cur.row(r).data();
+      i8* ro = landed_v.row(r).data();
+      for (usize c = 0; c < shape.cols; ++c) {
+        ro[c] = land[static_cast<usize>(static_cast<int>(ri[c]) + 128)];
+      }
+    }
+    if (op_class(st.op) == isa::OpClass::kElementwise) {
+      reference::elementwise(st.op, landed.view(), st.in_scale, st.out_scale,
+                             dst);
+    } else if (st.swapped) {
+      reference::pairwise(st.op, st.operand, st.operand_scale, landed.view(),
+                          st.in_scale, st.out_scale, dst);
+    } else {
+      reference::pairwise(st.op, landed.view(), st.in_scale, st.operand,
+                          st.operand_scale, st.out_scale, dst);
+    }
+    cur = dst;
+    prev_scale = st.out_scale;
   }
 }
 

@@ -22,6 +22,8 @@
 //    plan for every accumulator -> int8 conversion.
 #pragma once
 
+#include <span>
+
 #include "common/matrix.hpp"
 #include "isa/instruction.hpp"
 
@@ -68,6 +70,31 @@ void elementwise(isa::Opcode op, MatrixView<const i8> in, float s_in,
                  float out_scale, MatrixView<i8> out,
                  ThreadPool* pool = nullptr);
 
+/// One folded-in stage of a fused chain call (graph-compiler fusion). The
+/// stage consumes the previous stage's int8 intermediate exactly as the
+/// unfused pipeline would have consumed the landed tensor: dequantize at
+/// the previous stage's output scale into float, quantize at `in_scale`,
+/// then apply the stage op. Stage ops are shape-preserving.
+struct FusedStageArg {
+  isa::Opcode op = isa::Opcode::kAdd;  // add/sub/mul/tanh/ReLu
+  MatrixView<const i8> operand;        // pairwise stages only
+  float operand_scale = 1.0f;          // scale `operand` was quantized at
+  bool swapped = false;  // intermediate is the right operand (sub)
+  float in_scale = 1.0f;
+  float out_scale = 1.0f;
+};
+
+/// Fused chain: head op (pairwise or elementwise) followed by up to
+/// isa::kMaxFusedStages folded-in stages, all on-chip. Bit-exact against
+/// running the unfused chain through the individual kernels with a
+/// landing (dequantize-to-float) + re-quantize round trip between ops,
+/// because the inter-stage conversion replicates that round trip on a
+/// 256-entry table.
+void fused_chain(isa::Opcode head, MatrixView<const i8> in0, float s_in0,
+                 MatrixView<const i8> in1, float s_in1, float head_out_scale,
+                 std::span<const FusedStageArg> stages, MatrixView<i8> out,
+                 ThreadPool* pool = nullptr);
+
 /// mean / max matrix-wise reduction to a single int8 value.
 [[nodiscard]] i8 reduce(isa::Opcode op, MatrixView<const i8> in, float s_in,
                         float out_scale);
@@ -111,6 +138,10 @@ void pairwise(isa::Opcode op, MatrixView<const i8> a, float s_a,
 
 void elementwise(isa::Opcode op, MatrixView<const i8> in, float s_in,
                  float out_scale, MatrixView<i8> out);
+
+void fused_chain(isa::Opcode head, MatrixView<const i8> in0, float s_in0,
+                 MatrixView<const i8> in1, float s_in1, float head_out_scale,
+                 std::span<const FusedStageArg> stages, MatrixView<i8> out);
 
 [[nodiscard]] i8 reduce(isa::Opcode op, MatrixView<const i8> in, float s_in,
                         float out_scale);

@@ -60,6 +60,10 @@ ReferenceShape table1_reference_shape(Opcode op) {
       const Shape2D out = square_shape(reference_out_elems(op));
       return {{128, 128}, out};  // in1 abuses: pad target
     }
+    case Opcode::kFusedPairwise:
+    case Opcode::kFusedElementwise:
+      // No Table 1 reference shape: fused chains are compiler-made.
+      return {};
   }
   return {};
 }
@@ -110,6 +114,19 @@ Seconds TimingModel::instruction_latency(const isa::Instruction& instr,
       return (fc_issue_ + macs / kFullyConnectedMacsPerSec +
               out_elems / kOutputStreamElemsPerSec) /
              scale;
+    }
+    case Opcode::kFusedPairwise:
+    case Opcode::kFusedElementwise: {
+      // One instruction floor for the whole chain; each stage streams the
+      // tile through its operator at that operator's Table 1 result rate.
+      // The fusion win versus separate instructions is the saved per-
+      // instruction floors plus the eliminated link transfers and host
+      // landings, not a cheaper compute term.
+      double seconds = out_elems / table1(instr.head_op).rps;
+      for (usize s = 0; s < instr.fused_stage_count; ++s) {
+        seconds += out_elems / table1(instr.fused_stages[s].op).rps;
+      }
+      return std::max(kMinInstructionSeconds, seconds / scale);
     }
     default:
       // Table 1's RPS already encodes each operator's sustained result

@@ -1,0 +1,503 @@
+// Graph-level Tensorizer tests (docs/PERFORMANCE.md "Graph compiler"):
+//
+//  * fused-kernel bit-exactness property suite -- random chains checked
+//    against a hand-written unfused oracle (individual reference kernels
+//    with the landing round trip replayed between stages);
+//  * OpGraph edge wiring (RAW / WAR / WAW, consumers, outputs);
+//  * fusion-pass legality (chains form; multi-consumer / host-read /
+//    quant-mismatched intermediates block them);
+//  * the profiled pipeline partitioner (balanced contiguous stages);
+//  * GraphSmoke: fused and unfused graph-mode app runs are byte-identical
+//    and fusion actually eliminates instructions (the `graph.smoke` gate).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <span>
+#include <sstream>
+#include <vector>
+
+#include "apps/backprop_app.hpp"
+#include "apps/pagerank_app.hpp"
+#include "common/metrics.hpp"
+#include "common/rng.hpp"
+#include "quant/quantize.hpp"
+#include "runtime/graph_compiler.hpp"
+#include "runtime/op_graph.hpp"
+#include "runtime/runtime.hpp"
+#include "runtime/trace_export.hpp"
+#include "sim/kernels.hpp"
+
+namespace gptpu {
+namespace {
+
+using isa::OpClass;
+using isa::Opcode;
+using runtime::CompiledGraph;
+using runtime::GraphCompiler;
+using runtime::OpGraph;
+using runtime::OperationRequest;
+using runtime::Runtime;
+using runtime::RuntimeConfig;
+using runtime::TensorBuffer;
+using sim::kernels::FusedStageArg;
+
+// --------------------------------------------------------------------------
+// Fused-kernel bit-exactness property suite.
+
+Matrix<i8> random_q(Shape2D shape, Rng& rng) {
+  Matrix<i8> m(shape);
+  for (auto& v : m.span()) v = static_cast<i8>(rng.uniform_int(-127, 127));
+  return m;
+}
+
+/// The unfused oracle: run the head through its individual reference
+/// kernel, then for every stage replay the inter-op landing round trip
+/// (dequantize at the producer's output scale -- double inverse, narrowed
+/// to float -- then re-quantize at the stage's input scale) and apply the
+/// stage's individual reference kernel. This is what the eager pipeline
+/// does between two separate instructions; the fused kernels must match
+/// it bit for bit.
+Matrix<i8> unfused_oracle(Opcode head, const Matrix<i8>& in0, float s_in0,
+                          const Matrix<i8>& in1, float s_in1,
+                          float head_out_scale,
+                          std::span<const FusedStageArg> stages) {
+  Matrix<i8> cur(in0.shape());
+  if (isa::op_class(head) == OpClass::kPairwise) {
+    sim::kernels::reference::pairwise(head, in0.view(), s_in0, in1.view(),
+                                      s_in1, head_out_scale, cur.view());
+  } else {
+    sim::kernels::reference::elementwise(head, in0.view(), s_in0,
+                                         head_out_scale, cur.view());
+  }
+  float prev_scale = head_out_scale;
+  for (const FusedStageArg& st : stages) {
+    Matrix<i8> landed(cur.shape());
+    const double inv = 1.0 / static_cast<double>(prev_scale);
+    for (usize i = 0; i < cur.span().size(); ++i) {
+      const auto f = static_cast<float>(cur.span()[i] * inv);
+      landed.span()[i] = quant::quantize_value(f, st.in_scale);
+    }
+    Matrix<i8> next(cur.shape());
+    if (isa::op_class(st.op) == OpClass::kPairwise) {
+      if (st.swapped) {
+        sim::kernels::reference::pairwise(st.op, st.operand, st.operand_scale,
+                                          landed.view(), st.in_scale,
+                                          st.out_scale, next.view());
+      } else {
+        sim::kernels::reference::pairwise(st.op, landed.view(), st.in_scale,
+                                          st.operand, st.operand_scale,
+                                          st.out_scale, next.view());
+      }
+    } else {
+      sim::kernels::reference::elementwise(st.op, landed.view(), st.in_scale,
+                                           st.out_scale, next.view());
+    }
+    cur = std::move(next);
+    prev_scale = st.out_scale;
+  }
+  return cur;
+}
+
+float random_scale(Rng& rng) {
+  // Mixed magnitudes: sub-unit, unit-ish, and large scales all appear.
+  constexpr float kChoices[] = {0.31f, 0.5f, 1.0f,  2.54f,
+                                12.7f, 63.5f, 127.0f, 254.0f};
+  return kChoices[rng.uniform_int(0, 7)];
+}
+
+Opcode random_stage_op(Rng& rng) {
+  constexpr Opcode kChoices[] = {Opcode::kAdd, Opcode::kSub, Opcode::kMul,
+                                 Opcode::kTanh, Opcode::kReLu};
+  return kChoices[rng.uniform_int(0, 4)];
+}
+
+TEST(FusedKernels, RandomChainsMatchUnfusedReferenceChain) {
+  constexpr Shape2D kShapes[] = {{128, 128}, {64, 64}, {37, 61}, {1, 7},
+                                 {5, 1}};
+  Rng rng(0x9e3779b9);
+  for (int trial = 0; trial < 60; ++trial) {
+    const Shape2D shape = kShapes[rng.uniform_int(0, 4)];
+    const Opcode head = random_stage_op(rng);
+    const Matrix<i8> in0 = random_q(shape, rng);
+    const Matrix<i8> in1 = random_q(shape, rng);
+    const float s_in0 = random_scale(rng);
+    const float s_in1 = random_scale(rng);
+    const float head_out_scale = random_scale(rng);
+
+    const auto n_stages = static_cast<usize>(
+        rng.uniform_int(1, static_cast<i64>(isa::kMaxFusedStages)));
+    std::vector<Matrix<i8>> operands;  // keep pairwise operands alive
+    operands.reserve(n_stages);
+    std::vector<FusedStageArg> stages(n_stages);
+    float prev = head_out_scale;
+    for (auto& st : stages) {
+      st.op = random_stage_op(rng);
+      st.in_scale = random_scale(rng);
+      st.out_scale = random_scale(rng);
+      if (isa::op_class(st.op) == OpClass::kPairwise) {
+        operands.push_back(random_q(shape, rng));
+        st.operand = operands.back().view();
+        st.operand_scale = random_scale(rng);
+        st.swapped = rng.uniform_int(0, 1) == 1;
+      }
+      prev = st.out_scale;
+    }
+    (void)prev;
+
+    const Matrix<i8> want = unfused_oracle(head, in0, s_in0, in1, s_in1,
+                                           head_out_scale, stages);
+    Matrix<i8> ref(shape);
+    sim::kernels::reference::fused_chain(head, in0.view(), s_in0, in1.view(),
+                                         s_in1, head_out_scale, stages,
+                                         ref.view());
+    Matrix<i8> eng(shape);
+    sim::kernels::fused_chain(head, in0.view(), s_in0, in1.view(), s_in1,
+                              head_out_scale, stages, eng.view());
+    ASSERT_EQ(0, std::memcmp(want.span().data(), ref.span().data(),
+                             want.span().size()))
+        << "reference fused_chain diverged, trial " << trial;
+    ASSERT_EQ(0, std::memcmp(want.span().data(), eng.span().data(),
+                             want.span().size()))
+        << "engine fused_chain diverged, trial " << trial;
+  }
+}
+
+// --------------------------------------------------------------------------
+// OpGraph edge wiring.
+
+OperationRequest pairwise_req(Opcode op, TensorBuffer* a, TensorBuffer* b,
+                              TensorBuffer* out,
+                              isa::QuantMethod quant = isa::QuantMethod::kMinMax) {
+  OperationRequest req;
+  req.op = op;
+  req.in0 = a;
+  req.in1 = b;
+  req.out = out;
+  req.quant = quant;
+  return req;
+}
+
+/// A few same-shape functional buffers plus the runtime that owns them.
+struct GraphFixture {
+  Runtime rt;
+  std::vector<Matrix<float>> host;
+  std::vector<TensorBuffer*> bufs;
+
+  explicit GraphFixture(usize count, Shape2D shape = {16, 16},
+                        RuntimeConfig cfg = RuntimeConfig{})
+      : rt{cfg} {
+    host.reserve(count);
+    for (usize i = 0; i < count; ++i) {
+      host.emplace_back(shape, 1.0f + static_cast<float>(i));
+      bufs.push_back(rt.create_buffer(shape, host.back().data()));
+    }
+  }
+  ~GraphFixture() {
+    for (TensorBuffer* b : bufs) rt.destroy_buffer(b);
+  }
+  TensorBuffer* operator[](usize i) { return bufs[i]; }
+};
+
+TEST(OpGraphEdges, RawWarWawDependencies) {
+  GraphFixture f(6);  // a b c d e + spare
+  TensorBuffer *a = f[0], *b = f[1], *c = f[2], *d = f[3], *e = f[4];
+  OpGraph g;
+  // n0: c = a + b          (writes c, reads a b)
+  // n1: d = c + b          (RAW on c)
+  // n2: a = d + e          (WAR: n0 read a)
+  // n3: c = e + e          (WAW with n0; WAR: n1 read c)
+  const usize n0 = g.add(pairwise_req(Opcode::kAdd, a, b, c));
+  const usize n1 = g.add(pairwise_req(Opcode::kAdd, c, b, d));
+  const usize n2 = g.add(pairwise_req(Opcode::kAdd, d, e, a));
+  const usize n3 = g.add(pairwise_req(Opcode::kAdd, e, e, c));
+
+  EXPECT_EQ(g.nodes()[n0].deps, (std::vector<usize>{}));
+  EXPECT_EQ(g.nodes()[n1].deps, (std::vector<usize>{n0}));
+  EXPECT_EQ(g.nodes()[n2].deps, (std::vector<usize>{n0, n1}));
+  EXPECT_EQ(g.nodes()[n3].deps, (std::vector<usize>{n0, n1}));
+  // consumers = RAW readers only.
+  EXPECT_EQ(g.nodes()[n0].consumers, (std::vector<usize>{n1}));
+  EXPECT_EQ(g.nodes()[n1].consumers, (std::vector<usize>{n2}));
+  EXPECT_TRUE(g.nodes()[n3].consumers.empty());
+
+  EXPECT_EQ(g.producer_of(c->id()), n3);
+  EXPECT_EQ(g.producer_of(b->id()), OpGraph::kNoProducer);
+  EXPECT_FALSE(g.is_output(d));
+  g.mark_output(d);
+  EXPECT_TRUE(g.is_output(d));
+}
+
+// --------------------------------------------------------------------------
+// Fusion pass legality.
+
+TEST(FusionPass, CollapsesSingleConsumerChain) {
+  GraphFixture f(7);
+  TensorBuffer *a = f[0], *b = f[1], *c = f[2], *d = f[3];
+  TensorBuffer *t1 = f[4], *t2 = f[5], *out = f[6];
+  OpGraph g;
+  // t1 = a * b; t2 = t1 * c; out = d - t2  (chain intermediate is the
+  // RIGHT operand of the sub -> swapped stage).
+  g.add(pairwise_req(Opcode::kMul, a, b, t1));
+  g.add(pairwise_req(Opcode::kMul, t1, c, t2));
+  g.add(pairwise_req(Opcode::kSub, d, t2, out));
+  g.mark_output(out);
+
+  const CompiledGraph cg =
+      GraphCompiler({/*fuse=*/true, /*pipeline=*/false, 0}).compile(g, f.rt);
+  ASSERT_EQ(cg.steps().size(), 1u);
+  EXPECT_EQ(cg.fused_chains(), 1u);
+  EXPECT_GT(cg.instructions_eliminated(), 0u);
+  const runtime::GraphStep& step = cg.steps()[0];
+  EXPECT_EQ(step.req.op, Opcode::kMul);
+  EXPECT_EQ(step.req.out, out);
+  ASSERT_EQ(step.req.fused_ops.size(), 2u);
+  EXPECT_EQ(step.req.fused_ops[0].op, Opcode::kMul);
+  EXPECT_FALSE(step.req.fused_ops[0].swapped);
+  EXPECT_EQ(step.req.fused_ops[0].operand, c);
+  EXPECT_EQ(step.req.fused_ops[1].op, Opcode::kSub);
+  EXPECT_TRUE(step.req.fused_ops[1].swapped);
+  EXPECT_EQ(step.req.fused_ops[1].operand, d);
+  EXPECT_EQ(step.members, (std::vector<usize>{0, 1, 2}));
+}
+
+TEST(FusionPass, MultiConsumerIntermediateBlocksFusion) {
+  GraphFixture f(6);
+  OpGraph g;
+  // t = a * b feeds two consumers -> must materialize, no chain.
+  g.add(pairwise_req(Opcode::kMul, f[0], f[1], f[2]));
+  g.add(pairwise_req(Opcode::kAdd, f[2], f[0], f[3]));
+  g.add(pairwise_req(Opcode::kAdd, f[2], f[1], f[4]));
+  const CompiledGraph cg =
+      GraphCompiler({true, false, 0}).compile(g, f.rt);
+  EXPECT_EQ(cg.steps().size(), 3u);
+  EXPECT_EQ(cg.fused_chains(), 0u);
+}
+
+TEST(FusionPass, HostReadIntermediateBlocksFusion) {
+  GraphFixture f(4);
+  OpGraph g;
+  g.add(pairwise_req(Opcode::kMul, f[0], f[1], f[2]));
+  g.add(pairwise_req(Opcode::kAdd, f[2], f[1], f[3]));
+  g.mark_output(f[2]);  // the host reads the intermediate
+  g.mark_output(f[3]);
+  const CompiledGraph cg =
+      GraphCompiler({true, false, 0}).compile(g, f.rt);
+  EXPECT_EQ(cg.steps().size(), 2u);
+  EXPECT_EQ(cg.fused_chains(), 0u);
+}
+
+TEST(FusionPass, QuantMismatchBlocksFusion) {
+  GraphFixture f(4);
+  OpGraph g;
+  g.add(pairwise_req(Opcode::kMul, f[0], f[1], f[2],
+                     isa::QuantMethod::kMinMax));
+  g.add(pairwise_req(Opcode::kAdd, f[2], f[1], f[3],
+                     isa::QuantMethod::kScale));
+  const CompiledGraph cg =
+      GraphCompiler({true, false, 0}).compile(g, f.rt);
+  EXPECT_EQ(cg.steps().size(), 2u);
+  EXPECT_EQ(cg.fused_chains(), 0u);
+}
+
+TEST(FusionPass, FuseOffKeepsEveryNode) {
+  GraphFixture f(7);
+  OpGraph g;
+  g.add(pairwise_req(Opcode::kMul, f[0], f[1], f[4]));
+  g.add(pairwise_req(Opcode::kMul, f[4], f[2], f[5]));
+  g.add(pairwise_req(Opcode::kSub, f[3], f[5], f[6]));
+  const CompiledGraph cg =
+      GraphCompiler({/*fuse=*/false, false, 0}).compile(g, f.rt);
+  EXPECT_EQ(cg.steps().size(), 3u);
+  EXPECT_EQ(cg.fused_chains(), 0u);
+  EXPECT_EQ(cg.instructions_eliminated(), 0u);
+}
+
+// --------------------------------------------------------------------------
+// Pipeline partitioner.
+
+/// A 4-layer equal-cost FC chain on a timing-only runtime with `devices`
+/// devices. Equal costs make the balanced contiguous partition unique, so
+/// the expectations hold whether node_cost comes from the profiled
+/// histogram (same opcode -> same mean) or the analytic fallback.
+CompiledGraph compile_chain(Runtime& rt, bool pipeline) {
+  const Shape2D v{1, 256};
+  const Shape2D m{256, 256};
+  TensorBuffer* x = rt.create_virtual_buffer(v, {0.0f, 1.0f});
+  std::vector<TensorBuffer*> w, h;
+  for (int i = 0; i < 4; ++i) {
+    w.push_back(rt.create_virtual_buffer(m, {-1.0f, 1.0f}));
+    h.push_back(rt.create_virtual_buffer(v, {0.0f, 1.0f}));
+  }
+  OpGraph g;
+  TensorBuffer* cur = x;
+  for (int i = 0; i < 4; ++i) {
+    OperationRequest req;
+    req.op = Opcode::kFullyConnected;
+    req.in0 = cur;
+    req.in1 = w[static_cast<usize>(i)];
+    req.out = h[static_cast<usize>(i)];
+    g.add(req);
+    cur = h[static_cast<usize>(i)];
+  }
+  return GraphCompiler({/*fuse=*/true, pipeline, 0}).compile(g, rt);
+}
+
+TEST(Partitioner, BalancesFourLayerChainOnTwoDevices) {
+  RuntimeConfig cfg;
+  cfg.functional = false;
+  cfg.num_devices = 2;
+  Runtime rt{cfg};
+  const CompiledGraph cg = compile_chain(rt, /*pipeline=*/true);
+  ASSERT_EQ(cg.steps().size(), 4u);
+  EXPECT_EQ(cg.num_stages(), 2u);
+  EXPECT_EQ(cg.steps()[0].stage, 0u);
+  EXPECT_EQ(cg.steps()[1].stage, 0u);
+  EXPECT_EQ(cg.steps()[2].stage, 1u);
+  EXPECT_EQ(cg.steps()[3].stage, 1u);
+  for (const auto& s : cg.steps()) EXPECT_GT(s.est_cost, 0.0);
+  // The chain's dataflow survives as step dependencies.
+  EXPECT_EQ(cg.steps()[1].deps, (std::vector<usize>{0}));
+  EXPECT_EQ(cg.steps()[3].deps, (std::vector<usize>{2}));
+}
+
+TEST(Partitioner, UsesEveryDeviceWhenChainIsLongEnough) {
+  RuntimeConfig cfg;
+  cfg.functional = false;
+  cfg.num_devices = 4;
+  Runtime rt{cfg};
+  const CompiledGraph cg = compile_chain(rt, /*pipeline=*/true);
+  EXPECT_EQ(cg.num_stages(), 4u);
+  for (usize i = 0; i < 4; ++i) EXPECT_EQ(cg.steps()[i].stage, i);
+}
+
+TEST(Partitioner, PipelineOffYieldsOneStage) {
+  RuntimeConfig cfg;
+  cfg.functional = false;
+  cfg.num_devices = 4;
+  Runtime rt{cfg};
+  const CompiledGraph cg = compile_chain(rt, /*pipeline=*/false);
+  EXPECT_EQ(cg.num_stages(), 1u);
+  for (const auto& s : cg.steps()) EXPECT_EQ(s.stage, 0u);
+}
+
+// --------------------------------------------------------------------------
+// GraphSmoke: the `graph.smoke` ctest gate.
+
+void expect_bytes_equal(const Matrix<float>& a, const Matrix<float>& b,
+                        const char* what) {
+  ASSERT_EQ(a.shape(), b.shape()) << what;
+  ASSERT_EQ(0, std::memcmp(a.span().data(), b.span().data(),
+                           a.span().size() * sizeof(float)))
+      << what << ": fused and unfused runs diverged";
+}
+
+TEST(GraphSmoke, BackpropFusedAndUnfusedAreByteIdentical) {
+  const auto p = apps::backprop::Params::accuracy();
+  const auto w = apps::backprop::make_workload(p, /*seed=*/7, /*range=*/8.0);
+  auto& eliminated = metrics::MetricRegistry::global().counter(
+      "fusion.instructions_eliminated");
+  const u64 before = eliminated.value();
+
+  RuntimeConfig cfg;
+  cfg.num_devices = 2;
+  Runtime rt_fused{cfg};
+  apps::backprop::GraphRunStats stats;
+  const auto fused =
+      apps::backprop::run_gptpu_graph(rt_fused, p, w, /*fuse=*/true,
+                                      /*pipeline=*/true, &stats);
+  Runtime rt_plain{cfg};
+  const auto plain = apps::backprop::run_gptpu_graph(rt_plain, p, w,
+                                                     /*fuse=*/false,
+                                                     /*pipeline=*/true);
+  expect_bytes_equal(fused.w1, plain.w1, "backprop w1");
+  expect_bytes_equal(fused.w2, plain.w2, "backprop w2");
+
+  // Two tanh-derivative Mul/Mul/Sub chains collapse per forward graph.
+  EXPECT_EQ(stats.fused_chains, 2u);
+  EXPECT_GT(stats.instructions_eliminated, 0u);
+  EXPECT_GT(eliminated.value(), before);
+  EXPECT_EQ(stats.stages, 2u);  // forward graph pipelined over 2 devices
+  EXPECT_GT(stats.virtual_seconds, 0.0);
+  EXPECT_EQ(stats.recorded_nodes, 14u);  // 12 forward/delta + 2 gradient
+  EXPECT_LT(stats.steps, stats.recorded_nodes);
+}
+
+TEST(GraphSmoke, PageRankFusedAndUnfusedAreByteIdentical) {
+  const auto p = apps::pagerank::Params::accuracy();
+  const auto adj = apps::pagerank::make_graph(p.n, /*seed=*/11);
+
+  RuntimeConfig cfg;
+  cfg.num_devices = 2;
+  Runtime rt_fused{cfg};
+  apps::pagerank::GraphRunStats stats;
+  const auto fused = apps::pagerank::run_gptpu_graph(
+      rt_fused, p, adj, /*fuse=*/true, /*pipeline=*/true, &stats);
+  Runtime rt_plain{cfg};
+  const auto plain = apps::pagerank::run_gptpu_graph(
+      rt_plain, p, adj, /*fuse=*/false, /*pipeline=*/true);
+  expect_bytes_equal(fused, plain, "pagerank ranks");
+
+  EXPECT_EQ(stats.fused_chains, 1u);  // the damping Mul/Add pair
+  EXPECT_EQ(stats.steps, 2u);         // FC + fused damping chain
+  EXPECT_GT(stats.instructions_eliminated, 0u);
+  EXPECT_EQ(stats.stages, 2u);
+
+  // Sanity: graph-mode ranks stay a probability distribution.
+  float sum = 0;
+  for (const float v : fused.span()) sum += v;
+  EXPECT_NEAR(sum, 1.0f, 0.05f);
+}
+
+TEST(GraphObservability, StageTracksReachTheChromeTrace) {
+  RuntimeConfig cfg;
+  cfg.num_devices = 2;
+  GraphFixture f(7, {16, 16}, cfg);
+  OpGraph g;
+  g.add(pairwise_req(Opcode::kMul, f[0], f[1], f[4]));
+  g.add(pairwise_req(Opcode::kMul, f[4], f[2], f[5]));
+  g.add(pairwise_req(Opcode::kSub, f[3], f[5], f[6]));
+  // Unfused so three steps survive and the partitioner forms two stages.
+  CompiledGraph cg =
+      GraphCompiler({/*fuse=*/false, /*pipeline=*/true, 0}).compile(g, f.rt);
+  ASSERT_EQ(cg.num_stages(), 2u);
+
+  runtime::enable_tracing(f.rt);
+  cg.set_tracing(true);
+  cg.run(f.rt);
+
+  std::ostringstream os;
+  runtime::export_chrome_trace(f.rt, os, {}, &cg);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("graph/stage0"), std::string::npos);
+  EXPECT_NE(json.find("graph/stage1"), std::string::npos);
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+
+  // Per-stage occupancy of the run: in (0, 1], and exported as a gauge.
+  for (usize s = 0; s < cg.num_stages(); ++s) {
+    EXPECT_GT(cg.stage_occupancy(s), 0.0);
+    EXPECT_LE(cg.stage_occupancy(s), 1.0);
+  }
+  EXPECT_GT(metrics::MetricRegistry::global()
+                .gauge("graph.stage0.occupancy_vt")
+                .value(),
+            0.0);
+}
+
+TEST(GraphSmoke, EagerTwinMatchesGraphShapeAndStaysFinite) {
+  const auto p = apps::pagerank::Params::accuracy();
+  const auto adj = apps::pagerank::make_graph(p.n, /*seed=*/11);
+  RuntimeConfig cfg;
+  cfg.num_devices = 2;
+  Runtime rt{cfg};
+  const auto eager = apps::pagerank::run_gptpu_tpu_damping_eager(rt, p, adj);
+  ASSERT_EQ(eager.shape(), (Shape2D{1, p.n}));
+  float sum = 0;
+  for (const float v : eager.span()) sum += v;
+  EXPECT_NEAR(sum, 1.0f, 0.05f);
+  EXPECT_GT(rt.makespan(), 0.0);
+}
+
+}  // namespace
+}  // namespace gptpu

@@ -158,6 +158,43 @@ TEST(OpenCtpu, CropAndExtThroughParams) {
   EXPECT_FLOAT_EQ(padded[11], 0.0f);
 }
 
+TEST(OpenCtpuGraph, RecordCompileRunQuery) {
+  // Record a fusible Mul/Add chain, compile, run twice, query the stats.
+  const usize n = 32;
+  std::vector<float> a(n * n, 0.5f);
+  std::vector<float> b(n * n, 0.8f);
+  std::vector<float> tmp(n * n);
+  std::vector<float> out(n * n);
+  auto* dim = openctpu_alloc_dimension(2, n, n);
+  auto* ta = openctpu_create_buffer(dim, a.data());
+  auto* tb = openctpu_create_buffer(dim, b.data());
+  auto* ttmp = openctpu_create_buffer(dim, tmp.data());
+  auto* tout = openctpu_create_buffer(dim, out.data());
+
+  openctpu_graph_begin();
+  openctpu_invoke_operator(TPU_OP_MUL, OPENCTPU_MINMAX, ta, tb, ttmp);
+  openctpu_invoke_operator(TPU_OP_ADD, OPENCTPU_MINMAX, ttmp, tb, tout);
+  // Recording must not have touched the output.
+  for (const float v : out) EXPECT_EQ(v, 0.0f);
+  openctpu_graph_output(tout);
+  auto* graph = openctpu_graph_end();
+  ASSERT_NE(graph, nullptr);
+
+  const auto stats = openctpu_graph_query(graph);
+  EXPECT_EQ(stats.recorded_nodes, 2u);
+  EXPECT_EQ(stats.steps, 1u);  // the Mul/Add pair fused
+  EXPECT_EQ(stats.fused_chains, 1u);
+  EXPECT_GT(stats.instructions_eliminated, 0u);
+
+  const double first = openctpu_graph_run(graph);
+  EXPECT_GT(first, 0.0);
+  for (const float v : out) EXPECT_NEAR(v, 0.5f * 0.8f + 0.8f, 0.05f);
+  // Re-running draws fresh tasks and advances modelled time.
+  EXPECT_GT(openctpu_graph_run(graph), first);
+  EXPECT_NE(openctpu_graph_compiled(graph), nullptr);
+  openctpu_graph_destroy(graph);
+}
+
 TEST(OpenCtpuTensor, OverloadedOperators) {
   using gptpu::openctpu::Tensor;
   const gptpu::Shape2D shape{8, 8};

@@ -1,0 +1,24 @@
+// Fixture: R8 -- a graph-compiler-style stage executor whose
+// virtual-domain run() times stages with the wall clock instead of the
+// modelled timeline (the clock mix graph executors must not have).
+#include "common/domain_annotations.hpp"
+#include "common/stopwatch.hpp"
+
+namespace fixture {
+
+double stage_wall_seconds() {
+  Stopwatch sw;  // hidden wall primitive in an unannotated helper
+  return sw.elapsed();
+}
+
+GPTPU_VIRTUAL_DOMAIN
+double run_graph_stages() {
+  double makespan = 0.0;
+  for (int stage = 0; stage < 2; ++stage) {
+    makespan += stage_wall_seconds();  // R8c: virtual -> helper -> wall
+  }
+  Stopwatch stage_timer;  // R8a: wall primitive directly in run()
+  return makespan + stage_timer.elapsed();
+}
+
+}  // namespace fixture
