@@ -21,6 +21,9 @@ the thresholds are calibrated per metric class):
     parity (the optimization now actively hurts). Size shifts between the
     quick smoke and the full baseline move these by ~40%; only a genuine
     collapse crosses both conditions.
+  * ``runtime.flight_overhead.overhead_pct`` -- the armed-but-idle flight
+    recorder's wall cost: fail when it exceeds FLIGHT_OVERHEAD_MAX_PCT.
+    Absolute bar, no baseline needed (docs/OBSERVABILITY.md).
   * everything else (``*_ms``, ``*_gops``, stddevs, counters) -- report
     only.
 
@@ -55,6 +58,12 @@ GRAPH_SPEEDUP_KEY = "runtime.backprop_graph.speedup"
 GRAPH_SPEEDUP_TOLERANCE = 0.15
 GRAPH_SPEEDUP_FLOOR = 1.3
 WALL_COLLAPSE_FRACTION = 0.60
+
+# Armed-but-idle flight-recorder cost (runtime.flight_overhead.*,
+# docs/OBSERVABILITY.md): an absolute bar, not a baseline delta -- the
+# recorder's contract is that arming it costs at most this much.
+FLIGHT_OVERHEAD_KEY = "runtime.flight_overhead.overhead_pct"
+FLIGHT_OVERHEAD_MAX_PCT = 2.0
 
 
 def default_baseline(new_path: Path) -> Path:
@@ -105,6 +114,14 @@ def gate_failures(base: dict, new: dict) -> list[str]:
                 f"{key}: {b:.2f}x -> {n:.2f}x (collapsed more than "
                 f"{WALL_COLLAPSE_FRACTION:.0%} and below parity)"
             )
+    if FLIGHT_OVERHEAD_KEY in new:
+        pct = float(new[FLIGHT_OVERHEAD_KEY])
+        if pct > FLIGHT_OVERHEAD_MAX_PCT:
+            failures.append(
+                f"{FLIGHT_OVERHEAD_KEY}: {pct:+.1f}% exceeds the "
+                f"{FLIGHT_OVERHEAD_MAX_PCT:.0f}% armed-recorder bar "
+                "(docs/OBSERVABILITY.md)"
+            )
     return failures
 
 
@@ -152,6 +169,15 @@ def main(argv: list[str]) -> int:
             f"bench_compare: {flagged} metric(s) moved more than "
             f"{HIGHLIGHT_FRACTION:.0%}; expected on noisy/shared machines, "
             "worth a look if it reproduces on quiet hardware"
+        )
+    if FLIGHT_OVERHEAD_KEY in new:
+        off = float(new.get("runtime.flight_overhead.off_ms", 0.0))
+        armed = float(new.get("runtime.flight_overhead.armed_ms", 0.0))
+        pct = float(new[FLIGHT_OVERHEAD_KEY])
+        print(
+            f"bench_compare: flight_overhead (recorder armed, idle): "
+            f"{off:.2f} ms -> {armed:.2f} ms ({pct:+.1f}%); hard bar "
+            f"{FLIGHT_OVERHEAD_MAX_PCT:.0f}%"
         )
     if "runtime.fault_overhead.overhead_pct" in new:
         off = float(new.get("runtime.fault_overhead.off_ms", 0.0))

@@ -61,6 +61,15 @@ if [[ -d build ]]; then
   ctest --test-dir build -R '^graph\.smoke$' --output-on-failure
 fi
 
+# Explicit flight-recorder gate (docs/OBSERVABILITY.md): a seeded
+# device-killing run, replayed, must produce a black-box dump with a
+# byte-identical virtual section, a recovery event chain, and per-op
+# breakdowns that sum to end-to-end virtual time.
+if [[ -d build ]]; then
+  banner "flight.smoke"
+  ctest --test-dir build -R '^flight\.smoke$' --output-on-failure
+fi
+
 # Perf regression gate: the default preset's bench.smoke /
 # bench.runtime_smoke runs (part of ctest above) wrote quick JSONs; diff
 # them against the committed baselines (inferred from the filename).

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Flight-recorder / black-box replay smoke (the flight.smoke ctest entry).
+
+Pins the PR's acceptance bar for the causal op-lifecycle tracing layer
+(docs/OBSERVABILITY.md):
+
+ 1. A seeded fault scenario that kills a device, run twice with
+    `--blackbox-out`, must produce black-box dumps whose "virtual" JSON
+    object is byte-identical -- the flight recorder, breakdown reducer
+    and dump serializer may not leak host timing into the virtual domain.
+ 2. The dump must record the fault trigger, and the affected op's event
+    chain must show recovery: at least one kRedispatched or kFellBack
+    event, and the chain must end in kLanded (or kFailed if the runtime
+    gave up).
+ 3. Every per-op breakdown must satisfy the critical-path identity
+    planning + staging + execute + backoff + landing + queue_other == e2e
+    to double precision.
+
+Usage: flight_smoke.py <gptpu-binary> <workdir>
+"""
+
+import json
+import pathlib
+import subprocess
+import sys
+
+FAULTS = "dev1:loss@40"
+SCENARIO = ["run", "PageRank", "--devices=4", f"--faults={FAULTS}"]
+
+
+def fail(msg: str) -> None:
+    print(f"flight_smoke: FAIL: {msg}")
+    sys.exit(1)
+
+
+def virtual_slice(text: str) -> str:
+    """Raw bytes of the "virtual" object, for byte comparison."""
+    start = text.index('"virtual"')
+    end = text.index('"wall"')
+    return text[start:end]
+
+
+def main() -> None:
+    if len(sys.argv) != 3:
+        fail("usage: flight_smoke.py <gptpu-binary> <workdir>")
+    binary = sys.argv[1]
+    work = pathlib.Path(sys.argv[2])
+    work.mkdir(parents=True, exist_ok=True)
+
+    texts = []
+    for i in (1, 2):
+        path = work / f"blackbox_{i}.json"
+        proc = subprocess.run(
+            [binary, *SCENARIO, f"--blackbox-out={path}"],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+        if proc.returncode != 0:
+            fail(f"run {i} exited {proc.returncode}:\n{proc.stdout}")
+        if not path.exists():
+            fail(f"run {i} produced no black-box dump at {path} "
+                 f"(device death should trigger one):\n{proc.stdout}")
+        texts.append(path.read_text())
+
+    if virtual_slice(texts[0]) != virtual_slice(texts[1]):
+        fail("the black box's virtual section differs between replays of "
+             "the same seeded fault scenario: modelled time leaked a "
+             "host-timing dependency")
+
+    dump = json.loads(texts[0])
+    virt = dump["virtual"]
+
+    triggers = virt["triggers"]
+    if not any(t["reason"].startswith("device-dead:") for t in triggers):
+        fail(f"no device-dead trigger recorded; triggers = {triggers}")
+
+    events = virt["events"]
+    if not events:
+        fail("virtual event list is empty")
+    affected = sorted({e["trace_id"] for e in events
+                       if e["kind"] in ("kRedispatched", "kFellBack")})
+    if not affected:
+        fail("device death produced no kRedispatched/kFellBack event")
+    for tid in affected:
+        chain = [e["kind"] for e in events if e["trace_id"] == tid]
+        if chain[-1] not in ("kLanded", "kFailed"):
+            fail(f"op {tid} chain does not end in kLanded/kFailed: {chain}")
+        if "kSubmitted" not in chain:
+            fail(f"op {tid} chain lost its kSubmitted event: {chain}")
+
+    breakdowns = virt["op_breakdowns"]
+    if not breakdowns:
+        fail("no per-op breakdowns in the dump")
+    for b in breakdowns:
+        parts = (b["planning"] + b["staging"] + b["execute"] + b["backoff"]
+                 + b["landing"] + b["queue_other"])
+        if abs(parts - b["e2e"]) > 1e-12:
+            fail(f"op {b['trace_id']} breakdown does not sum to e2e: "
+                 f"{parts} != {b['e2e']}")
+
+    print(f"flight_smoke: OK (virtual section byte-stable across replays; "
+          f"{len(events)} events, {len(breakdowns)} breakdowns, "
+          f"{len(affected)} op(s) recovered from {FAULTS})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,169 @@
+#include "common/flight_recorder.hpp"
+
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <memory>
+
+#include "common/thread_annotations.hpp"
+
+namespace gptpu::flight {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// Each event is packed into five atomic words so concurrent
+// emit/snapshot is race-free by construction (every access is atomic,
+// all relaxed except the publishing store on `count`). A snapshot taken
+// while a writer laps the ring can observe a *torn* event -- words from
+// two different emits -- which is harmless for the deterministic dumps
+// (taken at quiescent points) and bounded for live snapshots; what it
+// can never be is undefined behaviour.
+//
+//   w0  trace_id
+//   w1  kind | flags<<8 | detail<<16 | device<<32
+//   w2  bit_cast(vt)    w3  bit_cast(vdur)    w4  bit_cast(wall_s)
+struct Slot {
+  std::atomic<u64> w0{0}, w1{0}, w2{0}, w3{0}, w4{0};
+};
+
+constexpr u64 kFlagWallOnly = 1;
+
+/// Per-thread ring. Owned jointly by the writing thread (thread_local
+/// handle) and the global list (for snapshots and for keeping events from
+/// exited threads). `count` is total events ever emitted on this ring;
+/// only the owner thread increments it, so plain load+store suffice on
+/// the write side and the release store is the publication point.
+struct Ring {
+  Slot slots[kRingCapacity];
+  std::atomic<u64> count{0};
+};
+
+struct GlobalState {
+  std::atomic<bool> armed{false};
+  std::atomic<u64> next_id{1};
+  Clock::time_point epoch = Clock::now();
+
+  Mutex mu;
+  std::vector<std::shared_ptr<Ring>> rings GPTPU_GUARDED_BY(mu);
+};
+
+GlobalState& state() {
+  static GlobalState s;
+  return s;
+}
+
+/// Registers this thread's ring on construction; the shared_ptr in the
+/// global list keeps its events alive after the thread exits.
+struct ThreadHandle {
+  std::shared_ptr<Ring> ring;
+
+  ThreadHandle() : ring(std::make_shared<Ring>()) {
+    GlobalState& s = state();
+    MutexLock lock(s.mu);
+    s.rings.push_back(ring);
+  }
+};
+
+Ring& thread_ring() {
+  thread_local ThreadHandle handle;
+  return *handle.ring;
+}
+
+std::vector<std::shared_ptr<Ring>> all_rings() {
+  GlobalState& s = state();
+  MutexLock lock(s.mu);
+  return s.rings;
+}
+
+Event unpack(const Slot& slot) {
+  Event e;
+  e.trace_id = slot.w0.load(std::memory_order_relaxed);
+  const u64 w1 = slot.w1.load(std::memory_order_relaxed);
+  e.kind = static_cast<EventKind>(w1 & 0xff);
+  e.wall_only = ((w1 >> 8) & kFlagWallOnly) != 0;
+  e.detail = static_cast<u16>(w1 >> 16);
+  e.device = static_cast<u32>(w1 >> 32);
+  e.vt = std::bit_cast<Seconds>(slot.w2.load(std::memory_order_relaxed));
+  e.vdur = std::bit_cast<Seconds>(slot.w3.load(std::memory_order_relaxed));
+  e.wall_s = std::bit_cast<double>(slot.w4.load(std::memory_order_relaxed));
+  return e;
+}
+
+}  // namespace
+
+const char* kind_name(EventKind kind) {
+  switch (kind) {
+    case EventKind::kSubmitted: return "kSubmitted";
+    case EventKind::kPlanned: return "kPlanned";
+    case EventKind::kQueued: return "kQueued";
+    case EventKind::kStaged: return "kStaged";
+    case EventKind::kExecuteBegin: return "kExecuteBegin";
+    case EventKind::kExecuteEnd: return "kExecuteEnd";
+    case EventKind::kRetried: return "kRetried";
+    case EventKind::kRedispatched: return "kRedispatched";
+    case EventKind::kFellBack: return "kFellBack";
+    case EventKind::kLanded: return "kLanded";
+    case EventKind::kFailed: return "kFailed";
+  }
+  return "kUnknown";
+}
+
+void arm(bool armed) {
+  state().armed.store(armed, std::memory_order_relaxed);
+}
+
+bool armed() { return state().armed.load(std::memory_order_relaxed); }
+
+u64 next_trace_id() {
+  return state().next_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+void emit(const Event& e) {
+  if (!armed()) return;
+  Ring& ring = thread_ring();
+  const u64 n = ring.count.load(std::memory_order_relaxed);
+  Slot& slot = ring.slots[n % kRingCapacity];
+  const u64 flags = e.wall_only ? kFlagWallOnly : 0;
+  const double wall_s =
+      std::chrono::duration<double>(Clock::now() - state().epoch).count();
+  slot.w0.store(e.trace_id, std::memory_order_relaxed);
+  slot.w1.store(static_cast<u64>(e.kind) | (flags << 8) |
+                    (static_cast<u64>(e.detail) << 16) |
+                    (static_cast<u64>(e.device) << 32),
+                std::memory_order_relaxed);
+  slot.w2.store(std::bit_cast<u64>(e.vt), std::memory_order_relaxed);
+  slot.w3.store(std::bit_cast<u64>(e.vdur), std::memory_order_relaxed);
+  slot.w4.store(std::bit_cast<u64>(wall_s), std::memory_order_relaxed);
+  ring.count.store(n + 1, std::memory_order_release);
+}
+
+std::vector<Event> snapshot() {
+  std::vector<Event> out;
+  for (const auto& ring : all_rings()) {
+    const u64 n = ring->count.load(std::memory_order_acquire);
+    const u64 kept = n < kRingCapacity ? n : kRingCapacity;
+    out.reserve(out.size() + kept);
+    for (u64 i = n - kept; i < n; ++i) {
+      out.push_back(unpack(ring->slots[i % kRingCapacity]));
+    }
+  }
+  return out;
+}
+
+u64 dropped_total() {
+  u64 dropped = 0;
+  for (const auto& ring : all_rings()) {
+    const u64 n = ring->count.load(std::memory_order_acquire);
+    if (n > kRingCapacity) dropped += n - kRingCapacity;
+  }
+  return dropped;
+}
+
+void clear() {
+  for (const auto& ring : all_rings()) {
+    ring->count.store(0, std::memory_order_release);
+  }
+}
+
+}  // namespace gptpu::flight

@@ -1,0 +1,101 @@
+// Lock-free per-thread flight recorder: the causal op-lifecycle half of
+// the observability story (docs/OBSERVABILITY.md).
+//
+// Every operator invocation is stamped with a monotonic trace id at
+// submission and emits typed lifecycle events -- submitted, planned,
+// queued, staged, execute begin/end, retried, redispatched, fell-back,
+// landed, failed -- as it moves through the runtime. Events carry both
+// clock domains: the *virtual* fields (modelled timestamp + duration) are
+// byte-deterministic for a given workload and fault seed, the *wall*
+// timestamp is whatever the host clock said and legitimately varies.
+// Post-mortem black-box dumps (src/runtime/blackbox.hpp) and the Chrome
+// trace's flow arrows are both reductions of this event stream.
+//
+// Recording is off by default. Emission sites are guarded by armed(): one
+// relaxed atomic load and a branch when disabled. When armed, an emit is
+// a handful of relaxed stores into a fixed-capacity per-thread ring plus
+// one release store publishing the slot -- no locks, no allocation, so it
+// is safe from the runtime's worker and stager threads and cheap enough
+// for the device execute path (the bench_runtime A/B pins overhead <2%).
+//
+// A ring that wraps overwrites its oldest slots and counts the loss;
+// snapshot() reports the drop total so a truncated dump is never mistaken
+// for a complete one.
+#pragma once
+
+#include <vector>
+
+#include "common/domain_annotations.hpp"
+#include "common/types.hpp"
+
+namespace gptpu::flight {
+
+/// Lifecycle stages of one traced operator. Values are stable: they are
+/// serialized into black-box dumps and compared byte-for-byte across
+/// replays, so append new kinds at the end only.
+enum class EventKind : u8 {
+  kSubmitted = 0,    ///< invoke() accepted the request
+  kPlanned = 1,      ///< lowering produced the instruction plans
+  kQueued = 2,       ///< scheduler chose a device for one plan
+  kStaged = 3,       ///< an operand tile was staged into device memory
+  kExecuteBegin = 4,  ///< device started the instruction
+  kExecuteEnd = 5,    ///< device completed the instruction
+  kRetried = 6,      ///< transient fault; plan re-runs after backoff
+  kRedispatched = 7,  ///< plan moved to a surviving device
+  kFellBack = 8,     ///< plan fell back to the host CPU path
+  kLanded = 9,       ///< plan's result landed in the output buffer
+  kFailed = 10,      ///< op raised OperationFailed
+};
+
+[[nodiscard]] const char* kind_name(EventKind kind);
+
+/// Device ordinal meaning "no device" (host lane / CPU fallback).
+inline constexpr u32 kNoDevice = 0xffffffffu;
+
+/// One lifecycle event. `vt`/`vdur` live in the virtual clock domain and
+/// must be computed from modelled time only; `wall_s` is stamped by
+/// emit() itself and is the one wall-clock field (excluded from the
+/// deterministic section of every export).
+struct Event {
+  u64 trace_id = 0;
+  EventKind kind = EventKind::kSubmitted;
+  bool wall_only = false;  ///< event timing is host-side (e.g. cache build)
+  u16 detail = 0;          ///< plan order, attempt number, or plan count
+  u32 device = kNoDevice;
+  Seconds vt = 0;          ///< virtual timestamp the stage completed at
+  Seconds vdur = 0;        ///< virtual duration attributed to the stage
+  double wall_s = 0;       ///< host seconds since the recorder epoch
+};
+
+/// Events per thread ring; a wrap overwrites the oldest slots and bumps
+/// the drop counter.
+inline constexpr usize kRingCapacity = 4096;
+
+/// Arms or disarms recording process-wide. Events emitted while disarmed
+/// are dropped without touching any ring.
+void arm(bool armed);
+[[nodiscard]] bool armed();
+
+/// Next monotonic trace id (process-wide, starts at 1; 0 means untraced).
+[[nodiscard]] u64 next_trace_id();
+
+/// Appends one event to the calling thread's ring. `e.wall_s` is ignored
+/// and re-stamped from the host clock inside. Callers must check armed()
+/// first; emitting while disarmed is a cheap no-op but wastes the call.
+void emit(const Event& e);
+
+/// Copies the currently buffered events from every thread's ring (oldest
+/// first per thread, threads in registration order). Concurrent emitters
+/// keep running; slots written mid-copy surface in a later snapshot.
+GPTPU_WALL_DOMAIN
+[[nodiscard]] std::vector<Event> snapshot();
+
+/// Total events overwritten by ring wraps since the last clear().
+[[nodiscard]] u64 dropped_total();
+
+/// Empties every ring and zeroes the drop counters (tests, and run
+/// boundaries that want a fresh black box). Not safe concurrently with
+/// emitters on other threads.
+void clear();
+
+}  // namespace gptpu::flight

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 namespace gptpu::metrics {
 
@@ -24,6 +25,13 @@ usize Histogram::bucket_index(double v) {
   if (idx < 1) return 0;
   if (idx >= static_cast<i64>(kBuckets) - 1) return kBuckets - 1;
   return static_cast<usize>(idx);
+}
+
+double Histogram::bucket_upper(usize i) {
+  if (i >= kBuckets - 1) return std::numeric_limits<double>::infinity();
+  // Bucket 0 is the underflow bucket [0, 2^kMinExp); bucket i >= 1 spans
+  // one sub-bucket of an octave, closing at 2^(kMinExp + i/kSubBuckets).
+  return std::exp2(kMinExp + static_cast<double>(i) / kSubBuckets);
 }
 
 double Histogram::bucket_mid(usize i) {
@@ -79,6 +87,10 @@ Histogram::Summary Histogram::summary() const {
   s.p50 = percentile(0.50);
   s.p95 = percentile(0.95);
   s.p99 = percentile(0.99);
+  for (usize i = 0; i < kBuckets; ++i) {
+    if (buckets_[i] == 0) continue;
+    s.buckets.push_back(Bucket{bucket_upper(i), buckets_[i]});
+  }
   return s;
 }
 

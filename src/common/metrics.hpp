@@ -90,6 +90,14 @@ class Histogram {
 
   void record(double v) GPTPU_EXCLUDES(mu_);
 
+  /// One occupied bucket: its inclusive upper edge (+inf for the overflow
+  /// bucket) and the observations that landed in it (per-bucket, not
+  /// cumulative -- the Prometheus exporter accumulates for `le` series).
+  struct Bucket {
+    double upper = 0;
+    u64 count = 0;
+  };
+
   struct Summary {
     u64 count = 0;
     double sum = 0;
@@ -98,6 +106,9 @@ class Histogram {
     double p50 = 0;
     double p95 = 0;
     double p99 = 0;
+    /// Occupied buckets in increasing edge order; their counts sum to
+    /// `count` (every observation lands in exactly one bucket).
+    std::vector<Bucket> buckets;
   };
   [[nodiscard]] Summary summary() const GPTPU_EXCLUDES(mu_);
 
@@ -107,6 +118,8 @@ class Histogram {
   static usize bucket_index(double v);
   /// Geometric midpoint of bucket `i` (representative percentile value).
   static double bucket_mid(usize i);
+  /// Inclusive upper edge of bucket `i` (+inf for the overflow bucket).
+  static double bucket_upper(usize i);
 
   mutable Mutex mu_;
   u64 count_ GPTPU_GUARDED_BY(mu_) = 0;

@@ -106,6 +106,9 @@ struct Instruction {
 
   /// Originating GPTPU task, used by the scheduler's affinity rule (§6.1).
   u64 task_id = 0;
+  /// Flight-recorder trace id of the owning op; stamps the device's
+  /// kExecuteBegin/kExecuteEnd lifecycle events. 0 means untraced.
+  u64 trace_id = 0;
   QuantMethod quant = QuantMethod::kScale;
 
   /// Fused chain instructions (is_fused(op)) only: the head op's

@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/flight_recorder.hpp"
 #include "common/metrics.hpp"
 #include "common/thread_annotations.hpp"
 #include "runtime/graph_compiler.hpp"
@@ -128,6 +129,11 @@ int invoke(Opcode op, unsigned flags, openctpu_buffer* in0,
     return 0;
   }
   req.task_id = current_task(rt);
+  // Mint the op's trace id at the submission boundary: for sequential
+  // applications this pins trace-id order to program order, which the
+  // flight.smoke replay comparison relies on. (Runtime::invoke mints
+  // lazily for requests that arrive without one, e.g. graph replays.)
+  if (gptpu::flight::armed()) req.trace_id = gptpu::flight::next_trace_id();
   static gptpu::metrics::Counter& invoked =
       gptpu::metrics::MetricRegistry::global().counter(
           "openctpu.operators_invoked");

@@ -1,0 +1,243 @@
+// gptpu-analyze: deterministic-file -- the dump's "virtual" object is
+// byte-compared across replays, so nothing here may iterate a hash map.
+#include "runtime/blackbox.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <tuple>
+#include <vector>
+
+#include "common/flight_recorder.hpp"
+#include "common/metrics.hpp"
+#include "common/thread_annotations.hpp"
+#include "runtime/metrics_export.hpp"
+#include "runtime/op_breakdown.hpp"
+
+namespace gptpu::runtime::blackbox {
+
+namespace {
+
+struct Trigger {
+  std::string reason;
+  u32 device = kNoDevice;
+  Seconds vt = 0;
+};
+
+struct State {
+  mutable Mutex mu;
+  std::string path GPTPU_GUARDED_BY(mu);
+  std::vector<Trigger> triggers GPTPU_GUARDED_BY(mu);
+};
+
+State& state() {
+  static State s;
+  return s;
+}
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+void append_event(std::string& out, const flight::Event& e) {
+  out += "{\"trace_id\":" + std::to_string(e.trace_id) + ",\"kind\":\"" +
+         flight::kind_name(e.kind) + "\",\"detail\":" +
+         std::to_string(e.detail) + ",\"device\":" + std::to_string(e.device) +
+         ",\"vt\":" + fmt_metric_double(e.vt) +
+         ",\"vdur\":" + fmt_metric_double(e.vdur) + "}";
+}
+
+void append_breakdown(std::string& out, const OpBreakdown& b) {
+  out += "{\"trace_id\":" + std::to_string(b.trace_id) +
+         ",\"submitted_vt\":" + fmt_metric_double(b.submitted_vt) +
+         ",\"e2e\":" + fmt_metric_double(b.e2e) +
+         ",\"planning\":" + fmt_metric_double(b.planning) +
+         ",\"staging\":" + fmt_metric_double(b.staging) +
+         ",\"execute\":" + fmt_metric_double(b.execute) +
+         ",\"backoff\":" + fmt_metric_double(b.backoff) +
+         ",\"landing\":" + fmt_metric_double(b.landing) +
+         ",\"queue_other\":" + fmt_metric_double(b.queue_other) +
+         ",\"plans\":" + std::to_string(b.plans) +
+         ",\"retries\":" + std::to_string(b.retries) +
+         ",\"redispatches\":" + std::to_string(b.redispatches) +
+         ",\"fallbacks\":" + std::to_string(b.fallbacks) +
+         ",\"failed\":" + (b.failed ? "true" : "false") + "}";
+}
+
+void append_metric(std::string& out,
+                   const metrics::MetricRegistry::SnapshotEntry& e) {
+  out += "\"" + escape(e.name) + "\":";
+  switch (e.kind) {
+    case metrics::MetricRegistry::Kind::kCounter:
+      out += std::to_string(e.counter);
+      break;
+    case metrics::MetricRegistry::Kind::kGauge:
+      out += fmt_metric_double(e.gauge);
+      break;
+    case metrics::MetricRegistry::Kind::kHistogram:
+      out += "{\"count\":" + std::to_string(e.hist.count) +
+             ",\"sum\":" + fmt_metric_double(e.hist.sum) +
+             ",\"p50\":" + fmt_metric_double(e.hist.p50) +
+             ",\"p95\":" + fmt_metric_double(e.hist.p95) +
+             ",\"p99\":" + fmt_metric_double(e.hist.p99) + "}";
+      break;
+  }
+}
+
+}  // namespace
+
+void set_path(const std::string& path) {
+  State& s = state();
+  MutexLock lock(s.mu);
+  s.path = path;
+}
+
+std::string path() {
+  State& s = state();
+  MutexLock lock(s.mu);
+  return s.path;
+}
+
+void note_trigger(const std::string& reason, u32 device, Seconds vt) {
+  State& s = state();
+  MutexLock lock(s.mu);
+  s.triggers.push_back(Trigger{reason, device, vt});
+}
+
+usize trigger_count() {
+  State& s = state();
+  MutexLock lock(s.mu);
+  return s.triggers.size();
+}
+
+std::string dump_json() {
+  std::vector<Trigger> triggers;
+  {
+    State& s = state();
+    MutexLock lock(s.mu);
+    triggers = s.triggers;
+  }
+  // Workers may have noted triggers in any order; sort for replay
+  // stability (the timestamps and labels themselves are virtual-domain).
+  std::sort(triggers.begin(), triggers.end(),
+            [](const Trigger& a, const Trigger& b) {
+              return std::tie(a.vt, a.device, a.reason) <
+                     std::tie(b.vt, b.device, b.reason);
+            });
+
+  const std::vector<flight::Event> all = flight::snapshot();
+  // The virtual section takes the deterministic (virtual-domain) events
+  // only, ordered by their modelled coordinates: per-thread ring order is
+  // a wall-clock artifact.
+  std::vector<flight::Event> events;
+  usize wall_only = 0;
+  for (const flight::Event& e : all) {
+    if (e.wall_only) {
+      ++wall_only;
+      continue;
+    }
+    events.push_back(e);
+  }
+  std::sort(events.begin(), events.end(),
+            [](const flight::Event& a, const flight::Event& b) {
+              return std::tie(a.vt, a.trace_id, a.kind, a.device, a.detail,
+                              a.vdur) < std::tie(b.vt, b.trace_id, b.kind,
+                                                 b.device, b.detail, b.vdur);
+            });
+  const std::vector<OpBreakdown> breakdowns = compute_op_breakdowns(events);
+  const auto metric_entries = metrics::MetricRegistry::global().snapshot();
+
+  std::string out = "{\n  \"virtual\": {\n    \"triggers\": [";
+  for (usize i = 0; i < triggers.size(); ++i) {
+    if (i != 0) out += ",";
+    out += "\n      {\"reason\":\"" + escape(triggers[i].reason) +
+           "\",\"device\":" + std::to_string(triggers[i].device) +
+           ",\"vt\":" + fmt_metric_double(triggers[i].vt) + "}";
+  }
+  out += triggers.empty() ? "]" : "\n    ]";
+
+  out += ",\n    \"events\": [";
+  for (usize i = 0; i < events.size(); ++i) {
+    if (i != 0) out += ",";
+    out += "\n      ";
+    append_event(out, events[i]);
+  }
+  out += events.empty() ? "]" : "\n    ]";
+
+  out += ",\n    \"op_breakdowns\": [";
+  for (usize i = 0; i < breakdowns.size(); ++i) {
+    if (i != 0) out += ",";
+    out += "\n      ";
+    append_breakdown(out, breakdowns[i]);
+  }
+  out += breakdowns.empty() ? "]" : "\n    ]";
+
+  out += ",\n    \"metrics\": {";
+  bool first = true;
+  for (const auto& e : metric_entries) {
+    if (is_wall_metric(e.name)) continue;
+    out += first ? "\n      " : ",\n      ";
+    first = false;
+    append_metric(out, e);
+  }
+  out += first ? "}" : "\n    }";
+  out += "\n  }";
+
+  out += ",\n  \"wall\": {\n    \"dropped_events\": " +
+         std::to_string(flight::dropped_total()) +
+         ",\n    \"wall_only_events\": " + std::to_string(wall_only);
+  out += ",\n    \"metrics\": {";
+  first = true;
+  for (const auto& e : metric_entries) {
+    if (!is_wall_metric(e.name)) continue;
+    out += first ? "\n      " : ",\n      ";
+    first = false;
+    append_metric(out, e);
+  }
+  out += first ? "}" : "\n    }";
+  out += "\n  }\n}\n";
+  return out;
+}
+
+bool write_if_configured() {
+  std::string p;
+  {
+    State& s = state();
+    MutexLock lock(s.mu);
+    if (s.path.empty() || s.triggers.empty()) return false;
+    p = s.path;
+  }
+  const std::string dump = dump_json();
+  errno = 0;
+  std::ofstream out(p);
+  if (!out) {
+    std::cerr << "blackbox: cannot open '" << p
+              << "': " << std::strerror(errno) << "\n";
+    return false;
+  }
+  out << dump;
+  out.flush();
+  if (!out.good()) {
+    std::cerr << "blackbox: write to '" << p
+              << "' failed: " << std::strerror(errno) << "\n";
+    return false;
+  }
+  return true;
+}
+
+void reset() {
+  State& s = state();
+  MutexLock lock(s.mu);
+  s.path.clear();
+  s.triggers.clear();
+}
+
+}  // namespace gptpu::runtime::blackbox

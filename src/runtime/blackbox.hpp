@@ -1,0 +1,58 @@
+// Post-mortem black-box dumps (docs/OBSERVABILITY.md).
+//
+// When something dies -- a device is declared dead, an operation raises
+// OperationFailed -- the runtime notes a *trigger* here. If a dump path
+// is configured (gptpu_cli --blackbox-out=PATH), the black box is written
+// as JSON: the noted triggers, the flight recorder's buffered lifecycle
+// events, the per-op critical-path breakdowns derived from them, and the
+// full metric registry.
+//
+// Like every deterministic export in this repo the dump is split into a
+// "virtual" object (modelled-time quantities; byte-stable across replays
+// of the same workload + fault seed on a single device) and a "wall"
+// object (host-measured; legitimately varies). The flight.smoke ctest
+// byte-compares the virtual object across two seeded-fault replays.
+//
+// Write points: immediately before OperationFailed surfaces (evidence is
+// hot and the failed op's workers are quiescent), and at ~Runtime after
+// the workers joined (the provably quiescent final flush -- this is the
+// copy replay comparisons use). Writes overwrite: the latest dump is the
+// most complete one.
+#pragma once
+
+#include <string>
+
+#include "common/types.hpp"
+
+namespace gptpu::runtime::blackbox {
+
+/// Trigger device ordinal meaning "no specific device" (mirrors
+/// flight::kNoDevice).
+inline constexpr u32 kNoDevice = 0xffffffffu;
+
+/// Configures the dump path process-wide ("" disables dumping; triggers
+/// are still collected so a later set_path can flush them).
+void set_path(const std::string& path);
+[[nodiscard]] std::string path();
+
+/// Records one post-mortem trigger. `vt` is the modelled instant of the
+/// failure (virtual domain); `reason` should be a stable label like
+/// "device-dead:kDeviceLost" or "operation-failed".
+void note_trigger(const std::string& reason, u32 device, Seconds vt);
+
+/// Number of triggers noted since the last reset() (tests/CLI).
+[[nodiscard]] usize trigger_count();
+
+/// Writes the dump to the configured path when a path is set and at least
+/// one trigger was noted; otherwise does nothing. Returns true when a
+/// file was written. Safe to call repeatedly (each write overwrites).
+bool write_if_configured();
+
+/// The dump itself, regardless of configuration (tests, and the CLI's
+/// unconditional end-of-run flush when --blackbox-out is given).
+[[nodiscard]] std::string dump_json();
+
+/// Forgets every trigger and the configured path (test isolation).
+void reset();
+
+}  // namespace gptpu::runtime::blackbox

@@ -3,6 +3,7 @@
 #include "runtime/metrics_export.hpp"
 
 #include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -15,13 +16,13 @@
 namespace gptpu::runtime {
 
 namespace {
-
 using metrics::MetricRegistry;
+}  // namespace
 
 /// Fixed numeric formatting so identical values always print identically
 /// (std::ostream formatting is locale- and state-dependent; snprintf with
 /// a fixed format is not).
-std::string fmt_double(double v) {
+std::string fmt_metric_double(double v) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.12g", v);
   return buf;
@@ -35,22 +36,24 @@ bool is_wall_metric(const std::string& name) {
   return name.rfind("wall.", 0) == 0 || name.rfind("host_cache.", 0) == 0;
 }
 
+namespace {
+
 void append_json_value(std::string& out, const MetricRegistry::SnapshotEntry& e) {
   switch (e.kind) {
     case MetricRegistry::Kind::kCounter:
       out += std::to_string(e.counter);
       break;
     case MetricRegistry::Kind::kGauge:
-      out += fmt_double(e.gauge);
+      out += fmt_metric_double(e.gauge);
       break;
     case MetricRegistry::Kind::kHistogram:
       out += "{\"count\":" + std::to_string(e.hist.count) +
-             ",\"sum\":" + fmt_double(e.hist.sum) +
-             ",\"min\":" + fmt_double(e.hist.min) +
-             ",\"max\":" + fmt_double(e.hist.max) +
-             ",\"p50\":" + fmt_double(e.hist.p50) +
-             ",\"p95\":" + fmt_double(e.hist.p95) +
-             ",\"p99\":" + fmt_double(e.hist.p99) + "}";
+             ",\"sum\":" + fmt_metric_double(e.hist.sum) +
+             ",\"min\":" + fmt_metric_double(e.hist.min) +
+             ",\"max\":" + fmt_metric_double(e.hist.max) +
+             ",\"p50\":" + fmt_metric_double(e.hist.p50) +
+             ",\"p95\":" + fmt_metric_double(e.hist.p95) +
+             ",\"p99\":" + fmt_metric_double(e.hist.p99) + "}";
       break;
   }
 }
@@ -84,8 +87,8 @@ std::string prom_name(const std::string& name) {
 
 }  // namespace
 
-std::string metrics_snapshot_json() {
-  const auto entries = MetricRegistry::global().snapshot();
+std::string metrics_snapshot_json(const metrics::MetricRegistry& reg) {
+  const auto entries = reg.snapshot();
   // Registry snapshots are name-sorted; "virtual" holds every metric
   // derived from modelled time or deterministic counts, "wall" the
   // host-measured ones. Only "virtual" is expected to be byte-stable.
@@ -97,11 +100,17 @@ std::string metrics_snapshot_json() {
   return out;
 }
 
-std::string metrics_prometheus_text() {
-  const auto entries = MetricRegistry::global().snapshot();
+std::string metrics_snapshot_json() {
+  return metrics_snapshot_json(MetricRegistry::global());
+}
+
+std::string metrics_prometheus_text(const metrics::MetricRegistry& reg) {
+  const auto entries = reg.snapshot();
   std::ostringstream os;
   for (const auto& e : entries) {
     const std::string name = prom_name(e.name);
+    os << "# HELP " << name << " GPTPU metric '" << e.name
+       << "' (docs/OBSERVABILITY.md)\n";
     switch (e.kind) {
       case MetricRegistry::Kind::kCounter:
         os << "# TYPE " << name << " counter\n"
@@ -109,19 +118,32 @@ std::string metrics_prometheus_text() {
         break;
       case MetricRegistry::Kind::kGauge:
         os << "# TYPE " << name << " gauge\n"
-           << name << " " << fmt_double(e.gauge) << "\n";
+           << name << " " << fmt_metric_double(e.gauge) << "\n";
         break;
-      case MetricRegistry::Kind::kHistogram:
-        os << "# TYPE " << name << " summary\n"
-           << name << "{quantile=\"0.5\"} " << fmt_double(e.hist.p50) << "\n"
-           << name << "{quantile=\"0.95\"} " << fmt_double(e.hist.p95) << "\n"
-           << name << "{quantile=\"0.99\"} " << fmt_double(e.hist.p99) << "\n"
-           << name << "_sum " << fmt_double(e.hist.sum) << "\n"
+      case MetricRegistry::Kind::kHistogram: {
+        // Native Prometheus histogram: cumulative buckets over the
+        // occupied log-spaced edges, closed by the mandatory le="+Inf"
+        // series that equals _count.
+        os << "# TYPE " << name << " histogram\n";
+        u64 cumulative = 0;
+        for (const auto& b : e.hist.buckets) {
+          cumulative += b.count;
+          if (std::isinf(b.upper)) continue;  // folded into le="+Inf"
+          os << name << "_bucket{le=\"" << fmt_metric_double(b.upper) << "\"} "
+             << cumulative << "\n";
+        }
+        os << name << "_bucket{le=\"+Inf\"} " << e.hist.count << "\n"
+           << name << "_sum " << fmt_metric_double(e.hist.sum) << "\n"
            << name << "_count " << e.hist.count << "\n";
         break;
+      }
     }
   }
   return os.str();
+}
+
+std::string metrics_prometheus_text() {
+  return metrics_prometheus_text(MetricRegistry::global());
 }
 
 namespace {

@@ -7,23 +7,46 @@
 //    metrics) segregated into its own top-level object so the "virtual"
 //    object is byte-stable across identical runs (the metrics.smoke ctest
 //    diffs it).
-//  * Prometheus text exposition -- for scraping; histograms render as
-//    quantile-labelled gauges plus _sum/_count, matching how a summary
-//    type is written.
+//  * Prometheus text exposition -- for scraping: every family carries
+//    `# HELP` and `# TYPE` lines, and histograms render as native
+//    Prometheus histograms (cumulative `_bucket{le="..."}` series closed
+//    by `le="+Inf"`, plus `_sum`/`_count`).
+//
+// Each format also has an overload taking an explicit MetricRegistry, so
+// golden-file tests (and the black-box dumper) can render a registry they
+// fully control instead of the process-global one.
 #pragma once
 
 #include <string>
 
+namespace gptpu::metrics {
+class MetricRegistry;
+}  // namespace gptpu::metrics
+
 namespace gptpu::runtime {
+
+/// True for metrics in the wall (nondeterministic) domain: the "wall."
+/// prefix, plus the "host_cache." family whose counts depend on thread
+/// interleaving. Everything else must be byte-stable across identical
+/// runs (single-device; see docs/DETERMINISM.md).
+[[nodiscard]] bool is_wall_metric(const std::string& name);
+
+/// Fixed "%.12g" numeric formatting shared by every deterministic
+/// exporter (ostream formatting is locale- and state-dependent).
+[[nodiscard]] std::string fmt_metric_double(double v);
 
 /// The registry as a JSON object: {"virtual": {...}, "wall": {...}}.
 /// Counters are integers; gauges print with %.12g; a histogram becomes an
 /// object with count/sum/min/max/p50/p95/p99 fields. Keys are sorted.
 [[nodiscard]] std::string metrics_snapshot_json();
+[[nodiscard]] std::string metrics_snapshot_json(
+    const metrics::MetricRegistry& reg);
 
 /// The registry in Prometheus text exposition format. Metric names are
 /// prefixed "gptpu_" and sanitized to the Prometheus charset.
 [[nodiscard]] std::string metrics_prometheus_text();
+[[nodiscard]] std::string metrics_prometheus_text(
+    const metrics::MetricRegistry& reg);
 
 /// Write either format to a file. On failure prints the failing path and
 /// strerror(errno) to stderr and returns false.

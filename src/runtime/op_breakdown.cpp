@@ -1,0 +1,168 @@
+// gptpu-analyze: deterministic-file -- breakdowns feed byte-compared
+// black-box dumps, so iteration order must not depend on hash-map layout.
+#include "runtime/op_breakdown.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/metrics.hpp"
+
+namespace gptpu::runtime {
+
+namespace {
+
+/// Per-trace accumulator while scanning the (unordered) event stream.
+struct OpAccum {
+  bool submitted = false;
+  Seconds submitted_vt = 0;
+  Seconds final_vt = 0;
+  Seconds planning = 0;
+  Seconds execute = 0;
+  Seconds backoff = 0;
+  Seconds landing = 0;
+  /// plan order -> largest staging transfer seen for that plan.
+  std::map<u16, Seconds> stage_max;
+  u16 plans = 0;
+  u16 retries = 0;
+  u16 redispatches = 0;
+  u16 fallbacks = 0;
+  bool failed = false;
+  bool ended = false;
+};
+
+struct OpflowMetrics {
+  metrics::Counter& ops;
+  metrics::Counter& failed;
+  metrics::Counter& retries;
+  metrics::Counter& redispatches;
+  metrics::Counter& fallbacks;
+  metrics::Histogram& e2e_vt;
+  metrics::Histogram& planning_vt;
+  metrics::Histogram& staging_vt;
+  metrics::Histogram& execute_vt;
+  metrics::Histogram& backoff_vt;
+  metrics::Histogram& landing_vt;
+  metrics::Histogram& queue_other_vt;
+
+  static OpflowMetrics& get() {
+    auto& reg = metrics::MetricRegistry::global();
+    static OpflowMetrics m{
+        reg.counter("opflow.ops"),
+        reg.counter("opflow.failed"),
+        reg.counter("opflow.retries"),
+        reg.counter("opflow.redispatches"),
+        reg.counter("opflow.fallbacks"),
+        reg.histogram("opflow.e2e_vt"),
+        reg.histogram("opflow.planning_vt"),
+        reg.histogram("opflow.staging_vt"),
+        reg.histogram("opflow.execute_vt"),
+        reg.histogram("opflow.backoff_vt"),
+        reg.histogram("opflow.landing_vt"),
+        reg.histogram("opflow.queue_other_vt"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
+
+std::vector<OpBreakdown> compute_op_breakdowns(
+    const std::vector<flight::Event>& events) {
+  // std::map: trace ids drive the output order, which must be stable.
+  std::map<u64, OpAccum> accums;
+  for (const flight::Event& e : events) {
+    if (e.trace_id == 0 || e.wall_only) continue;
+    OpAccum& a = accums[e.trace_id];
+    switch (e.kind) {
+      case flight::EventKind::kSubmitted:
+        a.submitted = true;
+        a.submitted_vt = e.vt;
+        break;
+      case flight::EventKind::kPlanned:
+        a.planning += e.vdur;
+        a.plans = e.detail;
+        break;
+      case flight::EventKind::kQueued:
+        break;  // carries the ready instant only; no attributable span
+      case flight::EventKind::kStaged: {
+        Seconds& m = a.stage_max[e.detail];
+        m = std::max(m, e.vdur);
+        break;
+      }
+      case flight::EventKind::kExecuteBegin:
+        break;  // the matching kExecuteEnd carries the span
+      case flight::EventKind::kExecuteEnd:
+        a.execute += e.vdur;
+        break;
+      case flight::EventKind::kRetried:
+        a.backoff += e.vdur;
+        ++a.retries;
+        break;
+      case flight::EventKind::kRedispatched:
+        ++a.redispatches;
+        break;
+      case flight::EventKind::kFellBack:
+        ++a.fallbacks;
+        break;
+      case flight::EventKind::kLanded:
+        a.landing += e.vdur;
+        a.final_vt = std::max(a.final_vt, e.vt);
+        a.ended = true;
+        break;
+      case flight::EventKind::kFailed:
+        a.failed = true;
+        a.final_vt = std::max(a.final_vt, e.vt);
+        a.ended = true;
+        break;
+    }
+  }
+
+  std::vector<OpBreakdown> out;
+  out.reserve(accums.size());
+  for (const auto& [trace_id, a] : accums) {
+    // A wrap that ate the submission (or an op still in flight) cannot
+    // produce a trustworthy e2e; skip rather than fabricate.
+    if (!a.submitted || !a.ended) continue;
+    OpBreakdown b;
+    b.trace_id = trace_id;
+    b.submitted_vt = a.submitted_vt;
+    b.e2e = a.final_vt - a.submitted_vt;
+    b.planning = a.planning;
+    for (const auto& [order, dur] : a.stage_max) {
+      (void)order;
+      b.staging += dur;
+    }
+    b.execute = a.execute;
+    b.backoff = a.backoff;
+    b.landing = a.landing;
+    b.queue_other =
+        b.e2e - b.planning - b.staging - b.execute - b.backoff - b.landing;
+    b.plans = a.plans;
+    b.retries = a.retries;
+    b.redispatches = a.redispatches;
+    b.fallbacks = a.fallbacks;
+    b.failed = a.failed;
+    out.push_back(b);
+  }
+  return out;
+}
+
+void publish_op_breakdown_metrics(const std::vector<OpBreakdown>& breakdowns) {
+  auto& m = OpflowMetrics::get();
+  for (const OpBreakdown& b : breakdowns) {
+    m.ops.add(1);
+    if (b.failed) m.failed.add(1);
+    m.retries.add(b.retries);
+    m.redispatches.add(b.redispatches);
+    m.fallbacks.add(b.fallbacks);
+    m.e2e_vt.record(b.e2e);
+    m.planning_vt.record(b.planning);
+    m.staging_vt.record(b.staging);
+    m.execute_vt.record(b.execute);
+    m.backoff_vt.record(b.backoff);
+    m.landing_vt.record(b.landing);
+    m.queue_other_vt.record(b.queue_other);
+  }
+}
+
+}  // namespace gptpu::runtime

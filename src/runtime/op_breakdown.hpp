@@ -1,0 +1,68 @@
+// Deterministic per-op critical-path decomposition of the flight
+// recorder's lifecycle stream (docs/OBSERVABILITY.md).
+//
+// Each traced operation's events reduce to one OpBreakdown whose stage
+// components sum to its end-to-end virtual latency *by construction*:
+// queue/overlap time is the residual after the directly attributed
+// stages, so the identity
+//
+//   e2e == planning + staging + execute + backoff + landing + queue_other
+//
+// holds exactly. Under multi-device overlap the per-plan stage sums can
+// exceed the operation's wall of virtual time, making queue_other
+// negative -- that is a signal (the op pipelined across devices), not an
+// error. All inputs are virtual-domain fields of flight events, so for a
+// fixed workload, fault spec and seed the breakdowns replay
+// byte-identically (single-device; see docs/DETERMINISM.md).
+#pragma once
+
+#include <vector>
+
+#include "common/flight_recorder.hpp"
+#include "common/types.hpp"
+
+namespace gptpu::runtime {
+
+/// One operation's lifecycle, reduced. Times are modelled (virtual)
+/// seconds; counts are event tallies.
+struct OpBreakdown {
+  u64 trace_id = 0;
+  /// kSubmitted timestamp (the op's arrival on its task timeline).
+  Seconds submitted_vt = 0;
+  /// Latest kLanded/kFailed timestamp minus submitted_vt.
+  Seconds e2e = 0;
+  /// Host-side lowering/preparation (kPlanned vdur).
+  Seconds planning = 0;
+  /// Sum over plans of that plan's largest staging transfer (kStaged
+  /// vdur; device-cache hits stage nothing and contribute zero).
+  Seconds staging = 0;
+  /// Sum of device execute windows (kExecuteEnd vdur).
+  Seconds execute = 0;
+  /// Sum of fault-retry backoff waits (kRetried vdur).
+  Seconds backoff = 0;
+  /// Sum of result-landing windows (kLanded vdur).
+  Seconds landing = 0;
+  /// Residual: e2e minus every attributed stage. Queue wait plus
+  /// cross-plan overlap; negative when plans overlapped across devices.
+  Seconds queue_other = 0;
+  u16 plans = 0;         ///< kPlanned detail (instruction plan count)
+  u16 retries = 0;       ///< kRetried events
+  u16 redispatches = 0;  ///< kRedispatched events
+  u16 fallbacks = 0;     ///< kFellBack events
+  bool failed = false;   ///< op ended in kFailed
+};
+
+/// Reduces a flight snapshot to per-op breakdowns, sorted by trace_id.
+/// Wall-only events are skipped (their timing is host-dependent); ops
+/// with no kSubmitted event (ring wrap ate it) are skipped too, so a
+/// truncated recording never yields a bogus e2e.
+[[nodiscard]] std::vector<OpBreakdown> compute_op_breakdowns(
+    const std::vector<flight::Event>& events);
+
+/// Publishes the breakdowns as opflow.* metrics in the global registry:
+/// per-stage histograms (opflow.e2e_vt and friends, giving p50/p95/p99
+/// end-to-end latency for free) plus op/failure counters. Virtual domain:
+/// every recorded value is modelled time.
+void publish_op_breakdown_metrics(const std::vector<OpBreakdown>& breakdowns);
+
+}  // namespace gptpu::runtime

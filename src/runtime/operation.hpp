@@ -28,6 +28,9 @@ struct FusedOpRequest {
 /// output locations, and parameters like the quantization method".
 struct OperationRequest {
   u64 task_id = 0;
+  /// Flight-recorder trace id linking every lifecycle event of this op
+  /// (common/flight_recorder.hpp). 0 lets invoke() assign one.
+  u64 trace_id = 0;
   isa::Opcode op = isa::Opcode::kAdd;
   TensorBuffer* in0 = nullptr;
   TensorBuffer* in1 = nullptr;  // null for single-input operators
@@ -92,6 +95,9 @@ enum class HostCombine : u8 {
 
 /// An IQ entry.
 struct InstructionPlan {
+  /// Trace id of the owning op, copied from the OperationRequest so every
+  /// lifecycle event downstream of lowering links back to the submission.
+  u64 trace_id = 0;
   isa::Opcode op = isa::Opcode::kAdd;
   isa::Stride stride{};
   isa::Window window{};   // device-side crop window (within the staged tile)

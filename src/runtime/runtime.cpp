@@ -9,10 +9,12 @@
 #include <limits>
 #include <string>
 
+#include "common/flight_recorder.hpp"
 #include "common/metrics.hpp"
 #include "common/span_profiler.hpp"
 #include "common/thread_pool.hpp"
 #include "isa/model_format.hpp"
+#include "runtime/blackbox.hpp"
 #include "sim/kernels.hpp"
 
 namespace gptpu::runtime {
@@ -139,6 +141,9 @@ struct Runtime::OpContext {
   // workers afterwards (the queue push/pop pair orders the accesses).
   const OperationRequest* req = nullptr;
   Seconds op_ready = 0;
+  /// Flight-recorder trace id for this op's lifecycle events; 0 when the
+  /// recorder is disarmed (every emission site checks before touching it).
+  u64 trace_id = 0;
 
   Mutex mu;
   CondVar cv;
@@ -349,6 +354,11 @@ Runtime::~Runtime() {
   for (auto& w : workers_) w.join();
   for (auto& s : stagers_) s.join();
   publish_final_metrics();
+  // Workers are joined and the final metrics are settled: if anything
+  // tripped a black-box trigger during this runtime's life (a device
+  // death whose operation still completed, say), flush the post-mortem
+  // dump now, at a provably quiescent point.
+  blackbox::write_if_configured();
 }
 
 void Runtime::publish_final_metrics() {
@@ -457,9 +467,31 @@ Seconds Runtime::invoke(const OperationRequest& request) {
   // eager operations, so the eager timeline is untouched).
   ctx.op_ready = std::max(task_ready(request.task_id), request.not_before);
 
+  // Lifecycle tracing: adopt the front-end's trace id, or mint one when
+  // the recorder is armed (disarmed runs skip even the counter bump).
+  ctx.trace_id = request.trace_id;
+  if (ctx.trace_id == 0 && flight::armed()) {
+    ctx.trace_id = flight::next_trace_id();
+  }
+  const bool traced = ctx.trace_id != 0 && flight::armed();
+  if (traced) {
+    for (InstructionPlan& plan : lowered.plans) plan.trace_id = ctx.trace_id;
+    flight::emit({.trace_id = ctx.trace_id,
+                  .kind = flight::EventKind::kSubmitted,
+                  .vt = ctx.op_ready});
+  }
+
   if (lowered.host_prep_seconds > 0) {
     ctx.op_ready =
         acquire_host(ctx.op_ready, lowered.host_prep_seconds, "prep");
+  }
+  if (traced) {
+    flight::emit({.trace_id = ctx.trace_id,
+                  .kind = flight::EventKind::kPlanned,
+                  .detail = static_cast<u16>(
+                      std::min<usize>(lowered.plans.size(), 0xffff)),
+                  .vt = ctx.op_ready,
+                  .vdur = lowered.host_prep_seconds});
   }
 
   if (lowered.zero_output_first && config_.functional &&
@@ -481,10 +513,17 @@ Seconds Runtime::invoke(const OperationRequest& request) {
     // Every device died before this operation dispatched: degrade to the
     // CPU path plan by plan (or surface, when the policy forbids it).
     if (config_.fault_policy.cpu_fallback) {
+      usize order = 0;
       for (const InstructionPlan& plan : lowered.plans) {
         fm.cpu_fallback.add(1);
         record_fault_event(kHostFaultDevice, ctx.op_ready, "cpu-fallback");
-        cpu_fallback_plan(ctx, plan);
+        if (traced) {
+          flight::emit({.trace_id = ctx.trace_id,
+                        .kind = flight::EventKind::kFellBack,
+                        .detail = static_cast<u16>(order),
+                        .vt = ctx.op_ready});
+        }
+        cpu_fallback_plan(ctx, plan, order++);
       }
     } else {
       op_status = StatusCode::kDeviceLost;
@@ -548,6 +587,13 @@ Seconds Runtime::invoke(const OperationRequest& request) {
       for (const auto* f : redispatch) {
         fm.redispatched.add(1);
         record_fault_event(f->device, ctx.op_ready, "redispatch");
+        if (traced) {
+          flight::emit({.trace_id = ctx.trace_id,
+                        .kind = flight::EventKind::kRedispatched,
+                        .detail = static_cast<u16>(f->attempts),
+                        .device = static_cast<u32>(f->device),
+                        .vt = ctx.op_ready});
+        }
         queue_wait_sum += dispatch_plan(ctx, f->plan, f->order, f->attempts);
       }
     }
@@ -555,7 +601,14 @@ Seconds Runtime::invoke(const OperationRequest& request) {
       if (config_.fault_policy.cpu_fallback) {
         fm.cpu_fallback.add(1);
         record_fault_event(f->device, ctx.op_ready, "cpu-fallback");
-        cpu_fallback_plan(ctx, f->plan);
+        if (traced) {
+          flight::emit({.trace_id = ctx.trace_id,
+                        .kind = flight::EventKind::kFellBack,
+                        .detail = static_cast<u16>(f->order),
+                        .device = static_cast<u32>(f->device),
+                        .vt = ctx.op_ready});
+        }
+        cpu_fallback_plan(ctx, f->plan, f->order);
       } else {
         op_status = f->code;
       }
@@ -589,6 +642,18 @@ Seconds Runtime::invoke(const OperationRequest& request) {
                               std::max(op_virtual_done, ctx.op_ready),
                               op_status});
     }
+    if (traced) {
+      flight::emit({.trace_id = ctx.trace_id,
+                    .kind = flight::EventKind::kFailed,
+                    .vt = std::max(op_virtual_done, ctx.op_ready)});
+    }
+    // Post-mortem: the op is about to surface OperationFailed to the
+    // application; snapshot the black box now, while the evidence is hot
+    // (all of this op's workers are past the barrier, so the dump's
+    // virtual section is quiescent and replay-stable).
+    blackbox::note_trigger("operation-failed", blackbox::kNoDevice,
+                           std::max(op_virtual_done, ctx.op_ready));
+    blackbox::write_if_configured();
     throw OperationFailed(
         op_status,
         "operation failed permanently (" +
@@ -695,14 +760,16 @@ Seconds Runtime::dispatch_plan(OpContext& ctx, const InstructionPlan& plan_in,
   // pinned device that has since died falls back to the free choice (the
   // fault layer re-balances rather than wedging the stage).
   const int pin = ctx.req->device_pin;
+  const u16 plan_order = static_cast<u16>(order);
   const Scheduler::Assignment assignment =
       (pin >= 0 && static_cast<usize>(pin) < config_.num_devices &&
        scheduler_.is_alive(static_cast<usize>(pin)))
           ? scheduler_.assign_pinned(static_cast<usize>(pin),
                                      {needs.data(), n_needs}, est,
-                                     ctx.op_ready)
+                                     ctx.op_ready, plan.trace_id, plan_order)
           : scheduler_.assign_detailed({needs.data(), n_needs}, est,
-                                       ctx.op_ready);
+                                       ctx.op_ready, plan.trace_id,
+                                       plan_order);
 
   DeviceState& ds = *device_states_[assignment.device];
   ds.instructions->add(1);
@@ -736,6 +803,7 @@ Seconds Runtime::dispatch_plan(OpContext& ctx, const InstructionPlan& plan_in,
         sr.stage_mask |= 2u;
       }
       sr.out_buffer_id = ctx.req->out->id();
+      sr.trace_id = plan.trace_id;
       sr.ctx = &ctx;
       ds.stage_queue.push_back(std::move(sr));
     }
@@ -928,11 +996,11 @@ void Runtime::stage_ahead(DeviceState& ds, const StageRequest& req) {
   StagingCache::PayloadPtr p1;
   if (!skip_payloads) {
     if ((req.stage_mask & 1u) != 0 && req.in0.buffer->functional()) {
-      p0 = staged_payload(req.in0, req.in0_key);
+      p0 = staged_payload(req.in0, req.in0_key, req.trace_id);
     }
     if ((req.stage_mask & 2u) != 0 && req.in1.valid() &&
         req.in1.buffer->functional()) {
-      p1 = staged_payload(req.in1, req.in1_key);
+      p1 = staged_payload(req.in1, req.in1_key, req.trace_id);
     }
   }
 
@@ -978,8 +1046,8 @@ Status Runtime::ensure_device_space(DeviceState& ds, usize bytes,
 /// Host bytes for a tile, built once: quantized int8 rectangle, plus the
 /// serialized model blob for model-kind operands (which then drop the
 /// intermediate tensor bytes -- load_model consumes only the blob).
-StagingCache::PayloadPtr Runtime::staged_payload(const TileRef& tile,
-                                                 u64 key) {
+StagingCache::PayloadPtr Runtime::staged_payload(const TileRef& tile, u64 key,
+                                                 u64 trace_id) {
   const auto build = [&tile] {
     StagingCache::Payload p;
     quantize_tile(tile, p.tensor);
@@ -992,16 +1060,15 @@ StagingCache::PayloadPtr Runtime::staged_payload(const TileRef& tile,
   };
   if (config_.host_staging_cache) {
     return StagingCache::global().get_or_build(
-        key, StagingCache::identity_of(tile), build);
+        key, StagingCache::identity_of(tile), build, trace_id);
   }
   return std::make_shared<const StagingCache::Payload>(build());
 }
 
-Result<isa::DeviceTensorId> Runtime::stage_tile(DeviceState& ds,
-                                                const TileRef& tile, u64 key,
-                                                StagingCache::PayloadPtr hint,
-                                                Seconds ready,
-                                                Seconds* available_at) {
+Result<isa::DeviceTensorId> Runtime::stage_tile(
+    DeviceState& ds, const TileRef& tile, u64 key,
+    StagingCache::PayloadPtr hint, Seconds ready, Seconds* available_at,
+    u64 trace_id, u16 plan_order) {
   if (!config_.input_cache) {
     // Stateless mode: evict any previous copy and re-stage below.
     if (const auto it = ds.cache.find(key); it != ds.cache.end()) {
@@ -1045,7 +1112,7 @@ Result<isa::DeviceTensorId> Runtime::stage_tile(DeviceState& ds,
       // staging cache or an inline build.
       RuntimeMetrics::get().quantize_bytes.add(tile.shape.elems());
       const StagingCache::PayloadPtr payload =
-          hint ? std::move(hint) : staged_payload(tile, key);
+          hint ? std::move(hint) : staged_payload(tile, key, trace_id);
       if (tile.as_model) {
         return ds.device->load_model(payload->model, transfer_ready,
                                      link_setup);
@@ -1071,6 +1138,17 @@ Result<isa::DeviceTensorId> Runtime::stage_tile(DeviceState& ds,
   ds.cache.emplace(key, DeviceState::CacheEntry{done.id, tile.shape.elems(),
                                                 ds.lru.begin()});
   *available_at = done.done;
+  // Virtual-domain staging event: a device-cache miss paid modelled
+  // prep + transfer time (hits are free and stay silent, like the
+  // scheduler's residency bookkeeping they mirror).
+  if (trace_id != 0 && flight::armed()) {
+    flight::emit({.trace_id = trace_id,
+                  .kind = flight::EventKind::kStaged,
+                  .detail = plan_order,
+                  .device = static_cast<u32>(ds.index),
+                  .vt = ready,
+                  .vdur = done.done - ready});
+  }
   return done.id;
 }
 
@@ -1119,16 +1197,24 @@ Status Runtime::try_execute_plan(DeviceState& ds, const WorkItem& item,
       }
     }
     ds.stats.zero_tiles_skipped.fetch_add(1, std::memory_order_relaxed);
+    if (plan.trace_id != 0 && flight::armed()) {
+      flight::emit({.trace_id = plan.trace_id,
+                    .kind = flight::EventKind::kLanded,
+                    .detail = static_cast<u16>(item.order),
+                    .device = static_cast<u32>(ds.index),
+                    .vt = scanned});
+    }
     MutexLock lock(ctx.mu);
     ctx.virtual_start = std::min(ctx.virtual_start, ready);
     ctx.virtual_done = std::max(ctx.virtual_done, scanned);
     return {};
   }
 
+  const u16 plan_order = static_cast<u16>(item.order);
   Seconds in0_at = 0;
   Seconds in1_at = 0;
-  const auto in0_r =
-      stage_tile(ds, plan.in0, plan.in0_key, item.hint0, ready, &in0_at);
+  const auto in0_r = stage_tile(ds, plan.in0, plan.in0_key, item.hint0, ready,
+                                &in0_at, plan.trace_id, plan_order);
   if (!in0_r.ok()) return in0_r.status();
   const DeviceTensorId in0 = in0_r.value();
   DeviceTensorId in1;
@@ -1136,8 +1222,8 @@ Status Runtime::try_execute_plan(DeviceState& ds, const WorkItem& item,
   usize n_pinned = 1;
   if (plan.in1.valid()) {
     pinned[n_pinned++] = plan.in1_key;
-    const auto in1_r =
-        stage_tile(ds, plan.in1, plan.in1_key, item.hint1, ready, &in1_at);
+    const auto in1_r = stage_tile(ds, plan.in1, plan.in1_key, item.hint1,
+                                  ready, &in1_at, plan.trace_id, plan_order);
     if (!in1_r.ok()) return in1_r.status();
     in1 = in1_r.value();
   }
@@ -1152,6 +1238,7 @@ Status Runtime::try_execute_plan(DeviceState& ds, const WorkItem& item,
   instr.kernel_bank = plan.kernel_bank;
   instr.out_scale = plan.out_scale;
   instr.task_id = ctx.req->task_id;
+  instr.trace_id = plan.trace_id;
   instr.quant = ctx.req->quant;
 
   // Fused chains: stage each folded-in stage's operand tile (through the
@@ -1170,8 +1257,10 @@ Status Runtime::try_execute_plan(DeviceState& ds, const WorkItem& item,
     if (sp.operand.valid()) {
       pinned[n_pinned++] = sp.operand_key;
       Seconds operand_at = 0;
-      const auto op_r = stage_tile(ds, sp.operand, sp.operand_key,
-                                   /*hint=*/nullptr, ready, &operand_at);
+      const auto op_r =
+          stage_tile(ds, sp.operand, sp.operand_key,
+                     /*hint=*/nullptr, ready, &operand_at, plan.trace_id,
+                     plan_order);
       if (!op_r.ok()) return op_r.status();
       fs.operand = op_r.value();
     }
@@ -1226,6 +1315,14 @@ Status Runtime::try_execute_plan(DeviceState& ds, const WorkItem& item,
   land_result(ctx, plan, out_shape, ds.out_scratch.data(),
               ds.wide_scratch.data());
 
+  if (plan.trace_id != 0 && flight::armed()) {
+    flight::emit({.trace_id = plan.trace_id,
+                  .kind = flight::EventKind::kLanded,
+                  .detail = plan_order,
+                  .device = static_cast<u32>(ds.index),
+                  .vt = combined,
+                  .vdur = combined - read_done});
+  }
   {
     MutexLock lock(ctx.mu);
     ctx.virtual_start = std::min(ctx.virtual_start, std::min(in0_at, ready));
@@ -1359,6 +1456,14 @@ Status Runtime::run_plan_with_retries(DeviceState& ds, const WorkItem& item) {
     fm.backoff_wait_vt.record(backoff);
     record_fault_event(ds.index, ready,
                        "retry:" + std::string(status_code_name(st.code())));
+    if (item.plan.trace_id != 0 && flight::armed()) {
+      flight::emit({.trace_id = item.plan.trace_id,
+                    .kind = flight::EventKind::kRetried,
+                    .detail = static_cast<u16>(attempt),
+                    .device = static_cast<u32>(ds.index),
+                    .vt = ready,
+                    .vdur = backoff});
+    }
     ready += backoff;
   }
 }
@@ -1376,9 +1481,15 @@ void Runtime::kill_device(DeviceState& ds, StatusCode code, Seconds at) {
   ds.lru.clear();
   record_fault_event(ds.index, at,
                      "dead:" + std::string(status_code_name(code)));
+  // A device death is a black-box trigger: note it now so the post-mortem
+  // dump (written at the next quiescent point, or immediately if an
+  // operation fails permanently) records what killed which device when.
+  blackbox::note_trigger("device-dead:" + std::string(status_code_name(code)),
+                         static_cast<u32>(ds.index), at);
 }
 
-void Runtime::cpu_fallback_plan(OpContext& ctx, const InstructionPlan& plan) {
+void Runtime::cpu_fallback_plan(OpContext& ctx, const InstructionPlan& plan,
+                                usize order) {
   GPTPU_SPAN("cpu_fallback");
   isa::Instruction instr;
   instr.op = plan.op;
@@ -1498,6 +1609,13 @@ void Runtime::cpu_fallback_plan(OpContext& ctx, const InstructionPlan& plan) {
     land_result(ctx, plan, out_shape, narrow.data(), wide_out.data());
   }
 
+  if (plan.trace_id != 0 && flight::armed()) {
+    flight::emit({.trace_id = plan.trace_id,
+                  .kind = flight::EventKind::kLanded,
+                  .detail = static_cast<u16>(order),
+                  .device = flight::kNoDevice,
+                  .vt = done});
+  }
   MutexLock lock(ctx.mu);
   ctx.virtual_start = std::min(ctx.virtual_start, ctx.op_ready);
   ctx.virtual_done = std::max(ctx.virtual_done, done);

@@ -265,6 +265,9 @@ class Runtime {
     /// The operation's output buffer id: tiles aliasing it are skipped
     /// (the stager must never read memory a landing may be writing).
     u64 out_buffer_id = 0;
+    /// Flight-recorder lifecycle id of the owning operation (0 = untraced);
+    /// stamps the wall-only kStaged event a cache build emits.
+    u64 trace_id = 0;
     OpContext* ctx = nullptr;
   };
   struct DeviceState;
@@ -292,7 +295,8 @@ class Runtime {
   /// Runs one plan on the host via kernels::reference -- same quantized
   /// inputs, bit-exact kernels, same landing math as the device path, so
   /// results match a fault-free device run exactly.
-  void cpu_fallback_plan(OpContext& ctx, const InstructionPlan& plan);
+  void cpu_fallback_plan(OpContext& ctx, const InstructionPlan& plan,
+                         usize order);
   /// Shared result landing (kStore/kAccumulate/kMeanPartial/kMaxPartial)
   /// for the device readback path and the CPU fallback path.
   void land_result(OpContext& ctx, const InstructionPlan& plan,
@@ -307,7 +311,8 @@ class Runtime {
       GPTPU_EXCLUDES(fault_mu_);
   /// Host bytes for a tile: staging-cache lookup (memoized across
   /// devices and iterations) or a direct build when the cache is off.
-  StagingCache::PayloadPtr staged_payload(const TileRef& tile, u64 key);
+  StagingCache::PayloadPtr staged_payload(const TileRef& tile, u64 key,
+                                          u64 trace_id);
   /// Zero-tile scan with the verdict memoized per tile_key.
   bool tile_is_zero_cached(const TileRef& tile, u64 key);
   /// Publishes end-of-life gauges (resource busy times, makespan, affinity
@@ -318,7 +323,8 @@ class Runtime {
   GPTPU_VIRTUAL_DOMAIN
   Result<isa::DeviceTensorId> stage_tile(DeviceState& ds, const TileRef& tile,
                                          u64 key, StagingCache::PayloadPtr hint,
-                                         Seconds ready, Seconds* available_at);
+                                         Seconds ready, Seconds* available_at,
+                                         u64 trace_id, u16 plan_order);
   GPTPU_VIRTUAL_DOMAIN
   Status ensure_device_space(DeviceState& ds, usize bytes,
                              std::span<const u64> pinned_keys);

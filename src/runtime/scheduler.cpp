@@ -4,6 +4,7 @@
 
 #include <algorithm>
 
+#include "common/flight_recorder.hpp"
 #include "common/metrics.hpp"
 
 namespace gptpu::runtime {
@@ -40,7 +41,8 @@ Scheduler::Scheduler(usize num_devices, bool affinity_enabled)
 }
 
 Scheduler::Assignment Scheduler::assign_detailed(
-    std::span<const TileNeed> tiles, Seconds instr_seconds, Seconds ready) {
+    std::span<const TileNeed> tiles, Seconds instr_seconds, Seconds ready,
+    u64 trace_id, u16 plan_order) {
   usize total_bytes = 0;
   for (const auto& [key, bytes] : tiles) {
     (void)key;
@@ -114,13 +116,21 @@ Scheduler::Assignment Scheduler::assign_detailed(
       m.misses.add(1);
     }
   }
+  if (trace_id != 0 && flight::armed()) {
+    flight::emit({.trace_id = trace_id,
+                  .kind = flight::EventKind::kQueued,
+                  .detail = plan_order,
+                  .device = static_cast<u32>(result.device),
+                  .vt = ready});
+  }
   return result;
 }
 
 Scheduler::Assignment Scheduler::assign_pinned(usize device,
                                                std::span<const TileNeed> tiles,
                                                Seconds instr_seconds,
-                                               Seconds ready) {
+                                               Seconds ready, u64 trace_id,
+                                               u16 plan_order) {
   usize total_bytes = 0;
   for (const auto& [key, bytes] : tiles) {
     (void)key;
@@ -169,6 +179,13 @@ Scheduler::Assignment Scheduler::assign_pinned(usize device,
     } else {
       m.misses.add(1);
     }
+  }
+  if (trace_id != 0 && flight::armed()) {
+    flight::emit({.trace_id = trace_id,
+                  .kind = flight::EventKind::kQueued,
+                  .detail = plan_order,
+                  .device = static_cast<u32>(result.device),
+                  .vt = ready});
   }
   return result;
 }

@@ -64,11 +64,16 @@ class Scheduler {
   /// inputs make a device finish sooner) generalized to also balance the
   /// pool. With affinity disabled, every device is charged the full
   /// transfer (pure FCFS). Records the tiles as resident on the choice
-  /// and feeds the scheduler.* metrics.
+  /// and feeds the scheduler.* metrics. A nonzero `trace_id` emits a
+  /// kQueued flight event for the chosen device (the event carries only
+  /// the deterministic ready instant: the backlog estimate observes
+  /// concurrent worker-side evictions, so it stays out of the virtual
+  /// fields).
   GPTPU_VIRTUAL_DOMAIN
   [[nodiscard]] Assignment assign_detailed(std::span<const TileNeed> tiles,
                                            Seconds instr_seconds,
-                                           Seconds ready)
+                                           Seconds ready, u64 trace_id = 0,
+                                           u16 plan_order = 0)
       GPTPU_EXCLUDES(mu_);
 
   /// assign_detailed() reduced to the chosen device id.
@@ -86,7 +91,8 @@ class Scheduler {
   GPTPU_VIRTUAL_DOMAIN
   [[nodiscard]] Assignment assign_pinned(usize device,
                                          std::span<const TileNeed> tiles,
-                                         Seconds instr_seconds, Seconds ready)
+                                         Seconds instr_seconds, Seconds ready,
+                                         u64 trace_id = 0, u16 plan_order = 0)
       GPTPU_EXCLUDES(mu_);
 
   /// Fraction of affinity-eligible assignments (plans with at least one

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <utility>
 
+#include "common/flight_recorder.hpp"
 #include "common/metrics.hpp"
 
 namespace gptpu::runtime {
@@ -120,7 +121,8 @@ void StagingCache::evict_to_capacity() {
 }
 
 StagingCache::PayloadPtr StagingCache::get_or_build(
-    u64 key, const TileIdentity& id, const std::function<Payload()>& build) {
+    u64 key, const TileIdentity& id, const std::function<Payload()>& build,
+    u64 trace_id) {
   auto& m = HostCacheMetrics::get();
   bool claimed = false;
   {
@@ -180,6 +182,11 @@ StagingCache::PayloadPtr StagingCache::get_or_build(
   }
 
   PayloadPtr result;
+  if (trace_id != 0 && flight::armed()) {
+    flight::emit({.trace_id = trace_id,
+                  .kind = flight::EventKind::kStaged,
+                  .wall_only = true});
+  }
   try {
     result = std::make_shared<const Payload>(build());
   } catch (...) {

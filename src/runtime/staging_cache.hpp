@@ -91,9 +91,14 @@ class StagingCache {
   /// Concurrent callers for the same key coalesce: one builds, the rest
   /// wait. An identity mismatch on a resident entry (hash collision, or
   /// the buffer was re-versioned under a stale key) builds and returns
-  /// without caching. `build` runs with no cache lock held.
+  /// without caching. `build` runs with no cache lock held. A nonzero
+  /// `trace_id` emits a wall-only kStaged flight event when the build
+  /// actually runs (cache hits are free and stay silent); wall-only
+  /// because which caller of a coalesced build pays is host-timing
+  /// dependent, so the event must not feed the deterministic sections.
   [[nodiscard]] PayloadPtr get_or_build(u64 key, const TileIdentity& id,
-                                        const std::function<Payload()>& build)
+                                        const std::function<Payload()>& build,
+                                        u64 trace_id = 0)
       GPTPU_EXCLUDES(mu_);
 
   /// Memoized zero-tile verdicts ride in the same entries: the runtime's

@@ -9,7 +9,11 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <map>
+#include <tuple>
 #include <vector>
+
+#include "common/flight_recorder.hpp"
 
 namespace gptpu::runtime {
 
@@ -106,6 +110,56 @@ void export_chrome_trace(const Runtime& rt, std::ostream& os,
       }
       os << R"(","ph":"i","s":"t","pid":)" << kVirtualPid << R"(,"tid":)"
          << tid << R"(,"ts":)" << e.at * 1e6 << "}";
+    }
+  }
+
+  // Causal op-lifecycle flows: when the flight recorder is armed, each
+  // op's events are stitched into one Chrome-trace flow (ph "s"/"t"/"f",
+  // id = op_trace_id), anchored to zero-width slices on a dedicated
+  // virtual-time track so viewers draw the arrows between lifecycle
+  // stages. Wall-only events are skipped (their timestamps live in the
+  // other clock domain) and everything is sorted by virtual coordinates,
+  // so the output is replay-stable.
+  {
+    std::map<u64, std::vector<flight::Event>> ops;
+    for (const flight::Event& e : flight::snapshot()) {
+      if (e.wall_only || e.trace_id == 0) continue;
+      ops[e.trace_id].push_back(e);
+    }
+    for (auto& [id, events] : ops) {
+      std::sort(events.begin(), events.end(),
+                [](const flight::Event& a, const flight::Event& b) {
+                  return std::tie(a.vt, a.kind, a.device, a.detail, a.vdur) <
+                         std::tie(b.vt, b.kind, b.device, b.detail, b.vdur);
+                });
+    }
+    // Drop single-event ops (truncated by ring wrap): a flow needs both
+    // ends.
+    std::erase_if(ops, [](const auto& kv) { return kv.second.size() < 2; });
+    if (!ops.empty()) {
+      ++tid;
+      emit_metadata(os, first, "thread_name", kVirtualPid, tid, "opflow");
+      for (const auto& [id, events] : ops) {
+        for (usize i = 0; i < events.size(); ++i) {
+          const flight::Event& e = events[i];
+          const std::string name = "op" + std::to_string(id) + ":" +
+                                   flight::kind_name(e.kind);
+          // Anchor slice the flow binds to.
+          os << ",\n";
+          os << R"({"name":")";
+          json_escape(os, name);
+          os << R"(","cat":"opflow","ph":"X","pid":)" << kVirtualPid
+             << R"(,"tid":)" << tid << R"(,"ts":)" << e.vt * 1e6
+             << R"(,"dur":0})";
+          const char* ph = i == 0 ? "s" : (i + 1 == events.size() ? "f" : "t");
+          os << ",\n";
+          os << R"({"name":"op)" << id << R"(","cat":"opflow","ph":")" << ph
+             << R"(","id":)" << id << R"(,"pid":)" << kVirtualPid
+             << R"(,"tid":)" << tid << R"(,"ts":)" << e.vt * 1e6;
+          if (*ph == 'f') os << R"(,"bp":"e")";
+          os << "}";
+        }
+      }
     }
   }
 

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <sstream>
 
+#include "common/flight_recorder.hpp"
 #include "common/span_profiler.hpp"
 #include "sim/fault_injector.hpp"
 #include "sim/kernels.hpp"
@@ -166,6 +167,18 @@ Result<Device::Completion> Device::execute(const Instruction& instr,
       timing_->instruction_latency(instr, in0.shape, in1_shape, out_shape) +
           fault.extra_latency,
       std::string(isa::name(instr.op)));
+
+  if (instr.trace_id != 0 && flight::armed()) {
+    flight::emit({.trace_id = instr.trace_id,
+                  .kind = flight::EventKind::kExecuteBegin,
+                  .device = config_.id,
+                  .vt = start});
+    flight::emit({.trace_id = instr.trace_id,
+                  .kind = flight::EventKind::kExecuteEnd,
+                  .device = config_.id,
+                  .vt = done,
+                  .vdur = done - start});
+  }
 
   const bool wide = instr.wide_output &&
                     isa::op_class(instr.op) == isa::OpClass::kArithmetic;

@@ -6,6 +6,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -212,12 +214,40 @@ TEST(MetricsExport, PrometheusEmitsTypedSanitizedMetrics) {
   EXPECT_NE(text.find("# TYPE gptpu_test_export_prom_counter counter"),
             std::string::npos);
   EXPECT_NE(text.find("gptpu_test_export_prom_counter 2"), std::string::npos);
-  EXPECT_NE(text.find("# TYPE gptpu_test_export_prom_hist summary"),
+  EXPECT_NE(text.find("# HELP gptpu_test_export_prom_counter"),
             std::string::npos);
-  EXPECT_NE(text.find("gptpu_test_export_prom_hist{quantile=\"0.5\"}"),
+  EXPECT_NE(text.find("# TYPE gptpu_test_export_prom_hist histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("gptpu_test_export_prom_hist_bucket{le=\"+Inf\"} 1"),
             std::string::npos);
   EXPECT_NE(text.find("gptpu_test_export_prom_hist_count 1"),
             std::string::npos);
+}
+
+TEST(MetricsExport, PrometheusMatchesGoldenFile) {
+  // A registry the test fully controls: the output must match the
+  // checked-in golden file byte for byte (tests/golden/README.md has
+  // regeneration instructions for intentional format changes).
+  MetricRegistry reg;
+  reg.counter("cache.hits").add(42);
+  reg.gauge("runtime.makespan_vt_seconds").set(0.03125);
+  auto& h = reg.histogram("op.mul.service_vt");
+  h.record(0.5);
+  h.record(0.5);
+  h.record(2.0);
+  h.record(0.0);  // underflow bucket
+  const std::string text = runtime::metrics_prometheus_text(reg);
+
+  const std::string golden_path =
+      std::string(GPTPU_TEST_DATA_DIR) + "/golden/prometheus_export.txt";
+  std::ifstream in(golden_path);
+  ASSERT_TRUE(in.good()) << "missing golden file: " << golden_path;
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(text, buf.str())
+      << "Prometheus exposition drifted from tests/golden/"
+         "prometheus_export.txt; update the golden file if the change is "
+         "intentional";
 }
 
 TEST(MetricsExport, UnwritableJsonPathReportsFailure) {

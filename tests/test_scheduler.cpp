@@ -2,6 +2,7 @@
 // tracking and determinism.
 #include <gtest/gtest.h>
 
+#include "common/flight_recorder.hpp"
 #include "runtime/scheduler.hpp"
 
 namespace gptpu::runtime {
@@ -95,6 +96,42 @@ TEST(Scheduler, ResetClearsLoadAndResidency) {
   s.reset();
   EXPECT_DOUBLE_EQ(s.estimated_load(0), 0.0);
   EXPECT_DOUBLE_EQ(s.estimated_load(1), 0.0);
+}
+
+TEST(Scheduler, TracedAssignmentEmitsQueuedEvent) {
+  flight::clear();
+  flight::arm(true);
+  Scheduler s(2, true);
+  Scheduler::TileNeed needs[] = {{11, kMB}};
+  const Scheduler::Assignment free_pick =
+      s.assign_detailed(needs, 0.01, 0.25, /*trace_id=*/77, /*plan_order=*/3);
+  const Scheduler::Assignment pinned =
+      s.assign_pinned(1, needs, 0.01, 0.5, /*trace_id=*/78, /*plan_order=*/0);
+  flight::arm(false);
+  const auto events = flight::snapshot();
+  flight::clear();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].trace_id, 77u);
+  EXPECT_EQ(events[0].kind, flight::EventKind::kQueued);
+  EXPECT_EQ(events[0].detail, 3u);
+  EXPECT_EQ(events[0].device, static_cast<u32>(free_pick.device));
+  EXPECT_DOUBLE_EQ(events[0].vt, 0.25);
+  EXPECT_EQ(events[1].trace_id, 78u);
+  EXPECT_EQ(events[1].device, static_cast<u32>(pinned.device));
+  EXPECT_EQ(events[1].device, 1u);
+  EXPECT_DOUBLE_EQ(events[1].vt, 0.5);
+}
+
+TEST(Scheduler, UntracedAssignmentEmitsNothing) {
+  flight::clear();
+  flight::arm(true);
+  Scheduler s(2, true);
+  Scheduler::TileNeed needs[] = {{12, kMB}};
+  (void)s.assign(needs, 0.01, 0.0);  // default trace_id == 0: untraced
+  flight::arm(false);
+  const auto events = flight::snapshot();
+  flight::clear();
+  EXPECT_TRUE(events.empty());
 }
 
 }  // namespace

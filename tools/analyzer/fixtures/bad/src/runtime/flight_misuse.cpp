@@ -1,0 +1,50 @@
+// gptpu-analyze: deterministic-file
+// Fixture: flight-recorder misuse. The R8 wall-sink exemption covers
+// src/common/flight_recorder.cpp only: an emit-alike that stamps host
+// time from the *runtime* layer still taints its virtual callers (R8c),
+// and draining a recorder back into a virtual function is a wall-domain
+// call (R8b). R10: grouping events by a hash map in a file whose output
+// is byte-compared across replays.
+#include <unordered_map>
+#include <vector>
+
+#include "common/domain_annotations.hpp"
+
+namespace fixture {
+
+struct FlightEvent {
+  unsigned long long trace_id = 0;
+  double vt = 0;
+  double wall_s = 0;
+};
+
+std::unordered_map<unsigned long long, std::vector<FlightEvent>> ring;
+
+void stamp_event(FlightEvent& e) {
+  e.wall_s = std::chrono::duration<double>(
+                 std::chrono::steady_clock::now().time_since_epoch())
+                 .count();
+}
+
+GPTPU_WALL_DOMAIN
+std::vector<FlightEvent> drain_ring() {
+  std::vector<FlightEvent> out;
+  for (const auto& kv : ring) {  // R10: dump order follows hash layout
+    out.insert(out.end(), kv.second.begin(), kv.second.end());
+  }
+  return out;
+}
+
+GPTPU_VIRTUAL_DOMAIN
+double record_landing(FlightEvent e) {
+  stamp_event(e);  // R8c: emit-alike outside the sink file taints
+  ring[e.trace_id].push_back(e);
+  return e.vt;
+}
+
+GPTPU_VIRTUAL_DOMAIN
+double landing_wall_skew() {
+  return drain_ring().back().wall_s;  // R8b: virtual reads the recorder
+}
+
+}  // namespace fixture

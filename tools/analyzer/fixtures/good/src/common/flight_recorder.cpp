@@ -1,0 +1,28 @@
+// Fixture: the R8 wall-sink exemption (rules_domain.py WALL_SINK_PATHS).
+// This file's path matches the real flight recorder, so its emit-alike
+// may stamp host time without seeding wall-reach propagation: events
+// flow one direction -- into the ring -- and nothing virtual reads them
+// back. The virtual caller below must therefore stay finding-free.
+#include "common/domain_annotations.hpp"
+
+namespace fixture {
+
+struct SinkEvent {
+  double vt = 0;
+  double wall_s = 0;
+};
+
+void sink_emit(SinkEvent e) {
+  e.wall_s = std::chrono::duration<double>(
+                 std::chrono::steady_clock::now().time_since_epoch())
+                 .count();
+  (void)e;
+}
+
+GPTPU_VIRTUAL_DOMAIN
+double advance_and_record(double vt) {
+  sink_emit(SinkEvent{vt, 0});  // exempt: write-only observability sink
+  return vt;
+}
+
+}  // namespace fixture

@@ -17,6 +17,15 @@ GPTPU_SPAN(label) is exempt by design: spans write wall durations into
 the observability side channel but expose nothing the surrounding code
 could read back, so they cannot perturb virtual results (the determinism
 byte-compare smoke pins that down at run time).
+
+The flight recorder (src/common/flight_recorder.cpp) is exempt the same
+way: flight::emit() stamps each event's wall_s field from the host
+clock, but events flow one direction -- into the per-thread rings --
+and nothing on a virtual path reads them back (snapshot() is
+GPTPU_WALL_DOMAIN, and every deterministic export strips wall_s). Its
+definitions therefore never seed wall-reach propagation; the
+flight.smoke replay byte-compare pins the no-read-back property
+dynamically.
 """
 
 from __future__ import annotations
@@ -31,6 +40,12 @@ WALL_PRIMITIVE = re.compile(
     r"\bhigh_resolution_clock\b|\bStopwatch\b|"
     r"prof\s*::\s*(?:snapshot|drain|drain_to_registry)\s*\(|"
     r"\bclock_gettime\b|\bgettimeofday\b")
+
+# Write-only observability sinks: wall primitives inside these files
+# stamp data that no virtual path can read back (see module docstring),
+# so their definitions do not seed wall-reach propagation. R8a/R8b still
+# apply unchanged -- the exemption is only for transitive reachability.
+WALL_SINK_PATHS = frozenset({"src/common/flight_recorder.cpp"})
 
 
 def _direct_wall_lines(fi: FunctionInfo) -> list[int]:
@@ -53,6 +68,8 @@ def _wall_reach(index: FunctionIndex) -> set[str]:
     defs = index.defs_by_name()
     reach: set[str] = set()
     for f in index.functions:
+        if f.path in WALL_SINK_PATHS:
+            continue
         if f.body is not None and WALL_PRIMITIVE.search(f.body):
             reach.add(f.qual)
     changed = True

@@ -14,7 +14,10 @@
 //   info                      print the calibrated machine model
 //
 // run/trace accept --faults=<spec|file> and --fault-seed=<u64> to arm
-// deterministic device-fault injection (docs/FAULT_TOLERANCE.md).
+// deterministic device-fault injection (docs/FAULT_TOLERANCE.md), and
+// --blackbox-out=FILE to arm the op-lifecycle flight recorder and write a
+// post-mortem black-box dump when a failure trigger fires
+// (docs/OBSERVABILITY.md).
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -23,11 +26,14 @@
 #include <vector>
 
 #include "apps/app_common.hpp"
+#include "common/flight_recorder.hpp"
 #include "common/metrics.hpp"
 #include "common/span_profiler.hpp"
 #include "isa/opcode.hpp"
 #include "perfmodel/machine_constants.hpp"
+#include "runtime/blackbox.hpp"
 #include "runtime/metrics_export.hpp"
+#include "runtime/op_breakdown.hpp"
 #include "runtime/trace_export.hpp"
 #include "sim/device_profile.hpp"
 #include "sim/fault_injector.hpp"
@@ -90,6 +96,34 @@ void arm_faults(int argc, char** argv) {
   const std::string seed = flag_string(argc, argv, "fault-seed", "");
   if (!seed.empty()) cfg.seed = std::stoull(seed, nullptr, 0);
   sim::FaultInjector::set_process_default(cfg);
+}
+
+/// Arms the flight recorder from --blackbox-out=PATH: lifecycle events
+/// start flowing into the per-thread rings and any failure trigger (device
+/// death, operation failure) makes the runtime dump a post-mortem black
+/// box at PATH (docs/OBSERVABILITY.md). `trace` arms the recorder even
+/// without the flag so the Chrome trace carries op-lifecycle flows.
+void arm_flight(int argc, char** argv) {
+  const std::string out = flag_string(argc, argv, "blackbox-out", "");
+  if (out.empty()) return;
+  runtime::blackbox::set_path(out);
+  flight::arm(true);
+}
+
+/// Reduces the flight recording to per-op opflow.* metrics and, when a
+/// black box is configured and a trigger fired, writes the final
+/// (quiescent, superseding any mid-run dump) post-mortem file. Call after
+/// the workload's runtimes are destroyed and before metrics export so the
+/// dump and the metric files both carry the opflow numbers.
+void finish_flight() {
+  if (!flight::armed()) return;
+  runtime::publish_op_breakdown_metrics(
+      runtime::compute_op_breakdowns(flight::snapshot()));
+  if (runtime::blackbox::trigger_count() > 0 &&
+      runtime::blackbox::write_if_configured()) {
+    std::printf("wrote black-box dump to %s\n",
+                runtime::blackbox::path().c_str());
+  }
 }
 
 /// After a faulted run, summarize what the tolerance layer did.
@@ -167,6 +201,7 @@ int cmd_run(const apps::AppInfo& app, int argc, char** argv) {
   std::printf("  accuracy vs CPU reference      : MAPE %.3f%%  RMSE %.3f%%\n",
               acc.mape * 100, acc.rmse * 100);
   if (sim::FaultInjector::process_default().enabled()) print_fault_summary();
+  finish_flight();
   return dump_metrics(metrics_json, metrics_prom) ? 0 : 1;
 }
 
@@ -178,6 +213,9 @@ int cmd_trace(const apps::AppInfo& app, int argc, char** argv) {
   runtime::RuntimeConfig cfg;
   cfg.functional = false;
   cfg.num_devices = devices;
+  // Always record op lifecycles for trace: the export stitches them into
+  // Chrome-trace flow arrows on the "opflow" track.
+  flight::arm(true);
   runtime::Runtime rt{cfg};
   runtime::enable_tracing(rt);
   // Collect wall-clock spans alongside the modelled timeline so the trace
@@ -192,6 +230,7 @@ int cmd_trace(const apps::AppInfo& app, int argc, char** argv) {
   std::printf("wrote %s (open in chrome://tracing); makespan %.3f ms\n",
               out.c_str(), rt.makespan() * 1e3);
   if (sim::FaultInjector::process_default().enabled()) print_fault_summary();
+  finish_flight();
   return dump_metrics(metrics_json, "") ? 0 : 1;
 }
 
@@ -268,6 +307,9 @@ int usage() {
       "  --faults=<spec|file>      arm deterministic fault injection for\n"
       "                            run/trace (docs/FAULT_TOLERANCE.md)\n"
       "  --fault-seed=<u64>        seed for probabilistic fault clauses\n"
+      "  --blackbox-out=FILE       arm the op-lifecycle flight recorder and\n"
+      "                            dump a post-mortem black box on failure\n"
+      "                            (docs/OBSERVABILITY.md)\n"
       "  profiles <app>            Edge-PCIe vs Edge-USB vs Cloud-TPU\n"
       "  info                      calibrated machine model\n");
   return 2;
@@ -280,6 +322,7 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   try {
     arm_faults(argc, argv);
+    arm_flight(argc, argv);
     if (cmd == "apps") return cmd_apps();
     if (cmd == "ops") return cmd_ops();
     if (cmd == "info") return cmd_info();
