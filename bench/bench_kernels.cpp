@@ -2,14 +2,36 @@
 // kernels::reference oracle, at the paper's tile shapes (128x128 is the
 // optimal arithmetic tile, 64x64 the conservative one; §5.2, §6.2).
 //
+// Each shape is timed three ways:
+//   reference   -- kernels::reference, the pinned scalar oracle;
+//   generic     -- the shape-polymorphic engine entry points, called
+//                  directly (what every instruction paid before kernel
+//                  specialization);
+//   specialized -- KernelRegistry::run with the plan-time-resolved
+//                  kernel_id, i.e. the exact dispatch path
+//                  Device::execute takes.
+// `<name>.speedup` stays reference/specialized (comparable with older
+// baselines); `<name>.specialized_speedup` is generic/specialized -- the
+// marginal win of fixed-shape variants over the generic engine.
+//
 // Wall-clock throughput only -- no modelled (virtual-time) number is
 // produced or consumed here. Each headline measurement is the minimum
 // over N trials to suppress scheduler jitter on shared machines; the
-// per-trial dispersion (Welford stddev via bench::TimingSummary) is
-// printed and exported alongside so noisy runs are identifiable. The
-// engine's outputs are compared element-wise against the reference on
-// every shape; any mismatch fails the run, making this a cheap
+// sub-10us kernels (pairwise/elementwise tiles) additionally batch K
+// calls inside each timed window so one steady_clock read amortizes over
+// ~50us of work instead of straddling a single call. The per-trial
+// dispersion (Welford stddev via bench::TimingSummary) is printed and
+// exported alongside so noisy runs are identifiable. Engine outputs are
+// compared element-wise against the reference on every shape and every
+// dispatch path; any mismatch fails the run, making this a cheap
 // bit-exactness smoke test as well.
+//
+// The run also fails if fewer than 90% of the registry dispatches hit a
+// specialized variant: every bench shape sits on the specialization
+// grid, so a lower rate means plan-time resolution regressed
+// (dispatch.specialized_hits / dispatch.generic_fallback in the metrics
+// registry). bench.smoke runs this binary in --quick mode, so the gate
+// is exercised on every ctest run.
 //
 //   bench_kernels [--quick] [--json <path>]
 //
@@ -27,6 +49,7 @@
 #include "common/matrix.hpp"
 #include "common/metrics.hpp"
 #include "common/rng.hpp"
+#include "sim/kernel_registry.hpp"
 #include "sim/kernels.hpp"
 
 namespace {
@@ -34,6 +57,8 @@ namespace {
 using namespace gptpu;
 using gptpu::bench::BenchArgs;
 using gptpu::bench::JsonWriter;
+using gptpu::sim::KernelArgs;
+using gptpu::sim::KernelRegistry;
 namespace kern = gptpu::sim::kernels;
 
 struct Trial {
@@ -42,37 +67,43 @@ struct Trial {
 };
 
 template <typename F>
-double timed_reps(int reps, F&& fn) {
+double timed_reps(int reps, int batch, F&& fn) {
   // Min over individual reps, not the mean: under near-continuous steal
   // time on a shared core the mean never converges, while one quiet
   // ~50us window per batch is enough for the min to find the true cost.
+  // `batch` back-to-back calls share one timed window so kernels shorter
+  // than the clock-read jitter still produce stable minima.
   double best = std::numeric_limits<double>::infinity();
   for (int r = 0; r < reps; ++r) {
     const auto t0 = std::chrono::steady_clock::now();
-    fn();
+    for (int b = 0; b < batch; ++b) fn();
     const auto t1 = std::chrono::steady_clock::now();
-    best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+    best = std::min(best,
+                    std::chrono::duration<double>(t1 - t0).count() / batch);
   }
   return best;
 }
 
-struct PairTiming {
+struct TripleTiming {
   gptpu::bench::TimingSummary ref;
-  gptpu::bench::TimingSummary eng;
+  gptpu::bench::TimingSummary gen;
+  gptpu::bench::TimingSummary spec;
 };
 
-/// Times reference and engine interleaved within each trial so scheduler
-/// noise on a shared machine hits both sides alike. The headline GOPS
-/// still comes from the per-side minimum (separate min-of-N phases can
-/// skew the ratio 2x when a noise burst lands entirely in one phase);
-/// the summaries additionally carry mean/stddev across trials. Fills the
-/// caller's PairTiming in place (TimingSummary owns a mutex, so it is
-/// neither copyable nor movable).
-template <typename FR, typename FE>
-void time_pair(const Trial& t, FR&& ref_fn, FE&& eng_fn, PairTiming& pt) {
+/// Times reference, generic engine and specialized dispatch interleaved
+/// within each trial so scheduler noise on a shared machine hits all
+/// sides alike. The headline GOPS still comes from the per-side minimum
+/// (separate min-of-N phases can skew the ratio 2x when a noise burst
+/// lands entirely in one phase); the summaries additionally carry
+/// mean/stddev across trials. Fills the caller's TripleTiming in place
+/// (TimingSummary owns a mutex, so it is neither copyable nor movable).
+template <typename FR, typename FG, typename FS>
+void time_triple(const Trial& t, int batch, FR&& ref_fn, FG&& gen_fn,
+                 FS&& spec_fn, TripleTiming& tt) {
   for (int i = 0; i < t.trials; ++i) {
-    pt.ref.add(timed_reps(t.reps, ref_fn));
-    pt.eng.add(timed_reps(t.reps, eng_fn));
+    tt.ref.add(timed_reps(t.reps, batch, ref_fn));
+    tt.gen.add(timed_reps(t.reps, batch, gen_fn));
+    tt.spec.add(timed_reps(t.reps, batch, spec_fn));
   }
 }
 
@@ -82,9 +113,10 @@ void fill_i8(Matrix<i8>& m, Rng& rng) {
 
 /// Appends the global metrics registry as flat "metrics.<name>" keys
 /// (histograms expand to .count/.p50/.p95). The kernel engine bumps a few
-/// counters (e.g. quant.requant_saturated_tiles) as it runs, so the
-/// --json output doubles as a registry smoke. bench_compare.py treats
-/// unknown keys as informational, so the committed baseline is unaffected.
+/// counters (e.g. quant.requant_saturated_tiles, dispatch.*) as it runs,
+/// so the --json output doubles as a registry smoke. bench_compare.py
+/// treats unknown keys as informational, so the committed baseline is
+/// unaffected.
 void append_registry_metrics(JsonWriter& json) {
   for (const auto& e : gptpu::metrics::MetricRegistry::global().snapshot()) {
     const std::string key = "metrics." + e.name;
@@ -113,26 +145,34 @@ usize count_mismatches(const Matrix<i8>& a, const Matrix<i8>& b) {
   return n;
 }
 
-/// Prints one comparison row and records reference/engine GOPS plus the
-/// speedup under `name` in the JSON sink. GOPS come from the per-side
-/// trial minima (same methodology as the committed baseline); the
-/// relative stddev across trials rides along as a noise indicator.
+/// Prints one comparison row and records reference/generic/specialized
+/// GOPS plus both speedups under `name` in the JSON sink. GOPS come from
+/// the per-side trial minima (same methodology as the committed
+/// baseline); the relative stddev across trials rides along as a noise
+/// indicator. `.engine_gops` / `.speedup` describe the specialized path
+/// -- the one instructions actually take -- keeping the key meaning of
+/// older baselines.
 void report(JsonWriter& json, const char* name, double ops,
-            const PairTiming& pt, usize mismatches, usize* total_mismatches) {
-  const double ref_s = pt.ref.min();
-  const double eng_s = pt.eng.min();
+            const TripleTiming& tt, usize mismatches,
+            usize* total_mismatches) {
+  const double ref_s = tt.ref.min();
+  const double gen_s = tt.gen.min();
+  const double spec_s = tt.spec.min();
   const double ref_gops = ops / ref_s / 1e9;
-  const double eng_gops = ops / eng_s / 1e9;
+  const double gen_gops = ops / gen_s / 1e9;
+  const double spec_gops = ops / spec_s / 1e9;
   std::printf(
-      "  %-24s reference %8.3f GOPS   engine %8.3f GOPS   %5.2fx  "
-      "(noise +/-%4.1f%%)%s\n",
-      name, ref_gops, eng_gops, ref_s / eng_s, pt.eng.rel_stddev() * 100,
-      mismatches != 0 ? "  MISMATCH" : "");
+      "  %-24s ref %8.3f  generic %8.3f  specialized %8.3f GOPS   "
+      "%5.2fx vs ref  %4.2fx vs generic  (noise +/-%4.1f%%)%s\n",
+      name, ref_gops, gen_gops, spec_gops, ref_s / spec_s, gen_s / spec_s,
+      tt.spec.rel_stddev() * 100, mismatches != 0 ? "  MISMATCH" : "");
   json.add(std::string(name) + ".reference_gops", ref_gops);
-  json.add(std::string(name) + ".engine_gops", eng_gops);
-  json.add(std::string(name) + ".speedup", ref_s / eng_s);
-  json.add(std::string(name) + ".reference_rel_stddev", pt.ref.rel_stddev());
-  json.add(std::string(name) + ".engine_rel_stddev", pt.eng.rel_stddev());
+  json.add(std::string(name) + ".generic_gops", gen_gops);
+  json.add(std::string(name) + ".engine_gops", spec_gops);
+  json.add(std::string(name) + ".speedup", ref_s / spec_s);
+  json.add(std::string(name) + ".specialized_speedup", gen_s / spec_s);
+  json.add(std::string(name) + ".reference_rel_stddev", tt.ref.rel_stddev());
+  json.add(std::string(name) + ".engine_rel_stddev", tt.spec.rel_stddev());
   *total_mismatches += mismatches;
 }
 
@@ -152,22 +192,39 @@ void bench_conv(JsonWriter& json, const char* name, usize size, usize ksz,
   const usize out_rows = size - ksz + 1;
   const usize out_cols = size - ksz + 1;
   Matrix<i8> ref_out(out_rows, out_cols * bank);
-  Matrix<i8> eng_out(out_rows, out_cols * bank);
-  PairTiming pt;
-  time_pair(
-      t,
+  Matrix<i8> gen_out(out_rows, out_cols * bank);
+  Matrix<i8> spec_out(out_rows, out_cols * bank);
+
+  KernelArgs ka;
+  ka.in0 = in.view();
+  ka.s_in0 = s_in;
+  ka.in1 = kernels.view();
+  ka.s_in1 = s_k;
+  ka.bank = bank;
+  ka.out_scale = out_scale;
+  ka.out = spec_out.view();
+  const u16 kid = KernelRegistry::resolve(isa::Opcode::kConv2D, in.shape(),
+                                          kernels.shape(), {1, 1}, bank, s_in,
+                                          s_k, out_scale, /*wide=*/false);
+
+  TripleTiming tt;
+  time_triple(
+      t, /*batch=*/1,
       [&] {
         kern::reference::conv2d(in.view(), s_in, kernels.view(), s_k, {1, 1},
                                 bank, out_scale, ref_out.view());
       },
       [&] {
         kern::conv2d(in.view(), s_in, kernels.view(), s_k, {1, 1}, bank,
-                     out_scale, eng_out.view());
+                     out_scale, gen_out.view());
       },
-      pt);
+      [&] { KernelRegistry::run(isa::Opcode::kConv2D, kid, ka); }, tt);
   const double ops =
       2.0 * static_cast<double>(out_rows * out_cols * ksz * ksz * bank);
-  report(json, name, ops, pt, count_mismatches(ref_out, eng_out), mismatches);
+  report(json, name, ops, tt,
+         count_mismatches(ref_out, gen_out) +
+             count_mismatches(ref_out, spec_out),
+         mismatches);
 }
 
 void bench_fc(JsonWriter& json, const char* name, usize size, const Trial& t,
@@ -182,21 +239,37 @@ void bench_fc(JsonWriter& json, const char* name, usize size, const Trial& t,
   const float out_scale =
       127.0f / (73.0f * 73.0f * std::sqrt(static_cast<float>(size)));
   Matrix<i8> ref_out(size, size);
-  Matrix<i8> eng_out(size, size);
-  PairTiming pt;
-  time_pair(
-      t,
+  Matrix<i8> gen_out(size, size);
+  Matrix<i8> spec_out(size, size);
+
+  KernelArgs ka;
+  ka.in0 = in.view();
+  ka.s_in0 = s_in;
+  ka.in1 = weights.view();
+  ka.s_in1 = s_w;
+  ka.out_scale = out_scale;
+  ka.out = spec_out.view();
+  const u16 kid = KernelRegistry::resolve(
+      isa::Opcode::kFullyConnected, in.shape(), weights.shape(), {1, 1}, 1,
+      s_in, s_w, out_scale, /*wide=*/false);
+
+  TripleTiming tt;
+  time_triple(
+      t, /*batch=*/1,
       [&] {
         kern::reference::fully_connected(in.view(), s_in, weights.view(), s_w,
                                          out_scale, ref_out.view());
       },
       [&] {
         kern::fully_connected(in.view(), s_in, weights.view(), s_w, out_scale,
-                              eng_out.view());
+                              gen_out.view());
       },
-      pt);
+      [&] { KernelRegistry::run(isa::Opcode::kFullyConnected, kid, ka); }, tt);
   const double ops = 2.0 * static_cast<double>(size * size * size);
-  report(json, name, ops, pt, count_mismatches(ref_out, eng_out), mismatches);
+  report(json, name, ops, tt,
+         count_mismatches(ref_out, gen_out) +
+             count_mismatches(ref_out, spec_out),
+         mismatches);
 }
 
 void bench_pairwise(JsonWriter& json, const char* name, isa::Opcode op,
@@ -207,24 +280,39 @@ void bench_pairwise(JsonWriter& json, const char* name, isa::Opcode op,
   fill_i8(a, rng);
   fill_i8(b, rng);
   Matrix<i8> ref_out(size, size);
-  Matrix<i8> eng_out(size, size);
+  Matrix<i8> gen_out(size, size);
+  Matrix<i8> spec_out(size, size);
   const float s_a = 8.0f;
   const float s_b = 5.0f;
   const float out_scale = op == isa::Opcode::kMul ? 12.0f : 3.0f;
-  PairTiming pt;
-  time_pair(
-      t,
+
+  KernelArgs ka;
+  ka.in0 = a.view();
+  ka.s_in0 = s_a;
+  ka.in1 = b.view();
+  ka.s_in1 = s_b;
+  ka.out_scale = out_scale;
+  ka.out = spec_out.view();
+  const u16 kid = KernelRegistry::resolve(op, a.shape(), b.shape(), {1, 1}, 1,
+                                          s_a, s_b, out_scale, /*wide=*/false);
+
+  TripleTiming tt;
+  time_triple(
+      t, /*batch=*/16,
       [&] {
         kern::reference::pairwise(op, a.view(), s_a, b.view(), s_b, out_scale,
                                   ref_out.view());
       },
       [&] {
         kern::pairwise(op, a.view(), s_a, b.view(), s_b, out_scale,
-                       eng_out.view());
+                       gen_out.view());
       },
-      pt);
+      [&] { KernelRegistry::run(op, kid, ka); }, tt);
   const double ops = static_cast<double>(size * size);
-  report(json, name, ops, pt, count_mismatches(ref_out, eng_out), mismatches);
+  report(json, name, ops, tt,
+         count_mismatches(ref_out, gen_out) +
+             count_mismatches(ref_out, spec_out),
+         mismatches);
 }
 
 void bench_elementwise(JsonWriter& json, const char* name, isa::Opcode op,
@@ -233,20 +321,52 @@ void bench_elementwise(JsonWriter& json, const char* name, isa::Opcode op,
   Matrix<i8> in(size, size);
   fill_i8(in, rng);
   Matrix<i8> ref_out(size, size);
-  Matrix<i8> eng_out(size, size);
+  Matrix<i8> gen_out(size, size);
+  Matrix<i8> spec_out(size, size);
   const float s_in = 32.0f;
   const float out_scale = 100.0f;
-  PairTiming pt;
-  time_pair(
-      t,
+
+  KernelArgs ka;
+  ka.in0 = in.view();
+  ka.s_in0 = s_in;
+  ka.out_scale = out_scale;
+  ka.out = spec_out.view();
+  const u16 kid = KernelRegistry::resolve(op, in.shape(), {}, {1, 1}, 1, s_in,
+                                          1.0f, out_scale, /*wide=*/false);
+
+  TripleTiming tt;
+  time_triple(
+      t, /*batch=*/16,
       [&] {
         kern::reference::elementwise(op, in.view(), s_in, out_scale,
                                      ref_out.view());
       },
-      [&] { kern::elementwise(op, in.view(), s_in, out_scale, eng_out.view()); },
-      pt);
+      [&] {
+        kern::elementwise(op, in.view(), s_in, out_scale, gen_out.view());
+      },
+      [&] { KernelRegistry::run(op, kid, ka); }, tt);
   const double ops = static_cast<double>(size * size);
-  report(json, name, ops, pt, count_mismatches(ref_out, eng_out), mismatches);
+  report(json, name, ops, tt,
+         count_mismatches(ref_out, gen_out) +
+             count_mismatches(ref_out, spec_out),
+         mismatches);
+}
+
+/// dispatch.specialized_hits / (hits + generic_fallback) from the global
+/// metric registry. Forced-generic runs are counted separately and do
+/// not dilute this.
+double dispatch_hit_rate() {
+  double hits = 0;
+  double fallback = 0;
+  for (const auto& e : gptpu::metrics::MetricRegistry::global().snapshot()) {
+    if (e.name == "dispatch.specialized_hits") {
+      hits = static_cast<double>(e.counter);
+    } else if (e.name == "dispatch.generic_fallback") {
+      fallback = static_cast<double>(e.counter);
+    }
+  }
+  const double total = hits + fallback;
+  return total > 0 ? hits / total : 0.0;
 }
 
 }  // namespace
@@ -263,7 +383,7 @@ int main(int argc, char** argv) {
 
   gptpu::bench::header(
       "Kernel engine throughput",
-      "vectorized engine vs kernels::reference (scalar oracle); "
+      "scalar reference vs generic engine vs specialized registry dispatch; "
       "min over repeated trials; wall clock, not modelled time");
 
   bench_conv(json, "conv2d_128x128_k3", 128, 3, 1, t, &mismatches);
@@ -280,6 +400,10 @@ int main(int argc, char** argv) {
   bench_elementwise(json, "elementwise_tanh_128", gptpu::isa::Opcode::kTanh,
                     128, t, &mismatches);
 
+  const double hit_rate = dispatch_hit_rate();
+  json.add("dispatch.hit_rate", hit_rate);
+  std::printf("\n  dispatch hit rate: %.1f%% specialized\n", hit_rate * 100);
+
   append_registry_metrics(json);
 
   if (!json.write(args.json_path)) {
@@ -292,6 +416,14 @@ int main(int argc, char** argv) {
                  "bench_kernels: %zu engine/reference mismatches -- the "
                  "engine is NOT bit-exact\n",
                  mismatches);
+    return 1;
+  }
+  if (hit_rate < 0.90) {
+    std::fprintf(stderr,
+                 "bench_kernels: only %.1f%% of registry dispatches hit a "
+                 "specialized variant (want >= 90%%); plan-time resolution "
+                 "regressed\n",
+                 hit_rate * 100);
     return 1;
   }
   return 0;

@@ -16,6 +16,18 @@ the thresholds are calibrated per metric class):
     deterministic up to problem size: fail when it drops more than
     GRAPH_SPEEDUP_TOLERANCE below baseline, or below the
     GRAPH_SPEEDUP_FLOOR acceptance bar, or goes missing.
+  * kernel-class ``*.speedup`` metrics (BENCH_kernels baselines) -- the
+    kernel bench times fixed shapes with min-over-trials batched windows,
+    but the --quick smoke (3 trials) still swings by ~+/-25% on a shared
+    1-core box, so the per-row gate is calibrated for collapse-class
+    regressions only: hard-fail any row more than
+    KERNEL_SPEEDUP_TOLERANCE below its baseline (a disabled
+    specialization drops the big rows far past that; e.g. tanh loses its
+    in-register LUT and falls ~85%). Subtler dispatch regressions are
+    caught inside the bench binary itself, which hard-fails on any
+    reference mismatch or a dispatch hit rate below 90%. The baseline's
+    ``*.specialized_speedup`` keys (the specialization registry's win
+    over the generic engine) must also still be emitted.
   * other ``*.speedup`` metrics -- wall clock: fail only when the speedup
     both collapses by more than WALL_COLLAPSE_FRACTION and lands below
     parity (the optimization now actively hurts). Size shifts between the
@@ -58,6 +70,13 @@ GRAPH_SPEEDUP_KEY = "runtime.backprop_graph.speedup"
 GRAPH_SPEEDUP_TOLERANCE = 0.15
 GRAPH_SPEEDUP_FLOOR = 1.3
 WALL_COLLAPSE_FRACTION = 0.60
+KERNEL_SPEEDUP_TOLERANCE = 0.30
+SPECIALIZED_SUFFIX = ".specialized_speedup"
+
+# Committed baseline rows with a per-trial dispersion above this are too
+# noisy to gate against honestly; warn so the baseline gets regenerated
+# on a quiet machine.
+REL_STDDEV_WARN = 0.1
 
 # Armed-but-idle flight-recorder cost (runtime.flight_overhead.*,
 # docs/OBSERVABILITY.md): an absolute bar, not a baseline delta -- the
@@ -81,9 +100,16 @@ def load(path: Path) -> dict:
     return data
 
 
-def gate_failures(base: dict, new: dict) -> list[str]:
+def gate_failures(base: dict, new: dict, kernels_class: bool = False) -> list[str]:
     """Regressions beyond the noise threshold (see module docstring)."""
     failures = []
+    if kernels_class:
+        for key in sorted(base):
+            if key.endswith(SPECIALIZED_SUFFIX) and key not in new:
+                failures.append(
+                    f"{key}: missing from the new results (the kernel bench "
+                    "stopped emitting the specialization A/B comparison)"
+                )
     if GRAPH_SPEEDUP_KEY in base:
         if GRAPH_SPEEDUP_KEY not in new:
             failures.append(
@@ -109,7 +135,15 @@ def gate_failures(base: dict, new: dict) -> list[str]:
         b, n = float(base[key]), float(new[key])
         if b <= 0:
             continue
-        if n < b * (1.0 - WALL_COLLAPSE_FRACTION) and n < 1.0:
+        if kernels_class:
+            if n < b * (1.0 - KERNEL_SPEEDUP_TOLERANCE):
+                failures.append(
+                    f"{key}: {b:.2f}x -> {n:.2f}x (more than "
+                    f"{KERNEL_SPEEDUP_TOLERANCE:.0%} below the kernel-bench "
+                    "baseline; quick-mode noise stays well inside that, so "
+                    "a specialized variant likely collapsed)"
+                )
+        elif n < b * (1.0 - WALL_COLLAPSE_FRACTION) and n < 1.0:
             failures.append(
                 f"{key}: {b:.2f}x -> {n:.2f}x (collapsed more than "
                 f"{WALL_COLLAPSE_FRACTION:.0%} and below parity)"
@@ -170,6 +204,17 @@ def main(argv: list[str]) -> int:
             f"{HIGHLIGHT_FRACTION:.0%}; expected on noisy/shared machines, "
             "worth a look if it reproduces on quiet hardware"
         )
+    noisy = sorted(
+        k
+        for k, v in base.items()
+        if k.endswith("_rel_stddev") and float(v) > REL_STDDEV_WARN
+    )
+    for key in noisy:
+        print(
+            f"bench_compare: WARNING: committed baseline {key} = "
+            f"{float(base[key]):.3f} exceeds {REL_STDDEV_WARN}; the baseline "
+            "row was measured under noise -- regenerate it on a quiet machine"
+        )
     if FLIGHT_OVERHEAD_KEY in new:
         off = float(new.get("runtime.flight_overhead.off_ms", 0.0))
         armed = float(new.get("runtime.flight_overhead.armed_ms", 0.0))
@@ -189,7 +234,7 @@ def main(argv: list[str]) -> int:
             "layer must be a no-op when no fault fires"
         )
 
-    failures = gate_failures(base, new)
+    failures = gate_failures(base, new, kernels_class="kernels" in base_path.name.lower())
     if failures:
         for f in failures:
             print(f"bench_compare: FAIL: {f}", file=sys.stderr)

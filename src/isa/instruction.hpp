@@ -122,6 +122,14 @@ struct Instruction {
   /// The head's base opcode for a fused instruction (add/sub/mul or
   /// tanh/ReLu); ignored otherwise.
   Opcode head_op = Opcode::kAdd;
+
+  /// Kernel-registry table index resolved at plan-dispatch time
+  /// (sim::KernelRegistry; fused instructions bypass the registry). A raw
+  /// u16 rather than the registry's own types because isa cannot depend
+  /// on sim; 0xffff (KernelRegistry::kUnresolved) means "classify at
+  /// execute", which is also the correct behavior for hand-built
+  /// instructions in tests.
+  u16 kernel_id = 0xffff;
 };
 
 /// Number of int8 multiply-accumulate operations an instruction performs.

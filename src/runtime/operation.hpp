@@ -120,6 +120,13 @@ struct InstructionPlan {
   u64 in0_key = 0;
   u64 in1_key = 0;
 
+  /// sim::KernelRegistry table index, resolved once at dispatch from the
+  /// tile shapes and scales and copied onto the emitted isa::Instruction
+  /// so Device::execute jumps straight to the pre-selected kernel
+  /// variant. 0xffff = unresolved (fused plans, which bypass the
+  /// registry); re-resolution on a fault re-dispatch is idempotent.
+  u16 kernel_id = 0xffff;
+
   // Host-side result routing.
   usize out_row0 = 0;
   usize out_col0 = 0;

@@ -15,6 +15,7 @@
 #include "common/thread_pool.hpp"
 #include "isa/model_format.hpp"
 #include "runtime/blackbox.hpp"
+#include "sim/kernel_registry.hpp"
 #include "sim/kernels.hpp"
 
 namespace gptpu::runtime {
@@ -721,6 +722,18 @@ Seconds Runtime::dispatch_plan(OpContext& ctx, const InstructionPlan& plan_in,
   plan.in0_key = tile_key(plan.in0);
   if (plan.in1.valid()) plan.in1_key = tile_key(plan.in1);
 
+  // Kernel-registry resolution, once per dispatch: the executing worker
+  // copies the id onto the instruction so Device::execute jumps straight
+  // to the pre-selected variant. Fused chains bypass the registry.
+  if (!isa::is_fused(plan.op)) {
+    plan.kernel_id = sim::KernelRegistry::resolve(
+        plan.op, plan.in0.shape, plan.in1.valid() ? plan.in1.shape : Shape2D{},
+        plan.stride, plan.kernel_bank, plan.in0.scale,
+        plan.in1.valid() ? plan.in1.scale : 1.0f, plan.out_scale,
+        plan.wide_output &&
+            isa::op_class(plan.op) == isa::OpClass::kArithmetic);
+  }
+
   std::array<Scheduler::TileNeed, 2 + isa::kMaxFusedStages> needs{};
   usize n_needs = 0;
   needs[n_needs++] = {plan.in0_key, plan.in0.bytes()};
@@ -1240,6 +1253,7 @@ Status Runtime::try_execute_plan(DeviceState& ds, const WorkItem& item,
   instr.task_id = ctx.req->task_id;
   instr.trace_id = plan.trace_id;
   instr.quant = ctx.req->quant;
+  instr.kernel_id = plan.kernel_id;
 
   // Fused chains: stage each folded-in stage's operand tile (through the
   // same cache/affinity machinery as in0/in1) and carry the per-stage

@@ -7,6 +7,7 @@
 #include "common/flight_recorder.hpp"
 #include "common/span_profiler.hpp"
 #include "sim/fault_injector.hpp"
+#include "sim/kernel_registry.hpp"
 #include "sim/kernels.hpp"
 
 namespace gptpu::sim {
@@ -194,75 +195,50 @@ Result<Device::Completion> Device::execute(const Instruction& instr,
     MatrixView<i32> wout{reinterpret_cast<i32*>(out_rec.data.data()),
                          out_shape};
     const MatrixView<const i8> a{in0.data.data(), in0.shape};
-    switch (instr.op) {
-      case Opcode::kConv2D:
-        if (wide) {
-          kernels::conv2d_wide(a, {in1->data.data(), in1->shape},
-                               instr.stride, instr.kernel_bank, wout,
-                               compute_pool_);
-        } else {
-          kernels::conv2d(a, in0.scale, {in1->data.data(), in1->shape},
-                          in1->scale, instr.stride, instr.kernel_bank,
-                          instr.out_scale, out, compute_pool_);
-        }
-        break;
-      case Opcode::kFullyConnected:
-        if (wide) {
-          kernels::fully_connected_wide(a, {in1->data.data(), in1->shape},
-                                        wout, compute_pool_);
-        } else {
-          kernels::fully_connected(a, in0.scale,
-                                   {in1->data.data(), in1->shape},
-                                   in1->scale, instr.out_scale, out,
-                                   compute_pool_);
-        }
-        break;
-      case Opcode::kAdd:
-      case Opcode::kSub:
-      case Opcode::kMul:
-        kernels::pairwise(instr.op, a, in0.scale,
-                          {in1->data.data(), in1->shape}, in1->scale,
-                          instr.out_scale, out, compute_pool_);
-        break;
-      case Opcode::kTanh:
-      case Opcode::kReLu:
-        kernels::elementwise(instr.op, a, in0.scale, instr.out_scale, out,
-                             compute_pool_);
-        break;
-      case Opcode::kMean:
-      case Opcode::kMax:
-        out(0, 0) = kernels::reduce(instr.op, a, in0.scale, instr.out_scale);
-        break;
-      case Opcode::kCrop:
-        kernels::crop(a, in0.scale, instr.window, instr.out_scale, out);
-        break;
-      case Opcode::kExt:
-        kernels::ext(a, in0.scale, instr.out_scale, out);
-        break;
-      case Opcode::kFusedPairwise:
-      case Opcode::kFusedElementwise: {
-        std::array<kernels::FusedStageArg, isa::kMaxFusedStages> stages{};
-        for (usize s = 0; s < instr.fused_stage_count; ++s) {
-          const isa::FusedStage& st = instr.fused_stages[s];
-          kernels::FusedStageArg& arg = stages[s];
-          arg.op = st.op;
-          arg.swapped = st.swapped;
-          arg.in_scale = st.in_scale;
-          arg.out_scale = st.out_scale;
-          if (st.operand.valid()) {
-            const TensorRecord& rec = record(st.operand);
-            arg.operand = {rec.data.data(), rec.shape};
-            arg.operand_scale = rec.scale;
-          }
-        }
-        kernels::fused_chain(
-            instr.head_op, a, in0.scale,
-            in1 != nullptr ? MatrixView<const i8>{in1->data.data(), in1->shape}
-                           : MatrixView<const i8>{},
-            in1 != nullptr ? in1->scale : 1.0f, instr.head_scale,
-            {stages.data(), instr.fused_stage_count}, out, compute_pool_);
-        break;
+    if (!isa::is_fused(instr.op)) {
+      // Every unfused op dispatches through the kernel registry: the
+      // plan-time `kernel_id` selects a specialized fixed-shape variant
+      // when one matches, and falls back to the generic engine through
+      // the same table otherwise.
+      KernelArgs ka;
+      ka.in0 = a;
+      ka.s_in0 = in0.scale;
+      if (in1 != nullptr) {
+        ka.in1 = {in1->data.data(), in1->shape};
+        ka.s_in1 = in1->scale;
       }
+      ka.stride = instr.stride;
+      ka.window = instr.window;
+      ka.bank = instr.kernel_bank;
+      ka.out_scale = instr.out_scale;
+      ka.wide = wide;
+      ka.out = out;
+      ka.wide_out = wout;
+      ka.pool = compute_pool_;
+      KernelRegistry::run(instr.op, instr.kernel_id, ka);
+    } else {
+      // Fused chain instructions keep their dedicated path: their shape
+      // work happens per stage inside fused_chain.
+      std::array<kernels::FusedStageArg, isa::kMaxFusedStages> stages{};
+      for (usize s = 0; s < instr.fused_stage_count; ++s) {
+        const isa::FusedStage& st = instr.fused_stages[s];
+        kernels::FusedStageArg& arg = stages[s];
+        arg.op = st.op;
+        arg.swapped = st.swapped;
+        arg.in_scale = st.in_scale;
+        arg.out_scale = st.out_scale;
+        if (st.operand.valid()) {
+          const TensorRecord& rec = record(st.operand);
+          arg.operand = {rec.data.data(), rec.shape};
+          arg.operand_scale = rec.scale;
+        }
+      }
+      kernels::fused_chain(
+          instr.head_op, a, in0.scale,
+          in1 != nullptr ? MatrixView<const i8>{in1->data.data(), in1->shape}
+                         : MatrixView<const i8>{},
+          in1 != nullptr ? in1->scale : 1.0f, instr.head_scale,
+          {stages.data(), instr.fused_stage_count}, out, compute_pool_);
     }
   }
   return Completion{out_id, done};

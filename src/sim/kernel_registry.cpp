@@ -1,0 +1,374 @@
+#include "sim/kernel_registry.hpp"
+
+#include <atomic>
+
+#include "common/metrics.hpp"
+#include "sim/kernels.hpp"
+
+// gptpu-analyze: deterministic-file
+//
+// Dispatch bookkeeping only: table construction, integer shape
+// classification and counter bumps. All floating-point scale-regime math
+// lives in kernels.cpp (classify_scale_config) so it is compiled with
+// the kernel build flags.
+
+namespace gptpu::sim {
+
+using isa::OpClass;
+using isa::Opcode;
+
+namespace {
+
+std::atomic<bool> g_force_generic{false};
+
+/// The generic engine behind every fallback cell: exactly the dispatch
+/// Device::execute performed before the registry existed.
+GPTPU_VIRTUAL_DOMAIN
+void run_generic(Opcode op, const KernelArgs& a) {
+  switch (op) {
+    case Opcode::kConv2D:
+      if (a.wide) {
+        kernels::conv2d_wide(a.in0, a.in1, a.stride, a.bank, a.wide_out,
+                             a.pool);
+      } else {
+        kernels::conv2d(a.in0, a.s_in0, a.in1, a.s_in1, a.stride, a.bank,
+                        a.out_scale, a.out, a.pool);
+      }
+      break;
+    case Opcode::kFullyConnected:
+      if (a.wide) {
+        kernels::fully_connected_wide(a.in0, a.in1, a.wide_out, a.pool);
+      } else {
+        kernels::fully_connected(a.in0, a.s_in0, a.in1, a.s_in1, a.out_scale,
+                                 a.out, a.pool);
+      }
+      break;
+    case Opcode::kAdd:
+    case Opcode::kSub:
+    case Opcode::kMul:
+      kernels::pairwise(op, a.in0, a.s_in0, a.in1, a.s_in1, a.out_scale,
+                        a.out, a.pool);
+      break;
+    case Opcode::kTanh:
+    case Opcode::kReLu:
+      kernels::elementwise(op, a.in0, a.s_in0, a.out_scale, a.out, a.pool);
+      break;
+    case Opcode::kMean:
+    case Opcode::kMax:
+      a.out(0, 0) = kernels::reduce(op, a.in0, a.s_in0, a.out_scale);
+      break;
+    case Opcode::kCrop:
+      kernels::crop(a.in0, a.s_in0, a.window, a.out_scale, a.out);
+      break;
+    case Opcode::kExt:
+      kernels::ext(a.in0, a.s_in0, a.out_scale, a.out);
+      break;
+    default:
+      throw InvalidArgument("kernel_registry: fused ops bypass the registry");
+  }
+}
+
+/// Conv shape classes as (input extent, kernel extent) pairs.
+struct ConvClass {
+  ShapeClass cls;
+  usize in;
+  usize k;
+};
+constexpr ConvClass kConvClasses[] = {
+    {ShapeClass::kConv128K3, 128, 3}, {ShapeClass::kConv128K5, 128, 5},
+    {ShapeClass::kConv128K7, 128, 7}, {ShapeClass::kConv64K3, 64, 3},
+    {ShapeClass::kConv64K5, 64, 5},
+};
+
+/// Shape-only classification from plan metadata (no views; staged tiles
+/// are dense so contiguity holds by construction).
+ShapeClass classify_shape(Opcode op, Shape2D in0, Shape2D in1,
+                          isa::Stride stride, u16 bank) {
+  switch (op_class(op)) {
+    case OpClass::kArithmetic:
+      if (op == Opcode::kConv2D) {
+        if (stride.x != 1 || stride.y != 1 || bank == 0) {
+          return ShapeClass::kGeneric;
+        }
+        for (const ConvClass& c : kConvClasses) {
+          if (in0.rows == c.in && in0.cols == c.in && in1.cols == c.k &&
+              in1.rows == c.k * bank) {
+            return c.cls;
+          }
+        }
+        return ShapeClass::kGeneric;
+      }
+      // FullyConnected: the inner dimension and the weight tile must sit
+      // on the grid; the row count (batch) stays runtime-sized.
+      if (in0.cols == 128 && in1.rows == 128 && in1.cols == 128) {
+        return ShapeClass::kTile128;
+      }
+      if (in0.cols == 64 && in1.rows == 64 && in1.cols == 64) {
+        return ShapeClass::kTile64;
+      }
+      return ShapeClass::kGeneric;
+    case OpClass::kPairwise:
+      // Column width on the grid is what the unrolled span loops key on;
+      // the row count stays runtime-sized (edge bands of a tiled matrix
+      // dispatch to the same variant as full tiles).
+      if (in0.cols == 128 && in1 == in0) return ShapeClass::kTile128;
+      if (in0.cols == 64 && in1 == in0) return ShapeClass::kTile64;
+      return ShapeClass::kGeneric;
+    case OpClass::kElementwise:
+      if (in0.cols == 128) return ShapeClass::kTile128;
+      if (in0.cols == 64) return ShapeClass::kTile64;
+      return ShapeClass::kGeneric;
+    default:
+      // Layout and matrix-wise ops stay on the generic engine: they are
+      // bandwidth-bound copies / reductions with no unrollable core.
+      return ShapeClass::kGeneric;
+  }
+}
+
+/// Execute-time check that the actual operand views still satisfy the
+/// planned shape class. Integer compares only; returns false on any
+/// doubt so run() demotes to the generic entry.
+bool shape_matches(ShapeClass sc, Opcode op, const KernelArgs& a) {
+  switch (sc) {
+    case ShapeClass::kGeneric:
+      return true;
+    case ShapeClass::kTile128:
+    case ShapeClass::kTile64: {
+      const usize n = sc == ShapeClass::kTile128 ? 128 : 64;
+      switch (op_class(op)) {
+        case OpClass::kArithmetic: {  // FullyConnected
+          if (op != Opcode::kFullyConnected) return false;
+          if (a.in0.cols() != n || !a.in0.contiguous()) return false;
+          if (a.in1.rows() != n || a.in1.cols() != n || !a.in1.contiguous()) {
+            return false;
+          }
+          if (a.wide) {
+            return a.wide_out.rows() == a.in0.rows() &&
+                   a.wide_out.cols() == n && a.wide_out.contiguous();
+          }
+          return a.out.rows() == a.in0.rows() && a.out.cols() == n &&
+                 a.out.contiguous();
+        }
+        case OpClass::kPairwise:
+          return a.in0.cols() == n && a.in1.rows() == a.in0.rows() &&
+                 a.in1.cols() == n && a.out.rows() == a.in0.rows() &&
+                 a.out.cols() == n && a.in0.contiguous() &&
+                 a.in1.contiguous() && a.out.contiguous();
+        case OpClass::kElementwise:
+          return a.in0.cols() == n && a.out.rows() == a.in0.rows() &&
+                 a.out.cols() == n && a.in0.contiguous() &&
+                 a.out.contiguous();
+        default:
+          return false;
+      }
+    }
+    case ShapeClass::kConv128K3:
+    case ShapeClass::kConv128K5:
+    case ShapeClass::kConv128K7:
+    case ShapeClass::kConv64K3:
+    case ShapeClass::kConv64K5: {
+      if (op != Opcode::kConv2D) return false;
+      usize in = 0;
+      usize k = 0;
+      for (const ConvClass& c : kConvClasses) {
+        if (c.cls == sc) {
+          in = c.in;
+          k = c.k;
+        }
+      }
+      if (a.stride.x != 1 || a.stride.y != 1 || a.bank == 0) return false;
+      if (a.in0.rows() != in || a.in0.cols() != in || !a.in0.contiguous()) {
+        return false;
+      }
+      if (a.in1.cols() != k || a.in1.rows() != k * a.bank ||
+          !a.in1.contiguous()) {
+        return false;
+      }
+      const usize out_n = in - k + 1;
+      if (a.wide) {
+        return a.wide_out.rows() == out_n &&
+               a.wide_out.cols() == out_n * a.bank && a.wide_out.contiguous();
+      }
+      return a.out.rows() == out_n && a.out.cols() == out_n * a.bank &&
+             a.out.contiguous();
+    }
+  }
+  return false;
+}
+
+struct DispatchCounters {
+  metrics::Counter& hits;
+  metrics::Counter& fallback;
+  metrics::Counter& forced;
+};
+
+DispatchCounters& counters() {
+  static DispatchCounters c{
+      metrics::MetricRegistry::global().counter("dispatch.specialized_hits"),
+      metrics::MetricRegistry::global().counter("dispatch.generic_fallback"),
+      metrics::MetricRegistry::global().counter("dispatch.forced_generic"),
+  };
+  return c;
+}
+
+}  // namespace
+
+u16 KernelRegistry::id_of(KernelKey key) {
+  const usize op = static_cast<usize>(key.opcode);
+  const usize sc = static_cast<usize>(key.shape_class);
+  const usize cfg = static_cast<usize>(key.scale_config);
+  GPTPU_CHECK(op < isa::kNumOpcodes && sc < kNumShapeClasses &&
+                  cfg < kNumScaleConfigs,
+              "kernel_registry: key out of range");
+  return static_cast<u16>((op * kNumShapeClasses + sc) * kNumScaleConfigs +
+                          cfg);
+}
+
+KernelKey KernelRegistry::key_of(u16 id) {
+  GPTPU_CHECK(id < kTableSize, "kernel_registry: id out of range");
+  KernelKey key;
+  key.scale_config = static_cast<ScaleConfig>(id % kNumScaleConfigs);
+  key.shape_class =
+      static_cast<ShapeClass>((id / kNumScaleConfigs) % kNumShapeClasses);
+  key.opcode =
+      static_cast<Opcode>(id / (kNumScaleConfigs * kNumShapeClasses));
+  return key;
+}
+
+KernelRegistry::KernelRegistry() {
+  // Every cell starts on the generic engine; nonsensical combinations
+  // (e.g. a conv shape class under kTanh) simply never classify, but
+  // still resolve to a callable entry so the table is total.
+  for (Opcode op : isa::kAllOpcodes) {
+    for (usize sc = 0; sc < kNumShapeClasses; ++sc) {
+      for (usize cfg = 0; cfg < kNumScaleConfigs; ++cfg) {
+        KernelEntry& e = table_[id_of({op, static_cast<ShapeClass>(sc),
+                                       static_cast<ScaleConfig>(cfg)})];
+        e.fn = &run_generic;
+        e.specialized = false;
+        e.variant = "generic";
+      }
+    }
+  }
+
+  // Specialized variants recompute their requant plans from the actual
+  // scales, so one function serves every scale regime of its shape
+  // class (the wide/narrow split happens on args.wide inside).
+  const auto set = [this](Opcode op, ShapeClass sc, KernelFn fn,
+                          const char* variant) {
+    for (usize cfg = 0; cfg < kNumScaleConfigs; ++cfg) {
+      KernelEntry& e =
+          table_[id_of({op, sc, static_cast<ScaleConfig>(cfg)})];
+      e.fn = fn;
+      e.specialized = true;
+      e.variant = variant;
+    }
+  };
+  set(Opcode::kConv2D, ShapeClass::kConv128K3, &kernels::spec::conv2d_128_k3,
+      "conv2d_128_k3");
+  set(Opcode::kConv2D, ShapeClass::kConv128K5, &kernels::spec::conv2d_128_k5,
+      "conv2d_128_k5");
+  set(Opcode::kConv2D, ShapeClass::kConv128K7, &kernels::spec::conv2d_128_k7,
+      "conv2d_128_k7");
+  set(Opcode::kConv2D, ShapeClass::kConv64K3, &kernels::spec::conv2d_64_k3,
+      "conv2d_64_k3");
+  set(Opcode::kConv2D, ShapeClass::kConv64K5, &kernels::spec::conv2d_64_k5,
+      "conv2d_64_k5");
+  set(Opcode::kFullyConnected, ShapeClass::kTile128,
+      &kernels::spec::fully_connected_128, "fully_connected_128");
+  set(Opcode::kFullyConnected, ShapeClass::kTile64,
+      &kernels::spec::fully_connected_64, "fully_connected_64");
+  for (Opcode op : {Opcode::kAdd, Opcode::kSub, Opcode::kMul}) {
+    set(op, ShapeClass::kTile128, &kernels::spec::pairwise_128,
+        "pairwise_128");
+    set(op, ShapeClass::kTile64, &kernels::spec::pairwise_64, "pairwise_64");
+  }
+  for (Opcode op : {Opcode::kTanh, Opcode::kReLu}) {
+    set(op, ShapeClass::kTile128, &kernels::spec::elementwise_128,
+        "elementwise_128");
+    set(op, ShapeClass::kTile64, &kernels::spec::elementwise_64,
+        "elementwise_64");
+  }
+}
+
+const KernelRegistry& KernelRegistry::instance() {
+  static KernelRegistry reg;
+  return reg;
+}
+
+const KernelEntry& KernelRegistry::entry(KernelKey key) const {
+  return table_[id_of(key)];
+}
+
+const KernelEntry& KernelRegistry::entry_at(u16 id) const {
+  GPTPU_CHECK(id < kTableSize, "kernel_registry: id out of range");
+  return table_[id];
+}
+
+KernelKey KernelRegistry::classify(Opcode op, const KernelArgs& args) {
+  KernelKey key;
+  key.opcode = op;
+  key.shape_class =
+      classify_shape(op, args.in0.shape(), args.in1.shape(), args.stride,
+                     args.bank);
+  // Tile classes also require contiguity, which plan metadata guarantees
+  // but an arbitrary view may not: verify against the actual views.
+  if (key.shape_class != ShapeClass::kGeneric &&
+      !shape_matches(key.shape_class, op, args)) {
+    key.shape_class = ShapeClass::kGeneric;
+  }
+  key.scale_config = kernels::classify_scale_config(op, args.s_in0, args.s_in1,
+                                                    args.out_scale, args.wide);
+  return key;
+}
+
+u16 KernelRegistry::resolve(Opcode op, Shape2D in0, Shape2D in1,
+                            isa::Stride stride, u16 bank, float s_in0,
+                            float s_in1, float out_scale, bool wide) {
+  KernelKey key;
+  key.opcode = op;
+  key.shape_class = classify_shape(op, in0, in1, stride, bank);
+  key.scale_config =
+      kernels::classify_scale_config(op, s_in0, s_in1, out_scale, wide);
+  return id_of(key);
+}
+
+void KernelRegistry::run(Opcode op, u16 kernel_id, const KernelArgs& args) {
+  const KernelRegistry& reg = instance();
+  DispatchCounters& c = counters();
+  if (g_force_generic.load(std::memory_order_relaxed)) {
+    c.forced.add(1);
+    run_generic(op, args);
+    return;
+  }
+  u16 id = kernel_id;
+  if (id >= kTableSize || key_of(id).opcode != op) {
+    id = id_of(classify(op, args));
+  } else {
+    // Trust-but-verify: the plan-time class must still describe the
+    // actual views (shapes can legitimately drift, e.g. model padding).
+    const KernelKey key = key_of(id);
+    if (reg.table_[id].specialized &&
+        (!shape_matches(key.shape_class, op, args) ||
+         (key.scale_config == ScaleConfig::kWide) != args.wide)) {
+      id = id_of(classify(op, args));
+    }
+  }
+  const KernelEntry& e = reg.table_[id];
+  if (e.specialized) {
+    c.hits.add(1);
+  } else {
+    c.fallback.add(1);
+  }
+  e.fn(op, args);
+}
+
+void KernelRegistry::set_force_generic(bool on) {
+  g_force_generic.store(on, std::memory_order_relaxed);
+}
+
+bool KernelRegistry::force_generic() {
+  return g_force_generic.load(std::memory_order_relaxed);
+}
+
+}  // namespace gptpu::sim

@@ -1,0 +1,194 @@
+// Kernel-specialization registry: plan-time dispatch to fixed-shape
+// kernel variants (docs/PERFORMANCE.md, "Kernel specialization &
+// dispatch").
+//
+// The functional engine in sim/kernels.cpp is shape/stride/scale
+// polymorphic: every instruction re-derives strides, requant plans and
+// loop bounds per call. But the device's sweet-spot tiles are fixed --
+// 128x128 and 64x64 (isa::optimal_tile) -- so the hot path executes the
+// same handful of (opcode, shape, scale regime) combinations over and
+// over. This registry resolves that combination ONCE, at plan-dispatch
+// time, into a KernelKey{opcode, shape_class, scale_config} and caches
+// the resulting table index on the InstructionPlan / isa::Instruction
+// (`kernel_id`), so Device::execute jumps straight to a pre-selected
+// variant with compile-time-constant extents.
+//
+// Correctness contract: every specialized variant is bit-exact against
+// kernels::reference because it shares the same quant::Requant /
+// pairwise plan construction as the generic engine
+// (tests/test_kernels_equivalence.cpp runs the whole property suite in
+// both dispatch modes). Shapes or scale regimes the table has no
+// specialization for resolve to the generic engine through the same
+// table -- no behavior change off the hot path. run() re-verifies the
+// cached class against the actual operand views with integer compares
+// before trusting it, so a stale or wrong plan id degrades to generic
+// dispatch instead of corrupting results.
+//
+// Observability: `dispatch.specialized_hits` / `dispatch.generic_fallback`
+// count dispatch decisions in the MetricRegistry (deterministic per
+// program); `dispatch.forced_generic` counts runs under the test-only
+// force_generic override so A/B runs do not pollute the hit rate.
+//
+// gptpu-analyze: deterministic-file
+#pragma once
+
+#include <array>
+
+#include "common/domain_annotations.hpp"
+#include "common/matrix.hpp"
+#include "isa/instruction.hpp"
+#include "isa/opcode.hpp"
+
+namespace gptpu {
+class ThreadPool;
+}  // namespace gptpu
+
+namespace gptpu::sim {
+
+/// Shape classes the table distinguishes. Tile classes mean "every
+/// operand sits on the named square grid and is contiguous"; conv
+/// classes additionally fix the kernel extent (any bank) and require
+/// unit stride. Everything else is kGeneric.
+enum class ShapeClass : u8 {
+  kGeneric = 0,  // no specialization; generic engine
+  kTile128,      // 128x128 contiguous tiles (pairwise/elementwise/FC)
+  kTile64,       // 64x64 contiguous tiles
+  kConv128K3,    // conv2d: 128x128 input, 3x3 kernel, stride 1
+  kConv128K5,    // conv2d: 128x128 input, 5x5 kernel, stride 1
+  kConv128K7,    // conv2d: 128x128 input, 7x7 kernel, stride 1
+  kConv64K3,     // conv2d: 64x64 input, 3x3 kernel, stride 1
+  kConv64K5,     // conv2d: 64x64 input, 5x5 kernel, stride 1
+};
+inline constexpr usize kNumShapeClasses = 8;
+
+/// Scale regimes. Advisory metadata on the key: specialized variants
+/// recompute their Requant / pairwise plan from the actual scales at
+/// execute (that recomputation is what keeps them bit-exact), so a
+/// regime mismatch can never corrupt results -- but the regime names the
+/// requant strategy the variant will land on, and the coverage test
+/// walks it as a first-class key dimension.
+enum class ScaleConfig : u8 {
+  kFixedGrid = 0,   // 47-bit fixed-point requant multipliers apply
+  kSaturating,      // factor > 127.5: every nonzero accumulator saturates
+  kDoubleFallback,  // off-grid factors: per-element double math
+  kWide,            // raw i32 accumulator output, no requantization
+};
+inline constexpr usize kNumScaleConfigs = 4;
+
+struct KernelKey {
+  isa::Opcode opcode = isa::Opcode::kAdd;
+  ShapeClass shape_class = ShapeClass::kGeneric;
+  ScaleConfig scale_config = ScaleConfig::kFixedGrid;
+  bool operator==(const KernelKey&) const = default;
+};
+
+/// Operand bundle every registry kernel receives. Views are the device's
+/// resident tensors; `out` / `wide_out` alias the freshly allocated
+/// output record (`wide_out` is only meaningful when `wide` is set).
+struct KernelArgs {
+  MatrixView<const i8> in0;
+  float s_in0 = 1.0f;
+  MatrixView<const i8> in1;
+  float s_in1 = 1.0f;
+  isa::Stride stride{};
+  isa::Window window{};
+  u16 bank = 1;
+  float out_scale = 1.0f;
+  bool wide = false;
+  MatrixView<i8> out;
+  MatrixView<i32> wide_out;
+  ThreadPool* pool = nullptr;
+};
+
+/// Registry kernels take the opcode so one function can serve several
+/// table cells (e.g. add/sub/mul share a pairwise variant).
+using KernelFn = void (*)(isa::Opcode op, const KernelArgs& args);
+
+struct KernelEntry {
+  KernelFn fn = nullptr;
+  bool specialized = false;  // counts as a dispatch.specialized_hits hit
+  const char* variant = "";  // human-readable variant name (tests, dumps)
+};
+
+class KernelRegistry {
+ public:
+  /// Sentinel for "no plan-time resolution"; run() classifies on the spot.
+  static constexpr u16 kUnresolved = 0xffff;
+  static constexpr usize kTableSize =
+      isa::kNumOpcodes * kNumShapeClasses * kNumScaleConfigs;
+
+  static const KernelRegistry& instance();
+
+  /// Flat table index of a key (always < kTableSize).
+  [[nodiscard]] static u16 id_of(KernelKey key);
+  [[nodiscard]] static KernelKey key_of(u16 id);
+
+  /// Classifies the actual operand views. Pure shape/scale inspection.
+  GPTPU_VIRTUAL_DOMAIN
+  [[nodiscard]] static KernelKey classify(isa::Opcode op,
+                                          const KernelArgs& args);
+
+  /// Plan-time resolution from the tensorizer's tile metadata (staged
+  /// tiles are dense, so contiguity is assumed). Returns the table id to
+  /// cache on the InstructionPlan.
+  GPTPU_VIRTUAL_DOMAIN
+  [[nodiscard]] static u16 resolve(isa::Opcode op, Shape2D in0, Shape2D in1,
+                                   isa::Stride stride, u16 bank, float s_in0,
+                                   float s_in1, float out_scale, bool wide);
+
+  /// Dispatches one instruction. `kernel_id` is the plan-time resolution
+  /// (kUnresolved classifies here instead); a specialized entry is
+  /// re-verified against the actual views with integer compares and
+  /// demoted to the generic entry on mismatch. Bumps the dispatch.*
+  /// counters.
+  GPTPU_VIRTUAL_DOMAIN
+  static void run(isa::Opcode op, u16 kernel_id, const KernelArgs& args);
+
+  [[nodiscard]] const KernelEntry& entry(KernelKey key) const;
+  [[nodiscard]] const KernelEntry& entry_at(u16 id) const;
+
+  /// Test/bench override: route every run() through the generic engine
+  /// (counted under dispatch.forced_generic, not generic_fallback).
+  static void set_force_generic(bool on);
+  [[nodiscard]] static bool force_generic();
+
+ private:
+  KernelRegistry();
+  std::array<KernelEntry, kTableSize> table_{};
+};
+
+}  // namespace gptpu::sim
+
+namespace gptpu::sim::kernels {
+
+/// Scale-regime classification shared by plan-time resolve and the
+/// coverage tests. Defined in kernels.cpp so the floating-point plan
+/// math is compiled with exactly the flags the kernels themselves use.
+GPTPU_VIRTUAL_DOMAIN
+[[nodiscard]] ScaleConfig classify_scale_config(isa::Opcode op, float s_in0,
+                                                float s_in1, float out_scale,
+                                                bool wide);
+
+/// Fully-unrolled fixed-shape variants (defined in kernels.cpp alongside
+/// the generic engine so they share its requant helpers and build
+/// flags). Preconditions -- the shape class named in the function --
+/// are guaranteed by KernelRegistry::run's verification.
+namespace spec {
+
+GPTPU_VIRTUAL_DOMAIN void conv2d_128_k3(isa::Opcode op, const KernelArgs& a);
+GPTPU_VIRTUAL_DOMAIN void conv2d_128_k5(isa::Opcode op, const KernelArgs& a);
+GPTPU_VIRTUAL_DOMAIN void conv2d_128_k7(isa::Opcode op, const KernelArgs& a);
+GPTPU_VIRTUAL_DOMAIN void conv2d_64_k3(isa::Opcode op, const KernelArgs& a);
+GPTPU_VIRTUAL_DOMAIN void conv2d_64_k5(isa::Opcode op, const KernelArgs& a);
+GPTPU_VIRTUAL_DOMAIN void fully_connected_128(isa::Opcode op,
+                                              const KernelArgs& a);
+GPTPU_VIRTUAL_DOMAIN void fully_connected_64(isa::Opcode op,
+                                             const KernelArgs& a);
+GPTPU_VIRTUAL_DOMAIN void pairwise_128(isa::Opcode op, const KernelArgs& a);
+GPTPU_VIRTUAL_DOMAIN void pairwise_64(isa::Opcode op, const KernelArgs& a);
+GPTPU_VIRTUAL_DOMAIN void elementwise_128(isa::Opcode op, const KernelArgs& a);
+GPTPU_VIRTUAL_DOMAIN void elementwise_64(isa::Opcode op, const KernelArgs& a);
+
+}  // namespace spec
+
+}  // namespace gptpu::sim::kernels

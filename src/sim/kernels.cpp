@@ -11,6 +11,18 @@
 #include "common/thread_pool.hpp"
 #include "quant/quantize.hpp"
 #include "quant/requant.hpp"
+#include "sim/kernel_registry.hpp"
+
+// The specialized elementwise variants replace the scalar 256-entry table
+// gather with an in-register byte shuffle where AVX512-VBMI is available.
+// Pure re-indexing of the same table, so the output bytes are identical
+// on every host; the guard keeps non-x86 builds on the scalar path.
+#if defined(__x86_64__) && defined(__AVX512VBMI__) && defined(__AVX512BW__)
+#include <immintrin.h>
+#define GPTPU_HAVE_VBMI_LUT 1
+#else
+#define GPTPU_HAVE_VBMI_LUT 0
+#endif
 
 // The reference oracle must stay scalar even when this translation unit is
 // built with -march=native, or the bench_kernels speedup would compare the
@@ -607,33 +619,53 @@ std::array<i8, 256> build_activation_lut(Opcode op, float s_in,
   return lut;
 }
 
-/// Memoized activation LUTs (engine only; the reference oracle rebuilds
-/// per call). Iterative workloads re-issue kTanh/kReLu instructions with
-/// identical scales every epoch, and the 256 libm evaluations dominate
-/// the per-call cost for small tiles. The key is the exact bit pattern
-/// of (s_in, out_scale), so a hit is bit-identical to a rebuild by
-/// construction; returned by value so entries can be dropped freely.
-std::array<i8, 256> activation_lut(Opcode op, float s_in, float out_scale) {
+/// Memoized per-(kind, scale-pair) i8 LUTs (engine only; the reference
+/// oracle rebuilds per call). Iterative workloads re-issue the same
+/// per-value ops with identical scales every epoch, and the 256 double /
+/// libm evaluations dominate the per-call cost for small tiles. One
+/// keyed cache serves every LUT kind -- tanh, ReLu, and the crop/ext
+/// rescale table -- so adding a kind is a slot, not a new cache. The key
+/// is the exact bit pattern of (s_in, out_scale), so a hit is
+/// bit-identical to a rebuild by construction; returned by value so
+/// entries can be dropped freely.
+enum LutKind : usize { kLutTanh = 0, kLutReLu, kLutRescale, kNumLutKinds };
+
+std::array<i8, 256> memoized_lut(LutKind kind, float s_in, float out_scale,
+                                 std::array<i8, 256> (*build)(float, float)) {
   struct LutCache {
     Mutex mu;
-    std::unordered_map<u64, std::array<i8, 256>> map[2] GPTPU_GUARDED_BY(mu);
+    std::unordered_map<u64, std::array<i8, 256>>
+        map[kNumLutKinds] GPTPU_GUARDED_BY(mu);
   };
-  constexpr usize kMaxEntries = 4096;  // 1 MiB bound per opcode
+  constexpr usize kMaxEntries = 4096;  // 1 MiB bound per kind
   static LutCache cache;
   u32 in_bits;
   u32 out_bits;
   std::memcpy(&in_bits, &s_in, sizeof(in_bits));
   std::memcpy(&out_bits, &out_scale, sizeof(out_bits));
   const u64 key = (static_cast<u64>(in_bits) << 32) | out_bits;
-  const usize which = op == Opcode::kTanh ? 0 : 1;
 
   MutexLock lock(cache.mu);
-  auto& map = cache.map[which];
+  auto& map = cache.map[kind];
   const auto it = map.find(key);
   if (it != map.end()) return it->second;
   if (map.size() >= kMaxEntries) map.clear();
-  return map.emplace(key, build_activation_lut(op, s_in, out_scale))
-      .first->second;
+  return map.emplace(key, build(s_in, out_scale)).first->second;
+}
+
+std::array<i8, 256> activation_lut(Opcode op, float s_in, float out_scale) {
+  if (op == Opcode::kTanh) {
+    return memoized_lut(kLutTanh, s_in, out_scale, [](float si, float so) {
+      return build_activation_lut(Opcode::kTanh, si, so);
+    });
+  }
+  return memoized_lut(kLutReLu, s_in, out_scale, [](float si, float so) {
+    return build_activation_lut(Opcode::kReLu, si, so);
+  });
+}
+
+std::array<i8, 256> rescale_lut_memo(float s_in, float out_scale) {
+  return memoized_lut(kLutRescale, s_in, out_scale, &rescale_lut);
 }
 
 /// 256-entry table of the unfused inter-op round trip a fused stage
@@ -807,7 +839,7 @@ void crop(MatrixView<const i8> in, float s_in, isa::Window window,
                   window.col0 + window.shape.cols <= in.cols(),
               "crop: window out of range");
   GPTPU_CHECK(out.shape() == window.shape, "crop: bad output shape");
-  const std::array<i8, 256> lut = rescale_lut(s_in, out_scale);
+  const std::array<i8, 256> lut = rescale_lut_memo(s_in, out_scale);
   for (usize r = 0; r < window.shape.rows; ++r) {
     lut_map_row(lut, in.row(window.row0 + r).data() + window.col0,
                 out.row(r).data(), window.shape.cols);
@@ -818,7 +850,7 @@ void ext(MatrixView<const i8> in, float s_in, float out_scale,
          MatrixView<i8> out) {
   GPTPU_CHECK(out.rows() >= in.rows() && out.cols() >= in.cols(),
               "ext: output smaller than input");
-  const std::array<i8, 256> lut = rescale_lut(s_in, out_scale);
+  const std::array<i8, 256> lut = rescale_lut_memo(s_in, out_scale);
   for (usize r = 0; r < out.rows(); ++r) {
     i8* ro = out.row(r).data();
     if (r < in.rows()) {
@@ -829,6 +861,292 @@ void ext(MatrixView<const i8> in, float s_in, float out_scale,
     }
   }
 }
+
+ScaleConfig classify_scale_config(Opcode op, float s_in0, float s_in1,
+                                  float out_scale, bool wide) {
+  switch (isa::op_class(op)) {
+    case isa::OpClass::kArithmetic: {
+      if (wide) return ScaleConfig::kWide;
+      const double factor =
+          static_cast<double>(out_scale) /
+          (static_cast<double>(s_in0) * static_cast<double>(s_in1));
+      return Requant::plan(factor).saturate_all ? ScaleConfig::kSaturating
+                                                : ScaleConfig::kFixedGrid;
+    }
+    case isa::OpClass::kPairwise: {
+      const PairPlan p = plan_pairwise(op, s_in0, s_in1, out_scale);
+      if (!p.fixed) return ScaleConfig::kDoubleFallback;
+      if (op == Opcode::kMul && p.mul_rq.saturate_all) {
+        return ScaleConfig::kSaturating;
+      }
+      return ScaleConfig::kFixedGrid;
+    }
+    default:
+      // Elementwise / layout / matrix-wise ops evaluate through LUTs or
+      // per-value double math that covers every scale.
+      return ScaleConfig::kFixedGrid;
+  }
+}
+
+// ===========================================================================
+// Fixed-shape specialized variants (sim::KernelRegistry). Compile-time
+// extents let the compiler fully unroll tap loops and emit exact-width
+// vector loops with no remainder handling; every accumulator -> int8
+// conversion goes through the same Requant / PairPlan construction as the
+// generic engine above, which is what keeps the variants bit-exact
+// against kernels::reference. KernelRegistry::run verifies the shape
+// class before dispatching here; the GPTPU_CHECKs re-assert the
+// contract.
+// ===========================================================================
+
+namespace spec {
+
+namespace {
+
+/// One fixed-extent conv2d tap row: acc[c] (+)= sum_t kv[t] * ip[c + t].
+/// kK and kN are compile-time, so the tap loop unrolls flat and the
+/// column loop vectorizes at its exact trip count.
+template <usize kK, usize kN, bool kInit>
+void conv_row_taps_fixed(const i8* __restrict ip, const i8* kp,
+                         i32* __restrict acc) {
+  i32 kv[kK];
+  for (usize t = 0; t < kK; ++t) kv[t] = static_cast<i32>(kp[t]);
+  for (usize c = 0; c < kN; ++c) {
+    i32 v = 0;
+    for (usize t = 0; t < kK; ++t) {
+      v += kv[t] * static_cast<i32>(ip[c + t]);
+    }
+    if (kInit) {
+      acc[c] = v;
+    } else {
+      acc[c] += v;
+    }
+  }
+}
+
+template <usize kIn, usize kK>
+void conv2d_fixed(const KernelArgs& a) {
+  constexpr usize kOut = kIn - kK + 1;
+  static_assert(kK * kK <= kMaxI32Taps, "i32 accumulation must stay exact");
+  GPTPU_CHECK(a.in0.rows() == kIn && a.in0.cols() == kIn && a.bank > 0 &&
+                  a.in1.cols() == kK && a.in1.rows() == kK * a.bank &&
+                  a.stride.x == 1 && a.stride.y == 1,
+              "spec conv2d: shape-class mismatch");
+  const usize bank = a.bank;
+  if (a.wide) {
+    ThreadPool::parallel_chunks(
+        a.pool, kOut, kRowGrain, [&](usize rbegin, usize rend) {
+          for (usize k = 0; k < bank; ++k) {
+            const MatrixView<const i8> kernel =
+                a.in1.sub(k * kK, 0, {kK, kK});
+            const usize out_col_base = k * kOut;
+            for (usize orow = rbegin; orow < rend; ++orow) {
+              i32* __restrict acc = &a.wide_out(orow, out_col_base);
+              conv_row_taps_fixed<kK, kOut, true>(a.in0.row(orow).data(),
+                                                  kernel.row(0).data(), acc);
+              for (usize kr = 1; kr < kK; ++kr) {
+                conv_row_taps_fixed<kK, kOut, false>(
+                    a.in0.row(orow + kr).data(), kernel.row(kr).data(), acc);
+              }
+            }
+          }
+        });
+    return;
+  }
+  const double factor =
+      static_cast<double>(a.out_scale) /
+      (static_cast<double>(a.s_in0) * static_cast<double>(a.s_in1));
+  const Requant rq = Requant::plan(factor);
+  note_requant_saturation(rq);
+  const bool nosat = rq.covers(static_cast<i64>(kK * kK) * (127 * 127));
+  ThreadPool::parallel_chunks(
+      a.pool, kOut, kRowGrain, [&](usize rbegin, usize rend) {
+        // Stack accumulators: the generic path heap-allocates per chunk.
+        alignas(64) i32 acc[kOut];
+        for (usize k = 0; k < bank; ++k) {
+          const MatrixView<const i8> kernel = a.in1.sub(k * kK, 0, {kK, kK});
+          const usize out_col_base = k * kOut;
+          for (usize orow = rbegin; orow < rend; ++orow) {
+            conv_row_taps_fixed<kK, kOut, true>(a.in0.row(orow).data(),
+                                                kernel.row(0).data(), acc);
+            for (usize kr = 1; kr < kK; ++kr) {
+              conv_row_taps_fixed<kK, kOut, false>(
+                  a.in0.row(orow + kr).data(), kernel.row(kr).data(), acc);
+            }
+            requant_row(rq, nosat, acc, &a.out(orow, out_col_base), kOut);
+          }
+        }
+      });
+}
+
+template <usize kN>
+void fully_connected_fixed(const KernelArgs& a) {
+  static_assert(kN <= kMaxI32Taps, "i32 accumulation must stay exact");
+  GPTPU_CHECK(a.in0.cols() == kN && a.in1.rows() == kN && a.in1.cols() == kN,
+              "spec fully_connected: shape-class mismatch");
+  const usize m = a.in0.rows();
+  if (a.wide) {
+    ThreadPool::parallel_chunks(a.pool, m, 4, [&](usize rbegin, usize rend) {
+      for (usize r = rbegin; r < rend; ++r) {
+        i32* __restrict orow = a.wide_out.row(r).data();
+        std::fill_n(orow, kN, 0);
+        const i8* irow = a.in0.row(r).data();
+        for (usize j = 0; j < kN; ++j) {
+          const i32 w = irow[j];
+          if (w == 0) continue;
+          const i8* __restrict wrow = a.in1.row(j).data();
+          for (usize c = 0; c < kN; ++c) {
+            orow[c] += w * static_cast<i32>(wrow[c]);
+          }
+        }
+      }
+    });
+    return;
+  }
+  const double factor =
+      static_cast<double>(a.out_scale) /
+      (static_cast<double>(a.s_in0) * static_cast<double>(a.s_in1));
+  const Requant rq = Requant::plan(factor);
+  note_requant_saturation(rq);
+  const bool nosat = rq.covers(static_cast<i64>(kN) * (127 * 127));
+  ThreadPool::parallel_chunks(a.pool, m, 4, [&](usize rbegin, usize rend) {
+    alignas(64) i32 acc[kN];
+    for (usize r = rbegin; r < rend; ++r) {
+      for (usize c = 0; c < kN; ++c) acc[c] = 0;
+      const i8* irow = a.in0.row(r).data();
+      for (usize j = 0; j < kN; ++j) {
+        const i32 w = irow[j];
+        if (w == 0) continue;
+        const i8* __restrict wrow = a.in1.row(j).data();
+        for (usize c = 0; c < kN; ++c) {
+          acc[c] += w * static_cast<i32>(wrow[c]);
+        }
+      }
+      requant_row(rq, nosat, acc, a.out.row(r).data(), kN);
+    }
+  });
+}
+
+template <usize kN>
+void pairwise_fixed(Opcode op, const KernelArgs& a) {
+  // Column width is the fixed template parameter; the row count stays
+  // runtime-sized (like the fully-connected batch dimension), so one
+  // variant serves full tiles and the short edge bands alike.
+  GPTPU_CHECK(a.in0.cols() == kN && a.in0.contiguous() &&
+                  a.in1.contiguous() && a.out.contiguous(),
+              "spec pairwise: shape-class mismatch");
+  const PairPlan pp = plan_pairwise(op, a.s_in0, a.s_in1, a.out_scale);
+  if (op == Opcode::kMul) note_requant_saturation(pp.mul_rq);
+  ThreadPool::parallel_chunks(
+      a.pool, a.in0.rows(), kRowGrain, [&](usize rbegin, usize rend) {
+        const PairPlan p = pp;  // local copy: i8 stores cannot alias it
+        // Contiguous square tiles: the whole row band is one flat span,
+        // so a single loop covers it with no per-row pointer setup.
+        const usize n = (rend - rbegin) * kN;
+        const i8* __restrict ra = a.in0.row(rbegin).data();
+        const i8* __restrict rb = a.in1.row(rbegin).data();
+        i8* __restrict ro = a.out.row(rbegin).data();
+        if (!p.fixed) {
+          for (usize c = 0; c < n; ++c) {
+            ro[c] = pairwise_value(op, p, ra[c], rb[c], a.out_scale);
+          }
+        } else if (op == Opcode::kAdd) {
+          const i64 ma = p.mult_a, mb = p.mult_b;
+          for (usize c = 0; c < n; ++c) {
+            ro[c] = quant::round_fixed47_to_i8(ra[c] * ma + rb[c] * mb);
+          }
+        } else if (op == Opcode::kSub) {
+          const i64 ma = p.mult_a, mb = p.mult_b;
+          for (usize c = 0; c < n; ++c) {
+            ro[c] = quant::round_fixed47_to_i8(ra[c] * ma - rb[c] * mb);
+          }
+        } else {
+          const Requant rq = p.mul_rq;
+          const i64 mult = rq.mult, presat = rq.presat;
+          if (rq.saturate_all) {
+            for (usize c = 0; c < n; ++c) {
+              const i32 v = static_cast<i32>(ra[c]) * static_cast<i32>(rb[c]);
+              ro[c] = v > 0 ? i8{127} : (v < 0 ? i8{-127} : i8{0});
+            }
+          } else if (rq.covers(127 * 127)) {
+            for (usize c = 0; c < n; ++c) {
+              const i64 v = static_cast<i32>(ra[c]) * static_cast<i32>(rb[c]);
+              ro[c] = quant::round_fixed47_to_i8(v * mult);
+            }
+          } else {
+            for (usize c = 0; c < n; ++c) {
+              i64 v = static_cast<i32>(ra[c]) * static_cast<i32>(rb[c]);
+              v = v < -presat ? -presat : (v > presat ? presat : v);
+              ro[c] = quant::round_fixed47_to_i8(v * mult);
+            }
+          }
+        }
+      });
+}
+
+/// Maps a flat span through a 256-entry i8 table. With AVX512-VBMI the
+/// whole table lives in four vector registers: two vpermi2b shuffles plus
+/// a sign-mask blend replace 64 scalar gathers per step. A pure
+/// re-indexing of the same table, so the output bytes are identical to
+/// lut_map_row on every host.
+void lut_map_span(const std::array<i8, 256>& lut, const i8* __restrict src,
+                  i8* __restrict dst, usize n) {
+#if GPTPU_HAVE_VBMI_LUT
+  const __m512i t0 = _mm512_loadu_si512(lut.data());
+  const __m512i t1 = _mm512_loadu_si512(lut.data() + 64);
+  const __m512i t2 = _mm512_loadu_si512(lut.data() + 128);
+  const __m512i t3 = _mm512_loadu_si512(lut.data() + 192);
+  const __m512i bias = _mm512_set1_epi8(static_cast<char>(0x80));
+  usize c = 0;
+  for (; c + 64 <= n; c += 64) {
+    const __m512i v = _mm512_loadu_si512(src + c);
+    const __m512i idx = _mm512_xor_si512(v, bias);  // signed code -> 0..255
+    const __m512i lo = _mm512_permutex2var_epi8(t0, idx, t1);   // 0..127
+    const __m512i hi = _mm512_permutex2var_epi8(t2, idx, t3);   // 128..255
+    const __mmask64 upper = _mm512_movepi8_mask(idx);           // idx >= 128
+    _mm512_storeu_si512(dst + c, _mm512_mask_blend_epi8(upper, lo, hi));
+  }
+  lut_map_row(lut, src + c, dst + c, n - c);
+#else
+  lut_map_row(lut, src, dst, n);
+#endif
+}
+
+template <usize kN>
+void elementwise_fixed(Opcode op, const KernelArgs& a) {
+  GPTPU_CHECK(a.in0.cols() == kN && a.in0.contiguous() && a.out.contiguous(),
+              "spec elementwise: shape-class mismatch");
+  const std::array<i8, 256> lut = activation_lut(op, a.s_in0, a.out_scale);
+  ThreadPool::parallel_chunks(
+      a.pool, a.in0.rows(), kRowGrain, [&](usize rbegin, usize rend) {
+        lut_map_span(lut, a.in0.row(rbegin).data(), a.out.row(rbegin).data(),
+                     (rend - rbegin) * kN);
+      });
+}
+
+}  // namespace
+
+void conv2d_128_k3(Opcode, const KernelArgs& a) { conv2d_fixed<128, 3>(a); }
+void conv2d_128_k5(Opcode, const KernelArgs& a) { conv2d_fixed<128, 5>(a); }
+void conv2d_128_k7(Opcode, const KernelArgs& a) { conv2d_fixed<128, 7>(a); }
+void conv2d_64_k3(Opcode, const KernelArgs& a) { conv2d_fixed<64, 3>(a); }
+void conv2d_64_k5(Opcode, const KernelArgs& a) { conv2d_fixed<64, 5>(a); }
+void fully_connected_128(Opcode, const KernelArgs& a) {
+  fully_connected_fixed<128>(a);
+}
+void fully_connected_64(Opcode, const KernelArgs& a) {
+  fully_connected_fixed<64>(a);
+}
+void pairwise_128(Opcode op, const KernelArgs& a) { pairwise_fixed<128>(op, a); }
+void pairwise_64(Opcode op, const KernelArgs& a) { pairwise_fixed<64>(op, a); }
+void elementwise_128(Opcode op, const KernelArgs& a) {
+  elementwise_fixed<128>(op, a);
+}
+void elementwise_64(Opcode op, const KernelArgs& a) {
+  elementwise_fixed<64>(op, a);
+}
+
+}  // namespace spec
 
 namespace reference {
 

@@ -49,10 +49,12 @@ EXPECTED_BAD = {
     ("src/runtime/hashed.cpp", 17, "R10"),
     ("src/runtime/lockcycle.cpp", 14, "R11"),
     ("src/sim/device.cpp", 8, "R7"),
+    ("src/sim/registry_clockmix.cpp", 18, "R8"),  # dispatch helper leak
+    ("src/sim/registry_clockmix.cpp", 20, "R8"),  # wall primitive in run()
 }
 # Duplicate keys collapse in a set; the own-header R5 shares a line with
 # the relative-include R5, so count multiplicity separately.
-EXPECTED_BAD_COUNT = 28
+EXPECTED_BAD_COUNT = 30
 
 EXPECTED_GOOD_SUPPRESSED = [
     ("src/runtime/allowed.cpp", 10, "R3"),

@@ -1,0 +1,410 @@
+// Dispatch coverage for the kernel-specialization registry
+// (sim/kernel_registry.hpp): the (opcode, shape-class, scale-config)
+// table must be total, bench/tile shapes must resolve to specialized
+// entries, and everything off the specialization grid -- odd shapes,
+// strided views, stride-2 convs, stale plan ids -- must demote to the
+// generic engine instead of mis-executing. Also pins the dispatch.*
+// counter semantics the bench hit-rate gate relies on.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/matrix.hpp"
+#include "common/metrics.hpp"
+#include "common/rng.hpp"
+#include "sim/kernel_registry.hpp"
+#include "sim/kernels.hpp"
+
+namespace gptpu::sim {
+namespace {
+
+using isa::Opcode;
+
+u64 counter_value(const std::string& name) {
+  for (const auto& e : metrics::MetricRegistry::global().snapshot()) {
+    if (e.name == name &&
+        e.kind == metrics::MetricRegistry::Kind::kCounter) {
+      return e.counter;
+    }
+  }
+  return 0;
+}
+
+struct DispatchDeltas {
+  u64 hits0 = counter_value("dispatch.specialized_hits");
+  u64 fallback0 = counter_value("dispatch.generic_fallback");
+  u64 forced0 = counter_value("dispatch.forced_generic");
+
+  [[nodiscard]] u64 hits() const {
+    return counter_value("dispatch.specialized_hits") - hits0;
+  }
+  [[nodiscard]] u64 fallback() const {
+    return counter_value("dispatch.generic_fallback") - fallback0;
+  }
+  [[nodiscard]] u64 forced() const {
+    return counter_value("dispatch.forced_generic") - forced0;
+  }
+};
+
+/// Restores the default dispatch mode even when an assertion bails out.
+struct ForceGenericGuard {
+  explicit ForceGenericGuard(bool on) { KernelRegistry::set_force_generic(on); }
+  ~ForceGenericGuard() { KernelRegistry::set_force_generic(false); }
+};
+
+Matrix<i8> random_i8(Rng& rng, Shape2D shape) {
+  Matrix<i8> m(shape);
+  for (auto& v : m.span()) v = static_cast<i8>(rng.uniform_int(-127, 127));
+  return m;
+}
+
+// Every cell of the 11 x 8 x 4 table must hold a callable entry, even
+// for combinations no instruction can ever classify into (a conv shape
+// class under tanh, kWide under crop): resolve() can only produce ids
+// the table can serve, and run() must never find a null fn.
+TEST(KernelRegistry, TableIsTotal) {
+  const KernelRegistry& reg = KernelRegistry::instance();
+  usize specialized = 0;
+  for (const Opcode op : isa::kAllOpcodes) {
+    for (usize sc = 0; sc < kNumShapeClasses; ++sc) {
+      for (usize cfg = 0; cfg < kNumScaleConfigs; ++cfg) {
+        const KernelKey key{op, static_cast<ShapeClass>(sc),
+                            static_cast<ScaleConfig>(cfg)};
+        const u16 id = KernelRegistry::id_of(key);
+        ASSERT_LT(id, KernelRegistry::kTableSize);
+        const KernelEntry& e = reg.entry(key);
+        ASSERT_NE(e.fn, nullptr)
+            << "null entry for op " << isa::name(op) << " sc " << sc
+            << " cfg " << cfg;
+        EXPECT_EQ(&e, &reg.entry_at(id));
+        EXPECT_EQ(KernelRegistry::key_of(id), key);
+        if (e.specialized) {
+          ++specialized;
+          EXPECT_NE(std::string(e.variant), "generic");
+        } else {
+          EXPECT_EQ(std::string(e.variant), "generic");
+        }
+      }
+    }
+  }
+  // 5 conv classes + 2 FC tiles + 3x2 pairwise + 2x2 elementwise, each
+  // registered across all 4 scale configs.
+  EXPECT_EQ(specialized, (5 + 2 + 6 + 4) * kNumScaleConfigs);
+}
+
+TEST(KernelRegistry, IdKeyRoundTrip) {
+  for (u16 id = 0; id < KernelRegistry::kTableSize; ++id) {
+    EXPECT_EQ(KernelRegistry::id_of(KernelRegistry::key_of(id)), id);
+  }
+}
+
+// The shapes the Tensorizer actually emits (optimal tiles, the bench
+// grid) must land on specialized entries at plan-time resolution.
+TEST(KernelRegistry, OnGridShapesResolveSpecialized) {
+  struct Case {
+    Opcode op;
+    Shape2D in0;
+    Shape2D in1;
+    u16 bank;
+    ShapeClass want;
+    const char* variant;
+  };
+  const Case cases[] = {
+      {Opcode::kConv2D, {128, 128}, {3, 3}, 1, ShapeClass::kConv128K3,
+       "conv2d_128_k3"},
+      {Opcode::kConv2D, {128, 128}, {5, 5}, 1, ShapeClass::kConv128K5,
+       "conv2d_128_k5"},
+      {Opcode::kConv2D, {128, 128}, {7, 7}, 1, ShapeClass::kConv128K7,
+       "conv2d_128_k7"},
+      {Opcode::kConv2D, {128, 128}, {6, 3}, 2, ShapeClass::kConv128K3,
+       "conv2d_128_k3"},
+      {Opcode::kConv2D, {64, 64}, {3, 3}, 1, ShapeClass::kConv64K3,
+       "conv2d_64_k3"},
+      {Opcode::kConv2D, {64, 64}, {5, 5}, 1, ShapeClass::kConv64K5,
+       "conv2d_64_k5"},
+      {Opcode::kFullyConnected, {128, 128}, {128, 128}, 1,
+       ShapeClass::kTile128, "fully_connected_128"},
+      {Opcode::kFullyConnected, {32, 128}, {128, 128}, 1, ShapeClass::kTile128,
+       "fully_connected_128"},
+      {Opcode::kFullyConnected, {64, 64}, {64, 64}, 1, ShapeClass::kTile64,
+       "fully_connected_64"},
+      {Opcode::kAdd, {128, 128}, {128, 128}, 1, ShapeClass::kTile128,
+       "pairwise_128"},
+      {Opcode::kSub, {128, 128}, {128, 128}, 1, ShapeClass::kTile128,
+       "pairwise_128"},
+      {Opcode::kMul, {64, 64}, {64, 64}, 1, ShapeClass::kTile64,
+       "pairwise_64"},
+      // Row count is runtime-sized for the span variants: edge bands of a
+      // tiled matrix (and small batches) share the full-tile entry.
+      {Opcode::kAdd, {8, 128}, {8, 128}, 1, ShapeClass::kTile128,
+       "pairwise_128"},
+      {Opcode::kSub, {8, 64}, {8, 64}, 1, ShapeClass::kTile64, "pairwise_64"},
+      {Opcode::kTanh, {128, 128}, {}, 1, ShapeClass::kTile128,
+       "elementwise_128"},
+      {Opcode::kTanh, {127, 128}, {}, 1, ShapeClass::kTile128,
+       "elementwise_128"},
+      {Opcode::kReLu, {64, 64}, {}, 1, ShapeClass::kTile64, "elementwise_64"},
+      {Opcode::kReLu, {8, 64}, {}, 1, ShapeClass::kTile64, "elementwise_64"},
+  };
+  for (const Case& c : cases) {
+    const u16 id = KernelRegistry::resolve(c.op, c.in0, c.in1, {1, 1}, c.bank,
+                                           2.0f, 4.0f, 0.01f, /*wide=*/false);
+    const KernelKey key = KernelRegistry::key_of(id);
+    EXPECT_EQ(key.opcode, c.op);
+    EXPECT_EQ(key.shape_class, c.want) << isa::name(c.op);
+    const KernelEntry& e = KernelRegistry::instance().entry_at(id);
+    EXPECT_TRUE(e.specialized) << isa::name(c.op);
+    EXPECT_EQ(std::string(e.variant), c.variant);
+  }
+}
+
+// Anything off the specialization grid must resolve to the generic
+// entry -- same table, no special casing.
+TEST(KernelRegistry, OffGridShapesResolveGeneric) {
+  struct Case {
+    const char* label;
+    Opcode op;
+    Shape2D in0;
+    Shape2D in1;
+    isa::Stride stride;
+    u16 bank;
+  };
+  const Case cases[] = {
+      {"pairwise 127x65", Opcode::kAdd, {127, 65}, {127, 65}, {1, 1}, 1},
+      {"pairwise off-grid cols", Opcode::kAdd, {128, 100}, {128, 100}, {1, 1},
+       1},
+      {"pairwise shape mismatch", Opcode::kAdd, {128, 128}, {64, 64}, {1, 1},
+       1},
+      {"conv 126x126", Opcode::kConv2D, {126, 126}, {3, 3}, {1, 1}, 1},
+      {"conv stride 2", Opcode::kConv2D, {128, 128}, {3, 3}, {2, 2}, 1},
+      {"conv stride 2x1", Opcode::kConv2D, {128, 128}, {3, 3}, {2, 1}, 1},
+      {"conv k4", Opcode::kConv2D, {128, 128}, {4, 4}, {1, 1}, 1},
+      {"conv bank/kernel mismatch", Opcode::kConv2D, {128, 128}, {5, 3},
+       {1, 1}, 1},
+      {"fc rect weights", Opcode::kFullyConnected, {128, 128}, {128, 64},
+       {1, 1}, 1},
+      {"fc off-grid inner", Opcode::kFullyConnected, {128, 100}, {100, 100},
+       {1, 1}, 1},
+      {"elementwise off-grid cols", Opcode::kTanh, {128, 100}, {}, {1, 1}, 1},
+      {"crop stays generic", Opcode::kCrop, {128, 128}, {}, {1, 1}, 1},
+      {"mean stays generic", Opcode::kMean, {64, 64}, {}, {1, 1}, 1},
+  };
+  for (const Case& c : cases) {
+    const u16 id = KernelRegistry::resolve(c.op, c.in0, c.in1, c.stride,
+                                           c.bank, 2.0f, 4.0f, 0.01f,
+                                           /*wide=*/false);
+    const KernelKey key = KernelRegistry::key_of(id);
+    EXPECT_EQ(key.shape_class, ShapeClass::kGeneric) << c.label;
+    EXPECT_FALSE(KernelRegistry::instance().entry_at(id).specialized)
+        << c.label;
+  }
+}
+
+// Tile classes require contiguous views. classify() (the execute-time
+// path) must demote 128x128 *sub-views* of a larger matrix -- right
+// shape, wrong stride -- to generic.
+TEST(KernelRegistry, StridedViewsClassifyGeneric) {
+  Rng rng(0x57121u);
+  Matrix<i8> big_a = random_i8(rng, {256, 256});
+  Matrix<i8> big_b = random_i8(rng, {256, 256});
+  Matrix<i8> out(128, 128);
+
+  KernelArgs a;
+  a.in0 = big_a.sub(0, 0, {128, 128});  // stride 256: not contiguous
+  a.in1 = big_b.sub(0, 64, {128, 128});
+  a.out = out.view();
+  const KernelKey key = KernelRegistry::classify(Opcode::kAdd, a);
+  EXPECT_EQ(key.shape_class, ShapeClass::kGeneric);
+
+  // Contiguous inputs but a strided output view demote just the same.
+  Matrix<i8> in0 = random_i8(rng, {128, 128});
+  Matrix<i8> in1 = random_i8(rng, {128, 128});
+  Matrix<i8> big_out(256, 256);
+  KernelArgs b;
+  b.in0 = in0.view();
+  b.in1 = in1.view();
+  b.out = big_out.sub(0, 0, {128, 128});
+  EXPECT_EQ(KernelRegistry::classify(Opcode::kAdd, b).shape_class,
+            ShapeClass::kGeneric);
+
+  // Fully contiguous tile: specialized class.
+  KernelArgs c;
+  c.in0 = in0.view();
+  c.in1 = in1.view();
+  c.out = out.view();
+  EXPECT_EQ(KernelRegistry::classify(Opcode::kAdd, c).shape_class,
+            ShapeClass::kTile128);
+}
+
+// The scale-config dimension of the key: advisory, but resolve() and the
+// coverage walk treat it as first-class.
+TEST(KernelRegistry, ScaleConfigClassification) {
+  using kernels::classify_scale_config;
+  // Arithmetic: wide output bypasses requantization entirely.
+  EXPECT_EQ(classify_scale_config(Opcode::kConv2D, 2.0f, 4.0f, 0.01f, true),
+            ScaleConfig::kWide);
+  // Modest factor sits on the 47-bit fixed-point grid.
+  EXPECT_EQ(classify_scale_config(Opcode::kConv2D, 2.0f, 4.0f, 0.01f, false),
+            ScaleConfig::kFixedGrid);
+  // factor > 127.5: every nonzero accumulator saturates.
+  EXPECT_EQ(classify_scale_config(Opcode::kConv2D, 1.0f, 1.0f, 1000.0f, false),
+            ScaleConfig::kSaturating);
+  // Pairwise add with a multiplier off the grid: per-element double math.
+  EXPECT_EQ(classify_scale_config(Opcode::kAdd, 1.0f, 1.0f, 1000.0f, false),
+            ScaleConfig::kDoubleFallback);
+  EXPECT_EQ(classify_scale_config(Opcode::kAdd, 8.0f, 5.0f, 3.0f, false),
+            ScaleConfig::kFixedGrid);
+  // Mul folds both dequant scales into one Requant.
+  EXPECT_EQ(classify_scale_config(Opcode::kMul, 1.0f, 1.0f, 1000.0f, false),
+            ScaleConfig::kSaturating);
+  EXPECT_EQ(classify_scale_config(Opcode::kMul, 8.0f, 5.0f, 12.0f, false),
+            ScaleConfig::kFixedGrid);
+}
+
+// Counter semantics: a resolved on-grid dispatch counts one specialized
+// hit; an unresolved off-grid dispatch counts one generic fallback. Both
+// must produce reference-exact results.
+TEST(KernelRegistry, RunCountsHitsAndFallback) {
+  Rng rng(0x0c417u);
+  {
+    Matrix<i8> a = random_i8(rng, {64, 64});
+    Matrix<i8> b = random_i8(rng, {64, 64});
+    Matrix<i8> out(64, 64);
+    Matrix<i8> ref(64, 64);
+    KernelArgs ka;
+    ka.in0 = a.view();
+    ka.s_in0 = 8.0f;
+    ka.in1 = b.view();
+    ka.s_in1 = 5.0f;
+    ka.out_scale = 3.0f;
+    ka.out = out.view();
+    const u16 id = KernelRegistry::resolve(Opcode::kAdd, a.shape(), b.shape(),
+                                           {1, 1}, 1, 8.0f, 5.0f, 3.0f, false);
+    const DispatchDeltas d;
+    KernelRegistry::run(Opcode::kAdd, id, ka);
+    EXPECT_EQ(d.hits(), 1u);
+    EXPECT_EQ(d.fallback(), 0u);
+    kernels::reference::pairwise(Opcode::kAdd, a.view(), 8.0f, b.view(), 5.0f,
+                                 3.0f, ref.view());
+    EXPECT_EQ(ref, out);
+  }
+  {
+    Matrix<i8> a = random_i8(rng, {127, 65});
+    Matrix<i8> b = random_i8(rng, {127, 65});
+    Matrix<i8> out(127, 65);
+    Matrix<i8> ref(127, 65);
+    KernelArgs ka;
+    ka.in0 = a.view();
+    ka.s_in0 = 8.0f;
+    ka.in1 = b.view();
+    ka.s_in1 = 5.0f;
+    ka.out_scale = 3.0f;
+    ka.out = out.view();
+    const DispatchDeltas d;
+    KernelRegistry::run(Opcode::kAdd, KernelRegistry::kUnresolved, ka);
+    EXPECT_EQ(d.hits(), 0u);
+    EXPECT_EQ(d.fallback(), 1u);
+    kernels::reference::pairwise(Opcode::kAdd, a.view(), 8.0f, b.view(), 5.0f,
+                                 3.0f, ref.view());
+    EXPECT_EQ(ref, out);
+  }
+}
+
+// Trust-but-verify: a stale or wrong plan id (wrong tile class, wrong
+// opcode, wide flag mismatch) reclassifies from the actual views and
+// still lands the bit-exact result.
+TEST(KernelRegistry, StaleIdReclassifiesSafely) {
+  Rng rng(0x57a1eu);
+  Matrix<i8> a = random_i8(rng, {64, 64});
+  Matrix<i8> b = random_i8(rng, {64, 64});
+  Matrix<i8> ref(64, 64);
+  kernels::reference::pairwise(Opcode::kAdd, a.view(), 8.0f, b.view(), 5.0f,
+                               3.0f, ref.view());
+  KernelArgs ka;
+  ka.in0 = a.view();
+  ka.s_in0 = 8.0f;
+  ka.in1 = b.view();
+  ka.s_in1 = 5.0f;
+  ka.out_scale = 3.0f;
+
+  {  // Id planned for the 128 tile, args are the 64 tile.
+    Matrix<i8> out(64, 64);
+    ka.out = out.view();
+    const u16 stale = KernelRegistry::id_of(
+        {Opcode::kAdd, ShapeClass::kTile128, ScaleConfig::kFixedGrid});
+    const DispatchDeltas d;
+    KernelRegistry::run(Opcode::kAdd, stale, ka);
+    EXPECT_EQ(d.hits(), 1u);  // reclassified to the (specialized) 64 tile
+    EXPECT_EQ(ref, out);
+  }
+  {  // Id planned for a different opcode entirely.
+    Matrix<i8> out(64, 64);
+    ka.out = out.view();
+    const u16 wrong_op = KernelRegistry::id_of(
+        {Opcode::kTanh, ShapeClass::kTile128, ScaleConfig::kFixedGrid});
+    KernelRegistry::run(Opcode::kAdd, wrong_op, ka);
+    EXPECT_EQ(ref, out);
+  }
+  {  // kWide plan against a narrow execution.
+    Matrix<i8> in = random_i8(rng, {64, 64});
+    Matrix<i8> w = random_i8(rng, {64, 64});
+    Matrix<i8> out(64, 64);
+    Matrix<i8> fc_ref(64, 64);
+    kernels::reference::fully_connected(in.view(), 2.0f, w.view(), 4.0f,
+                                        0.01f, fc_ref.view());
+    KernelArgs fa;
+    fa.in0 = in.view();
+    fa.s_in0 = 2.0f;
+    fa.in1 = w.view();
+    fa.s_in1 = 4.0f;
+    fa.out_scale = 0.01f;
+    fa.out = out.view();
+    const u16 wide_id =
+        KernelRegistry::resolve(Opcode::kFullyConnected, in.shape(),
+                                w.shape(), {1, 1}, 1, 2.0f, 4.0f, 0.01f,
+                                /*wide=*/true);
+    EXPECT_EQ(KernelRegistry::key_of(wide_id).scale_config, ScaleConfig::kWide);
+    KernelRegistry::run(Opcode::kFullyConnected, wide_id, fa);
+    EXPECT_EQ(fc_ref, out);
+  }
+}
+
+// The test/bench override routes everything through the generic engine
+// and counts under dispatch.forced_generic -- never polluting the hit
+// rate the bench gate measures.
+TEST(KernelRegistry, ForceGenericOverride) {
+  Rng rng(0xf04cedu);
+  Matrix<i8> a = random_i8(rng, {128, 128});
+  Matrix<i8> b = random_i8(rng, {128, 128});
+  Matrix<i8> out(128, 128);
+  Matrix<i8> ref(128, 128);
+  KernelArgs ka;
+  ka.in0 = a.view();
+  ka.s_in0 = 8.0f;
+  ka.in1 = b.view();
+  ka.s_in1 = 5.0f;
+  ka.out_scale = 3.0f;
+  ka.out = out.view();
+  const u16 id = KernelRegistry::resolve(Opcode::kAdd, a.shape(), b.shape(),
+                                         {1, 1}, 1, 8.0f, 5.0f, 3.0f, false);
+  ASSERT_TRUE(KernelRegistry::instance().entry_at(id).specialized);
+
+  EXPECT_FALSE(KernelRegistry::force_generic());
+  {
+    ForceGenericGuard guard(true);
+    EXPECT_TRUE(KernelRegistry::force_generic());
+    const DispatchDeltas d;
+    KernelRegistry::run(Opcode::kAdd, id, ka);
+    EXPECT_EQ(d.forced(), 1u);
+    EXPECT_EQ(d.hits(), 0u);
+    EXPECT_EQ(d.fallback(), 0u);
+  }
+  EXPECT_FALSE(KernelRegistry::force_generic());
+  kernels::reference::pairwise(Opcode::kAdd, a.view(), 8.0f, b.view(), 5.0f,
+                               3.0f, ref.view());
+  EXPECT_EQ(ref, out);
+}
+
+}  // namespace
+}  // namespace gptpu::sim

@@ -8,6 +8,12 @@
 // (including the 128x128 and 64x64 optimal tiles and non-divisible edge
 // tiles) both serially and with an explicit worker pool, so the
 // row-striping path is exercised even on single-core CI machines.
+//
+// Each family additionally runs with the engine side routed through
+// KernelRegistry::run -- once per dispatch mode (specialized, and
+// forced-generic via the registry override) -- so the whole property
+// suite pins both sides of the specialization A/B switch against the
+// same scalar oracle.
 
 #include <cmath>
 #include <string>
@@ -18,6 +24,7 @@
 #include "common/matrix.hpp"
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
+#include "sim/kernel_registry.hpp"
 #include "sim/kernels.hpp"
 
 namespace gptpu::sim {
@@ -66,6 +73,119 @@ void expect_equal_wide(MatrixView<const i32> ref, MatrixView<const i32> eng,
   }
 }
 
+/// How the engine side of each comparison is invoked: directly through
+/// the kernels:: entry points, or through KernelRegistry::run with a
+/// plan-time-resolved kernel_id -- the dispatch path Device::execute
+/// takes.
+enum class Via { kDirect, kRegistry };
+
+/// Restores specialized dispatch even when an assertion bails out.
+struct ForceGenericGuard {
+  explicit ForceGenericGuard(bool on) { KernelRegistry::set_force_generic(on); }
+  ~ForceGenericGuard() { KernelRegistry::set_force_generic(false); }
+};
+
+void registry_conv2d(MatrixView<const i8> in, float s_in,
+                     MatrixView<const i8> k, float s_k, isa::Stride stride,
+                     u16 bank, float out_scale, MatrixView<i8> out,
+                     ThreadPool* pool) {
+  KernelArgs a;
+  a.in0 = in;
+  a.s_in0 = s_in;
+  a.in1 = k;
+  a.s_in1 = s_k;
+  a.stride = stride;
+  a.bank = bank;
+  a.out_scale = out_scale;
+  a.out = out;
+  a.pool = pool;
+  const u16 id = KernelRegistry::resolve(Opcode::kConv2D, in.shape(),
+                                         k.shape(), stride, bank, s_in, s_k,
+                                         out_scale, /*wide=*/false);
+  KernelRegistry::run(Opcode::kConv2D, id, a);
+}
+
+void registry_conv2d_wide(MatrixView<const i8> in, MatrixView<const i8> k,
+                          isa::Stride stride, u16 bank, MatrixView<i32> out,
+                          ThreadPool* pool) {
+  KernelArgs a;
+  a.in0 = in;
+  a.in1 = k;
+  a.stride = stride;
+  a.bank = bank;
+  a.wide = true;
+  a.wide_out = out;
+  a.pool = pool;
+  const u16 id =
+      KernelRegistry::resolve(Opcode::kConv2D, in.shape(), k.shape(), stride,
+                              bank, 1.0f, 1.0f, 1.0f, /*wide=*/true);
+  KernelRegistry::run(Opcode::kConv2D, id, a);
+}
+
+void registry_fully_connected(MatrixView<const i8> in, float s_in,
+                              MatrixView<const i8> w, float s_w,
+                              float out_scale, MatrixView<i8> out,
+                              ThreadPool* pool) {
+  KernelArgs a;
+  a.in0 = in;
+  a.s_in0 = s_in;
+  a.in1 = w;
+  a.s_in1 = s_w;
+  a.out_scale = out_scale;
+  a.out = out;
+  a.pool = pool;
+  const u16 id = KernelRegistry::resolve(Opcode::kFullyConnected, in.shape(),
+                                         w.shape(), {1, 1}, 1, s_in, s_w,
+                                         out_scale, /*wide=*/false);
+  KernelRegistry::run(Opcode::kFullyConnected, id, a);
+}
+
+void registry_fully_connected_wide(MatrixView<const i8> in,
+                                   MatrixView<const i8> w, MatrixView<i32> out,
+                                   ThreadPool* pool) {
+  KernelArgs a;
+  a.in0 = in;
+  a.in1 = w;
+  a.wide = true;
+  a.wide_out = out;
+  a.pool = pool;
+  const u16 id =
+      KernelRegistry::resolve(Opcode::kFullyConnected, in.shape(), w.shape(),
+                              {1, 1}, 1, 1.0f, 1.0f, 1.0f, /*wide=*/true);
+  KernelRegistry::run(Opcode::kFullyConnected, id, a);
+}
+
+void registry_pairwise(Opcode op, MatrixView<const i8> va, float s_a,
+                       MatrixView<const i8> vb, float s_b, float out_scale,
+                       MatrixView<i8> out, ThreadPool* pool) {
+  KernelArgs a;
+  a.in0 = va;
+  a.s_in0 = s_a;
+  a.in1 = vb;
+  a.s_in1 = s_b;
+  a.out_scale = out_scale;
+  a.out = out;
+  a.pool = pool;
+  const u16 id = KernelRegistry::resolve(op, va.shape(), vb.shape(), {1, 1},
+                                         1, s_a, s_b, out_scale,
+                                         /*wide=*/false);
+  KernelRegistry::run(op, id, a);
+}
+
+void registry_elementwise(Opcode op, MatrixView<const i8> in, float s_in,
+                          float out_scale, MatrixView<i8> out,
+                          ThreadPool* pool) {
+  KernelArgs a;
+  a.in0 = in;
+  a.s_in0 = s_in;
+  a.out_scale = out_scale;
+  a.out = out;
+  a.pool = pool;
+  const u16 id = KernelRegistry::resolve(op, in.shape(), {}, {1, 1}, 1, s_in,
+                                         1.0f, out_scale, /*wide=*/false);
+  KernelRegistry::run(op, id, a);
+}
+
 // The deliberate shape mix: the paper's optimal tiles, tiny kernels,
 // non-divisible edge tiles, and strides > 1 (which take the engine's
 // fallback path).
@@ -103,7 +223,7 @@ std::vector<ConvCase> conv_cases(Rng& rng) {
   return cases;
 }
 
-void run_conv_cases(ThreadPool* pool) {
+void run_conv_cases(ThreadPool* pool, Via via = Via::kDirect) {
   Rng rng(0xc0417u + (pool != nullptr ? 1 : 0));
   const auto cases = conv_cases(rng);
   for (usize i = 0; i < cases.size(); ++i) {
@@ -123,21 +243,31 @@ void run_conv_cases(ThreadPool* pool) {
     Matrix<i8> eng(out_shape);
     kern::reference::conv2d(in.view(), s_in, k.view(), s_k, cc.stride,
                             cc.bank, out_scale, ref.view());
-    kern::conv2d(in.view(), s_in, k.view(), s_k, cc.stride, cc.bank,
-                 out_scale, eng.view(), pool);
+    if (via == Via::kRegistry) {
+      registry_conv2d(in.view(), s_in, k.view(), s_k, cc.stride, cc.bank,
+                      out_scale, eng.view(), pool);
+    } else {
+      kern::conv2d(in.view(), s_in, k.view(), s_k, cc.stride, cc.bank,
+                   out_scale, eng.view(), pool);
+    }
     expect_equal(ref.view(), eng.view(), "conv2d " + label);
 
     Matrix<i32> ref_w(out_shape);
     Matrix<i32> eng_w(out_shape);
     kern::reference::conv2d_wide(in.view(), k.view(), cc.stride, cc.bank,
                                  ref_w.view());
-    kern::conv2d_wide(in.view(), k.view(), cc.stride, cc.bank, eng_w.view(),
-                      pool);
+    if (via == Via::kRegistry) {
+      registry_conv2d_wide(in.view(), k.view(), cc.stride, cc.bank,
+                           eng_w.view(), pool);
+    } else {
+      kern::conv2d_wide(in.view(), k.view(), cc.stride, cc.bank, eng_w.view(),
+                        pool);
+    }
     expect_equal_wide(ref_w.view(), eng_w.view(), "conv2d_wide " + label);
   }
 }
 
-void run_fc_cases(ThreadPool* pool) {
+void run_fc_cases(ThreadPool* pool, Via via = Via::kDirect) {
   Rng rng(0xfc17u + (pool != nullptr ? 1 : 0));
   const Shape2D shapes[] = {{128, 128}, {64, 64},  {1, 128}, {128, 1},
                             {61, 45},   {37, 129}, {5, 5},   {97, 3}};
@@ -158,22 +288,32 @@ void run_fc_cases(ThreadPool* pool) {
       Matrix<i8> eng(mn.rows, k);
       kern::reference::fully_connected(in.view(), s_in, w.view(), s_w,
                                        out_scale, ref.view());
-      kern::fully_connected(in.view(), s_in, w.view(), s_w, out_scale,
-                            eng.view(), pool);
+      if (via == Via::kRegistry) {
+        registry_fully_connected(in.view(), s_in, w.view(), s_w, out_scale,
+                                 eng.view(), pool);
+      } else {
+        kern::fully_connected(in.view(), s_in, w.view(), s_w, out_scale,
+                              eng.view(), pool);
+      }
       expect_equal(ref.view(), eng.view(), "fully_connected " + label);
 
       Matrix<i32> ref_w(mn.rows, k);
       Matrix<i32> eng_w(mn.rows, k);
       kern::reference::fully_connected_wide(in.view(), w.view(),
                                             ref_w.view());
-      kern::fully_connected_wide(in.view(), w.view(), eng_w.view(), pool);
+      if (via == Via::kRegistry) {
+        registry_fully_connected_wide(in.view(), w.view(), eng_w.view(),
+                                      pool);
+      } else {
+        kern::fully_connected_wide(in.view(), w.view(), eng_w.view(), pool);
+      }
       expect_equal_wide(ref_w.view(), eng_w.view(),
                         "fully_connected_wide " + label);
     }
   }
 }
 
-void run_pointwise_cases(ThreadPool* pool) {
+void run_pointwise_cases(ThreadPool* pool, Via via = Via::kDirect) {
   Rng rng(0x9a137u + (pool != nullptr ? 1 : 0));
   const Shape2D shapes[] = {{128, 128}, {64, 64}, {61, 45}, {1, 1}, {3, 200}};
   usize i = 0;
@@ -190,8 +330,13 @@ void run_pointwise_cases(ThreadPool* pool) {
       Matrix<i8> eng(shape);
       kern::reference::pairwise(op, a.view(), s_a, b.view(), s_b, out_scale,
                                 ref.view());
-      kern::pairwise(op, a.view(), s_a, b.view(), s_b, out_scale, eng.view(),
-                     pool);
+      if (via == Via::kRegistry) {
+        registry_pairwise(op, a.view(), s_a, b.view(), s_b, out_scale,
+                          eng.view(), pool);
+      } else {
+        kern::pairwise(op, a.view(), s_a, b.view(), s_b, out_scale,
+                       eng.view(), pool);
+      }
       expect_equal(ref.view(), eng.view(), "pairwise " + label);
     }
     for (const Opcode op : {Opcode::kTanh, Opcode::kReLu}) {
@@ -203,7 +348,11 @@ void run_pointwise_cases(ThreadPool* pool) {
       Matrix<i8> ref(shape);
       Matrix<i8> eng(shape);
       kern::reference::elementwise(op, a.view(), s_in, out_scale, ref.view());
-      kern::elementwise(op, a.view(), s_in, out_scale, eng.view(), pool);
+      if (via == Via::kRegistry) {
+        registry_elementwise(op, a.view(), s_in, out_scale, eng.view(), pool);
+      } else {
+        kern::elementwise(op, a.view(), s_in, out_scale, eng.view(), pool);
+      }
       expect_equal(ref.view(), eng.view(), "elementwise " + label);
     }
   }
@@ -230,6 +379,40 @@ TEST(KernelsEquivalence, PairwiseElementwiseSerial) {
 TEST(KernelsEquivalence, PairwiseElementwiseStriped) {
   ThreadPool pool(3);
   run_pointwise_cases(&pool);
+}
+
+// The same property suites with the engine side routed through the
+// registry, once per dispatch mode. Specialized mode exercises the
+// fixed-shape variants on the on-grid cases (and the generic fallback on
+// everything else); forced-generic mode pins that the override really
+// reproduces the direct engine path bit-for-bit.
+TEST(KernelsEquivalence, Conv2DRegistrySpecialized) {
+  run_conv_cases(nullptr, Via::kRegistry);
+}
+
+TEST(KernelsEquivalence, Conv2DRegistryForcedGeneric) {
+  ForceGenericGuard guard(true);
+  run_conv_cases(nullptr, Via::kRegistry);
+}
+
+TEST(KernelsEquivalence, FullyConnectedRegistrySpecialized) {
+  ThreadPool pool(3);
+  run_fc_cases(&pool, Via::kRegistry);
+}
+
+TEST(KernelsEquivalence, FullyConnectedRegistryForcedGeneric) {
+  ForceGenericGuard guard(true);
+  run_fc_cases(nullptr, Via::kRegistry);
+}
+
+TEST(KernelsEquivalence, PairwiseElementwiseRegistrySpecialized) {
+  ThreadPool pool(3);
+  run_pointwise_cases(&pool, Via::kRegistry);
+}
+
+TEST(KernelsEquivalence, PairwiseElementwiseRegistryForcedGeneric) {
+  ForceGenericGuard guard(true);
+  run_pointwise_cases(nullptr, Via::kRegistry);
 }
 
 // reduce / crop / ext have no vectorized variant beyond their lookup-table

@@ -1,0 +1,24 @@
+// Fixture: R8 -- a kernel-registry-style dispatcher whose virtual-domain
+// run() times the selected variant with the wall clock instead of the
+// modelled timeline (the clock mix specialized dispatch must not have).
+#include "common/domain_annotations.hpp"
+#include "common/stopwatch.hpp"
+
+namespace fixture {
+
+double variant_wall_seconds() {
+  Stopwatch sw;  // hidden wall primitive in an unannotated helper
+  return sw.elapsed();
+}
+
+GPTPU_VIRTUAL_DOMAIN
+double run_specialized_variant(int kernel_id) {
+  double elapsed = 0.0;
+  if (kernel_id != 0) {
+    elapsed += variant_wall_seconds();  // R8c: virtual -> helper -> wall
+  }
+  Stopwatch dispatch_timer;  // R8a: wall primitive directly in run()
+  return elapsed + dispatch_timer.elapsed();
+}
+
+}  // namespace fixture
