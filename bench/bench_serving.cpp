@@ -1,0 +1,529 @@
+// Deterministic load generator for the multi-tenant serving front end
+// (runtime/serving.hpp, docs/SERVING.md).
+//
+// Three tenants -- an "interactive" latency-class tenant with a per-op
+// deadline SLO, a "batch" throughput tenant, and a best-effort
+// "scavenger" -- drive one simulated pool through seeded arrival traces:
+//
+//  * open loop: merged Poisson arrivals swept at 0.5x / 1x / 2x of the
+//    pool's measured service capacity, plus an on/off bursty trace at 2x;
+//  * closed loop: thousands of simulated clients, each with exponential
+//    think time and at most one outstanding request.
+//
+// Everything is virtual-time: arrival instants, shed/deadline decisions,
+// latencies and goodput are all modelled quantities, so a fixed seed
+// replays byte-identically (scripts/serving_smoke.py compares two whole
+// processes; this binary additionally re-runs the 2x overload trace
+// in-process and hard-fails on any divergence in outcomes or shed set).
+//
+// The binary hard-fails (exit 1) when the serving contract breaks:
+//  * any tenant queue ever exceeds its configured cap;
+//  * conservation: every submission resolves to exactly one of
+//    {landed, rejected, shed, expired, failed} and per-tenant accounting
+//    sums match;
+//  * under 2x overload the latency-class p99 exceeds its SLO, or no
+//    best-effort work was shed.
+//
+//   bench_serving [--quick] [--devices=N] [--json <path>]
+//
+// Regenerate the committed baseline with:
+//   build/bench/bench_serving --json BENCH_serving.json
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+#include <cstring>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/metrics.hpp"
+#include "common/rng.hpp"
+#include "runtime/runtime.hpp"
+#include "runtime/serving.hpp"
+
+namespace {
+
+using namespace gptpu;
+using gptpu::bench::BenchArgs;
+using gptpu::bench::JsonWriter;
+using runtime::OperationRequest;
+using runtime::Runtime;
+using runtime::RuntimeConfig;
+using serving::Outcome;
+using serving::QosClass;
+using serving::Server;
+using serving::ServingConfig;
+using serving::TenantSpec;
+using serving::TenantStats;
+
+constexpr u64 kSeed = 0x5e47'11ce;
+constexpr usize kTileSide = 128;  // one full Edge TPU tile -> one plan/op
+
+int g_failures = 0;
+
+void expect(bool cond, const char* fmt, ...) {
+  if (cond) return;
+  ++g_failures;
+  va_list ap;
+  va_start(ap, fmt);
+  std::fprintf(stderr, "bench_serving: FAIL: ");
+  std::vfprintf(stderr, fmt, ap);
+  std::fprintf(stderr, "\n");
+  va_end(ap);
+}
+
+/// The three-tenant serving setup every scenario uses. `slo_vt` is the
+/// interactive tenant's per-op deadline (and the p99 bar).
+ServingConfig make_serving_config(Seconds slo_vt) {
+  ServingConfig cfg;
+  cfg.tenants = {
+      TenantSpec{"interactive", QosClass::kLatency, 4.0, 32, slo_vt},
+      TenantSpec{"batch", QosClass::kThroughput, 2.0, 128, 0},
+      TenantSpec{"scavenger", QosClass::kBestEffort, 1.0, 128, 0},
+  };
+  cfg.shed_watermark = 64;
+  return cfg;
+}
+
+struct Workload {
+  Runtime* rt = nullptr;
+  std::vector<OperationRequest> per_tenant;  // template request per tenant
+};
+
+/// Timing-only buffers: the load test models thousands of ops, so no data
+/// is materialized or computed (RuntimeConfig::functional = false).
+Workload make_workload(Runtime& rt, usize tenants) {
+  Workload w;
+  w.rt = &rt;
+  const quant::Range range{-1.0f, 1.0f};
+  for (usize t = 0; t < tenants; ++t) {
+    OperationRequest req;
+    req.op = isa::Opcode::kMul;
+    req.in0 = rt.create_virtual_buffer({kTileSide, kTileSide}, range);
+    req.in1 = rt.create_virtual_buffer({kTileSide, kTileSide}, range);
+    req.out = rt.create_virtual_buffer({kTileSide, kTileSide}, range);
+    w.per_tenant.push_back(req);
+  }
+  return w;
+}
+
+RuntimeConfig make_runtime_config(usize devices) {
+  RuntimeConfig cfg;
+  cfg.num_devices = devices;
+  cfg.functional = false;
+  return cfg;
+}
+
+/// Ops per virtual second the pool sustains for this workload, measured
+/// by pushing a back-to-back batch through an uncontended server.
+double measure_service_rate(usize devices) {
+  Runtime rt{make_runtime_config(devices)};
+  Workload w = make_workload(rt, 1);
+  ServingConfig cfg = make_serving_config(/*slo_vt=*/0);
+  cfg.tenants.resize(1);
+  cfg.tenants[0].queue_cap = 1u << 12;
+  cfg.shed_watermark = 1u << 12;
+  Server server{rt, cfg};
+  const usize probe_ops = 64;
+  for (usize i = 0; i < probe_ops; ++i) {
+    server.submit(0, w.per_tenant[0], /*arrival_vt=*/0, /*deadline_vt=*/0);
+  }
+  const Seconds makespan = server.drain();
+  GPTPU_CHECK(makespan > 0, "probe produced a zero makespan");
+  return static_cast<double>(probe_ops) / makespan;
+}
+
+struct Arrival {
+  Seconds at = 0;
+  u32 tenant = 0;
+  bool operator>(const Arrival& o) const {
+    return at != o.at ? at > o.at : tenant > o.tenant;
+  }
+};
+
+/// Merged per-tenant Poisson arrivals, optionally on/off burst-modulated
+/// (3x the rate for the first 40% of each period, 0.25x for the rest).
+std::vector<Arrival> open_loop_trace(double total_rate, usize total_ops,
+                                     bool bursty, u64 seed) {
+  // Tenant shares of the offered load: interactive 30%, batch 40%,
+  // scavenger 30%.
+  const double share[3] = {0.3, 0.4, 0.3};
+  std::vector<Arrival> trace;
+  trace.reserve(total_ops);
+  for (u32 t = 0; t < 3; ++t) {
+    Rng rng{seed + t};
+    const usize n = static_cast<usize>(share[t] * total_ops);
+    const double rate = share[t] * total_rate;
+    const Seconds period = 200.0 / total_rate;  // burst cycle length
+    Seconds at = 0;
+    for (usize i = 0; i < n; ++i) {
+      double r = rate;
+      if (bursty) {
+        const double phase = std::fmod(at, period) / period;
+        r = rate * (phase < 0.4 ? 3.0 : 0.25);
+      }
+      double u = rng.next_double();
+      while (u == 0.0) u = rng.next_double();
+      at += -std::log(u) / r;
+      trace.push_back({at, t});
+    }
+  }
+  std::sort(trace.begin(), trace.end(),
+            [](const Arrival& a, const Arrival& b) {
+              return a.at != b.at ? a.at < b.at : a.tenant < b.tenant;
+            });
+  return trace;
+}
+
+struct ScenarioResult {
+  std::vector<TenantStats> stats;
+  /// (outcome, status, done_vt) per ticket -- the replay fingerprint.
+  std::vector<serving::TicketStatus> tickets;
+  std::vector<u64> shed;
+  std::array<std::vector<Seconds>, serving::kNumQosClasses> latencies;
+  Seconds makespan = 0;
+  u64 submitted = 0;
+};
+
+ScenarioResult run_trace(usize devices, Seconds slo_vt,
+                         const std::vector<Arrival>& trace) {
+  Runtime rt{make_runtime_config(devices)};
+  Workload w = make_workload(rt, 3);
+  Server server{rt, make_serving_config(slo_vt)};
+  for (const Arrival& a : trace) {
+    server.submit(a.tenant, w.per_tenant[a.tenant], a.at);
+  }
+  ScenarioResult r;
+  r.makespan = server.drain();
+  r.submitted = trace.size();
+  r.shed = server.shed_tickets();
+  for (usize t = 0; t < server.num_tenants(); ++t) {
+    r.stats.push_back(server.tenant_stats(t));
+  }
+  for (u64 id = 0; id < trace.size(); ++id) {
+    const serving::TicketStatus ts = server.ticket(id);
+    r.tickets.push_back(ts);
+    if (ts.outcome == Outcome::kLanded) {
+      const auto cls = static_cast<usize>(
+          server.tenant_spec(ts.tenant).qos);
+      r.latencies[cls].push_back(ts.done_vt - ts.arrival_vt);
+    }
+  }
+  return r;
+}
+
+double percentile(std::vector<Seconds> v, double q) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const usize idx = static_cast<usize>(
+      std::min<double>(std::ceil(q * static_cast<double>(v.size())),
+                       static_cast<double>(v.size())) - 1);
+  return v[idx];
+}
+
+/// Conservation + queue-cap contract, asserted for every scenario.
+void check_contract(const char* name, const ScenarioResult& r,
+                    const ServingConfig& cfg) {
+  u64 resolved = 0;
+  for (const auto& ts : r.tickets) {
+    expect(ts.outcome != Outcome::kQueued,
+           "%s: ticket left queued after drain", name);
+    ++resolved;
+  }
+  expect(resolved == r.submitted, "%s: %llu tickets for %llu submissions",
+         name, static_cast<unsigned long long>(resolved),
+         static_cast<unsigned long long>(r.submitted));
+  for (usize t = 0; t < r.stats.size(); ++t) {
+    const TenantStats& s = r.stats[t];
+    expect(s.submitted == s.admitted + s.rejected_queue_full +
+                              s.rejected_breaker + s.shed,
+           "%s/%s: admission accounting mismatch", name,
+           cfg.tenants[t].name.c_str());
+    expect(s.admitted == s.landed + s.expired + s.failed,
+           "%s/%s: resolution accounting mismatch", name,
+           cfg.tenants[t].name.c_str());
+    expect(s.max_queue_depth <= cfg.tenants[t].queue_cap,
+           "%s/%s: queue depth %llu exceeded cap %llu", name,
+           cfg.tenants[t].name.c_str(),
+           static_cast<unsigned long long>(s.max_queue_depth),
+           static_cast<unsigned long long>(cfg.tenants[t].queue_cap));
+  }
+}
+
+void report_scenario(const char* name, const ScenarioResult& r,
+                     Seconds slo_vt, JsonWriter& json) {
+  const char* cls_names[3] = {"latency", "throughput", "best_effort"};
+  u64 landed = 0, rejected = 0, shed = 0, expired = 0, failed = 0;
+  for (const TenantStats& s : r.stats) {
+    landed += s.landed;
+    rejected += s.rejected_queue_full + s.rejected_breaker;
+    shed += s.shed;
+    expired += s.expired;
+    failed += s.failed;
+  }
+  const double goodput =
+      r.makespan > 0 ? static_cast<double>(landed) / r.makespan : 0.0;
+  std::printf("  %-12s landed %5llu  rejected %4llu  shed %4llu  "
+              "expired %4llu  failed %3llu  goodput %8.1f ops/vs\n",
+              name, static_cast<unsigned long long>(landed),
+              static_cast<unsigned long long>(rejected),
+              static_cast<unsigned long long>(shed),
+              static_cast<unsigned long long>(expired),
+              static_cast<unsigned long long>(failed), goodput);
+  // Shed-set fingerprint: part of the byte-compared stdout, so a replay
+  // that sheds different tickets (not just a different count) fails
+  // serving.smoke.
+  u64 fnv = 1469598103934665603ull;
+  for (const u64 id : r.shed) {
+    fnv = (fnv ^ id) * 1099511628211ull;
+  }
+  std::printf("    shed set: %zu tickets, fnv 0x%016llx\n", r.shed.size(),
+              static_cast<unsigned long long>(fnv));
+  const std::string prefix = std::string("serving.") + name;
+  json.add(prefix + ".goodput_ops_per_vs", goodput);
+  json.add(prefix + ".landed", static_cast<double>(landed));
+  json.add(prefix + ".rejected", static_cast<double>(rejected));
+  json.add(prefix + ".shed", static_cast<double>(shed));
+  json.add(prefix + ".expired", static_cast<double>(expired));
+  json.add(prefix + ".failed", static_cast<double>(failed));
+  json.add(prefix + ".shed_rate",
+           r.submitted > 0
+               ? static_cast<double>(shed) / static_cast<double>(r.submitted)
+               : 0.0);
+  for (usize c = 0; c < 3; ++c) {
+    if (r.latencies[c].empty()) continue;
+    const double p50 = percentile(r.latencies[c], 0.50);
+    const double p95 = percentile(r.latencies[c], 0.95);
+    const double p99 = percentile(r.latencies[c], 0.99);
+    std::printf("    %-11s p50 %9.5f  p95 %9.5f  p99 %9.5f vs  (%zu ops)\n",
+                cls_names[c], p50, p95, p99, r.latencies[c].size());
+    const std::string cp = prefix + "." + cls_names[c];
+    json.add(cp + ".p50_vt", p50);
+    json.add(cp + ".p95_vt", p95);
+    json.add(cp + ".p99_vt", p99);
+    if (c == 0 && slo_vt > 0) {
+      // Scale-free SLO bar: scripts/bench_compare.py hard-fails any
+      // latency-class p99_slo_ratio above 1.0 (quick and full runs both
+      // satisfy it, so the gate survives workload-size changes).
+      json.add(cp + ".p99_slo_ratio", p99 / slo_vt);
+    }
+  }
+}
+
+/// Closed loop: `clients` simulated clients, each submitting its next
+/// request one exponential think time after the previous one resolves
+/// (at most one outstanding request per client).
+ScenarioResult run_closed_loop(usize devices, Seconds slo_vt, usize clients,
+                               usize ops_per_client, double service_rate) {
+  Runtime rt{make_runtime_config(devices)};
+  Workload w = make_workload(rt, 3);
+  Server server{rt, make_serving_config(slo_vt)};
+
+  struct ClientEvent {
+    Seconds at = 0;
+    u32 client = 0;
+    bool operator>(const ClientEvent& o) const {
+      return at != o.at ? at > o.at : client > o.client;
+    }
+  };
+  // Offered load ~1.5x capacity in aggregate so backpressure engages.
+  const double think_mean =
+      static_cast<double>(clients) / (1.5 * service_rate);
+  Rng rng{kSeed ^ 0xc105edu};
+  auto think = [&]() {
+    double u = rng.next_double();
+    while (u == 0.0) u = rng.next_double();
+    return -std::log(u) * think_mean;
+  };
+
+  std::priority_queue<ClientEvent, std::vector<ClientEvent>,
+                      std::greater<ClientEvent>>
+      events;
+  for (u32 c = 0; c < clients; ++c) {
+    events.push({think(), c});
+  }
+  std::vector<usize> issued(clients, 0);
+  struct Outstanding {
+    u32 client = 0;
+    u64 ticket = 0;
+  };
+  std::vector<Outstanding> parked;
+  u64 submitted = 0;
+
+  auto reap_parked = [&](Seconds now) {
+    for (usize i = 0; i < parked.size();) {
+      const serving::TicketStatus ts = server.ticket(parked[i].ticket);
+      if (ts.outcome == Outcome::kQueued) {
+        ++i;
+        continue;
+      }
+      const u32 c = parked[i].client;
+      parked[i] = parked.back();
+      parked.pop_back();
+      if (issued[c] < ops_per_client) {
+        events.push({std::max(now, ts.done_vt) + think(), c});
+      }
+    }
+  };
+
+  while (!events.empty()) {
+    const ClientEvent ev = events.top();
+    events.pop();
+    const u32 tenant = ev.client % 3;
+    const u64 ticket =
+        server.submit(tenant, w.per_tenant[tenant], ev.at);
+    ++submitted;
+    issued[ev.client] += 1;
+    const serving::TicketStatus ts = server.ticket(ticket);
+    if (ts.outcome == Outcome::kQueued) {
+      parked.push_back({ev.client, ticket});
+    } else if (issued[ev.client] < ops_per_client) {
+      events.push({std::max(ev.at, ts.done_vt) + think(), ev.client});
+    }
+    reap_parked(ev.at);
+  }
+
+  ScenarioResult r;
+  r.makespan = server.drain();
+  r.submitted = submitted;
+  r.shed = server.shed_tickets();
+  for (usize t = 0; t < server.num_tenants(); ++t) {
+    r.stats.push_back(server.tenant_stats(t));
+  }
+  for (u64 id = 0; id < submitted; ++id) {
+    const serving::TicketStatus ts = server.ticket(id);
+    r.tickets.push_back(ts);
+    if (ts.outcome == Outcome::kLanded) {
+      const auto cls =
+          static_cast<usize>(server.tenant_spec(ts.tenant).qos);
+      r.latencies[cls].push_back(ts.done_vt - ts.arrival_vt);
+    }
+  }
+  return r;
+}
+
+bool same_resolution(const ScenarioResult& a, const ScenarioResult& b) {
+  if (a.shed != b.shed || a.tickets.size() != b.tickets.size()) return false;
+  for (usize i = 0; i < a.tickets.size(); ++i) {
+    const auto& x = a.tickets[i];
+    const auto& y = b.tickets[i];
+    if (x.outcome != y.outcome || x.status != y.status ||
+        std::memcmp(&x.done_vt, &y.done_vt, sizeof(Seconds)) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchArgs args = BenchArgs::parse(argc, argv);
+  bench::header("Multi-tenant serving front end under overload",
+                "virtual-time load generator: admission control, QoS "
+                "dispatch, deadlines, load shedding (docs/SERVING.md)");
+  JsonWriter json;
+
+  const usize devices = std::max<usize>(args.devices, 2);
+  const usize open_ops = args.quick ? 600 : 3000;
+  const usize clients = args.quick ? 400 : 2000;
+  const usize ops_per_client = args.quick ? 2 : 3;
+
+  const double service_rate = measure_service_rate(devices);
+  const Seconds mean_svc = 1.0 / service_rate;
+  // Interactive SLO: generous multiple of the mean service time; the
+  // latency class holds it at 2x overload because shedding and strict
+  // priority keep its queue short.
+  const Seconds slo_vt = 50.0 * mean_svc;
+  std::printf("  pool: %zu devices, service rate %.1f ops/vs, "
+              "interactive SLO %.5f vs\n\n",
+              devices, service_rate, slo_vt);
+  json.add("serving.pool.service_rate_ops_per_vs", service_rate);
+
+  const ServingConfig cfg = make_serving_config(slo_vt);
+
+  struct OpenScenario {
+    const char* name;
+    double load_mult;
+    bool bursty;
+  };
+  const OpenScenario sweeps[] = {
+      {"load_0.5x", 0.5, false},
+      {"load_1x", 1.0, false},
+      {"load_2x", 2.0, false},
+      {"burst_2x", 2.0, true},
+  };
+  ScenarioResult two_x;  // kept for the determinism + SLO asserts
+  for (const OpenScenario& s : sweeps) {
+    const auto trace =
+        open_loop_trace(s.load_mult * service_rate, open_ops, s.bursty,
+                        kSeed);
+    ScenarioResult r = run_trace(devices, slo_vt, trace);
+    check_contract(s.name, r, cfg);
+    report_scenario(s.name, r, slo_vt, json);
+    if (std::strcmp(s.name, "load_2x") == 0) {
+      // Same-seed replay on a fresh pool must resolve every ticket
+      // identically -- outcomes, typed statuses, completion instants and
+      // the shed set are all functions of the submission sequence.
+      const ScenarioResult replay = run_trace(devices, slo_vt, trace);
+      expect(same_resolution(r, replay),
+             "load_2x: same-seed replay diverged (outcomes/shed set)");
+      two_x = std::move(r);
+    }
+  }
+
+  // 2x-overload contract: the latency class holds its SLO while
+  // best-effort work is shed.
+  {
+    const double p99 = percentile(two_x.latencies[0], 0.99);
+    expect(p99 <= slo_vt,
+           "load_2x: latency-class p99 %.5f exceeds SLO %.5f", p99, slo_vt);
+    u64 shed = 0;
+    for (const TenantStats& s : two_x.stats) shed += s.shed;
+    expect(shed > 0, "load_2x: no best-effort work was shed");
+    expect(two_x.stats[0].shed == 0 && two_x.stats[1].shed == 0,
+           "load_2x: shedding touched a non-best-effort tenant");
+  }
+
+  bench::section("closed loop");
+  {
+    ScenarioResult r = run_closed_loop(devices, slo_vt, clients,
+                                       ops_per_client, service_rate);
+    check_contract("closed_loop", r, cfg);
+    report_scenario("closed_loop", r, slo_vt, json);
+    std::printf("    (%zu clients, %zu ops each)\n", clients,
+                ops_per_client);
+  }
+
+  // Registry totals across the whole run: the serving.* telemetry the
+  // smoke test byte-compares across replays (docs/OBSERVABILITY.md).
+  auto& reg = metrics::MetricRegistry::global();
+  json.add("serving.metrics.submitted",
+           static_cast<double>(reg.counter("serving.submitted").value()));
+  json.add("serving.metrics.shed_best_effort",
+           static_cast<double>(
+               reg.counter("serving.shed_best_effort").value()));
+  json.add("serving.metrics.rejected_queue_full",
+           static_cast<double>(
+               reg.counter("serving.rejected_queue_full").value()));
+  json.add("serving.metrics.expired_deadline",
+           static_cast<double>(
+               reg.counter("serving.expired_deadline").value()));
+
+  if (!json.write(args.json_path)) {
+    std::fprintf(stderr, "bench_serving: cannot write %s\n",
+                 args.json_path.c_str());
+    return 1;
+  }
+  if (g_failures > 0) {
+    std::fprintf(stderr, "bench_serving: %d contract check(s) failed\n",
+                 g_failures);
+    return 1;
+  }
+  std::printf("\nbench_serving: all serving contract checks passed\n");
+  return 0;
+}

@@ -7,6 +7,7 @@ machine with:
 
     build/bench/bench_kernels --json BENCH_kernels.json
     build/bench/bench_runtime --json BENCH_runtime.json
+    build/bench/bench_serving --json BENCH_serving.json
 
 Gating rules (wall clock on shared machines is noisy, and the quick smoke
 runs use smaller problem sizes than the committed full-mode baselines, so
@@ -36,6 +37,14 @@ the thresholds are calibrated per metric class):
   * ``runtime.flight_overhead.overhead_pct`` -- the armed-but-idle flight
     recorder's wall cost: fail when it exceeds FLIGHT_OVERHEAD_MAX_PCT.
     Absolute bar, no baseline needed (docs/OBSERVABILITY.md).
+  * serving-class metrics (BENCH_serving baselines) -- all virtual-time,
+    deterministic up to workload size. Any ``*.latency.p99_slo_ratio``
+    above SERVING_SLO_MAX means the latency class blew its SLO (the quick
+    smoke and the full baseline both hold it, so this is scale-free);
+    the overload shed telemetry (``serving.load_2x.shed*``) and every
+    baseline SLO-ratio key must stay emitted, and ``serving.load_2x.shed``
+    must stay positive -- a zero means load shedding stopped engaging
+    under 2x overload (docs/SERVING.md).
   * everything else (``*_ms``, ``*_gops``, stddevs, counters) -- report
     only.
 
@@ -58,6 +67,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 # Filename substrings mapped to their committed baselines; first match
 # wins, bench_kernels stays the fallback for compatibility.
 BASELINES = [
+    ("bench_serving", REPO_ROOT / "BENCH_serving.json"),
     ("bench_runtime", REPO_ROOT / "BENCH_runtime.json"),
     ("bench_kernels", REPO_ROOT / "BENCH_kernels.json"),
 ]
@@ -84,6 +94,14 @@ REL_STDDEV_WARN = 0.1
 FLIGHT_OVERHEAD_KEY = "runtime.flight_overhead.overhead_pct"
 FLIGHT_OVERHEAD_MAX_PCT = 2.0
 
+# Serving-layer bars (docs/SERVING.md): the latency class must hold its
+# SLO (p99 / SLO <= 1.0, an absolute scale-free bar), and overload must
+# keep shedding best-effort work.
+SERVING_SLO_SUFFIX = ".latency.p99_slo_ratio"
+SERVING_SLO_MAX = 1.0
+SERVING_SHED_KEY = "serving.load_2x.shed"
+SERVING_SHED_KEYS = ("serving.load_2x.shed", "serving.load_2x.shed_rate")
+
 
 def default_baseline(new_path: Path) -> Path:
     for needle, baseline in BASELINES:
@@ -100,9 +118,33 @@ def load(path: Path) -> dict:
     return data
 
 
-def gate_failures(base: dict, new: dict, kernels_class: bool = False) -> list[str]:
+def gate_failures(base: dict, new: dict, kernels_class: bool = False,
+                  serving_class: bool = False) -> list[str]:
     """Regressions beyond the noise threshold (see module docstring)."""
     failures = []
+    for key in sorted(new):
+        if key.endswith(SERVING_SLO_SUFFIX):
+            ratio = float(new[key])
+            if ratio > SERVING_SLO_MAX:
+                failures.append(
+                    f"{key}: {ratio:.2f} -- the latency class blew its SLO "
+                    f"(p99 must stay within {SERVING_SLO_MAX:.1f}x of the "
+                    "deadline; docs/SERVING.md)"
+                )
+    if serving_class:
+        for key in sorted(base):
+            if (key.endswith(SERVING_SLO_SUFFIX) or key in SERVING_SHED_KEYS) \
+                    and key not in new:
+                failures.append(
+                    f"{key}: missing from the new results (the serving bench "
+                    "stopped emitting its SLO/shed telemetry)"
+                )
+        if SERVING_SHED_KEY in base and SERVING_SHED_KEY in new \
+                and float(new[SERVING_SHED_KEY]) <= 0:
+            failures.append(
+                f"{SERVING_SHED_KEY}: 0 -- load shedding stopped engaging "
+                "under 2x overload (docs/SERVING.md)"
+            )
     if kernels_class:
         for key in sorted(base):
             if key.endswith(SPECIALIZED_SUFFIX) and key not in new:
@@ -234,7 +276,9 @@ def main(argv: list[str]) -> int:
             "layer must be a no-op when no fault fires"
         )
 
-    failures = gate_failures(base, new, kernels_class="kernels" in base_path.name.lower())
+    failures = gate_failures(base, new,
+                             kernels_class="kernels" in base_path.name.lower(),
+                             serving_class="serving" in base_path.name.lower())
     if failures:
         for f in failures:
             print(f"bench_compare: FAIL: {f}", file=sys.stderr)

@@ -70,6 +70,14 @@ if [[ -d build ]]; then
   ctest --test-dir build -R '^flight\.smoke$' --output-on-failure
 fi
 
+# Explicit serving gate (docs/SERVING.md): two whole-process replays of
+# the serving load generator must agree byte-for-byte on every serving.*
+# virtual metric and on the per-scenario shed-set fingerprints.
+if [[ -d build ]]; then
+  banner "serving.smoke"
+  ctest --test-dir build -R '^serving\.smoke$' --output-on-failure
+fi
+
 # Perf regression gate: the default preset's bench.smoke /
 # bench.runtime_smoke runs (part of ctest above) wrote quick JSONs; diff
 # them against the committed baselines (inferred from the filename).
@@ -85,6 +93,11 @@ RUNTIME_SMOKE_JSON="build/bench/bench_runtime_smoke.json"
 if [[ -f "${RUNTIME_SMOKE_JSON}" && -f BENCH_runtime.json ]]; then
   banner "bench_compare runtime (gated)"
   python3 scripts/bench_compare.py "${RUNTIME_SMOKE_JSON}"
+fi
+SERVING_SMOKE_JSON="build/bench/bench_serving_smoke.json"
+if [[ -f "${SERVING_SMOKE_JSON}" && -f BENCH_serving.json ]]; then
+  banner "bench_compare serving (gated)"
+  python3 scripts/bench_compare.py "${SERVING_SMOKE_JSON}"
 fi
 
 banner "all checks passed"

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Serving-layer determinism smoke test (the serving.smoke ctest entry).
+
+Runs the bench_serving load generator twice, as two separate processes
+(the MetricRegistry is process-global, so an in-process replay could not
+tell fresh state from accumulated state), and asserts the serving
+contract of docs/SERVING.md:
+
+ 1. Replay determinism -- the JSON results file AND the full stdout
+    (which embeds each scenario's shed-set fingerprint) are byte-identical
+    across the two runs. Every serving.* value is virtual-domain, so any
+    byte of divergence means wall time leaked into an admission, shed,
+    deadline, or dispatch decision.
+ 2. The run itself passes bench_serving's internal contract checks
+    (queue caps, conservation, 2x-overload SLO + shedding, in-process
+    same-seed replay) -- a non-zero exit fails the smoke.
+ 3. The JSON carries the keys scripts/bench_compare.py gates on
+    (latency-class p99/SLO ratios and the overload shed telemetry).
+
+Usage: serving_smoke.py <bench_serving-binary> <workdir>
+"""
+
+import json
+import pathlib
+import subprocess
+import sys
+
+
+def fail(msg: str) -> None:
+    print(f"serving_smoke: FAIL: {msg}")
+    sys.exit(1)
+
+
+def main() -> None:
+    if len(sys.argv) != 3:
+        fail("usage: serving_smoke.py <bench_serving-binary> <workdir>")
+    binary = sys.argv[1]
+    work = pathlib.Path(sys.argv[2])
+    work.mkdir(parents=True, exist_ok=True)
+
+    outs = []
+    jsons = []
+    for i in (1, 2):
+        jpath = work / f"serving_replay{i}.json"
+        proc = subprocess.run(
+            [binary, "--quick", "--json", str(jpath)],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+        if proc.returncode != 0:
+            fail(f"replay {i} exited {proc.returncode}:\n{proc.stdout}")
+        outs.append(proc.stdout)
+        jsons.append(jpath.read_text())
+
+    if jsons[0] != jsons[1]:
+        a, b = (json.loads(t) for t in jsons)
+        diff = sorted(k for k in a if a.get(k) != b.get(k))
+        fail(f"serving JSON differs between identical replays: {diff}")
+    if outs[0] != outs[1]:
+        lines = [
+            (x, y) for x, y in zip(outs[0].splitlines(),
+                                   outs[1].splitlines()) if x != y
+        ]
+        fail(f"stdout (shed sets / percentiles) diverged: {lines[:5]}")
+
+    doc = json.loads(jsons[0])
+    for key in ("serving.load_2x.shed", "serving.load_2x.shed_rate",
+                "serving.load_2x.latency.p99_slo_ratio",
+                "serving.load_1x.latency.p99_slo_ratio",
+                "serving.metrics.shed_best_effort"):
+        if key not in doc:
+            fail(f"results are missing gated key '{key}'")
+    if doc["serving.load_2x.shed"] <= 0:
+        fail("2x overload shed no best-effort work")
+    if doc["serving.load_2x.latency.p99_slo_ratio"] > 1.0:
+        fail("latency-class p99 blew its SLO under 2x overload")
+
+    print(f"serving_smoke: OK (two replays byte-identical: "
+          f"{len(doc)} virtual metrics, "
+          f"{int(doc['serving.load_2x.shed'])} deterministic sheds at 2x)")
+
+
+if __name__ == "__main__":
+    main()

@@ -12,6 +12,10 @@
 //    exponential backoff in virtual time;
 //  * device-fatal faults (kExecuteTimeout, kDeviceLost): the device is
 //    declared dead and the plan is re-dispatched to a survivor.
+// kDeadlineExceeded is terminal like a structural error -- retrying,
+// re-dispatching or falling back cannot un-expire the op -- but it blames
+// time, not the request, so it surfaces as OperationFailed rather than
+// ResourceExhausted (docs/SERVING.md).
 #pragma once
 
 #include <string>
@@ -30,6 +34,7 @@ enum class StatusCode : u8 {
   kExecuteTimeout,   // fatal: inference hung past the watchdog
   kDeviceLost,       // fatal: device dropped off the bus
   kDataCorruption,   // transient: result readback failed verification
+  kDeadlineExceeded, // terminal: the op's virtual-time deadline ran out
 };
 
 [[nodiscard]] constexpr std::string_view status_code_name(StatusCode code) {
@@ -41,6 +46,7 @@ enum class StatusCode : u8 {
     case StatusCode::kExecuteTimeout: return "execute_timeout";
     case StatusCode::kDeviceLost: return "device_lost";
     case StatusCode::kDataCorruption: return "data_corruption";
+    case StatusCode::kDeadlineExceeded: return "deadline_exceeded";
   }
   return "unknown";
 }

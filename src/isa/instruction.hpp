@@ -106,6 +106,10 @@ struct Instruction {
 
   /// Originating GPTPU task, used by the scheduler's affinity rule (§6.1).
   u64 task_id = 0;
+  /// Absolute virtual-time deadline of the owning operation (0 = none).
+  /// The device clamps the fault watchdog to the remaining budget so a
+  /// hung execute cannot consume more virtual time than the op has left.
+  Seconds deadline_vt = 0;
   /// Flight-recorder trace id of the owning op; stamps the device's
   /// kExecuteBegin/kExecuteEnd lifecycle events. 0 means untraced.
   u64 trace_id = 0;

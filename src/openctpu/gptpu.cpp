@@ -1,5 +1,6 @@
 #include "openctpu/gptpu.hpp"
 
+#include <atomic>
 #include <future>
 #include <memory>
 #include <mutex>  // std::call_once only; locking goes through gptpu::Mutex
@@ -40,7 +41,26 @@ struct Context {
   std::vector<std::unique_ptr<openctpu_graph>> graphs GPTPU_GUARDED_BY(mu);
   std::unordered_map<int, std::future<void>> tasks GPTPU_GUARDED_BY(mu);
   int next_handle GPTPU_GUARDED_BY(mu) = 1;
+
+  /// Status code behind the last -1 (openctpu_last_status): the most
+  /// recent permanently-failed operation observed by this context, reset
+  /// to kOk by a fully-successful wait/sync. Atomic: readers may poll
+  /// from other threads while a wait drains.
+  std::atomic<int> last_status{0};
 };
+
+/// Maps a front-end failure to the status code openctpu_last_status
+/// reports: operations carry their own code, structural capacity errors
+/// are kResourceExhausted, anything else is a caller error.
+int status_of(const gptpu::Error& e) {
+  if (const auto* op = dynamic_cast<const gptpu::OperationFailed*>(&e)) {
+    return static_cast<int>(op->code());
+  }
+  if (dynamic_cast<const gptpu::ResourceExhausted*>(&e) != nullptr) {
+    return static_cast<int>(gptpu::StatusCode::kResourceExhausted);
+  }
+  return static_cast<int>(gptpu::StatusCode::kInvalidArgument);
+}
 
 Context& context() {
   // Construct the metrics registry before ctx: function-local statics are
@@ -66,6 +86,10 @@ thread_local gptpu::u64 tls_task_id = 0;
 /// Graph being recorded on this thread between openctpu_graph_begin and
 /// openctpu_graph_end; null = eager execution.
 thread_local openctpu_graph* tls_graph = nullptr;
+
+/// Relative per-op deadline applied to subsequent eager invocations on
+/// this thread (openctpu_set_op_deadline); 0 = none.
+thread_local double tls_op_deadline = 0;
 
 gptpu::u64 current_task(Runtime& rt) {
   if (tls_task_id == 0) {
@@ -129,6 +153,11 @@ int invoke(Opcode op, unsigned flags, openctpu_buffer* in0,
     return 0;
   }
   req.task_id = current_task(rt);
+  if (tls_op_deadline > 0) {
+    // The op's earliest start is its task's readiness instant (eager ops
+    // carry no not_before), so the absolute deadline anchors there.
+    req.deadline_vt = rt.task_ready(req.task_id) + tls_op_deadline;
+  }
   // Mint the op's trace id at the submission boundary: for sequential
   // applications this pins trace-id order to program order, which the
   // flight.smoke replay comparison relies on. (Runtime::invoke mints
@@ -138,7 +167,15 @@ int invoke(Opcode op, unsigned flags, openctpu_buffer* in0,
       gptpu::metrics::MetricRegistry::global().counter(
           "openctpu.operators_invoked");
   invoked.add(1);
-  rt.invoke(req);
+  try {
+    rt.invoke(req);
+  } catch (const gptpu::Error& e) {
+    // Record the typed status before the exception reaches the caller
+    // (task kernels re-observe it at wait/sync; eager callers can query
+    // openctpu_last_status after catching).
+    context().last_status.store(status_of(e), std::memory_order_relaxed);
+    throw;
+  }
   return 0;
 }
 
@@ -328,12 +365,15 @@ int openctpu_sync() {
   for (auto& [handle, fut] : pending) {
     try {
       fut.get();
-    } catch (const gptpu::Error&) {
+    } catch (const gptpu::Error& e) {
       // The failing operation already logged its status on its OpRecord
-      // (see openctpu_sync's contract in gptpu.hpp).
+      // (see openctpu_sync's contract in gptpu.hpp); the typed code also
+      // lands on the context for openctpu_last_status.
+      ctx.last_status.store(status_of(e), std::memory_order_relaxed);
       rc = -1;
     }
   }
+  if (rc == 0) ctx.last_status.store(0, std::memory_order_relaxed);
   return rc;
 }
 
@@ -349,8 +389,19 @@ int openctpu_wait(int task_handle) {
   }
   try {
     fut.get();
-  } catch (const gptpu::Error&) {
+  } catch (const gptpu::Error& e) {
+    ctx.last_status.store(status_of(e), std::memory_order_relaxed);
     return -1;
   }
+  ctx.last_status.store(0, std::memory_order_relaxed);
   return 0;
+}
+
+int openctpu_last_status() {
+  return context().last_status.load(std::memory_order_relaxed);
+}
+
+void openctpu_set_op_deadline(double rel_deadline_vt) {
+  GPTPU_CHECK(rel_deadline_vt >= 0, "deadline must be non-negative");
+  tls_op_deadline = rel_deadline_vt;
 }

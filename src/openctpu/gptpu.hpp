@@ -217,3 +217,23 @@ int openctpu_sync();
 /// openctpu_sync(): 0 on success, -1 when the task's kernel failed
 /// permanently (status recorded on the operation's OpRecord).
 int openctpu_wait(int task_handle);
+
+/// Status code behind the last -1 (docs/SERVING.md error contract).
+///
+/// openctpu_wait / openctpu_sync collapse every failure to -1; this
+/// per-context query disambiguates. It returns the gptpu::StatusCode
+/// (as an int) of the most recent permanently-failed operation observed
+/// by this context -- e.g. kDeadlineExceeded for an expired deadline,
+/// kResourceExhausted for a structural capacity rejection, kDeviceLost /
+/// kExecuteTimeout for a pool death with CPU fallback disabled -- and
+/// 0 (kOk) when no failure has been observed since the last successful
+/// wait/sync. Eager (non-task) operator invocations record their status
+/// here too before rethrowing.
+int openctpu_last_status();
+
+/// Per-op deadline for subsequent eager operator invocations on this
+/// thread: each op must finish within `rel_deadline_vt` virtual seconds
+/// of its earliest start, or it fails with kDeadlineExceeded (the fault
+/// watchdog and retry backoff are clamped to the remaining budget --
+/// docs/SERVING.md). 0 clears the deadline. Graph recordings ignore it.
+void openctpu_set_op_deadline(double rel_deadline_vt);

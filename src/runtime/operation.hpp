@@ -52,6 +52,12 @@ struct OperationRequest {
   /// earliest virtual time this op may start -- a cross-stage dependency
   /// edge from a producing op on another pipeline stage.
   Seconds not_before = 0;
+  /// Absolute virtual-time deadline; 0 = none. An op whose deadline has
+  /// passed before dispatch (or whose retries would outlive it) fails
+  /// with kDeadlineExceeded instead of consuming device time, and a hung
+  /// execute's watchdog is clamped to the remaining budget
+  /// (docs/SERVING.md).
+  Seconds deadline_vt = 0;
   /// Pin every instruction of this op to one device (graph pipeline
   /// stages); -1 keeps the scheduler's free choice.
   int device_pin = -1;

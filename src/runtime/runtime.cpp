@@ -308,6 +308,9 @@ Runtime::Runtime(const RuntimeConfig& config)
   // still see the operator's fault schedule.
   sim::FaultConfig faults = config_.faults;
   if (!faults.enabled()) faults = sim::FaultInjector::process_default();
+  // The runtime-level watchdog override applies to whichever spec won, so
+  // callers can tighten the hang budget without re-stating the schedule.
+  if (config_.watchdog_vt > 0) faults.watchdog_vt = config_.watchdog_vt;
   if (faults.enabled()) {
     fault_injector_ =
         std::make_unique<sim::FaultInjector>(faults, config_.num_devices);
@@ -510,7 +513,11 @@ Seconds Runtime::invoke(const OperationRequest& request) {
   auto& fm = FaultMetrics::get();
   StatusCode op_status = StatusCode::kOk;
   Seconds queue_wait_sum = 0;
-  if (scheduler_.alive_count() == 0) {
+  if (request.deadline_vt > 0 && ctx.op_ready >= request.deadline_vt) {
+    // Expired before any instruction could dispatch (e.g. the op sat in a
+    // serving queue past its deadline): fail without touching a device.
+    op_status = StatusCode::kDeadlineExceeded;
+  } else if (scheduler_.alive_count() == 0) {
     // Every device died before this operation dispatched: degrade to the
     // CPU path plan by plan (or surface, when the policy forbids it).
     if (config_.fault_policy.cpu_fallback) {
@@ -572,6 +579,13 @@ Seconds Runtime::invoke(const OperationRequest& request) {
     std::vector<const OpContext::FailedPlan*> redispatch;
     std::vector<const OpContext::FailedPlan*> fallback;
     for (const auto& f : failures) {
+      // Deadline expiry is terminal: no re-dispatch and no CPU fallback
+      // can un-expire the op, so it surfaces as OperationFailed below.
+      if (f.code == StatusCode::kDeadlineExceeded) {
+        op_status = f.code;
+        record_fault_event(f.device, ctx.op_ready, "deadline-exceeded");
+        continue;
+      }
       // Re-dispatch while a survivor exists and the plan has not yet been
       // tried on every device of the pool; otherwise fall back.
       if (alive > 0 && f.attempts < config_.num_devices) {
@@ -657,9 +671,12 @@ Seconds Runtime::invoke(const OperationRequest& request) {
     blackbox::write_if_configured();
     throw OperationFailed(
         op_status,
-        "operation failed permanently (" +
-            std::string(status_code_name(op_status)) +
-            "): no device placement left and CPU fallback is disabled");
+        op_status == StatusCode::kDeadlineExceeded
+            ? "operation failed permanently (deadline_exceeded): the op's "
+              "virtual-time deadline ran out"
+            : "operation failed permanently (" +
+                  std::string(status_code_name(op_status)) +
+                  "): no device placement left and CPU fallback is disabled");
   }
 
   // Matrix-wise operators: the CPU-aggregated scalar lands here.
@@ -1186,6 +1203,14 @@ Status Runtime::try_execute_plan(DeviceState& ds, const WorkItem& item,
   const InstructionPlan& plan = item.plan;
   OpContext& ctx = *item.ctx;
 
+  // An op whose deadline passed while this plan waited (queue time, a
+  // prior retry's backoff, or a fault re-dispatch) expires here, before
+  // any staging or device time is spent on it.
+  if (ctx.req->deadline_vt > 0 && ready >= ctx.req->deadline_vt) {
+    return Status{StatusCode::kDeadlineExceeded,
+                  "op deadline passed before the plan could start"};
+  }
+
   // Zero-tile elision: skip the device round trip entirely when a
   // multiplicative operand tile is all zeros.
   if (config_.functional && config_.skip_zero_tiles &&
@@ -1251,6 +1276,7 @@ Status Runtime::try_execute_plan(DeviceState& ds, const WorkItem& item,
   instr.kernel_bank = plan.kernel_bank;
   instr.out_scale = plan.out_scale;
   instr.task_id = ctx.req->task_id;
+  instr.deadline_vt = ctx.req->deadline_vt;
   instr.trace_id = plan.trace_id;
   instr.quant = ctx.req->quant;
   instr.kernel_id = plan.kernel_id;
@@ -1437,6 +1463,7 @@ Status Runtime::run_plan_with_retries(DeviceState& ds, const WorkItem& item) {
   }
   const RuntimeConfig::FaultPolicy& policy = config_.fault_policy;
   auto& fm = FaultMetrics::get();
+  const Seconds deadline = item.ctx->req->deadline_vt;
   Seconds ready = item.ctx->op_ready;
   for (u32 attempt = 0;; ++attempt) {
     const Status st = try_execute_plan(ds, item, ready);
@@ -1444,6 +1471,11 @@ Status Runtime::run_plan_with_retries(DeviceState& ds, const WorkItem& item) {
     if (st.code() == StatusCode::kResourceExhausted) {
       // Structural, not a fault: every pool device is identical, so no
       // retry or re-dispatch can change the answer.
+      return st;
+    }
+    if (st.code() == StatusCode::kDeadlineExceeded) {
+      // Terminal for the op (invoke() surfaces it unchanged); the device
+      // keeps serving other work.
       return st;
     }
     if (is_device_fatal(st.code())) {
@@ -1466,6 +1498,13 @@ Status Runtime::run_plan_with_retries(DeviceState& ds, const WorkItem& item) {
     const Seconds backoff =
         policy.backoff_base_vt *
         std::pow(policy.backoff_multiplier, static_cast<double>(attempt));
+    if (deadline > 0 && ready + backoff >= deadline) {
+      // A retry that cannot start before the deadline is pointless work:
+      // expire now instead of letting the backoff outlive the budget.
+      record_fault_event(ds.index, ready, "retry-deadline");
+      return Status{StatusCode::kDeadlineExceeded,
+                    "retry backoff would outlive the op deadline"};
+    }
     fm.retried.add(1);
     fm.backoff_wait_vt.record(backoff);
     record_fault_event(ds.index, ready,

@@ -90,6 +90,12 @@ struct RuntimeConfig {
   /// empty too, no injector is built and every device boundary costs one
   /// null-pointer branch.
   sim::FaultConfig faults{};
+  /// Fault-watchdog timeout in virtual seconds; overrides the active
+  /// FaultConfig's watchdog_vt (including a process-default one) when
+  /// positive. 0 keeps the spec's own value (FaultConfig default 0.25).
+  /// Per-op the effective watchdog is additionally clamped to the op's
+  /// remaining deadline (docs/SERVING.md).
+  Seconds watchdog_vt = 0;
   /// How the runtime reacts to injected (or, on real hardware, observed)
   /// device faults; see docs/FAULT_TOLERANCE.md for the state machine.
   struct FaultPolicy {

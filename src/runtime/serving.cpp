@@ -1,0 +1,325 @@
+#include "runtime/serving.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <limits>
+
+#include "common/metrics.hpp"
+
+namespace gptpu::serving {
+
+namespace {
+
+/// serving.* telemetry, all virtual-domain: every value is derived from
+/// the deterministic event simulation, so two same-seed replays publish
+/// byte-identical snapshots (docs/OBSERVABILITY.md).
+struct ServingMetrics {
+  metrics::Counter& submitted;
+  metrics::Counter& admitted;
+  metrics::Counter& rejected_queue_full;
+  metrics::Counter& rejected_breaker;
+  metrics::Counter& shed_best_effort;
+  metrics::Counter& expired_deadline;
+  metrics::Counter& landed;
+  metrics::Counter& failed;
+  metrics::Counter& breaker_transitions;
+  metrics::Gauge& queue_depth_highwater;
+  metrics::Gauge& inflight_highwater;
+  std::array<metrics::Histogram*, kNumQosClasses> latency_vt;
+
+  static ServingMetrics& get() {
+    static auto& reg = metrics::MetricRegistry::global();
+    static ServingMetrics m{
+        reg.counter("serving.submitted"),
+        reg.counter("serving.admitted"),
+        reg.counter("serving.rejected_queue_full"),
+        reg.counter("serving.rejected_breaker"),
+        reg.counter("serving.shed_best_effort"),
+        reg.counter("serving.expired_deadline"),
+        reg.counter("serving.landed"),
+        reg.counter("serving.failed"),
+        reg.counter("serving.breaker_transitions"),
+        reg.gauge("serving.queue_depth_highwater"),
+        reg.gauge("serving.inflight_highwater"),
+        {&reg.histogram("serving.latency.latency_vt"),
+         &reg.histogram("serving.throughput.latency_vt"),
+         &reg.histogram("serving.best_effort.latency_vt")}};
+    return m;
+  }
+};
+
+}  // namespace
+
+Server::Server(runtime::Runtime& rt, ServingConfig config)
+    : rt_(rt), config_(std::move(config)) {
+  if (config_.tenants.empty()) {
+    throw InvalidArgument("serving: at least one tenant is required");
+  }
+  usize caps = 0;
+  tenants_.reserve(config_.tenants.size());
+  for (const TenantSpec& spec : config_.tenants) {
+    if (spec.name.empty()) {
+      throw InvalidArgument("serving: tenant names must be non-empty");
+    }
+    if (!(spec.weight > 0)) {
+      throw InvalidArgument("serving: tenant '" + spec.name +
+                            "' needs a positive weight");
+    }
+    Tenant t;
+    t.spec = spec;
+    t.spec.queue_cap = std::max<usize>(spec.queue_cap, 1);
+    caps += t.spec.queue_cap;
+    tenants_.push_back(std::move(t));
+  }
+  max_inflight_ = config_.max_inflight != 0
+                      ? config_.max_inflight
+                      : 2 * rt_.config().num_devices;
+  shed_watermark_ =
+      config_.shed_watermark != 0 ? config_.shed_watermark : caps / 2;
+  shed_watermark_ = std::max<usize>(shed_watermark_, 1);
+  MutexLock lock(mu_);
+  refresh_breaker_locked();
+}
+
+TenantSpec Server::tenant_spec(usize tenant) const {
+  MutexLock lock(mu_);
+  GPTPU_CHECK(tenant < tenants_.size(), "serving: bad tenant index");
+  return tenants_[tenant].spec;
+}
+
+u64 Server::submit(usize tenant, const runtime::OperationRequest& request,
+                   Seconds arrival_vt, Seconds deadline_vt) {
+  GPTPU_CHECK(tenant < config_.tenants.size(), "serving: bad tenant index");
+  auto& sm = ServingMetrics::get();
+  MutexLock lock(mu_);
+  Tenant& t = tenants_[tenant];
+
+  const u64 id = tickets_.size();
+  TicketStatus ts;
+  ts.tenant = static_cast<u32>(tenant);
+  ts.arrival_vt = arrival_vt;
+  tickets_.push_back(ts);
+  t.stats.submitted += 1;
+  sm.submitted.add(1);
+
+  // Complete everything the modelled timeline finished before this
+  // arrival; slots freed along the way drain the queues at the instants
+  // they actually freed.
+  advance_locked(arrival_vt);
+  refresh_breaker_locked();
+
+  // --- admission control (decision order is part of the contract, see
+  // docs/SERVING.md: breaker, then shedding, then the queue cap) --------
+  if (breaker_ == BreakerState::kOpen) {
+    t.stats.rejected_breaker += 1;
+    sm.rejected_breaker.add(1);
+    resolve_locked(id, Outcome::kRejected, StatusCode::kResourceExhausted,
+                   now_);
+    return id;
+  }
+  if (t.spec.qos == QosClass::kBestEffort &&
+      (breaker_ == BreakerState::kShedding ||
+       queued_total_ >= shed_watermark_)) {
+    t.stats.shed += 1;
+    sm.shed_best_effort.add(1);
+    shed_log_.push_back(id);
+    resolve_locked(id, Outcome::kShed, StatusCode::kResourceExhausted, now_);
+    return id;
+  }
+  if (t.queue.size() >= t.spec.queue_cap) {
+    t.stats.rejected_queue_full += 1;
+    sm.rejected_queue_full.add(1);
+    resolve_locked(id, Outcome::kRejected, StatusCode::kResourceExhausted,
+                   now_);
+    return id;
+  }
+
+  // --- admitted ---------------------------------------------------------
+  Pending p;
+  p.ticket = id;
+  p.request = request;
+  p.arrival_vt = arrival_vt;
+  const Seconds rel =
+      deadline_vt >= 0 ? deadline_vt : t.spec.default_deadline_vt;
+  p.deadline_vt = rel > 0 ? arrival_vt + rel : 0;
+  // SCFQ finish tag, fixed now: start from the later of the tenant's own
+  // last tag and the class's virtual clock, advance by 1/weight.
+  const usize cls = static_cast<usize>(t.spec.qos);
+  p.tag = std::max(t.finish_tag, class_round_[cls]) + 1.0 / t.spec.weight;
+  t.finish_tag = p.tag;
+  t.queue.push_back(std::move(p));
+  queued_total_ += 1;
+  t.stats.admitted += 1;
+  t.stats.max_queue_depth = std::max<u64>(t.stats.max_queue_depth,
+                                          t.queue.size());
+  sm.admitted.add(1);
+  sm.queue_depth_highwater.record_max(static_cast<double>(queued_total_));
+
+  pump_locked(now_);
+  return id;
+}
+
+Seconds Server::drain() {
+  MutexLock lock(mu_);
+  Seconds last = now_;
+  for (;;) {
+    pump_locked(now_);
+    if (inflight_.empty()) break;
+    const Seconds t = pop_completion_locked();
+    now_ = std::max(now_, t);
+    last = std::max(last, t);
+  }
+  GPTPU_CHECK(queued_total_ == 0, "serving: drain left ops queued");
+  return last;
+}
+
+void Server::advance_locked(Seconds vt) {
+  while (!inflight_.empty() && inflight_.front() <= vt) {
+    const Seconds t = pop_completion_locked();
+    now_ = std::max(now_, t);
+    pump_locked(now_);
+  }
+  now_ = std::max(now_, vt);
+}
+
+void Server::pump_locked(Seconds vt) {
+  auto& sm = ServingMetrics::get();
+  while (inflight_.size() < max_inflight_) {
+    const int picked = pick_tenant_locked();
+    if (picked < 0) return;
+    Tenant& t = tenants_[static_cast<usize>(picked)];
+    Pending p = std::move(t.queue.front());
+    t.queue.pop_front();
+    queued_total_ -= 1;
+
+    if (p.deadline_vt > 0 && vt >= p.deadline_vt) {
+      // Expired while queued: typed failure, no device time spent, and
+      // the dispatch slot stays free for the next candidate.
+      t.stats.expired += 1;
+      sm.expired_deadline.add(1);
+      resolve_locked(p.ticket, Outcome::kExpired,
+                     StatusCode::kDeadlineExceeded, vt);
+      continue;
+    }
+
+    // Advance the class's virtual clock to the dispatched op's admission
+    // tag (expiries above never advance it -- they took no service).
+    const usize cls = static_cast<usize>(t.spec.qos);
+    class_round_[cls] = std::max(class_round_[cls], p.tag);
+
+    runtime::OperationRequest req = p.request;
+    req.task_id = rt_.begin_task();  // fresh task: ops overlap in vt
+    req.not_before = std::max(vt, p.arrival_vt);
+    req.deadline_vt = p.deadline_vt;
+    try {
+      const Seconds done = rt_.invoke(req);
+      t.stats.landed += 1;
+      sm.landed.add(1);
+      sm.latency_vt[cls]->record(done - p.arrival_vt);
+      resolve_locked(p.ticket, Outcome::kLanded, StatusCode::kOk, done);
+      inflight_.push_back(done);
+      std::push_heap(inflight_.begin(), inflight_.end(),
+                     std::greater<Seconds>());
+      sm.inflight_highwater.record_max(static_cast<double>(inflight_.size()));
+    } catch (const OperationFailed& e) {
+      if (e.code() == StatusCode::kDeadlineExceeded) {
+        t.stats.expired += 1;
+        sm.expired_deadline.add(1);
+        resolve_locked(p.ticket, Outcome::kExpired, e.code(), vt);
+      } else {
+        t.stats.failed += 1;
+        sm.failed.add(1);
+        resolve_locked(p.ticket, Outcome::kFailed, e.code(), vt);
+      }
+      refresh_breaker_locked();  // the failure may have killed devices
+    } catch (const ResourceExhausted&) {
+      // Structural: the op itself cannot be served by this pool.
+      t.stats.failed += 1;
+      sm.failed.add(1);
+      resolve_locked(p.ticket, Outcome::kFailed,
+                     StatusCode::kResourceExhausted, vt);
+    }
+  }
+}
+
+int Server::pick_tenant_locked() const {
+  // Strict priority across classes; SCFQ within the class: the queue
+  // whose head carries the smallest admission-time finish tag wins, ties
+  // to the lower tenant index (deterministic).
+  for (usize cls = 0; cls < kNumQosClasses; ++cls) {
+    int best = -1;
+    double best_tag = std::numeric_limits<double>::infinity();
+    for (usize i = 0; i < tenants_.size(); ++i) {
+      const Tenant& t = tenants_[i];
+      if (static_cast<usize>(t.spec.qos) != cls || t.queue.empty()) continue;
+      const double tag = t.queue.front().tag;
+      if (tag < best_tag) {
+        best_tag = tag;
+        best = static_cast<int>(i);
+      }
+    }
+    if (best >= 0) return best;
+  }
+  return -1;
+}
+
+void Server::refresh_breaker_locked() {
+  const usize total = rt_.config().num_devices;
+  const usize alive = rt_.alive_devices();
+  const double frac =
+      total == 0 ? 0.0 : static_cast<double>(alive) / static_cast<double>(total);
+  BreakerState next = BreakerState::kClosed;
+  if (alive == 0 || frac <= config_.breaker_open_below) {
+    next = BreakerState::kOpen;
+  } else if (frac <= config_.breaker_shed_below) {
+    next = BreakerState::kShedding;
+  }
+  if (next != breaker_) {
+    breaker_ = next;
+    ServingMetrics::get().breaker_transitions.add(1);
+  }
+}
+
+void Server::resolve_locked(u64 ticket, Outcome outcome, StatusCode status,
+                            Seconds at) {
+  TicketStatus& ts = tickets_[ticket];
+  ts.outcome = outcome;
+  ts.status = status;
+  ts.done_vt = at;
+}
+
+Seconds Server::pop_completion_locked() {
+  std::pop_heap(inflight_.begin(), inflight_.end(), std::greater<Seconds>());
+  const Seconds t = inflight_.back();
+  inflight_.pop_back();
+  return t;
+}
+
+TicketStatus Server::ticket(u64 id) const {
+  MutexLock lock(mu_);
+  GPTPU_CHECK(id < tickets_.size(), "serving: unknown ticket");
+  return tickets_[id];
+}
+
+TenantStats Server::tenant_stats(usize tenant) const {
+  GPTPU_CHECK(tenant < config_.tenants.size(), "serving: bad tenant index");
+  MutexLock lock(mu_);
+  return tenants_[tenant].stats;
+}
+
+BreakerState Server::breaker() const {
+  MutexLock lock(mu_);
+  return breaker_;
+}
+
+Seconds Server::now() const {
+  MutexLock lock(mu_);
+  return now_;
+}
+
+std::vector<u64> Server::shed_tickets() const {
+  MutexLock lock(mu_);
+  return shed_log_;
+}
+
+}  // namespace gptpu::serving

@@ -1,0 +1,253 @@
+// Overload-robust multi-tenant serving front end (docs/SERVING.md).
+//
+// A serving::Server sits between request producers ("tenants") and one
+// runtime::Runtime and keeps the pool predictable when offered load
+// exceeds capacity:
+//  * per-tenant bounded submission queues -- admission control rejects
+//    with kResourceExhausted the moment a tenant's cap is hit, instead of
+//    queueing unboundedly;
+//  * three QoS classes served in strict priority (latency > throughput >
+//    best-effort), with self-clocked weighted-fair queuing between the
+//    tenants of one class;
+//  * graceful load shedding -- best-effort arrivals are dropped first
+//    (global shed watermark, or the circuit breaker's kShedding state)
+//    so latency-class p99 stays bounded under overload;
+//  * per-op deadlines in virtual time -- an op that expires while queued
+//    fails with kDeadlineExceeded without consuming device time, and the
+//    runtime clamps watchdog/backoff to the remaining budget;
+//  * a circuit breaker derived from the pool's health: when too few
+//    devices survive, admissions are shed (kShedding) or rejected
+//    outright (kOpen) instead of piling up behind redispatch.
+//
+// Execution model: a single-threaded discrete-event simulation over the
+// modelled (virtual) timeline. submit() carries the op's virtual arrival
+// instant; the server completes every modelled in-flight op up to that
+// instant (freeing dispatch slots and draining queues at each completion)
+// before running admission for the new arrival. Runtime::invoke is called
+// synchronously in nondecreasing virtual dispatch order, so ops overlap
+// in virtual time even though they are invoked sequentially in wall time
+// -- and every admission / shed / deadline decision is a pure function of
+// the submission sequence. Same-seed replays are byte-identical
+// (scripts/serving_smoke.py).
+//
+// Thread safety: all entry points serialize on one mutex, so concurrent
+// producers are safe (tests/test_serving.cpp TSan stress). Determinism is
+// only guaranteed when arrivals are submitted in nondecreasing arrival_vt
+// order -- concurrent producers trade the replay guarantee for liveness.
+#pragma once
+
+#include <array>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/domain_annotations.hpp"
+#include "common/status.hpp"
+#include "common/thread_annotations.hpp"
+#include "runtime/operation.hpp"
+#include "runtime/runtime.hpp"
+
+namespace gptpu::serving {
+
+/// Service classes, in strict dispatch-priority order.
+enum class QosClass : u8 { kLatency = 0, kThroughput = 1, kBestEffort = 2 };
+inline constexpr usize kNumQosClasses = 3;
+
+[[nodiscard]] constexpr std::string_view qos_class_name(QosClass qos) {
+  switch (qos) {
+    case QosClass::kLatency: return "latency";
+    case QosClass::kThroughput: return "throughput";
+    case QosClass::kBestEffort: return "best_effort";
+  }
+  return "unknown";
+}
+
+struct TenantSpec {
+  std::string name;
+  QosClass qos = QosClass::kThroughput;
+  /// Fair-share weight against the other tenants of the same class.
+  double weight = 1.0;
+  /// Bounded submission queue: arrivals beyond this many queued ops are
+  /// rejected with kResourceExhausted (clamped to >= 1).
+  usize queue_cap = 64;
+  /// Default per-op deadline, relative to arrival (0 = none); submit()
+  /// can override per op.
+  Seconds default_deadline_vt = 0;
+};
+
+/// Circuit-breaker states, derived from the pool's alive-device fraction.
+enum class BreakerState : u8 { kClosed = 0, kShedding = 1, kOpen = 2 };
+
+[[nodiscard]] constexpr std::string_view breaker_state_name(BreakerState s) {
+  switch (s) {
+    case BreakerState::kClosed: return "closed";
+    case BreakerState::kShedding: return "shedding";
+    case BreakerState::kOpen: return "open";
+  }
+  return "unknown";
+}
+
+struct ServingConfig {
+  std::vector<TenantSpec> tenants;
+  /// Modelled dispatch window: ops admitted to the Runtime but not yet
+  /// virtually complete. 0 = 2x the runtime's device count.
+  usize max_inflight = 0;
+  /// Total queued ops (across all tenants) at which best-effort arrivals
+  /// start being shed. 0 = half the summed queue caps.
+  usize shed_watermark = 0;
+  /// Breaker thresholds on the alive-device fraction: at or below
+  /// `open_below` every arrival is rejected (kOpen); at or below
+  /// `shed_below` best-effort arrivals are shed (kShedding). An all-dead
+  /// pool is always kOpen.
+  double breaker_open_below = 0.0;
+  double breaker_shed_below = 0.0;
+};
+
+/// Terminal (and one transient) states of a submission. Every admitted op
+/// resolves to exactly one of kLanded / kExpired / kFailed; every
+/// submission that was not admitted is kRejected or kShed.
+enum class Outcome : u8 {
+  kQueued = 0,  // still in a submission queue (only before drain())
+  kLanded,      // completed; done_vt is the modelled completion instant
+  kRejected,    // admission control said no (queue cap or open breaker)
+  kShed,        // dropped by load shedding (best-effort under pressure)
+  kExpired,     // deadline ran out (while queued, or inside the runtime)
+  kFailed,      // the runtime failed it permanently (OperationFailed)
+};
+
+[[nodiscard]] constexpr std::string_view outcome_name(Outcome o) {
+  switch (o) {
+    case Outcome::kQueued: return "queued";
+    case Outcome::kLanded: return "landed";
+    case Outcome::kRejected: return "rejected";
+    case Outcome::kShed: return "shed";
+    case Outcome::kExpired: return "expired";
+    case Outcome::kFailed: return "failed";
+  }
+  return "unknown";
+}
+
+/// Resolution of one submission, queried by ticket.
+struct TicketStatus {
+  Outcome outcome = Outcome::kQueued;
+  /// kOk for kLanded; the typed failure otherwise (kResourceExhausted for
+  /// rejections/sheds, kDeadlineExceeded for expiries, the runtime's code
+  /// for kFailed).
+  StatusCode status = StatusCode::kOk;
+  u32 tenant = 0;
+  Seconds arrival_vt = 0;
+  /// kLanded: modelled completion instant; otherwise the virtual instant
+  /// the op left the system.
+  Seconds done_vt = 0;
+};
+
+/// Per-tenant accounting. Invariants (tests/test_serving.cpp):
+///   submitted == admitted + rejected_queue_full + rejected_breaker + shed
+///   admitted  == landed + expired + failed          (after drain())
+struct TenantStats {
+  u64 submitted = 0;
+  u64 admitted = 0;
+  u64 rejected_queue_full = 0;
+  u64 rejected_breaker = 0;
+  u64 shed = 0;
+  u64 expired = 0;
+  u64 landed = 0;
+  u64 failed = 0;
+  u64 max_queue_depth = 0;
+};
+
+class Server {
+ public:
+  /// The runtime must outlive the server. Throws InvalidArgument on an
+  /// empty or malformed tenant list.
+  Server(runtime::Runtime& rt, ServingConfig config);
+
+  /// Submits one op for `tenant` arriving at `arrival_vt` (absolute
+  /// virtual time). `deadline_vt` is relative to arrival; negative =
+  /// tenant default, 0 = explicitly none. The request's buffers must stay
+  /// alive until the op resolves. Returns the submission's ticket.
+  GPTPU_VIRTUAL_DOMAIN
+  u64 submit(usize tenant, const runtime::OperationRequest& request,
+             Seconds arrival_vt, Seconds deadline_vt = -1)
+      GPTPU_EXCLUDES(mu_);
+
+  /// Runs the simulation to quiescence: every queued op is dispatched or
+  /// expired, every in-flight op completed. Returns the last modelled
+  /// completion instant (the serving makespan).
+  GPTPU_VIRTUAL_DOMAIN
+  Seconds drain() GPTPU_EXCLUDES(mu_);
+
+  [[nodiscard]] TicketStatus ticket(u64 id) const GPTPU_EXCLUDES(mu_);
+  [[nodiscard]] TenantStats tenant_stats(usize tenant) const
+      GPTPU_EXCLUDES(mu_);
+  [[nodiscard]] usize num_tenants() const { return config_.tenants.size(); }
+  [[nodiscard]] TenantSpec tenant_spec(usize tenant) const
+      GPTPU_EXCLUDES(mu_);
+  [[nodiscard]] BreakerState breaker() const GPTPU_EXCLUDES(mu_);
+  /// Serving clock: the latest virtual instant processed.
+  GPTPU_VIRTUAL_DOMAIN
+  [[nodiscard]] Seconds now() const GPTPU_EXCLUDES(mu_);
+  /// Tickets dropped by load shedding, in decision order -- the
+  /// deterministic "shed set" serving.smoke byte-compares across replays.
+  [[nodiscard]] std::vector<u64> shed_tickets() const GPTPU_EXCLUDES(mu_);
+
+ private:
+  struct Pending {
+    u64 ticket = 0;
+    runtime::OperationRequest request;
+    Seconds arrival_vt = 0;
+    Seconds deadline_vt = 0;  // absolute; 0 = none
+    /// SCFQ virtual finish tag, fixed at admission. Tags must not be
+    /// recomputed at pick time: a backlogged tenant re-tagged against the
+    /// advancing class round would chase it forever and starve.
+    double tag = 0;
+  };
+  struct Tenant {
+    TenantSpec spec;
+    std::deque<Pending> queue;
+    /// SCFQ virtual finish tag of the tenant's last admitted op.
+    double finish_tag = 0;
+    TenantStats stats;
+  };
+
+  /// Completes every modelled in-flight op with completion <= vt, pumping
+  /// the queues at each completion instant, then advances the clock.
+  GPTPU_VIRTUAL_DOMAIN
+  void advance_locked(Seconds vt) GPTPU_REQUIRES(mu_);
+  /// Dispatches queued ops at virtual instant vt while dispatch slots are
+  /// free (expiring queued ops whose deadline has passed).
+  GPTPU_VIRTUAL_DOMAIN
+  void pump_locked(Seconds vt) GPTPU_REQUIRES(mu_);
+  /// SCFQ pick: highest non-empty class, minimum head finish tag within
+  /// it (ties to the lower tenant index). Returns -1 when every queue is
+  /// empty.
+  [[nodiscard]] int pick_tenant_locked() const GPTPU_REQUIRES(mu_);
+  GPTPU_VIRTUAL_DOMAIN
+  void refresh_breaker_locked() GPTPU_REQUIRES(mu_);
+  void resolve_locked(u64 ticket, Outcome outcome, StatusCode status,
+                      Seconds at) GPTPU_REQUIRES(mu_);
+  /// Pops the earliest modelled completion (min-heap over inflight_).
+  Seconds pop_completion_locked() GPTPU_REQUIRES(mu_);
+
+  runtime::Runtime& rt_;
+  const ServingConfig config_;
+  usize max_inflight_ = 0;
+  usize shed_watermark_ = 0;
+
+  mutable Mutex mu_;
+  Seconds now_ GPTPU_GUARDED_BY(mu_) = 0;
+  std::vector<Tenant> tenants_ GPTPU_GUARDED_BY(mu_);
+  /// SCFQ virtual clock per QoS class (finish tag of the most recently
+  /// dispatched op).
+  std::array<double, kNumQosClasses> class_round_ GPTPU_GUARDED_BY(mu_){};
+  /// Modelled completion instants of dispatched-but-not-complete ops,
+  /// kept as a min-heap (std::push_heap/pop_heap with std::greater).
+  std::vector<Seconds> inflight_ GPTPU_GUARDED_BY(mu_);
+  std::vector<TicketStatus> tickets_ GPTPU_GUARDED_BY(mu_);
+  usize queued_total_ GPTPU_GUARDED_BY(mu_) = 0;
+  std::vector<u64> shed_log_ GPTPU_GUARDED_BY(mu_);
+  BreakerState breaker_ GPTPU_GUARDED_BY(mu_) = BreakerState::kClosed;
+};
+
+}  // namespace gptpu::serving

@@ -132,7 +132,13 @@ Result<Device::Completion> Device::execute(const Instruction& instr,
                                            Seconds ready) {
   FaultInjector::Decision fault;
   if (injector_ != nullptr) {
-    fault = injector_->consult(config_.id, FaultInjector::Boundary::kExecute);
+    // Deadline clamp (docs/SERVING.md): a hung execute may bill at most
+    // the op's remaining virtual budget before the watchdog verdict.
+    const Seconds clamp = instr.deadline_vt > 0
+                              ? std::max<Seconds>(instr.deadline_vt - ready, 0)
+                              : -1;
+    fault = injector_->consult(config_.id, FaultInjector::Boundary::kExecute,
+                               clamp);
     if (fault.code == StatusCode::kDeviceLost) {
       return Status{fault.code, "device lost"};
     }
@@ -141,6 +147,12 @@ Result<Device::Completion> Device::execute(const Instruction& instr,
       // declares the device dead.
       (void)compute_.acquire(ready, fault.extra_latency, "fault-watchdog");
       return Status{fault.code, "injected hang past the watchdog"};
+    }
+    if (fault.code == StatusCode::kDeadlineExceeded) {
+      // Sub-watchdog hang that still outlives the op's deadline: bill the
+      // clamped interval and expire the op; the device itself is fine.
+      (void)compute_.acquire(ready, fault.extra_latency, "fault-deadline");
+      return Status{fault.code, "hung execute outlived the op deadline"};
     }
   }
   MutexLock lock(mu_);

@@ -172,7 +172,8 @@ void FaultInjector::reset() {
   seed_schedules();
 }
 
-FaultInjector::Decision FaultInjector::consult(u32 device, Boundary boundary) {
+FaultInjector::Decision FaultInjector::consult(u32 device, Boundary boundary,
+                                               Seconds watchdog_clamp) {
   MutexLock lock(mu_);
   GPTPU_CHECK(device < devices_.size(), "fault consult: bad device index");
   auto& dev = devices_[device];
@@ -204,9 +205,22 @@ FaultInjector::Decision FaultInjector::consult(u32 device, Boundary boundary) {
       case Kind::kHang:
         if (boundary != Boundary::kExecute) break;
         if (op >= clause.at && op < clause.at + clause.count) {
+          // The effective watchdog is the configured one clamped to the
+          // op's remaining deadline budget: a hung execute is billed at
+          // most min(watchdog, remaining deadline) of virtual time.
+          Seconds effective = config_.watchdog_vt;
+          if (watchdog_clamp >= 0 && watchdog_clamp < effective) {
+            effective = watchdog_clamp;
+          }
           if (clause.hang_vt >= config_.watchdog_vt) {
+            // Genuine hang past the device watchdog: device-fatal.
             decision.code = StatusCode::kExecuteTimeout;
-            decision.extra_latency = config_.watchdog_vt;
+            decision.extra_latency = effective;
+          } else if (clause.hang_vt >= effective) {
+            // The hang would be survivable, but the deadline is not:
+            // terminal for the op, not for the device.
+            decision.code = StatusCode::kDeadlineExceeded;
+            decision.extra_latency = effective;
           } else {
             decision.extra_latency = clause.hang_vt;
           }

@@ -57,6 +57,7 @@ struct FaultConfig {
   /// Seed for probabilistic clauses and bit-flip positions.
   u64 seed = 0x6a017;
   /// Virtual seconds after which a hung execute is declared dead.
+  /// Overridable per Runtime via RuntimeConfig::watchdog_vt.
   Seconds watchdog_vt = 0.25;
 
   [[nodiscard]] bool enabled() const { return !spec.empty(); }
@@ -81,8 +82,14 @@ class FaultInjector {
 
   /// Called by Device at each fallible boundary. Advances the device's
   /// schedule position and returns the scheduled decision. Thread-safe.
+  /// `watchdog_clamp` (>= 0) caps the effective watchdog for this call --
+  /// the op's remaining deadline budget. A hang that outlives the clamp
+  /// but not the configured watchdog is a deadline expiry
+  /// (kDeadlineExceeded), not a device fault; either way no more than the
+  /// clamped interval is billed. Negative = no clamp.
   GPTPU_VIRTUAL_DOMAIN
-  Decision consult(u32 device, Boundary boundary) GPTPU_EXCLUDES(mu_);
+  Decision consult(u32 device, Boundary boundary,
+                   Seconds watchdog_clamp = -1) GPTPU_EXCLUDES(mu_);
 
   /// Total faults fired so far (also published as the fault.injected
   /// counter).

@@ -214,6 +214,101 @@ TEST(OpenCtpuTensor, OverloadedOperators) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// openctpu_last_status: the typed code behind wait/sync's collapsed -1
+// (docs/SERVING.md error contract). One test per distinguishable path:
+// deadline expiry, structural capacity rejection, permanent device loss,
+// and the reset to kOk after a fully-successful sync.
+// ---------------------------------------------------------------------------
+
+TEST(OpenCtpuStatus, DeadlineExceededIsReported) {
+  openctpu_shutdown();  // drop any default-initialized context
+  openctpu_options opts;
+  opts.num_devices = 1;
+  // A 0.1 vs hang below the 0.25 vs watchdog: harmless alone, fatal to an
+  // op holding only 0.05 vs of deadline budget.
+  opts.faults = "dev0:hang@0:0.1";
+  openctpu_init(opts);
+
+  std::vector<float> a(64 * 64, 1.0f);
+  std::vector<float> b(64 * 64, 2.0f);
+  std::vector<float> c(64 * 64, 0.0f);
+  auto* dim = openctpu_alloc_dimension(2, 64, 64);
+  auto* ta = openctpu_create_buffer(dim, a.data());
+  auto* tb = openctpu_create_buffer(dim, b.data());
+  auto* tc = openctpu_create_buffer(dim, c.data());
+
+  openctpu_set_op_deadline(0.05);
+  try {
+    openctpu_invoke_operator(TPU_OP_MUL, OPENCTPU_SCALE, ta, tb, tc);
+    FAIL() << "expected OperationFailed(kDeadlineExceeded)";
+  } catch (const gptpu::OperationFailed& e) {
+    EXPECT_EQ(e.code(), gptpu::StatusCode::kDeadlineExceeded);
+  }
+  EXPECT_EQ(openctpu_last_status(),
+            static_cast<int>(gptpu::StatusCode::kDeadlineExceeded));
+
+  // The hang clause is consumed and the deadline cleared: the next op
+  // lands, and a fully-successful sync resets the status to kOk.
+  openctpu_set_op_deadline(0);
+  EXPECT_EQ(openctpu_invoke_operator(TPU_OP_MUL, OPENCTPU_SCALE, ta, tb, tc),
+            0);
+  EXPECT_EQ(openctpu_sync(), 0);
+  EXPECT_EQ(openctpu_last_status(), 0);
+  openctpu_shutdown();
+}
+
+TEST(OpenCtpuStatus, ResourceExhaustedIsReported) {
+  openctpu_shutdown();
+  openctpu_options opts;
+  opts.num_devices = 1;
+  openctpu_init(opts);
+
+  // A conv2D kernel bigger than the on-chip working-set budget is a
+  // structural rejection: no retry, no fallback, kResourceExhausted.
+  const usize n = 2048;
+  std::vector<float> a(n * n, 0.0f);
+  std::vector<float> k(n * n, 0.0f);
+  std::vector<float> c(1, 0.0f);
+  auto* da = openctpu_alloc_dimension(2, n, n);
+  auto* dk = openctpu_alloc_dimension(2, n, n);
+  auto* dc = openctpu_alloc_dimension(2, 1, 1);
+  auto* ta = openctpu_create_buffer(da, a.data());
+  auto* tk = openctpu_create_buffer(dk, k.data());
+  auto* tc = openctpu_create_buffer(dc, c.data());
+  EXPECT_THROW(
+      openctpu_invoke_operator(TPU_OP_CONV2D, OPENCTPU_IDENTITY, ta, tk, tc),
+      gptpu::ResourceExhausted);
+  EXPECT_EQ(openctpu_last_status(),
+            static_cast<int>(gptpu::StatusCode::kResourceExhausted));
+  openctpu_shutdown();
+}
+
+TEST(OpenCtpuStatus, DeviceLostIsReported) {
+  openctpu_shutdown();
+  openctpu_options opts;
+  opts.num_devices = 1;
+  opts.faults = "dev0:loss@0";
+  opts.cpu_fallback = false;
+  openctpu_init(opts);
+
+  std::vector<float> a(64 * 64, 1.0f);
+  std::vector<float> b(64 * 64, 2.0f);
+  std::vector<float> c(64 * 64, 0.0f);
+  auto* dim = openctpu_alloc_dimension(2, 64, 64);
+  auto* ta = openctpu_create_buffer(dim, a.data());
+  auto* tb = openctpu_create_buffer(dim, b.data());
+  auto* tc = openctpu_create_buffer(dim, c.data());
+
+  const int handle = openctpu_enqueue([=] {
+    openctpu_invoke_operator(TPU_OP_ADD, OPENCTPU_SCALE, ta, tb, tc);
+  });
+  EXPECT_EQ(openctpu_wait(handle), -1);
+  EXPECT_EQ(openctpu_last_status(),
+            static_cast<int>(gptpu::StatusCode::kDeviceLost));
+  openctpu_shutdown();
+}
+
 TEST(OpenCtpuTensor, RefreshPicksUpHostMutations) {
   using gptpu::openctpu::Tensor;
   const gptpu::Shape2D shape{4, 4};

@@ -1,0 +1,505 @@
+// Multi-tenant serving front end (runtime/serving.hpp, docs/SERVING.md).
+//
+// The acceptance bar of the serving layer:
+//  * admission control is typed and bounded: queue caps reject with
+//    kResourceExhausted, the breaker rejects on a dead/degraded pool;
+//  * dispatch is strict-priority across QoS classes and weighted-fair
+//    (SCFQ) within a class;
+//  * overload sheds best-effort work first and keeps every decision in
+//    virtual time, so identical submission sequences resolve identically
+//    even with faults active;
+//  * deadlines cooperate with the fault machinery: expiry is terminal
+//    (kDeadlineExceeded), the watchdog is clamped to the remaining
+//    budget, and retry backoff never outlives the deadline;
+//  * conservation: every admitted op resolves to exactly one of
+//    {landed, expired, failed}; every submission to exactly one outcome.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.hpp"
+#include "common/status.hpp"
+#include "runtime/runtime.hpp"
+#include "runtime/serving.hpp"
+
+namespace gptpu::serving {
+namespace {
+
+using runtime::OperationRequest;
+using runtime::Runtime;
+using runtime::RuntimeConfig;
+
+RuntimeConfig timing_config(usize devices) {
+  RuntimeConfig cfg;
+  cfg.num_devices = devices;
+  cfg.functional = false;  // timing-only: mass invocation without data
+  return cfg;
+}
+
+OperationRequest make_request(Runtime& rt) {
+  OperationRequest req;
+  req.op = isa::Opcode::kMul;
+  const quant::Range range{-1.0f, 1.0f};
+  req.in0 = rt.create_virtual_buffer({128, 128}, range);
+  req.in1 = rt.create_virtual_buffer({128, 128}, range);
+  req.out = rt.create_virtual_buffer({128, 128}, range);
+  return req;
+}
+
+/// Virtual service time of one op on an idle single-device pool, the
+/// yardstick the deadline tests scale against.
+Seconds one_op_service_vt() {
+  Runtime rt{timing_config(1)};
+  OperationRequest req = make_request(rt);
+  req.task_id = rt.begin_task();
+  return rt.invoke(req);
+}
+
+void check_conservation(const Server& server) {
+  for (usize t = 0; t < server.num_tenants(); ++t) {
+    const TenantStats s = server.tenant_stats(t);
+    EXPECT_EQ(s.submitted, s.admitted + s.rejected_queue_full +
+                               s.rejected_breaker + s.shed)
+        << "tenant " << t << ": admission accounting mismatch";
+    EXPECT_EQ(s.admitted, s.landed + s.expired + s.failed)
+        << "tenant " << t << ": resolution accounting mismatch";
+  }
+}
+
+TEST(ServingAdmission, QueueCapRejectsWithTypedStatus) {
+  Runtime rt{timing_config(1)};
+  const OperationRequest req = make_request(rt);
+  ServingConfig cfg;
+  cfg.tenants = {TenantSpec{"t0", QosClass::kThroughput, 1.0, 4, 0}};
+  cfg.max_inflight = 1;
+  Server server{rt, cfg};
+
+  // Submission 0 dispatches into the free slot; 1..4 fill the queue to
+  // its cap of 4; 5..9 must be rejected at admission.
+  std::vector<u64> ids;
+  for (int i = 0; i < 10; ++i) ids.push_back(server.submit(0, req, 0));
+  const TenantStats s = server.tenant_stats(0);
+  EXPECT_EQ(s.submitted, 10u);
+  EXPECT_EQ(s.admitted, 5u);
+  EXPECT_EQ(s.rejected_queue_full, 5u);
+  EXPECT_EQ(s.max_queue_depth, 4u);
+  for (usize i = 5; i < 10; ++i) {
+    const TicketStatus ts = server.ticket(ids[i]);
+    EXPECT_EQ(ts.outcome, Outcome::kRejected);
+    EXPECT_EQ(ts.status, StatusCode::kResourceExhausted);
+  }
+  server.drain();
+  check_conservation(server);
+  EXPECT_EQ(server.tenant_stats(0).landed, 5u);
+}
+
+TEST(ServingQos, StrictPriorityAcrossClasses) {
+  Runtime rt{timing_config(1)};
+  const OperationRequest req = make_request(rt);
+  ServingConfig cfg;
+  cfg.tenants = {TenantSpec{"fg", QosClass::kLatency, 1.0, 64, 0},
+                 TenantSpec{"bg", QosClass::kThroughput, 1.0, 64, 0}};
+  cfg.max_inflight = 1;
+  Server server{rt, cfg};
+
+  // The background ops arrive first (ticket 0 grabs the only slot), then
+  // the latency ops. Everything still queued must drain latency-first.
+  std::vector<u64> bg, fg;
+  for (int i = 0; i < 6; ++i) bg.push_back(server.submit(1, req, 0));
+  for (int i = 0; i < 6; ++i) fg.push_back(server.submit(0, req, 0));
+  server.drain();
+  check_conservation(server);
+
+  Seconds fg_last = 0;
+  for (const u64 id : fg) {
+    fg_last = std::max(fg_last, server.ticket(id).done_vt);
+  }
+  // bg[0] dispatched before any latency op arrived; every other
+  // background op must complete after the whole latency class.
+  for (usize i = 1; i < bg.size(); ++i) {
+    EXPECT_GT(server.ticket(bg[i]).done_vt, fg_last)
+        << "throughput op " << i << " overtook the latency class";
+  }
+}
+
+TEST(ServingQos, WeightedFairSharesWithinClass) {
+  Runtime rt{timing_config(1)};
+  const OperationRequest req = make_request(rt);
+  ServingConfig cfg;
+  cfg.tenants = {TenantSpec{"heavy", QosClass::kThroughput, 3.0, 64, 0},
+                 TenantSpec{"light", QosClass::kThroughput, 1.0, 64, 0}};
+  cfg.max_inflight = 1;
+  Server server{rt, cfg};
+
+  for (int i = 0; i < 12; ++i) (void)server.submit(0, req, 0);
+  for (int i = 0; i < 12; ++i) (void)server.submit(1, req, 0);
+  server.drain();
+  check_conservation(server);
+
+  // SCFQ with weights 3:1 serves roughly three heavy ops per light op.
+  // Order ops by completion and count the split across the first two
+  // whole rounds (8 ops).
+  std::vector<TicketStatus> landed;
+  for (u64 id = 0; id < 24; ++id) landed.push_back(server.ticket(id));
+  std::sort(landed.begin(), landed.end(),
+            [](const TicketStatus& a, const TicketStatus& b) {
+              return a.done_vt < b.done_vt;
+            });
+  usize heavy = 0, light = 0;
+  for (usize i = 0; i < 8; ++i) {
+    (landed[i].tenant == 0 ? heavy : light) += 1;
+  }
+  EXPECT_GE(heavy, 5u) << "weight-3 tenant under-served";
+  EXPECT_GE(light, 1u) << "weight-1 tenant starved within its class";
+}
+
+TEST(ServingShed, BestEffortShedsFirstAndLatencyHolds) {
+  Runtime rt{timing_config(1)};
+  const OperationRequest req = make_request(rt);
+  ServingConfig cfg;
+  cfg.tenants = {TenantSpec{"fg", QosClass::kLatency, 1.0, 64, 0},
+                 TenantSpec{"scav", QosClass::kBestEffort, 1.0, 64, 0}};
+  cfg.max_inflight = 1;
+  cfg.shed_watermark = 4;
+  Server server{rt, cfg};
+
+  for (int i = 0; i < 20; ++i) {
+    (void)server.submit(0, req, 0);
+    (void)server.submit(1, req, 0);
+  }
+  server.drain();
+  check_conservation(server);
+
+  const TenantStats fg = server.tenant_stats(0);
+  const TenantStats scav = server.tenant_stats(1);
+  EXPECT_EQ(fg.shed, 0u) << "shedding must never touch the latency class";
+  EXPECT_GT(scav.shed, 0u) << "overload did not shed best-effort work";
+  EXPECT_EQ(fg.landed, 20u);
+  // The shed log records the dropped tickets in decision order, and every
+  // one of them belongs to the best-effort tenant.
+  const std::vector<u64> shed = server.shed_tickets();
+  EXPECT_EQ(shed.size(), scav.shed);
+  for (const u64 id : shed) {
+    const TicketStatus ts = server.ticket(id);
+    EXPECT_EQ(ts.tenant, 1u);
+    EXPECT_EQ(ts.outcome, Outcome::kShed);
+    EXPECT_EQ(ts.status, StatusCode::kResourceExhausted);
+  }
+}
+
+TEST(ServingDeadline, ExpiresInQueueWithoutDeviceTime) {
+  const Seconds svc = one_op_service_vt();
+  Runtime rt{timing_config(1)};
+  const OperationRequest req = make_request(rt);
+  ServingConfig cfg;
+  // Deadline worth ~8 service times; a 50-deep backlog cannot fit.
+  cfg.tenants = {TenantSpec{"fg", QosClass::kLatency, 1.0, 64, 8 * svc}};
+  cfg.max_inflight = 1;
+  Server server{rt, cfg};
+
+  for (int i = 0; i < 50; ++i) (void)server.submit(0, req, 0);
+  server.drain();
+  check_conservation(server);
+
+  const TenantStats s = server.tenant_stats(0);
+  EXPECT_GT(s.landed, 0u);
+  EXPECT_GT(s.expired, 0u) << "a 50-deep backlog must blow an 8-op deadline";
+  EXPECT_EQ(s.landed + s.expired, 50u);
+  for (u64 id = 0; id < 50; ++id) {
+    const TicketStatus ts = server.ticket(id);
+    if (ts.outcome == Outcome::kExpired) {
+      EXPECT_EQ(ts.status, StatusCode::kDeadlineExceeded);
+      // Expiry consumed no device time: the whole expired backlog is
+      // dropped at the first completion past the deadline, not one
+      // service time each.
+      EXPECT_LE(ts.done_vt, ts.arrival_vt + 12 * svc);
+    }
+  }
+}
+
+TEST(ServingBreaker, DegradedPoolShedsThenRecovers) {
+  RuntimeConfig rcfg = timing_config(2);
+  rcfg.affinity = false;  // spread plans so dev1 actually executes (and dies)
+  rcfg.faults.spec = "dev1:loss@0";
+  Runtime rt{rcfg};
+  const OperationRequest req = make_request(rt);
+  ServingConfig cfg;
+  cfg.tenants = {TenantSpec{"fg", QosClass::kLatency, 1.0, 64, 0},
+                 TenantSpec{"scav", QosClass::kBestEffort, 1.0, 64, 0}};
+  cfg.breaker_shed_below = 0.5;
+  Server server{rt, cfg};
+
+  // Warm-up burst: one of these lands on dev1, which drops off the bus;
+  // the runtime redispatches (the op still lands), and from the next
+  // submission on the breaker sees a half-dead pool.
+  for (int i = 0; i < 8; ++i) (void)server.submit(0, req, 0);
+  server.drain();
+  ASSERT_EQ(rt.alive_devices(), 1u);
+
+  const u64 scav_id = server.submit(1, req, 1.0);
+  const u64 fg_id = server.submit(0, req, 1.0);
+  EXPECT_EQ(server.breaker(), BreakerState::kShedding);
+  EXPECT_EQ(server.ticket(scav_id).outcome, Outcome::kShed);
+  server.drain();
+  EXPECT_EQ(server.ticket(fg_id).outcome, Outcome::kLanded)
+      << "a shedding breaker must still serve the latency class";
+  check_conservation(server);
+}
+
+TEST(ServingBreaker, OpenPoolRejectsEverything) {
+  RuntimeConfig rcfg = timing_config(1);
+  rcfg.faults.spec = "dev0:loss@0";
+  rcfg.fault_policy.cpu_fallback = false;
+  Runtime rt{rcfg};
+  const OperationRequest req = make_request(rt);
+  ServingConfig cfg;
+  cfg.tenants = {TenantSpec{"fg", QosClass::kLatency, 1.0, 64, 0}};
+  Server server{rt, cfg};
+
+  // The first op kills the only device and fails permanently (no CPU
+  // fallback): a typed kFailed, not a hang.
+  const u64 first = server.submit(0, req, 0);
+  server.drain();
+  EXPECT_EQ(server.ticket(first).outcome, Outcome::kFailed);
+  EXPECT_EQ(server.ticket(first).status, StatusCode::kDeviceLost);
+
+  // An all-dead pool is always kOpen: everything after is rejected at
+  // admission without touching the runtime.
+  const u64 second = server.submit(0, req, 1.0);
+  EXPECT_EQ(server.breaker(), BreakerState::kOpen);
+  EXPECT_EQ(server.ticket(second).outcome, Outcome::kRejected);
+  EXPECT_EQ(server.ticket(second).status, StatusCode::kResourceExhausted);
+  const TenantStats s = server.tenant_stats(0);
+  EXPECT_EQ(s.rejected_breaker, 1u);
+  EXPECT_EQ(s.failed, 1u);
+  check_conservation(server);
+}
+
+// ---------------------------------------------------------------------------
+// Faults x load: with a device dying and another hanging mid-trace under
+// 2x overload, every submission still resolves to exactly one typed
+// outcome and the per-tenant sums match -- and the whole resolution is a
+// pure function of the submission sequence (replay determinism).
+// ---------------------------------------------------------------------------
+
+struct TraceResult {
+  std::vector<TicketStatus> tickets;
+  std::vector<u64> shed;
+  std::vector<TenantStats> stats;
+};
+
+TraceResult run_faulted_overload_trace() {
+  RuntimeConfig rcfg = timing_config(3);
+  rcfg.affinity = false;
+  rcfg.faults.spec = "dev1:loss@5;dev2:hang@8";
+  Runtime rt{rcfg};
+  const OperationRequest req = make_request(rt);
+
+  ServingConfig cfg;
+  cfg.tenants = {TenantSpec{"fg", QosClass::kLatency, 2.0, 16, 0.02},
+                 TenantSpec{"batch", QosClass::kThroughput, 1.0, 16, 0},
+                 TenantSpec{"scav", QosClass::kBestEffort, 1.0, 16, 0}};
+  cfg.max_inflight = 4;
+  cfg.shed_watermark = 12;
+  Server server{rt, cfg};
+
+  // Deterministic overload: 300 arrivals, 3 per ~half-service-time step.
+  const Seconds step = 3.0e-5;
+  Seconds at = 0;
+  for (int burst = 0; burst < 100; ++burst, at += step) {
+    for (u32 tenant = 0; tenant < 3; ++tenant) {
+      (void)server.submit(tenant, req, at);
+    }
+  }
+  server.drain();
+
+  TraceResult r;
+  for (u64 id = 0; id < 300; ++id) r.tickets.push_back(server.ticket(id));
+  r.shed = server.shed_tickets();
+  for (usize t = 0; t < 3; ++t) r.stats.push_back(server.tenant_stats(t));
+  return r;
+}
+
+TEST(ServingFaults, OverloadConservationWithLossAndHang) {
+  const TraceResult r = run_faulted_overload_trace();
+
+  u64 landed = 0, rejected = 0, shed = 0, expired = 0, failed = 0;
+  for (const TicketStatus& ts : r.tickets) {
+    switch (ts.outcome) {
+      case Outcome::kLanded: ++landed; break;
+      case Outcome::kRejected: ++rejected; break;
+      case Outcome::kShed: ++shed; break;
+      case Outcome::kExpired: ++expired; break;
+      case Outcome::kFailed: ++failed; break;
+      case Outcome::kQueued:
+        ADD_FAILURE() << "ticket left queued after drain";
+    }
+  }
+  EXPECT_EQ(landed + rejected + shed + expired + failed, 300u)
+      << "every submission must resolve to exactly one outcome";
+  EXPECT_GT(shed, 0u) << "2x overload must shed best-effort work";
+
+  // The per-tenant ledgers agree with the per-ticket tally.
+  u64 s_landed = 0, s_rejected = 0, s_shed = 0, s_expired = 0, s_failed = 0,
+      s_submitted = 0;
+  for (const TenantStats& s : r.stats) {
+    EXPECT_EQ(s.submitted, s.admitted + s.rejected_queue_full +
+                               s.rejected_breaker + s.shed);
+    EXPECT_EQ(s.admitted, s.landed + s.expired + s.failed);
+    s_landed += s.landed;
+    s_rejected += s.rejected_queue_full + s.rejected_breaker;
+    s_shed += s.shed;
+    s_expired += s.expired;
+    s_failed += s.failed;
+    s_submitted += s.submitted;
+  }
+  EXPECT_EQ(s_submitted, 300u);
+  EXPECT_EQ(s_landed, landed);
+  EXPECT_EQ(s_rejected, rejected);
+  EXPECT_EQ(s_shed, shed);
+  EXPECT_EQ(s_expired, expired);
+  EXPECT_EQ(s_failed, failed);
+}
+
+TEST(ServingFaults, FaultedTraceReplaysIdentically) {
+  const TraceResult a = run_faulted_overload_trace();
+  const TraceResult b = run_faulted_overload_trace();
+  ASSERT_EQ(a.tickets.size(), b.tickets.size());
+  EXPECT_EQ(a.shed, b.shed) << "shed set diverged between replays";
+  for (usize i = 0; i < a.tickets.size(); ++i) {
+    EXPECT_EQ(a.tickets[i].outcome, b.tickets[i].outcome) << "ticket " << i;
+    EXPECT_EQ(a.tickets[i].status, b.tickets[i].status) << "ticket " << i;
+    EXPECT_EQ(a.tickets[i].done_vt, b.tickets[i].done_vt) << "ticket " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent producers (the TSan gate): submissions from many threads
+// race against the in-submit dispatcher. Determinism is not promised for
+// racing producers -- conservation and memory safety are.
+// ---------------------------------------------------------------------------
+
+TEST(ServingStress, ConcurrentProducersConserveEveryOp) {
+  Runtime rt{timing_config(2)};
+  const OperationRequest req = make_request(rt);
+  ServingConfig cfg;
+  cfg.tenants = {TenantSpec{"a", QosClass::kLatency, 1.0, 32, 0},
+                 TenantSpec{"b", QosClass::kThroughput, 1.0, 32, 0},
+                 TenantSpec{"c", QosClass::kBestEffort, 2.0, 32, 0},
+                 TenantSpec{"d", QosClass::kBestEffort, 1.0, 32, 0}};
+  cfg.shed_watermark = 48;
+  Server server{rt, cfg};
+
+  constexpr usize kThreads = 4;
+  constexpr usize kOpsPerThread = 64;
+  std::vector<std::thread> producers;
+  for (usize t = 0; t < kThreads; ++t) {
+    producers.emplace_back([&server, &req, t] {
+      for (usize i = 0; i < kOpsPerThread; ++i) {
+        (void)server.submit(t, req, static_cast<Seconds>(i) * 1e-4);
+      }
+    });
+  }
+  for (auto& p : producers) p.join();
+  server.drain();
+
+  check_conservation(server);
+  u64 submitted = 0;
+  for (usize t = 0; t < kThreads; ++t) {
+    submitted += server.tenant_stats(t).submitted;
+  }
+  EXPECT_EQ(submitted, kThreads * kOpsPerThread);
+}
+
+// ---------------------------------------------------------------------------
+// Runtime-level deadline machinery (the serving layer's foundation):
+// RuntimeConfig::watchdog_vt override, watchdog clamped to the op's
+// remaining deadline, and retry backoff that respects the deadline.
+// ---------------------------------------------------------------------------
+
+TEST(RuntimeDeadline, WatchdogConfigOverrideChangesHangVerdict) {
+  // A 0.1 vs hang sits below the default 0.25 vs watchdog: pure latency,
+  // the device survives.
+  {
+    RuntimeConfig cfg = timing_config(1);
+    cfg.faults.spec = "dev0:hang@0:0.1";
+    Runtime rt{cfg};
+    OperationRequest req = make_request(rt);
+    req.task_id = rt.begin_task();
+    const Seconds done = rt.invoke(req);
+    EXPECT_GE(done, 0.1);
+    EXPECT_EQ(rt.device_health(0), runtime::DeviceHealth::kHealthy);
+  }
+  // The same hang under a 0.05 vs configured watchdog is an execute
+  // timeout: the device is declared dead and the op degrades to CPU.
+  {
+    RuntimeConfig cfg = timing_config(1);
+    cfg.faults.spec = "dev0:hang@0:0.1";
+    cfg.watchdog_vt = 0.05;
+    Runtime rt{cfg};
+    OperationRequest req = make_request(rt);
+    req.task_id = rt.begin_task();
+    (void)rt.invoke(req);
+    EXPECT_EQ(rt.device_health(0), runtime::DeviceHealth::kDead);
+    EXPECT_EQ(rt.alive_devices(), 0u);
+  }
+}
+
+TEST(RuntimeDeadline, WatchdogClampsToRemainingDeadline) {
+  // The hang (0.1 vs) outlives the op's deadline budget (0.05 vs) but not
+  // the configured watchdog (0.25 vs): that is a deadline expiry, not a
+  // device fault -- terminal for the op, harmless for the device.
+  RuntimeConfig cfg = timing_config(1);
+  cfg.faults.spec = "dev0:hang@0:0.1";
+  Runtime rt{cfg};
+  OperationRequest req = make_request(rt);
+  req.task_id = rt.begin_task();
+  req.deadline_vt = 0.05;
+  try {
+    (void)rt.invoke(req);
+    FAIL() << "expected OperationFailed(kDeadlineExceeded)";
+  } catch (const OperationFailed& e) {
+    EXPECT_EQ(e.code(), StatusCode::kDeadlineExceeded);
+  }
+  EXPECT_EQ(rt.device_health(0), runtime::DeviceHealth::kHealthy)
+      << "a deadline expiry must not be blamed on the device";
+
+  // The hang clause is consumed; with the deadline cleared the next op
+  // lands normally on the still-healthy device.
+  OperationRequest clean = make_request(rt);
+  clean.task_id = rt.begin_task();
+  EXPECT_GT(rt.invoke(clean), 0.0);
+  EXPECT_EQ(rt.alive_devices(), 1u);
+}
+
+TEST(RuntimeDeadline, RetryBackoffNeverOutlivesDeadline) {
+  // A transient transfer fault normally retries after a 5e-4 vs backoff;
+  // with only 2e-4 vs of deadline budget the retry would land past the
+  // deadline, so the op must fail kDeadlineExceeded without retrying.
+  const u64 retried_before =
+      metrics::MetricRegistry::global().counter("fault.retried").value();
+  RuntimeConfig cfg = timing_config(1);
+  cfg.faults.spec = "dev0:transient@0";
+  Runtime rt{cfg};
+  OperationRequest req = make_request(rt);
+  req.task_id = rt.begin_task();
+  req.deadline_vt = 2e-4;
+  try {
+    (void)rt.invoke(req);
+    FAIL() << "expected OperationFailed(kDeadlineExceeded)";
+  } catch (const OperationFailed& e) {
+    EXPECT_EQ(e.code(), StatusCode::kDeadlineExceeded);
+  }
+  EXPECT_EQ(
+      metrics::MetricRegistry::global().counter("fault.retried").value(),
+      retried_before)
+      << "no retry may be scheduled past the op's deadline";
+  // The transient fault degrades the device as usual; the deadline expiry
+  // itself must not escalate that to dead.
+  EXPECT_NE(rt.device_health(0), runtime::DeviceHealth::kDead);
+}
+
+}  // namespace
+}  // namespace gptpu::serving

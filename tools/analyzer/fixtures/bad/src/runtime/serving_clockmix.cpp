@@ -1,0 +1,24 @@
+// Fixture: R8 -- a serving-admission path whose virtual-domain submit()
+// stamps the ticket with the wall clock instead of the modelled arrival
+// instant (the clock mix the multi-tenant front end must not have).
+#include "common/domain_annotations.hpp"
+#include "common/stopwatch.hpp"
+
+namespace fixture {
+
+double admission_wall_seconds() {
+  Stopwatch sw;  // hidden wall primitive in an unannotated helper
+  return sw.elapsed();
+}
+
+GPTPU_VIRTUAL_DOMAIN
+double submit_ticket(int tenant) {
+  double stamp = 0.0;
+  if (tenant != 0) {
+    stamp += admission_wall_seconds();  // R8c: virtual -> helper -> wall
+  }
+  Stopwatch queue_timer;  // R8a: wall primitive directly in submit()
+  return stamp + queue_timer.elapsed();
+}
+
+}  // namespace fixture
